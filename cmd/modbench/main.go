@@ -1,0 +1,78 @@
+// Modbench regenerates the tables and figures of the MOD paper's
+// evaluation (§6) from the simulated system.
+//
+// Usage:
+//
+//	modbench [-experiment name] [-scale default|full|small] [-ops N] [-csv dir]
+//
+// Without -experiment it runs everything. Experiment names: table1,
+// table2, fig2, fig4, fig9, fig10, fig11, table3, spaceoverhead,
+// ablation-conc, ablation-naive.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/mod-ds/mod/internal/harness"
+)
+
+func main() {
+	experiment := flag.String("experiment", "", "experiment to run (default: all)")
+	scaleName := flag.String("scale", "default", "default | full (paper scale, minutes) | small")
+	ops := flag.Int("ops", 0, "override operations per workload")
+	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	flag.Parse()
+
+	var scale harness.Scale
+	switch *scaleName {
+	case "default":
+		scale = harness.DefaultScale()
+	case "full":
+		scale = harness.FullScale()
+	case "small":
+		scale = harness.SmallScale()
+	default:
+		fmt.Fprintf(os.Stderr, "modbench: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	if *ops > 0 {
+		scale.Ops = *ops
+		scale.VectorPreload = *ops
+		scale.Table3N = *ops
+	}
+
+	names := harness.Experiments
+	if *experiment != "" {
+		names = []string{*experiment}
+	}
+	for _, name := range names {
+		tab, err := harness.Run(name, scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "modbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		tab.Render(os.Stdout)
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, tab); err != nil {
+				fmt.Fprintf(os.Stderr, "modbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func writeCSV(dir string, tab *harness.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, tab.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tab.CSV(f)
+	return nil
+}

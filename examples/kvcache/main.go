@@ -1,0 +1,108 @@
+// Kvcache is the paper's memcached-style application: a key-value cache
+// over a single recoverable MOD map, served over a memcached-flavored TCP
+// text protocol. Every set/delete is one failure-atomic section (§6.2).
+//
+// Run a server:
+//
+//	kvcache -listen :11211
+//
+// then from another terminal:
+//
+//	printf 'set greeting hello\nget greeting\nstats\nquit\n' | nc localhost 11211
+//
+// Or run a self-contained demo session over an in-memory pipe:
+//
+//	kvcache -selftest
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+
+	mod "github.com/mod-ds/mod"
+	"github.com/mod-ds/mod/internal/apps"
+)
+
+func main() {
+	listen := flag.String("listen", "", "TCP address to serve (e.g. :11211)")
+	selftest := flag.Bool("selftest", false, "run a scripted client against an in-process server")
+	flag.Parse()
+
+	dev := mod.NewDevice(mod.DefaultDeviceConfig(256 << 20))
+	store, err := mod.NewStore(dev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := store.Map("cache")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cache := apps.NewCache(m)
+
+	switch {
+	case *selftest:
+		runSelftest(cache)
+	case *listen != "":
+		serve(cache, *listen)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func serve(cache *apps.Cache, addr string) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("kvcache: serving recoverable cache on %s", ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The store is single-threaded (as in the paper's workloads), so
+		// sessions are handled sequentially.
+		if err := cache.ServeConn(conn); err != nil {
+			log.Printf("kvcache: session error: %v", err)
+		}
+		conn.Close()
+	}
+}
+
+func runSelftest(cache *apps.Cache) {
+	script := strings.Join([]string{
+		"set lang go",
+		"set paper MOD",
+		"get lang",
+		"get paper",
+		"get missing",
+		"delete lang",
+		"get lang",
+		"stats",
+		"quit",
+	}, "\n") + "\n"
+
+	client, server := net.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- cache.ServeConn(server) }()
+	go func() {
+		client.Write([]byte(script))
+	}()
+	buf := make([]byte, 4096)
+	var out strings.Builder
+	for {
+		n, err := client.Read(buf)
+		out.Write(buf[:n])
+		if err != nil || strings.Contains(out.String(), "STAT deletes") {
+			break
+		}
+	}
+	client.Close()
+	<-done
+	fmt.Print(out.String())
+}

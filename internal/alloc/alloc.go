@@ -1,0 +1,320 @@
+// Package alloc implements a persistent-memory allocator playing the role
+// nvm_malloc plays in the MOD paper (§4.2 step 1): it carves datastructure
+// nodes out of a pmem arena, names recoverable roots so applications can
+// find their data across process lifetimes, and reclaims memory — by
+// volatile reference counting during normal operation (§5.3) and by a
+// reachability scan during recovery after a crash.
+//
+// Layout. The arena begins with a superblock holding a magic number, the
+// persistent bump pointer, and a table of named roots. Blocks follow, each
+// an 8-byte header (magic, type tag, stride) and a payload. Block headers
+// are flushed without fences; recovery walks the header chain and discards
+// anything unreachable from the roots, which is exactly the paper's
+// treatment of allocations from interrupted FASEs.
+//
+// Reclamation. Reference counts live in volatile memory and are rebuilt on
+// recovery, as §5.3 prescribes. A block whose count reaches zero is
+// quarantined rather than freed: it becomes reusable only after the next
+// fence, by which time the root swap that orphaned it is durable. This
+// preserves MOD's one-fence-per-FASE property without risking reuse of
+// memory the durable image still references (DESIGN.md §4).
+package alloc
+
+import (
+	"fmt"
+
+	"github.com/mod-ds/mod/internal/pmem"
+)
+
+// Superblock layout (all offsets in bytes from arena start).
+const (
+	offMagic   = 0
+	offVersion = 8
+	offBumpTop = 16
+	offRoots   = 64 // root table: RootSlots entries of {nameHash, addr}
+
+	// RootSlots is the number of named recoverable roots per heap.
+	RootSlots = 62
+
+	rootEntrySize  = 16
+	superblockSize = offRoots + RootSlots*rootEntrySize // 1056 -> padded
+	heapBase       = (superblockSize + pmem.LineSize - 1) &^ (pmem.LineSize - 1)
+
+	magic   = 0x4d4f442d48454150 // "MOD-HEAP"
+	version = 1
+
+	headerSize = 8
+	headerMark = 0x4d4f // "MO", stored in the top 16 bits of a header
+)
+
+// strides are the size classes (full block size including header).
+var strides = []uint32{24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024, 2048, 4096}
+
+// Walker enumerates the child pointers of a node so the heap can trace
+// reachability and cascade reference-count releases. It receives the
+// payload address and must invoke visit for every non-nil child payload
+// address stored in the node.
+type Walker func(h *Heap, addr pmem.Addr, visit func(child pmem.Addr))
+
+// Stats reports allocator activity.
+type Stats struct {
+	Allocs     uint64
+	Frees      uint64
+	LiveBytes  uint64 // bytes in allocated blocks (including headers)
+	CumBytes   uint64 // bytes ever allocated (never decreases)
+	HighWater  uint64 // max LiveBytes observed
+	HeapUsed   uint64 // bytes between heap base and bump top
+	Quarantine int    // blocks awaiting the next fence
+}
+
+// RecoveryStats reports what a post-crash Recover pass found.
+type RecoveryStats struct {
+	LiveBlocks   int
+	LiveBytes    uint64
+	LeakedBlocks int    // unreachable blocks reclaimed
+	LeakedBytes  uint64 // bytes reclaimed from interrupted FASEs
+	Roots        int    // non-nil roots found
+}
+
+// Heap is a persistent allocator over a pmem.Device. It is not safe for
+// concurrent use.
+type Heap struct {
+	dev *pmem.Device
+
+	top  pmem.Addr // volatile mirror of the persistent bump pointer
+	end  pmem.Addr
+	free map[uint32][]pmem.Addr // stride -> header addrs
+
+	refs       map[pmem.Addr]int32 // payload addr -> reference count
+	quarantine []pmem.Addr         // payload addrs, drained at fence
+	walkers    [256]Walker
+
+	// DisableReclaim makes Release a no-op so every version is retained;
+	// used by the Table 3 experiment to measure multi-version growth.
+	DisableReclaim bool
+
+	stats Stats
+}
+
+// Format initializes a fresh heap on dev, overwriting any prior content,
+// and returns it. The superblock is made durable before Format returns.
+func Format(dev *pmem.Device) *Heap {
+	h := newHeap(dev)
+	dev.WriteU64(offMagic, magic)
+	dev.WriteU64(offVersion, version)
+	dev.WriteU64(offBumpTop, uint64(heapBase))
+	dev.Zero(offRoots, RootSlots*rootEntrySize)
+	dev.FlushRange(0, heapBase)
+	dev.Sfence()
+	h.top = heapBase
+	return h
+}
+
+// Open attaches to a previously formatted heap without scanning it. Most
+// callers want Recover, which also rebuilds reachability state.
+func Open(dev *pmem.Device) (*Heap, error) {
+	if dev.Size() < int64(heapBase)+64 {
+		return nil, fmt.Errorf("alloc: device too small (%d bytes)", dev.Size())
+	}
+	if dev.ReadU64(offMagic) != magic {
+		return nil, fmt.Errorf("alloc: bad heap magic %#x", dev.ReadU64(offMagic))
+	}
+	if v := dev.ReadU64(offVersion); v != version {
+		return nil, fmt.Errorf("alloc: unsupported heap version %d", v)
+	}
+	h := newHeap(dev)
+	h.top = pmem.Addr(dev.ReadU64(offBumpTop))
+	if h.top < heapBase || h.top > h.end {
+		return nil, fmt.Errorf("alloc: corrupt bump pointer %#x", uint64(h.top))
+	}
+	return h, nil
+}
+
+func newHeap(dev *pmem.Device) *Heap {
+	return &Heap{
+		dev:  dev,
+		end:  pmem.Addr(dev.Size()),
+		free: make(map[uint32][]pmem.Addr),
+		refs: make(map[pmem.Addr]int32),
+	}
+}
+
+// Device returns the underlying device.
+func (h *Heap) Device() *pmem.Device { return h.dev }
+
+// Stats returns a snapshot of allocator counters.
+func (h *Heap) Stats() Stats {
+	s := h.stats
+	s.HeapUsed = uint64(h.top) - heapBase
+	s.Quarantine = len(h.quarantine)
+	return s
+}
+
+// SuperblockRange returns the in-place-updated allocator metadata region,
+// which trace checking exempts from the out-of-place invariant I1.
+func SuperblockRange() [2]pmem.Addr { return [2]pmem.Addr{0, heapBase} }
+
+// RegisterWalker associates a child-enumeration function with a node type
+// tag. Datastructure packages register their node layouts at init time.
+func (h *Heap) RegisterWalker(tag uint8, w Walker) { h.walkers[tag] = w }
+
+// strideFor returns the smallest size class holding payload bytes.
+func strideFor(payload int) uint32 {
+	need := uint32(payload + headerSize)
+	for _, s := range strides {
+		if s >= need {
+			return s
+		}
+	}
+	return (need + pmem.LineSize - 1) &^ (pmem.LineSize - 1)
+}
+
+func packHeader(stride uint32, tag uint8, allocated bool) uint64 {
+	v := uint64(headerMark)<<48 | uint64(tag)<<32 | uint64(stride)
+	if allocated {
+		v |= 1 << 40
+	}
+	return v
+}
+
+func unpackHeader(v uint64) (stride uint32, tag uint8, allocated, ok bool) {
+	if v>>48 != headerMark {
+		return 0, 0, false, false
+	}
+	return uint32(v), uint8(v >> 32), v>>40&1 == 1, true
+}
+
+// Alloc returns the payload address of a new block of at least size bytes,
+// typed by tag, with reference count 1. The payload is not zeroed (callers
+// fully initialize their nodes). The header is written and flushed without
+// a fence; recovery discards blocks whose owning FASE never committed.
+func (h *Heap) Alloc(size int, tag uint8) pmem.Addr {
+	if size < 0 {
+		panic("alloc: negative size")
+	}
+	stride := strideFor(size)
+	var hdr pmem.Addr
+	if list := h.free[stride]; len(list) > 0 {
+		hdr = list[len(list)-1]
+		h.free[stride] = list[:len(list)-1]
+	} else {
+		hdr = h.bump(stride)
+	}
+	// Announce the allocation before touching the block so trace checking
+	// sees the header write as part of the new block.
+	if t := h.dev.Tracer(); t != nil {
+		t.Alloc(hdr, uint64(stride), tag)
+	}
+	h.dev.WriteU64(hdr, packHeader(stride, tag, true))
+	h.dev.Clwb(hdr)
+	payload := hdr + headerSize
+	h.refs[payload] = 1
+	h.stats.Allocs++
+	h.stats.LiveBytes += uint64(stride)
+	h.stats.CumBytes += uint64(stride)
+	if h.stats.LiveBytes > h.stats.HighWater {
+		h.stats.HighWater = h.stats.LiveBytes
+	}
+	return payload
+}
+
+func (h *Heap) bump(stride uint32) pmem.Addr {
+	if h.top+pmem.Addr(stride) > h.end {
+		panic(fmt.Sprintf("alloc: out of persistent memory (top=%#x, need %d, end=%#x)", uint64(h.top), stride, uint64(h.end)))
+	}
+	hdr := h.top
+	h.top += pmem.Addr(stride)
+	h.dev.WriteU64(offBumpTop, uint64(h.top))
+	h.dev.Clwb(offBumpTop)
+	return hdr
+}
+
+// header returns the parsed header of the block owning payload addr.
+func (h *Heap) header(payload pmem.Addr) (stride uint32, tag uint8) {
+	raw := h.dev.ReadU64(payload - headerSize)
+	stride, tag, _, ok := unpackHeader(raw)
+	if !ok {
+		panic(fmt.Sprintf("alloc: corrupt header for payload %#x: %#x", uint64(payload), raw))
+	}
+	return stride, tag
+}
+
+// PayloadSize returns the usable bytes of the block at payload addr.
+func (h *Heap) PayloadSize(payload pmem.Addr) int {
+	stride, _ := h.header(payload)
+	return int(stride) - headerSize
+}
+
+// Tag returns the type tag of the block at payload addr.
+func (h *Heap) Tag(payload pmem.Addr) uint8 {
+	_, tag := h.header(payload)
+	return tag
+}
+
+// RefCount returns the current reference count of the block (0 if unknown).
+func (h *Heap) RefCount(payload pmem.Addr) int32 { return h.refs[payload] }
+
+// Retain increments the reference count of the block at payload addr.
+// Reference counts are volatile (§5.3): they cost no flushes and are
+// rebuilt from reachability during recovery.
+func (h *Heap) Retain(payload pmem.Addr) {
+	if payload == pmem.Nil {
+		return
+	}
+	if _, ok := h.refs[payload]; !ok {
+		panic(fmt.Sprintf("alloc: retain of untracked block %#x", uint64(payload)))
+	}
+	h.refs[payload]++
+}
+
+// Release decrements the reference count; at zero the block is quarantined
+// until the next Drain. Release(Nil) is a no-op.
+func (h *Heap) Release(payload pmem.Addr) {
+	if payload == pmem.Nil || h.DisableReclaim {
+		return
+	}
+	c, ok := h.refs[payload]
+	if !ok {
+		panic(fmt.Sprintf("alloc: release of untracked block %#x", uint64(payload)))
+	}
+	if c <= 0 {
+		panic(fmt.Sprintf("alloc: release of dead block %#x", uint64(payload)))
+	}
+	c--
+	h.refs[payload] = c
+	if c == 0 {
+		h.quarantine = append(h.quarantine, payload)
+		if t := h.dev.Tracer(); t != nil {
+			stride, _ := h.header(payload)
+			t.Free(payload-headerSize, uint64(stride))
+		}
+	}
+}
+
+// Drain moves quarantined blocks to the free lists, cascading releases to
+// their children. Call it immediately after a fence: at that point the
+// commit that orphaned these blocks is durable, so reuse is safe.
+func (h *Heap) Drain() {
+	for i := 0; i < len(h.quarantine); i++ { // quarantine may grow while iterating
+		payload := h.quarantine[i]
+		stride, tag := h.header(payload)
+		if w := h.walkers[tag]; w != nil {
+			w(h, payload, func(child pmem.Addr) { h.Release(child) })
+		}
+		delete(h.refs, payload)
+		h.free[stride] = append(h.free[stride], payload-headerSize)
+		h.stats.Frees++
+		h.stats.LiveBytes -= uint64(stride)
+	}
+	h.quarantine = h.quarantine[:0]
+}
+
+// Fence drains the reclamation quarantine and then orders all outstanding
+// flushes (one ordering point). This is the single fence a MOD FASE
+// executes (§5.1). Draining first is safe — nothing can write a reused
+// block between the drain and the sfence — and it keeps every free
+// ordered before the fence that makes the orphaning commit durable.
+func (h *Heap) Fence() {
+	h.Drain()
+	h.dev.Sfence()
+}

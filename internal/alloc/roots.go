@@ -1,0 +1,87 @@
+package alloc
+
+import (
+	"fmt"
+
+	"github.com/mod-ds/mod/internal/pmem"
+)
+
+// Named roots. Each persistent heap exposes a small table of named root
+// pointers so applications can locate their recoverable datastructures
+// across process lifetimes (§5.1: "Such root pointers allow PM
+// applications to locate recoverable datastructures in persistent heaps").
+// A root's address cell is the target of the 8-byte atomic pointer write
+// performed by CommitSingle.
+
+func rootEntryAddr(slot int) pmem.Addr {
+	return pmem.Addr(offRoots + slot*rootEntrySize)
+}
+
+// fnv1a hashes a root name.
+func fnv1a(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	if h == 0 { // 0 marks an empty slot
+		h = 1
+	}
+	return h
+}
+
+// RootSlot returns the slot index for name, claiming an empty slot on
+// first use. The claim is flushed without a fence: it becomes durable with
+// the first commit that publishes data under it.
+func (h *Heap) RootSlot(name string) (int, error) {
+	want := fnv1a(name)
+	firstEmpty := -1
+	for slot := 0; slot < RootSlots; slot++ {
+		got := h.dev.ReadU64(rootEntryAddr(slot))
+		if got == want {
+			return slot, nil
+		}
+		if got == 0 && firstEmpty < 0 {
+			firstEmpty = slot
+		}
+	}
+	if firstEmpty < 0 {
+		return 0, fmt.Errorf("alloc: root table full (%d slots)", RootSlots)
+	}
+	h.dev.WriteU64(rootEntryAddr(firstEmpty), want)
+	h.dev.Clwb(rootEntryAddr(firstEmpty))
+	return firstEmpty, nil
+}
+
+// HasRoot reports whether a root with this name exists (without claiming).
+func (h *Heap) HasRoot(name string) bool {
+	want := fnv1a(name)
+	for slot := 0; slot < RootSlots; slot++ {
+		if h.dev.ReadU64(rootEntryAddr(slot)) == want {
+			return true
+		}
+	}
+	return false
+}
+
+// RootCellAddr returns the PM address of the slot's pointer cell — the
+// location CommitSingle overwrites with its atomic pointer write.
+func (h *Heap) RootCellAddr(slot int) pmem.Addr {
+	if slot < 0 || slot >= RootSlots {
+		panic(fmt.Sprintf("alloc: root slot %d out of range", slot))
+	}
+	return rootEntryAddr(slot) + 8
+}
+
+// Root returns the payload address stored in the slot (Nil if unset).
+func (h *Heap) Root(slot int) pmem.Addr {
+	return pmem.Addr(h.dev.ReadU64(h.RootCellAddr(slot)))
+}
+
+// SetRoot atomically points the slot at payload addr v and flushes the
+// cell (no fence; see DESIGN.md §4 on commit durability ordering).
+func (h *Heap) SetRoot(slot int, v pmem.Addr) {
+	cell := h.RootCellAddr(slot)
+	h.dev.WriteAddr(cell, v)
+	h.dev.Clwb(cell)
+}

@@ -1,0 +1,210 @@
+package apps
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/mod-ds/mod/internal/alloc"
+	"github.com/mod-ds/mod/internal/core"
+	"github.com/mod-ds/mod/internal/pmdkds"
+	"github.com/mod-ds/mod/internal/pmem"
+	"github.com/mod-ds/mod/internal/stm"
+)
+
+func newMODStore(t testing.TB) *core.Store {
+	t.Helper()
+	cfg := pmem.DefaultConfig(64 << 20)
+	cfg.TrackDurable = true
+	s, err := core.NewStore(pmem.New(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func newPMDKTX(t testing.TB) *stm.TX {
+	t.Helper()
+	dev := pmem.New(pmem.DefaultConfig(64 << 20))
+	h := alloc.Format(dev)
+	return stm.New(dev, h, stm.ModeV15)
+}
+
+func reservationSystems(t *testing.T) map[string]Reservations {
+	s := newMODStore(t)
+	mod, err := NewMODReservations(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pmdk, err := NewPMDKReservations(newPMDKTX(t), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Reservations{"mod": mod, "pmdk": pmdk}
+}
+
+func TestVacationReserveCancelBothEngines(t *testing.T) {
+	for name, r := range reservationSystems(t) {
+		t.Run(name, func(t *testing.T) {
+			r.AddResource(Cars, 1, 2)
+			r.AddResource(Flights, 9, 1)
+
+			if q, ok := r.Query(Cars, 1); !ok || q != 2 {
+				t.Fatalf("Query = %d,%v", q, ok)
+			}
+			if !r.Reserve(Cars, 1, 100) {
+				t.Fatal("reserve failed with availability")
+			}
+			if q, _ := r.Query(Cars, 1); q != 1 {
+				t.Fatalf("quantity after reserve = %d, want 1", q)
+			}
+			if kind, res, ok := r.Booking(100); !ok || kind != Cars || res != 1 {
+				t.Fatalf("Booking = %v,%d,%v", kind, res, ok)
+			}
+			// Customer already booked: refuse.
+			if r.Reserve(Flights, 9, 100) {
+				t.Fatal("double booking allowed")
+			}
+			// Exhaust the resource.
+			if !r.Reserve(Cars, 1, 101) {
+				t.Fatal("second unit not reservable")
+			}
+			if r.Reserve(Cars, 1, 102) {
+				t.Fatal("overbooked")
+			}
+			if !r.Cancel(100) {
+				t.Fatal("cancel failed")
+			}
+			if q, _ := r.Query(Cars, 1); q != 1 {
+				t.Fatalf("quantity after cancel = %d, want 1", q)
+			}
+			if r.Cancel(100) {
+				t.Fatal("double cancel succeeded")
+			}
+			if _, _, ok := r.Booking(100); ok {
+				t.Fatal("booking survived cancel")
+			}
+		})
+	}
+}
+
+func TestVacationUnknownResource(t *testing.T) {
+	for name, r := range reservationSystems(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, ok := r.Query(Rooms, 404); ok {
+				t.Fatal("unknown resource found")
+			}
+			if r.Reserve(Rooms, 404, 1) {
+				t.Fatal("reserved unknown resource")
+			}
+		})
+	}
+}
+
+func TestMODVacationCrashAtomicity(t *testing.T) {
+	cfg := pmem.DefaultConfig(64 << 20)
+	cfg.TrackDurable = true
+	dev := pmem.New(cfg)
+	s, _ := core.NewStore(dev)
+	r, err := NewMODReservations(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.AddResource(Cars, 1, 5)
+	if !r.Reserve(Cars, 1, 7) {
+		t.Fatal("reserve failed")
+	}
+	s.Sync()
+	img := dev.CrashImage(pmem.CrashFencedOnly, 1)
+
+	dev2 := pmem.NewFromImage(pmem.DefaultConfig(64<<20), img)
+	s2, _, err := core.OpenStore(dev2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewMODReservations(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, ok := r2.Query(Cars, 1)
+	if !ok || q != 4 {
+		t.Fatalf("recovered quantity = %d,%v, want 4", q, ok)
+	}
+	kind, res, ok := r2.Booking(7)
+	if !ok || kind != Cars || res != 1 {
+		t.Fatal("recovered booking inconsistent with resource decrement")
+	}
+}
+
+func cacheBackends(t *testing.T) map[string]KV {
+	s := newMODStore(t)
+	modMap, err := s.Map("cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pmdkMap, err := pmdkds.NewHashmap(newPMDKTX(t), "cache", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]KV{"mod": modMap, "pmdk": pmdkMap}
+}
+
+func TestCacheOverBothEngines(t *testing.T) {
+	for name, kv := range cacheBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			testCache(t, NewCache(kv))
+		})
+	}
+}
+
+func testCache(t *testing.T, c *Cache) {
+	c.Set("a", []byte("1"))
+	c.Set("b", []byte("2"))
+	if v, ok := c.Get("a"); !ok || string(v) != "1" {
+		t.Fatalf("Get(a) = %q,%v", v, ok)
+	}
+	if _, ok := c.Get("zzz"); ok {
+		t.Fatal("miss reported as hit")
+	}
+	if !c.Delete("a") || c.Delete("a") {
+		t.Fatal("delete semantics wrong")
+	}
+	if c.Items() != 1 {
+		t.Fatalf("Items = %d, want 1", c.Items())
+	}
+	gets, sets, hits, dels := c.Stats()
+	if gets != 2 || sets != 2 || hits != 1 || dels != 2 {
+		t.Fatalf("stats = %d,%d,%d,%d", gets, sets, hits, dels)
+	}
+}
+
+func TestCacheTextProtocol(t *testing.T) {
+	s := newMODStore(t)
+	m, _ := s.Map("cache")
+	c := NewCache(m)
+	in := strings.Join([]string{
+		"set hello world",
+		"get hello",
+		"get missing",
+		"delete hello",
+		"delete hello",
+		"stats",
+		"bogus",
+		"quit",
+	}, "\n") + "\n"
+	var out bytes.Buffer
+	rw := struct {
+		io.Reader
+		io.Writer
+	}{strings.NewReader(in), &out}
+	if err := c.ServeConn(rw); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"STORED", "VALUE world", "MISS", "DELETED", "NOT_FOUND", "STAT items 0", "ERROR unknown"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("protocol output missing %q:\n%s", want, got)
+		}
+	}
+}

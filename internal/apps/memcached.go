@@ -1,0 +1,125 @@
+package apps
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// KV is the recoverable map interface the cache runs on. Both *core.Map
+// (MOD) and *pmdkds.Hashmap (PMDK baseline) satisfy it; each Set/Delete
+// is one failure-atomic section, so the cache is crash-consistent for
+// free (§6.2: "memcached relies on a single recoverable map to implement
+// its cache and FASEs involve a single set operation").
+type KV interface {
+	Set(key, val []byte) bool
+	Get(key []byte) ([]byte, bool)
+	Delete(key []byte) bool
+	Len() uint64
+}
+
+// Cache is a memcached-style recoverable key-value cache.
+type Cache struct {
+	kv KV
+
+	// Stats mirror memcached's counters.
+	gets, sets, hits, deletes uint64
+}
+
+// NewCache wraps a recoverable map as a cache.
+func NewCache(kv KV) *Cache { return &Cache{kv: kv} }
+
+// Set stores val under key (95% of the paper's memcached mix).
+func (c *Cache) Set(key string, val []byte) {
+	c.sets++
+	c.kv.Set([]byte(key), val)
+}
+
+// Get returns the value stored under key.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.gets++
+	v, ok := c.kv.Get([]byte(key))
+	if ok {
+		c.hits++
+	}
+	return v, ok
+}
+
+// Delete removes key.
+func (c *Cache) Delete(key string) bool {
+	c.deletes++
+	return c.kv.Delete([]byte(key))
+}
+
+// Items returns the number of cached items.
+func (c *Cache) Items() uint64 { return c.kv.Len() }
+
+// Stats returns (gets, sets, hits, deletes).
+func (c *Cache) Stats() (gets, sets, hits, deletes uint64) {
+	return c.gets, c.sets, c.hits, c.deletes
+}
+
+// ServeConn speaks a memcached-flavored text protocol on rw until the
+// client quits or the stream ends:
+//
+//	set <key> <value>\n   -> STORED
+//	get <key>\n           -> VALUE <value> | MISS
+//	delete <key>\n        -> DELETED | NOT_FOUND
+//	stats\n               -> STAT lines
+//	quit\n                -> closes the session
+//
+// The examples/kvcache binary serves this over TCP.
+func (c *Cache) ServeConn(rw io.ReadWriter) error {
+	sc := bufio.NewScanner(rw)
+	w := bufio.NewWriter(rw)
+	defer w.Flush()
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.SplitN(line, " ", 3)
+		switch fields[0] {
+		case "set":
+			if len(fields) != 3 {
+				fmt.Fprintln(w, "ERROR usage: set <key> <value>")
+				break
+			}
+			c.Set(fields[1], []byte(fields[2]))
+			fmt.Fprintln(w, "STORED")
+		case "get":
+			if len(fields) != 2 {
+				fmt.Fprintln(w, "ERROR usage: get <key>")
+				break
+			}
+			if v, ok := c.Get(fields[1]); ok {
+				fmt.Fprintf(w, "VALUE %s\n", v)
+			} else {
+				fmt.Fprintln(w, "MISS")
+			}
+		case "delete":
+			if len(fields) != 2 {
+				fmt.Fprintln(w, "ERROR usage: delete <key>")
+				break
+			}
+			if c.Delete(fields[1]) {
+				fmt.Fprintln(w, "DELETED")
+			} else {
+				fmt.Fprintln(w, "NOT_FOUND")
+			}
+		case "stats":
+			gets, sets, hits, dels := c.Stats()
+			fmt.Fprintf(w, "STAT items %d\nSTAT gets %d\nSTAT sets %d\nSTAT hits %d\nSTAT deletes %d\n",
+				c.Items(), gets, sets, hits, dels)
+		case "quit":
+			return nil
+		default:
+			fmt.Fprintf(w, "ERROR unknown command %q\n", fields[0])
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}

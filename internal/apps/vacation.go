@@ -1,0 +1,258 @@
+// Package apps contains the two full applications of the paper's
+// evaluation (Table 2): vacation, a travel reservation system with four
+// recoverable maps composed under one manager object, and a
+// memcached-style key-value cache backed by a single recoverable map.
+// Each application runs on either the MOD engine or the PMDK-style STM
+// engine so the harness can compare them directly.
+package apps
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/mod-ds/mod/internal/core"
+	"github.com/mod-ds/mod/internal/pmdkds"
+	"github.com/mod-ds/mod/internal/stm"
+)
+
+// ResourceKind identifies one of vacation's three resource tables.
+type ResourceKind int
+
+// The three bookable resource kinds of the vacation benchmark.
+const (
+	Cars ResourceKind = iota
+	Flights
+	Rooms
+	numKinds
+)
+
+// String returns the table name for the kind.
+func (k ResourceKind) String() string {
+	switch k {
+	case Cars:
+		return "cars"
+	case Flights:
+		return "flights"
+	case Rooms:
+		return "rooms"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Reservations is the vacation application interface: a manager over
+// three resource tables plus a customer table. Reserve and Cancel update
+// two tables failure-atomically — the composition case that motivates
+// CommitSiblings (§6.2).
+type Reservations interface {
+	// AddResource registers qty units of a resource (setup phase).
+	AddResource(kind ResourceKind, resID uint64, qty uint32)
+	// Query returns the remaining quantity of a resource.
+	Query(kind ResourceKind, resID uint64) (uint32, bool)
+	// Reserve books one unit for a customer, atomically decrementing the
+	// resource and recording the booking. It fails if no units remain or
+	// the customer already holds a booking.
+	Reserve(kind ResourceKind, resID, custID uint64) bool
+	// Cancel atomically releases a customer's booking.
+	Cancel(custID uint64) bool
+	// Booking returns a customer's current booking.
+	Booking(custID uint64) (ResourceKind, uint64, bool)
+}
+
+func resKey(kind ResourceKind, resID uint64) []byte {
+	b := make([]byte, 9)
+	b[0] = byte(kind)
+	binary.LittleEndian.PutUint64(b[1:], resID)
+	return b
+}
+
+func custKey(custID uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, custID)
+	return b
+}
+
+func qtyVal(q uint32) []byte {
+	b := make([]byte, 4)
+	binary.LittleEndian.PutUint32(b, q)
+	return b
+}
+
+func bookingVal(kind ResourceKind, resID uint64) []byte {
+	return resKey(kind, resID)
+}
+
+// MODReservations runs vacation on MOD datastructures: four maps held by
+// a parent manager object, with two-map FASEs committed by CommitSiblings.
+type MODReservations struct {
+	store     *core.Store
+	manager   *core.Parent
+	resources [numKinds]*core.Map
+	customers *core.Map
+}
+
+// NewMODReservations binds (creating on first use) the manager and its
+// four maps.
+func NewMODReservations(store *core.Store) (*MODReservations, error) {
+	manager, err := store.Parent("vacation-manager", "cars", "flights", "rooms", "customers")
+	if err != nil {
+		return nil, err
+	}
+	r := &MODReservations{store: store, manager: manager}
+	for kind := Cars; kind < numKinds; kind++ {
+		m, err := manager.Map(kind.String())
+		if err != nil {
+			return nil, err
+		}
+		r.resources[kind] = m
+	}
+	if r.customers, err = manager.Map("customers"); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// AddResource registers qty units of a resource.
+func (r *MODReservations) AddResource(kind ResourceKind, resID uint64, qty uint32) {
+	r.resources[kind].Set(resKey(kind, resID), qtyVal(qty))
+}
+
+// Query returns the remaining quantity of a resource.
+func (r *MODReservations) Query(kind ResourceKind, resID uint64) (uint32, bool) {
+	v, ok := r.resources[kind].Get(resKey(kind, resID))
+	if !ok {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint32(v), true
+}
+
+// Reserve books one unit atomically across the resource and customer maps.
+func (r *MODReservations) Reserve(kind ResourceKind, resID, custID uint64) bool {
+	qty, ok := r.Query(kind, resID)
+	if !ok || qty == 0 {
+		return false
+	}
+	if _, booked := r.customers.Get(custKey(custID)); booked {
+		return false
+	}
+	s := r.store
+	s.BeginFASE()
+	resShadow, _ := r.resources[kind].PureSet(resKey(kind, resID), qtyVal(qty-1))
+	custShadow, _ := r.customers.PureSet(custKey(custID), bookingVal(kind, resID))
+	s.CommitSiblings(r.manager,
+		core.Update{DS: r.resources[kind], Shadows: []core.Version{resShadow}},
+		core.Update{DS: r.customers, Shadows: []core.Version{custShadow}},
+	)
+	s.EndFASE()
+	return true
+}
+
+// Cancel atomically releases a customer's booking.
+func (r *MODReservations) Cancel(custID uint64) bool {
+	kind, resID, ok := r.Booking(custID)
+	if !ok {
+		return false
+	}
+	qty, _ := r.Query(kind, resID)
+	s := r.store
+	s.BeginFASE()
+	resShadow, _ := r.resources[kind].PureSet(resKey(kind, resID), qtyVal(qty+1))
+	custShadow, _ := r.customers.PureDelete(custKey(custID))
+	s.CommitSiblings(r.manager,
+		core.Update{DS: r.resources[kind], Shadows: []core.Version{resShadow}},
+		core.Update{DS: r.customers, Shadows: []core.Version{custShadow}},
+	)
+	s.EndFASE()
+	return true
+}
+
+// Booking returns a customer's current booking.
+func (r *MODReservations) Booking(custID uint64) (ResourceKind, uint64, bool) {
+	v, ok := r.customers.Get(custKey(custID))
+	if !ok || len(v) != 9 {
+		return 0, 0, false
+	}
+	return ResourceKind(v[0]), binary.LittleEndian.Uint64(v[1:]), true
+}
+
+// PMDKReservations runs vacation on the STM baseline: four transactional
+// hashmaps, with two-map updates sharing a single transaction.
+type PMDKReservations struct {
+	tx        *stm.TX
+	resources [numKinds]*pmdkds.Hashmap
+	customers *pmdkds.Hashmap
+}
+
+// NewPMDKReservations binds (creating on first use) the four hashmaps.
+func NewPMDKReservations(tx *stm.TX, buckets uint64) (*PMDKReservations, error) {
+	r := &PMDKReservations{tx: tx}
+	for kind := Cars; kind < numKinds; kind++ {
+		m, err := pmdkds.NewHashmap(tx, "vacation-"+kind.String(), buckets)
+		if err != nil {
+			return nil, err
+		}
+		r.resources[kind] = m
+	}
+	var err error
+	if r.customers, err = pmdkds.NewHashmap(tx, "vacation-customers", buckets); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// AddResource registers qty units of a resource.
+func (r *PMDKReservations) AddResource(kind ResourceKind, resID uint64, qty uint32) {
+	r.resources[kind].Set(resKey(kind, resID), qtyVal(qty))
+}
+
+// Query returns the remaining quantity of a resource.
+func (r *PMDKReservations) Query(kind ResourceKind, resID uint64) (uint32, bool) {
+	v, ok := r.resources[kind].Get(resKey(kind, resID))
+	if !ok {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint32(v), true
+}
+
+// Reserve books one unit inside one transaction spanning both maps.
+func (r *PMDKReservations) Reserve(kind ResourceKind, resID, custID uint64) bool {
+	qty, ok := r.Query(kind, resID)
+	if !ok || qty == 0 {
+		return false
+	}
+	if _, booked := r.customers.Get(custKey(custID)); booked {
+		return false
+	}
+	r.tx.Begin()
+	r.resources[kind].SetInTx(resKey(kind, resID), qtyVal(qty-1))
+	r.customers.SetInTx(custKey(custID), bookingVal(kind, resID))
+	r.tx.Commit()
+	return true
+}
+
+// Cancel releases a booking inside one transaction spanning both maps.
+func (r *PMDKReservations) Cancel(custID uint64) bool {
+	kind, resID, ok := r.Booking(custID)
+	if !ok {
+		return false
+	}
+	qty, _ := r.Query(kind, resID)
+	r.tx.Begin()
+	r.resources[kind].SetInTx(resKey(kind, resID), qtyVal(qty+1))
+	r.customers.DeleteInTx(custKey(custID))
+	r.tx.Commit()
+	return true
+}
+
+// Booking returns a customer's current booking.
+func (r *PMDKReservations) Booking(custID uint64) (ResourceKind, uint64, bool) {
+	v, ok := r.customers.Get(custKey(custID))
+	if !ok || len(v) != 9 {
+		return 0, 0, false
+	}
+	return ResourceKind(v[0]), binary.LittleEndian.Uint64(v[1:]), true
+}
+
+var (
+	_ Reservations = (*MODReservations)(nil)
+	_ Reservations = (*PMDKReservations)(nil)
+)

@@ -1,0 +1,470 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"github.com/mod-ds/mod/internal/pmem"
+	"github.com/mod-ds/mod/internal/trace"
+)
+
+func newTestStore(t testing.TB) *Store {
+	t.Helper()
+	cfg := pmem.DefaultConfig(64 << 20)
+	cfg.TrackDurable = true
+	s, err := NewStore(pmem.New(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func key64(i uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, i)
+	return b
+}
+
+func TestBasicMapOneFencePerOp(t *testing.T) {
+	s := newTestStore(t)
+	m, err := s.Map("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := s.Device()
+	for i := uint64(0); i < 100; i++ {
+		before := dev.Stats()
+		m.Set(key64(i), []byte("value"))
+		delta := dev.Stats().Sub(before)
+		if delta.Fences != 1 {
+			t.Fatalf("op %d used %d fences, want exactly 1 (§5.1)", i, delta.Fences)
+		}
+	}
+	for i := uint64(0); i < 100; i++ {
+		if _, ok := m.Get(key64(i)); !ok {
+			t.Fatalf("key %d missing", i)
+		}
+	}
+}
+
+func TestBasicLookupNoFlushNoFence(t *testing.T) {
+	s := newTestStore(t)
+	m, _ := s.Map("m")
+	m.Set([]byte("k"), []byte("v"))
+	dev := s.Device()
+	before := dev.Stats()
+	for i := 0; i < 50; i++ {
+		m.Get([]byte("k"))
+	}
+	delta := dev.Stats().Sub(before)
+	if delta.Flushes != 0 || delta.Fences != 0 {
+		t.Fatalf("lookups used %d flushes / %d fences, want 0/0 (§6.4)", delta.Flushes, delta.Fences)
+	}
+}
+
+func TestAllBasicHandles(t *testing.T) {
+	s := newTestStore(t)
+
+	st, _ := s.Stack("stack")
+	st.Push(1)
+	st.Push(2)
+	if v, ok := st.Pop(); !ok || v != 2 {
+		t.Fatalf("stack Pop = %d,%v", v, ok)
+	}
+	if v, ok := st.Peek(); !ok || v != 1 {
+		t.Fatalf("stack Peek = %d,%v", v, ok)
+	}
+
+	q, _ := s.Queue("queue")
+	q.Enqueue(10)
+	q.Enqueue(20)
+	if v, ok := q.Dequeue(); !ok || v != 10 {
+		t.Fatalf("queue Dequeue = %d,%v", v, ok)
+	}
+
+	vec, _ := s.Vector("vec")
+	for i := uint64(0); i < 100; i++ {
+		vec.Push(i)
+	}
+	vec.Update(5, 500)
+	if got := vec.Get(5); got != 500 {
+		t.Fatalf("vector Get(5) = %d", got)
+	}
+	vec.Swap(0, 99)
+	if vec.Get(0) != 99 || vec.Get(99) != 0 {
+		t.Fatal("vector Swap failed")
+	}
+
+	set, _ := s.Set("set")
+	set.Insert([]byte("x"))
+	if !set.Contains([]byte("x")) || set.Contains([]byte("y")) {
+		t.Fatal("set membership wrong")
+	}
+	if !set.Delete([]byte("x")) || set.Contains([]byte("x")) {
+		t.Fatal("set delete failed")
+	}
+
+	m, _ := s.Map("map")
+	m.Set([]byte("a"), []byte("1"))
+	if !m.Delete([]byte("a")) || m.Len() != 0 {
+		t.Fatal("map delete failed")
+	}
+}
+
+func TestHandleRebindAfterReopen(t *testing.T) {
+	cfg := pmem.DefaultConfig(64 << 20)
+	cfg.TrackDurable = true
+	dev := pmem.New(cfg)
+	s, err := NewStore(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := s.Map("m")
+	for i := uint64(0); i < 500; i++ {
+		m.Set(key64(i), key64(i*2))
+	}
+	s.Sync() // make the final root swap durable
+	img := dev.CrashImage(pmem.CrashFencedOnly, 1)
+
+	dev2 := pmem.NewFromImage(pmem.DefaultConfig(64<<20), img)
+	s2, _, err := OpenStore(dev2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := s2.Map("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Len() != 500 {
+		t.Fatalf("recovered Len = %d, want 500", m2.Len())
+	}
+	for i := uint64(0); i < 500; i += 41 {
+		got, ok := m2.Get(key64(i))
+		if !ok || binary.LittleEndian.Uint64(got) != i*2 {
+			t.Fatalf("recovered key %d wrong", i)
+		}
+	}
+}
+
+func TestCrashMidFASEKeepsOldVersionAndReclaimsLeaks(t *testing.T) {
+	cfg := pmem.DefaultConfig(64 << 20)
+	cfg.TrackDurable = true
+	dev := pmem.New(cfg)
+	s, _ := NewStore(dev)
+	m, _ := s.Map("m")
+	for i := uint64(0); i < 100; i++ {
+		m.Set(key64(i), []byte("stable"))
+	}
+	s.Sync()
+	// Start an update but crash before commit: build the shadow only.
+	shadow, _ := m.PureSet(key64(555), []byte("doomed"))
+	_ = shadow
+	img := dev.CrashImage(pmem.CrashEvictRandom, 7)
+
+	dev2 := pmem.NewFromImage(pmem.DefaultConfig(64<<20), img)
+	s2, rs, err := OpenStore(dev2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.LeakedBlocks == 0 {
+		t.Fatal("interrupted FASE should leak blocks for recovery to sweep")
+	}
+	m2, _ := s2.Map("m")
+	if m2.Len() != 100 {
+		t.Fatalf("recovered Len = %d, want 100 (shadow must not be visible)", m2.Len())
+	}
+	if _, ok := m2.Get(key64(555)); ok {
+		t.Fatal("uncommitted key visible after crash")
+	}
+}
+
+func TestCrashAtEveryPointMapIsAtomic(t *testing.T) {
+	// Failure injection: run N committed ops, then start op N+1 and crash
+	// under the most adversarial eviction policy. Recovery must observe
+	// either all of ops 1..N (commit durable) — never a partial op.
+	for seed := uint64(1); seed <= 20; seed++ {
+		cfg := pmem.DefaultConfig(32 << 20)
+		cfg.TrackDurable = true
+		dev := pmem.New(cfg)
+		s, _ := NewStore(dev)
+		m, _ := s.Map("m")
+		committed := int(seed % 7)
+		for i := 0; i < committed; i++ {
+			m.Set(key64(uint64(i)), key64(uint64(i)))
+		}
+		s.Sync()
+		// Interrupted operation: pure update flushed but not committed,
+		// with a random subset of lines evicted.
+		m.PureSet(key64(999), key64(999))
+		img := dev.CrashImage(pmem.CrashEvictRandom, seed)
+
+		dev2 := pmem.NewFromImage(pmem.DefaultConfig(32<<20), img)
+		s2, _, err := OpenStore(dev2)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		m2, _ := s2.Map("m")
+		if got := int(m2.Len()); got != committed {
+			t.Fatalf("seed %d: recovered %d entries, want %d", seed, got, committed)
+		}
+		for i := 0; i < committed; i++ {
+			if _, ok := m2.Get(key64(uint64(i))); !ok {
+				t.Fatalf("seed %d: committed key %d lost", seed, i)
+			}
+		}
+		// The recovered store must remain fully usable.
+		m2.Set(key64(12345), []byte("post-recovery"))
+		if _, ok := m2.Get(key64(12345)); !ok {
+			t.Fatalf("seed %d: store unusable after recovery", seed)
+		}
+	}
+}
+
+func TestCompositionCommitSingleMultiUpdate(t *testing.T) {
+	s := newTestStore(t)
+	v, _ := s.Vector("v")
+	for i := uint64(0); i < 50; i++ {
+		v.Push(i)
+	}
+	dev := s.Device()
+	before := dev.Stats()
+	// Fig. 7b: swap via two pure updates and one commit.
+	s.BeginFASE()
+	a, b := v.Get(3), v.Get(44)
+	s1 := v.PureUpdate(3, b)
+	s2 := s1.Update(44, a)
+	s.CommitSingle(v, s1, s2)
+	s.EndFASE()
+	delta := dev.Stats().Sub(before)
+	if delta.Fences != 1 {
+		t.Fatalf("multi-update FASE used %d fences, want 1", delta.Fences)
+	}
+	if v.Get(3) != b || v.Get(44) != a {
+		t.Fatal("swap not applied")
+	}
+}
+
+func TestCommitSiblingsAtomicAcrossMaps(t *testing.T) {
+	s := newTestStore(t)
+	p, err := s.Parent("manager", "cars", "flights", "rooms", "customers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cars, _ := p.Map("cars")
+	customers, _ := p.Map("customers")
+
+	dev := s.Device()
+	before := dev.Stats()
+	s.BeginFASE()
+	carShadow, _ := cars.PureSet([]byte("car-1"), []byte("reserved"))
+	custShadow, _ := customers.PureSet([]byte("alice"), []byte("car-1"))
+	s.CommitSiblings(p,
+		Update{DS: cars, Shadows: []Version{carShadow}},
+		Update{DS: customers, Shadows: []Version{custShadow}},
+	)
+	s.EndFASE()
+	delta := dev.Stats().Sub(before)
+	if delta.Fences != 1 {
+		t.Fatalf("CommitSiblings used %d fences, want 1 (Fig. 8c)", delta.Fences)
+	}
+	if _, ok := cars.Get([]byte("car-1")); !ok {
+		t.Fatal("cars update lost")
+	}
+	if _, ok := customers.Get([]byte("alice")); !ok {
+		t.Fatal("customers update lost")
+	}
+}
+
+func TestCommitSiblingsCrashAtomicity(t *testing.T) {
+	cfg := pmem.DefaultConfig(64 << 20)
+	cfg.TrackDurable = true
+	dev := pmem.New(cfg)
+	s, _ := NewStore(dev)
+	p, _ := s.Parent("mgr", "a", "b")
+	ma, _ := p.Map("a")
+	mb, _ := p.Map("b")
+	ma.Set([]byte("k"), []byte("old-a"))
+	mb.Set([]byte("k"), []byte("old-b"))
+	s.Sync()
+
+	// Crash after building both shadows but before the sibling commit.
+	sa, _ := ma.PureSet([]byte("k"), []byte("new-a"))
+	sb, _ := mb.PureSet([]byte("k"), []byte("new-b"))
+	_, _ = sa, sb
+	img := dev.CrashImage(pmem.CrashEvictRandom, 3)
+	dev2 := pmem.NewFromImage(pmem.DefaultConfig(64<<20), img)
+	s2, _, err := OpenStore(dev2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := s2.Parent("mgr", "a", "b")
+	ma2, _ := p2.Map("a")
+	mb2, _ := p2.Map("b")
+	va, _ := ma2.Get([]byte("k"))
+	vb, _ := mb2.Get([]byte("k"))
+	if string(va) != "old-a" || string(vb) != "old-b" {
+		t.Fatalf("uncommitted sibling update visible: a=%q b=%q", va, vb)
+	}
+}
+
+func TestCommitUnrelatedAtomic(t *testing.T) {
+	s := newTestStore(t)
+	v1, _ := s.Vector("v1")
+	v2, _ := s.Vector("v2")
+	for i := uint64(0); i < 10; i++ {
+		v1.Push(i)
+		v2.Push(100 + i)
+	}
+	// Fig. 7c: swap elements across two unrelated vectors.
+	dev := s.Device()
+	before := dev.Stats()
+	s.BeginFASE()
+	a, b := v1.Get(2), v2.Get(7)
+	s1 := v1.PureUpdate(2, b)
+	s2 := v2.PureUpdate(7, a)
+	s.CommitUnrelated(
+		Update{DS: v1, Shadows: []Version{s1}},
+		Update{DS: v2, Shadows: []Version{s2}},
+	)
+	s.EndFASE()
+	delta := dev.Stats().Sub(before)
+	if v1.Get(2) != b || v2.Get(7) != a {
+		t.Fatal("cross-structure swap not applied")
+	}
+	// The uncommon case pays extra ordering points (§5.1).
+	if delta.Fences < 2 {
+		t.Fatalf("CommitUnrelated used %d fences; expected the transaction's extra ordering", delta.Fences)
+	}
+}
+
+func TestCommitUnrelatedCrashRollsBackPointerTx(t *testing.T) {
+	cfg := pmem.DefaultConfig(64 << 20)
+	cfg.TrackDurable = true
+	dev := pmem.New(cfg)
+	s, _ := NewStore(dev)
+	v1, _ := s.Vector("v1")
+	v2, _ := s.Vector("v2")
+	v1.Push(1)
+	v2.Push(2)
+
+	// Simulate a crash in the middle of the pointer transaction: snapshot
+	// the roots, write one pointer, then crash with everything persisted.
+	s1 := v1.PurePush(10)
+	_ = v2.PurePush(20)
+	dev.Sfence()
+	tx := s.tx
+	tx.Begin()
+	cell1 := s.heap.RootCellAddr(v1.location().slot)
+	cell2 := s.heap.RootCellAddr(v2.location().slot)
+	tx.Add(cell1, 8)
+	tx.Add(cell2, 8)
+	tx.WriteU64(cell1, uint64(s1.Addr()))
+	// crash before writing cell2 / committing
+	dev.FlushRange(cell1, 8)
+	img := dev.CrashImage(pmem.CrashAllInflight, 5)
+
+	dev2 := pmem.NewFromImage(pmem.DefaultConfig(64<<20), img)
+	s2nd, _, err := OpenStore(dev2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1b, _ := s2nd.Vector("v1")
+	v2b, _ := s2nd.Vector("v2")
+	if v1b.Len() != 1 || v2b.Len() != 1 {
+		t.Fatalf("partial pointer tx visible: v1=%d v2=%d, want 1/1", v1b.Len(), v2b.Len())
+	}
+}
+
+func TestParentFieldValidation(t *testing.T) {
+	s := newTestStore(t)
+	if _, err := s.Parent("p"); err == nil {
+		t.Fatal("parent with no fields must fail")
+	}
+	p, err := s.Parent("p", "x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Map("zzz"); err == nil {
+		t.Fatal("unknown field must fail")
+	}
+	if _, err := s.Parent("p", "x"); err == nil {
+		t.Fatal("field-count mismatch on reopen must fail")
+	}
+}
+
+func TestTraceInvariantsHoldAcrossWorkout(t *testing.T) {
+	// §5.4: record a full trace of a mixed MOD workload and verify the
+	// checker finds no violations.
+	rec := trace.NewRecorder()
+	cfg := pmem.DefaultConfig(64 << 20)
+	cfg.Tracer = rec
+	dev := pmem.New(cfg)
+	s, err := NewStore(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := s.Map("m")
+	v, _ := s.Vector("v")
+	q, _ := s.Queue("q")
+	st, _ := s.Stack("st")
+	for i := uint64(0); i < 200; i++ {
+		m.Set(key64(i), key64(i))
+		v.Push(i)
+		q.Enqueue(i)
+		st.Push(i)
+	}
+	for i := uint64(0); i < 100; i++ {
+		q.Dequeue()
+		st.Pop()
+		v.Update(i, i+1)
+		m.Delete(key64(i))
+	}
+	s.BeginFASE()
+	s1 := v.PureUpdate(0, 42)
+	s2 := s1.Update(1, 43)
+	s.CommitSingle(v, s1, s2)
+	s.EndFASE()
+
+	violations := trace.Check(rec.Events(), s.CheckerConfig())
+	if len(violations) != 0 {
+		for i, viol := range violations {
+			if i > 10 {
+				break
+			}
+			t.Log(viol.Error())
+		}
+		t.Fatalf("%d trace invariant violations", len(violations))
+	}
+}
+
+func TestRecoveryReclaimsAllLeaksToZeroWaste(t *testing.T) {
+	// Leak-freedom (§5.3): after a crash with many half-built shadows,
+	// recovery's live bytes must equal a freshly built store's live bytes.
+	cfg := pmem.DefaultConfig(64 << 20)
+	cfg.TrackDurable = true
+	dev := pmem.New(cfg)
+	s, _ := NewStore(dev)
+	m, _ := s.Map("m")
+	for i := uint64(0); i < 300; i++ {
+		m.Set(key64(i), key64(i))
+	}
+	s.Sync() // drain the reclamation quarantine before measuring
+	liveBefore := s.Heap().Stats().LiveBytes
+
+	for i := uint64(0); i < 10; i++ {
+		m.PureSet(key64(1000+i), key64(i)) // abandoned shadows
+	}
+	img := dev.CrashImage(pmem.CrashEvictRandom, 11)
+	dev2 := pmem.NewFromImage(pmem.DefaultConfig(64<<20), img)
+	s2, rs, err := OpenStore(dev2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.LeakedBlocks == 0 {
+		t.Fatal("expected leaked blocks from abandoned shadows")
+	}
+	liveAfter := s2.Heap().Stats().LiveBytes
+	if liveAfter != liveBefore {
+		t.Fatalf("recovered live bytes %d != pre-crash committed live bytes %d", liveAfter, liveBefore)
+	}
+}

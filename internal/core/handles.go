@@ -1,0 +1,425 @@
+package core
+
+import (
+	"github.com/mod-ds/mod/internal/funcds"
+	"github.com/mod-ds/mod/internal/pmem"
+)
+
+// Version aliases: the Pure* operations of the Composition interface
+// return shadow versions of the underlying functional datastructures;
+// further pure updates can be chained on them directly (Fig. 7b) before
+// committing with CommitSingle/CommitSiblings/CommitUnrelated.
+type (
+	// MapVersion is one immutable version of a MOD map.
+	MapVersion = funcds.Map
+	// SetVersion is one immutable version of a MOD set.
+	SetVersion = funcds.Set
+	// VectorVersion is one immutable version of a MOD vector.
+	VectorVersion = funcds.Vector
+	// StackVersion is one immutable version of a MOD stack.
+	StackVersion = funcds.Stack
+	// QueueVersion is one immutable version of a MOD queue.
+	QueueVersion = funcds.Queue
+)
+
+// bind resolves a handle's location and current address, creating the
+// structure via create (which must allocate and flush a new empty header)
+// when absent.
+func bindRoot(s *Store, name string, create func() pmem.Addr) (location, pmem.Addr, error) {
+	slot, err := s.heap.RootSlot(name)
+	if err != nil {
+		return location{}, pmem.Nil, err
+	}
+	if root := s.heap.Root(slot); root != pmem.Nil {
+		return location{slot: slot}, root, nil
+	}
+	s.BeginFASE()
+	addr := create()
+	s.commitRoot(slot, pmem.Nil, addr)
+	s.EndFASE()
+	return location{slot: slot}, addr, nil
+}
+
+func bindField(p *Parent, field string, create func() pmem.Addr) (location, pmem.Addr, error) {
+	i, err := p.fieldIndex(field)
+	if err != nil {
+		return location{}, pmem.Nil, err
+	}
+	if f := p.fieldAddr(i); f != pmem.Nil {
+		return location{parent: p, slot: i}, f, nil
+	}
+	p.s.BeginFASE()
+	addr := create()
+	p.installField(i, addr)
+	p.s.EndFASE()
+	return location{parent: p, slot: i}, addr, nil
+}
+
+// ---------------------------------------------------------------- Map --
+
+// Map is a recoverable hash map with STL-like failure-atomic operations
+// (Basic interface) and Pure* shadow operations (Composition interface).
+type Map struct {
+	st   *Store
+	name string
+	loc  location
+	cur  funcds.Map
+}
+
+// Map binds (creating on first use) a recoverable map under a named root.
+func (s *Store) Map(name string) (*Map, error) {
+	loc, addr, err := bindRoot(s, name, func() pmem.Addr { return funcds.NewMap(s.heap).Addr() })
+	if err != nil {
+		return nil, err
+	}
+	return &Map{st: s, name: name, loc: loc, cur: funcds.MapAt(s.heap, addr)}, nil
+}
+
+// Map binds (creating on first use) a recoverable map under a parent field.
+func (p *Parent) Map(field string) (*Map, error) {
+	loc, addr, err := bindField(p, field, func() pmem.Addr { return funcds.NewMap(p.s.heap).Addr() })
+	if err != nil {
+		return nil, err
+	}
+	return &Map{st: p.s, name: field, loc: loc, cur: funcds.MapAt(p.s.heap, addr)}, nil
+}
+
+// Name returns the bound root or field name.
+func (m *Map) Name() string { return m.name }
+
+func (m *Map) currentAddr() pmem.Addr { return m.cur.Addr() }
+func (m *Map) adopt(a pmem.Addr)      { m.cur = funcds.MapAt(m.st.heap, a) }
+func (m *Map) location() location     { return m.loc }
+func (m *Map) store() *Store          { return m.st }
+
+// Len returns the number of entries.
+func (m *Map) Len() uint64 { return m.cur.Len() }
+
+// Get returns the value bound to key.
+func (m *Map) Get(key []byte) ([]byte, bool) { return m.cur.Get(key) }
+
+// Set failure-atomically binds key to val (one FASE, one fence) and
+// reports whether an existing binding was replaced.
+func (m *Map) Set(key, val []byte) bool {
+	m.st.BeginFASE()
+	shadow, replaced := m.cur.Set(key, val)
+	m.st.CommitSingle(m, shadow)
+	m.st.EndFASE()
+	return replaced
+}
+
+// Delete failure-atomically removes key, reporting whether it was present.
+func (m *Map) Delete(key []byte) bool {
+	m.st.BeginFASE()
+	shadow, removed := m.cur.Delete(key)
+	if removed {
+		m.st.CommitSingle(m, shadow)
+	}
+	m.st.EndFASE()
+	return removed
+}
+
+// Range iterates over the current version's entries.
+func (m *Map) Range(f func(key, val []byte) bool) { m.cur.Range(f) }
+
+// Current returns the current committed version for composition.
+func (m *Map) Current() MapVersion { return m.cur }
+
+// PureSet returns a shadow with key bound to val, without committing.
+func (m *Map) PureSet(key, val []byte) (MapVersion, bool) { return m.cur.Set(key, val) }
+
+// PureDelete returns a shadow without key, without committing.
+func (m *Map) PureDelete(key []byte) (MapVersion, bool) { return m.cur.Delete(key) }
+
+// ---------------------------------------------------------------- Set --
+
+// Set is a recoverable hash set.
+type Set struct {
+	st   *Store
+	name string
+	loc  location
+	cur  funcds.Set
+}
+
+// Set binds (creating on first use) a recoverable set under a named root.
+func (s *Store) Set(name string) (*Set, error) {
+	loc, addr, err := bindRoot(s, name, func() pmem.Addr { return funcds.NewSet(s.heap).Addr() })
+	if err != nil {
+		return nil, err
+	}
+	return &Set{st: s, name: name, loc: loc, cur: funcds.SetDSAt(s.heap, addr)}, nil
+}
+
+// Set binds (creating on first use) a recoverable set under a parent field.
+func (p *Parent) Set(field string) (*Set, error) {
+	loc, addr, err := bindField(p, field, func() pmem.Addr { return funcds.NewSet(p.s.heap).Addr() })
+	if err != nil {
+		return nil, err
+	}
+	return &Set{st: p.s, name: field, loc: loc, cur: funcds.SetDSAt(p.s.heap, addr)}, nil
+}
+
+// Name returns the bound root or field name.
+func (s *Set) Name() string { return s.name }
+
+func (s *Set) currentAddr() pmem.Addr { return s.cur.Addr() }
+func (s *Set) adopt(a pmem.Addr)      { s.cur = funcds.SetDSAt(s.st.heap, a) }
+func (s *Set) location() location     { return s.loc }
+func (s *Set) store() *Store          { return s.st }
+
+// Len returns the number of members.
+func (s *Set) Len() uint64 { return s.cur.Len() }
+
+// Contains reports membership.
+func (s *Set) Contains(key []byte) bool { return s.cur.Contains(key) }
+
+// Insert failure-atomically adds key, reporting whether it already existed.
+func (s *Set) Insert(key []byte) bool {
+	s.st.BeginFASE()
+	shadow, existed := s.cur.Insert(key)
+	s.st.CommitSingle(s, shadow)
+	s.st.EndFASE()
+	return existed
+}
+
+// Delete failure-atomically removes key, reporting whether it was present.
+func (s *Set) Delete(key []byte) bool {
+	s.st.BeginFASE()
+	shadow, removed := s.cur.Delete(key)
+	if removed {
+		s.st.CommitSingle(s, shadow)
+	}
+	s.st.EndFASE()
+	return removed
+}
+
+// Range iterates over the current version's members.
+func (s *Set) Range(f func(key []byte) bool) { s.cur.Range(f) }
+
+// Current returns the current committed version for composition.
+func (s *Set) Current() SetVersion { return s.cur }
+
+// PureInsert returns a shadow containing key, without committing.
+func (s *Set) PureInsert(key []byte) (SetVersion, bool) { return s.cur.Insert(key) }
+
+// PureDelete returns a shadow without key, without committing.
+func (s *Set) PureDelete(key []byte) (SetVersion, bool) { return s.cur.Delete(key) }
+
+// ------------------------------------------------------------- Vector --
+
+// Vector is a recoverable vector of 8-byte elements.
+type Vector struct {
+	st   *Store
+	name string
+	loc  location
+	cur  funcds.Vector
+}
+
+// Vector binds (creating on first use) a recoverable vector under a root.
+func (s *Store) Vector(name string) (*Vector, error) {
+	loc, addr, err := bindRoot(s, name, func() pmem.Addr { return funcds.NewVector(s.heap).Addr() })
+	if err != nil {
+		return nil, err
+	}
+	return &Vector{st: s, name: name, loc: loc, cur: funcds.VectorAt(s.heap, addr)}, nil
+}
+
+// Vector binds (creating on first use) a recoverable vector under a field.
+func (p *Parent) Vector(field string) (*Vector, error) {
+	loc, addr, err := bindField(p, field, func() pmem.Addr { return funcds.NewVector(p.s.heap).Addr() })
+	if err != nil {
+		return nil, err
+	}
+	return &Vector{st: p.s, name: field, loc: loc, cur: funcds.VectorAt(p.s.heap, addr)}, nil
+}
+
+// Name returns the bound root or field name.
+func (v *Vector) Name() string { return v.name }
+
+func (v *Vector) currentAddr() pmem.Addr { return v.cur.Addr() }
+func (v *Vector) adopt(a pmem.Addr)      { v.cur = funcds.VectorAt(v.st.heap, a) }
+func (v *Vector) location() location     { return v.loc }
+func (v *Vector) store() *Store          { return v.st }
+
+// Len returns the number of elements.
+func (v *Vector) Len() uint64 { return v.cur.Len() }
+
+// Get returns the element at index i.
+func (v *Vector) Get(i uint64) uint64 { return v.cur.Get(i) }
+
+// Push failure-atomically appends val (push_back).
+func (v *Vector) Push(val uint64) {
+	v.st.BeginFASE()
+	shadow := v.cur.Push(val)
+	v.st.CommitSingle(v, shadow)
+	v.st.EndFASE()
+}
+
+// Update failure-atomically replaces element i with val.
+func (v *Vector) Update(i uint64, val uint64) {
+	v.st.BeginFASE()
+	shadow := v.cur.Update(i, val)
+	v.st.CommitSingle(v, shadow)
+	v.st.EndFASE()
+}
+
+// Swap failure-atomically exchanges elements i and j: two pure updates on
+// successive shadows and one commit (Fig. 7b).
+func (v *Vector) Swap(i, j uint64) {
+	v.st.BeginFASE()
+	a, b := v.cur.Get(i), v.cur.Get(j)
+	s1 := v.cur.Update(i, b)
+	s2 := s1.Update(j, a)
+	v.st.CommitSingle(v, s1, s2)
+	v.st.EndFASE()
+}
+
+// Current returns the current committed version for composition.
+func (v *Vector) Current() VectorVersion { return v.cur }
+
+// PurePush returns a shadow with val appended, without committing.
+func (v *Vector) PurePush(val uint64) VectorVersion { return v.cur.Push(val) }
+
+// PureUpdate returns a shadow with element i replaced, without committing.
+func (v *Vector) PureUpdate(i uint64, val uint64) VectorVersion { return v.cur.Update(i, val) }
+
+// -------------------------------------------------------------- Stack --
+
+// Stack is a recoverable LIFO stack of 8-byte elements.
+type Stack struct {
+	st   *Store
+	name string
+	loc  location
+	cur  funcds.Stack
+}
+
+// Stack binds (creating on first use) a recoverable stack under a root.
+func (s *Store) Stack(name string) (*Stack, error) {
+	loc, addr, err := bindRoot(s, name, func() pmem.Addr { return funcds.NewStack(s.heap).Addr() })
+	if err != nil {
+		return nil, err
+	}
+	return &Stack{st: s, name: name, loc: loc, cur: funcds.StackAt(s.heap, addr)}, nil
+}
+
+// Stack binds (creating on first use) a recoverable stack under a field.
+func (p *Parent) Stack(field string) (*Stack, error) {
+	loc, addr, err := bindField(p, field, func() pmem.Addr { return funcds.NewStack(p.s.heap).Addr() })
+	if err != nil {
+		return nil, err
+	}
+	return &Stack{st: p.s, name: field, loc: loc, cur: funcds.StackAt(p.s.heap, addr)}, nil
+}
+
+// Name returns the bound root or field name.
+func (s *Stack) Name() string { return s.name }
+
+func (s *Stack) currentAddr() pmem.Addr { return s.cur.Addr() }
+func (s *Stack) adopt(a pmem.Addr)      { s.cur = funcds.StackAt(s.st.heap, a) }
+func (s *Stack) location() location     { return s.loc }
+func (s *Stack) store() *Store          { return s.st }
+
+// Len returns the number of elements.
+func (s *Stack) Len() uint64 { return s.cur.Len() }
+
+// Peek returns the top element.
+func (s *Stack) Peek() (uint64, bool) { return s.cur.Peek() }
+
+// Push failure-atomically pushes val.
+func (s *Stack) Push(val uint64) {
+	s.st.BeginFASE()
+	shadow := s.cur.Push(val)
+	s.st.CommitSingle(s, shadow)
+	s.st.EndFASE()
+}
+
+// Pop failure-atomically removes and returns the top element.
+func (s *Stack) Pop() (uint64, bool) {
+	s.st.BeginFASE()
+	shadow, val, ok := s.cur.Pop()
+	if ok {
+		s.st.CommitSingle(s, shadow)
+	}
+	s.st.EndFASE()
+	return val, ok
+}
+
+// Current returns the current committed version for composition.
+func (s *Stack) Current() StackVersion { return s.cur }
+
+// PurePush returns a shadow with val pushed, without committing.
+func (s *Stack) PurePush(val uint64) StackVersion { return s.cur.Push(val) }
+
+// PurePop returns a shadow without the top element, without committing.
+func (s *Stack) PurePop() (StackVersion, uint64, bool) { return s.cur.Pop() }
+
+// -------------------------------------------------------------- Queue --
+
+// Queue is a recoverable FIFO queue of 8-byte elements.
+type Queue struct {
+	st   *Store
+	name string
+	loc  location
+	cur  funcds.Queue
+}
+
+// Queue binds (creating on first use) a recoverable queue under a root.
+func (s *Store) Queue(name string) (*Queue, error) {
+	loc, addr, err := bindRoot(s, name, func() pmem.Addr { return funcds.NewQueue(s.heap).Addr() })
+	if err != nil {
+		return nil, err
+	}
+	return &Queue{st: s, name: name, loc: loc, cur: funcds.QueueAt(s.heap, addr)}, nil
+}
+
+// Queue binds (creating on first use) a recoverable queue under a field.
+func (p *Parent) Queue(field string) (*Queue, error) {
+	loc, addr, err := bindField(p, field, func() pmem.Addr { return funcds.NewQueue(p.s.heap).Addr() })
+	if err != nil {
+		return nil, err
+	}
+	return &Queue{st: p.s, name: field, loc: loc, cur: funcds.QueueAt(p.s.heap, addr)}, nil
+}
+
+// Name returns the bound root or field name.
+func (q *Queue) Name() string { return q.name }
+
+func (q *Queue) currentAddr() pmem.Addr { return q.cur.Addr() }
+func (q *Queue) adopt(a pmem.Addr)      { q.cur = funcds.QueueAt(q.st.heap, a) }
+func (q *Queue) location() location     { return q.loc }
+func (q *Queue) store() *Store          { return q.st }
+
+// Len returns the number of elements.
+func (q *Queue) Len() uint64 { return q.cur.Len() }
+
+// Peek returns the head element.
+func (q *Queue) Peek() (uint64, bool) { return q.cur.Peek() }
+
+// Enqueue failure-atomically appends val at the tail.
+func (q *Queue) Enqueue(val uint64) {
+	q.st.BeginFASE()
+	shadow := q.cur.Push(val)
+	q.st.CommitSingle(q, shadow)
+	q.st.EndFASE()
+}
+
+// Dequeue failure-atomically removes and returns the head element.
+func (q *Queue) Dequeue() (uint64, bool) {
+	q.st.BeginFASE()
+	shadow, val, ok := q.cur.Pop()
+	if ok {
+		q.st.CommitSingle(q, shadow)
+	}
+	q.st.EndFASE()
+	return val, ok
+}
+
+// Current returns the current committed version for composition.
+func (q *Queue) Current() QueueVersion { return q.cur }
+
+// PureEnqueue returns a shadow with val appended, without committing.
+func (q *Queue) PureEnqueue(val uint64) QueueVersion { return q.cur.Push(val) }
+
+// PureDequeue returns a shadow without the head element, without
+// committing.
+func (q *Queue) PureDequeue() (QueueVersion, uint64, bool) { return q.cur.Pop() }

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/mod-ds/mod/internal/alloc"
+	"github.com/mod-ds/mod/internal/funcds"
+	"github.com/mod-ds/mod/internal/pmem"
+)
+
+// Parent is a persistent object whose fields point at MOD datastructures,
+// enabling CommitSiblings (§5.1, Fig. 8c): updates to several sibling
+// structures commit atomically by shadowing the parent itself and swapping
+// one pointer. The paper's vacation port anchors its four maps under such
+// a manager object.
+//
+// Layout (TagParent): [nFields u64][field addr u64 × n].
+type Parent struct {
+	s      *Store
+	name   string
+	slot   int
+	addr   pmem.Addr
+	fields []string
+}
+
+// maxParentFields bounds field counts for corruption detection.
+const maxParentFields = 1 << 16
+
+// Parent binds (creating on first use) a parent object under a named root
+// with the given ordered field names. Reopening must pass the same fields.
+func (s *Store) Parent(name string, fields ...string) (*Parent, error) {
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("core: parent %q needs at least one field", name)
+	}
+	slot, err := s.heap.RootSlot(name)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parent{s: s, name: name, slot: slot, fields: fields}
+	if root := s.heap.Root(slot); root != pmem.Nil {
+		n := s.dev.ReadU64(root)
+		if n != uint64(len(fields)) {
+			return nil, fmt.Errorf("core: parent %q has %d fields, expected %d", name, n, len(fields))
+		}
+		p.addr = root
+		return p, nil
+	}
+	s.BeginFASE()
+	addr := newParentBlock(s.heap, make([]pmem.Addr, len(fields)))
+	s.commitRoot(slot, pmem.Nil, addr)
+	s.EndFASE()
+	p.addr = addr
+	return p, nil
+}
+
+// newParentBlock allocates and flushes a parent block with the given field
+// pointers. Reference transfers are the caller's responsibility.
+func newParentBlock(h *alloc.Heap, fields []pmem.Addr) pmem.Addr {
+	size := 8 + len(fields)*8
+	a := h.Alloc(size, funcds.TagParent)
+	dev := h.Device()
+	dev.WriteU64(a, uint64(len(fields)))
+	for i, f := range fields {
+		dev.WriteU64(a+8+pmem.Addr(i*8), uint64(f))
+	}
+	dev.FlushRange(a-8, size+8)
+	return a
+}
+
+// Name returns the parent's root name.
+func (p *Parent) Name() string { return p.name }
+
+// Addr returns the current parent block address.
+func (p *Parent) Addr() pmem.Addr { return p.addr }
+
+// Fields returns the ordered field names.
+func (p *Parent) Fields() []string { return p.fields }
+
+func (p *Parent) fieldIndex(name string) (int, error) {
+	for i, f := range p.fields {
+		if f == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("core: parent %q has no field %q", p.name, name)
+}
+
+// fieldAddr reads the current pointer of field i.
+func (p *Parent) fieldAddr(i int) pmem.Addr {
+	return pmem.Addr(p.s.dev.ReadU64(p.addr + 8 + pmem.Addr(i*8)))
+}
+
+// installField publishes a freshly created datastructure under field i via
+// a single-field CommitSiblings.
+func (p *Parent) installField(i int, addr pmem.Addr) {
+	newFields := make([]pmem.Addr, len(p.fields))
+	for j := range p.fields {
+		newFields[j] = p.fieldAddr(j)
+	}
+	newFields[i] = addr
+	shadow := newParentBlock(p.s.heap, newFields)
+	for j, f := range newFields {
+		if j != i && f != pmem.Nil {
+			p.s.heap.Retain(f)
+		}
+	}
+	old := p.addr
+	p.s.commitBegin()
+	p.s.heap.Fence()
+	p.s.heap.SetRoot(p.slot, shadow)
+	p.s.commitEnd()
+	p.s.heap.Release(old)
+	p.addr = shadow
+}
+
+func walkParent(h *alloc.Heap, a pmem.Addr, visit func(pmem.Addr)) {
+	dev := h.Device()
+	n := dev.ReadU64(a)
+	if n > maxParentFields {
+		return // corrupt block; recovery will sweep it as unreachable
+	}
+	for i := uint64(0); i < n; i++ {
+		if f := pmem.Addr(dev.ReadU64(a + 8 + pmem.Addr(i*8))); f != pmem.Nil {
+			visit(f)
+		}
+	}
+}

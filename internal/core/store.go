@@ -1,0 +1,306 @@
+// Package core implements MOD — Minimally Ordered Durable datastructures —
+// the primary contribution of Haria, Hill & Swift (ASPLOS 2020). It layers
+// failure atomicity on the purely functional datastructures of package
+// funcds using Functional Shadowing (§4.1): every update builds a durable
+// shadow with unordered, overlapped flushes, and a Commit step with a
+// single ordering point atomically swaps an 8-byte persistent pointer from
+// the original version to the shadow.
+//
+// Two interfaces are exposed, following §4.3:
+//
+//   - The Basic interface: handles (Map, Set, Vector, Stack, Queue) whose
+//     update methods look mutable and are each a self-contained FASE with
+//     one fence.
+//
+//   - The Composition interface: Pure* methods return shadow versions
+//     without committing; CommitSingle, CommitSiblings, and
+//     CommitUnrelated (§5.1, Fig. 8) atomically install one or more
+//     shadows with one fence in the common cases.
+//
+// Recovery (§5.3) is a reachability pass over the heap from the named
+// roots: interrupted-FASE allocations are swept, reference counts rebuilt.
+package core
+
+import (
+	"fmt"
+
+	"github.com/mod-ds/mod/internal/alloc"
+	"github.com/mod-ds/mod/internal/funcds"
+	"github.com/mod-ds/mod/internal/pmem"
+	"github.com/mod-ds/mod/internal/stm"
+	"github.com/mod-ds/mod/internal/trace"
+)
+
+// commitLogRoot names the root slot anchoring the short-transaction log
+// used by CommitUnrelated.
+const commitLogRoot = "__mod_commitlog"
+
+// Store is a persistent heap hosting MOD datastructures, located across
+// process lifetimes by named roots.
+type Store struct {
+	dev  *pmem.Device
+	heap *alloc.Heap
+	tx   *stm.TX // short transactions for CommitUnrelated (Fig. 8d)
+}
+
+// NewStore formats dev and returns an empty store.
+func NewStore(dev *pmem.Device) (*Store, error) {
+	heap := alloc.Format(dev)
+	registerWalkers(heap)
+	tx := stm.New(dev, heap, stm.ModeV15)
+	slot, err := heap.RootSlot(commitLogRoot)
+	if err != nil {
+		return nil, fmt.Errorf("core: anchoring commit log: %w", err)
+	}
+	heap.SetRoot(slot, tx.LogAddr())
+	dev.Sfence()
+	return &Store{dev: dev, heap: heap, tx: tx}, nil
+}
+
+// OpenStore attaches to a previously formatted device, rolling back any
+// interrupted commit transaction and garbage-collecting unreachable blocks
+// (recovery per §5.3). The reported stats include leak reclamation counts.
+func OpenStore(dev *pmem.Device) (*Store, alloc.RecoveryStats, error) {
+	heap, err := alloc.Open(dev)
+	if err != nil {
+		return nil, alloc.RecoveryStats{}, err
+	}
+	registerWalkers(heap)
+	slot, err := heap.RootSlot(commitLogRoot)
+	if err != nil {
+		return nil, alloc.RecoveryStats{}, err
+	}
+	logAddr := heap.Root(slot)
+	if logAddr == pmem.Nil {
+		return nil, alloc.RecoveryStats{}, fmt.Errorf("core: store has no commit log root")
+	}
+	// Roll back an interrupted CommitUnrelated before tracing reachability.
+	stm.Recover(dev, logAddr)
+	rs, err := heap.Recover()
+	if err != nil {
+		return nil, rs, err
+	}
+	tx := stm.Attach(dev, heap, stm.ModeV15, logAddr, stm.DefaultLogSize)
+	return &Store{dev: dev, heap: heap, tx: tx}, rs, nil
+}
+
+func registerWalkers(heap *alloc.Heap) {
+	funcds.RegisterWalkers(heap)
+	heap.RegisterWalker(funcds.TagParent, walkParent)
+}
+
+// Device returns the underlying persistent memory device.
+func (s *Store) Device() *pmem.Device { return s.dev }
+
+// Heap returns the persistent allocator.
+func (s *Store) Heap() *alloc.Heap { return s.heap }
+
+// CheckerConfig returns the trace-checker configuration for this store:
+// the allocator superblock and the commit transaction log are updated in
+// place by design and are exempt from the out-of-place invariant.
+func (s *Store) CheckerConfig() trace.CheckerConfig {
+	logStart := s.tx.LogAddr() - 8 // include the block header
+	return trace.CheckerConfig{
+		ExemptRanges: [][2]pmem.Addr{
+			alloc.SuperblockRange(),
+			{logStart, s.tx.LogAddr() + pmem.Addr(stm.DefaultLogSize)},
+		},
+		AllowUnflushedTail: true,
+	}
+}
+
+// Sync orders every outstanding flush — including the most recent
+// commit's root-pointer write, whose durability is otherwise guaranteed
+// only by the next FASE's fence — and drains the reclamation quarantine.
+// Call it before planned shutdown or when an operation must be durable on
+// return.
+func (s *Store) Sync() { s.heap.Fence() }
+
+// BeginFASE marks the start of a failure-atomic section for trace-based
+// verification (§5.4). The Basic interface brackets its operations
+// automatically; Composition-interface users bracket manually or use FASE.
+func (s *Store) BeginFASE() {
+	if t := s.dev.Tracer(); t != nil {
+		t.FASEBegin()
+	}
+}
+
+// EndFASE marks the end of a failure-atomic section.
+func (s *Store) EndFASE() {
+	if t := s.dev.Tracer(); t != nil {
+		t.FASEEnd()
+	}
+}
+
+// FASE runs fn bracketed as one failure-atomic section.
+func (s *Store) FASE(fn func()) {
+	s.BeginFASE()
+	fn()
+	s.EndFASE()
+}
+
+func (s *Store) commitBegin() {
+	if t := s.dev.Tracer(); t != nil {
+		t.CommitBegin()
+	}
+}
+
+func (s *Store) commitEnd() {
+	if t := s.dev.Tracer(); t != nil {
+		t.CommitEnd()
+	}
+}
+
+// Version is one shadow version of a MOD datastructure, produced by the
+// Pure* update operations.
+type Version interface {
+	// Addr returns the persistent address of the version's header.
+	Addr() pmem.Addr
+}
+
+// Datastructure is a MOD handle that can be the target of a Commit. Only
+// types in this package implement it.
+type Datastructure interface {
+	// Name returns the root or field name the handle is bound to.
+	Name() string
+	currentAddr() pmem.Addr
+	adopt(addr pmem.Addr)
+	location() location
+	store() *Store
+}
+
+// location identifies where a datastructure's current-version pointer
+// lives: a named root slot, or a field of a parent object.
+type location struct {
+	parent *Parent
+	slot   int // root slot index, or parent field index
+}
+
+// commitRoot is the common-case CommitSingle step (Fig. 8b): one fence to
+// make every outstanding shadow flush durable, then an 8-byte atomic
+// pointer write to publish the new version, then reclamation of the old.
+func (s *Store) commitRoot(slot int, old, final pmem.Addr) {
+	s.commitBegin()
+	s.heap.Fence() // the FASE's single ordering point; drains quarantine
+	s.heap.SetRoot(slot, final)
+	s.commitEnd()
+	s.heap.Release(old)
+}
+
+// CommitSingle atomically replaces ds's current version with the last
+// shadow in the chain, reclaiming the original and all intermediate
+// shadows (Fig. 7a/b, Fig. 8b). The datastructure must be root-bound;
+// parent-bound structures commit through CommitSiblings.
+func (s *Store) CommitSingle(ds Datastructure, shadows ...Version) {
+	if len(shadows) == 0 {
+		return
+	}
+	loc := ds.location()
+	if loc.parent != nil {
+		s.CommitSiblings(loc.parent, Update{DS: ds, Shadows: shadows})
+		return
+	}
+	old := ds.currentAddr()
+	final := shadows[len(shadows)-1].Addr()
+	s.commitRoot(loc.slot, old, final)
+	for _, sh := range shadows[:len(shadows)-1] {
+		s.heap.Release(sh.Addr())
+	}
+	ds.adopt(final)
+}
+
+// Update pairs a datastructure with the shadow chain to install, for
+// CommitSiblings and CommitUnrelated.
+type Update struct {
+	DS      Datastructure
+	Shadows []Version
+}
+
+func (u Update) final() pmem.Addr { return u.Shadows[len(u.Shadows)-1].Addr() }
+
+// CommitSiblings atomically installs updates to datastructures that are
+// fields of one parent object (Fig. 8c): a shadow of the parent pointing
+// at the new versions is built and flushed, one fence orders everything,
+// and the parent's root pointer is swapped. Reclaiming the old parent
+// cascades to the replaced versions.
+func (s *Store) CommitSiblings(p *Parent, updates ...Update) {
+	if len(updates) == 0 {
+		return
+	}
+	newFields := make([]pmem.Addr, len(p.fields))
+	changed := make([]bool, len(p.fields))
+	for i := range p.fields {
+		newFields[i] = p.fieldAddr(i)
+	}
+	for _, u := range updates {
+		loc := u.DS.location()
+		if loc.parent != p {
+			panic("core: CommitSiblings update does not belong to this parent")
+		}
+		if len(u.Shadows) == 0 {
+			panic("core: CommitSiblings update with no shadows")
+		}
+		newFields[loc.slot] = u.final()
+		changed[loc.slot] = true
+	}
+	// Build and flush the parent shadow; unchanged fields gain a parent.
+	shadow := newParentBlock(s.heap, newFields)
+	for i, f := range newFields {
+		if !changed[i] && f != pmem.Nil {
+			s.heap.Retain(f)
+		}
+	}
+	oldParent := p.addr
+	s.commitBegin()
+	s.heap.Fence()
+	s.heap.SetRoot(p.slot, shadow)
+	s.commitEnd()
+	s.heap.Release(oldParent) // cascades into replaced field versions
+	for _, u := range updates {
+		for _, sh := range u.Shadows[:len(u.Shadows)-1] {
+			s.heap.Release(sh.Addr())
+		}
+	}
+	p.addr = shadow
+	for _, u := range updates {
+		u.DS.adopt(u.final())
+	}
+}
+
+// CommitUnrelated atomically installs updates to multiple unrelated
+// root-bound datastructures (Fig. 8d): the shadows are made durable by one
+// fence, then a very short transaction updates the root pointers together.
+// This is the uncommon case and carries the transaction's extra ordering
+// points.
+func (s *Store) CommitUnrelated(updates ...Update) {
+	if len(updates) == 0 {
+		return
+	}
+	s.heap.Device().Sfence() // shadows durable before the pointer tx
+	s.heap.Drain()
+	s.commitBegin()
+	s.tx.Begin()
+	for _, u := range updates {
+		loc := u.DS.location()
+		if loc.parent != nil {
+			panic("core: CommitUnrelated requires root-bound datastructures")
+		}
+		cell := s.heap.RootCellAddr(loc.slot)
+		s.tx.Add(cell, 8)
+	}
+	for _, u := range updates {
+		cell := s.heap.RootCellAddr(u.DS.location().slot)
+		s.tx.WriteU64(cell, uint64(u.final()))
+	}
+	s.tx.Commit()
+	s.commitEnd()
+	for _, u := range updates {
+		s.heap.Release(u.DS.currentAddr())
+		for _, sh := range u.Shadows[:len(u.Shadows)-1] {
+			s.heap.Release(sh.Addr())
+		}
+	}
+	for _, u := range updates {
+		u.DS.adopt(u.final())
+	}
+}

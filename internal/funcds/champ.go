@@ -1,0 +1,550 @@
+package funcds
+
+import (
+	"encoding/binary"
+	"math/bits"
+
+	"github.com/mod-ds/mod/internal/alloc"
+	"github.com/mod-ds/mod/internal/pmem"
+)
+
+// Map is a purely functional hash map from byte-string keys to byte-string
+// values, implemented as a Compressed Hash-Array Mapped Prefix-tree
+// (CHAMP, Steindorfer & Vinju), the structure the paper uses for its map
+// and set datastructures (§4.2). Nodes carry two bitmaps — one for inline
+// key/value entries, one for child nodes — so the trie is broad (32-way)
+// but shallow, and an update path-copies only O(log32 n) small nodes.
+//
+// Layouts:
+//
+//	header    (TagMapHdr):       [count u64][root u64]
+//	node      (TagMapNode):      [dataMap u32][nodeMap u32]
+//	                             d × [keyBlob u64][valBlob u64]
+//	                             c × [child u64]
+//	collision (TagMapCollision): [n u32][pad u32] n × [keyBlob u64][valBlob u64]
+//
+// Keys and values are boxed in Blob blocks; a set stores Nil value slots.
+type Map struct {
+	h    *alloc.Heap
+	addr pmem.Addr
+}
+
+const (
+	mapHdrSize = 16
+	// collisionShift is the trie depth at which the 64-bit hash is
+	// exhausted and equal-hash keys fall into a collision bucket.
+	collisionShift = 60
+)
+
+type mapEntry struct{ key, val pmem.Addr }
+
+// NewMap allocates an empty durable map (flushed, not fenced).
+func NewMap(h *alloc.Heap) Map {
+	a := h.Alloc(mapHdrSize, TagMapHdr)
+	dev := h.Device()
+	dev.Zero(a, mapHdrSize)
+	dev.FlushRange(a-8, mapHdrSize+8)
+	return Map{h: h, addr: a}
+}
+
+// MapAt adopts an existing map header, e.g. after recovery.
+func MapAt(h *alloc.Heap, addr pmem.Addr) Map { return Map{h: h, addr: addr} }
+
+// Addr returns the header address of this version.
+func (m Map) Addr() pmem.Addr { return m.addr }
+
+// Heap returns the owning heap.
+func (m Map) Heap() *alloc.Heap { return m.h }
+
+// Len returns the number of entries.
+func (m Map) Len() uint64 { return m.h.Device().ReadU64(m.addr) }
+
+func (m Map) root() pmem.Addr { return pmem.Addr(m.h.Device().ReadU64(m.addr + 8)) }
+
+func newMapHdr(h *alloc.Heap, count uint64, root pmem.Addr) pmem.Addr {
+	a := h.Alloc(mapHdrSize, TagMapHdr)
+	dev := h.Device()
+	dev.WriteU64(a, count)
+	dev.WriteU64(a+8, uint64(root))
+	dev.FlushRange(a-8, mapHdrSize+8)
+	return a
+}
+
+// readMapNode loads a trie node into volatile form with bulk accesses.
+func readMapNode(h *alloc.Heap, a pmem.Addr) (dataMap, nodeMap uint32, entries []mapEntry, children []pmem.Addr) {
+	dev := h.Device()
+	var hdr [8]byte
+	dev.Read(a, hdr[:])
+	dataMap = binary.LittleEndian.Uint32(hdr[:])
+	nodeMap = binary.LittleEndian.Uint32(hdr[4:])
+	d := bits.OnesCount32(dataMap)
+	c := bits.OnesCount32(nodeMap)
+	body := make([]byte, d*16+c*8)
+	if len(body) > 0 {
+		dev.Read(a+8, body)
+	}
+	entries = make([]mapEntry, d)
+	for i := 0; i < d; i++ {
+		entries[i] = mapEntry{
+			pmem.Addr(binary.LittleEndian.Uint64(body[i*16:])),
+			pmem.Addr(binary.LittleEndian.Uint64(body[i*16+8:])),
+		}
+	}
+	children = make([]pmem.Addr, c)
+	for i := 0; i < c; i++ {
+		children[i] = pmem.Addr(binary.LittleEndian.Uint64(body[d*16+i*8:]))
+	}
+	return dataMap, nodeMap, entries, children
+}
+
+// buildMapNode allocates, writes, and flushes a trie node. Reference
+// transfers are the caller's responsibility.
+func buildMapNode(h *alloc.Heap, dataMap, nodeMap uint32, entries []mapEntry, children []pmem.Addr) pmem.Addr {
+	size := 8 + len(entries)*16 + len(children)*8
+	a := h.Alloc(size, TagMapNode)
+	buf := make([]byte, size)
+	binary.LittleEndian.PutUint32(buf, dataMap)
+	binary.LittleEndian.PutUint32(buf[4:], nodeMap)
+	for i, e := range entries {
+		binary.LittleEndian.PutUint64(buf[8+i*16:], uint64(e.key))
+		binary.LittleEndian.PutUint64(buf[8+i*16+8:], uint64(e.val))
+	}
+	base := 8 + len(entries)*16
+	for i, c := range children {
+		binary.LittleEndian.PutUint64(buf[base+i*8:], uint64(c))
+	}
+	dev := h.Device()
+	dev.Write(a, buf)
+	dev.FlushRange(a-8, size+8)
+	return a
+}
+
+// buildCollision allocates, writes, and flushes a collision bucket.
+func buildCollision(h *alloc.Heap, entries []mapEntry) pmem.Addr {
+	size := 8 + len(entries)*16
+	a := h.Alloc(size, TagMapCollision)
+	buf := make([]byte, size)
+	binary.LittleEndian.PutUint32(buf, uint32(len(entries)))
+	for i, e := range entries {
+		binary.LittleEndian.PutUint64(buf[8+i*16:], uint64(e.key))
+		binary.LittleEndian.PutUint64(buf[8+i*16+8:], uint64(e.val))
+	}
+	dev := h.Device()
+	dev.Write(a, buf)
+	dev.FlushRange(a-8, size+8)
+	return a
+}
+
+func readCollision(h *alloc.Heap, a pmem.Addr) []mapEntry {
+	dev := h.Device()
+	n := int(dev.ReadU32(a))
+	entries := make([]mapEntry, n)
+	for i := 0; i < n; i++ {
+		off := a + 8 + pmem.Addr(i*16)
+		entries[i] = mapEntry{pmem.Addr(dev.ReadU64(off)), pmem.Addr(dev.ReadU64(off + 8))}
+	}
+	return entries
+}
+
+// retainEntries retains every key and non-nil value in entries except the
+// entry at skip (-1 to retain all).
+func retainEntries(h *alloc.Heap, entries []mapEntry, skip int) {
+	for i, e := range entries {
+		if i == skip {
+			continue
+		}
+		h.Retain(e.key)
+		if e.val != pmem.Nil {
+			h.Retain(e.val)
+		}
+	}
+}
+
+func retainChildren(h *alloc.Heap, children []pmem.Addr, skip int) {
+	for i, c := range children {
+		if i != skip {
+			h.Retain(c)
+		}
+	}
+}
+
+// Get returns the value stored under key. The descent reads only the
+// node bitmaps and the one relevant slot per level — not the whole node —
+// matching how a real CHAMP lookup touches memory.
+func (m Map) Get(key []byte) ([]byte, bool) {
+	node := m.root()
+	if node == pmem.Nil {
+		return nil, false
+	}
+	dev := m.h.Device()
+	hash := hash64(key)
+	shift := uint(0)
+	for {
+		if m.h.Tag(node) == TagMapCollision {
+			for _, e := range readCollision(m.h, node) {
+				if blobEqual(m.h, e.key, key) {
+					if e.val == pmem.Nil {
+						return nil, true
+					}
+					return blobBytes(m.h, e.val), true
+				}
+			}
+			return nil, false
+		}
+		dataMap := dev.ReadU32(node)
+		nodeMap := dev.ReadU32(node + 4)
+		bit := uint32(1) << ((hash >> shift) & 31)
+		switch {
+		case dataMap&bit != 0:
+			di := bits.OnesCount32(dataMap & (bit - 1))
+			off := node + 8 + pmem.Addr(di*16)
+			keyBlob := pmem.Addr(dev.ReadU64(off))
+			if !blobEqual(m.h, keyBlob, key) {
+				return nil, false
+			}
+			valBlob := pmem.Addr(dev.ReadU64(off + 8))
+			if valBlob == pmem.Nil {
+				return nil, true
+			}
+			return blobBytes(m.h, valBlob), true
+		case nodeMap&bit != 0:
+			d := bits.OnesCount32(dataMap)
+			ni := bits.OnesCount32(nodeMap & (bit - 1))
+			node = pmem.Addr(dev.ReadU64(node + 8 + pmem.Addr(d*16+ni*8)))
+			shift += vecBits
+		default:
+			return nil, false
+		}
+	}
+}
+
+// Contains reports whether key is present.
+func (m Map) Contains(key []byte) bool {
+	_, ok := m.Get(key)
+	return ok
+}
+
+// Set returns a new version with key bound to val, and whether an existing
+// binding was replaced. Pass a nil val for set semantics (no value blob).
+func (m Map) Set(key, val []byte) (Map, bool) {
+	keyBlob := newBlob(m.h, key)
+	valBlob := pmem.Nil
+	if val != nil {
+		valBlob = newBlob(m.h, val)
+	}
+	root := m.root()
+	var newRoot pmem.Addr
+	var replaced bool
+	if root == pmem.Nil {
+		hash := hash64(key)
+		newRoot = buildMapNode(m.h, uint32(1)<<(hash&31), 0, []mapEntry{{keyBlob, valBlob}}, nil)
+	} else {
+		newRoot, replaced = m.insertRec(root, 0, hash64(key), key, keyBlob, valBlob)
+		if replaced {
+			m.h.Release(keyBlob) // existing key blob was reused instead
+		}
+	}
+	count := m.Len()
+	if !replaced {
+		count++
+	}
+	hdr := newMapHdr(m.h, count, newRoot)
+	return Map{h: m.h, addr: hdr}, replaced
+}
+
+// insertRec returns a new node with the binding applied. keyBlob/valBlob
+// references transfer into the new trie unless replaced is true, in which
+// case the existing key blob was retained instead and the caller must
+// release keyBlob.
+func (m Map) insertRec(node pmem.Addr, shift uint, hash uint64, key []byte, keyBlob, valBlob pmem.Addr) (pmem.Addr, bool) {
+	h := m.h
+	if h.Tag(node) == TagMapCollision {
+		entries := readCollision(h, node)
+		for i, e := range entries {
+			if blobEqual(h, e.key, key) {
+				out := make([]mapEntry, len(entries))
+				copy(out, entries)
+				out[i] = mapEntry{e.key, valBlob}
+				retainEntries(h, entries, i)
+				h.Retain(e.key) // key survives into the new bucket
+				return buildCollision(h, out), true
+			}
+		}
+		out := append(append([]mapEntry{}, entries...), mapEntry{keyBlob, valBlob})
+		retainEntries(h, entries, -1)
+		return buildCollision(h, out), false
+	}
+
+	dataMap, nodeMap, entries, children := readMapNode(h, node)
+	bit := uint32(1) << ((hash >> shift) & 31)
+	di := bits.OnesCount32(dataMap & (bit - 1))
+	ni := bits.OnesCount32(nodeMap & (bit - 1))
+
+	switch {
+	case dataMap&bit != 0:
+		e := entries[di]
+		if blobEqual(h, e.key, key) {
+			// Replace the value in place (new node, same shape).
+			out := make([]mapEntry, len(entries))
+			copy(out, entries)
+			out[di] = mapEntry{e.key, valBlob}
+			retainEntries(h, entries, di)
+			h.Retain(e.key)
+			retainChildren(h, children, -1)
+			return buildMapNode(h, dataMap, nodeMap, out, children), true
+		}
+		// Hash conflict at this level: push both entries one level down.
+		exHash := hash64(blobBytes(h, e.key))
+		h.Retain(e.key)
+		if e.val != pmem.Nil {
+			h.Retain(e.val)
+		}
+		sub := m.mergeTwo(shift+vecBits, e, exHash, mapEntry{keyBlob, valBlob}, hash)
+		outE := make([]mapEntry, 0, len(entries)-1)
+		outE = append(outE, entries[:di]...)
+		outE = append(outE, entries[di+1:]...)
+		outC := make([]pmem.Addr, 0, len(children)+1)
+		outC = append(outC, children[:ni]...)
+		outC = append(outC, sub)
+		outC = append(outC, children[ni:]...)
+		retainEntries(h, entries, di)
+		retainChildren(h, children, -1)
+		return buildMapNode(h, dataMap&^bit, nodeMap|bit, outE, outC), false
+
+	case nodeMap&bit != 0:
+		newChild, replaced := m.insertRec(children[ni], shift+vecBits, hash, key, keyBlob, valBlob)
+		outC := make([]pmem.Addr, len(children))
+		copy(outC, children)
+		outC[ni] = newChild
+		retainEntries(h, entries, -1)
+		retainChildren(h, children, ni)
+		return buildMapNode(h, dataMap, nodeMap, entries, outC), replaced
+
+	default:
+		outE := make([]mapEntry, 0, len(entries)+1)
+		outE = append(outE, entries[:di]...)
+		outE = append(outE, mapEntry{keyBlob, valBlob})
+		outE = append(outE, entries[di:]...)
+		retainEntries(h, entries, -1)
+		retainChildren(h, children, -1)
+		return buildMapNode(h, dataMap|bit, nodeMap, outE, children), false
+	}
+}
+
+// mergeTwo builds the smallest subtree separating two distinct keys whose
+// hashes collide at the parent level. Both entries' references transfer
+// into the result (the caller retains the pre-existing entry beforehand).
+func (m Map) mergeTwo(shift uint, e1 mapEntry, h1 uint64, e2 mapEntry, h2 uint64) pmem.Addr {
+	h := m.h
+	if shift >= collisionShift {
+		return buildCollision(h, []mapEntry{e1, e2})
+	}
+	i1 := uint32((h1 >> shift) & 31)
+	i2 := uint32((h2 >> shift) & 31)
+	if i1 == i2 {
+		sub := m.mergeTwo(shift+vecBits, e1, h1, e2, h2)
+		return buildMapNode(h, 0, uint32(1)<<i1, nil, []pmem.Addr{sub})
+	}
+	if i1 < i2 {
+		return buildMapNode(h, uint32(1)<<i1|uint32(1)<<i2, 0, []mapEntry{e1, e2}, nil)
+	}
+	return buildMapNode(h, uint32(1)<<i1|uint32(1)<<i2, 0, []mapEntry{e2, e1}, nil)
+}
+
+// Delete returns a new version without key, and whether the key was
+// present. Deleting an absent key returns the receiver unchanged with no
+// new version allocated.
+func (m Map) Delete(key []byte) (Map, bool) {
+	root := m.root()
+	if root == pmem.Nil {
+		return m, false
+	}
+	newRoot, removed := m.deleteRec(root, 0, hash64(key), key)
+	if !removed {
+		return m, false
+	}
+	hdr := newMapHdr(m.h, m.Len()-1, newRoot)
+	return Map{h: m.h, addr: hdr}, true
+}
+
+// deleteRec returns the replacement node (Nil if the subtree became empty)
+// and whether the key was found. For simplicity nodes are not re-inlined
+// into their parents on deletion (lookup correctness is unaffected; the
+// trie is merely non-canonical afterwards).
+func (m Map) deleteRec(node pmem.Addr, shift uint, hash uint64, key []byte) (pmem.Addr, bool) {
+	h := m.h
+	if h.Tag(node) == TagMapCollision {
+		entries := readCollision(h, node)
+		for i, e := range entries {
+			if blobEqual(h, e.key, key) {
+				if len(entries) == 1 {
+					return pmem.Nil, true
+				}
+				out := make([]mapEntry, 0, len(entries)-1)
+				out = append(out, entries[:i]...)
+				out = append(out, entries[i+1:]...)
+				retainEntries(h, entries, i)
+				return buildCollision(h, out), true
+			}
+		}
+		return pmem.Nil, false
+	}
+
+	dataMap, nodeMap, entries, children := readMapNode(h, node)
+	bit := uint32(1) << ((hash >> shift) & 31)
+	di := bits.OnesCount32(dataMap & (bit - 1))
+	ni := bits.OnesCount32(nodeMap & (bit - 1))
+
+	switch {
+	case dataMap&bit != 0:
+		if !blobEqual(h, entries[di].key, key) {
+			return pmem.Nil, false
+		}
+		if len(entries) == 1 && len(children) == 0 {
+			return pmem.Nil, true
+		}
+		outE := make([]mapEntry, 0, len(entries)-1)
+		outE = append(outE, entries[:di]...)
+		outE = append(outE, entries[di+1:]...)
+		retainEntries(h, entries, di)
+		retainChildren(h, children, -1)
+		return buildMapNode(h, dataMap&^bit, nodeMap, outE, children), true
+
+	case nodeMap&bit != 0:
+		newChild, removed := m.deleteRec(children[ni], shift+vecBits, hash, key)
+		if !removed {
+			return pmem.Nil, false
+		}
+		if newChild == pmem.Nil {
+			if len(entries) == 0 && len(children) == 1 {
+				return pmem.Nil, true
+			}
+			outC := make([]pmem.Addr, 0, len(children)-1)
+			outC = append(outC, children[:ni]...)
+			outC = append(outC, children[ni+1:]...)
+			retainEntries(h, entries, -1)
+			retainChildren(h, children, ni)
+			return buildMapNode(h, dataMap, nodeMap&^bit, entries, outC), true
+		}
+		outC := make([]pmem.Addr, len(children))
+		copy(outC, children)
+		outC[ni] = newChild
+		retainEntries(h, entries, -1)
+		retainChildren(h, children, ni)
+		return buildMapNode(h, dataMap, nodeMap, entries, outC), true
+
+	default:
+		return pmem.Nil, false
+	}
+}
+
+// Range calls f for every entry until f returns false. Iteration order is
+// trie order (effectively hash order). Values are nil for set members.
+func (m Map) Range(f func(key, val []byte) bool) {
+	root := m.root()
+	if root == pmem.Nil {
+		return
+	}
+	m.rangeRec(root, f)
+}
+
+func (m Map) rangeRec(node pmem.Addr, f func(key, val []byte) bool) bool {
+	h := m.h
+	if h.Tag(node) == TagMapCollision {
+		for _, e := range readCollision(h, node) {
+			if !emitEntry(h, e, f) {
+				return false
+			}
+		}
+		return true
+	}
+	_, _, entries, children := readMapNode(h, node)
+	for _, e := range entries {
+		if !emitEntry(h, e, f) {
+			return false
+		}
+	}
+	for _, c := range children {
+		if !m.rangeRec(c, f) {
+			return false
+		}
+	}
+	return true
+}
+
+func emitEntry(h *alloc.Heap, e mapEntry, f func(key, val []byte) bool) bool {
+	var val []byte
+	if e.val != pmem.Nil {
+		val = blobBytes(h, e.val)
+	}
+	return f(blobBytes(h, e.key), val)
+}
+
+func walkMapHdr(h *alloc.Heap, a pmem.Addr, visit func(pmem.Addr)) {
+	if root := pmem.Addr(h.Device().ReadU64(a + 8)); root != pmem.Nil {
+		visit(root)
+	}
+}
+
+func walkMapNode(h *alloc.Heap, a pmem.Addr, visit func(pmem.Addr)) {
+	dataMap, _, entries, children := readMapNode(h, a)
+	_ = dataMap
+	for _, e := range entries {
+		visit(e.key)
+		if e.val != pmem.Nil {
+			visit(e.val)
+		}
+	}
+	for _, c := range children {
+		visit(c)
+	}
+}
+
+func walkMapCollision(h *alloc.Heap, a pmem.Addr, visit func(pmem.Addr)) {
+	for _, e := range readCollision(h, a) {
+		visit(e.key)
+		if e.val != pmem.Nil {
+			visit(e.val)
+		}
+	}
+}
+
+// Set is a purely functional hash set of byte-string keys, a Map whose
+// value slots are Nil (§4.2 lists set among the CHAMP-backed structures).
+type Set struct{ m Map }
+
+// NewSet allocates an empty durable set.
+func NewSet(h *alloc.Heap) Set { return Set{m: NewMap(h)} }
+
+// SetDSAt adopts an existing set header, e.g. after recovery.
+func SetDSAt(h *alloc.Heap, addr pmem.Addr) Set { return Set{m: MapAt(h, addr)} }
+
+// Addr returns the header address of this version.
+func (s Set) Addr() pmem.Addr { return s.m.Addr() }
+
+// Heap returns the owning heap.
+func (s Set) Heap() *alloc.Heap { return s.m.Heap() }
+
+// Len returns the number of members.
+func (s Set) Len() uint64 { return s.m.Len() }
+
+// Insert returns a new version containing key and whether key was already
+// a member.
+func (s Set) Insert(key []byte) (Set, bool) {
+	m, existed := s.m.Set(key, nil)
+	return Set{m: m}, existed
+}
+
+// Contains reports membership.
+func (s Set) Contains(key []byte) bool { return s.m.Contains(key) }
+
+// Delete returns a new version without key and whether it was a member.
+func (s Set) Delete(key []byte) (Set, bool) {
+	m, removed := s.m.Delete(key)
+	return Set{m: m}, removed
+}
+
+// Range calls f for every member until f returns false.
+func (s Set) Range(f func(key []byte) bool) {
+	s.m.Range(func(k, _ []byte) bool { return f(k) })
+}

@@ -1,0 +1,419 @@
+package funcds
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"github.com/mod-ds/mod/internal/pmem"
+)
+
+func key64(i uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, i)
+	return b
+}
+
+func val32(i uint64) []byte {
+	b := make([]byte, 32)
+	binary.LittleEndian.PutUint64(b, i)
+	return b
+}
+
+func TestMapSetGet(t *testing.T) {
+	h := newTestHeap(t)
+	m := NewMap(h)
+	const n = 3000
+	for i := uint64(0); i < n; i++ {
+		var replaced bool
+		m, replaced = m.Set(key64(i), val32(i))
+		if replaced {
+			t.Fatalf("fresh key %d reported replaced", i)
+		}
+	}
+	if m.Len() != n {
+		t.Fatalf("Len = %d, want %d", m.Len(), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		got, ok := m.Get(key64(i))
+		if !ok {
+			t.Fatalf("key %d missing", i)
+		}
+		if binary.LittleEndian.Uint64(got) != i {
+			t.Fatalf("key %d has wrong value", i)
+		}
+	}
+	if _, ok := m.Get(key64(n + 5)); ok {
+		t.Fatal("absent key found")
+	}
+}
+
+func TestMapReplaceValue(t *testing.T) {
+	h := newTestHeap(t)
+	m := NewMap(h)
+	m, _ = m.Set([]byte("k"), []byte("v1"))
+	m2, replaced := m.Set([]byte("k"), []byte("v2"))
+	if !replaced {
+		t.Fatal("replace not reported")
+	}
+	if m2.Len() != 1 {
+		t.Fatalf("Len = %d after replace, want 1", m2.Len())
+	}
+	got, _ := m2.Get([]byte("k"))
+	if string(got) != "v2" {
+		t.Fatalf("value = %q, want v2", got)
+	}
+	old, _ := m.Get([]byte("k"))
+	if string(old) != "v1" {
+		t.Fatalf("old version value = %q, want v1", old)
+	}
+}
+
+func TestMapDelete(t *testing.T) {
+	h := newTestHeap(t)
+	m := NewMap(h)
+	for i := uint64(0); i < 500; i++ {
+		m, _ = m.Set(key64(i), val32(i))
+	}
+	for i := uint64(0); i < 500; i += 2 {
+		var removed bool
+		m, removed = m.Delete(key64(i))
+		if !removed {
+			t.Fatalf("key %d not removed", i)
+		}
+	}
+	if m.Len() != 250 {
+		t.Fatalf("Len = %d, want 250", m.Len())
+	}
+	for i := uint64(0); i < 500; i++ {
+		_, ok := m.Get(key64(i))
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("key %d presence = %v, want %v", i, ok, want)
+		}
+	}
+	if _, removed := m.Delete(key64(1000)); removed {
+		t.Fatal("removing absent key reported removed")
+	}
+}
+
+func TestMapRange(t *testing.T) {
+	h := newTestHeap(t)
+	m := NewMap(h)
+	want := map[string]string{}
+	for i := uint64(0); i < 200; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		v := fmt.Sprintf("val-%d", i)
+		m, _ = m.Set([]byte(k), []byte(v))
+		want[k] = v
+	}
+	got := map[string]string{}
+	m.Range(func(k, v []byte) bool {
+		got[string(k)] = string(v)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("Range[%q] = %q, want %q", k, got[k], v)
+		}
+	}
+	// Early termination.
+	count := 0
+	m.Range(func(_, _ []byte) bool { count++; return count < 10 })
+	if count != 10 {
+		t.Fatalf("early-terminated Range visited %d, want 10", count)
+	}
+}
+
+func TestMapOldVersionsIndependent(t *testing.T) {
+	h := newTestHeap(t)
+	versions := []Map{NewMap(h)}
+	for i := uint64(1); i <= 50; i++ {
+		next, _ := versions[len(versions)-1].Set(key64(i), val32(i))
+		versions = append(versions, next)
+	}
+	for vi, m := range versions {
+		if m.Len() != uint64(vi) {
+			t.Fatalf("version %d has Len %d", vi, m.Len())
+		}
+		for i := uint64(1); i <= 50; i++ {
+			_, ok := m.Get(key64(i))
+			if want := i <= uint64(vi); ok != want {
+				t.Fatalf("version %d key %d presence %v, want %v", vi, i, ok, want)
+			}
+		}
+	}
+}
+
+func TestMapStructuralSharingSpaceOverhead(t *testing.T) {
+	h := newTestHeap(t)
+	m := NewMap(h)
+	for i := uint64(0); i < 50_000; i++ {
+		old := m.Addr()
+		m, _ = m.Set(key64(i), val32(i))
+		// Discard old versions as the Basic interface would,
+		// draining the quarantine every few operations.
+		h.Release(old)
+		if i%64 == 0 {
+			h.Fence()
+		}
+	}
+	h.Fence()
+	live := h.Stats().LiveBytes
+	before := h.Stats().CumBytes
+	m2, _ := m.Set(key64(999_999), val32(1))
+	grew := h.Stats().CumBytes - before
+	_ = m2
+	// §6.5: each update needs ~0.00002–0.00004× of the structure.
+	ratio := float64(grew) / float64(live)
+	if ratio > 0.001 {
+		t.Fatalf("shadow overhead ratio %.6f too large (grew %d of %d live)", ratio, grew, live)
+	}
+}
+
+func TestMapReclamationReturnsToBaseline(t *testing.T) {
+	h := newTestHeap(t)
+	m := NewMap(h)
+	for i := uint64(0); i < 2000; i++ {
+		old := m.Addr()
+		m, _ = m.Set(key64(i), val32(i))
+		h.Release(old)
+		h.Fence()
+	}
+	// Delete everything, then release the final version: nothing live.
+	for i := uint64(0); i < 2000; i++ {
+		old := m.Addr()
+		var removed bool
+		m, removed = m.Delete(key64(i))
+		if !removed {
+			t.Fatalf("key %d missing during teardown", i)
+		}
+		h.Release(old)
+		h.Fence()
+	}
+	h.Release(m.Addr())
+	h.Fence()
+	if got := h.Stats().LiveBytes; got != 0 {
+		t.Fatalf("LiveBytes = %d after releasing everything, want 0", got)
+	}
+}
+
+func TestMapNoFencesAllFlushed(t *testing.T) {
+	h := newTestHeap(t)
+	dev := h.Device()
+	before := dev.Stats()
+	m := NewMap(h)
+	for i := uint64(0); i < 300; i++ {
+		m, _ = m.Set(key64(i), val32(i))
+	}
+	delta := dev.Stats().Sub(before)
+	if delta.Fences != 0 {
+		t.Fatalf("pure map ops issued %d fences", delta.Fences)
+	}
+	if dev.DirtyLines() != 0 {
+		t.Fatalf("%d dirty lines left unflushed", dev.DirtyLines())
+	}
+}
+
+func TestMapCollisionBuckets(t *testing.T) {
+	// Drive the collision machinery directly: merge two distinct keys
+	// whose hashes agree on all trie levels (shift >= collisionShift).
+	h := newTestHeap(t)
+	m := NewMap(h)
+	k1 := newBlob(h, []byte("alpha"))
+	k2 := newBlob(h, []byte("beta"))
+	v1 := newBlob(h, []byte("1"))
+	v2 := newBlob(h, []byte("2"))
+	col := m.mergeTwo(collisionShift, mapEntry{k1, v1}, 0x1234, mapEntry{k2, v2}, 0x1234)
+	if h.Tag(col) != TagMapCollision {
+		t.Fatalf("mergeTwo at max depth built tag %d, want collision", h.Tag(col))
+	}
+	// Insert a third colliding key through insertRec.
+	k3 := newBlob(h, []byte("gamma"))
+	v3 := newBlob(h, []byte("3"))
+	col2, replaced := m.insertRec(col, collisionShift, 0x1234, []byte("gamma"), k3, v3)
+	if replaced {
+		t.Fatal("new key reported replaced")
+	}
+	entries := readCollision(h, col2)
+	if len(entries) != 3 {
+		t.Fatalf("collision bucket has %d entries, want 3", len(entries))
+	}
+	// Replace within the bucket.
+	v4 := newBlob(h, []byte("4"))
+	k2b := newBlob(h, []byte("beta"))
+	col3, replaced := m.insertRec(col2, collisionShift, 0x1234, []byte("beta"), k2b, v4)
+	if !replaced {
+		t.Fatal("existing key not reported replaced")
+	}
+	h.Release(k2b)
+	found := false
+	for _, e := range readCollision(h, col3) {
+		if blobEqual(h, e.key, []byte("beta")) {
+			found = true
+			if string(blobBytes(h, e.val)) != "4" {
+				t.Fatalf("beta value = %q, want 4", blobBytes(h, e.val))
+			}
+		}
+	}
+	if !found {
+		t.Fatal("beta missing from collision bucket")
+	}
+	// Delete from the bucket.
+	col4, removed := m.deleteRec(col3, collisionShift, 0x1234, []byte("alpha"))
+	if !removed || col4 == pmem.Nil {
+		t.Fatalf("delete from bucket: removed=%v node=%#x", removed, uint64(col4))
+	}
+	if got := len(readCollision(h, col4)); got != 2 {
+		t.Fatalf("bucket has %d entries after delete, want 2", got)
+	}
+}
+
+func TestMapMergeTwoDivergingHashes(t *testing.T) {
+	h := newTestHeap(t)
+	m := NewMap(h)
+	k1 := newBlob(h, []byte("a"))
+	k2 := newBlob(h, []byte("b"))
+	// Hashes differ only at the second level (bits 5-9).
+	h1 := uint64(0b00001_00001)
+	h2 := uint64(0b00010_00001)
+	sub := m.mergeTwo(vecBits, mapEntry{k1, pmem.Nil}, h1, mapEntry{k2, pmem.Nil}, h2)
+	if h.Tag(sub) != TagMapNode {
+		t.Fatalf("mergeTwo built tag %d, want map node", h.Tag(sub))
+	}
+	dataMap, nodeMap, entries, _ := readMapNode(h, sub)
+	if nodeMap != 0 || dataMap != 0b110 || len(entries) != 2 {
+		t.Fatalf("merged node dataMap=%b nodeMap=%b entries=%d", dataMap, nodeMap, len(entries))
+	}
+	if !blobEqual(h, entries[0].key, []byte("a")) {
+		t.Fatal("entries not index-ordered")
+	}
+}
+
+func TestSetInsertContainsDelete(t *testing.T) {
+	h := newTestHeap(t)
+	s := NewSet(h)
+	for i := uint64(0); i < 1000; i++ {
+		var existed bool
+		s, existed = s.Insert(key64(i))
+		if existed {
+			t.Fatalf("fresh key %d reported existing", i)
+		}
+	}
+	if s.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", s.Len())
+	}
+	s2, existed := s.Insert(key64(5))
+	if !existed || s2.Len() != 1000 {
+		t.Fatal("duplicate insert mishandled")
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if !s.Contains(key64(i)) {
+			t.Fatalf("member %d missing", i)
+		}
+	}
+	if s.Contains(key64(2000)) {
+		t.Fatal("non-member found")
+	}
+	s3, removed := s.Delete(key64(7))
+	if !removed || s3.Contains(key64(7)) {
+		t.Fatal("delete failed")
+	}
+	count := 0
+	s3.Range(func(_ []byte) bool { count++; return true })
+	if count != 999 {
+		t.Fatalf("Range visited %d members, want 999", count)
+	}
+}
+
+func TestMapQuickAgainstModel(t *testing.T) {
+	h := newTestHeap(t)
+	type op struct {
+		Key uint8
+		Val uint16
+		Del bool
+	}
+	f := func(ops []op) bool {
+		m := NewMap(h)
+		model := map[uint8]uint16{}
+		for _, o := range ops {
+			k := key64(uint64(o.Key))
+			if o.Del {
+				var removed bool
+				m, removed = m.Delete(k)
+				_, had := model[o.Key]
+				if removed != had {
+					return false
+				}
+				delete(model, o.Key)
+			} else {
+				v := make([]byte, 2)
+				binary.LittleEndian.PutUint16(v, o.Val)
+				var replaced bool
+				m, replaced = m.Set(k, v)
+				_, had := model[o.Key]
+				if replaced != had {
+					return false
+				}
+				model[o.Key] = o.Val
+			}
+		}
+		if m.Len() != uint64(len(model)) {
+			return false
+		}
+		for k, v := range model {
+			got, ok := m.Get(key64(uint64(k)))
+			if !ok || binary.LittleEndian.Uint16(got) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapRecoveryRoundTrip(t *testing.T) {
+	cfg := pmem.DefaultConfig(64 << 20)
+	cfg.TrackDurable = true
+	dev := pmem.New(cfg)
+	h := allocFormat(dev)
+	m := NewMap(h)
+	for i := uint64(0); i < 1500; i++ {
+		m, _ = m.Set(key64(i), val32(i))
+	}
+	slot, err := h.RootSlot("map")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Sfence()
+	h.SetRoot(slot, m.Addr())
+	dev.Sfence()
+
+	img := dev.CrashImage(pmem.CrashFencedOnly, 1)
+	dev2 := pmem.NewFromImage(pmem.DefaultConfig(64<<20), img)
+	h2 := allocOpen(t, dev2)
+	RegisterWalkers(h2)
+	rs, err := h2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Roots != 1 {
+		t.Fatalf("Roots = %d, want 1", rs.Roots)
+	}
+	slot2, _ := h2.RootSlot("map")
+	m2 := MapAt(h2, h2.Root(slot2))
+	if m2.Len() != 1500 {
+		t.Fatalf("recovered Len = %d, want 1500", m2.Len())
+	}
+	for i := uint64(0); i < 1500; i += 97 {
+		got, ok := m2.Get(key64(i))
+		if !ok || binary.LittleEndian.Uint64(got) != i {
+			t.Fatalf("recovered key %d wrong (ok=%v)", i, ok)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Package funcds implements purely functional datastructures laid out in
+// simulated persistent memory: a cons-list stack, a banker's two-list
+// queue, a 32-way bit-partitioned trie vector, and a CHAMP hash-trie map
+// and set. These are the "existing functional datastructures" of §4.2 of
+// the MOD paper, already adapted per its recipe:
+//
+//  1. state is allocated from the persistent heap (package alloc),
+//  2. nothing lives on the volatile stack across operations, and
+//  3. every update operation flushes all modified PM cachelines with
+//     weakly ordered clwbs and issues no ordering points — the single
+//     fence belongs to the Commit step (package core).
+//
+// Every update is a pure function: it returns a new version (shadow) and
+// leaves the original untouched, sharing unmodified subtrees structurally.
+// Reference counts on reused children are maintained through the heap; the
+// returned version owns one reference to its new root, which the caller
+// releases when the version is discarded or superseded.
+package funcds
+
+import (
+	"github.com/mod-ds/mod/internal/alloc"
+	"github.com/mod-ds/mod/internal/pmem"
+)
+
+// Node type tags, used by the allocator's reachability walkers.
+const (
+	TagBlob uint8 = 1 + iota
+	TagStackHdr
+	TagListNode
+	TagQueueHdr
+	TagVecHdr
+	TagVecNode
+	TagVecLeaf
+	TagMapHdr
+	TagMapNode
+	TagMapCollision
+
+	// TagParent is reserved for package core's parent objects
+	// (CommitSiblings); its walker is registered there.
+	TagParent
+)
+
+// RegisterWalkers installs the child-enumeration functions for every node
+// type in this package on the heap. It must be called after Format or
+// before Recover.
+func RegisterWalkers(h *alloc.Heap) {
+	h.RegisterWalker(TagBlob, walkNone)
+	h.RegisterWalker(TagStackHdr, walkStackHdr)
+	h.RegisterWalker(TagListNode, walkListNode)
+	h.RegisterWalker(TagQueueHdr, walkQueueHdr)
+	h.RegisterWalker(TagVecHdr, walkVecHdr)
+	h.RegisterWalker(TagVecNode, walkVecNode)
+	h.RegisterWalker(TagVecLeaf, walkNone)
+	h.RegisterWalker(TagMapHdr, walkMapHdr)
+	h.RegisterWalker(TagMapNode, walkMapNode)
+	h.RegisterWalker(TagMapCollision, walkMapCollision)
+}
+
+func walkNone(*alloc.Heap, pmem.Addr, func(pmem.Addr)) {}
+
+// Blob layout: [len u32][pad u32][bytes...]. Blobs box variable-length
+// keys and values; they are immutable once flushed.
+const blobHdrSize = 8
+
+// newBlob allocates, writes, and flushes a byte-string box.
+func newBlob(h *alloc.Heap, b []byte) pmem.Addr {
+	a := h.Alloc(blobHdrSize+len(b), TagBlob)
+	dev := h.Device()
+	dev.WriteU32(a, uint32(len(b)))
+	dev.WriteU32(a+4, 0)
+	if len(b) > 0 {
+		dev.Write(a+blobHdrSize, b)
+	}
+	dev.FlushRange(a-8, blobHdrSize+len(b)+8) // include the block header line
+	return a
+}
+
+// blobLen returns the length of the blob at a.
+func blobLen(h *alloc.Heap, a pmem.Addr) int {
+	return int(h.Device().ReadU32(a))
+}
+
+// blobBytes reads the blob's contents.
+func blobBytes(h *alloc.Heap, a pmem.Addr) []byte {
+	n := blobLen(h, a)
+	b := make([]byte, n)
+	h.Device().Read(a+blobHdrSize, b)
+	return b
+}
+
+// blobEqual compares the blob at a with b without allocating.
+func blobEqual(h *alloc.Heap, a pmem.Addr, b []byte) bool {
+	if blobLen(h, a) != len(b) {
+		return false
+	}
+	if len(b) == 0 {
+		return true
+	}
+	got := make([]byte, len(b))
+	h.Device().Read(a+blobHdrSize, got)
+	for i := range b {
+		if got[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// hash64 is FNV-1a, the hash used to place keys in the CHAMP trie.
+func hash64(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,163 @@
+package funcds
+
+import (
+	"github.com/mod-ds/mod/internal/alloc"
+	"github.com/mod-ds/mod/internal/pmem"
+)
+
+// Queue is a purely functional FIFO queue of 8-byte elements, implemented
+// as the classic two-list (banker's) queue: elements are enqueued onto a
+// rear cons list and dequeued from a front cons list; when the front list
+// is exhausted, the rear list is reversed into a fresh front list. The
+// reversal is why "pop operations in the MOD queue occasionally require a
+// reversal of one of the internal linked lists resulting in greater
+// flushing activity" (§6.4).
+//
+// Layout:
+//
+//	header (TagQueueHdr): [front u64][rear u64][frontLen u64][rearLen u64]
+//	nodes reuse TagListNode from the stack.
+type Queue struct {
+	h    *alloc.Heap
+	addr pmem.Addr
+}
+
+const queueHdrSize = 32
+
+// NewQueue allocates an empty durable queue (flushed, not fenced).
+func NewQueue(h *alloc.Heap) Queue {
+	a := h.Alloc(queueHdrSize, TagQueueHdr)
+	dev := h.Device()
+	dev.Zero(a, queueHdrSize)
+	dev.FlushRange(a-8, queueHdrSize+8)
+	return Queue{h: h, addr: a}
+}
+
+// QueueAt adopts an existing queue header, e.g. after recovery.
+func QueueAt(h *alloc.Heap, addr pmem.Addr) Queue { return Queue{h: h, addr: addr} }
+
+// Addr returns the header address of this version.
+func (q Queue) Addr() pmem.Addr { return q.addr }
+
+// Heap returns the owning heap.
+func (q Queue) Heap() *alloc.Heap { return q.h }
+
+func (q Queue) fields() (front, rear pmem.Addr, flen, rlen uint64) {
+	dev := q.h.Device()
+	return pmem.Addr(dev.ReadU64(q.addr)), pmem.Addr(dev.ReadU64(q.addr + 8)),
+		dev.ReadU64(q.addr + 16), dev.ReadU64(q.addr + 24)
+}
+
+// Len returns the number of elements.
+func (q Queue) Len() uint64 {
+	_, _, flen, rlen := q.fields()
+	return flen + rlen
+}
+
+func newQueueHdr(h *alloc.Heap, front, rear pmem.Addr, flen, rlen uint64) pmem.Addr {
+	a := h.Alloc(queueHdrSize, TagQueueHdr)
+	dev := h.Device()
+	dev.WriteU64(a, uint64(front))
+	dev.WriteU64(a+8, uint64(rear))
+	dev.WriteU64(a+16, flen)
+	dev.WriteU64(a+24, rlen)
+	dev.FlushRange(a-8, queueHdrSize+8)
+	return a
+}
+
+// Push returns a new version with val appended at the tail.
+func (q Queue) Push(val uint64) Queue {
+	front, rear, flen, rlen := q.fields()
+	node := newListNode(q.h, rear, val) // retains old rear
+	q.h.Retain(front)
+	hdr := newQueueHdr(q.h, front, node, flen, rlen+1)
+	return Queue{h: q.h, addr: hdr}
+}
+
+// Pop returns a new version without the head element, the element, and
+// whether the queue was non-empty.
+func (q Queue) Pop() (Queue, uint64, bool) {
+	front, rear, flen, rlen := q.fields()
+	dev := q.h.Device()
+	if flen == 0 && rlen == 0 {
+		return q, 0, false
+	}
+	if flen > 0 {
+		next := pmem.Addr(dev.ReadU64(front))
+		val := dev.ReadU64(front + 8)
+		q.h.Retain(next)
+		q.h.Retain(rear)
+		hdr := newQueueHdr(q.h, next, rear, flen-1, rlen)
+		return Queue{h: q.h, addr: hdr}, val, true
+	}
+	// Front exhausted: reverse the rear list into a new front list,
+	// excluding the oldest node, whose value is the pop result. The new
+	// nodes are fresh allocations; nothing of the old version is reused.
+	var newFront pmem.Addr
+	cur := rear
+	for {
+		next := pmem.Addr(dev.ReadU64(cur))
+		if next == pmem.Nil {
+			break // cur is the oldest element
+		}
+		newFront = newListNode(q.h, newFront, dev.ReadU64(cur+8))
+		// newListNode retained newFront; drop the extra reference so the
+		// chain is singly owned by its successor.
+		if prev := pmem.Addr(dev.ReadU64(newFront)); prev != pmem.Nil {
+			q.h.Release(prev)
+		}
+		cur = next
+	}
+	val := dev.ReadU64(cur + 8)
+	hdr := newQueueHdr(q.h, newFront, pmem.Nil, rlen-1, 0)
+	return Queue{h: q.h, addr: hdr}, val, true
+}
+
+// Peek returns the head element without modifying the queue.
+func (q Queue) Peek() (uint64, bool) {
+	front, rear, flen, rlen := q.fields()
+	dev := q.h.Device()
+	if flen > 0 {
+		return dev.ReadU64(front + 8), true
+	}
+	if rlen == 0 {
+		return 0, false
+	}
+	// Oldest element is the tail of the rear list.
+	cur := rear
+	for {
+		next := pmem.Addr(dev.ReadU64(cur))
+		if next == pmem.Nil {
+			return dev.ReadU64(cur + 8), true
+		}
+		cur = next
+	}
+}
+
+// Elements returns the queue contents from head to tail (for tests).
+func (q Queue) Elements() []uint64 {
+	front, rear, _, _ := q.fields()
+	dev := q.h.Device()
+	var out []uint64
+	for n := front; n != pmem.Nil; n = pmem.Addr(dev.ReadU64(n)) {
+		out = append(out, dev.ReadU64(n+8))
+	}
+	var rev []uint64
+	for n := rear; n != pmem.Nil; n = pmem.Addr(dev.ReadU64(n)) {
+		rev = append(rev, dev.ReadU64(n+8))
+	}
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	return out
+}
+
+func walkQueueHdr(h *alloc.Heap, a pmem.Addr, visit func(pmem.Addr)) {
+	dev := h.Device()
+	if front := pmem.Addr(dev.ReadU64(a)); front != pmem.Nil {
+		visit(front)
+	}
+	if rear := pmem.Addr(dev.ReadU64(a + 8)); rear != pmem.Nil {
+		visit(rear)
+	}
+}

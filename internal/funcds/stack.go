@@ -1,0 +1,125 @@
+package funcds
+
+import (
+	"github.com/mod-ds/mod/internal/alloc"
+	"github.com/mod-ds/mod/internal/pmem"
+)
+
+// Stack is a purely functional LIFO stack of 8-byte elements, implemented
+// as a cons list (Fig. 1 of the paper). Push and Pop are pure: they return
+// a new version sharing all surviving nodes with the original.
+//
+// Layout:
+//
+//	header (TagStackHdr): [head u64][len u64]
+//	node   (TagListNode): [next u64][value u64]
+type Stack struct {
+	h    *alloc.Heap
+	addr pmem.Addr
+}
+
+const (
+	stackHdrSize = 16
+	listNodeSize = 16
+)
+
+// NewStack allocates an empty durable stack (flushed, not fenced).
+func NewStack(h *alloc.Heap) Stack {
+	a := h.Alloc(stackHdrSize, TagStackHdr)
+	dev := h.Device()
+	dev.WriteU64(a, 0)
+	dev.WriteU64(a+8, 0)
+	dev.FlushRange(a-8, stackHdrSize+8)
+	return Stack{h: h, addr: a}
+}
+
+// StackAt adopts an existing stack header, e.g. after recovery.
+func StackAt(h *alloc.Heap, addr pmem.Addr) Stack { return Stack{h: h, addr: addr} }
+
+// Addr returns the header address of this version.
+func (s Stack) Addr() pmem.Addr { return s.addr }
+
+// Heap returns the owning heap.
+func (s Stack) Heap() *alloc.Heap { return s.h }
+
+// Len returns the number of elements.
+func (s Stack) Len() uint64 { return s.h.Device().ReadU64(s.addr + 8) }
+
+func (s Stack) head() pmem.Addr { return pmem.Addr(s.h.Device().ReadU64(s.addr)) }
+
+// newListNode allocates and flushes a cons cell. The next pointer must
+// already be owned by the caller (this function retains it).
+func newListNode(h *alloc.Heap, next pmem.Addr, val uint64) pmem.Addr {
+	a := h.Alloc(listNodeSize, TagListNode)
+	dev := h.Device()
+	dev.WriteU64(a, uint64(next))
+	dev.WriteU64(a+8, val)
+	dev.FlushRange(a-8, listNodeSize+8)
+	h.Retain(next)
+	return a
+}
+
+func newStackHdr(h *alloc.Heap, head pmem.Addr, n uint64) pmem.Addr {
+	a := h.Alloc(stackHdrSize, TagStackHdr)
+	dev := h.Device()
+	dev.WriteU64(a, uint64(head))
+	dev.WriteU64(a+8, n)
+	dev.FlushRange(a-8, stackHdrSize+8)
+	return a
+}
+
+// Push returns a new version with val on top. The node and header writes
+// are flushed with no ordering point.
+func (s Stack) Push(val uint64) Stack {
+	node := newListNode(s.h, s.head(), val)
+	hdr := newStackHdr(s.h, node, s.Len()+1)
+	// The header owns the node: transfer the constructor's reference.
+	return Stack{h: s.h, addr: hdr}
+}
+
+// Pop returns a new version without the top element, the element, and
+// whether the stack was non-empty. Popping an empty stack returns the
+// receiver unchanged.
+func (s Stack) Pop() (Stack, uint64, bool) {
+	head := s.head()
+	if head == pmem.Nil {
+		return s, 0, false
+	}
+	dev := s.h.Device()
+	next := pmem.Addr(dev.ReadU64(head))
+	val := dev.ReadU64(head + 8)
+	s.h.Retain(next)
+	hdr := newStackHdr(s.h, next, s.Len()-1)
+	return Stack{h: s.h, addr: hdr}, val, true
+}
+
+// Peek returns the top element without modifying the stack.
+func (s Stack) Peek() (uint64, bool) {
+	head := s.head()
+	if head == pmem.Nil {
+		return 0, false
+	}
+	return s.h.Device().ReadU64(head + 8), true
+}
+
+// Elements returns the stack contents from top to bottom (for tests).
+func (s Stack) Elements() []uint64 {
+	var out []uint64
+	dev := s.h.Device()
+	for n := s.head(); n != pmem.Nil; n = pmem.Addr(dev.ReadU64(n)) {
+		out = append(out, dev.ReadU64(n+8))
+	}
+	return out
+}
+
+func walkStackHdr(h *alloc.Heap, a pmem.Addr, visit func(pmem.Addr)) {
+	if head := pmem.Addr(h.Device().ReadU64(a)); head != pmem.Nil {
+		visit(head)
+	}
+}
+
+func walkListNode(h *alloc.Heap, a pmem.Addr, visit func(pmem.Addr)) {
+	if next := pmem.Addr(h.Device().ReadU64(a)); next != pmem.Nil {
+		visit(next)
+	}
+}

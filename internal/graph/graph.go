@@ -1,0 +1,146 @@
+// Package graph provides the graph substrate for the bfs workload. The
+// paper runs breadth-first search over the Flickr crawl (0.82M nodes,
+// 9.84M edges, Table 2), which is not redistributable; this package
+// generates R-MAT graphs with the same scale and a Flickr-like skewed
+// degree distribution (DESIGN.md §1). The graph itself is volatile — the
+// paper reconstructs it from the dataset on each run — while the BFS
+// frontier queue is the recoverable structure under test.
+package graph
+
+// Flickr-scale defaults (Table 2).
+const (
+	FlickrNodes = 820_000
+	FlickrEdges = 9_840_000
+)
+
+// Graph is a directed graph in compressed sparse row form.
+type Graph struct {
+	N       int
+	offsets []int32 // len N+1
+	targets []int32 // len = edge count
+}
+
+// RMAT generates a directed R-MAT graph with the classic Graph500
+// partition probabilities (a=0.57, b=0.19, c=0.19, d=0.05), which yield
+// the heavy-tailed degree distribution of social-media graphs like Flickr.
+func RMAT(nodes, edges int, seed uint64) *Graph {
+	if nodes <= 0 || edges < 0 {
+		panic("graph: non-positive dimensions")
+	}
+	// scale = ceil(log2(nodes))
+	scale := 0
+	for 1<<scale < nodes {
+		scale++
+	}
+	state := seed
+	next := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	srcs := make([]int32, 0, edges)
+	dsts := make([]int32, 0, edges)
+	for e := 0; e < edges; e++ {
+		var u, v int
+		for {
+			u, v = 0, 0
+			for bit := 0; bit < scale; bit++ {
+				r := next() % 100
+				// Quadrant probabilities 57/19/19/5.
+				switch {
+				case r < 57:
+					// top-left: no bits set
+				case r < 76:
+					v |= 1 << bit
+				case r < 95:
+					u |= 1 << bit
+				default:
+					u |= 1 << bit
+					v |= 1 << bit
+				}
+			}
+			if u < nodes && v < nodes {
+				break
+			}
+		}
+		srcs = append(srcs, int32(u))
+		dsts = append(dsts, int32(v))
+	}
+	return FromEdges(nodes, srcs, dsts)
+}
+
+// FromEdges builds a CSR graph from parallel edge lists.
+func FromEdges(nodes int, srcs, dsts []int32) *Graph {
+	if len(srcs) != len(dsts) {
+		panic("graph: mismatched edge lists")
+	}
+	deg := make([]int32, nodes+1)
+	for _, s := range srcs {
+		deg[s+1]++
+	}
+	for i := 1; i <= nodes; i++ {
+		deg[i] += deg[i-1]
+	}
+	targets := make([]int32, len(srcs))
+	cursor := make([]int32, nodes)
+	for i, s := range srcs {
+		targets[deg[s]+cursor[s]] = dsts[i]
+		cursor[s]++
+	}
+	return &Graph{N: nodes, offsets: deg, targets: targets}
+}
+
+// Edges returns the number of directed edges.
+func (g *Graph) Edges() int { return len(g.targets) }
+
+// Neighbors returns the out-neighbors of node u (shared slice; do not
+// modify).
+func (g *Graph) Neighbors(u int32) []int32 {
+	return g.targets[g.offsets[u]:g.offsets[u+1]]
+}
+
+// OutDegree returns the out-degree of node u.
+func (g *Graph) OutDegree(u int32) int {
+	return int(g.offsets[u+1] - g.offsets[u])
+}
+
+// MaxDegreeNode returns the node with the largest out-degree — a natural
+// BFS source in a skewed graph.
+func (g *Graph) MaxDegreeNode() int32 {
+	best, bestDeg := int32(0), -1
+	for u := int32(0); int(u) < g.N; u++ {
+		if d := g.OutDegree(u); d > bestDeg {
+			best, bestDeg = u, d
+		}
+	}
+	return best
+}
+
+// BFS performs a volatile reference breadth-first search and returns the
+// level of each node (-1 if unreachable) and the number of visited nodes.
+// Workload code runs the same traversal over a recoverable queue and
+// validates against this.
+func BFS(g *Graph, src int32) (levels []int32, visited int) {
+	levels = make([]int32, g.N)
+	for i := range levels {
+		levels[i] = -1
+	}
+	queue := make([]int32, 0, g.N)
+	levels[src] = 0
+	queue = append(queue, src)
+	visited = 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if levels[v] < 0 {
+				levels[v] = levels[u] + 1
+				visited++
+				queue = append(queue, v)
+			}
+		}
+	}
+	return levels, visited
+}

@@ -1,0 +1,71 @@
+package graph
+
+import "testing"
+
+func TestFromEdgesCSR(t *testing.T) {
+	g := FromEdges(4, []int32{0, 0, 1, 2}, []int32{1, 2, 2, 3})
+	if g.Edges() != 4 {
+		t.Fatalf("Edges = %d", g.Edges())
+	}
+	if got := g.Neighbors(0); len(got) != 2 {
+		t.Fatalf("Neighbors(0) = %v", got)
+	}
+	if g.OutDegree(3) != 0 {
+		t.Fatal("node 3 should have no out-edges")
+	}
+}
+
+func TestRMATDeterministicAndInRange(t *testing.T) {
+	g1 := RMAT(1000, 12000, 42)
+	g2 := RMAT(1000, 12000, 42)
+	if g1.Edges() != 12000 || g2.Edges() != 12000 {
+		t.Fatal("edge count wrong")
+	}
+	for u := int32(0); u < 1000; u++ {
+		n1, n2 := g1.Neighbors(u), g2.Neighbors(u)
+		if len(n1) != len(n2) {
+			t.Fatal("RMAT not deterministic")
+		}
+		for i := range n1 {
+			if n1[i] != n2[i] {
+				t.Fatal("RMAT not deterministic")
+			}
+			if n1[i] < 0 || n1[i] >= 1000 {
+				t.Fatalf("edge target %d out of range", n1[i])
+			}
+		}
+	}
+}
+
+func TestRMATDegreeSkew(t *testing.T) {
+	g := RMAT(10000, 120000, 7)
+	maxDeg := g.OutDegree(g.MaxDegreeNode())
+	avg := float64(g.Edges()) / float64(g.N)
+	if float64(maxDeg) < 5*avg {
+		t.Fatalf("max degree %d vs average %.1f: R-MAT should be heavy-tailed", maxDeg, avg)
+	}
+}
+
+func TestBFSLevels(t *testing.T) {
+	// 0 -> 1 -> 2 -> 3, 0 -> 2, 4 isolated.
+	g := FromEdges(5, []int32{0, 1, 2, 0}, []int32{1, 2, 3, 2})
+	levels, visited := BFS(g, 0)
+	want := []int32{0, 1, 1, 2, -1}
+	if visited != 4 {
+		t.Fatalf("visited = %d, want 4", visited)
+	}
+	for i, w := range want {
+		if levels[i] != w {
+			t.Fatalf("level[%d] = %d, want %d", i, levels[i], w)
+		}
+	}
+}
+
+func TestBFSCoversRMATComponent(t *testing.T) {
+	g := RMAT(5000, 60000, 3)
+	src := g.MaxDegreeNode()
+	_, visited := BFS(g, src)
+	if visited < 100 {
+		t.Fatalf("BFS from hub visited only %d nodes", visited)
+	}
+}

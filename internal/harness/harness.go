@@ -1,0 +1,170 @@
+// Package harness regenerates every table and figure of the MOD paper's
+// evaluation (§6) from the simulated system: Fig. 2 (PM-STM time
+// breakdown), Fig. 4 (flush latency vs concurrency with the Amdahl fit),
+// Fig. 9 (execution time across engines), Fig. 10 (fences vs flushes per
+// operation), Fig. 11 (L1D miss ratios), Table 1 (machine model), Table 2
+// (workload registry), Table 3 (memory growth on doubling), plus the §6.5
+// shadow-space measurement and two ablations (flush-concurrency cap and
+// naive shadow paging without structural sharing).
+//
+// Numbers are simulated nanoseconds from the device clock; the paper's
+// absolute Optane numbers are not reproducible, but the shapes — who
+// wins, by what factor, where the crossovers fall — are the target
+// (EXPERIMENTS.md records paper-vs-measured for each artifact).
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Scale sets experiment sizes. The paper runs 1M operations per workload;
+// the default scale keeps full-suite runtime in seconds.
+type Scale struct {
+	// Ops per workload iteration count.
+	Ops int
+	// VectorPreload is the element count for vector/vec-swap (the paper
+	// preloads 1M).
+	VectorPreload int
+	// Table3N is the base element count N for the 2N-vs-N memory ratio
+	// (the paper uses 1M).
+	Table3N int
+	// PerOpSamples is the op count for the Fig. 10 per-operation counts.
+	PerOpSamples int
+}
+
+// DefaultScale is sized for interactive runs (tens of seconds).
+func DefaultScale() Scale {
+	return Scale{Ops: 20_000, VectorPreload: 20_000, Table3N: 20_000, PerOpSamples: 2_000}
+}
+
+// FullScale approaches the paper's configuration (minutes of runtime).
+func FullScale() Scale {
+	return Scale{Ops: 1_000_000, VectorPreload: 1_000_000, Table3N: 1_000_000, PerOpSamples: 20_000}
+}
+
+// SmallScale is for tests and benchmarks.
+func SmallScale() Scale {
+	return Scale{Ops: 1_500, VectorPreload: 1_500, Table3N: 1_500, PerOpSamples: 300}
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string // e.g. "fig9"
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes an aligned text table.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "%s\n", t.Note)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV writes the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.Header, ","))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// ms renders nanoseconds as milliseconds.
+func ms(ns float64) string { return fmt.Sprintf("%.3f", ns/1e6) }
+
+// pct renders a fraction as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// Experiment names accepted by Run and cmd/modbench.
+var Experiments = []string{
+	"table1", "table2", "fig2", "fig4", "fig9", "fig10", "fig11", "table3",
+	"spaceoverhead", "ablation-conc", "ablation-naive",
+}
+
+// Run executes one named experiment at the given scale.
+func Run(name string, scale Scale) (*Table, error) {
+	switch name {
+	case "table1":
+		return Table1(), nil
+	case "table2":
+		return Table2(), nil
+	case "fig2":
+		return Fig2(scale)
+	case "fig4":
+		return Fig4(), nil
+	case "fig9":
+		return Fig9(scale)
+	case "fig10":
+		return Fig10(scale)
+	case "fig11":
+		return Fig11(scale)
+	case "table3":
+		return Table3(scale)
+	case "spaceoverhead":
+		return SpaceOverhead(scale)
+	case "ablation-conc":
+		return AblationFlushConcurrency(scale)
+	case "ablation-naive":
+		return AblationNaiveShadow(scale)
+	}
+	return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", name, Experiments)
+}
+
+// RunAll executes every experiment and renders them to w.
+func RunAll(w io.Writer, scale Scale) error {
+	for _, name := range Experiments {
+		t, err := Run(name, scale)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		t.Render(w)
+	}
+	return nil
+}

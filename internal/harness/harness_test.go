@@ -1,0 +1,224 @@
+package harness
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func cell(t *testing.T, tab *Table, rowMatch func([]string) bool, col int) string {
+	t.Helper()
+	for _, row := range tab.Rows {
+		if rowMatch(row) {
+			return row[col]
+		}
+	}
+	t.Fatalf("%s: no matching row", tab.ID)
+	return ""
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(s, "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestFig4ShapeMatchesPaper(t *testing.T) {
+	tab := Fig4()
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	base := parseF(t, cell(t, tab, func(r []string) bool { return r[0] == "1" }, 1))
+	if base < 300 || base > 420 {
+		t.Fatalf("un-overlapped flush latency = %.0f ns, paper: 353", base)
+	}
+	sp16 := parseF(t, cell(t, tab, func(r []string) bool { return r[0] == "16" }, 3))
+	if sp16 < 3.0 {
+		t.Fatalf("speedup at 16 = %.2f, paper: ~4x (75%% reduction)", sp16)
+	}
+	// Karp-Flatt serial fraction should recover roughly the 0.18 fit.
+	e16 := parseF(t, cell(t, tab, func(r []string) bool { return r[0] == "16" }, 4))
+	if e16 < 0.10 || e16 > 0.30 {
+		t.Fatalf("Karp-Flatt serial fraction = %.3f, paper fit: 0.18", e16)
+	}
+	// Plateau: 24 -> 32 improves average latency by only a few percent.
+	l24 := parseF(t, cell(t, tab, func(r []string) bool { return r[0] == "24" }, 1))
+	l32 := parseF(t, cell(t, tab, func(r []string) bool { return r[0] == "32" }, 1))
+	if (l24-l32)/l24 > 0.10 {
+		t.Fatalf("24->32 improved %.0f%%: expected a plateau", 100*(l24-l32)/l24)
+	}
+}
+
+func TestFig2FlushingDominates(t *testing.T) {
+	tab, err := Fig2(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	avgFlush := parseF(t, cell(t, tab, func(r []string) bool { return r[0] == "average" }, 2))
+	if avgFlush < 30 {
+		t.Fatalf("average flush fraction = %.1f%%, paper: ~64%%", avgFlush)
+	}
+	avgLog := parseF(t, cell(t, tab, func(r []string) bool { return r[0] == "average" }, 3))
+	if avgLog <= 0 || avgLog > 30 {
+		t.Fatalf("average log fraction = %.1f%%, paper: ~9%%", avgLog)
+	}
+}
+
+func TestFig9MODWinsAndLosesWherePaperSays(t *testing.T) {
+	tab, err := Fig9(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := func(workload string) float64 {
+		return parseF(t, cell(t, tab, func(r []string) bool { return r[0] == workload && r[1] == "mod" }, 3))
+	}
+	for _, w := range []string{"map", "set", "queue", "stack"} {
+		if n := norm(w); n >= 1.0 {
+			t.Errorf("%s: MOD normalized time %.2f, want < 1 (Fig. 9)", w, n)
+		}
+	}
+	for _, w := range []string{"vector", "vec-swap"} {
+		if n := norm(w); n <= 1.0 {
+			t.Errorf("%s: MOD normalized time %.2f, want > 1 (Fig. 9)", w, n)
+		}
+	}
+	// v1.4 slower than v1.5 on average.
+	var v14 float64
+	var count int
+	for _, row := range tab.Rows {
+		if row[1] == "pmdk-v1.4" {
+			v14 += parseF(t, row[3])
+			count++
+		}
+	}
+	if v14/float64(count) <= 1.0 {
+		t.Errorf("average v1.4 normalized time %.2f, want > 1 (§6.3)", v14/float64(count))
+	}
+}
+
+func TestFig10MODOneFencePMDKMany(t *testing.T) {
+	tab, err := Fig10(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		fences := parseF(t, row[2])
+		if row[1] == "mod" && fences != 1.0 {
+			t.Errorf("%s mod fences/op = %v, want exactly 1 (§6.4)", row[0], fences)
+		}
+		if row[1] == "pmdk-v1.5" && (fences < 3 || fences > 11) {
+			t.Errorf("%s pmdk fences/op = %v, want 3-11 (Fig. 10)", row[0], fences)
+		}
+	}
+	// MOD vector writes flush far more than PMDK's single-slot update.
+	modVec := parseF(t, cell(t, tab, func(r []string) bool { return r[0] == "vector-write" && r[1] == "mod" }, 3))
+	pmdkVec := parseF(t, cell(t, tab, func(r []string) bool { return r[0] == "vector-write" && r[1] == "pmdk-v1.5" }, 3))
+	if modVec < 2*pmdkVec {
+		t.Errorf("vector-write flushes: mod %.1f vs pmdk %.1f, expected mod >> pmdk (§6.4)", modVec, pmdkVec)
+	}
+}
+
+func TestFig11RendersAllWorkloads(t *testing.T) {
+	tab, err := Fig11(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 9 {
+		t.Fatalf("Fig11 rows = %d, want 9", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		parseF(t, row[1])
+		parseF(t, row[2])
+	}
+}
+
+func TestTable3VectorBlowsUp(t *testing.T) {
+	tab, err := Table3(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := func(structure, engine, regime string) float64 {
+		return parseF(t, cell(t, tab, func(r []string) bool {
+			return r[0] == structure && r[1] == engine && r[2] == regime
+		}, 5))
+	}
+	for _, s := range []string{"map", "set", "stack", "queue", "vector"} {
+		if r := ratio(s, "mod", "reclaimed"); r < 1.3 || r > 2.6 {
+			t.Errorf("mod %s reclaimed doubling ratio %.2f, want ~2x", s, r)
+		}
+		if r := ratio(s, "pmdk", "reclaimed"); r < 1.2 || r > 4.5 {
+			t.Errorf("pmdk %s doubling ratio %.2f, want ~1.5-2x", s, r)
+		}
+	}
+	vecRetained := ratio("vector", "mod", "retained")
+	if vecRetained < 20 {
+		t.Errorf("mod vector retained ratio %.1f, want two orders of magnitude (paper 131x)", vecRetained)
+	}
+	mapRetained := ratio("map", "mod", "retained")
+	if vecRetained < 4*mapRetained {
+		t.Errorf("vector retained ratio %.1f should dwarf map's %.1f (paper: 131x vs 1.87x)", vecRetained, mapRetained)
+	}
+}
+
+func TestSpaceOverheadTiny(t *testing.T) {
+	tab, err := SpaceOverhead(Scale{Table3N: 30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if overhead := parseF(t, row[3]); overhead > 0.5 {
+			t.Errorf("%s shadow overhead %.3f%%, paper: <0.01%% at 1M (scale-adjusted bound 0.5%%)", row[0], overhead)
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	conc, err := AblationFlushConcurrency(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow1 := parseF(t, cell(t, conc, func(r []string) bool { return r[0] == "1" }, 3))
+	if slow1 <= 1.1 {
+		t.Errorf("cap=1 slowdown %.2f, expected serialized flushes to hurt", slow1)
+	}
+	naive, err := AblationNaiveShadow(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := parseF(t, cell(t, naive, func(r []string) bool { return r[0] == "structural-sharing" }, 3))
+	whole := parseF(t, cell(t, naive, func(r []string) bool { return r[0] == "naive-shadow" }, 3))
+	if whole < 5*shared {
+		t.Errorf("naive shadow %.3fms vs shared %.3fms: expected >5x gap", whole, shared)
+	}
+}
+
+func TestRunAllAndRendering(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunAll(&buf, SmallScale()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range Experiments {
+		if !strings.Contains(out, "== "+id) {
+			t.Errorf("RunAll output missing %s", id)
+		}
+	}
+	// CSV rendering.
+	tab := Table1()
+	var csv bytes.Buffer
+	tab.CSV(&csv)
+	if !strings.Contains(csv.String(), "parameter,value,paper") {
+		t.Error("CSV header missing")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("fig99", DefaultScale()); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}

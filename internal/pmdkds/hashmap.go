@@ -1,0 +1,271 @@
+// Package pmdkds implements the baseline datastructures the MOD paper
+// compares against (§6.1): mutable, update-in-place structures made
+// failure-atomic by wrapping every update in a PM-STM transaction
+// (package stm), in the style of the PMDK examples — hashmap_tx, and
+// linked stacks/queues and a flat array vector.
+//
+// The map baseline is the WHISPER hashmap the paper selects ("we compare
+// against hashmap which outperformed ctree on Optane DCPMM", §6.1):
+// a bucket array with chained entries, contiguous in memory and therefore
+// cache-friendlier than MOD's pointer-heavy tries (Fig. 11), but paying
+// 3-11 ordering points per update (Fig. 10).
+package pmdkds
+
+import (
+	"github.com/mod-ds/mod/internal/pmem"
+	"github.com/mod-ds/mod/internal/stm"
+)
+
+// Hashmap is a transactional chained hash map, PMDK's hashmap_tx.
+//
+// Layout:
+//
+//	header: [nbuckets u64][count u64][buckets u64]
+//	buckets: nbuckets × [entry u64]
+//	entry:  [next u64][keyLen u32][valLen u32][key bytes][val bytes]
+type Hashmap struct {
+	tx   *stm.TX
+	hdr  pmem.Addr
+	nbkt uint64
+	bkts pmem.Addr
+}
+
+const hmHdrSize = 24
+
+// DefaultBuckets sizes new hashmaps; chains stay short up to ~1M entries.
+const DefaultBuckets = 1 << 18
+
+// NewHashmap creates (or reopens) a transactional hashmap under a named
+// root with nbuckets buckets (0 means DefaultBuckets).
+func NewHashmap(tx *stm.TX, name string, nbuckets uint64) (*Hashmap, error) {
+	if nbuckets == 0 {
+		nbuckets = DefaultBuckets
+	}
+	heap := tx.Heap()
+	dev := tx.Device()
+	slot, err := heap.RootSlot(name)
+	if err != nil {
+		return nil, err
+	}
+	if root := heap.Root(slot); root != pmem.Nil {
+		h := &Hashmap{tx: tx, hdr: root}
+		h.nbkt = dev.ReadU64(root)
+		h.bkts = pmem.Addr(dev.ReadU64(root + 16))
+		return h, nil
+	}
+	hdr := heap.Alloc(hmHdrSize, 0)
+	bkts := heap.Alloc(int(nbuckets)*8, 0)
+	dev.Zero(bkts, int(nbuckets)*8)
+	dev.WriteU64(hdr, nbuckets)
+	dev.WriteU64(hdr+8, 0)
+	dev.WriteU64(hdr+16, uint64(bkts))
+	dev.FlushRange(hdr, hmHdrSize)
+	dev.FlushRange(bkts, int(nbuckets)*8)
+	heap.SetRoot(slot, hdr)
+	dev.Sfence()
+	return &Hashmap{tx: tx, hdr: hdr, nbkt: nbuckets, bkts: bkts}, nil
+}
+
+// Len returns the number of entries.
+func (h *Hashmap) Len() uint64 { return h.tx.Device().ReadU64(h.hdr + 8) }
+
+func hashBytes(b []byte) uint64 {
+	v := uint64(14695981039346656037)
+	for i := 0; i < len(b); i++ {
+		v ^= uint64(b[i])
+		v *= 1099511628211
+	}
+	return v
+}
+
+func (h *Hashmap) bucketCell(key []byte) pmem.Addr {
+	return h.bkts + pmem.Addr((hashBytes(key)%h.nbkt)*8)
+}
+
+// entry field accessors.
+func (h *Hashmap) entryNext(e pmem.Addr) pmem.Addr {
+	return pmem.Addr(h.tx.Device().ReadU64(e))
+}
+
+func (h *Hashmap) entryKey(e pmem.Addr) []byte {
+	dev := h.tx.Device()
+	klen := dev.ReadU32(e + 8)
+	k := make([]byte, klen)
+	dev.Read(e+16, k)
+	return k
+}
+
+func (h *Hashmap) entryVal(e pmem.Addr) []byte {
+	dev := h.tx.Device()
+	klen := dev.ReadU32(e + 8)
+	vlen := dev.ReadU32(e + 12)
+	v := make([]byte, vlen)
+	dev.Read(e+16+pmem.Addr(klen), v)
+	return v
+}
+
+func (h *Hashmap) entryKeyEquals(e pmem.Addr, key []byte) bool {
+	dev := h.tx.Device()
+	if dev.ReadU32(e+8) != uint32(len(key)) {
+		return false
+	}
+	got := make([]byte, len(key))
+	dev.Read(e+16, got)
+	for i := range key {
+		if got[i] != key[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// findEntry returns the entry holding key and the address of the pointer
+// cell that points at it (the bucket cell or a predecessor's next field).
+func (h *Hashmap) findEntry(key []byte) (entry, cell pmem.Addr) {
+	cell = h.bucketCell(key)
+	for e := pmem.Addr(h.tx.Device().ReadU64(cell)); e != pmem.Nil; e = h.entryNext(e) {
+		if h.entryKeyEquals(e, key) {
+			return e, cell
+		}
+		cell = e // next field is at offset 0
+	}
+	return pmem.Nil, cell
+}
+
+// Get returns the value stored under key.
+func (h *Hashmap) Get(key []byte) ([]byte, bool) {
+	e, _ := h.findEntry(key)
+	if e == pmem.Nil {
+		return nil, false
+	}
+	return h.entryVal(e), true
+}
+
+// Contains reports whether key is present.
+func (h *Hashmap) Contains(key []byte) bool {
+	e, _ := h.findEntry(key)
+	return e != pmem.Nil
+}
+
+// writeEntry fills a fresh entry block (no snapshots needed: fresh data).
+func (h *Hashmap) writeEntry(e, next pmem.Addr, key, val []byte) {
+	buf := make([]byte, 16+len(key)+len(val))
+	putU64(buf, uint64(next))
+	putU32(buf[8:], uint32(len(key)))
+	putU32(buf[12:], uint32(len(val)))
+	copy(buf[16:], key)
+	copy(buf[16+len(key):], val)
+	h.tx.Write(e, buf)
+}
+
+// Set binds key to val in one transaction, reporting whether an existing
+// binding was replaced.
+func (h *Hashmap) Set(key, val []byte) bool {
+	h.tx.Begin()
+	replaced := h.SetInTx(key, val)
+	h.tx.Commit()
+	return replaced
+}
+
+// SetInTx performs the binding inside the caller's open transaction, so
+// several map updates can share one failure-atomic section — the pattern
+// the PMDK port of vacation uses for multi-map reservations.
+func (h *Hashmap) SetInTx(key, val []byte) bool {
+	tx := h.tx
+	old, cell := h.findEntry(key)
+	// TX_ADD annotations first (the PMDK example pattern), then writes.
+	tx.Add(cell, 8)
+	replaced := old != pmem.Nil
+	if !replaced {
+		tx.Add(h.hdr+8, 8) // count
+	}
+	e := tx.Alloc(16+len(key)+len(val), 0)
+	next := pmem.Addr(tx.Device().ReadU64(cell))
+	if replaced {
+		next = h.entryNext(old) // new entry takes over the old link
+	}
+	h.writeEntry(e, next, key, val)
+	tx.WriteU64(cell, uint64(e))
+	if replaced {
+		tx.Free(old)
+	} else {
+		tx.WriteU64(h.hdr+8, h.Len()+1)
+	}
+	return replaced
+}
+
+// Delete removes key in one transaction, reporting whether it was present.
+func (h *Hashmap) Delete(key []byte) bool {
+	if e, _ := h.findEntry(key); e == pmem.Nil {
+		return false
+	}
+	h.tx.Begin()
+	removed := h.DeleteInTx(key)
+	h.tx.Commit()
+	return removed
+}
+
+// DeleteInTx removes key inside the caller's open transaction.
+func (h *Hashmap) DeleteInTx(key []byte) bool {
+	tx := h.tx
+	e, cell := h.findEntry(key)
+	if e == pmem.Nil {
+		return false
+	}
+	tx.Add(cell, 8)
+	tx.Add(h.hdr+8, 8)
+	tx.WriteU64(cell, uint64(h.entryNext(e)))
+	tx.WriteU64(h.hdr+8, h.Len()-1)
+	tx.Free(e)
+	return true
+}
+
+// Range iterates over all entries (for tests and validation).
+func (h *Hashmap) Range(f func(key, val []byte) bool) {
+	dev := h.tx.Device()
+	for b := uint64(0); b < h.nbkt; b++ {
+		for e := pmem.Addr(dev.ReadU64(h.bkts + pmem.Addr(b*8))); e != pmem.Nil; e = h.entryNext(e) {
+			if !f(h.entryKey(e), h.entryVal(e)) {
+				return
+			}
+		}
+	}
+}
+
+// Hashset is a transactional hash set: a Hashmap with empty values.
+type Hashset struct{ m *Hashmap }
+
+// NewHashset creates (or reopens) a transactional set under a named root.
+func NewHashset(tx *stm.TX, name string, nbuckets uint64) (*Hashset, error) {
+	m, err := NewHashmap(tx, name, nbuckets)
+	if err != nil {
+		return nil, err
+	}
+	return &Hashset{m: m}, nil
+}
+
+// Len returns the number of members.
+func (s *Hashset) Len() uint64 { return s.m.Len() }
+
+// Insert adds key, reporting whether it already existed.
+func (s *Hashset) Insert(key []byte) bool { return s.m.Set(key, nil) }
+
+// Contains reports membership.
+func (s *Hashset) Contains(key []byte) bool { return s.m.Contains(key) }
+
+// Delete removes key, reporting whether it was present.
+func (s *Hashset) Delete(key []byte) bool { return s.m.Delete(key) }
+
+func putU64(b []byte, v uint64) {
+	_ = b[7]
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func putU32(b []byte, v uint32) {
+	_ = b[3]
+	for i := 0; i < 4; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

@@ -1,0 +1,179 @@
+package pmdkds
+
+import (
+	"github.com/mod-ds/mod/internal/pmem"
+	"github.com/mod-ds/mod/internal/stm"
+)
+
+// Stack is a transactional linked stack of 8-byte elements (the PMDK
+// example style: in-place head updates under undo logging).
+//
+// Layout:
+//
+//	header: [head u64][count u64]
+//	node:   [next u64][val u64]
+type Stack struct {
+	tx  *stm.TX
+	hdr pmem.Addr
+}
+
+const listHdrSize = 16
+
+// NewStack creates (or reopens) a transactional stack under a named root.
+func NewStack(tx *stm.TX, name string) (*Stack, error) {
+	hdr, err := bindListHeader(tx, name, listHdrSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Stack{tx: tx, hdr: hdr}, nil
+}
+
+// bindListHeader finds or creates a zeroed header block under a root.
+func bindListHeader(tx *stm.TX, name string, size int) (pmem.Addr, error) {
+	heap := tx.Heap()
+	dev := tx.Device()
+	slot, err := heap.RootSlot(name)
+	if err != nil {
+		return pmem.Nil, err
+	}
+	if root := heap.Root(slot); root != pmem.Nil {
+		return root, nil
+	}
+	hdr := heap.Alloc(size, 0)
+	dev.Zero(hdr, size)
+	dev.FlushRange(hdr, size)
+	heap.SetRoot(slot, hdr)
+	dev.Sfence()
+	return hdr, nil
+}
+
+// Len returns the number of elements.
+func (s *Stack) Len() uint64 { return s.tx.Device().ReadU64(s.hdr + 8) }
+
+// Push adds val on top in one transaction.
+func (s *Stack) Push(val uint64) {
+	tx := s.tx
+	dev := tx.Device()
+	head := dev.ReadU64(s.hdr)
+	n := s.Len()
+	tx.Begin()
+	tx.Add(s.hdr, listHdrSize) // head and count share one range
+	node := tx.Alloc(16, 0)
+	tx.WriteU64(node, head)
+	tx.WriteU64(node+8, val)
+	tx.WriteU64(s.hdr, uint64(node))
+	tx.WriteU64(s.hdr+8, n+1)
+	tx.Commit()
+}
+
+// Pop removes and returns the top element in one transaction.
+func (s *Stack) Pop() (uint64, bool) {
+	tx := s.tx
+	dev := tx.Device()
+	head := pmem.Addr(dev.ReadU64(s.hdr))
+	if head == pmem.Nil {
+		return 0, false
+	}
+	next := dev.ReadU64(head)
+	val := dev.ReadU64(head + 8)
+	tx.Begin()
+	tx.Add(s.hdr, listHdrSize)
+	tx.WriteU64(s.hdr, next)
+	tx.WriteU64(s.hdr+8, s.Len()-1)
+	tx.Free(head)
+	tx.Commit()
+	return val, true
+}
+
+// Peek returns the top element without modifying the stack.
+func (s *Stack) Peek() (uint64, bool) {
+	dev := s.tx.Device()
+	head := pmem.Addr(dev.ReadU64(s.hdr))
+	if head == pmem.Nil {
+		return 0, false
+	}
+	return dev.ReadU64(head + 8), true
+}
+
+// Queue is a transactional linked FIFO queue of 8-byte elements.
+//
+// Layout:
+//
+//	header: [head u64][tail u64][count u64]
+//	node:   [next u64][val u64]
+type Queue struct {
+	tx  *stm.TX
+	hdr pmem.Addr
+}
+
+const queueHdrSize = 24
+
+// NewQueue creates (or reopens) a transactional queue under a named root.
+func NewQueue(tx *stm.TX, name string) (*Queue, error) {
+	hdr, err := bindListHeader(tx, name, queueHdrSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Queue{tx: tx, hdr: hdr}, nil
+}
+
+// Len returns the number of elements.
+func (q *Queue) Len() uint64 { return q.tx.Device().ReadU64(q.hdr + 16) }
+
+// Enqueue appends val at the tail in one transaction.
+func (q *Queue) Enqueue(val uint64) {
+	tx := q.tx
+	dev := tx.Device()
+	tail := pmem.Addr(dev.ReadU64(q.hdr + 8))
+	n := q.Len()
+	tx.Begin()
+	if tail == pmem.Nil {
+		tx.Add(q.hdr, queueHdrSize) // head, tail, count
+	} else {
+		tx.Add(tail, 8) // predecessor's next pointer
+		tx.Add(q.hdr+8, 16)
+	}
+	node := tx.Alloc(16, 0)
+	tx.WriteU64(node, 0)
+	tx.WriteU64(node+8, val)
+	if tail == pmem.Nil {
+		tx.WriteU64(q.hdr, uint64(node))
+	} else {
+		tx.WriteU64(tail, uint64(node))
+	}
+	tx.WriteU64(q.hdr+8, uint64(node))
+	tx.WriteU64(q.hdr+16, n+1)
+	tx.Commit()
+}
+
+// Dequeue removes and returns the head element in one transaction.
+func (q *Queue) Dequeue() (uint64, bool) {
+	tx := q.tx
+	dev := tx.Device()
+	head := pmem.Addr(dev.ReadU64(q.hdr))
+	if head == pmem.Nil {
+		return 0, false
+	}
+	next := dev.ReadU64(head)
+	val := dev.ReadU64(head + 8)
+	tx.Begin()
+	tx.Add(q.hdr, queueHdrSize)
+	tx.WriteU64(q.hdr, next)
+	if next == 0 {
+		tx.WriteU64(q.hdr+8, 0) // queue became empty
+	}
+	tx.WriteU64(q.hdr+16, q.Len()-1)
+	tx.Free(head)
+	tx.Commit()
+	return val, true
+}
+
+// Peek returns the head element without modifying the queue.
+func (q *Queue) Peek() (uint64, bool) {
+	dev := q.tx.Device()
+	head := pmem.Addr(dev.ReadU64(q.hdr))
+	if head == pmem.Nil {
+		return 0, false
+	}
+	return dev.ReadU64(head + 8), true
+}

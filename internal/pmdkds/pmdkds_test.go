@@ -1,0 +1,306 @@
+package pmdkds
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"github.com/mod-ds/mod/internal/alloc"
+	"github.com/mod-ds/mod/internal/pmem"
+	"github.com/mod-ds/mod/internal/stm"
+)
+
+func newTestTX(t testing.TB, mode stm.Mode) *stm.TX {
+	t.Helper()
+	cfg := pmem.DefaultConfig(64 << 20)
+	cfg.TrackDurable = true
+	dev := pmem.New(cfg)
+	h := alloc.Format(dev)
+	return stm.New(dev, h, mode)
+}
+
+func key64(i uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, i)
+	return b
+}
+
+func TestHashmapSetGetDelete(t *testing.T) {
+	tx := newTestTX(t, stm.ModeV15)
+	m, err := NewHashmap(tx, "m", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3000 // force chains (3000 keys, 1024 buckets)
+	for i := uint64(0); i < n; i++ {
+		if m.Set(key64(i), key64(i*7)) {
+			t.Fatalf("fresh key %d reported replaced", i)
+		}
+	}
+	if m.Len() != n {
+		t.Fatalf("Len = %d, want %d", m.Len(), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		got, ok := m.Get(key64(i))
+		if !ok || binary.LittleEndian.Uint64(got) != i*7 {
+			t.Fatalf("key %d wrong (ok=%v)", i, ok)
+		}
+	}
+	if !m.Set(key64(10), key64(999)) {
+		t.Fatal("replace not reported")
+	}
+	got, _ := m.Get(key64(10))
+	if binary.LittleEndian.Uint64(got) != 999 {
+		t.Fatal("replace lost")
+	}
+	if m.Len() != n {
+		t.Fatal("replace changed count")
+	}
+	for i := uint64(0); i < n; i += 2 {
+		if !m.Delete(key64(i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if m.Len() != n/2 {
+		t.Fatalf("Len after deletes = %d, want %d", m.Len(), n/2)
+	}
+	if m.Delete(key64(0)) {
+		t.Fatal("double delete reported success")
+	}
+}
+
+func TestHashmapRange(t *testing.T) {
+	tx := newTestTX(t, stm.ModeV15)
+	m, _ := NewHashmap(tx, "m", 64)
+	want := map[uint64]bool{}
+	for i := uint64(0); i < 100; i++ {
+		m.Set(key64(i), key64(i))
+		want[i] = true
+	}
+	count := 0
+	m.Range(func(k, v []byte) bool {
+		if !want[binary.LittleEndian.Uint64(k)] {
+			t.Fatal("unexpected key in Range")
+		}
+		count++
+		return true
+	})
+	if count != 100 {
+		t.Fatalf("Range visited %d, want 100", count)
+	}
+}
+
+func TestHashmapReopen(t *testing.T) {
+	cfg := pmem.DefaultConfig(64 << 20)
+	dev := pmem.New(cfg)
+	h := alloc.Format(dev)
+	tx := stm.New(dev, h, stm.ModeV15)
+	m, _ := NewHashmap(tx, "m", 256)
+	m.Set([]byte("k"), []byte("v"))
+
+	m2, err := NewHashmap(tx, "m", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := m2.Get([]byte("k"))
+	if !ok || string(got) != "v" {
+		t.Fatal("reopened hashmap lost data")
+	}
+}
+
+func TestHashmapCrashRecovery(t *testing.T) {
+	cfg := pmem.DefaultConfig(64 << 20)
+	cfg.TrackDurable = true
+	dev := pmem.New(cfg)
+	h := alloc.Format(dev)
+	tx := stm.New(dev, h, stm.ModeV15)
+	m, _ := NewHashmap(tx, "m", 256)
+	for i := uint64(0); i < 50; i++ {
+		m.Set(key64(i), key64(i))
+	}
+	// Interrupt a transaction between the snapshot fence and commit.
+	old, cell := m.findEntry(key64(7))
+	_ = old
+	tx.Begin()
+	tx.Add(cell, 8)
+	tx.WriteU64(cell, 0xdead) // tear the chain
+	dev.FlushRange(cell, 8)
+	img := dev.CrashImage(pmem.CrashAllInflight, 3)
+
+	dev2 := pmem.NewFromImage(pmem.DefaultConfig(64<<20), img)
+	if !stm.Recover(dev2, tx.LogAddr()) {
+		t.Fatal("recovery did not roll back")
+	}
+	h2, err := alloc.Open(dev2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx2 := stm.Attach(dev2, h2, stm.ModeV15, tx.LogAddr(), stm.DefaultLogSize)
+	m2, _ := NewHashmap(tx2, "m", 256)
+	for i := uint64(0); i < 50; i++ {
+		if _, ok := m2.Get(key64(i)); !ok {
+			t.Fatalf("key %d lost after rollback", i)
+		}
+	}
+}
+
+func TestHashset(t *testing.T) {
+	tx := newTestTX(t, stm.ModeV15)
+	s, _ := NewHashset(tx, "s", 256)
+	if s.Insert(key64(1)) {
+		t.Fatal("fresh insert reported existing")
+	}
+	if !s.Insert(key64(1)) {
+		t.Fatal("duplicate insert not reported")
+	}
+	if !s.Contains(key64(1)) || s.Contains(key64(2)) {
+		t.Fatal("membership wrong")
+	}
+	if !s.Delete(key64(1)) || s.Contains(key64(1)) {
+		t.Fatal("delete failed")
+	}
+}
+
+func TestVectorPushUpdateSwapGrow(t *testing.T) {
+	tx := newTestTX(t, stm.ModeV15)
+	v, err := NewVector(tx, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500 // crosses several growth boundaries from cap 64
+	for i := uint64(0); i < n; i++ {
+		v.Push(i)
+	}
+	if v.Len() != n {
+		t.Fatalf("Len = %d, want %d", v.Len(), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		if v.Get(i) != i {
+			t.Fatalf("Get(%d) = %d", i, v.Get(i))
+		}
+	}
+	v.Update(123, 9999)
+	if v.Get(123) != 9999 {
+		t.Fatal("update lost")
+	}
+	v.Swap(0, 499)
+	if v.Get(0) != 499 || v.Get(499) != 0 {
+		t.Fatal("swap failed")
+	}
+}
+
+func TestVectorOutOfRangePanics(t *testing.T) {
+	tx := newTestTX(t, stm.ModeV15)
+	v, _ := NewVector(tx, "v")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range get should panic")
+		}
+	}()
+	v.Get(0)
+}
+
+func TestStackOrderAndReuse(t *testing.T) {
+	tx := newTestTX(t, stm.ModeV15)
+	s, _ := NewStack(tx, "s")
+	for i := uint64(1); i <= 10; i++ {
+		s.Push(i)
+	}
+	if v, ok := s.Peek(); !ok || v != 10 {
+		t.Fatalf("Peek = %d,%v", v, ok)
+	}
+	for want := uint64(10); want >= 1; want-- {
+		v, ok := s.Pop()
+		if !ok || v != want {
+			t.Fatalf("Pop = %d,%v, want %d", v, ok, want)
+		}
+	}
+	if _, ok := s.Pop(); ok {
+		t.Fatal("empty pop succeeded")
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	tx := newTestTX(t, stm.ModeV15)
+	q, _ := NewQueue(tx, "q")
+	for i := uint64(1); i <= 10; i++ {
+		q.Enqueue(i)
+	}
+	if v, ok := q.Peek(); !ok || v != 1 {
+		t.Fatalf("Peek = %d,%v", v, ok)
+	}
+	for want := uint64(1); want <= 10; want++ {
+		v, ok := q.Dequeue()
+		if !ok || v != want {
+			t.Fatalf("Dequeue = %d,%v, want %d", v, ok, want)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatal("queue not empty")
+	}
+	// Refill after emptying exercises the tail-reset path.
+	q.Enqueue(77)
+	if v, ok := q.Dequeue(); !ok || v != 77 {
+		t.Fatalf("post-empty Dequeue = %d,%v", v, ok)
+	}
+}
+
+func TestMapFencesPerOpInPaperRange(t *testing.T) {
+	// Fig. 10: PMDK v1.5 map insert uses a handful of ordering points.
+	tx := newTestTX(t, stm.ModeV15)
+	m, _ := NewHashmap(tx, "m", 4096)
+	dev := tx.Device()
+	var total uint64
+	const ops = 200
+	for i := uint64(0); i < ops; i++ {
+		before := dev.Stats()
+		m.Set(key64(i), key64(i))
+		total += dev.Stats().Sub(before).Fences
+	}
+	avg := float64(total) / ops
+	if avg < 3 || avg > 11 {
+		t.Fatalf("v1.5 fences per insert = %.1f, want 3-11 (Fig. 10)", avg)
+	}
+}
+
+func TestQuickHashmapAgainstModel(t *testing.T) {
+	tx := newTestTX(t, stm.ModeV15)
+	m, _ := NewHashmap(tx, "m", 64)
+	model := map[uint64]uint64{}
+	type op struct {
+		Key uint8
+		Val uint16
+		Del bool
+	}
+	f := func(ops []op) bool {
+		for _, o := range ops {
+			k := uint64(o.Key)
+			if o.Del {
+				_, had := model[k]
+				if m.Delete(key64(k)) != had {
+					return false
+				}
+				delete(model, k)
+			} else {
+				_, had := model[k]
+				if m.Set(key64(k), key64(uint64(o.Val))) != had {
+					return false
+				}
+				model[k] = uint64(o.Val)
+			}
+		}
+		if m.Len() != uint64(len(model)) {
+			return false
+		}
+		for k, v := range model {
+			got, ok := m.Get(key64(k))
+			if !ok || binary.LittleEndian.Uint64(got) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

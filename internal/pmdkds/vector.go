@@ -1,0 +1,129 @@
+package pmdkds
+
+import (
+	"fmt"
+
+	"github.com/mod-ds/mod/internal/pmem"
+	"github.com/mod-ds/mod/internal/stm"
+)
+
+// Vector is a transactional flat-array vector of 8-byte elements — the
+// dense, cache-friendly layout against which MOD's tree vector loses
+// (§6.3): an in-place element update snapshots and flushes one slot, where
+// MOD path-copies several 256-byte nodes.
+//
+// Layout:
+//
+//	header: [count u64][cap u64][data u64]
+//	data:   cap × [elem u64], reallocated at 2× growth
+type Vector struct {
+	tx  *stm.TX
+	hdr pmem.Addr
+}
+
+const (
+	vecHdrSize    = 24
+	vecInitialCap = 64
+)
+
+// NewVector creates (or reopens) a transactional vector under a named root.
+func NewVector(tx *stm.TX, name string) (*Vector, error) {
+	heap := tx.Heap()
+	dev := tx.Device()
+	slot, err := heap.RootSlot(name)
+	if err != nil {
+		return nil, err
+	}
+	if root := heap.Root(slot); root != pmem.Nil {
+		return &Vector{tx: tx, hdr: root}, nil
+	}
+	hdr := heap.Alloc(vecHdrSize, 0)
+	data := heap.Alloc(vecInitialCap*8, 0)
+	dev.WriteU64(hdr, 0)
+	dev.WriteU64(hdr+8, vecInitialCap)
+	dev.WriteU64(hdr+16, uint64(data))
+	dev.FlushRange(hdr, vecHdrSize)
+	heap.SetRoot(slot, hdr)
+	dev.Sfence()
+	return &Vector{tx: tx, hdr: hdr}, nil
+}
+
+// Len returns the number of elements.
+func (v *Vector) Len() uint64 { return v.tx.Device().ReadU64(v.hdr) }
+
+func (v *Vector) capacity() uint64 { return v.tx.Device().ReadU64(v.hdr + 8) }
+
+func (v *Vector) data() pmem.Addr { return pmem.Addr(v.tx.Device().ReadU64(v.hdr + 16)) }
+
+func (v *Vector) slot(i uint64) pmem.Addr { return v.data() + pmem.Addr(i*8) }
+
+// Get returns the element at index i.
+func (v *Vector) Get(i uint64) uint64 {
+	if i >= v.Len() {
+		panic(fmt.Sprintf("pmdkds: vector index %d out of range (len %d)", i, v.Len()))
+	}
+	return v.tx.Device().ReadU64(v.slot(i))
+}
+
+// Push appends val in one transaction, growing the array 2× when full.
+func (v *Vector) Push(val uint64) {
+	tx := v.tx
+	n, c := v.Len(), v.capacity()
+	if n == c {
+		v.grow(2 * c)
+	}
+	tx.Begin()
+	tx.Add(v.hdr, 8) // count
+	tx.WriteU64(v.slot(n), val)
+	tx.WriteU64(v.hdr, n+1)
+	tx.Commit()
+}
+
+// grow reallocates the backing array (its own transaction, like
+// pmemobj_tx_realloc) and copies the elements.
+func (v *Vector) grow(newCap uint64) {
+	tx := v.tx
+	dev := tx.Device()
+	n := v.Len()
+	old := v.data()
+	tx.Begin()
+	tx.Add(v.hdr+8, 16) // cap and data pointer
+	data := tx.Alloc(int(newCap)*8, 0)
+	buf := make([]byte, n*8)
+	dev.Read(old, buf)
+	tx.Write(data, buf)
+	tx.WriteU64(v.hdr+8, newCap)
+	tx.WriteU64(v.hdr+16, uint64(data))
+	tx.Free(old)
+	tx.Commit()
+}
+
+// Update replaces element i in one transaction: snapshot one slot, write
+// it, flush it — the minimal PMDK FASE.
+func (v *Vector) Update(i uint64, val uint64) {
+	if i >= v.Len() {
+		panic(fmt.Sprintf("pmdkds: vector update index %d out of range (len %d)", i, v.Len()))
+	}
+	tx := v.tx
+	tx.Begin()
+	tx.Add(v.slot(i), 8)
+	tx.WriteU64(v.slot(i), val)
+	tx.Commit()
+}
+
+// Swap exchanges elements i and j in one transaction.
+func (v *Vector) Swap(i, j uint64) {
+	n := v.Len()
+	if i >= n || j >= n {
+		panic(fmt.Sprintf("pmdkds: vector swap %d,%d out of range (len %d)", i, j, n))
+	}
+	tx := v.tx
+	dev := tx.Device()
+	a, b := dev.ReadU64(v.slot(i)), dev.ReadU64(v.slot(j))
+	tx.Begin()
+	tx.Add(v.slot(i), 8)
+	tx.Add(v.slot(j), 8)
+	tx.WriteU64(v.slot(i), b)
+	tx.WriteU64(v.slot(j), a)
+	tx.Commit()
+}

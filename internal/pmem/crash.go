@@ -1,0 +1,99 @@
+package pmem
+
+import "math/bits"
+
+// Crash-image generation for failure-injection testing (§5.2, §5.4).
+//
+// On a real machine, a power failure preserves exactly the lines that
+// reached the DIMM: everything fenced, an arbitrary subset of inflight
+// writebacks, and — because write-back caches may evict at any time — an
+// arbitrary subset of dirty lines. CrashImage materializes such a view.
+
+// CrashPolicy selects which non-durable lines a simulated crash persists.
+type CrashPolicy int
+
+const (
+	// CrashFencedOnly persists only lines made durable by an sfence: the
+	// most conservative (least state survives) failure.
+	CrashFencedOnly CrashPolicy = iota
+	// CrashInflightRandom additionally persists a pseudorandom subset of
+	// inflight (clwb'd but unfenced) lines, modeling writebacks that
+	// completed before power was lost.
+	CrashInflightRandom
+	// CrashEvictRandom additionally persists a pseudorandom subset of all
+	// non-durable lines (inflight and dirty), modeling cache evictions.
+	// This is the most adversarial policy: correct recoverable code must
+	// tolerate any dirty line becoming durable at any time.
+	CrashEvictRandom
+	// CrashAllInflight persists every inflight line but no dirty ones.
+	CrashAllInflight
+)
+
+// CrashImage returns a copy of the arena as it would appear after a power
+// failure under the given policy. The seed drives the pseudorandom subset
+// choices so failures are reproducible. The device must have been created
+// with TrackDurable.
+func (d *Device) CrashImage(policy CrashPolicy, seed uint64) []byte {
+	if d.dur == nil {
+		panic("pmem: CrashImage requires Config.TrackDurable")
+	}
+	img := make([]byte, len(d.dur))
+	copy(img, d.dur)
+	rng := seed
+	persistLine := func(ln uint64) {
+		off := ln << LineShift
+		copy(img[off:off+LineSize], d.mem[off:off+LineSize])
+	}
+	coin := func() bool {
+		rng = splitmix64(&rng)
+		return rng&1 == 0
+	}
+	switch policy {
+	case CrashFencedOnly:
+	case CrashAllInflight:
+		for _, ln := range d.inflight {
+			persistLine(ln)
+		}
+	case CrashInflightRandom:
+		for _, ln := range d.inflight {
+			if coin() {
+				persistLine(ln)
+			}
+		}
+	case CrashEvictRandom:
+		for _, ln := range d.inflight {
+			if coin() {
+				persistLine(ln)
+			}
+		}
+		for w, word := range d.dirty.words {
+			for word != 0 {
+				bit := word & (-word)
+				word &^= bit
+				if coin() {
+					persistLine(uint64(w)*64 + uint64(bits.TrailingZeros64(bit)))
+				}
+			}
+		}
+	}
+	return img
+}
+
+// DurableBytes returns a read-only view of the durable image for
+// inspection in tests. The device must track durability.
+func (d *Device) DurableBytes(addr Addr, n int) []byte {
+	if d.dur == nil {
+		panic("pmem: DurableBytes requires Config.TrackDurable")
+	}
+	d.checkRange(addr, n)
+	return d.dur[addr : addr+Addr(n) : addr+Addr(n)]
+}
+
+// splitmix64 advances the state and returns the next pseudorandom value.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,537 @@
+// Package pmem simulates a byte-addressable persistent memory device with
+// the cacheline flush and ordering semantics of Intel Optane DCPMM as
+// described in §3 of the MOD paper (Haria et al., ASPLOS 2020).
+//
+// The device models three line states. A store marks a line dirty in the
+// (volatile) cache. Clwb moves a line from dirty to inflight: the writeback
+// is launched but the CPU does not wait. Sfence stalls until every inflight
+// writeback completes, at which point those lines are durable. On a crash,
+// only durable lines survive (plus, under adversarial policies, an arbitrary
+// subset of inflight or dirty lines, modeling cache evictions).
+//
+// Time is simulated: every access advances a nanosecond clock using the
+// latency constants in Config. The flush-latency model is the paper's own
+// Amdahl/Karp–Flatt fit (Fig. 4): overlapped flushes behave 82% parallel and
+// 18% serial relative to a 353 ns un-overlapped flush.
+//
+// All datastructure state lives in the device arena and is referenced by
+// Addr offsets, the simulator's stand-in for pointers into mapped PM.
+package pmem
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/mod-ds/mod/internal/cachesim"
+)
+
+// Addr is a byte offset into the persistent arena. Addr 0 is the null
+// address and is never returned by the allocator.
+type Addr uint64
+
+// Nil is the null persistent address.
+const Nil Addr = 0
+
+// Cacheline geometry, matching x86-64.
+const (
+	LineSize  = 64
+	LineShift = 6
+)
+
+// Category labels simulated time for the execution-time breakdowns of
+// Figs. 2 and 9.
+type Category uint8
+
+const (
+	// CatOther is ordinary execution: reads, stores, compute.
+	CatOther Category = iota
+	// CatFlush is time spent issuing flushes and stalled at fences.
+	// Following the paper, flushes of log entries also land here.
+	CatFlush
+	// CatLog is CPU time spent constructing and bookkeeping log entries
+	// in PM-STM implementations.
+	CatLog
+
+	numCategories
+)
+
+// String returns the category name used in reports.
+func (c Category) String() string {
+	switch c {
+	case CatOther:
+		return "other"
+	case CatFlush:
+		return "flush"
+	case CatLog:
+		return "log"
+	}
+	return fmt.Sprintf("category(%d)", uint8(c))
+}
+
+// Config holds the device geometry and timing model. The zero value is not
+// usable; call DefaultConfig and adjust.
+type Config struct {
+	// Size is the arena size in bytes, rounded up to a full line.
+	Size int64
+
+	// TrackDurable maintains a second image holding only fenced state so
+	// that CrashImage can produce post-crash views. Doubles memory.
+	TrackDurable bool
+
+	// DisableCache turns off the L1D model (accesses then cost L1HitNs).
+	DisableCache bool
+
+	// Tracer, if non-nil, observes every PM event (see Tracer).
+	Tracer Tracer
+
+	// FlushLatencyNs is the latency of one clwb immediately ordered by an
+	// sfence, measured at 353 ns on Optane DCPMM (§3).
+	FlushLatencyNs float64
+	// FlushParallelFrac is the Amdahl parallel fraction of concurrent
+	// flushes, fitted at 0.82 via the Karp–Flatt metric (Fig. 4).
+	FlushParallelFrac float64
+	// FlushMaxConcurrency caps useful flush overlap; beyond 32 concurrent
+	// flushes the paper observes no further improvement.
+	FlushMaxConcurrency int
+
+	// ClwbIssueNs is the CPU cost of issuing one clwb (commits instantly,
+	// Fig. 3).
+	ClwbIssueNs float64
+	// SfenceBaseNs is the cost of an sfence with no inflight flushes.
+	SfenceBaseNs float64
+
+	// L1HitNs is the cost of a load or store that hits in L1D.
+	L1HitNs float64
+	// L2HitNs and L3HitNs are the costs of hits in the outer cache
+	// levels of Table 1 (1 MB L2, 33 MB shared L3).
+	L2HitNs float64
+	L3HitNs float64
+	// PMReadNs is the cost of a full cache miss served from PM (Table 1:
+	// 302 ns random 8-byte read).
+	PMReadNs float64
+}
+
+// DefaultConfig returns the Table 1 / §3 machine model with the given arena
+// size.
+func DefaultConfig(size int64) Config {
+	return Config{
+		Size:                size,
+		FlushLatencyNs:      353,
+		FlushParallelFrac:   0.82,
+		FlushMaxConcurrency: 32,
+		ClwbIssueNs:         5,
+		SfenceBaseNs:        10,
+		L1HitNs:             1.2,
+		L2HitNs:             4,
+		L3HitNs:             40,
+		PMReadNs:            302,
+	}
+}
+
+// Stats is a snapshot of device counters. Times are simulated nanoseconds.
+type Stats struct {
+	TotalNs float64
+	CatNs   [3]float64 // indexed by Category
+
+	Flushes      uint64 // clwb count
+	Fences       uint64 // sfence count
+	Reads        uint64 // read calls
+	Writes       uint64 // write calls
+	BytesRead    uint64
+	BytesWritten uint64
+
+	// FlushedPerFence accumulates the number of inflight flushes retired
+	// by each fence, for flush-concurrency reporting.
+	FlushedPerFence uint64
+
+	// Cache holds the L1D counters (the Fig. 11 metric); CacheLevels
+	// breaks accesses down by serving level.
+	Cache       cachesim.Stats
+	CacheLevels cachesim.HierarchyStats
+}
+
+// Sub returns s - base, counter-wise, for interval measurements.
+func (s Stats) Sub(base Stats) Stats {
+	r := s
+	r.TotalNs -= base.TotalNs
+	for i := range r.CatNs {
+		r.CatNs[i] -= base.CatNs[i]
+	}
+	r.Flushes -= base.Flushes
+	r.Fences -= base.Fences
+	r.Reads -= base.Reads
+	r.Writes -= base.Writes
+	r.BytesRead -= base.BytesRead
+	r.BytesWritten -= base.BytesWritten
+	r.FlushedPerFence -= base.FlushedPerFence
+	r.Cache = s.Cache.Sub(base.Cache)
+	r.CacheLevels = s.CacheLevels.Sub(base.CacheLevels)
+	return r
+}
+
+// Device is a simulated persistent memory module. It is not safe for
+// concurrent use; the paper's workloads are single-threaded.
+type Device struct {
+	cfg   Config
+	mem   []byte
+	dur   []byte // durable image; nil unless cfg.TrackDurable
+	lines uint64
+
+	dirty    bitset   // written since last clwb of the line
+	everDirt bitset   // written and not yet durable (dirty ∪ inflight)
+	inflight []uint64 // line indices clwb'd since last fence
+	infSet   bitset
+
+	cache  *cachesim.Hierarchy
+	tracer Tracer
+
+	clock float64
+	cat   Category
+	stats Stats
+}
+
+// New creates a device per cfg. The arena starts zeroed and durable.
+func New(cfg Config) *Device {
+	if cfg.Size <= 0 {
+		panic("pmem: config Size must be positive")
+	}
+	size := (cfg.Size + LineSize - 1) &^ (LineSize - 1)
+	d := &Device{
+		cfg:   cfg,
+		mem:   make([]byte, size),
+		lines: uint64(size) >> LineShift,
+	}
+	d.dirty = newBitset(d.lines)
+	d.everDirt = newBitset(d.lines)
+	d.infSet = newBitset(d.lines)
+	if cfg.TrackDurable {
+		d.dur = make([]byte, size)
+	}
+	if !cfg.DisableCache {
+		d.cache = cachesim.NewHierarchy()
+	}
+	d.tracer = cfg.Tracer
+	return d
+}
+
+// NewFromImage creates a device whose initial (durable) contents are img,
+// as after a crash and restart. The image length must not exceed cfg.Size.
+func NewFromImage(cfg Config, img []byte) *Device {
+	if int64(len(img)) > cfg.Size {
+		cfg.Size = int64(len(img))
+	}
+	d := New(cfg)
+	copy(d.mem, img)
+	if d.dur != nil {
+		copy(d.dur, img)
+	}
+	return d
+}
+
+// Size returns the arena size in bytes.
+func (d *Device) Size() int64 { return int64(len(d.mem)) }
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Tracer returns the tracer hook, or nil.
+func (d *Device) Tracer() Tracer { return d.tracer }
+
+// SetTracer replaces the tracer hook (nil disables tracing).
+func (d *Device) SetTracer(t Tracer) { d.tracer = t }
+
+// Clock returns the simulated time in nanoseconds since device creation.
+func (d *Device) Clock() float64 { return d.clock }
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats {
+	s := d.stats
+	s.TotalNs = d.clock
+	if d.cache != nil {
+		s.Cache = d.cache.L1Stats()
+		s.CacheLevels = d.cache.Stats()
+	}
+	return s
+}
+
+// Category returns the current accounting category.
+func (d *Device) Category() Category { return d.cat }
+
+// SetCategory switches the accounting category for subsequent time charges
+// and returns the previous category.
+func (d *Device) SetCategory(c Category) Category {
+	old := d.cat
+	d.cat = c
+	return old
+}
+
+// charge advances the clock, attributing ns to category c.
+func (d *Device) charge(c Category, ns float64) {
+	d.clock += ns
+	d.stats.CatNs[c] += ns
+}
+
+// ChargeCompute adds ns of CPU time to the current category. Used by
+// higher layers to account for work with no PM access (e.g. building a log
+// entry in registers).
+func (d *Device) ChargeCompute(ns float64) { d.charge(d.cat, ns) }
+
+func (d *Device) checkRange(addr Addr, n int) {
+	if n < 0 || uint64(addr) >= uint64(len(d.mem)) || uint64(addr)+uint64(n) > uint64(len(d.mem)) {
+		panic(fmt.Sprintf("pmem: access [%#x, %#x) outside arena of %d bytes", uint64(addr), uint64(addr)+uint64(n), len(d.mem)))
+	}
+}
+
+// access charges the cache/latency cost of touching every line in
+// [addr, addr+n) and returns nothing. write selects store vs load cost.
+//
+// Writes made under the Log category model PMDK's non-temporal log
+// stores: they stream past the L1D (no allocation, no miss charge) at a
+// fixed per-line cost, so a cycling log region does not thrash the cache.
+func (d *Device) access(addr Addr, n int, write bool) {
+	first := uint64(addr) >> LineShift
+	last := (uint64(addr) + uint64(n) - 1) >> LineShift
+	streaming := write && d.cat == CatLog
+	for ln := first; ln <= last; ln++ {
+		if streaming || d.cache == nil {
+			d.charge(d.cat, d.cfg.L1HitNs)
+		} else {
+			switch d.cache.Access(ln, write) {
+			case cachesim.InL1:
+				d.charge(d.cat, d.cfg.L1HitNs)
+			case cachesim.InL2:
+				d.charge(d.cat, d.cfg.L2HitNs)
+			case cachesim.InL3:
+				d.charge(d.cat, d.cfg.L3HitNs)
+			default:
+				d.charge(d.cat, d.cfg.PMReadNs)
+			}
+		}
+		if write {
+			d.dirty.set(ln)
+			d.everDirt.set(ln)
+		}
+	}
+}
+
+// Read copies n = len(p) bytes at addr into p.
+func (d *Device) Read(addr Addr, p []byte) {
+	if len(p) == 0 {
+		return
+	}
+	d.checkRange(addr, len(p))
+	d.access(addr, len(p), false)
+	copy(p, d.mem[addr:])
+	d.stats.Reads++
+	d.stats.BytesRead += uint64(len(p))
+}
+
+// Write stores p at addr, marking the touched lines dirty.
+func (d *Device) Write(addr Addr, p []byte) {
+	if len(p) == 0 {
+		return
+	}
+	d.checkRange(addr, len(p))
+	d.access(addr, len(p), true)
+	copy(d.mem[addr:], p)
+	d.stats.Writes++
+	d.stats.BytesWritten += uint64(len(p))
+	if d.tracer != nil {
+		d.tracer.Write(addr, len(p))
+	}
+}
+
+// Zero writes n zero bytes at addr.
+func (d *Device) Zero(addr Addr, n int) {
+	if n == 0 {
+		return
+	}
+	d.checkRange(addr, n)
+	d.access(addr, n, true)
+	clear(d.mem[addr : addr+Addr(n)])
+	d.stats.Writes++
+	d.stats.BytesWritten += uint64(n)
+	if d.tracer != nil {
+		d.tracer.Write(addr, n)
+	}
+}
+
+// ReadU64 reads a little-endian uint64 at addr.
+func (d *Device) ReadU64(addr Addr) uint64 {
+	d.checkRange(addr, 8)
+	d.access(addr, 8, false)
+	d.stats.Reads++
+	d.stats.BytesRead += 8
+	return binary.LittleEndian.Uint64(d.mem[addr:])
+}
+
+// WriteU64 stores a little-endian uint64 at addr.
+func (d *Device) WriteU64(addr Addr, v uint64) {
+	d.checkRange(addr, 8)
+	d.access(addr, 8, true)
+	binary.LittleEndian.PutUint64(d.mem[addr:], v)
+	d.stats.Writes++
+	d.stats.BytesWritten += 8
+	if d.tracer != nil {
+		d.tracer.Write(addr, 8)
+	}
+}
+
+// ReadAddr reads a persistent pointer stored at addr.
+func (d *Device) ReadAddr(addr Addr) Addr { return Addr(d.ReadU64(addr)) }
+
+// WriteAddr stores a persistent pointer at addr. The write is 8-byte
+// aligned and therefore atomic with respect to failure, the property the
+// MOD Commit step relies on (§5.2).
+func (d *Device) WriteAddr(addr Addr, v Addr) {
+	if addr&7 != 0 {
+		panic(fmt.Sprintf("pmem: unaligned pointer write at %#x", uint64(addr)))
+	}
+	d.WriteU64(addr, uint64(v))
+}
+
+// ReadU32 reads a little-endian uint32 at addr.
+func (d *Device) ReadU32(addr Addr) uint32 {
+	d.checkRange(addr, 4)
+	d.access(addr, 4, false)
+	d.stats.Reads++
+	d.stats.BytesRead += 4
+	return binary.LittleEndian.Uint32(d.mem[addr:])
+}
+
+// WriteU32 stores a little-endian uint32 at addr.
+func (d *Device) WriteU32(addr Addr, v uint32) {
+	d.checkRange(addr, 4)
+	d.access(addr, 4, true)
+	binary.LittleEndian.PutUint32(d.mem[addr:], v)
+	d.stats.Writes++
+	d.stats.BytesWritten += 4
+	if d.tracer != nil {
+		d.tracer.Write(addr, 4)
+	}
+}
+
+// Bytes returns a read-only view of [addr, addr+n) without charging
+// simulated time. It is intended for checkers, recovery scans, and tests;
+// workload code must use Read.
+func (d *Device) Bytes(addr Addr, n int) []byte {
+	d.checkRange(addr, n)
+	return d.mem[addr : addr+Addr(n) : addr+Addr(n)]
+}
+
+// Clwb initiates a writeback of the line containing addr. It commits
+// instantly (Fig. 3); the writeback completes at the next Sfence. Flushing
+// a clean line still costs issue time but does not join the inflight set
+// twice.
+func (d *Device) Clwb(addr Addr) {
+	d.checkRange(addr, 1)
+	ln := uint64(addr) >> LineShift
+	d.charge(CatFlush, d.cfg.ClwbIssueNs)
+	d.stats.Flushes++
+	d.dirty.clear(ln)
+	if !d.infSet.get(ln) {
+		d.infSet.set(ln)
+		d.inflight = append(d.inflight, ln)
+	}
+	if d.tracer != nil {
+		d.tracer.Flush(ln)
+	}
+}
+
+// FlushRange issues Clwb for every line overlapping [addr, addr+n).
+func (d *Device) FlushRange(addr Addr, n int) {
+	if n <= 0 {
+		return
+	}
+	d.checkRange(addr, n)
+	first := uint64(addr) &^ (LineSize - 1)
+	last := (uint64(addr) + uint64(n) - 1) &^ (LineSize - 1)
+	for ln := first; ln <= last; ln += LineSize {
+		d.Clwb(Addr(ln))
+	}
+}
+
+// FenceStallNs returns the modeled sfence stall for n inflight flushes:
+// n × T1 × ((1−f) + f/min(n, cap)), the Amdahl fit of Fig. 4.
+func (d *Device) FenceStallNs(n int) float64 {
+	if n <= 0 {
+		return d.cfg.SfenceBaseNs
+	}
+	eff := n
+	if d.cfg.FlushMaxConcurrency > 0 && eff > d.cfg.FlushMaxConcurrency {
+		eff = d.cfg.FlushMaxConcurrency
+	}
+	f := d.cfg.FlushParallelFrac
+	perFlush := d.cfg.FlushLatencyNs * ((1 - f) + f/float64(eff))
+	return perFlush * float64(n)
+}
+
+// Sfence stalls until all inflight writebacks complete, making them
+// durable. This is the only operation that adds lines to the durable image.
+func (d *Device) Sfence() {
+	n := len(d.inflight)
+	d.charge(CatFlush, d.FenceStallNs(n))
+	d.stats.Fences++
+	d.stats.FlushedPerFence += uint64(n)
+	if d.dur != nil {
+		for _, ln := range d.inflight {
+			off := ln << LineShift
+			copy(d.dur[off:off+LineSize], d.mem[off:off+LineSize])
+		}
+	}
+	for _, ln := range d.inflight {
+		d.infSet.clear(ln)
+		if !d.dirty.get(ln) {
+			d.everDirt.clear(ln)
+		}
+	}
+	d.inflight = d.inflight[:0]
+	if d.tracer != nil {
+		d.tracer.Fence(n)
+	}
+}
+
+// InflightLines returns the number of lines flushed but not yet fenced.
+func (d *Device) InflightLines() int { return len(d.inflight) }
+
+// DirtyLines returns the number of lines written but not yet flushed.
+func (d *Device) DirtyLines() int { return d.dirty.count() }
+
+// LineDirty reports whether the line containing addr has been written
+// since it was last flushed.
+func (d *Device) LineDirty(addr Addr) bool {
+	d.checkRange(addr, 1)
+	return d.dirty.get(uint64(addr) >> LineShift)
+}
+
+// bitset is a fixed-size bit vector over line indices.
+type bitset struct {
+	words []uint64
+	n     int
+}
+
+func newBitset(bits uint64) bitset {
+	return bitset{words: make([]uint64, (bits+63)/64)}
+}
+
+func (b *bitset) set(i uint64) {
+	w := &b.words[i>>6]
+	m := uint64(1) << (i & 63)
+	if *w&m == 0 {
+		*w |= m
+		b.n++
+	}
+}
+
+func (b *bitset) clear(i uint64) {
+	w := &b.words[i>>6]
+	m := uint64(1) << (i & 63)
+	if *w&m != 0 {
+		*w &^= m
+		b.n--
+	}
+}
+
+func (b *bitset) get(i uint64) bool { return b.words[i>>6]&(1<<(i&63)) != 0 }
+
+func (b *bitset) count() int { return b.n }

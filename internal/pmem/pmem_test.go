@@ -1,0 +1,332 @@
+package pmem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func newTestDevice(t *testing.T, size int64) *Device {
+	t.Helper()
+	cfg := DefaultConfig(size)
+	cfg.TrackDurable = true
+	return New(cfg)
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	d := newTestDevice(t, 4096)
+	data := []byte("minimally ordered durable")
+	d.Write(128, data)
+	got := make([]byte, len(data))
+	d.Read(128, got)
+	if string(got) != string(data) {
+		t.Fatalf("Read = %q, want %q", got, data)
+	}
+}
+
+func TestU64RoundTrip(t *testing.T) {
+	d := newTestDevice(t, 4096)
+	d.WriteU64(64, 0xdeadbeefcafef00d)
+	if got := d.ReadU64(64); got != 0xdeadbeefcafef00d {
+		t.Fatalf("ReadU64 = %#x", got)
+	}
+	d.WriteU32(80, 0x1234abcd)
+	if got := d.ReadU32(80); got != 0x1234abcd {
+		t.Fatalf("ReadU32 = %#x", got)
+	}
+}
+
+func TestWriteMarksDirtyFlushFenceDurable(t *testing.T) {
+	d := newTestDevice(t, 4096)
+	d.WriteU64(256, 42)
+	if !d.LineDirty(256) {
+		t.Fatal("line should be dirty after write")
+	}
+	if got := d.DurableBytes(256, 8); got[0] != 0 {
+		t.Fatal("write must not be durable before flush+fence")
+	}
+	d.Clwb(256)
+	if d.LineDirty(256) {
+		t.Fatal("clwb should clear dirty")
+	}
+	if d.InflightLines() != 1 {
+		t.Fatalf("InflightLines = %d, want 1", d.InflightLines())
+	}
+	if got := d.DurableBytes(256, 8); got[0] != 0 {
+		t.Fatal("clwb alone must not make data durable")
+	}
+	d.Sfence()
+	if d.InflightLines() != 0 {
+		t.Fatal("fence should retire inflight flushes")
+	}
+	if got := d.DurableBytes(256, 8); got[0] != 42 {
+		t.Fatalf("after fence durable byte = %d, want 42", got[0])
+	}
+}
+
+func TestRewriteAfterClwbIsDirtyAgain(t *testing.T) {
+	d := newTestDevice(t, 4096)
+	d.WriteU64(0, 1)
+	d.Clwb(0)
+	d.WriteU64(0, 2)
+	if !d.LineDirty(0) {
+		t.Fatal("store after clwb must re-dirty the line")
+	}
+}
+
+func TestFlushRangeCoversAllLines(t *testing.T) {
+	d := newTestDevice(t, 4096)
+	// 100 bytes starting at offset 60 spans lines 0, 1, 2.
+	d.Write(60, make([]byte, 100))
+	d.FlushRange(60, 100)
+	if got := d.InflightLines(); got != 3 {
+		t.Fatalf("InflightLines = %d, want 3", got)
+	}
+	if d.DirtyLines() != 0 {
+		t.Fatalf("DirtyLines = %d, want 0", d.DirtyLines())
+	}
+}
+
+func TestClwbDedupesInflight(t *testing.T) {
+	d := newTestDevice(t, 4096)
+	d.WriteU64(0, 7)
+	d.Clwb(0)
+	d.Clwb(8) // same line
+	if got := d.InflightLines(); got != 1 {
+		t.Fatalf("InflightLines = %d, want 1", got)
+	}
+	s := d.Stats()
+	if s.Flushes != 2 {
+		t.Fatalf("Flushes = %d, want 2 (both clwbs counted)", s.Flushes)
+	}
+}
+
+func TestFenceStallMatchesAmdahlModel(t *testing.T) {
+	d := newTestDevice(t, 4096)
+	cfg := d.Config()
+	// Single flush: exactly the measured 353 ns.
+	if got := d.FenceStallNs(1); math.Abs(got-cfg.FlushLatencyNs) > 1e-9 {
+		t.Fatalf("FenceStallNs(1) = %v, want %v", got, cfg.FlushLatencyNs)
+	}
+	// 16 concurrent flushes: average latency drops by ~75% (paper §3).
+	avg16 := d.FenceStallNs(16) / 16
+	reduction := 1 - avg16/cfg.FlushLatencyNs
+	if reduction < 0.70 || reduction > 0.80 {
+		t.Fatalf("16-flush average reduction = %.2f, want ≈0.75", reduction)
+	}
+	// Beyond the concurrency cap, per-flush latency stops improving.
+	avg32 := d.FenceStallNs(32) / 32
+	avg64 := d.FenceStallNs(64) / 64
+	if math.Abs(avg64-avg32) > 1e-9 {
+		t.Fatalf("per-flush latency should plateau past cap: %v vs %v", avg32, avg64)
+	}
+	// Stall is monotonically nondecreasing in flush count.
+	prev := 0.0
+	for n := 1; n <= 64; n++ {
+		s := d.FenceStallNs(n)
+		if s < prev {
+			t.Fatalf("FenceStallNs not monotonic at n=%d: %v < %v", n, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestEightFlushesOneFenceVsEightFences(t *testing.T) {
+	// §1: "8 clwbs can be performed 75% faster when they are ordered
+	// jointly by a single sfence than when each clwb is individually
+	// ordered by an sfence."
+	run := func(batched bool) float64 {
+		d := newTestDevice(t, 4096)
+		for i := 0; i < 8; i++ {
+			d.WriteU64(Addr(i*LineSize), uint64(i))
+		}
+		start := d.Clock()
+		for i := 0; i < 8; i++ {
+			d.Clwb(Addr(i * LineSize))
+			if !batched {
+				d.Sfence()
+			}
+		}
+		if batched {
+			d.Sfence()
+		}
+		return d.Clock() - start
+	}
+	sep := run(false)
+	joint := run(true)
+	speedup := 1 - joint/sep
+	if speedup < 0.60 || speedup > 0.85 {
+		t.Fatalf("batched fence speedup = %.2f, want ≈0.75", speedup)
+	}
+}
+
+func TestCategoryAccounting(t *testing.T) {
+	d := newTestDevice(t, 4096)
+	d.SetCategory(CatLog)
+	d.WriteU64(0, 1)
+	d.SetCategory(CatOther)
+	d.WriteU64(64, 2)
+	d.Clwb(0)
+	d.Sfence()
+	s := d.Stats()
+	if s.CatNs[CatLog] <= 0 {
+		t.Fatal("log category should have accumulated time")
+	}
+	if s.CatNs[CatFlush] <= 0 {
+		t.Fatal("flush category should have accumulated time")
+	}
+	sum := s.CatNs[CatOther] + s.CatNs[CatFlush] + s.CatNs[CatLog]
+	if math.Abs(sum-s.TotalNs) > 1e-6 {
+		t.Fatalf("category times %v do not sum to total %v", sum, s.TotalNs)
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	d := newTestDevice(t, 4096)
+	d.WriteU64(0, 1)
+	base := d.Stats()
+	d.WriteU64(64, 2)
+	d.Clwb(64)
+	d.Sfence()
+	delta := d.Stats().Sub(base)
+	if delta.Writes != 1 || delta.Flushes != 1 || delta.Fences != 1 {
+		t.Fatalf("delta = %+v, want 1 write / 1 flush / 1 fence", delta)
+	}
+	if delta.TotalNs <= 0 {
+		t.Fatal("delta time must be positive")
+	}
+}
+
+func TestCrashImageFencedOnly(t *testing.T) {
+	d := newTestDevice(t, 4096)
+	d.WriteU64(0, 11)
+	d.Clwb(0)
+	d.Sfence()
+	d.WriteU64(64, 22) // dirty, never flushed
+	d.WriteU64(128, 33)
+	d.Clwb(128) // inflight, never fenced
+	img := d.CrashImage(CrashFencedOnly, 1)
+	r := NewFromImage(DefaultConfig(4096), img)
+	if got := r.ReadU64(0); got != 11 {
+		t.Fatalf("fenced data lost: %d", got)
+	}
+	if got := r.ReadU64(64); got != 0 {
+		t.Fatalf("dirty data survived fenced-only crash: %d", got)
+	}
+	if got := r.ReadU64(128); got != 0 {
+		t.Fatalf("inflight data survived fenced-only crash: %d", got)
+	}
+}
+
+func TestCrashImageAllInflight(t *testing.T) {
+	d := newTestDevice(t, 4096)
+	d.WriteU64(128, 33)
+	d.Clwb(128)
+	img := d.CrashImage(CrashAllInflight, 1)
+	r := NewFromImage(DefaultConfig(4096), img)
+	if got := r.ReadU64(128); got != 33 {
+		t.Fatalf("inflight data lost under CrashAllInflight: %d", got)
+	}
+}
+
+func TestCrashImageDeterministicPerSeed(t *testing.T) {
+	build := func() *Device {
+		d := newTestDevice(t, 1<<16)
+		for i := 0; i < 200; i++ {
+			d.WriteU64(Addr(i*64), uint64(i))
+			if i%2 == 0 {
+				d.Clwb(Addr(i * 64))
+			}
+		}
+		return d
+	}
+	a := build().CrashImage(CrashEvictRandom, 42)
+	b := build().CrashImage(CrashEvictRandom, 42)
+	if string(a) != string(b) {
+		t.Fatal("crash image must be deterministic for a fixed seed")
+	}
+}
+
+func TestWriteAddrRequiresAlignment(t *testing.T) {
+	d := newTestDevice(t, 4096)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unaligned WriteAddr should panic")
+		}
+	}()
+	d.WriteAddr(3, 1)
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	d := newTestDevice(t, 4096)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range access should panic")
+		}
+	}()
+	d.ReadU64(4095)
+}
+
+func TestZero(t *testing.T) {
+	d := newTestDevice(t, 4096)
+	d.Write(0, []byte{1, 2, 3, 4})
+	d.Zero(0, 4)
+	got := make([]byte, 4)
+	d.Read(0, got)
+	for _, b := range got {
+		if b != 0 {
+			t.Fatalf("Zero left %v", got)
+		}
+	}
+}
+
+func TestQuickWriteReadAnywhere(t *testing.T) {
+	d := newTestDevice(t, 1<<16)
+	f := func(off uint16, v uint64) bool {
+		a := Addr(off) &^ 7
+		if int(a)+8 > int(d.Size()) {
+			a = Addr(d.Size() - 8)
+		}
+		d.WriteU64(a, v)
+		return d.ReadU64(a) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashValuesComeFromWriteHistory(t *testing.T) {
+	// Property: under any crash policy, every surviving 8-byte word equals
+	// either zero (initial state) or some value previously written to that
+	// address — never garbage from elsewhere.
+	d := newTestDevice(t, 1<<14)
+	var seed uint64 = 7
+	history := map[Addr]map[uint64]bool{}
+	for i := 0; i < 500; i++ {
+		r := splitmix64(&seed)
+		a := Addr(r%(1<<14-8)) &^ 7
+		v := splitmix64(&seed)
+		d.WriteU64(a, v)
+		if history[a] == nil {
+			history[a] = map[uint64]bool{}
+		}
+		history[a][v] = true
+		switch r % 3 {
+		case 0:
+			d.Clwb(a)
+		case 1:
+			d.Clwb(a)
+			d.Sfence()
+		}
+	}
+	for _, pol := range []CrashPolicy{CrashFencedOnly, CrashAllInflight, CrashInflightRandom, CrashEvictRandom} {
+		img := d.CrashImage(pol, 99)
+		r := NewFromImage(DefaultConfig(1<<14), img)
+		for a, vals := range history {
+			got := r.ReadU64(a)
+			if got != 0 && !vals[got] {
+				t.Fatalf("policy %d: addr %#x has value %#x never written there", pol, uint64(a), got)
+			}
+		}
+	}
+}

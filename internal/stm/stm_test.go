@@ -1,0 +1,254 @@
+package stm
+
+import (
+	"testing"
+
+	"github.com/mod-ds/mod/internal/alloc"
+	"github.com/mod-ds/mod/internal/pmem"
+)
+
+func newTestTX(t *testing.T, mode Mode) (*TX, *pmem.Device, *alloc.Heap) {
+	t.Helper()
+	cfg := pmem.DefaultConfig(8 << 20)
+	cfg.TrackDurable = true
+	dev := pmem.New(cfg)
+	h := alloc.Format(dev)
+	tx := New(dev, h, mode)
+	return tx, dev, h
+}
+
+func TestCommitAppliesWrites(t *testing.T) {
+	for _, mode := range []Mode{ModeV14, ModeV15} {
+		tx, dev, h := newTestTX(t, mode)
+		cell := h.Alloc(8, 0)
+		dev.WriteU64(cell, 1)
+		dev.FlushRange(cell, 8)
+		dev.Sfence()
+
+		tx.Begin()
+		tx.Add(cell, 8)
+		tx.WriteU64(cell, 2)
+		tx.Commit()
+		if got := dev.ReadU64(cell); got != 2 {
+			t.Fatalf("%v: value = %d, want 2", mode, got)
+		}
+		// Committed data must be durable.
+		if got := dev.DurableBytes(cell, 1)[0]; got != 2 {
+			t.Fatalf("%v: durable value = %d, want 2", mode, got)
+		}
+	}
+}
+
+func TestAbortRollsBack(t *testing.T) {
+	for _, mode := range []Mode{ModeV14, ModeV15} {
+		tx, dev, h := newTestTX(t, mode)
+		cell := h.Alloc(16, 0)
+		dev.WriteU64(cell, 111)
+		dev.WriteU64(cell+8, 222)
+		dev.FlushRange(cell, 16)
+		dev.Sfence()
+
+		tx.Begin()
+		tx.Add(cell, 16)
+		tx.WriteU64(cell, 333)
+		tx.WriteU64(cell+8, 444)
+		tx.Abort()
+		if a, b := dev.ReadU64(cell), dev.ReadU64(cell+8); a != 111 || b != 222 {
+			t.Fatalf("%v: after abort got %d,%d want 111,222", mode, a, b)
+		}
+	}
+}
+
+func TestCrashMidTransactionRollsBackOnRecover(t *testing.T) {
+	for _, mode := range []Mode{ModeV14, ModeV15} {
+		tx, dev, h := newTestTX(t, mode)
+		cell := h.Alloc(8, 0)
+		dev.WriteU64(cell, 7)
+		dev.FlushRange(cell, 8)
+		dev.Sfence()
+		logAddr := tx.LogAddr()
+
+		tx.Begin()
+		tx.Add(cell, 8)
+		tx.WriteU64(cell, 8)
+		// Crash before commit, with everything inflight persisted (most
+		// adversarial for undo logging: the overwrite reached PM).
+		dev.FlushRange(cell, 8)
+		img := dev.CrashImage(pmem.CrashAllInflight, 1)
+
+		dev2 := pmem.NewFromImage(pmem.DefaultConfig(8<<20), img)
+		rolledBack := Recover(dev2, logAddr)
+		if mode == ModeV14 && !rolledBack {
+			t.Fatalf("%v: recovery did not detect active log", mode)
+		}
+		if got := dev2.ReadU64(cell); got != 7 {
+			t.Fatalf("%v: after recovery value = %d, want 7", mode, got)
+		}
+	}
+}
+
+func TestRecoverIdleLogIsNoop(t *testing.T) {
+	tx, dev, _ := newTestTX(t, ModeV15)
+	if Recover(dev, tx.LogAddr()) {
+		t.Fatal("recovery rolled back an idle log")
+	}
+}
+
+func TestCommittedTransactionSurvivesCrash(t *testing.T) {
+	tx, dev, h := newTestTX(t, ModeV15)
+	cell := h.Alloc(8, 0)
+	dev.WriteU64(cell, 1)
+	dev.FlushRange(cell, 8)
+	dev.Sfence()
+
+	tx.Begin()
+	tx.Add(cell, 8)
+	tx.WriteU64(cell, 99)
+	tx.Commit()
+	img := dev.CrashImage(pmem.CrashFencedOnly, 1)
+	dev2 := pmem.NewFromImage(pmem.DefaultConfig(8<<20), img)
+	if Recover(dev2, tx.LogAddr()) {
+		t.Fatal("recovery rolled back a committed transaction")
+	}
+	if got := dev2.ReadU64(cell); got != 99 {
+		t.Fatalf("committed value lost: %d", got)
+	}
+}
+
+func TestV14HasMoreFencesThanV15(t *testing.T) {
+	count := func(mode Mode) uint64 {
+		tx, dev, h := newTestTX(t, mode)
+		cells := make([]pmem.Addr, 4)
+		for i := range cells {
+			cells[i] = h.Alloc(8, 0)
+		}
+		dev.Sfence()
+		before := dev.Stats()
+		tx.Begin()
+		// Annotate all ranges up front, then write — the TX_ADD pattern of
+		// the PMDK examples; v1.5's batched log flushes rely on it.
+		for _, c := range cells {
+			tx.Add(c, 8)
+		}
+		for _, c := range cells {
+			tx.WriteU64(c, 5)
+		}
+		tx.Alloc(64, 0)
+		tx.Commit()
+		return dev.Stats().Sub(before).Fences
+	}
+	f14, f15 := count(ModeV14), count(ModeV15)
+	if f14 <= f15 {
+		t.Fatalf("v1.4 fences (%d) should exceed v1.5 fences (%d)", f14, f15)
+	}
+	if f15 < 3 || f15 > 11 {
+		t.Fatalf("v1.5 fences per tx = %d, want within the paper's 3-11", f15)
+	}
+}
+
+func TestV15FasterThanV14(t *testing.T) {
+	run := func(mode Mode) float64 {
+		tx, dev, h := newTestTX(t, mode)
+		cells := make([]pmem.Addr, 8)
+		for i := range cells {
+			cells[i] = h.Alloc(8, 0)
+		}
+		dev.Sfence()
+		start := dev.Clock()
+		for iter := 0; iter < 100; iter++ {
+			tx.Begin()
+			for _, c := range cells[:3] {
+				tx.Add(c, 8)
+			}
+			for _, c := range cells[:3] {
+				tx.WriteU64(c, uint64(iter))
+			}
+			tx.Alloc(32, 0)
+			tx.Commit()
+		}
+		return dev.Clock() - start
+	}
+	t14, t15 := run(ModeV14), run(ModeV15)
+	if t15 >= t14 {
+		t.Fatalf("v1.5 (%.0f ns) should be faster than v1.4 (%.0f ns)", t15, t14)
+	}
+	improvement := 1 - t15/t14
+	if improvement < 0.05 || improvement > 0.60 {
+		t.Fatalf("v1.5 improvement = %.0f%%, want roughly the paper's ~23%%", 100*improvement)
+	}
+}
+
+func TestLogCategoryAccounted(t *testing.T) {
+	tx, dev, h := newTestTX(t, ModeV15)
+	cell := h.Alloc(8, 0)
+	dev.Sfence()
+	before := dev.Stats()
+	tx.Begin()
+	tx.Add(cell, 8)
+	tx.WriteU64(cell, 1)
+	tx.Commit()
+	delta := dev.Stats().Sub(before)
+	if delta.CatNs[pmem.CatLog] <= 0 {
+		t.Fatal("no time attributed to logging")
+	}
+	if delta.CatNs[pmem.CatFlush] <= 0 {
+		t.Fatal("no time attributed to flushing")
+	}
+}
+
+func TestTransactionalFreeAppliesAtCommit(t *testing.T) {
+	tx, _, h := newTestTX(t, ModeV15)
+	a := h.Alloc(32, 0)
+	tx.Begin()
+	tx.Free(a)
+	if h.RefCount(a) != 1 {
+		t.Fatal("free applied before commit")
+	}
+	tx.Commit()
+	if h.RefCount(a) != 0 {
+		t.Fatal("free not applied at commit")
+	}
+}
+
+func TestAbortFreesTransactionalAllocations(t *testing.T) {
+	tx, _, h := newTestTX(t, ModeV15)
+	tx.Begin()
+	a := tx.Alloc(32, 0)
+	tx.Abort()
+	if h.RefCount(a) != 0 {
+		t.Fatal("aborted allocation not released")
+	}
+}
+
+func TestNestedBeginPanics(t *testing.T) {
+	tx, _, _ := newTestTX(t, ModeV15)
+	tx.Begin()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nested Begin should panic")
+		}
+	}()
+	tx.Begin()
+}
+
+func TestWriteOutsideTransactionPanics(t *testing.T) {
+	tx, _, _ := newTestTX(t, ModeV15)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Write outside transaction should panic")
+		}
+	}()
+	tx.WriteU64(64, 1)
+}
+
+func TestLogOverflowPanics(t *testing.T) {
+	tx, _, h := newTestTX(t, ModeV15)
+	big := h.Alloc(DefaultLogSize, 0)
+	tx.Begin()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("log overflow should panic")
+		}
+	}()
+	tx.Add(big, DefaultLogSize)
+}

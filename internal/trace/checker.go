@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"fmt"
+
+	"github.com/mod-ds/mod/internal/pmem"
+)
+
+// Violation describes one invariant breach found in a trace.
+type Violation struct {
+	Invariant string // "I1".."I4"
+	Index     int    // index of the offending event
+	Event     Event
+	Detail    string
+}
+
+// Error renders the violation for reports.
+func (v Violation) Error() string {
+	return fmt.Sprintf("%s at event %d (%s addr=%#x size=%d): %s",
+		v.Invariant, v.Index, v.Event.Kind, uint64(v.Event.Addr), v.Event.Size, v.Detail)
+}
+
+// CheckerConfig tunes the invariant checker.
+type CheckerConfig struct {
+	// ExemptRanges lists [start, end) regions whose writes are exempt from
+	// I1, such as the allocator superblock whose bump pointer is updated
+	// in place by design (its recovery path tolerates lost updates).
+	ExemptRanges [][2]pmem.Addr
+	// AllowUnflushedTail permits writes after the final fence of the trace
+	// to remain unflushed (a run normally ends mid-epoch).
+	AllowUnflushedTail bool
+}
+
+type interval struct{ start, end pmem.Addr }
+
+// Check scans the events and returns all invariant violations found.
+func Check(events []Event, cfg CheckerConfig) []Violation {
+	var violations []Violation
+	report := func(inv string, i int, detail string) {
+		violations = append(violations, Violation{Invariant: inv, Index: i, Event: events[i], Detail: detail})
+	}
+
+	exempt := func(addr pmem.Addr, size uint64) bool {
+		for _, r := range cfg.ExemptRanges {
+			if addr >= r[0] && addr+pmem.Addr(size) <= r[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	var (
+		inFASE, inCommit bool
+		faseAllocs       []interval         // blocks allocated in the current FASE
+		pending          = map[uint64]int{} // line -> event index of unflushed write
+		freedSinceFence  []interval         // blocks freed since the last fence
+	)
+
+	inFASEAlloc := func(addr pmem.Addr, size uint64) bool {
+		for _, iv := range faseAllocs {
+			if addr >= iv.start && addr+pmem.Addr(size) <= iv.end {
+				return true
+			}
+		}
+		return false
+	}
+
+	for i, e := range events {
+		switch e.Kind {
+		case KindAlloc:
+			end := e.Addr + pmem.Addr(e.Size)
+			for _, f := range freedSinceFence {
+				if e.Addr < f.end && f.start < end {
+					report("I4", i, fmt.Sprintf("allocation overlaps block [%#x,%#x) freed since the last fence", uint64(f.start), uint64(f.end)))
+					break
+				}
+			}
+			if inFASE {
+				faseAllocs = append(faseAllocs, interval{e.Addr, end})
+			}
+
+		case KindFree:
+			freedSinceFence = append(freedSinceFence, interval{e.Addr, e.Addr + pmem.Addr(e.Size)})
+
+		case KindWrite:
+			if inFASE {
+				if inCommit {
+					// Exempt regions (allocator superblock, commit
+					// transaction log) have their own atomicity story.
+					if !exempt(e.Addr, e.Size) {
+						if e.Size > 8 {
+							report("I3", i, fmt.Sprintf("commit write of %d bytes is not failure-atomic", e.Size))
+						} else if uint64(e.Addr)%8+e.Size > 8 {
+							report("I3", i, "commit write crosses an 8-byte boundary")
+						}
+					}
+				} else if !inFASEAlloc(e.Addr, e.Size) && !exempt(e.Addr, e.Size) {
+					report("I1", i, "write to PM not allocated within this FASE and outside commit")
+				}
+			}
+			first := uint64(e.Addr) >> pmem.LineShift
+			last := (uint64(e.Addr) + e.Size - 1) >> pmem.LineShift
+			for ln := first; ln <= last; ln++ {
+				pending[ln] = i
+			}
+
+		case KindFlush:
+			delete(pending, uint64(e.Addr))
+
+		case KindFence:
+			for ln, wi := range pending {
+				violations = append(violations, Violation{
+					Invariant: "I2", Index: i, Event: e,
+					Detail: fmt.Sprintf("line %#x written at event %d was not flushed before this fence", ln, wi),
+				})
+			}
+			clear(pending)
+			freedSinceFence = freedSinceFence[:0]
+
+		case KindFASEBegin:
+			if inFASE {
+				report("I1", i, "nested FASE begin")
+			}
+			inFASE = true
+			faseAllocs = faseAllocs[:0]
+
+		case KindFASEEnd:
+			if !inFASE {
+				report("I1", i, "FASE end without begin")
+			}
+			if inCommit {
+				report("I3", i, "FASE ended inside commit step")
+			}
+			inFASE = false
+
+		case KindCommitBegin:
+			if !inFASE {
+				report("I3", i, "commit outside FASE")
+			}
+			inCommit = true
+
+		case KindCommitEnd:
+			if !inCommit {
+				report("I3", i, "commit end without begin")
+			}
+			inCommit = false
+		}
+	}
+
+	if !cfg.AllowUnflushedTail && len(pending) > 0 {
+		for ln, wi := range pending {
+			violations = append(violations, Violation{
+				Invariant: "I2", Index: len(events) - 1, Event: Event{Kind: KindFence},
+				Detail: fmt.Sprintf("line %#x written at event %d never flushed by end of trace", ln, wi),
+			})
+		}
+	}
+	return violations
+}

@@ -1,0 +1,174 @@
+// Package trace implements the automated testing framework of §5.4 of the
+// MOD paper. A Recorder captures every PM allocation, write, flush, commit,
+// and fence during execution; a Checker then scans the trace and verifies
+// the invariants behind the paper's correctness argument (§5.2):
+//
+//	I1: inside a FASE, every PM write outside the commit step targets
+//	    memory allocated within that same FASE (out-of-place updates only).
+//	I2: every PM write is flushed before the next fence (no write left
+//	    behind in the volatile cache at an ordering point).
+//	I3: writes inside the commit step are at most 8 bytes and 8-byte
+//	    aligned, and therefore atomic with respect to failure.
+//	I4: a freed block is not reused for a new allocation before a
+//	    subsequent fence (reclamation quarantine; see DESIGN.md §4).
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/mod-ds/mod/internal/pmem"
+)
+
+// Kind identifies a trace event type.
+type Kind uint8
+
+// Event kinds, in the order they were defined by the testing framework.
+const (
+	KindAlloc Kind = iota + 1
+	KindFree
+	KindWrite
+	KindFlush
+	KindFence
+	KindFASEBegin
+	KindFASEEnd
+	KindCommitBegin
+	KindCommitEnd
+)
+
+// String returns the event kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindAlloc:
+		return "alloc"
+	case KindFree:
+		return "free"
+	case KindWrite:
+		return "write"
+	case KindFlush:
+		return "flush"
+	case KindFence:
+		return "fence"
+	case KindFASEBegin:
+		return "fase-begin"
+	case KindFASEEnd:
+		return "fase-end"
+	case KindCommitBegin:
+		return "commit-begin"
+	case KindCommitEnd:
+		return "commit-end"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one recorded PM event. Addr/Size carry the payload for allocs,
+// frees, and writes; Addr carries the line index for flushes and the
+// retired-flush count for fences.
+type Event struct {
+	Kind Kind
+	Addr pmem.Addr
+	Size uint64
+	Tag  uint8
+}
+
+// Recorder captures events. It implements pmem.Tracer so it can be plugged
+// directly into a Device, and it receives allocator and FASE events through
+// the same interface.
+type Recorder struct {
+	events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+var _ pmem.Tracer = (*Recorder)(nil)
+
+// Alloc records a block allocation (addr is the block start including any
+// allocator header; size is the full block size).
+func (r *Recorder) Alloc(addr pmem.Addr, size uint64, tag uint8) {
+	r.events = append(r.events, Event{Kind: KindAlloc, Addr: addr, Size: size, Tag: tag})
+}
+
+// Free records a block release.
+func (r *Recorder) Free(addr pmem.Addr, size uint64) {
+	r.events = append(r.events, Event{Kind: KindFree, Addr: addr, Size: size})
+}
+
+// Write records a PM store.
+func (r *Recorder) Write(addr pmem.Addr, size int) {
+	r.events = append(r.events, Event{Kind: KindWrite, Addr: addr, Size: uint64(size)})
+}
+
+// Flush records a clwb of a line index.
+func (r *Recorder) Flush(line uint64) {
+	r.events = append(r.events, Event{Kind: KindFlush, Addr: pmem.Addr(line)})
+}
+
+// Fence records an sfence retiring n flushes.
+func (r *Recorder) Fence(n int) {
+	r.events = append(r.events, Event{Kind: KindFence, Size: uint64(n)})
+}
+
+// FASEBegin marks the start of a failure-atomic section.
+func (r *Recorder) FASEBegin() { r.events = append(r.events, Event{Kind: KindFASEBegin}) }
+
+// FASEEnd marks the end of a failure-atomic section.
+func (r *Recorder) FASEEnd() { r.events = append(r.events, Event{Kind: KindFASEEnd}) }
+
+// CommitBegin marks the start of the commit step.
+func (r *Recorder) CommitBegin() { r.events = append(r.events, Event{Kind: KindCommitBegin}) }
+
+// CommitEnd marks the end of the commit step.
+func (r *Recorder) CommitEnd() { r.events = append(r.events, Event{Kind: KindCommitEnd}) }
+
+// Events returns the recorded events. The slice is owned by the recorder.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Reset discards all recorded events.
+func (r *Recorder) Reset() { r.events = r.events[:0] }
+
+// eventSize is the on-disk record size: kind(1) + tag(1) + addr(8) + size(8).
+const eventSize = 18
+
+// WriteTo encodes the trace in a compact binary format.
+func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
+	buf := make([]byte, eventSize)
+	var n int64
+	for _, e := range r.events {
+		buf[0] = byte(e.Kind)
+		buf[1] = e.Tag
+		binary.LittleEndian.PutUint64(buf[2:], uint64(e.Addr))
+		binary.LittleEndian.PutUint64(buf[10:], e.Size)
+		m, err := w.Write(buf)
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// ReadTrace decodes a binary trace written by WriteTo.
+func ReadTrace(rd io.Reader) ([]Event, error) {
+	var events []Event
+	buf := make([]byte, eventSize)
+	for {
+		_, err := io.ReadFull(rd, buf)
+		if err == io.EOF {
+			return events, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: truncated event record: %w", err)
+		}
+		events = append(events, Event{
+			Kind: Kind(buf[0]),
+			Tag:  buf[1],
+			Addr: pmem.Addr(binary.LittleEndian.Uint64(buf[2:])),
+			Size: binary.LittleEndian.Uint64(buf[10:]),
+		})
+	}
+}

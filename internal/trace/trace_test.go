@@ -1,0 +1,246 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/mod-ds/mod/internal/pmem"
+)
+
+// script builds event traces tersely for checker tests.
+type script struct{ r *Recorder }
+
+func (s script) fase(f func())   { s.r.FASEBegin(); f(); s.r.FASEEnd() }
+func (s script) commit(f func()) { s.r.CommitBegin(); f(); s.r.CommitEnd() }
+func (s script) flushRange(addr pmem.Addr, size uint64) {
+	first := uint64(addr) >> pmem.LineShift
+	last := (uint64(addr) + size - 1) >> pmem.LineShift
+	for ln := first; ln <= last; ln++ {
+		s.r.Flush(ln)
+	}
+}
+
+func check(t *testing.T, r *Recorder, cfg CheckerConfig) []Violation {
+	t.Helper()
+	return Check(r.Events(), cfg)
+}
+
+func TestCleanMODStyleFASEPasses(t *testing.T) {
+	r := NewRecorder()
+	s := script{r}
+	s.fase(func() {
+		r.Alloc(1024, 128, 1)
+		r.Write(1032, 64) // within the new block
+		s.flushRange(1032, 64)
+		s.commit(func() {
+			r.Fence(2)
+			r.Write(64, 8) // 8B atomic root pointer swap
+			r.Flush(1)
+		})
+		r.Free(2048, 128)
+	})
+	r.Fence(1)
+	if v := check(t, r, CheckerConfig{}); len(v) != 0 {
+		t.Fatalf("clean trace reported violations: %v", v)
+	}
+}
+
+func TestI1WriteToExistingDataFails(t *testing.T) {
+	r := NewRecorder()
+	s := script{r}
+	s.fase(func() {
+		r.Write(4096, 8) // no alloc for this address in the FASE
+		r.Flush(64)
+	})
+	r.Fence(1)
+	v := check(t, r, CheckerConfig{})
+	if len(v) != 1 || v[0].Invariant != "I1" {
+		t.Fatalf("want one I1 violation, got %v", v)
+	}
+}
+
+func TestI1ExemptRangeAllowed(t *testing.T) {
+	r := NewRecorder()
+	s := script{r}
+	s.fase(func() {
+		r.Write(128, 8) // superblock bump pointer
+		r.Flush(2)
+	})
+	r.Fence(1)
+	cfg := CheckerConfig{ExemptRanges: [][2]pmem.Addr{{0, 512}}}
+	if v := check(t, r, cfg); len(v) != 0 {
+		t.Fatalf("exempt write flagged: %v", v)
+	}
+}
+
+func TestI2UnflushedWriteBeforeFenceFails(t *testing.T) {
+	r := NewRecorder()
+	s := script{r}
+	s.fase(func() {
+		r.Alloc(1024, 64, 1)
+		r.Write(1024, 8)
+		// no flush
+	})
+	r.Fence(0)
+	v := check(t, r, CheckerConfig{})
+	if len(v) != 1 || v[0].Invariant != "I2" {
+		t.Fatalf("want one I2 violation, got %v", v)
+	}
+}
+
+func TestI2WriteAfterFlushFails(t *testing.T) {
+	r := NewRecorder()
+	r.Alloc(1024, 64, 1)
+	r.Write(1024, 8)
+	r.Flush(16)
+	r.Write(1024, 8) // dirty again, not re-flushed
+	r.Fence(1)
+	v := check(t, r, CheckerConfig{})
+	if len(v) != 1 || v[0].Invariant != "I2" {
+		t.Fatalf("want one I2 violation, got %v", v)
+	}
+}
+
+func TestI2MultiLineWriteNeedsEveryLineFlushed(t *testing.T) {
+	r := NewRecorder()
+	r.Write(0, 200) // lines 0..3
+	r.Flush(0)
+	r.Flush(1)
+	r.Flush(3)
+	r.Fence(3)
+	v := check(t, r, CheckerConfig{})
+	if len(v) != 1 || v[0].Invariant != "I2" {
+		t.Fatalf("want one I2 violation for line 2, got %v", v)
+	}
+}
+
+func TestI3LargeCommitWriteFails(t *testing.T) {
+	r := NewRecorder()
+	s := script{r}
+	s.fase(func() {
+		s.commit(func() {
+			r.Fence(0)
+			r.Write(64, 16) // too large to be atomic
+			r.Flush(1)
+		})
+	})
+	r.Fence(1)
+	v := check(t, r, CheckerConfig{})
+	if len(v) != 1 || v[0].Invariant != "I3" {
+		t.Fatalf("want one I3 violation, got %v", v)
+	}
+}
+
+func TestI3StraddlingCommitWriteFails(t *testing.T) {
+	r := NewRecorder()
+	s := script{r}
+	s.fase(func() {
+		s.commit(func() {
+			r.Write(60, 8) // crosses the 64-byte... actually the 8B boundary at 64
+			r.Flush(0)
+			r.Flush(1)
+		})
+	})
+	r.Fence(2)
+	v := check(t, r, CheckerConfig{})
+	if len(v) != 1 || v[0].Invariant != "I3" {
+		t.Fatalf("want one I3 violation, got %v", v)
+	}
+}
+
+func TestI4ReuseBeforeFenceFails(t *testing.T) {
+	r := NewRecorder()
+	r.Free(1024, 64)
+	r.Alloc(1024, 64, 1) // reused before any fence
+	v := check(t, r, CheckerConfig{AllowUnflushedTail: true})
+	if len(v) != 1 || v[0].Invariant != "I4" {
+		t.Fatalf("want one I4 violation, got %v", v)
+	}
+}
+
+func TestI4ReuseAfterFenceOK(t *testing.T) {
+	r := NewRecorder()
+	r.Free(1024, 64)
+	r.Fence(0)
+	r.Alloc(1024, 64, 1)
+	if v := check(t, r, CheckerConfig{AllowUnflushedTail: true}); len(v) != 0 {
+		t.Fatalf("reuse after fence flagged: %v", v)
+	}
+}
+
+func TestUnflushedTailPolicy(t *testing.T) {
+	r := NewRecorder()
+	r.Write(0, 8)
+	if v := check(t, r, CheckerConfig{}); len(v) != 1 {
+		t.Fatalf("strict tail: want 1 violation, got %v", v)
+	}
+	if v := check(t, r, CheckerConfig{AllowUnflushedTail: true}); len(v) != 0 {
+		t.Fatalf("lenient tail: want 0 violations, got %v", v)
+	}
+}
+
+func TestStructuralViolations(t *testing.T) {
+	r := NewRecorder()
+	r.FASEBegin()
+	r.FASEBegin() // nested
+	r.CommitEnd() // end without begin
+	r.FASEEnd()
+	r.FASEEnd() // end without begin
+	v := check(t, r, CheckerConfig{AllowUnflushedTail: true})
+	if len(v) != 3 {
+		t.Fatalf("want 3 structural violations, got %d: %v", len(v), v)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	r.Alloc(12345, 678, 9)
+	r.Write(1, 8)
+	r.Flush(0)
+	r.Fence(1)
+	r.FASEBegin()
+	r.CommitBegin()
+	r.CommitEnd()
+	r.FASEEnd()
+	r.Free(12345, 678)
+
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := r.Events()
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadTraceTruncated(t *testing.T) {
+	r := NewRecorder()
+	r.Fence(1)
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:buf.Len()-1]
+	if _, err := ReadTrace(bytes.NewReader(raw)); err == nil {
+		t.Fatal("truncated trace must return an error")
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	r := NewRecorder()
+	r.Fence(1)
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("Reset must clear events")
+	}
+}

@@ -1,0 +1,89 @@
+package workloads
+
+import (
+	"fmt"
+
+	"github.com/mod-ds/mod/internal/graph"
+	"github.com/mod-ds/mod/internal/pmdkds"
+)
+
+// bfs: breadth-first search over a Flickr-scale R-MAT graph using a
+// recoverable queue as the frontier (Table 2). The graph itself is
+// volatile — the paper reconstructs it from the dataset on every run and
+// does not store it durably — so only the queue operations touch PM.
+// The op count scales the graph; a run performs roughly cfg.Ops queue
+// operations (pushes + pops across the reachable component).
+
+func bfsGraphSize(ops int) (nodes, edges int) {
+	nodes = ops / 4
+	if nodes < 1024 {
+		nodes = 1024
+	}
+	if nodes > graph.FlickrNodes {
+		nodes = graph.FlickrNodes
+	}
+	edges = nodes * 12 // Flickr's edge/node ratio (9.84M / 0.82M)
+	return nodes, edges
+}
+
+func bfsArena(ops int) int64 {
+	nodes, _ := bfsGraphSize(ops)
+	return int64(nodes)*256 + (64 << 20)
+}
+
+func runBFS(e *env, rnd *rng, ops int, res *Result) error {
+	nodes, edges := bfsGraphSize(ops)
+	g := graph.RMAT(nodes, edges, rnd.next())
+	src := g.MaxDegreeNode()
+	visited := make([]bool, g.N)
+
+	var push func(uint64)
+	var pop func() (uint64, bool)
+	if e.engine == EngineMOD {
+		q, err := e.store.Queue("bfs-frontier")
+		if err != nil {
+			return err
+		}
+		push = q.Enqueue
+		pop = q.Dequeue
+	} else {
+		q, err := pmdkds.NewQueue(e.tx, "bfs-frontier")
+		if err != nil {
+			return err
+		}
+		push = q.Enqueue
+		pop = q.Dequeue
+	}
+
+	queueOps := 0
+	visitedCount := 1
+	visited[src] = true
+	push(uint64(src))
+	queueOps++
+	for {
+		u, ok := pop()
+		if !ok {
+			break
+		}
+		queueOps++
+		for _, v := range g.Neighbors(int32(u)) {
+			if !visited[v] {
+				visited[v] = true
+				visitedCount++
+				push(uint64(v))
+				queueOps++
+			}
+		}
+	}
+
+	// Validate against the volatile reference traversal.
+	_, want := graph.BFS(g, src)
+	if visitedCount != want {
+		return fmt.Errorf("bfs: visited %d nodes, reference says %d", visitedCount, want)
+	}
+	res.Ops = queueOps // normalize per-op metrics to queue operations
+	res.Extra["nodes"] = float64(g.N)
+	res.Extra["edges"] = float64(g.Edges())
+	res.Extra["visited"] = float64(visitedCount)
+	return nil
+}

@@ -1,0 +1,308 @@
+package workloads
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/mod-ds/mod/internal/apps"
+	"github.com/mod-ds/mod/internal/pmdkds"
+)
+
+// The microbenchmarks of Table 2. Each iteration is one operation drawn
+// from the workload's mix; update operations are failure-atomic sections,
+// lookups are plain reads.
+
+func key8(i uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, i)
+	return b
+}
+
+func val32(i uint64) []byte {
+	b := make([]byte, 32)
+	binary.LittleEndian.PutUint64(b, i)
+	return b
+}
+
+// registry maps workload names to their drivers. Populated across the
+// files of this package.
+var registry = map[string]runner{}
+
+func init() {
+	registry["map"] = runner{run: runMap}
+	registry["set"] = runner{run: runSet}
+	registry["stack"] = runner{run: runStack}
+	registry["queue"] = runner{run: runQueue}
+	registry["vector"] = runner{setup: setupVector, run: runVector}
+	registry["vec-swap"] = runner{setup: setupVector, run: runVecSwap}
+	registry["bfs"] = runner{run: runBFS, arena: bfsArena}
+	registry["vacation"] = runner{setup: setupVacation, run: runVacation}
+	registry["memcached"] = runner{setup: setupMemcached, run: runMemcached, arena: memcachedArena}
+}
+
+// map: insert/lookup random 8B keys with 32B values (Table 2).
+func runMap(e *env, rnd *rng, ops int, res *Result) error {
+	m, err := e.kv("bench-map", ops)
+	if err != nil {
+		return err
+	}
+	keyspace := uint64(2 * ops)
+	inserts := 0
+	for i := 0; i < ops; i++ {
+		k := rnd.intn(keyspace)
+		if rnd.next()&1 == 0 {
+			m.Set(key8(k), val32(k))
+			inserts++
+		} else {
+			m.Get(key8(k))
+		}
+	}
+	res.Extra["inserts"] = float64(inserts)
+	res.Extra["size"] = float64(m.Len())
+	return nil
+}
+
+// set: insert/lookup random 8B keys (Table 2).
+func runSet(e *env, rnd *rng, ops int, res *Result) error {
+	keyspace := uint64(2 * ops)
+	if e.engine == EngineMOD {
+		s, err := e.store.Set("bench-set")
+		if err != nil {
+			return err
+		}
+		for i := 0; i < ops; i++ {
+			k := rnd.intn(keyspace)
+			if rnd.next()&1 == 0 {
+				s.Insert(key8(k))
+			} else {
+				s.Contains(key8(k))
+			}
+		}
+		res.Extra["size"] = float64(s.Len())
+		return nil
+	}
+	s, err := pmdkds.NewHashset(e.tx, "bench-set", pow2(ops))
+	if err != nil {
+		return err
+	}
+	for i := 0; i < ops; i++ {
+		k := rnd.intn(keyspace)
+		if rnd.next()&1 == 0 {
+			s.Insert(key8(k))
+		} else {
+			s.Contains(key8(k))
+		}
+	}
+	res.Extra["size"] = float64(s.Len())
+	return nil
+}
+
+// stack: push/pop from the top (Table 2), 2:1 push bias so the stack
+// grows and pops always find elements.
+func runStack(e *env, rnd *rng, ops int, res *Result) error {
+	if e.engine == EngineMOD {
+		s, err := e.store.Stack("bench-stack")
+		if err != nil {
+			return err
+		}
+		for i := 0; i < ops; i++ {
+			if rnd.intn(3) != 0 || s.Len() == 0 {
+				s.Push(uint64(i))
+			} else {
+				s.Pop()
+			}
+		}
+		res.Extra["size"] = float64(s.Len())
+		return nil
+	}
+	s, err := pmdkds.NewStack(e.tx, "bench-stack")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < ops; i++ {
+		if rnd.intn(3) != 0 || s.Len() == 0 {
+			s.Push(uint64(i))
+		} else {
+			s.Pop()
+		}
+	}
+	res.Extra["size"] = float64(s.Len())
+	return nil
+}
+
+// queue: enqueue/dequeue (Table 2), 2:1 enqueue bias.
+func runQueue(e *env, rnd *rng, ops int, res *Result) error {
+	if e.engine == EngineMOD {
+		q, err := e.store.Queue("bench-queue")
+		if err != nil {
+			return err
+		}
+		for i := 0; i < ops; i++ {
+			if rnd.intn(3) != 0 || q.Len() == 0 {
+				q.Enqueue(uint64(i))
+			} else {
+				q.Dequeue()
+			}
+		}
+		res.Extra["size"] = float64(q.Len())
+		return nil
+	}
+	q, err := pmdkds.NewQueue(e.tx, "bench-queue")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < ops; i++ {
+		if rnd.intn(3) != 0 || q.Len() == 0 {
+			q.Enqueue(uint64(i))
+		} else {
+			q.Dequeue()
+		}
+	}
+	res.Extra["size"] = float64(q.Len())
+	return nil
+}
+
+// vector workloads operate on a preloaded vector of Ops elements.
+type vectorHandles struct {
+	mod  modVector
+	pmdk *pmdkds.Vector
+}
+
+type modVector interface {
+	Len() uint64
+	Get(uint64) uint64
+	Push(uint64)
+	Update(uint64, uint64)
+	Swap(uint64, uint64)
+}
+
+func setupVector(e *env, rnd *rng) error {
+	n := vectorPreload
+	if e.engine == EngineMOD {
+		v, err := e.store.Vector("bench-vector")
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			v.Push(uint64(i))
+		}
+		return nil
+	}
+	v, err := pmdkds.NewVector(e.tx, "bench-vector")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		v.Push(uint64(i))
+	}
+	return nil
+}
+
+// vectorPreload is set per run by the harness via Config; to keep the
+// runner signature simple it defaults relative to ops inside runVector.
+var vectorPreload = 10_000
+
+// SetVectorPreload adjusts the preloaded vector size (element count) for
+// the vector and vec-swap workloads.
+func SetVectorPreload(n int) {
+	if n > 0 {
+		vectorPreload = n
+	}
+}
+
+// vector: update/read random indices (Table 2).
+func runVector(e *env, rnd *rng, ops int, res *Result) error {
+	n := uint64(vectorPreload)
+	if e.engine == EngineMOD {
+		v, err := e.store.Vector("bench-vector")
+		if err != nil {
+			return err
+		}
+		for i := 0; i < ops; i++ {
+			idx := rnd.intn(n)
+			if rnd.next()&1 == 0 {
+				v.Update(idx, uint64(i))
+			} else {
+				v.Get(idx)
+			}
+		}
+		return nil
+	}
+	v, err := pmdkds.NewVector(e.tx, "bench-vector")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < ops; i++ {
+		idx := rnd.intn(n)
+		if rnd.next()&1 == 0 {
+			v.Update(idx, uint64(i))
+		} else {
+			v.Get(idx)
+		}
+	}
+	return nil
+}
+
+// vec-swap: swap two random elements per iteration (the canneal kernel,
+// Table 2). MOD composes two pure updates under one commit (Fig. 7b).
+func runVecSwap(e *env, rnd *rng, ops int, res *Result) error {
+	n := uint64(vectorPreload)
+	if e.engine == EngineMOD {
+		v, err := e.store.Vector("bench-vector")
+		if err != nil {
+			return err
+		}
+		for i := 0; i < ops; i++ {
+			v.Swap(rnd.intn(n), rnd.intn(n))
+		}
+		return nil
+	}
+	v, err := pmdkds.NewVector(e.tx, "bench-vector")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < ops; i++ {
+		v.Swap(rnd.intn(n), rnd.intn(n))
+	}
+	return nil
+}
+
+// memcached: 95% sets / 5% gets with 16B keys and 512B values (Table 2).
+const (
+	memcachedKeyLen = 16
+	memcachedValLen = 512
+)
+
+func memcachedArena(ops int) int64 {
+	return int64(ops)*2048 + (128 << 20)
+}
+
+func memcachedKey(rnd *rng, keyspace uint64) string {
+	return fmt.Sprintf("user:%011d", rnd.intn(keyspace)) // 16 bytes
+}
+
+func setupMemcached(e *env, rnd *rng) error { return nil }
+
+func runMemcached(e *env, rnd *rng, ops int, res *Result) error {
+	kv, err := e.kv("bench-cache", ops)
+	if err != nil {
+		return err
+	}
+	cache := apps.NewCache(kv)
+	keyspace := uint64(ops/2 + 1)
+	val := make([]byte, memcachedValLen)
+	for i := 0; i < ops; i++ {
+		k := memcachedKey(rnd, keyspace)
+		if rnd.intn(100) < 95 {
+			binary.LittleEndian.PutUint64(val, uint64(i))
+			cache.Set(k, val)
+		} else {
+			cache.Get(k)
+		}
+	}
+	_, sets, hits, _ := func() (uint64, uint64, uint64, uint64) { return cache.Stats() }()
+	res.Extra["sets"] = float64(sets)
+	res.Extra["hits"] = float64(hits)
+	res.Extra["items"] = float64(cache.Items())
+	return nil
+}

@@ -1,0 +1,69 @@
+package workloads
+
+import (
+	"github.com/mod-ds/mod/internal/apps"
+)
+
+// vacation: travel reservation system with four recoverable maps
+// (Table 2). Each reservation or cancellation is a FASE updating two maps
+// — committed with CommitSiblings on MOD (§6.2) and a single two-map
+// transaction on the PMDK baseline. The mix approximates the paper's
+// STAMP configuration (55% user reservations, the rest queries and
+// cancellations over an 80% query range).
+
+const (
+	vacationResources = 1 << 12 // resources per kind
+	vacationUnits     = 4       // units per resource
+)
+
+func setupVacation(e *env, rnd *rng) error {
+	r, err := vacationSystem(e)
+	if err != nil {
+		return err
+	}
+	for kind := apps.Cars; kind <= apps.Rooms; kind++ {
+		for id := uint64(0); id < vacationResources; id++ {
+			r.AddResource(kind, id, vacationUnits)
+		}
+	}
+	return nil
+}
+
+func vacationSystem(e *env) (apps.Reservations, error) {
+	if e.engine == EngineMOD {
+		return apps.NewMODReservations(e.store)
+	}
+	return apps.NewPMDKReservations(e.tx, vacationResources*4)
+}
+
+func runVacation(e *env, rnd *rng, ops int, res *Result) error {
+	r, err := vacationSystem(e)
+	if err != nil {
+		return err
+	}
+	customers := uint64(ops)/2 + 1
+	var reserves, cancels, queries float64
+	for i := 0; i < ops; i++ {
+		kind := apps.ResourceKind(rnd.intn(3))
+		resID := rnd.intn(vacationResources)
+		custID := rnd.intn(customers)
+		switch action := rnd.intn(100); {
+		case action < 55:
+			if r.Reserve(kind, resID, custID) {
+				reserves++
+			}
+		case action < 80:
+			r.Query(kind, resID)
+			r.Booking(custID)
+			queries++
+		default:
+			if r.Cancel(custID) {
+				cancels++
+			}
+		}
+	}
+	res.Extra["reserves"] = reserves
+	res.Extra["cancels"] = cancels
+	res.Extra["queries"] = queries
+	return nil
+}

@@ -1,0 +1,176 @@
+package workloads
+
+import (
+	"testing"
+)
+
+func smallCfg() Config { return Config{Ops: 2000, Seed: 42} }
+
+func TestAllWorkloadsAllEnginesComplete(t *testing.T) {
+	SetVectorPreload(2000)
+	for _, name := range Names {
+		for _, engine := range Engines {
+			res, err := Run(name, engine, smallCfg())
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, engine, err)
+			}
+			if res.SimNs <= 0 {
+				t.Fatalf("%s/%s: no simulated time", name, engine)
+			}
+			if res.Fences == 0 {
+				t.Fatalf("%s/%s: no fences recorded", name, engine)
+			}
+			if res.Workload != name || res.Engine != engine.String() {
+				t.Fatalf("%s/%s: mislabeled result %+v", name, engine, res)
+			}
+			sum := res.OtherNs + res.FlushNs + res.LogNs
+			if diff := sum - res.SimNs; diff > 1e-3 || diff < -1e-3 {
+				t.Fatalf("%s/%s: categories %.1f do not sum to total %.1f", name, engine, sum, res.SimNs)
+			}
+		}
+	}
+}
+
+func TestUnknownWorkloadErrors(t *testing.T) {
+	if _, err := Run("nope", EngineMOD, smallCfg()); err == nil {
+		t.Fatal("unknown workload must error")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	a, err := Run("map", EngineMOD, Config{Ops: 1000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("map", EngineMOD, Config{Ops: 1000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SimNs != b.SimNs || a.Flushes != b.Flushes || a.Fences != b.Fences {
+		t.Fatalf("runs not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestMODHasOneFencePerUpdateOnMicrobenchmarks(t *testing.T) {
+	// §6.4: "MOD datastructures always have only one fence per operation."
+	// Mixed workloads include lookups (no fence), so fences/op < 1; the
+	// pure-update vec-swap workload must be exactly 1.
+	SetVectorPreload(2000)
+	res, err := Run("vec-swap", EngineMOD, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.FencesPerOp(); got != 1 {
+		t.Fatalf("MOD vec-swap fences/op = %v, want exactly 1", got)
+	}
+}
+
+func TestPMDKFencesPerOpInPaperRange(t *testing.T) {
+	SetVectorPreload(2000)
+	res, err := Run("vec-swap", EnginePMDK15, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.FencesPerOp(); got < 3 || got > 11 {
+		t.Fatalf("PMDK v1.5 vec-swap fences/op = %.1f, want 3-11 (Fig. 10)", got)
+	}
+}
+
+func TestMODFasterThanPMDKOnPointerStructures(t *testing.T) {
+	// Fig. 9 headline: MOD beats PMDK v1.5 on map/set/queue/stack.
+	SetVectorPreload(2000)
+	for _, name := range []string{"map", "set", "queue", "stack"} {
+		mod, err := Run(name, EngineMOD, smallCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pmdk, err := Run(name, EnginePMDK15, smallCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mod.SimNs >= pmdk.SimNs {
+			t.Errorf("%s: MOD (%.0f ns) not faster than PMDK v1.5 (%.0f ns)", name, mod.SimNs, pmdk.SimNs)
+		}
+	}
+}
+
+func TestPMDKFasterThanMODOnVector(t *testing.T) {
+	// Fig. 9: vector and vec-swap are the cases MOD loses.
+	SetVectorPreload(2000)
+	for _, name := range []string{"vector", "vec-swap"} {
+		mod, err := Run(name, EngineMOD, smallCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pmdk, err := Run(name, EnginePMDK15, smallCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mod.SimNs <= pmdk.SimNs {
+			t.Errorf("%s: MOD (%.0f ns) unexpectedly beats PMDK v1.5 (%.0f ns)", name, mod.SimNs, pmdk.SimNs)
+		}
+	}
+}
+
+func TestV15FasterThanV14(t *testing.T) {
+	// §6.3: v1.5 outperforms v1.4 by ~23% on average.
+	mod15, err := Run("map", EnginePMDK15, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod14, err := Run("map", EnginePMDK14, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod15.SimNs >= mod14.SimNs {
+		t.Fatalf("v1.5 (%.0f) not faster than v1.4 (%.0f)", mod15.SimNs, mod14.SimNs)
+	}
+}
+
+func TestBFSVisitsValidatedComponent(t *testing.T) {
+	res, err := Run("bfs", EngineMOD, Config{Ops: 4000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Extra["visited"] < 2 {
+		t.Fatalf("bfs visited %v nodes", res.Extra["visited"])
+	}
+	if res.Ops < int(res.Extra["visited"]) {
+		t.Fatal("queue ops must be at least the visited count")
+	}
+}
+
+func TestVacationPerformsReservations(t *testing.T) {
+	res, err := Run("vacation", EngineMOD, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Extra["reserves"] == 0 || res.Extra["queries"] == 0 {
+		t.Fatalf("vacation mix incomplete: %+v", res.Extra)
+	}
+}
+
+func TestMemcachedMixRecorded(t *testing.T) {
+	res, err := Run("memcached", EngineMOD, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	setsFrac := res.Extra["sets"] / float64(res.Ops)
+	if setsFrac < 0.90 || setsFrac > 0.99 {
+		t.Fatalf("memcached sets fraction = %.2f, want ≈0.95", setsFrac)
+	}
+}
+
+func TestFlushTimeDominatesPMDK(t *testing.T) {
+	// Fig. 2: PMDK v1.5 spends the majority of execution time flushing.
+	res, err := Run("map", EnginePMDK15, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FlushFrac() < 0.35 {
+		t.Fatalf("PMDK flush fraction = %.2f, expected flushing to dominate", res.FlushFrac())
+	}
+	if res.LogFrac() <= 0 {
+		t.Fatal("PMDK log fraction missing")
+	}
+}

@@ -1,0 +1,107 @@
+// Package mod is the public API of this reproduction of "MOD: Minimally
+// Ordered Durable Datastructures for Persistent Memory" (Haria, Hill &
+// Swift, ASPLOS 2020): a library of recoverable map, set, vector, stack,
+// and queue datastructures for (simulated) persistent memory whose
+// failure-atomic updates need a single ordering point in the common case.
+//
+// # Quickstart
+//
+//	dev := mod.NewDevice(mod.DefaultDeviceConfig(256 << 20))
+//	store, _ := mod.NewStore(dev)
+//	m, _ := store.Map("users")
+//	m.Set([]byte("ada"), []byte("lovelace"))   // one FASE, one fence
+//	v, ok := m.Get([]byte("ada"))
+//
+// Reopening after a crash recovers committed state and sweeps leaks:
+//
+//	store, stats, _ := mod.OpenStore(mod.NewDeviceFromImage(cfg, image))
+//
+// # Basic vs Composition interfaces
+//
+// Handle methods such as Map.Set and Vector.Push are the Basic interface
+// (§4.3.1): each is a self-contained failure-atomic section. For FASEs
+// spanning several updates or several datastructures, use the Composition
+// interface (§4.3.2): Pure* methods return shadow versions, and
+// Store.CommitSingle, Store.CommitSiblings (for structures under one
+// Parent), or Store.CommitUnrelated install them atomically.
+//
+// The persistent memory substrate is simulated (see DESIGN.md): Device
+// models Optane DCPMM cacheline-flush semantics with the paper's measured
+// latencies, so all performance figures are in simulated nanoseconds.
+package mod
+
+import (
+	"github.com/mod-ds/mod/internal/alloc"
+	"github.com/mod-ds/mod/internal/core"
+	"github.com/mod-ds/mod/internal/pmem"
+)
+
+// Device is a simulated persistent memory module with clwb/sfence
+// semantics and a simulated-time clock.
+type Device = pmem.Device
+
+// DeviceConfig holds device geometry and the latency model.
+type DeviceConfig = pmem.Config
+
+// Addr is a persistent address (byte offset into the device arena).
+type Addr = pmem.Addr
+
+// Store is a persistent heap hosting MOD datastructures, located across
+// process lifetimes by named roots.
+type Store = core.Store
+
+// RecoveryStats reports what post-crash recovery found and reclaimed.
+type RecoveryStats = alloc.RecoveryStats
+
+// Datastructure handles (Basic interface) and shadow versions
+// (Composition interface).
+type (
+	// Map is a recoverable hash map (CHAMP trie).
+	Map = core.Map
+	// Set is a recoverable hash set.
+	Set = core.Set
+	// Vector is a recoverable vector (32-way trie).
+	Vector = core.Vector
+	// Stack is a recoverable LIFO stack (cons list).
+	Stack = core.Stack
+	// Queue is a recoverable FIFO queue (banker's queue).
+	Queue = core.Queue
+	// Parent is a persistent object whose fields anchor sibling
+	// datastructures for CommitSiblings.
+	Parent = core.Parent
+
+	// Version is one immutable shadow version of a datastructure.
+	Version = core.Version
+	// Update pairs a datastructure with a shadow chain for the multi-
+	// structure commits.
+	Update = core.Update
+	// MapVersion is a shadow map version.
+	MapVersion = core.MapVersion
+	// SetVersion is a shadow set version.
+	SetVersion = core.SetVersion
+	// VectorVersion is a shadow vector version.
+	VectorVersion = core.VectorVersion
+	// StackVersion is a shadow stack version.
+	StackVersion = core.StackVersion
+	// QueueVersion is a shadow queue version.
+	QueueVersion = core.QueueVersion
+)
+
+// DefaultDeviceConfig returns the paper's machine model (Table 1) with
+// the given arena size in bytes.
+func DefaultDeviceConfig(size int64) DeviceConfig { return pmem.DefaultConfig(size) }
+
+// NewDevice creates a simulated PM device.
+func NewDevice(cfg DeviceConfig) *Device { return pmem.New(cfg) }
+
+// NewDeviceFromImage creates a device initialized from a crash image.
+func NewDeviceFromImage(cfg DeviceConfig, image []byte) *Device {
+	return pmem.NewFromImage(cfg, image)
+}
+
+// NewStore formats the device and returns an empty store.
+func NewStore(dev *Device) (*Store, error) { return core.NewStore(dev) }
+
+// OpenStore attaches to a previously formatted device, rolling back any
+// interrupted commit and garbage-collecting unreachable blocks (§5.3).
+func OpenStore(dev *Device) (*Store, RecoveryStats, error) { return core.OpenStore(dev) }
