@@ -66,6 +66,10 @@ func BenchmarkAblationFlushConcurrency(b *testing.B) { benchExperiment(b, "ablat
 // whole-structure shadow paging.
 func BenchmarkAblationNaiveShadow(b *testing.B) { benchExperiment(b, "ablation-naive") }
 
+// BenchmarkConcurrent runs the reader-scaling sweep (snapshot readers
+// against committing writers over sharded maps).
+func BenchmarkConcurrent(b *testing.B) { benchExperiment(b, "concurrent") }
+
 // benchWorkload runs one Table 2 workload on one engine, reporting the
 // simulated per-operation cost and ordering behaviour.
 func benchWorkload(b *testing.B, name string, engine workloads.Engine) {

@@ -1,0 +1,89 @@
+// Concurrent demonstrates the Store's concurrency model: forked
+// per-goroutine views, lock-free snapshots that never block on
+// committing writers, and per-root commit serialization — followed by a
+// crash and recovery to show the concurrent history is durable.
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	mod "github.com/mod-ds/mod"
+)
+
+func main() {
+	cfg := mod.DefaultDeviceConfig(64 << 20)
+	cfg.TrackDurable = true
+	dev := mod.NewDevice(cfg)
+	store, err := mod.NewStore(dev)
+	if err != nil {
+		panic(err)
+	}
+
+	const shards = 4
+	for s := 0; s < shards; s++ {
+		m, _ := store.Map(fmt.Sprintf("shard-%d", s))
+		for k := 0; k < 100; k++ {
+			m.Set([]byte(fmt.Sprintf("key-%03d", k)), []byte("seed"))
+		}
+	}
+	store.Sync()
+
+	var wg sync.WaitGroup
+	// Two writers over disjoint shards: commits proceed in parallel.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			view := store.Fork()
+			for i := 0; i < 500; i++ {
+				m, _ := view.Map(fmt.Sprintf("shard-%d", w*2+i%2))
+				m.Set([]byte(fmt.Sprintf("key-%03d", i%200)), []byte(fmt.Sprintf("w%d-%d", w, i)))
+			}
+		}(w)
+	}
+	// Four readers snapshotting while the writers commit.
+	var lookups sync.WaitGroup
+	reads := make([]int, 4)
+	readNs := make([]float64, 4)
+	for r := 0; r < 4; r++ {
+		lookups.Add(1)
+		go func(r int) {
+			defer lookups.Done()
+			view := store.Fork()
+			for i := 0; i < 300; i++ {
+				m, _ := view.Map(fmt.Sprintf("shard-%d", i%shards))
+				snap := m.Snapshot()
+				if _, ok := snap.Get([]byte(fmt.Sprintf("key-%03d", i%100))); ok {
+					reads[r]++
+				}
+				snap.Close()
+			}
+			readNs[r] = view.Device().LocalNs()
+		}(r)
+	}
+	wg.Wait()
+	lookups.Wait()
+	store.Sync()
+
+	total := 0
+	for r, n := range reads {
+		fmt.Printf("reader %d: %d hits in %.1f simulated us (own critical path)\n", r, n, readNs[r]/1e3)
+		total += n
+	}
+	fmt.Printf("readers observed %d committed values during %d concurrent FASEs\n", total, 1000)
+
+	// Crash and recover: the concurrent history must be durable.
+	img := dev.CrashImage(0 /* fenced state only */, 1)
+	store2, stats, err := mod.OpenStore(mod.NewDeviceFromImage(mod.DefaultDeviceConfig(64<<20), img))
+	if err != nil {
+		panic(err)
+	}
+	live := uint64(0)
+	for s := 0; s < shards; s++ {
+		m, _ := store2.Map(fmt.Sprintf("shard-%d", s))
+		live += m.Len()
+	}
+	fmt.Printf("after crash: %d live entries across %d shards, %d blocks recovered, %d leaked blocks swept\n",
+		live, shards, stats.LiveBlocks, stats.LeakedBlocks)
+}

@@ -1,0 +1,3 @@
+module github.com/mod-ds/mod
+
+go 1.24

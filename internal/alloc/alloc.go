@@ -13,15 +13,29 @@
 // treatment of allocations from interrupted FASEs.
 //
 // Reclamation. Reference counts live in volatile memory and are rebuilt on
-// recovery, as §5.3 prescribes. A block whose count reaches zero is
-// quarantined rather than freed: it becomes reusable only after the next
-// fence, by which time the root swap that orphaned it is durable. This
-// preserves MOD's one-fence-per-FASE property without risking reuse of
-// memory the durable image still references (DESIGN.md §4).
+// recovery, as §5.3 prescribes; they are atomic, so concurrent writers can
+// retain and release shared subtrees without locks. A block whose count
+// reaches zero is retired rather than freed, and becomes reusable only
+// once two conditions hold (see epoch.go):
+//
+//  1. a device fence has executed after the retirement, so the root swap
+//     that orphaned the block is durable and the durable image cannot
+//     still need it (MOD's one-fence-per-FASE quarantine, DESIGN.md §4);
+//  2. the epoch-based-reclamation grace period has passed, so no reader
+//     that pinned an epoch before the block was unlinked can still hold a
+//     pointer into it.
+//
+// Concurrency. A Heap value is a handle onto shared allocator state, in
+// the same way a pmem.Device is a handle onto shared device state. Fork
+// derives a handle with its own device clock for a worker goroutine; all
+// handles share the free lists, reference counts, root table, and epoch
+// machinery.
 package alloc
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"github.com/mod-ds/mod/internal/pmem"
 )
@@ -64,7 +78,7 @@ type Stats struct {
 	CumBytes   uint64 // bytes ever allocated (never decreases)
 	HighWater  uint64 // max LiveBytes observed
 	HeapUsed   uint64 // bytes between heap base and bump top
-	Quarantine int    // blocks awaiting the next fence
+	Quarantine int    // retired blocks awaiting fence + epoch grace
 }
 
 // RecoveryStats reports what a post-crash Recover pass found.
@@ -76,24 +90,34 @@ type RecoveryStats struct {
 	Roots        int    // non-nil roots found
 }
 
-// Heap is a persistent allocator over a pmem.Device. It is not safe for
-// concurrent use.
-type Heap struct {
-	dev *pmem.Device
-
+// heapShared is the allocator state common to all handles. The mutex
+// guards the bump pointer, free lists, and counter stats; reference
+// counts are atomic; retirement and epochs have their own lock (epoch.go).
+type heapShared struct {
+	mu   sync.Mutex
 	top  pmem.Addr // volatile mirror of the persistent bump pointer
 	end  pmem.Addr
 	free map[uint32][]pmem.Addr // stride -> header addrs
 
-	refs       map[pmem.Addr]int32 // payload addr -> reference count
-	quarantine []pmem.Addr         // payload addrs, drained at fence
-	walkers    [256]Walker
+	refs    *sync.Map // payload addr -> *atomic.Int32
+	walkers [256]Walker
+
+	stats Stats // Quarantine filled from ebr on read
+
+	ebr ebrState
+}
+
+// Heap is a handle onto a persistent allocator over a pmem.Device. Derive
+// one handle per goroutine with Fork; handles share all allocator state
+// but carry their own device clock.
+type Heap struct {
+	dev *pmem.Device
+	sh  *heapShared
 
 	// DisableReclaim makes Release a no-op so every version is retained;
 	// used by the Table 3 experiment to measure multi-version growth.
+	// Set it before any concurrent use; the flag is per-handle.
 	DisableReclaim bool
-
-	stats Stats
 }
 
 // Format initializes a fresh heap on dev, overwriting any prior content,
@@ -106,7 +130,7 @@ func Format(dev *pmem.Device) *Heap {
 	dev.Zero(offRoots, RootSlots*rootEntrySize)
 	dev.FlushRange(0, heapBase)
 	dev.Sfence()
-	h.top = heapBase
+	h.sh.top = heapBase
 	return h
 }
 
@@ -123,30 +147,40 @@ func Open(dev *pmem.Device) (*Heap, error) {
 		return nil, fmt.Errorf("alloc: unsupported heap version %d", v)
 	}
 	h := newHeap(dev)
-	h.top = pmem.Addr(dev.ReadU64(offBumpTop))
-	if h.top < heapBase || h.top > h.end {
-		return nil, fmt.Errorf("alloc: corrupt bump pointer %#x", uint64(h.top))
+	h.sh.top = pmem.Addr(dev.ReadU64(offBumpTop))
+	if h.sh.top < heapBase || h.sh.top > h.sh.end {
+		return nil, fmt.Errorf("alloc: corrupt bump pointer %#x", uint64(h.sh.top))
 	}
 	return h, nil
 }
 
 func newHeap(dev *pmem.Device) *Heap {
-	return &Heap{
-		dev:  dev,
+	sh := &heapShared{
 		end:  pmem.Addr(dev.Size()),
 		free: make(map[uint32][]pmem.Addr),
-		refs: make(map[pmem.Addr]int32),
+		refs: &sync.Map{},
 	}
+	sh.ebr.init()
+	return &Heap{dev: dev, sh: sh}
 }
 
-// Device returns the underlying device.
+// Fork returns a new handle onto the same heap whose device handle has a
+// fresh per-goroutine clock (see pmem.Device.Fork).
+func (h *Heap) Fork() *Heap {
+	return &Heap{dev: h.dev.Fork(), sh: h.sh, DisableReclaim: h.DisableReclaim}
+}
+
+// Device returns this handle's underlying device handle.
 func (h *Heap) Device() *pmem.Device { return h.dev }
 
 // Stats returns a snapshot of allocator counters.
 func (h *Heap) Stats() Stats {
-	s := h.stats
-	s.HeapUsed = uint64(h.top) - heapBase
-	s.Quarantine = len(h.quarantine)
+	sh := h.sh
+	sh.mu.Lock()
+	s := sh.stats
+	s.HeapUsed = uint64(sh.top) - heapBase
+	sh.mu.Unlock()
+	s.Quarantine = sh.ebr.pendingCount()
 	return s
 }
 
@@ -155,8 +189,9 @@ func (h *Heap) Stats() Stats {
 func SuperblockRange() [2]pmem.Addr { return [2]pmem.Addr{0, heapBase} }
 
 // RegisterWalker associates a child-enumeration function with a node type
-// tag. Datastructure packages register their node layouts at init time.
-func (h *Heap) RegisterWalker(tag uint8, w Walker) { h.walkers[tag] = w }
+// tag. Datastructure packages register their node layouts at init time,
+// before any concurrent use of the heap.
+func (h *Heap) RegisterWalker(tag uint8, w Walker) { h.sh.walkers[tag] = w }
 
 // strideFor returns the smallest size class holding payload bytes.
 func strideFor(payload int) uint32 {
@@ -193,12 +228,16 @@ func (h *Heap) Alloc(size int, tag uint8) pmem.Addr {
 		panic("alloc: negative size")
 	}
 	stride := strideFor(size)
+	sh := h.sh
+	sh.mu.Lock()
 	var hdr pmem.Addr
-	if list := h.free[stride]; len(list) > 0 {
+	if list := sh.free[stride]; len(list) > 0 {
 		hdr = list[len(list)-1]
-		h.free[stride] = list[:len(list)-1]
+		sh.free[stride] = list[:len(list)-1]
+		sh.mu.Unlock()
 	} else {
-		hdr = h.bump(stride)
+		hdr = h.bumpLocked(stride)
+		sh.mu.Unlock()
 	}
 	// Announce the allocation before touching the block so trace checking
 	// sees the header write as part of the new block.
@@ -208,23 +247,33 @@ func (h *Heap) Alloc(size int, tag uint8) pmem.Addr {
 	h.dev.WriteU64(hdr, packHeader(stride, tag, true))
 	h.dev.Clwb(hdr)
 	payload := hdr + headerSize
-	h.refs[payload] = 1
-	h.stats.Allocs++
-	h.stats.LiveBytes += uint64(stride)
-	h.stats.CumBytes += uint64(stride)
-	if h.stats.LiveBytes > h.stats.HighWater {
-		h.stats.HighWater = h.stats.LiveBytes
+	cnt := &atomic.Int32{}
+	cnt.Store(1)
+	sh.refs.Store(payload, cnt)
+	sh.mu.Lock()
+	sh.stats.Allocs++
+	sh.stats.LiveBytes += uint64(stride)
+	sh.stats.CumBytes += uint64(stride)
+	if sh.stats.LiveBytes > sh.stats.HighWater {
+		sh.stats.HighWater = sh.stats.LiveBytes
 	}
+	sh.mu.Unlock()
 	return payload
 }
 
-func (h *Heap) bump(stride uint32) pmem.Addr {
-	if h.top+pmem.Addr(stride) > h.end {
-		panic(fmt.Sprintf("alloc: out of persistent memory (top=%#x, need %d, end=%#x)", uint64(h.top), stride, uint64(h.end)))
+// bumpLocked claims stride bytes at the top of the heap and persists the
+// new bump pointer. Caller holds sh.mu: the persistent top write must
+// stay inside the critical section, or two racing bumps could persist
+// their tops out of order and a crash would recover a regressed bump
+// pointer below committed allocations.
+func (h *Heap) bumpLocked(stride uint32) pmem.Addr {
+	sh := h.sh
+	if sh.top+pmem.Addr(stride) > sh.end {
+		panic(fmt.Sprintf("alloc: out of persistent memory (top=%#x, need %d, end=%#x)", uint64(sh.top), stride, uint64(sh.end)))
 	}
-	hdr := h.top
-	h.top += pmem.Addr(stride)
-	h.dev.WriteU64(offBumpTop, uint64(h.top))
+	hdr := sh.top
+	sh.top += pmem.Addr(stride)
+	h.dev.WriteU64(offBumpTop, uint64(sh.top))
 	h.dev.Clwb(offBumpTop)
 	return hdr
 }
@@ -251,8 +300,21 @@ func (h *Heap) Tag(payload pmem.Addr) uint8 {
 	return tag
 }
 
+// refCounter returns the atomic reference counter for payload, or nil.
+func (h *Heap) refCounter(payload pmem.Addr) *atomic.Int32 {
+	if c, ok := h.sh.refs.Load(payload); ok {
+		return c.(*atomic.Int32)
+	}
+	return nil
+}
+
 // RefCount returns the current reference count of the block (0 if unknown).
-func (h *Heap) RefCount(payload pmem.Addr) int32 { return h.refs[payload] }
+func (h *Heap) RefCount(payload pmem.Addr) int32 {
+	if c := h.refCounter(payload); c != nil {
+		return c.Load()
+	}
+	return 0
+}
 
 // Retain increments the reference count of the block at payload addr.
 // Reference counts are volatile (§5.3): they cost no flushes and are
@@ -261,60 +323,111 @@ func (h *Heap) Retain(payload pmem.Addr) {
 	if payload == pmem.Nil {
 		return
 	}
-	if _, ok := h.refs[payload]; !ok {
+	c := h.refCounter(payload)
+	if c == nil {
 		panic(fmt.Sprintf("alloc: retain of untracked block %#x", uint64(payload)))
 	}
-	h.refs[payload]++
+	c.Add(1)
 }
 
-// Release decrements the reference count; at zero the block is quarantined
-// until the next Drain. Release(Nil) is a no-op.
+// Release decrements the reference count; at zero the block and every
+// block reachable only through it are retired until both a fence and the
+// epoch grace period have passed (epoch.go). Release(Nil) is a no-op.
+//
+// The cascade happens eagerly, at retirement: once a version's root drops
+// to zero references the whole dead subtree is unreachable from any root,
+// and a reader that pinned an epoch before the unlink is protected by the
+// same grace period for the children as for the root. Eager cascading
+// keeps reclamation wait-free for other writers (no walker runs inside
+// the reclaim pass) and keeps the trace-event order of invariant I4:
+// every Free precedes the fence after which the block may be reused.
 func (h *Heap) Release(payload pmem.Addr) {
 	if payload == pmem.Nil || h.DisableReclaim {
 		return
 	}
-	c, ok := h.refs[payload]
-	if !ok {
+	c := h.refCounter(payload)
+	if c == nil {
 		panic(fmt.Sprintf("alloc: release of untracked block %#x", uint64(payload)))
 	}
-	if c <= 0 {
+	n := c.Add(-1)
+	if n < 0 {
 		panic(fmt.Sprintf("alloc: release of dead block %#x", uint64(payload)))
 	}
-	c--
-	h.refs[payload] = c
-	if c == 0 {
-		h.quarantine = append(h.quarantine, payload)
+	if n == 0 {
+		h.retireCascade(payload)
+	}
+}
+
+// retireCascade retires a zero-reference block and walks its subtree,
+// dropping child counts and retiring those that reach zero. All retired
+// blocks are tagged with the current epoch and fence sequence: they were
+// orphaned by the same commit, so one fence covers them all.
+//
+// The cascade is collected locally and published to the retired list only
+// after every walk has finished. Publishing earlier would race: a
+// concurrent fence on another handle could reclaim and recycle a block
+// this cascade is still reading child pointers from.
+func (h *Heap) retireCascade(payload pmem.Addr) {
+	sh := h.sh
+	fence := h.dev.FenceSeq()
+	stack := []pmem.Addr{payload}
+	var dead []pmem.Addr
+	for len(stack) > 0 {
+		a := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		stride, tag := h.header(a)
 		if t := h.dev.Tracer(); t != nil {
-			stride, _ := h.header(payload)
-			t.Free(payload-headerSize, uint64(stride))
+			t.Free(a-headerSize, uint64(stride))
+		}
+		dead = append(dead, a)
+		if w := sh.walkers[tag]; w != nil {
+			w(h, a, func(child pmem.Addr) {
+				if child == pmem.Nil {
+					return
+				}
+				c := h.refCounter(child)
+				if c == nil {
+					panic(fmt.Sprintf("alloc: cascade release of untracked block %#x", uint64(child)))
+				}
+				n := c.Add(-1)
+				if n < 0 {
+					panic(fmt.Sprintf("alloc: cascade release of dead block %#x", uint64(child)))
+				}
+				if n == 0 {
+					stack = append(stack, child)
+				}
+			})
 		}
 	}
+	sh.ebr.retireBatch(dead, fence)
 }
 
-// Drain moves quarantined blocks to the free lists, cascading releases to
-// their children. Call it immediately after a fence: at that point the
-// commit that orphaned these blocks is durable, so reuse is safe.
-func (h *Heap) Drain() {
-	for i := 0; i < len(h.quarantine); i++ { // quarantine may grow while iterating
-		payload := h.quarantine[i]
-		stride, tag := h.header(payload)
-		if w := h.walkers[tag]; w != nil {
-			w(h, payload, func(child pmem.Addr) { h.Release(child) })
-		}
-		delete(h.refs, payload)
-		h.free[stride] = append(h.free[stride], payload-headerSize)
-		h.stats.Frees++
-		h.stats.LiveBytes -= uint64(stride)
-	}
-	h.quarantine = h.quarantine[:0]
+// freeBlock returns a retired block to the free lists. Reference counts
+// were already cascaded at retirement, so this is pure bookkeeping.
+// Called with the ebr lock held; takes sh.mu for the free lists.
+func (h *Heap) freeBlock(r retiredBlock) {
+	sh := h.sh
+	stride, _ := h.header(r.addr)
+	sh.refs.Delete(r.addr)
+	sh.mu.Lock()
+	sh.free[stride] = append(sh.free[stride], r.addr-headerSize)
+	sh.stats.Frees++
+	sh.stats.LiveBytes -= uint64(stride)
+	sh.mu.Unlock()
 }
 
-// Fence drains the reclamation quarantine and then orders all outstanding
-// flushes (one ordering point). This is the single fence a MOD FASE
-// executes (§5.1). Draining first is safe — nothing can write a reused
-// block between the drain and the sfence — and it keeps every free
-// ordered before the fence that makes the orphaning commit durable.
+// Drain reclaims every retired block whose orphaning commit is durable
+// (a fence has executed since its retirement) and whose epoch grace
+// period has passed, cascading releases to children. Call it after a
+// fence; Fence does so automatically.
+func (h *Heap) Drain() { h.sh.ebr.reclaim(h) }
+
+// Fence orders all outstanding flushes (the single ordering point a MOD
+// FASE executes, §5.1) and then reclaims retired blocks now covered by
+// it. Freeing after the sfence is safe — frees are volatile — and means a
+// block orphaned by a commit earlier in this interval becomes reusable
+// immediately, preserving the one-fence-per-FASE property.
 func (h *Heap) Fence() {
-	h.Drain()
 	h.dev.Sfence()
+	h.Drain()
 }

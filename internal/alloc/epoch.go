@@ -1,0 +1,173 @@
+package alloc
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/mod-ds/mod/internal/pmem"
+)
+
+// Epoch-based reclamation. MOD's commit step makes every committed
+// version immutable, so readers can traverse a version without locks —
+// provided the allocator does not recycle its nodes mid-traversal. The
+// fence-drained quarantine of the single-threaded design guaranteed
+// durability ordering but not reader safety; this file adds the classic
+// three-epoch EBR scheme (Fraser; as in crossbeam and the lock-free
+// durable sets of Zuriel et al.) on top of it.
+//
+// Protocol. A global epoch E advances only when every pinned reader has
+// observed the current value. Readers pin the epoch (Heap.Enter) before
+// loading any root pointer and unpin when done (EpochGuard.Exit). A block
+// whose reference count reaches zero is retired, tagged with the current
+// epoch and the device fence sequence. It is freed only when
+//
+//	retire.epoch + 2 <= E    (no reader pinned before the unlink remains)
+//	retire.fence < fenceSeq  (a fence made the orphaning root swap durable)
+//
+// The two-epoch grace period is the standard argument: a reader holding a
+// pointer into the block pinned an epoch <= retire.epoch + 1, and E cannot
+// advance past retire.epoch + 2 while any such reader is still pinned.
+//
+// With no readers pinned — every single-threaded workload — reclaim
+// advances E freely and the scheme degenerates to the original quarantine:
+// Release then Fence frees the block immediately.
+
+// retiredBlock is one zero-reference block awaiting reclamation.
+type retiredBlock struct {
+	addr  pmem.Addr
+	epoch uint64 // global epoch at retirement
+	fence uint64 // device FenceSeq at retirement
+}
+
+// pinSlot is a registered reader announcement cell. Slots are pooled and
+// live for the heap's lifetime; an idle slot (pin 0) never blocks epoch
+// advancement.
+type pinSlot struct {
+	pin atomic.Uint64 // epoch + 1; 0 = inactive
+}
+
+// EpochGuard pins the reclamation epoch for one reader. Obtain with
+// Heap.Enter, release with Exit. While pinned, no block unlinked after
+// the pin can be recycled, so pointers loaded from committed versions
+// stay valid.
+//
+// A guard is one-shot: Exit releases the underlying slot back to the
+// pool and further Exits are no-ops, so double-Close of a snapshot (or
+// of copies of one snapshot) is harmless and cannot unpin another
+// reader that has since reused the slot.
+type EpochGuard struct {
+	slot *pinSlot
+	eb   *ebrState
+	done atomic.Bool
+}
+
+// Exit unpins the guard. Exit is idempotent; using the guard's snapshot
+// after Exit is a bug.
+func (g *EpochGuard) Exit() {
+	if g == nil || g.done.Swap(true) {
+		return
+	}
+	g.slot.pin.Store(0)
+	g.eb.pool.Put(g.slot)
+}
+
+// ebrState is the shared epoch machinery of a heap.
+type ebrState struct {
+	epoch atomic.Uint64
+
+	slotsMu sync.Mutex
+	slots   []*pinSlot // all slots ever created; pinned or idle
+	pool    sync.Pool
+
+	mu      sync.Mutex
+	retired []retiredBlock
+}
+
+func (eb *ebrState) init() {
+	eb.pool.New = func() any {
+		s := &pinSlot{}
+		eb.slotsMu.Lock()
+		eb.slots = append(eb.slots, s)
+		eb.slotsMu.Unlock()
+		return s
+	}
+}
+
+// Enter pins the current epoch and returns the guard. The pin is
+// re-validated against the global epoch so a concurrent advance cannot
+// leave the guard announcing a stale epoch unobserved by writers.
+func (h *Heap) Enter() *EpochGuard {
+	eb := &h.sh.ebr
+	slot := eb.pool.Get().(*pinSlot)
+	for {
+		e := eb.epoch.Load()
+		slot.pin.Store(e + 1)
+		if eb.epoch.Load() == e {
+			return &EpochGuard{slot: slot, eb: eb}
+		}
+	}
+}
+
+// retireBatch queues zero-reference blocks for reclamation. A cascade is
+// published in one batch, after all its walks completed (see
+// Heap.retireCascade).
+func (eb *ebrState) retireBatch(addrs []pmem.Addr, fence uint64) {
+	e := eb.epoch.Load()
+	eb.mu.Lock()
+	for _, addr := range addrs {
+		eb.retired = append(eb.retired, retiredBlock{addr: addr, epoch: e, fence: fence})
+	}
+	eb.mu.Unlock()
+}
+
+// pendingCount returns the number of retired-but-not-freed blocks.
+func (eb *ebrState) pendingCount() int {
+	eb.mu.Lock()
+	defer eb.mu.Unlock()
+	return len(eb.retired)
+}
+
+// tryAdvanceLocked bumps the global epoch if every pinned reader has
+// observed the current one. Caller holds eb.mu.
+func (eb *ebrState) tryAdvanceLocked() bool {
+	e := eb.epoch.Load()
+	eb.slotsMu.Lock()
+	for _, s := range eb.slots {
+		if p := s.pin.Load(); p != 0 && p != e+1 {
+			eb.slotsMu.Unlock()
+			return false
+		}
+	}
+	eb.slotsMu.Unlock()
+	eb.epoch.Store(e + 1)
+	return true
+}
+
+// reclaim frees every retired block that is both fence-covered and past
+// its epoch grace period, advancing the epoch as far as pinned readers
+// allow (with no pinned readers the loop advances freely, degenerating to
+// the original quarantine-at-fence behavior).
+func (eb *ebrState) reclaim(h *Heap) {
+	fenceNow := h.dev.FenceSeq()
+	eb.mu.Lock()
+	defer eb.mu.Unlock()
+	for {
+		e := eb.epoch.Load()
+		epochBlocked := false
+		kept := eb.retired[:0]
+		for _, r := range eb.retired {
+			if r.fence < fenceNow && r.epoch+2 <= e {
+				h.freeBlock(r)
+				continue
+			}
+			if r.fence < fenceNow {
+				epochBlocked = true // waiting only on the epoch grace period
+			}
+			kept = append(kept, r)
+		}
+		eb.retired = kept
+		if !epochBlocked || !eb.tryAdvanceLocked() {
+			return
+		}
+	}
+}

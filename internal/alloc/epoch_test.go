@@ -1,0 +1,183 @@
+package alloc
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/mod-ds/mod/internal/pmem"
+)
+
+// TestEpochGuardDefersReclaim: a pinned reader keeps a retired block
+// alive across fences; unpinning releases it at the next reclaim.
+func TestEpochGuardDefersReclaim(t *testing.T) {
+	h := newTestHeap(t)
+	a := h.Alloc(16, 1)
+
+	g := h.Enter()
+	h.Release(a)
+	h.Fence()
+	if q := h.Stats().Quarantine; q != 1 {
+		t.Fatalf("Quarantine = %d with a pinned reader, want 1", q)
+	}
+	b := h.Alloc(16, 1)
+	if b == a {
+		t.Fatal("block reused while a reader epoch was pinned")
+	}
+	g.Exit()
+	h.Fence()
+	if q := h.Stats().Quarantine; q != 0 {
+		t.Fatalf("Quarantine = %d after unpin + fence, want 0", q)
+	}
+	c := h.Alloc(16, 1)
+	if c != a {
+		t.Fatalf("freed block not reused after unpin: got %#x, want %#x", uint64(c), uint64(a))
+	}
+}
+
+// TestEpochGuardPinsOnlyOlderRetirements: a reader pinned after a
+// retirement does not block it once the grace period passes, and blocks
+// retired while the reader is pinned wait for it.
+func TestEpochGuardPinsNewRetirements(t *testing.T) {
+	h := newTestHeap(t)
+	a := h.Alloc(16, 1)
+	b := h.Alloc(16, 1)
+
+	h.Release(a)
+	g := h.Enter() // pins the current epoch; a was retired in it too
+	h.Release(b)
+	h.Fence()
+	if q := h.Stats().Quarantine; q != 2 {
+		t.Fatalf("Quarantine = %d, want 2 (reader pinned)", q)
+	}
+	g.Exit()
+	h.Fence()
+	if q := h.Stats().Quarantine; q != 0 {
+		t.Fatalf("Quarantine = %d after unpin, want 0", q)
+	}
+}
+
+// TestEpochGuardExitIdempotent: double Exit must not corrupt the pool —
+// in particular, a second Exit after the slot was recycled by another
+// reader must not unpin that reader.
+func TestEpochGuardExitIdempotent(t *testing.T) {
+	h := newTestHeap(t)
+	g := h.Enter()
+	g.Exit()
+	g2 := h.Enter() // recycles g's pin slot
+	g.Exit()        // stale double-Exit: must be a no-op
+
+	a := h.Alloc(16, 1)
+	h.Release(a)
+	h.Fence()
+	if q := h.Stats().Quarantine; q != 1 {
+		t.Fatalf("Quarantine = %d: stale Exit unpinned an active reader", q)
+	}
+	g2.Exit()
+	h.Fence()
+	if q := h.Stats().Quarantine; q != 0 {
+		t.Fatalf("Quarantine = %d after real Exit, want 0", q)
+	}
+}
+
+// TestEpochConcurrentReadersStress hammers Enter/Exit from many
+// goroutines while the main goroutine releases blocks and fences;
+// run with -race to check the pin/advance protocol.
+func TestEpochConcurrentReadersStress(t *testing.T) {
+	h := newTestHeap(t)
+	const (
+		readers = 8
+		rounds  = 300
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				g := h.Enter()
+				g.Exit()
+			}
+		}()
+	}
+	for i := 0; i < rounds; i++ {
+		a := h.Alloc(64, 1)
+		h.Release(a)
+		h.Fence()
+	}
+	close(stop)
+	wg.Wait()
+	h.Fence()
+	h.Fence()
+	if q := h.Stats().Quarantine; q != 0 {
+		t.Fatalf("Quarantine = %d after all readers exited, want 0", q)
+	}
+}
+
+// TestForkSharesHeapState: handles forked for worker goroutines see one
+// allocator — an address allocated through one is released through
+// another and reused by the first.
+func TestForkSharesHeapState(t *testing.T) {
+	h := newTestHeap(t)
+	h2 := h.Fork()
+	a := h.Alloc(16, 1)
+	if h2.RefCount(a) != 1 {
+		t.Fatal("forked handle does not see allocation")
+	}
+	h2.Release(a)
+	h2.Fence()
+	b := h.Alloc(16, 1)
+	if b != a {
+		t.Fatalf("block freed via fork not reused: got %#x want %#x", uint64(b), uint64(a))
+	}
+}
+
+// TestConcurrentAllocRelease checks allocator integrity under parallel
+// alloc/release traffic from forked handles (run with -race).
+func TestConcurrentAllocRelease(t *testing.T) {
+	cfg := pmem.DefaultConfig(32 << 20)
+	dev := pmem.New(cfg)
+	h := Format(dev)
+	const (
+		workers = 4
+		rounds  = 400
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			hw := h.Fork()
+			var live []pmem.Addr
+			for i := 0; i < rounds; i++ {
+				a := hw.Alloc(16+(i%5)*24, 1)
+				live = append(live, a)
+				if len(live) > 8 {
+					hw.Release(live[0])
+					live = live[1:]
+				}
+				if i%16 == 0 {
+					hw.Fence()
+				}
+			}
+			for _, a := range live {
+				hw.Release(a)
+			}
+			hw.Fence()
+		}(w)
+	}
+	wg.Wait()
+	h.Fence()
+	st := h.Stats()
+	if st.Frees != st.Allocs {
+		t.Fatalf("Frees = %d, Allocs = %d: leaked blocks after full release", st.Frees, st.Allocs)
+	}
+	if st.Quarantine != 0 {
+		t.Fatalf("Quarantine = %d, want 0", st.Quarantine)
+	}
+}

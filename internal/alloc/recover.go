@@ -2,6 +2,8 @@ package alloc
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"github.com/mod-ds/mod/internal/pmem"
 )
@@ -19,13 +21,17 @@ import (
 // results include garbage collection time, and so do ours.
 
 // Recover rebuilds volatile allocator state from the durable heap image.
+// It must run before the heap is shared across goroutines.
 func (h *Heap) Recover() (RecoveryStats, error) {
 	var rs RecoveryStats
 
-	h.refs = make(map[pmem.Addr]int32)
-	h.free = make(map[uint32][]pmem.Addr)
-	h.quarantine = h.quarantine[:0]
-	h.stats.LiveBytes = 0
+	sh := h.sh
+	sh.refs = &sync.Map{}
+	sh.free = make(map[uint32][]pmem.Addr)
+	sh.ebr.mu.Lock()
+	sh.ebr.retired = sh.ebr.retired[:0]
+	sh.ebr.mu.Unlock()
+	sh.stats.LiveBytes = 0
 
 	// Pass 1: validate the block chain, repairing a stale bump pointer.
 	type blockInfo struct {
@@ -38,15 +44,15 @@ func (h *Heap) Recover() (RecoveryStats, error) {
 	var blocks []blockInfo
 	index := make(map[pmem.Addr]int) // payload -> blocks index
 	addr := pmem.Addr(heapBase)
-	for addr+headerSize <= h.top {
+	for addr+headerSize <= sh.top {
 		raw := h.dev.ReadU64(addr)
 		stride, tag, allocated, ok := unpackHeader(raw)
-		if !ok || addr+pmem.Addr(stride) > h.end || stride < headerSize+1 {
+		if !ok || addr+pmem.Addr(stride) > sh.end || stride < headerSize+1 {
 			// Torn or never-written header: everything at and beyond this
 			// point was allocated after the last durable commit and is
 			// unreachable. Truncate the heap here.
-			h.top = addr
-			h.dev.WriteU64(offBumpTop, uint64(h.top))
+			sh.top = addr
+			h.dev.WriteU64(offBumpTop, uint64(sh.top))
 			h.dev.Clwb(offBumpTop)
 			h.dev.Sfence()
 			break
@@ -67,7 +73,8 @@ func (h *Heap) Recover() (RecoveryStats, error) {
 		if !ok {
 			return fmt.Errorf("alloc: recovery found pointer to non-block address %#x", uint64(payload))
 		}
-		h.refs[payload]++
+		cnt, _ := sh.refs.LoadOrStore(payload, &atomic.Int32{})
+		cnt.(*atomic.Int32).Add(1)
 		if !blocks[bi].marked {
 			blocks[bi].marked = true
 			stack = append(stack, payload)
@@ -92,7 +99,7 @@ func (h *Heap) Recover() (RecoveryStats, error) {
 		payload := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		tag := blocks[index[payload]].tag
-		if w := h.walkers[tag]; w != nil {
+		if w := sh.walkers[tag]; w != nil {
 			w(h, payload, func(child pmem.Addr) {
 				if walkErr == nil {
 					walkErr = visit(child)
@@ -110,10 +117,10 @@ func (h *Heap) Recover() (RecoveryStats, error) {
 		if b.marked {
 			rs.LiveBlocks++
 			rs.LiveBytes += uint64(b.stride)
-			h.stats.LiveBytes += uint64(b.stride)
+			sh.stats.LiveBytes += uint64(b.stride)
 			continue
 		}
-		h.free[b.stride] = append(h.free[b.stride], b.hdr)
+		sh.free[b.stride] = append(sh.free[b.stride], b.hdr)
 		if b.wasAll {
 			rs.LeakedBlocks++
 			rs.LeakedBytes += uint64(b.stride)

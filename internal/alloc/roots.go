@@ -32,8 +32,11 @@ func fnv1a(name string) uint64 {
 
 // RootSlot returns the slot index for name, claiming an empty slot on
 // first use. The claim is flushed without a fence: it becomes durable with
-// the first commit that publishes data under it.
+// the first commit that publishes data under it. Claims are serialized so
+// concurrent binds of the same name resolve to one slot.
 func (h *Heap) RootSlot(name string) (int, error) {
+	h.sh.mu.Lock()
+	defer h.sh.mu.Unlock()
 	want := fnv1a(name)
 	firstEmpty := -1
 	for slot := 0; slot < RootSlots; slot++ {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"github.com/mod-ds/mod/internal/funcds"
 	"github.com/mod-ds/mod/internal/pmem"
 )
@@ -22,14 +24,32 @@ type (
 	QueueVersion = funcds.Queue
 )
 
-// bind resolves a handle's location and current address, creating the
+// Handle concurrency. A handle may be shared across goroutines: its
+// bookkeeping word (the version its last commit adopted) is atomic, and
+// every operation resolves the live committed version from PM rather
+// than trusting a cached one that another handle's commit may have
+// superseded and reclaimed. Basic-interface updates lock the root's
+// commit mutex and reload the committed version first (beginUpdate), so
+// concurrent writers through different handles serialize per root and
+// never lose updates. Read methods pin the reclamation epoch for the
+// duration of one call; for repeated reads of one consistent version,
+// Snapshot amortizes the pin and fixes the version (snapshot.go).
+// Composition-interface methods (Current, Pure*) resolve the committed
+// version without pinning: they are writer-side operations, and the
+// required single-writer-per-root discipline means no concurrent commit
+// can retire the version under them.
+
+// bindRoot resolves a handle's location and current address, creating the
 // structure via create (which must allocate and flush a new empty header)
-// when absent.
+// when absent. The root's commit mutex serializes concurrent first binds.
 func bindRoot(s *Store, name string, create func() pmem.Addr) (location, pmem.Addr, error) {
 	slot, err := s.heap.RootSlot(name)
 	if err != nil {
 		return location{}, pmem.Nil, err
 	}
+	mu := &s.sh.rootMu[slot]
+	mu.Lock()
+	defer mu.Unlock()
 	if root := s.heap.Root(slot); root != pmem.Nil {
 		return location{slot: slot}, root, nil
 	}
@@ -45,6 +65,10 @@ func bindField(p *Parent, field string, create func() pmem.Addr) (location, pmem
 	if err != nil {
 		return location{}, pmem.Nil, err
 	}
+	mu := &p.s.sh.rootMu[p.slot]
+	mu.Lock()
+	defer mu.Unlock()
+	p.refreshLocked()
 	if f := p.fieldAddr(i); f != pmem.Nil {
 		return location{parent: p, slot: i}, f, nil
 	}
@@ -63,7 +87,7 @@ type Map struct {
 	st   *Store
 	name string
 	loc  location
-	cur  funcds.Map
+	cur  atomic.Uint64 // address of the handle's adopted version
 }
 
 // Map binds (creating on first use) a recoverable map under a named root.
@@ -72,7 +96,9 @@ func (s *Store) Map(name string) (*Map, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Map{st: s, name: name, loc: loc, cur: funcds.MapAt(s.heap, addr)}, nil
+	m := &Map{st: s, name: name, loc: loc}
+	m.adopt(addr)
+	return m, nil
 }
 
 // Map binds (creating on first use) a recoverable map under a parent field.
@@ -81,55 +107,78 @@ func (p *Parent) Map(field string) (*Map, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Map{st: p.s, name: field, loc: loc, cur: funcds.MapAt(p.s.heap, addr)}, nil
+	m := &Map{st: p.s, name: field, loc: loc}
+	m.adopt(addr)
+	return m, nil
 }
 
 // Name returns the bound root or field name.
 func (m *Map) Name() string { return m.name }
 
-func (m *Map) currentAddr() pmem.Addr { return m.cur.Addr() }
-func (m *Map) adopt(a pmem.Addr)      { m.cur = funcds.MapAt(m.st.heap, a) }
+func (m *Map) latest() funcds.Map     { return funcds.MapAt(m.st.heap, m.st.resolveForRead(m.loc)) }
+func (m *Map) currentAddr() pmem.Addr { return pmem.Addr(m.cur.Load()) }
+func (m *Map) adopt(a pmem.Addr)      { m.cur.Store(uint64(a)) }
 func (m *Map) location() location     { return m.loc }
 func (m *Map) store() *Store          { return m.st }
 
 // Len returns the number of entries.
-func (m *Map) Len() uint64 { return m.cur.Len() }
+func (m *Map) Len() uint64 {
+	g := m.st.heap.Enter()
+	defer g.Exit()
+	return m.latest().Len()
+}
 
-// Get returns the value bound to key.
-func (m *Map) Get(key []byte) ([]byte, bool) { return m.cur.Get(key) }
+// Get returns the value bound to key in the latest committed version.
+func (m *Map) Get(key []byte) ([]byte, bool) {
+	g := m.st.heap.Enter()
+	defer g.Exit()
+	return m.latest().Get(key)
+}
 
 // Set failure-atomically binds key to val (one FASE, one fence) and
 // reports whether an existing binding was replaced.
 func (m *Map) Set(key, val []byte) bool {
+	mu := m.st.beginUpdate(m)
+	defer mu.Unlock()
 	m.st.BeginFASE()
-	shadow, replaced := m.cur.Set(key, val)
-	m.st.CommitSingle(m, shadow)
+	shadow, replaced := m.writable().Set(key, val)
+	m.st.commitSingleLocked(m, []Version{shadow})
 	m.st.EndFASE()
 	return replaced
 }
 
 // Delete failure-atomically removes key, reporting whether it was present.
 func (m *Map) Delete(key []byte) bool {
+	mu := m.st.beginUpdate(m)
+	defer mu.Unlock()
 	m.st.BeginFASE()
-	shadow, removed := m.cur.Delete(key)
+	shadow, removed := m.writable().Delete(key)
 	if removed {
-		m.st.CommitSingle(m, shadow)
+		m.st.commitSingleLocked(m, []Version{shadow})
 	}
 	m.st.EndFASE()
 	return removed
 }
 
-// Range iterates over the current version's entries.
-func (m *Map) Range(f func(key, val []byte) bool) { m.cur.Range(f) }
+// Range iterates over the latest committed version's entries.
+func (m *Map) Range(f func(key, val []byte) bool) {
+	g := m.st.heap.Enter()
+	defer g.Exit()
+	m.latest().Range(f)
+}
+
+// writable returns the version a locked update builds its shadow on: the
+// one beginUpdate adopted under the root mutex.
+func (m *Map) writable() funcds.Map { return funcds.MapAt(m.st.heap, m.currentAddr()) }
 
 // Current returns the current committed version for composition.
-func (m *Map) Current() MapVersion { return m.cur }
+func (m *Map) Current() MapVersion { return m.latest() }
 
 // PureSet returns a shadow with key bound to val, without committing.
-func (m *Map) PureSet(key, val []byte) (MapVersion, bool) { return m.cur.Set(key, val) }
+func (m *Map) PureSet(key, val []byte) (MapVersion, bool) { return m.latest().Set(key, val) }
 
 // PureDelete returns a shadow without key, without committing.
-func (m *Map) PureDelete(key []byte) (MapVersion, bool) { return m.cur.Delete(key) }
+func (m *Map) PureDelete(key []byte) (MapVersion, bool) { return m.latest().Delete(key) }
 
 // ---------------------------------------------------------------- Set --
 
@@ -138,7 +187,7 @@ type Set struct {
 	st   *Store
 	name string
 	loc  location
-	cur  funcds.Set
+	cur  atomic.Uint64
 }
 
 // Set binds (creating on first use) a recoverable set under a named root.
@@ -147,7 +196,9 @@ func (s *Store) Set(name string) (*Set, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Set{st: s, name: name, loc: loc, cur: funcds.SetDSAt(s.heap, addr)}, nil
+	st := &Set{st: s, name: name, loc: loc}
+	st.adopt(addr)
+	return st, nil
 }
 
 // Set binds (creating on first use) a recoverable set under a parent field.
@@ -156,54 +207,74 @@ func (p *Parent) Set(field string) (*Set, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Set{st: p.s, name: field, loc: loc, cur: funcds.SetDSAt(p.s.heap, addr)}, nil
+	st := &Set{st: p.s, name: field, loc: loc}
+	st.adopt(addr)
+	return st, nil
 }
 
 // Name returns the bound root or field name.
 func (s *Set) Name() string { return s.name }
 
-func (s *Set) currentAddr() pmem.Addr { return s.cur.Addr() }
-func (s *Set) adopt(a pmem.Addr)      { s.cur = funcds.SetDSAt(s.st.heap, a) }
+func (s *Set) latest() funcds.Set     { return funcds.SetDSAt(s.st.heap, s.st.resolveForRead(s.loc)) }
+func (s *Set) writable() funcds.Set   { return funcds.SetDSAt(s.st.heap, s.currentAddr()) }
+func (s *Set) currentAddr() pmem.Addr { return pmem.Addr(s.cur.Load()) }
+func (s *Set) adopt(a pmem.Addr)      { s.cur.Store(uint64(a)) }
 func (s *Set) location() location     { return s.loc }
 func (s *Set) store() *Store          { return s.st }
 
 // Len returns the number of members.
-func (s *Set) Len() uint64 { return s.cur.Len() }
+func (s *Set) Len() uint64 {
+	g := s.st.heap.Enter()
+	defer g.Exit()
+	return s.latest().Len()
+}
 
-// Contains reports membership.
-func (s *Set) Contains(key []byte) bool { return s.cur.Contains(key) }
+// Contains reports membership in the latest committed version.
+func (s *Set) Contains(key []byte) bool {
+	g := s.st.heap.Enter()
+	defer g.Exit()
+	return s.latest().Contains(key)
+}
 
 // Insert failure-atomically adds key, reporting whether it already existed.
 func (s *Set) Insert(key []byte) bool {
+	mu := s.st.beginUpdate(s)
+	defer mu.Unlock()
 	s.st.BeginFASE()
-	shadow, existed := s.cur.Insert(key)
-	s.st.CommitSingle(s, shadow)
+	shadow, existed := s.writable().Insert(key)
+	s.st.commitSingleLocked(s, []Version{shadow})
 	s.st.EndFASE()
 	return existed
 }
 
 // Delete failure-atomically removes key, reporting whether it was present.
 func (s *Set) Delete(key []byte) bool {
+	mu := s.st.beginUpdate(s)
+	defer mu.Unlock()
 	s.st.BeginFASE()
-	shadow, removed := s.cur.Delete(key)
+	shadow, removed := s.writable().Delete(key)
 	if removed {
-		s.st.CommitSingle(s, shadow)
+		s.st.commitSingleLocked(s, []Version{shadow})
 	}
 	s.st.EndFASE()
 	return removed
 }
 
-// Range iterates over the current version's members.
-func (s *Set) Range(f func(key []byte) bool) { s.cur.Range(f) }
+// Range iterates over the latest committed version's members.
+func (s *Set) Range(f func(key []byte) bool) {
+	g := s.st.heap.Enter()
+	defer g.Exit()
+	s.latest().Range(f)
+}
 
 // Current returns the current committed version for composition.
-func (s *Set) Current() SetVersion { return s.cur }
+func (s *Set) Current() SetVersion { return s.latest() }
 
 // PureInsert returns a shadow containing key, without committing.
-func (s *Set) PureInsert(key []byte) (SetVersion, bool) { return s.cur.Insert(key) }
+func (s *Set) PureInsert(key []byte) (SetVersion, bool) { return s.latest().Insert(key) }
 
 // PureDelete returns a shadow without key, without committing.
-func (s *Set) PureDelete(key []byte) (SetVersion, bool) { return s.cur.Delete(key) }
+func (s *Set) PureDelete(key []byte) (SetVersion, bool) { return s.latest().Delete(key) }
 
 // ------------------------------------------------------------- Vector --
 
@@ -212,7 +283,7 @@ type Vector struct {
 	st   *Store
 	name string
 	loc  location
-	cur  funcds.Vector
+	cur  atomic.Uint64
 }
 
 // Vector binds (creating on first use) a recoverable vector under a root.
@@ -221,7 +292,9 @@ func (s *Store) Vector(name string) (*Vector, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Vector{st: s, name: name, loc: loc, cur: funcds.VectorAt(s.heap, addr)}, nil
+	v := &Vector{st: s, name: name, loc: loc}
+	v.adopt(addr)
+	return v, nil
 }
 
 // Vector binds (creating on first use) a recoverable vector under a field.
@@ -230,58 +303,79 @@ func (p *Parent) Vector(field string) (*Vector, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Vector{st: p.s, name: field, loc: loc, cur: funcds.VectorAt(p.s.heap, addr)}, nil
+	v := &Vector{st: p.s, name: field, loc: loc}
+	v.adopt(addr)
+	return v, nil
 }
 
 // Name returns the bound root or field name.
 func (v *Vector) Name() string { return v.name }
 
-func (v *Vector) currentAddr() pmem.Addr { return v.cur.Addr() }
-func (v *Vector) adopt(a pmem.Addr)      { v.cur = funcds.VectorAt(v.st.heap, a) }
-func (v *Vector) location() location     { return v.loc }
-func (v *Vector) store() *Store          { return v.st }
+func (v *Vector) latest() funcds.Vector {
+	return funcds.VectorAt(v.st.heap, v.st.resolveForRead(v.loc))
+}
+func (v *Vector) writable() funcds.Vector { return funcds.VectorAt(v.st.heap, v.currentAddr()) }
+func (v *Vector) currentAddr() pmem.Addr  { return pmem.Addr(v.cur.Load()) }
+func (v *Vector) adopt(a pmem.Addr)       { v.cur.Store(uint64(a)) }
+func (v *Vector) location() location      { return v.loc }
+func (v *Vector) store() *Store           { return v.st }
 
 // Len returns the number of elements.
-func (v *Vector) Len() uint64 { return v.cur.Len() }
+func (v *Vector) Len() uint64 {
+	g := v.st.heap.Enter()
+	defer g.Exit()
+	return v.latest().Len()
+}
 
-// Get returns the element at index i.
-func (v *Vector) Get(i uint64) uint64 { return v.cur.Get(i) }
+// Get returns the element at index i of the latest committed version.
+func (v *Vector) Get(i uint64) uint64 {
+	g := v.st.heap.Enter()
+	defer g.Exit()
+	return v.latest().Get(i)
+}
 
 // Push failure-atomically appends val (push_back).
 func (v *Vector) Push(val uint64) {
+	mu := v.st.beginUpdate(v)
+	defer mu.Unlock()
 	v.st.BeginFASE()
-	shadow := v.cur.Push(val)
-	v.st.CommitSingle(v, shadow)
+	shadow := v.writable().Push(val)
+	v.st.commitSingleLocked(v, []Version{shadow})
 	v.st.EndFASE()
 }
 
 // Update failure-atomically replaces element i with val.
 func (v *Vector) Update(i uint64, val uint64) {
+	mu := v.st.beginUpdate(v)
+	defer mu.Unlock()
 	v.st.BeginFASE()
-	shadow := v.cur.Update(i, val)
-	v.st.CommitSingle(v, shadow)
+	shadow := v.writable().Update(i, val)
+	v.st.commitSingleLocked(v, []Version{shadow})
 	v.st.EndFASE()
 }
 
 // Swap failure-atomically exchanges elements i and j: two pure updates on
 // successive shadows and one commit (Fig. 7b).
 func (v *Vector) Swap(i, j uint64) {
+	mu := v.st.beginUpdate(v)
+	defer mu.Unlock()
 	v.st.BeginFASE()
-	a, b := v.cur.Get(i), v.cur.Get(j)
-	s1 := v.cur.Update(i, b)
+	cur := v.writable()
+	a, b := cur.Get(i), cur.Get(j)
+	s1 := cur.Update(i, b)
 	s2 := s1.Update(j, a)
-	v.st.CommitSingle(v, s1, s2)
+	v.st.commitSingleLocked(v, []Version{s1, s2})
 	v.st.EndFASE()
 }
 
 // Current returns the current committed version for composition.
-func (v *Vector) Current() VectorVersion { return v.cur }
+func (v *Vector) Current() VectorVersion { return v.latest() }
 
 // PurePush returns a shadow with val appended, without committing.
-func (v *Vector) PurePush(val uint64) VectorVersion { return v.cur.Push(val) }
+func (v *Vector) PurePush(val uint64) VectorVersion { return v.latest().Push(val) }
 
 // PureUpdate returns a shadow with element i replaced, without committing.
-func (v *Vector) PureUpdate(i uint64, val uint64) VectorVersion { return v.cur.Update(i, val) }
+func (v *Vector) PureUpdate(i uint64, val uint64) VectorVersion { return v.latest().Update(i, val) }
 
 // -------------------------------------------------------------- Stack --
 
@@ -290,7 +384,7 @@ type Stack struct {
 	st   *Store
 	name string
 	loc  location
-	cur  funcds.Stack
+	cur  atomic.Uint64
 }
 
 // Stack binds (creating on first use) a recoverable stack under a root.
@@ -299,7 +393,9 @@ func (s *Store) Stack(name string) (*Stack, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Stack{st: s, name: name, loc: loc, cur: funcds.StackAt(s.heap, addr)}, nil
+	st := &Stack{st: s, name: name, loc: loc}
+	st.adopt(addr)
+	return st, nil
 }
 
 // Stack binds (creating on first use) a recoverable stack under a field.
@@ -308,50 +404,66 @@ func (p *Parent) Stack(field string) (*Stack, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Stack{st: p.s, name: field, loc: loc, cur: funcds.StackAt(p.s.heap, addr)}, nil
+	st := &Stack{st: p.s, name: field, loc: loc}
+	st.adopt(addr)
+	return st, nil
 }
 
 // Name returns the bound root or field name.
 func (s *Stack) Name() string { return s.name }
 
-func (s *Stack) currentAddr() pmem.Addr { return s.cur.Addr() }
-func (s *Stack) adopt(a pmem.Addr)      { s.cur = funcds.StackAt(s.st.heap, a) }
+func (s *Stack) latest() funcds.Stack   { return funcds.StackAt(s.st.heap, s.st.resolveForRead(s.loc)) }
+func (s *Stack) writable() funcds.Stack { return funcds.StackAt(s.st.heap, s.currentAddr()) }
+func (s *Stack) currentAddr() pmem.Addr { return pmem.Addr(s.cur.Load()) }
+func (s *Stack) adopt(a pmem.Addr)      { s.cur.Store(uint64(a)) }
 func (s *Stack) location() location     { return s.loc }
 func (s *Stack) store() *Store          { return s.st }
 
 // Len returns the number of elements.
-func (s *Stack) Len() uint64 { return s.cur.Len() }
+func (s *Stack) Len() uint64 {
+	g := s.st.heap.Enter()
+	defer g.Exit()
+	return s.latest().Len()
+}
 
-// Peek returns the top element.
-func (s *Stack) Peek() (uint64, bool) { return s.cur.Peek() }
+// Peek returns the top element of the latest committed version.
+func (s *Stack) Peek() (uint64, bool) {
+	g := s.st.heap.Enter()
+	defer g.Exit()
+	return s.latest().Peek()
+}
 
 // Push failure-atomically pushes val.
 func (s *Stack) Push(val uint64) {
+	mu := s.st.beginUpdate(s)
+	defer mu.Unlock()
 	s.st.BeginFASE()
-	shadow := s.cur.Push(val)
-	s.st.CommitSingle(s, shadow)
+	shadow := s.writable().Push(val)
+	s.st.commitSingleLocked(s, []Version{shadow})
 	s.st.EndFASE()
 }
 
 // Pop failure-atomically removes and returns the top element.
 func (s *Stack) Pop() (uint64, bool) {
+	mu := s.st.beginUpdate(s)
+	defer mu.Unlock()
 	s.st.BeginFASE()
-	shadow, val, ok := s.cur.Pop()
+	shadow, val, ok := s.writable().Pop()
 	if ok {
-		s.st.CommitSingle(s, shadow)
+		s.st.commitSingleLocked(s, []Version{shadow})
 	}
 	s.st.EndFASE()
 	return val, ok
 }
 
 // Current returns the current committed version for composition.
-func (s *Stack) Current() StackVersion { return s.cur }
+func (s *Stack) Current() StackVersion { return s.latest() }
 
 // PurePush returns a shadow with val pushed, without committing.
-func (s *Stack) PurePush(val uint64) StackVersion { return s.cur.Push(val) }
+func (s *Stack) PurePush(val uint64) StackVersion { return s.latest().Push(val) }
 
 // PurePop returns a shadow without the top element, without committing.
-func (s *Stack) PurePop() (StackVersion, uint64, bool) { return s.cur.Pop() }
+func (s *Stack) PurePop() (StackVersion, uint64, bool) { return s.latest().Pop() }
 
 // -------------------------------------------------------------- Queue --
 
@@ -360,7 +472,7 @@ type Queue struct {
 	st   *Store
 	name string
 	loc  location
-	cur  funcds.Queue
+	cur  atomic.Uint64
 }
 
 // Queue binds (creating on first use) a recoverable queue under a root.
@@ -369,7 +481,9 @@ func (s *Store) Queue(name string) (*Queue, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Queue{st: s, name: name, loc: loc, cur: funcds.QueueAt(s.heap, addr)}, nil
+	q := &Queue{st: s, name: name, loc: loc}
+	q.adopt(addr)
+	return q, nil
 }
 
 // Queue binds (creating on first use) a recoverable queue under a field.
@@ -378,48 +492,64 @@ func (p *Parent) Queue(field string) (*Queue, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Queue{st: p.s, name: field, loc: loc, cur: funcds.QueueAt(p.s.heap, addr)}, nil
+	q := &Queue{st: p.s, name: field, loc: loc}
+	q.adopt(addr)
+	return q, nil
 }
 
 // Name returns the bound root or field name.
 func (q *Queue) Name() string { return q.name }
 
-func (q *Queue) currentAddr() pmem.Addr { return q.cur.Addr() }
-func (q *Queue) adopt(a pmem.Addr)      { q.cur = funcds.QueueAt(q.st.heap, a) }
+func (q *Queue) latest() funcds.Queue   { return funcds.QueueAt(q.st.heap, q.st.resolveForRead(q.loc)) }
+func (q *Queue) writable() funcds.Queue { return funcds.QueueAt(q.st.heap, q.currentAddr()) }
+func (q *Queue) currentAddr() pmem.Addr { return pmem.Addr(q.cur.Load()) }
+func (q *Queue) adopt(a pmem.Addr)      { q.cur.Store(uint64(a)) }
 func (q *Queue) location() location     { return q.loc }
 func (q *Queue) store() *Store          { return q.st }
 
 // Len returns the number of elements.
-func (q *Queue) Len() uint64 { return q.cur.Len() }
+func (q *Queue) Len() uint64 {
+	g := q.st.heap.Enter()
+	defer g.Exit()
+	return q.latest().Len()
+}
 
-// Peek returns the head element.
-func (q *Queue) Peek() (uint64, bool) { return q.cur.Peek() }
+// Peek returns the head element of the latest committed version.
+func (q *Queue) Peek() (uint64, bool) {
+	g := q.st.heap.Enter()
+	defer g.Exit()
+	return q.latest().Peek()
+}
 
 // Enqueue failure-atomically appends val at the tail.
 func (q *Queue) Enqueue(val uint64) {
+	mu := q.st.beginUpdate(q)
+	defer mu.Unlock()
 	q.st.BeginFASE()
-	shadow := q.cur.Push(val)
-	q.st.CommitSingle(q, shadow)
+	shadow := q.writable().Push(val)
+	q.st.commitSingleLocked(q, []Version{shadow})
 	q.st.EndFASE()
 }
 
 // Dequeue failure-atomically removes and returns the head element.
 func (q *Queue) Dequeue() (uint64, bool) {
+	mu := q.st.beginUpdate(q)
+	defer mu.Unlock()
 	q.st.BeginFASE()
-	shadow, val, ok := q.cur.Pop()
+	shadow, val, ok := q.writable().Pop()
 	if ok {
-		q.st.CommitSingle(q, shadow)
+		q.st.commitSingleLocked(q, []Version{shadow})
 	}
 	q.st.EndFASE()
 	return val, ok
 }
 
 // Current returns the current committed version for composition.
-func (q *Queue) Current() QueueVersion { return q.cur }
+func (q *Queue) Current() QueueVersion { return q.latest() }
 
 // PureEnqueue returns a shadow with val appended, without committing.
-func (q *Queue) PureEnqueue(val uint64) QueueVersion { return q.cur.Push(val) }
+func (q *Queue) PureEnqueue(val uint64) QueueVersion { return q.latest().Push(val) }
 
 // PureDequeue returns a shadow without the head element, without
 // committing.
-func (q *Queue) PureDequeue() (QueueVersion, uint64, bool) { return q.cur.Pop() }
+func (q *Queue) PureDequeue() (QueueVersion, uint64, bool) { return q.latest().Pop() }

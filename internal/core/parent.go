@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"github.com/mod-ds/mod/internal/alloc"
 	"github.com/mod-ds/mod/internal/funcds"
@@ -15,11 +16,15 @@ import (
 // a manager object.
 //
 // Layout (TagParent): [nFields u64][field addr u64 × n].
+//
+// A Parent handle may be shared across goroutines: its current block
+// address is atomic, and every commit through it serializes on the
+// parent's root mutex.
 type Parent struct {
 	s      *Store
 	name   string
 	slot   int
-	addr   pmem.Addr
+	addr   atomic.Uint64 // current parent block address
 	fields []string
 }
 
@@ -37,19 +42,22 @@ func (s *Store) Parent(name string, fields ...string) (*Parent, error) {
 		return nil, err
 	}
 	p := &Parent{s: s, name: name, slot: slot, fields: fields}
+	mu := &s.sh.rootMu[slot]
+	mu.Lock()
+	defer mu.Unlock()
 	if root := s.heap.Root(slot); root != pmem.Nil {
 		n := s.dev.ReadU64(root)
 		if n != uint64(len(fields)) {
 			return nil, fmt.Errorf("core: parent %q has %d fields, expected %d", name, n, len(fields))
 		}
-		p.addr = root
+		p.adopt(root)
 		return p, nil
 	}
 	s.BeginFASE()
 	addr := newParentBlock(s.heap, make([]pmem.Addr, len(fields)))
 	s.commitRoot(slot, pmem.Nil, addr)
 	s.EndFASE()
-	p.addr = addr
+	p.adopt(addr)
 	return p, nil
 }
 
@@ -71,7 +79,14 @@ func newParentBlock(h *alloc.Heap, fields []pmem.Addr) pmem.Addr {
 func (p *Parent) Name() string { return p.name }
 
 // Addr returns the current parent block address.
-func (p *Parent) Addr() pmem.Addr { return p.addr }
+func (p *Parent) Addr() pmem.Addr { return pmem.Addr(p.addr.Load()) }
+
+// adopt records a newly committed parent block address.
+func (p *Parent) adopt(a pmem.Addr) { p.addr.Store(uint64(a)) }
+
+// refreshLocked reloads the parent block pointer from its root cell.
+// Caller holds the parent's root mutex.
+func (p *Parent) refreshLocked() { p.adopt(p.s.heap.Root(p.slot)) }
 
 // Fields returns the ordered field names.
 func (p *Parent) Fields() []string { return p.fields }
@@ -87,11 +102,11 @@ func (p *Parent) fieldIndex(name string) (int, error) {
 
 // fieldAddr reads the current pointer of field i.
 func (p *Parent) fieldAddr(i int) pmem.Addr {
-	return pmem.Addr(p.s.dev.ReadU64(p.addr + 8 + pmem.Addr(i*8)))
+	return pmem.Addr(p.s.dev.ReadU64(p.Addr() + 8 + pmem.Addr(i*8)))
 }
 
 // installField publishes a freshly created datastructure under field i via
-// a single-field CommitSiblings.
+// a single-field CommitSiblings. Caller holds the parent's root mutex.
 func (p *Parent) installField(i int, addr pmem.Addr) {
 	newFields := make([]pmem.Addr, len(p.fields))
 	for j := range p.fields {
@@ -104,13 +119,14 @@ func (p *Parent) installField(i int, addr pmem.Addr) {
 			p.s.heap.Retain(f)
 		}
 	}
-	old := p.addr
+	old := p.Addr()
+	p.s.checkCurrent(p.slot, old, "installField")
 	p.s.commitBegin()
 	p.s.heap.Fence()
 	p.s.heap.SetRoot(p.slot, shadow)
 	p.s.commitEnd()
 	p.s.heap.Release(old)
-	p.addr = shadow
+	p.adopt(shadow)
 }
 
 func walkParent(h *alloc.Heap, a pmem.Addr, visit func(pmem.Addr)) {

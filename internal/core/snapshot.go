@@ -1,0 +1,173 @@
+package core
+
+import (
+	"github.com/mod-ds/mod/internal/alloc"
+	"github.com/mod-ds/mod/internal/funcds"
+	"github.com/mod-ds/mod/internal/pmem"
+)
+
+// Snapshots: the lock-free read path. A snapshot pins the allocator's
+// reclamation epoch, loads the structure's committed version pointer with
+// one atomic read, and hands back the immutable version. Because every
+// committed version is immutable (Functional Shadowing, §4.1) and the
+// epoch pin keeps its nodes from being recycled, the snapshot can be
+// traversed freely while any number of writers commit new versions — the
+// reader never blocks a committing writer and is never blocked by one.
+//
+// A snapshot must be Closed when done; holding one open delays
+// reclamation of every version retired after it was taken (it does not
+// block writers, only memory reuse).
+//
+// Snapshots observe the version committed at the moment of the pointer
+// load: the 8-byte root swap is atomic, so a snapshot taken mid-commit
+// sees either the old or the new version in full, never a mixture.
+
+// snap pins the epoch and resolves the location's committed pointer, in
+// that order — the pin must cover the pointer load, or the version could
+// be retired and recycled between load and traversal.
+func snap(s *Store, loc location) (pmem.Addr, *alloc.EpochGuard) {
+	g := s.heap.Enter()
+	return s.resolveForRead(loc), g
+}
+
+// MapSnapshot is an immutable view of a map's latest committed version.
+type MapSnapshot struct {
+	v funcds.Map
+	g *alloc.EpochGuard
+}
+
+// Snapshot returns the latest committed version of the map, pinned
+// against reclamation until Close.
+func (m *Map) Snapshot() MapSnapshot {
+	addr, g := snap(m.st, m.loc)
+	return MapSnapshot{v: funcds.MapAt(m.st.heap, addr), g: g}
+}
+
+// Close releases the snapshot's reclamation pin. Idempotent.
+func (s MapSnapshot) Close() { s.g.Exit() }
+
+// Len returns the number of entries.
+func (s MapSnapshot) Len() uint64 { return s.v.Len() }
+
+// Get returns the value bound to key in this version.
+func (s MapSnapshot) Get(key []byte) ([]byte, bool) { return s.v.Get(key) }
+
+// Contains reports whether key is bound in this version.
+func (s MapSnapshot) Contains(key []byte) bool { return s.v.Contains(key) }
+
+// Range iterates over this version's entries.
+func (s MapSnapshot) Range(f func(key, val []byte) bool) { s.v.Range(f) }
+
+// Version returns the underlying immutable version for composition. It
+// is valid only until Close.
+func (s MapSnapshot) Version() MapVersion { return s.v }
+
+// SetSnapshot is an immutable view of a set's latest committed version.
+type SetSnapshot struct {
+	v funcds.Set
+	g *alloc.EpochGuard
+}
+
+// Snapshot returns the latest committed version of the set, pinned
+// against reclamation until Close.
+func (s *Set) Snapshot() SetSnapshot {
+	addr, g := snap(s.st, s.loc)
+	return SetSnapshot{v: funcds.SetDSAt(s.st.heap, addr), g: g}
+}
+
+// Close releases the snapshot's reclamation pin. Idempotent.
+func (s SetSnapshot) Close() { s.g.Exit() }
+
+// Len returns the number of members.
+func (s SetSnapshot) Len() uint64 { return s.v.Len() }
+
+// Contains reports membership in this version.
+func (s SetSnapshot) Contains(key []byte) bool { return s.v.Contains(key) }
+
+// Range iterates over this version's members.
+func (s SetSnapshot) Range(f func(key []byte) bool) { s.v.Range(f) }
+
+// Version returns the underlying immutable version for composition. It
+// is valid only until Close.
+func (s SetSnapshot) Version() SetVersion { return s.v }
+
+// VectorSnapshot is an immutable view of a vector's latest committed
+// version.
+type VectorSnapshot struct {
+	v funcds.Vector
+	g *alloc.EpochGuard
+}
+
+// Snapshot returns the latest committed version of the vector, pinned
+// against reclamation until Close.
+func (v *Vector) Snapshot() VectorSnapshot {
+	addr, g := snap(v.st, v.loc)
+	return VectorSnapshot{v: funcds.VectorAt(v.st.heap, addr), g: g}
+}
+
+// Close releases the snapshot's reclamation pin. Idempotent.
+func (s VectorSnapshot) Close() { s.g.Exit() }
+
+// Len returns the number of elements.
+func (s VectorSnapshot) Len() uint64 { return s.v.Len() }
+
+// Get returns the element at index i in this version.
+func (s VectorSnapshot) Get(i uint64) uint64 { return s.v.Get(i) }
+
+// Version returns the underlying immutable version for composition. It
+// is valid only until Close.
+func (s VectorSnapshot) Version() VectorVersion { return s.v }
+
+// StackSnapshot is an immutable view of a stack's latest committed
+// version.
+type StackSnapshot struct {
+	v funcds.Stack
+	g *alloc.EpochGuard
+}
+
+// Snapshot returns the latest committed version of the stack, pinned
+// against reclamation until Close.
+func (s *Stack) Snapshot() StackSnapshot {
+	addr, g := snap(s.st, s.loc)
+	return StackSnapshot{v: funcds.StackAt(s.st.heap, addr), g: g}
+}
+
+// Close releases the snapshot's reclamation pin. Idempotent.
+func (s StackSnapshot) Close() { s.g.Exit() }
+
+// Len returns the number of elements.
+func (s StackSnapshot) Len() uint64 { return s.v.Len() }
+
+// Peek returns the top element of this version.
+func (s StackSnapshot) Peek() (uint64, bool) { return s.v.Peek() }
+
+// Version returns the underlying immutable version for composition. It
+// is valid only until Close.
+func (s StackSnapshot) Version() StackVersion { return s.v }
+
+// QueueSnapshot is an immutable view of a queue's latest committed
+// version.
+type QueueSnapshot struct {
+	v funcds.Queue
+	g *alloc.EpochGuard
+}
+
+// Snapshot returns the latest committed version of the queue, pinned
+// against reclamation until Close.
+func (q *Queue) Snapshot() QueueSnapshot {
+	addr, g := snap(q.st, q.loc)
+	return QueueSnapshot{v: funcds.QueueAt(q.st.heap, addr), g: g}
+}
+
+// Close releases the snapshot's reclamation pin. Idempotent.
+func (s QueueSnapshot) Close() { s.g.Exit() }
+
+// Len returns the number of elements.
+func (s QueueSnapshot) Len() uint64 { return s.v.Len() }
+
+// Peek returns the head element of this version.
+func (s QueueSnapshot) Peek() (uint64, bool) { return s.v.Peek() }
+
+// Version returns the underlying immutable version for composition. It
+// is valid only until Close.
+func (s QueueSnapshot) Version() QueueVersion { return s.v }

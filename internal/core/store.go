@@ -19,10 +19,35 @@
 //
 // Recovery (§5.3) is a reachability pass over the heap from the named
 // roots: interrupted-FASE allocations are swept, reference counts rebuilt.
+//
+// # Concurrency
+//
+// A Store value is a handle onto shared store state; Fork derives a
+// handle with its own simulated clock for a worker goroutine. Committed
+// versions are immutable, which makes concurrency natural:
+//
+//   - Writers serialize per root: every commit takes the root's mutex
+//     (parent-bound structures take the parent's root mutex), so writers
+//     to different roots proceed in parallel. Basic-interface updates
+//     reload the current version under the lock, making them linearizable
+//     across handles and goroutines. Composition-interface users must
+//     keep a single logical writer per root between Pure* and Commit*;
+//     the commit step panics if it detects a stale base version.
+//
+//   - Readers never take root mutexes. Snapshot() pins a reclamation
+//     epoch (alloc/epoch.go), atomically reads the root pointer, and
+//     returns an immutable version that remains valid — never reclaimed,
+//     never torn — until Close, regardless of concurrent commits.
+//
+// Version publication itself is the 8-byte root-pointer store of the
+// paper's commit step, atomic for readers and for crashes alike.
 package core
 
 import (
 	"fmt"
+	"slices"
+	"sort"
+	"sync"
 
 	"github.com/mod-ds/mod/internal/alloc"
 	"github.com/mod-ds/mod/internal/funcds"
@@ -35,12 +60,22 @@ import (
 // used by CommitUnrelated.
 const commitLogRoot = "__mod_commitlog"
 
-// Store is a persistent heap hosting MOD datastructures, located across
-// process lifetimes by named roots.
+// storeShared is the state common to all handles of one store: one commit
+// mutex per root slot and the CommitUnrelated transaction lock.
+type storeShared struct {
+	rootMu [alloc.RootSlots]sync.Mutex
+	txMu   sync.Mutex
+}
+
+// Store is a handle onto a persistent heap hosting MOD datastructures,
+// located across process lifetimes by named roots. Derive one handle per
+// goroutine with Fork; handles share all store state but carry their own
+// simulated clock.
 type Store struct {
 	dev  *pmem.Device
 	heap *alloc.Heap
 	tx   *stm.TX // short transactions for CommitUnrelated (Fig. 8d)
+	sh   *storeShared
 }
 
 // NewStore formats dev and returns an empty store.
@@ -54,7 +89,7 @@ func NewStore(dev *pmem.Device) (*Store, error) {
 	}
 	heap.SetRoot(slot, tx.LogAddr())
 	dev.Sfence()
-	return &Store{dev: dev, heap: heap, tx: tx}, nil
+	return &Store{dev: dev, heap: heap, tx: tx, sh: &storeShared{}}, nil
 }
 
 // OpenStore attaches to a previously formatted device, rolling back any
@@ -81,7 +116,7 @@ func OpenStore(dev *pmem.Device) (*Store, alloc.RecoveryStats, error) {
 		return nil, rs, err
 	}
 	tx := stm.Attach(dev, heap, stm.ModeV15, logAddr, stm.DefaultLogSize)
-	return &Store{dev: dev, heap: heap, tx: tx}, rs, nil
+	return &Store{dev: dev, heap: heap, tx: tx, sh: &storeShared{}}, rs, nil
 }
 
 func registerWalkers(heap *alloc.Heap) {
@@ -89,10 +124,18 @@ func registerWalkers(heap *alloc.Heap) {
 	heap.RegisterWalker(funcds.TagParent, walkParent)
 }
 
-// Device returns the underlying persistent memory device.
+// Fork returns a new handle onto the same store whose device and heap
+// handles carry a fresh per-goroutine clock. Handles bound through the
+// forked store account their simulated time to that goroutine.
+func (s *Store) Fork() *Store {
+	h := s.heap.Fork()
+	return &Store{dev: h.Device(), heap: h, tx: s.tx, sh: s.sh}
+}
+
+// Device returns this handle's underlying persistent memory device handle.
 func (s *Store) Device() *pmem.Device { return s.dev }
 
-// Heap returns the persistent allocator.
+// Heap returns this handle's persistent allocator handle.
 func (s *Store) Heap() *alloc.Heap { return s.heap }
 
 // CheckerConfig returns the trace-checker configuration for this store:
@@ -111,10 +154,54 @@ func (s *Store) CheckerConfig() trace.CheckerConfig {
 
 // Sync orders every outstanding flush — including the most recent
 // commit's root-pointer write, whose durability is otherwise guaranteed
-// only by the next FASE's fence — and drains the reclamation quarantine.
-// Call it before planned shutdown or when an operation must be durable on
-// return.
+// only by the next FASE's fence — and reclaims every retired block no
+// pinned reader can reach. Call it before planned shutdown or when an
+// operation must be durable on return.
 func (s *Store) Sync() { s.heap.Fence() }
+
+// lockFor returns the commit mutex guarding a datastructure location:
+// the root's own mutex, or the parent's root mutex for parent-bound
+// structures (sibling fields share one committed pointer).
+func (s *Store) lockFor(loc location) *sync.Mutex {
+	if loc.parent != nil {
+		return &s.sh.rootMu[loc.parent.slot]
+	}
+	return &s.sh.rootMu[loc.slot]
+}
+
+// resolveLocked reads a location's current committed version pointer from
+// persistent memory. Caller holds the location's commit mutex.
+func (s *Store) resolveLocked(loc location) pmem.Addr {
+	if loc.parent != nil {
+		loc.parent.refreshLocked()
+		return loc.parent.fieldAddr(loc.slot)
+	}
+	return s.heap.Root(loc.slot)
+}
+
+// resolveForRead reads a location's current committed version pointer
+// without locks, for snapshotting. The caller must have pinned the
+// reclamation epoch first so the version cannot be recycled between the
+// pointer load and the traversal.
+func (s *Store) resolveForRead(loc location) pmem.Addr {
+	if loc.parent != nil {
+		paddr := s.heap.Root(loc.parent.slot)
+		return pmem.Addr(s.dev.ReadU64(paddr + 8 + pmem.Addr(loc.slot*8)))
+	}
+	return s.heap.Root(loc.slot)
+}
+
+// beginUpdate locks a datastructure's commit mutex and reloads its
+// current version from PM, so the update builds on the latest committed
+// state even when other goroutines write through their own handles. The
+// caller must unlock the returned mutex when the FASE completes.
+func (s *Store) beginUpdate(ds Datastructure) *sync.Mutex {
+	loc := ds.location()
+	mu := s.lockFor(loc)
+	mu.Lock()
+	ds.adopt(s.resolveLocked(loc))
+	return mu
+}
 
 // BeginFASE marks the start of a failure-atomic section for trace-based
 // verification (§5.4). The Basic interface brackets its operations
@@ -176,12 +263,24 @@ type location struct {
 	slot   int // root slot index, or parent field index
 }
 
+// checkCurrent panics if the committed pointer in PM does not match the
+// version a commit is about to replace — the signature of two logical
+// writers racing on one root without coordination (the Composition
+// interface requires one writer per root between Pure* and Commit*).
+func (s *Store) checkCurrent(slot int, old pmem.Addr, what string) {
+	if cur := s.heap.Root(slot); cur != old {
+		panic(fmt.Sprintf("core: %s: base version %#x is stale (committed is %#x); one writer per root required between Pure* and Commit*", what, uint64(old), uint64(cur)))
+	}
+}
+
 // commitRoot is the common-case CommitSingle step (Fig. 8b): one fence to
 // make every outstanding shadow flush durable, then an 8-byte atomic
-// pointer write to publish the new version, then reclamation of the old.
+// pointer write to publish the new version, then retirement of the old.
+// Caller holds the root's commit mutex.
 func (s *Store) commitRoot(slot int, old, final pmem.Addr) {
+	s.checkCurrent(slot, old, "commit")
 	s.commitBegin()
-	s.heap.Fence() // the FASE's single ordering point; drains quarantine
+	s.heap.Fence() // the FASE's single ordering point; reclaims retired blocks
 	s.heap.SetRoot(slot, final)
 	s.commitEnd()
 	s.heap.Release(old)
@@ -196,8 +295,18 @@ func (s *Store) CommitSingle(ds Datastructure, shadows ...Version) {
 		return
 	}
 	loc := ds.location()
+	mu := s.lockFor(loc)
+	mu.Lock()
+	defer mu.Unlock()
+	s.commitSingleLocked(ds, shadows)
+}
+
+// commitSingleLocked is CommitSingle with the location's commit mutex
+// already held (the Basic interface acquires it before building shadows).
+func (s *Store) commitSingleLocked(ds Datastructure, shadows []Version) {
+	loc := ds.location()
 	if loc.parent != nil {
-		s.CommitSiblings(loc.parent, Update{DS: ds, Shadows: shadows})
+		s.commitSiblingsLocked(loc.parent, []Update{{DS: ds, Shadows: shadows}})
 		return
 	}
 	old := ds.currentAddr()
@@ -227,6 +336,13 @@ func (s *Store) CommitSiblings(p *Parent, updates ...Update) {
 	if len(updates) == 0 {
 		return
 	}
+	mu := &s.sh.rootMu[p.slot]
+	mu.Lock()
+	defer mu.Unlock()
+	s.commitSiblingsLocked(p, updates)
+}
+
+func (s *Store) commitSiblingsLocked(p *Parent, updates []Update) {
 	newFields := make([]pmem.Addr, len(p.fields))
 	changed := make([]bool, len(p.fields))
 	for i := range p.fields {
@@ -250,7 +366,8 @@ func (s *Store) CommitSiblings(p *Parent, updates ...Update) {
 			s.heap.Retain(f)
 		}
 	}
-	oldParent := p.addr
+	oldParent := p.Addr()
+	s.checkCurrent(p.slot, oldParent, "CommitSiblings")
 	s.commitBegin()
 	s.heap.Fence()
 	s.heap.SetRoot(p.slot, shadow)
@@ -261,7 +378,7 @@ func (s *Store) CommitSiblings(p *Parent, updates ...Update) {
 			s.heap.Release(sh.Addr())
 		}
 	}
-	p.addr = shadow
+	p.adopt(shadow)
 	for _, u := range updates {
 		u.DS.adopt(u.final())
 	}
@@ -271,21 +388,42 @@ func (s *Store) CommitSiblings(p *Parent, updates ...Update) {
 // root-bound datastructures (Fig. 8d): the shadows are made durable by one
 // fence, then a very short transaction updates the root pointers together.
 // This is the uncommon case and carries the transaction's extra ordering
-// points.
+// points. The commit locks every target root (in slot order, so
+// overlapping multi-root commits cannot deadlock) plus the shared
+// transaction log.
 func (s *Store) CommitUnrelated(updates ...Update) {
 	if len(updates) == 0 {
 		return
 	}
-	s.heap.Device().Sfence() // shadows durable before the pointer tx
-	s.heap.Drain()
-	s.commitBegin()
-	s.tx.Begin()
+	slots := make([]int, 0, len(updates))
 	for _, u := range updates {
 		loc := u.DS.location()
 		if loc.parent != nil {
 			panic("core: CommitUnrelated requires root-bound datastructures")
 		}
-		cell := s.heap.RootCellAddr(loc.slot)
+		slots = append(slots, loc.slot)
+	}
+	sort.Ints(slots)
+	slots = slices.Compact(slots)
+	for _, slot := range slots {
+		s.sh.rootMu[slot].Lock()
+	}
+	s.sh.txMu.Lock()
+	defer func() {
+		s.sh.txMu.Unlock()
+		for i := len(slots) - 1; i >= 0; i-- {
+			s.sh.rootMu[slots[i]].Unlock()
+		}
+	}()
+	for _, u := range updates {
+		s.checkCurrent(u.DS.location().slot, u.DS.currentAddr(), "CommitUnrelated")
+	}
+	s.dev.Sfence() // shadows durable before the pointer tx
+	s.heap.Drain()
+	s.commitBegin()
+	s.tx.Begin()
+	for _, u := range updates {
+		cell := s.heap.RootCellAddr(u.DS.location().slot)
 		s.tx.Add(cell, 8)
 	}
 	for _, u := range updates {

@@ -125,7 +125,7 @@ func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
 // Experiment names accepted by Run and cmd/modbench.
 var Experiments = []string{
 	"table1", "table2", "fig2", "fig4", "fig9", "fig10", "fig11", "table3",
-	"spaceoverhead", "ablation-conc", "ablation-naive",
+	"spaceoverhead", "ablation-conc", "ablation-naive", "concurrent",
 }
 
 // Run executes one named experiment at the given scale.
@@ -153,6 +153,8 @@ func Run(name string, scale Scale) (*Table, error) {
 		return AblationFlushConcurrency(scale)
 	case "ablation-naive":
 		return AblationNaiveShadow(scale)
+	case "concurrent":
+		return Concurrent(scale)
 	}
 	return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", name, Experiments)
 }

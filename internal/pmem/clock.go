@@ -1,0 +1,76 @@
+package pmem
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Simulated-time accounting. A single-threaded simulation can keep one
+// float64 clock, but concurrent goroutines each have their own critical
+// path: reader A performing a lookup does not wait for reader B's lookup
+// on real hardware, so their simulated times must advance independently.
+//
+// Every Device handle therefore carries a LocalClock: charges land on the
+// handle's own timeline (the goroutine's critical path) and, atomically,
+// on a device-wide aggregate (total busy nanoseconds across all
+// goroutines). Elapsed time of a parallel phase is the maximum of the
+// participating handles' local clocks; aggregate throughput is total
+// operations divided by that maximum.
+
+// Clock accounts simulated time for one execution context.
+type Clock interface {
+	// Charge advances the clock by ns, attributed to category c.
+	Charge(c Category, ns float64)
+	// Now returns the accumulated simulated nanoseconds.
+	Now() float64
+	// CategoryNs returns the accumulated nanoseconds of one category.
+	CategoryNs(c Category) float64
+}
+
+// atomicNs is a float64 nanosecond accumulator updated lock-free.
+type atomicNs struct{ bits atomic.Uint64 }
+
+func (a *atomicNs) add(ns float64) {
+	for {
+		old := a.bits.Load()
+		if a.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+ns)) {
+			return
+		}
+	}
+}
+
+func (a *atomicNs) load() float64 { return math.Float64frombits(a.bits.Load()) }
+
+// aggClock is the device-wide aggregate: total busy simulated time across
+// every handle, by category. All updates are atomic.
+type aggClock struct {
+	total atomicNs
+	cat   [numCategories]atomicNs
+}
+
+// LocalClock is the per-handle simulated clock. Charges accumulate both
+// locally and on the shared aggregate, so a handle's Now() is the critical
+// path of the goroutine using it while Device.Clock() remains the total
+// busy time. LocalClock is safe for concurrent use, but sharing one across
+// goroutines merges their timelines; Fork the device instead.
+type LocalClock struct {
+	agg *aggClock
+	ns  atomicNs
+	cat [numCategories]atomicNs
+}
+
+func newLocalClock(agg *aggClock) *LocalClock { return &LocalClock{agg: agg} }
+
+// Charge advances this clock and the device aggregate by ns.
+func (c *LocalClock) Charge(cat Category, ns float64) {
+	c.ns.add(ns)
+	c.cat[cat].add(ns)
+	c.agg.total.add(ns)
+	c.agg.cat[cat].add(ns)
+}
+
+// Now returns the simulated nanoseconds accumulated on this clock.
+func (c *LocalClock) Now() float64 { return c.ns.load() }
+
+// CategoryNs returns this clock's accumulated time in one category.
+func (c *LocalClock) CategoryNs(cat Category) float64 { return c.cat[cat].load() }

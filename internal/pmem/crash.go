@@ -34,15 +34,18 @@ const (
 // choices so failures are reproducible. The device must have been created
 // with TrackDurable.
 func (d *Device) CrashImage(policy CrashPolicy, seed uint64) []byte {
-	if d.dur == nil {
+	s := d.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dur == nil {
 		panic("pmem: CrashImage requires Config.TrackDurable")
 	}
-	img := make([]byte, len(d.dur))
-	copy(img, d.dur)
+	img := make([]byte, len(s.dur))
+	copy(img, s.dur)
 	rng := seed
 	persistLine := func(ln uint64) {
 		off := ln << LineShift
-		copy(img[off:off+LineSize], d.mem[off:off+LineSize])
+		copy(img[off:off+LineSize], s.mem[off:off+LineSize])
 	}
 	coin := func() bool {
 		rng = splitmix64(&rng)
@@ -51,22 +54,22 @@ func (d *Device) CrashImage(policy CrashPolicy, seed uint64) []byte {
 	switch policy {
 	case CrashFencedOnly:
 	case CrashAllInflight:
-		for _, ln := range d.inflight {
+		for _, ln := range s.inflight {
 			persistLine(ln)
 		}
 	case CrashInflightRandom:
-		for _, ln := range d.inflight {
+		for _, ln := range s.inflight {
 			if coin() {
 				persistLine(ln)
 			}
 		}
 	case CrashEvictRandom:
-		for _, ln := range d.inflight {
+		for _, ln := range s.inflight {
 			if coin() {
 				persistLine(ln)
 			}
 		}
-		for w, word := range d.dirty.words {
+		for w, word := range s.dirty.words {
 			for word != 0 {
 				bit := word & (-word)
 				word &^= bit
@@ -82,11 +85,13 @@ func (d *Device) CrashImage(policy CrashPolicy, seed uint64) []byte {
 // DurableBytes returns a read-only view of the durable image for
 // inspection in tests. The device must track durability.
 func (d *Device) DurableBytes(addr Addr, n int) []byte {
-	if d.dur == nil {
+	d.s.mu.Lock()
+	defer d.s.mu.Unlock()
+	if d.s.dur == nil {
 		panic("pmem: DurableBytes requires Config.TrackDurable")
 	}
-	d.checkRange(addr, n)
-	return d.dur[addr : addr+Addr(n) : addr+Addr(n)]
+	d.s.checkRange(addr, n)
+	return d.s.dur[addr : addr+Addr(n) : addr+Addr(n)]
 }
 
 // splitmix64 advances the state and returns the next pseudorandom value.

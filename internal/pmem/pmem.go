@@ -16,11 +16,26 @@
 //
 // All datastructure state lives in the device arena and is referenced by
 // Addr offsets, the simulator's stand-in for pointers into mapped PM.
+//
+// # Concurrency
+//
+// A Device value is a handle onto shared device state. Memory, line
+// states, and the cache hierarchy are guarded by an internal mutex, so
+// any number of goroutines may access the arena through their own
+// handles. Time, however, is per handle: each handle owns a LocalClock
+// (see clock.go), created by Fork, so a goroutine's simulated time is its
+// own critical path while Clock() reports the atomic aggregate of busy
+// nanoseconds across all handles. The accounting Category is also
+// per-handle state. Handles are cheap; create one per goroutine with
+// Fork rather than sharing one (sharing is race-free but merges the
+// goroutines' timelines).
 package pmem
 
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"github.com/mod-ds/mod/internal/cachesim"
 )
@@ -128,7 +143,9 @@ func DefaultConfig(size int64) Config {
 	}
 }
 
-// Stats is a snapshot of device counters. Times are simulated nanoseconds.
+// Stats is a snapshot of device counters. Times are simulated nanoseconds;
+// under concurrency TotalNs is aggregate busy time across all handles, not
+// elapsed time (see LocalNs for a handle's own timeline).
 type Stats struct {
 	TotalNs float64
 	CatNs   [3]float64 // indexed by Category
@@ -169,25 +186,42 @@ func (s Stats) Sub(base Stats) Stats {
 	return r
 }
 
-// Device is a simulated persistent memory module. It is not safe for
-// concurrent use; the paper's workloads are single-threaded.
-type Device struct {
+// tracerBox wraps a Tracer for atomic.Value storage (interface values of
+// differing dynamic types cannot be stored in one atomic.Value directly).
+type tracerBox struct{ t Tracer }
+
+// devState is the shared device: arena contents, line states, cache model,
+// counters. One mutex guards it all; simulated PM accesses are short, so a
+// single lock keeps the memory image and line-state transitions atomic
+// without a fine-grained protocol the paper never depends on.
+type devState struct {
 	cfg   Config
-	mem   []byte
-	dur   []byte // durable image; nil unless cfg.TrackDurable
 	lines uint64
+
+	mu  sync.Mutex
+	mem []byte
+	dur []byte // durable image; nil unless cfg.TrackDurable
 
 	dirty    bitset   // written since last clwb of the line
 	everDirt bitset   // written and not yet durable (dirty ∪ inflight)
 	inflight []uint64 // line indices clwb'd since last fence
 	infSet   bitset
 
-	cache  *cachesim.Hierarchy
-	tracer Tracer
+	cache *cachesim.Hierarchy
 
-	clock float64
-	cat   Category
-	stats Stats
+	tracer atomic.Value // tracerBox
+	stats  Stats        // counter fields only; times live in agg
+	fences atomic.Uint64
+	agg    aggClock
+}
+
+// Device is a handle onto a simulated persistent memory module. See the
+// package comment for the concurrency model: share the module by giving
+// each goroutine its own handle via Fork.
+type Device struct {
+	s   *devState
+	clk *LocalClock
+	cat Category // per-handle accounting category
 }
 
 // New creates a device per cfg. The arena starts zeroed and durable.
@@ -196,22 +230,22 @@ func New(cfg Config) *Device {
 		panic("pmem: config Size must be positive")
 	}
 	size := (cfg.Size + LineSize - 1) &^ (LineSize - 1)
-	d := &Device{
+	s := &devState{
 		cfg:   cfg,
 		mem:   make([]byte, size),
 		lines: uint64(size) >> LineShift,
 	}
-	d.dirty = newBitset(d.lines)
-	d.everDirt = newBitset(d.lines)
-	d.infSet = newBitset(d.lines)
+	s.dirty = newBitset(s.lines)
+	s.everDirt = newBitset(s.lines)
+	s.infSet = newBitset(s.lines)
 	if cfg.TrackDurable {
-		d.dur = make([]byte, size)
+		s.dur = make([]byte, size)
 	}
 	if !cfg.DisableCache {
-		d.cache = cachesim.NewHierarchy()
+		s.cache = cachesim.NewHierarchy()
 	}
-	d.tracer = cfg.Tracer
-	return d
+	s.tracer.Store(tracerBox{cfg.Tracer})
+	return &Device{s: s, clk: newLocalClock(&s.agg)}
 }
 
 // NewFromImage creates a device whose initial (durable) contents are img,
@@ -221,97 +255,122 @@ func NewFromImage(cfg Config, img []byte) *Device {
 		cfg.Size = int64(len(img))
 	}
 	d := New(cfg)
-	copy(d.mem, img)
-	if d.dur != nil {
-		copy(d.dur, img)
+	copy(d.s.mem, img)
+	if d.s.dur != nil {
+		copy(d.s.dur, img)
 	}
 	return d
 }
 
+// Fork returns a new handle onto the same device with a fresh LocalClock
+// (starting at zero) and the same accounting category. Each concurrent
+// goroutine should work through its own forked handle so its simulated
+// time is tracked independently.
+func (d *Device) Fork() *Device {
+	return &Device{s: d.s, clk: newLocalClock(&d.s.agg), cat: d.cat}
+}
+
 // Size returns the arena size in bytes.
-func (d *Device) Size() int64 { return int64(len(d.mem)) }
+func (d *Device) Size() int64 { return int64(len(d.s.mem)) }
 
 // Config returns the device configuration.
-func (d *Device) Config() Config { return d.cfg }
+func (d *Device) Config() Config { return d.s.cfg }
 
 // Tracer returns the tracer hook, or nil.
-func (d *Device) Tracer() Tracer { return d.tracer }
+func (d *Device) Tracer() Tracer { return d.s.tracer.Load().(tracerBox).t }
 
 // SetTracer replaces the tracer hook (nil disables tracing).
-func (d *Device) SetTracer(t Tracer) { d.tracer = t }
+func (d *Device) SetTracer(t Tracer) { d.s.tracer.Store(tracerBox{t}) }
 
-// Clock returns the simulated time in nanoseconds since device creation.
-func (d *Device) Clock() float64 { return d.clock }
+// Clock returns the aggregate simulated busy time in nanoseconds across
+// all handles since device creation. With a single handle this is the
+// familiar single-threaded simulated clock.
+func (d *Device) Clock() float64 { return d.s.agg.total.load() }
+
+// LocalNs returns the simulated time accumulated on this handle's own
+// clock — the critical path of the goroutine using it.
+func (d *Device) LocalNs() float64 { return d.clk.Now() }
+
+// LocalClock returns this handle's clock for fine-grained inspection.
+func (d *Device) LocalClock() Clock { return d.clk }
+
+// FenceSeq returns the number of sfences executed on the device, a
+// monotonic sequence the allocator uses to order reclamation after the
+// fence that made an orphaning commit durable.
+func (d *Device) FenceSeq() uint64 { return d.s.fences.Load() }
 
 // Stats returns a snapshot of the device counters.
 func (d *Device) Stats() Stats {
-	s := d.stats
-	s.TotalNs = d.clock
-	if d.cache != nil {
-		s.Cache = d.cache.L1Stats()
-		s.CacheLevels = d.cache.Stats()
+	d.s.mu.Lock()
+	s := d.s.stats
+	if d.s.cache != nil {
+		s.Cache = d.s.cache.L1Stats()
+		s.CacheLevels = d.s.cache.Stats()
+	}
+	d.s.mu.Unlock()
+	s.TotalNs = d.s.agg.total.load()
+	for c := Category(0); c < numCategories; c++ {
+		s.CatNs[c] = d.s.agg.cat[c].load()
 	}
 	return s
 }
 
-// Category returns the current accounting category.
+// Category returns the current accounting category of this handle.
 func (d *Device) Category() Category { return d.cat }
 
-// SetCategory switches the accounting category for subsequent time charges
-// and returns the previous category.
+// SetCategory switches this handle's accounting category for subsequent
+// time charges and returns the previous category.
 func (d *Device) SetCategory(c Category) Category {
 	old := d.cat
 	d.cat = c
 	return old
 }
 
-// charge advances the clock, attributing ns to category c.
-func (d *Device) charge(c Category, ns float64) {
-	d.clock += ns
-	d.stats.CatNs[c] += ns
-}
-
 // ChargeCompute adds ns of CPU time to the current category. Used by
 // higher layers to account for work with no PM access (e.g. building a log
 // entry in registers).
-func (d *Device) ChargeCompute(ns float64) { d.charge(d.cat, ns) }
+func (d *Device) ChargeCompute(ns float64) { d.clk.Charge(d.cat, ns) }
 
-func (d *Device) checkRange(addr Addr, n int) {
-	if n < 0 || uint64(addr) >= uint64(len(d.mem)) || uint64(addr)+uint64(n) > uint64(len(d.mem)) {
-		panic(fmt.Sprintf("pmem: access [%#x, %#x) outside arena of %d bytes", uint64(addr), uint64(addr)+uint64(n), len(d.mem)))
+func (s *devState) checkRange(addr Addr, n int) {
+	if n < 0 || uint64(addr) >= uint64(len(s.mem)) || uint64(addr)+uint64(n) > uint64(len(s.mem)) {
+		panic(fmt.Sprintf("pmem: access [%#x, %#x) outside arena of %d bytes", uint64(addr), uint64(addr)+uint64(n), len(s.mem)))
 	}
 }
 
-// access charges the cache/latency cost of touching every line in
-// [addr, addr+n) and returns nothing. write selects store vs load cost.
+// accessLocked computes the cache/latency cost of touching every line in
+// [addr, addr+n) and updates line states. The caller holds s.mu; the
+// returned nanoseconds are charged to the handle's clock after unlocking.
 //
 // Writes made under the Log category model PMDK's non-temporal log
 // stores: they stream past the L1D (no allocation, no miss charge) at a
 // fixed per-line cost, so a cycling log region does not thrash the cache.
-func (d *Device) access(addr Addr, n int, write bool) {
+func (d *Device) accessLocked(addr Addr, n int, write bool) float64 {
+	s := d.s
 	first := uint64(addr) >> LineShift
 	last := (uint64(addr) + uint64(n) - 1) >> LineShift
 	streaming := write && d.cat == CatLog
+	var ns float64
 	for ln := first; ln <= last; ln++ {
-		if streaming || d.cache == nil {
-			d.charge(d.cat, d.cfg.L1HitNs)
+		if streaming || s.cache == nil {
+			ns += s.cfg.L1HitNs
 		} else {
-			switch d.cache.Access(ln, write) {
+			switch s.cache.Access(ln, write) {
 			case cachesim.InL1:
-				d.charge(d.cat, d.cfg.L1HitNs)
+				ns += s.cfg.L1HitNs
 			case cachesim.InL2:
-				d.charge(d.cat, d.cfg.L2HitNs)
+				ns += s.cfg.L2HitNs
 			case cachesim.InL3:
-				d.charge(d.cat, d.cfg.L3HitNs)
+				ns += s.cfg.L3HitNs
 			default:
-				d.charge(d.cat, d.cfg.PMReadNs)
+				ns += s.cfg.PMReadNs
 			}
 		}
 		if write {
-			d.dirty.set(ln)
-			d.everDirt.set(ln)
+			s.dirty.set(ln)
+			s.everDirt.set(ln)
 		}
 	}
+	return ns
 }
 
 // Read copies n = len(p) bytes at addr into p.
@@ -319,11 +378,15 @@ func (d *Device) Read(addr Addr, p []byte) {
 	if len(p) == 0 {
 		return
 	}
-	d.checkRange(addr, len(p))
-	d.access(addr, len(p), false)
-	copy(p, d.mem[addr:])
-	d.stats.Reads++
-	d.stats.BytesRead += uint64(len(p))
+	s := d.s
+	s.mu.Lock()
+	s.checkRange(addr, len(p))
+	ns := d.accessLocked(addr, len(p), false)
+	copy(p, s.mem[addr:])
+	s.stats.Reads++
+	s.stats.BytesRead += uint64(len(p))
+	s.mu.Unlock()
+	d.clk.Charge(d.cat, ns)
 }
 
 // Write stores p at addr, marking the touched lines dirty.
@@ -331,13 +394,17 @@ func (d *Device) Write(addr Addr, p []byte) {
 	if len(p) == 0 {
 		return
 	}
-	d.checkRange(addr, len(p))
-	d.access(addr, len(p), true)
-	copy(d.mem[addr:], p)
-	d.stats.Writes++
-	d.stats.BytesWritten += uint64(len(p))
-	if d.tracer != nil {
-		d.tracer.Write(addr, len(p))
+	s := d.s
+	s.mu.Lock()
+	s.checkRange(addr, len(p))
+	ns := d.accessLocked(addr, len(p), true)
+	copy(s.mem[addr:], p)
+	s.stats.Writes++
+	s.stats.BytesWritten += uint64(len(p))
+	s.mu.Unlock()
+	d.clk.Charge(d.cat, ns)
+	if t := d.Tracer(); t != nil {
+		t.Write(addr, len(p))
 	}
 }
 
@@ -346,34 +413,47 @@ func (d *Device) Zero(addr Addr, n int) {
 	if n == 0 {
 		return
 	}
-	d.checkRange(addr, n)
-	d.access(addr, n, true)
-	clear(d.mem[addr : addr+Addr(n)])
-	d.stats.Writes++
-	d.stats.BytesWritten += uint64(n)
-	if d.tracer != nil {
-		d.tracer.Write(addr, n)
+	s := d.s
+	s.mu.Lock()
+	s.checkRange(addr, n)
+	ns := d.accessLocked(addr, n, true)
+	clear(s.mem[addr : addr+Addr(n)])
+	s.stats.Writes++
+	s.stats.BytesWritten += uint64(n)
+	s.mu.Unlock()
+	d.clk.Charge(d.cat, ns)
+	if t := d.Tracer(); t != nil {
+		t.Write(addr, n)
 	}
 }
 
 // ReadU64 reads a little-endian uint64 at addr.
 func (d *Device) ReadU64(addr Addr) uint64 {
-	d.checkRange(addr, 8)
-	d.access(addr, 8, false)
-	d.stats.Reads++
-	d.stats.BytesRead += 8
-	return binary.LittleEndian.Uint64(d.mem[addr:])
+	s := d.s
+	s.mu.Lock()
+	s.checkRange(addr, 8)
+	ns := d.accessLocked(addr, 8, false)
+	v := binary.LittleEndian.Uint64(s.mem[addr:])
+	s.stats.Reads++
+	s.stats.BytesRead += 8
+	s.mu.Unlock()
+	d.clk.Charge(d.cat, ns)
+	return v
 }
 
 // WriteU64 stores a little-endian uint64 at addr.
 func (d *Device) WriteU64(addr Addr, v uint64) {
-	d.checkRange(addr, 8)
-	d.access(addr, 8, true)
-	binary.LittleEndian.PutUint64(d.mem[addr:], v)
-	d.stats.Writes++
-	d.stats.BytesWritten += 8
-	if d.tracer != nil {
-		d.tracer.Write(addr, 8)
+	s := d.s
+	s.mu.Lock()
+	s.checkRange(addr, 8)
+	ns := d.accessLocked(addr, 8, true)
+	binary.LittleEndian.PutUint64(s.mem[addr:], v)
+	s.stats.Writes++
+	s.stats.BytesWritten += 8
+	s.mu.Unlock()
+	d.clk.Charge(d.cat, ns)
+	if t := d.Tracer(); t != nil {
+		t.Write(addr, 8)
 	}
 }
 
@@ -382,7 +462,9 @@ func (d *Device) ReadAddr(addr Addr) Addr { return Addr(d.ReadU64(addr)) }
 
 // WriteAddr stores a persistent pointer at addr. The write is 8-byte
 // aligned and therefore atomic with respect to failure, the property the
-// MOD Commit step relies on (§5.2).
+// MOD Commit step relies on (§5.2). Under the device mutex it is also
+// atomic with respect to concurrent readers, which is what makes the
+// commit step's version publication an atomic pointer swap.
 func (d *Device) WriteAddr(addr Addr, v Addr) {
 	if addr&7 != 0 {
 		panic(fmt.Sprintf("pmem: unaligned pointer write at %#x", uint64(addr)))
@@ -392,31 +474,43 @@ func (d *Device) WriteAddr(addr Addr, v Addr) {
 
 // ReadU32 reads a little-endian uint32 at addr.
 func (d *Device) ReadU32(addr Addr) uint32 {
-	d.checkRange(addr, 4)
-	d.access(addr, 4, false)
-	d.stats.Reads++
-	d.stats.BytesRead += 4
-	return binary.LittleEndian.Uint32(d.mem[addr:])
+	s := d.s
+	s.mu.Lock()
+	s.checkRange(addr, 4)
+	ns := d.accessLocked(addr, 4, false)
+	v := binary.LittleEndian.Uint32(s.mem[addr:])
+	s.stats.Reads++
+	s.stats.BytesRead += 4
+	s.mu.Unlock()
+	d.clk.Charge(d.cat, ns)
+	return v
 }
 
 // WriteU32 stores a little-endian uint32 at addr.
 func (d *Device) WriteU32(addr Addr, v uint32) {
-	d.checkRange(addr, 4)
-	d.access(addr, 4, true)
-	binary.LittleEndian.PutUint32(d.mem[addr:], v)
-	d.stats.Writes++
-	d.stats.BytesWritten += 4
-	if d.tracer != nil {
-		d.tracer.Write(addr, 4)
+	s := d.s
+	s.mu.Lock()
+	s.checkRange(addr, 4)
+	ns := d.accessLocked(addr, 4, true)
+	binary.LittleEndian.PutUint32(s.mem[addr:], v)
+	s.stats.Writes++
+	s.stats.BytesWritten += 4
+	s.mu.Unlock()
+	d.clk.Charge(d.cat, ns)
+	if t := d.Tracer(); t != nil {
+		t.Write(addr, 4)
 	}
 }
 
 // Bytes returns a read-only view of [addr, addr+n) without charging
 // simulated time. It is intended for checkers, recovery scans, and tests;
-// workload code must use Read.
+// workload code must use Read. The view aliases live memory and is not
+// synchronized against concurrent writers.
 func (d *Device) Bytes(addr Addr, n int) []byte {
-	d.checkRange(addr, n)
-	return d.mem[addr : addr+Addr(n) : addr+Addr(n)]
+	d.s.mu.Lock()
+	defer d.s.mu.Unlock()
+	d.s.checkRange(addr, n)
+	return d.s.mem[addr : addr+Addr(n) : addr+Addr(n)]
 }
 
 // Clwb initiates a writeback of the line containing addr. It commits
@@ -424,17 +518,20 @@ func (d *Device) Bytes(addr Addr, n int) []byte {
 // a clean line still costs issue time but does not join the inflight set
 // twice.
 func (d *Device) Clwb(addr Addr) {
-	d.checkRange(addr, 1)
+	s := d.s
+	s.mu.Lock()
+	s.checkRange(addr, 1)
 	ln := uint64(addr) >> LineShift
-	d.charge(CatFlush, d.cfg.ClwbIssueNs)
-	d.stats.Flushes++
-	d.dirty.clear(ln)
-	if !d.infSet.get(ln) {
-		d.infSet.set(ln)
-		d.inflight = append(d.inflight, ln)
+	s.stats.Flushes++
+	s.dirty.clear(ln)
+	if !s.infSet.get(ln) {
+		s.infSet.set(ln)
+		s.inflight = append(s.inflight, ln)
 	}
-	if d.tracer != nil {
-		d.tracer.Flush(ln)
+	s.mu.Unlock()
+	d.clk.Charge(CatFlush, s.cfg.ClwbIssueNs)
+	if t := d.Tracer(); t != nil {
+		t.Flush(ln)
 	}
 }
 
@@ -443,7 +540,9 @@ func (d *Device) FlushRange(addr Addr, n int) {
 	if n <= 0 {
 		return
 	}
-	d.checkRange(addr, n)
+	d.s.mu.Lock()
+	d.s.checkRange(addr, n)
+	d.s.mu.Unlock()
 	first := uint64(addr) &^ (LineSize - 1)
 	last := (uint64(addr) + uint64(n) - 1) &^ (LineSize - 1)
 	for ln := first; ln <= last; ln += LineSize {
@@ -455,53 +554,76 @@ func (d *Device) FlushRange(addr Addr, n int) {
 // n × T1 × ((1−f) + f/min(n, cap)), the Amdahl fit of Fig. 4.
 func (d *Device) FenceStallNs(n int) float64 {
 	if n <= 0 {
-		return d.cfg.SfenceBaseNs
+		return d.s.cfg.SfenceBaseNs
 	}
 	eff := n
-	if d.cfg.FlushMaxConcurrency > 0 && eff > d.cfg.FlushMaxConcurrency {
-		eff = d.cfg.FlushMaxConcurrency
+	if d.s.cfg.FlushMaxConcurrency > 0 && eff > d.s.cfg.FlushMaxConcurrency {
+		eff = d.s.cfg.FlushMaxConcurrency
 	}
-	f := d.cfg.FlushParallelFrac
-	perFlush := d.cfg.FlushLatencyNs * ((1 - f) + f/float64(eff))
+	f := d.s.cfg.FlushParallelFrac
+	perFlush := d.s.cfg.FlushLatencyNs * ((1 - f) + f/float64(eff))
 	return perFlush * float64(n)
 }
 
 // Sfence stalls until all inflight writebacks complete, making them
-// durable. This is the only operation that adds lines to the durable image.
+// durable. This is the only operation that adds lines to the durable
+// image. The inflight set is device-wide: a fence issued through any
+// handle retires every outstanding writeback, which is conservative for
+// the fencing goroutine (it may pay for others' flushes) and sound for
+// crash consistency (writebacks only become durable earlier, never
+// later, than a per-core model would allow).
 func (d *Device) Sfence() {
-	n := len(d.inflight)
-	d.charge(CatFlush, d.FenceStallNs(n))
-	d.stats.Fences++
-	d.stats.FlushedPerFence += uint64(n)
-	if d.dur != nil {
-		for _, ln := range d.inflight {
+	s := d.s
+	s.mu.Lock()
+	n := len(s.inflight)
+	s.stats.Fences++
+	s.stats.FlushedPerFence += uint64(n)
+	if s.dur != nil {
+		for _, ln := range s.inflight {
 			off := ln << LineShift
-			copy(d.dur[off:off+LineSize], d.mem[off:off+LineSize])
+			copy(s.dur[off:off+LineSize], s.mem[off:off+LineSize])
 		}
 	}
-	for _, ln := range d.inflight {
-		d.infSet.clear(ln)
-		if !d.dirty.get(ln) {
-			d.everDirt.clear(ln)
+	for _, ln := range s.inflight {
+		s.infSet.clear(ln)
+		if !s.dirty.get(ln) {
+			s.everDirt.clear(ln)
 		}
 	}
-	d.inflight = d.inflight[:0]
-	if d.tracer != nil {
-		d.tracer.Fence(n)
+	s.inflight = s.inflight[:0]
+	// The sequence must advance inside the critical section: a commit on
+	// another handle that runs after this fence's durable copy must read
+	// a FenceSeq that includes it, or the allocator could tag a retired
+	// block as already fence-covered and free it one fence early.
+	s.fences.Add(1)
+	s.mu.Unlock()
+	d.clk.Charge(CatFlush, d.FenceStallNs(n))
+	if t := d.Tracer(); t != nil {
+		t.Fence(n)
 	}
 }
 
 // InflightLines returns the number of lines flushed but not yet fenced.
-func (d *Device) InflightLines() int { return len(d.inflight) }
+func (d *Device) InflightLines() int {
+	d.s.mu.Lock()
+	defer d.s.mu.Unlock()
+	return len(d.s.inflight)
+}
 
 // DirtyLines returns the number of lines written but not yet flushed.
-func (d *Device) DirtyLines() int { return d.dirty.count() }
+func (d *Device) DirtyLines() int {
+	d.s.mu.Lock()
+	defer d.s.mu.Unlock()
+	return d.s.dirty.count()
+}
 
 // LineDirty reports whether the line containing addr has been written
 // since it was last flushed.
 func (d *Device) LineDirty(addr Addr) bool {
-	d.checkRange(addr, 1)
-	return d.dirty.get(uint64(addr) >> LineShift)
+	d.s.mu.Lock()
+	defer d.s.mu.Unlock()
+	d.s.checkRange(addr, 1)
+	return d.s.dirty.get(uint64(addr) >> LineShift)
 }
 
 // bitset is a fixed-size bit vector over line indices.

@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 
 	"github.com/mod-ds/mod/internal/pmem"
 )
@@ -74,9 +75,19 @@ type Event struct {
 
 // Recorder captures events. It implements pmem.Tracer so it can be plugged
 // directly into a Device, and it receives allocator and FASE events through
-// the same interface.
+// the same interface. Appends are serialized, so recording a concurrent
+// run is race-free; note, however, that the checker's invariants are
+// stated over single-threaded FASE streams, and interleaved FASEs from
+// multiple goroutines will generally report spurious violations.
 type Recorder struct {
+	mu     sync.Mutex
 	events []Event
+}
+
+func (r *Recorder) record(e Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
 }
 
 // NewRecorder returns an empty recorder.
@@ -87,49 +98,61 @@ var _ pmem.Tracer = (*Recorder)(nil)
 // Alloc records a block allocation (addr is the block start including any
 // allocator header; size is the full block size).
 func (r *Recorder) Alloc(addr pmem.Addr, size uint64, tag uint8) {
-	r.events = append(r.events, Event{Kind: KindAlloc, Addr: addr, Size: size, Tag: tag})
+	r.record(Event{Kind: KindAlloc, Addr: addr, Size: size, Tag: tag})
 }
 
 // Free records a block release.
 func (r *Recorder) Free(addr pmem.Addr, size uint64) {
-	r.events = append(r.events, Event{Kind: KindFree, Addr: addr, Size: size})
+	r.record(Event{Kind: KindFree, Addr: addr, Size: size})
 }
 
 // Write records a PM store.
 func (r *Recorder) Write(addr pmem.Addr, size int) {
-	r.events = append(r.events, Event{Kind: KindWrite, Addr: addr, Size: uint64(size)})
+	r.record(Event{Kind: KindWrite, Addr: addr, Size: uint64(size)})
 }
 
 // Flush records a clwb of a line index.
 func (r *Recorder) Flush(line uint64) {
-	r.events = append(r.events, Event{Kind: KindFlush, Addr: pmem.Addr(line)})
+	r.record(Event{Kind: KindFlush, Addr: pmem.Addr(line)})
 }
 
 // Fence records an sfence retiring n flushes.
 func (r *Recorder) Fence(n int) {
-	r.events = append(r.events, Event{Kind: KindFence, Size: uint64(n)})
+	r.record(Event{Kind: KindFence, Size: uint64(n)})
 }
 
 // FASEBegin marks the start of a failure-atomic section.
-func (r *Recorder) FASEBegin() { r.events = append(r.events, Event{Kind: KindFASEBegin}) }
+func (r *Recorder) FASEBegin() { r.record(Event{Kind: KindFASEBegin}) }
 
 // FASEEnd marks the end of a failure-atomic section.
-func (r *Recorder) FASEEnd() { r.events = append(r.events, Event{Kind: KindFASEEnd}) }
+func (r *Recorder) FASEEnd() { r.record(Event{Kind: KindFASEEnd}) }
 
 // CommitBegin marks the start of the commit step.
-func (r *Recorder) CommitBegin() { r.events = append(r.events, Event{Kind: KindCommitBegin}) }
+func (r *Recorder) CommitBegin() { r.record(Event{Kind: KindCommitBegin}) }
 
 // CommitEnd marks the end of the commit step.
-func (r *Recorder) CommitEnd() { r.events = append(r.events, Event{Kind: KindCommitEnd}) }
+func (r *Recorder) CommitEnd() { r.record(Event{Kind: KindCommitEnd}) }
 
 // Events returns the recorded events. The slice is owned by the recorder.
-func (r *Recorder) Events() []Event { return r.events }
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.events
+}
 
 // Len returns the number of recorded events.
-func (r *Recorder) Len() int { return len(r.events) }
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
 
 // Reset discards all recorded events.
-func (r *Recorder) Reset() { r.events = r.events[:0] }
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = r.events[:0]
+}
 
 // eventSize is the on-disk record size: kind(1) + tag(1) + addr(8) + size(8).
 const eventSize = 18

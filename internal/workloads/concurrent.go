@@ -1,0 +1,253 @@
+package workloads
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/mod-ds/mod/internal/core"
+	"github.com/mod-ds/mod/internal/pmem"
+)
+
+// Concurrent throughput workload. N reader goroutines take lock-free
+// snapshots of sharded maps and perform point lookups while M writer
+// goroutines commit FASEs against their own shards. Every goroutine works
+// through a forked Store handle, so its simulated time is its own
+// critical path; the phase's elapsed simulated time is the maximum over
+// all goroutines, and aggregate throughput is total operations divided by
+// that maximum. Because snapshots never block on committing writers and
+// shard commits serialize only per root, adding readers (or writers on
+// distinct shards) adds throughput — the reader-scaling property the MOD
+// commit protocol's immutable versions make possible.
+
+// ConcurrentConfig parameterizes a concurrent run.
+type ConcurrentConfig struct {
+	// Readers and Writers are goroutine counts. Readers may be 0.
+	Readers, Writers int
+	// Shards is the number of independent map roots (writers round-robin
+	// over their own shard subset; readers sample all shards).
+	Shards int
+	// ReaderOps is point lookups per reader; WriterOps is committed
+	// updates (FASEs) per writer.
+	ReaderOps, WriterOps int
+	// GetsPerSnapshot is how many lookups a reader performs under one
+	// snapshot before closing it (default 8).
+	GetsPerSnapshot int
+	// PreloadKeys is the number of keys preloaded into each shard.
+	PreloadKeys int
+	// Seed drives the deterministic per-goroutine operation streams.
+	Seed uint64
+	// ArenaBytes sizes the device (0 = automatic).
+	ArenaBytes int64
+}
+
+func (c *ConcurrentConfig) defaults() {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.Readers < 0 {
+		c.Readers = 0
+	}
+	if c.Writers <= 0 {
+		c.Writers = 1
+	}
+	if c.ReaderOps <= 0 {
+		c.ReaderOps = 4000
+	}
+	if c.WriterOps <= 0 {
+		c.WriterOps = 1000
+	}
+	if c.GetsPerSnapshot <= 0 {
+		c.GetsPerSnapshot = 8
+	}
+	if c.PreloadKeys <= 0 {
+		c.PreloadKeys = 256
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x5eed
+	}
+	if c.ArenaBytes == 0 {
+		need := int64(c.Writers)*int64(c.WriterOps)*1536 +
+			int64(c.Shards)*int64(c.PreloadKeys)*512 + (64 << 20)
+		c.ArenaBytes = need
+	}
+}
+
+// ConcurrentResult reports one concurrent measurement. Times are
+// simulated nanoseconds; throughputs are operations per simulated second.
+type ConcurrentResult struct {
+	Readers, Writers, Shards int
+
+	ReadOps  int // total lookups across readers
+	WriteOps int // total committed FASEs across writers
+
+	ElapsedNs float64 // max per-goroutine simulated time (phase wall clock)
+	ReaderNs  float64 // max reader critical path
+	WriterNs  float64 // max writer critical path
+	BusyNs    float64 // aggregate busy time across all goroutines
+
+	ReadsPerSec  float64 // ReadOps / ElapsedNs
+	WritesPerSec float64 // WriteOps / ElapsedNs
+	OpsPerSec    float64 // (ReadOps + WriteOps) / ElapsedNs
+}
+
+func perSec(ops int, ns float64) float64 {
+	if ns <= 0 {
+		return 0
+	}
+	return float64(ops) / (ns / 1e9)
+}
+
+func shardName(i int) string { return fmt.Sprintf("shard-%02d", i) }
+
+// RunConcurrent executes the concurrent workload and returns its
+// measurement. The MOD engine only: the PMDK baselines are single-
+// threaded by construction (their undo/redo logs are per-heap).
+func RunConcurrent(cfg ConcurrentConfig) (ConcurrentResult, error) {
+	cfg.defaults()
+	dev := pmem.New(pmem.DefaultConfig(cfg.ArenaBytes))
+	store, err := core.NewStore(dev)
+	if err != nil {
+		return ConcurrentResult{}, err
+	}
+
+	// Preload every shard serially on the main handle.
+	preloadRng := rng{state: cfg.Seed}
+	for s := 0; s < cfg.Shards; s++ {
+		m, err := store.Map(shardName(s))
+		if err != nil {
+			return ConcurrentResult{}, err
+		}
+		for k := 0; k < cfg.PreloadKeys; k++ {
+			key := fmt.Sprintf("key-%06d", k)
+			val := fmt.Sprintf("val-%016x", preloadRng.next())
+			m.Set([]byte(key), []byte(val))
+		}
+	}
+	store.Sync()
+	busyBase := dev.Clock() // exclude preload from the measured phase
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		readerMax float64
+		writerMax float64
+		firstErr  error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	// Writers: writer w owns shards w, w+Writers, w+2*Writers, ... so
+	// writers never contend on a root and commits proceed in parallel.
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := store.Fork()
+			var shards []*core.Map
+			for s := w; s < cfg.Shards; s += cfg.Writers {
+				m, err := st.Map(shardName(s))
+				if err != nil {
+					fail(err)
+					return
+				}
+				shards = append(shards, m)
+			}
+			if len(shards) == 0 { // more writers than shards: share shard w%Shards
+				m, err := st.Map(shardName(w % cfg.Shards))
+				if err != nil {
+					fail(err)
+					return
+				}
+				shards = append(shards, m)
+			}
+			r := rng{state: cfg.Seed ^ (0x9e3779b97f4a7c15 * uint64(w+1))}
+			for i := 0; i < cfg.WriterOps; i++ {
+				m := shards[int(r.intn(uint64(len(shards))))]
+				key := fmt.Sprintf("key-%06d", r.intn(uint64(cfg.PreloadKeys*2)))
+				val := fmt.Sprintf("val-%016x", r.next())
+				m.Set([]byte(key), []byte(val))
+			}
+			ns := st.Device().LocalNs()
+			mu.Lock()
+			if ns > writerMax {
+				writerMax = ns
+			}
+			mu.Unlock()
+		}(w)
+	}
+
+	// Readers: snapshot a shard, perform a batch of lookups, close.
+	for rd := 0; rd < cfg.Readers; rd++ {
+		wg.Add(1)
+		go func(rd int) {
+			defer wg.Done()
+			st := store.Fork()
+			shards := make([]*core.Map, cfg.Shards)
+			for s := 0; s < cfg.Shards; s++ {
+				m, err := st.Map(shardName(s))
+				if err != nil {
+					fail(err)
+					return
+				}
+				shards[s] = m
+			}
+			r := rng{state: cfg.Seed ^ (0xbf58476d1ce4e5b9 * uint64(rd+1))}
+			done := 0
+			for done < cfg.ReaderOps {
+				m := shards[int(r.intn(uint64(cfg.Shards)))]
+				snap := m.Snapshot()
+				batch := cfg.GetsPerSnapshot
+				if rem := cfg.ReaderOps - done; batch > rem {
+					batch = rem
+				}
+				for g := 0; g < batch; g++ {
+					key := fmt.Sprintf("key-%06d", r.intn(uint64(cfg.PreloadKeys)))
+					if _, ok := snap.Get([]byte(key)); !ok {
+						snap.Close()
+						fail(fmt.Errorf("workloads: reader %d: preloaded key %q missing from snapshot", rd, key))
+						return
+					}
+				}
+				snap.Close()
+				done += batch
+			}
+			ns := st.Device().LocalNs()
+			mu.Lock()
+			if ns > readerMax {
+				readerMax = ns
+			}
+			mu.Unlock()
+		}(rd)
+	}
+
+	wg.Wait()
+	if firstErr != nil {
+		return ConcurrentResult{}, firstErr
+	}
+	busy := dev.Clock() - busyBase // before Sync: measured phase only
+	store.Sync()
+
+	res := ConcurrentResult{
+		Readers:  cfg.Readers,
+		Writers:  cfg.Writers,
+		Shards:   cfg.Shards,
+		ReadOps:  cfg.Readers * cfg.ReaderOps,
+		WriteOps: cfg.Writers * cfg.WriterOps,
+		ReaderNs: readerMax,
+		WriterNs: writerMax,
+		BusyNs:   busy,
+	}
+	res.ElapsedNs = readerMax
+	if writerMax > res.ElapsedNs {
+		res.ElapsedNs = writerMax
+	}
+	res.ReadsPerSec = perSec(res.ReadOps, res.ElapsedNs)
+	res.WritesPerSec = perSec(res.WriteOps, res.ElapsedNs)
+	res.OpsPerSec = perSec(res.ReadOps+res.WriteOps, res.ElapsedNs)
+	return res, nil
+}

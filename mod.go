@@ -25,6 +25,21 @@
 // Store.CommitSingle, Store.CommitSiblings (for structures under one
 // Parent), or Store.CommitUnrelated install them atomically.
 //
+// # Concurrency
+//
+// A Store is safe for concurrent use. Give each goroutine its own view
+// with Store.Fork so its simulated time is tracked independently;
+// handles bound through any view share the same persistent state.
+// Writers serialize per root (writers to different roots commit in
+// parallel); readers take lock-free Snapshots that pin an immutable
+// committed version — they never block on a committing writer:
+//
+//	rs := store.Fork()            // per-goroutine view
+//	rm, _ := rs.Map("users")
+//	snap := rm.Snapshot()
+//	defer snap.Close()
+//	v, ok := snap.Get([]byte("ada"))
+//
 // The persistent memory substrate is simulated (see DESIGN.md): Device
 // models Optane DCPMM cacheline-flush semantics with the paper's measured
 // latencies, so all performance figures are in simulated nanoseconds.
@@ -85,6 +100,18 @@ type (
 	StackVersion = core.StackVersion
 	// QueueVersion is a shadow queue version.
 	QueueVersion = core.QueueVersion
+
+	// MapSnapshot is a pinned immutable view of a map's latest
+	// committed version (lock-free; Close when done).
+	MapSnapshot = core.MapSnapshot
+	// SetSnapshot is a pinned immutable view of a set version.
+	SetSnapshot = core.SetSnapshot
+	// VectorSnapshot is a pinned immutable view of a vector version.
+	VectorSnapshot = core.VectorSnapshot
+	// StackSnapshot is a pinned immutable view of a stack version.
+	StackSnapshot = core.StackSnapshot
+	// QueueSnapshot is a pinned immutable view of a queue version.
+	QueueSnapshot = core.QueueSnapshot
 )
 
 // DefaultDeviceConfig returns the paper's machine model (Table 1) with
