@@ -1,0 +1,64 @@
+// Benchdiff is the CI performance-regression gate. It compares a fresh
+// BENCH.json (written by modbench -bench) against the committed baseline
+// and exits nonzero if any deterministic row's ops/sec dropped, or its
+// fences/op rose, by more than the tolerance.
+//
+// Usage:
+//
+//	benchdiff [-baseline BENCH_baseline.json] [-current BENCH.json] [-tolerance 0.15]
+//
+// The single-threaded workload suite and the synchronous group-commit
+// sweep are fully deterministic in simulated time, so any drift beyond
+// the tolerance is a real code-path change, not measurement noise. The
+// concurrent reader-scaling rows depend on goroutine interleaving and
+// are reported but never gated.
+//
+// After an intentional performance change, regenerate the baseline with
+//
+//	go run ./cmd/modbench -scale small -bench BENCH_baseline.json
+//
+// and commit it alongside the change.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/mod-ds/mod/internal/harness"
+)
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_baseline.json", "committed baseline report")
+	current := flag.String("current", "BENCH.json", "freshly generated report")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional regression before failing")
+	flag.Parse()
+
+	base, err := harness.ReadBenchDoc(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := harness.ReadBenchDoc(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: current: %v\n", err)
+		os.Exit(2)
+	}
+	if base.Scale != cur.Scale || base.Ops != cur.Ops {
+		fmt.Fprintf(os.Stderr, "benchdiff: scale mismatch: baseline %s/%d ops vs current %s/%d ops\n",
+			base.Scale, base.Ops, cur.Scale, cur.Ops)
+		os.Exit(2)
+	}
+
+	regressions := harness.CompareBenchDocs(base, cur, *tolerance)
+	gated := len(base.Workloads) + len(base.GroupCommit)
+	if len(regressions) == 0 {
+		fmt.Printf("benchdiff: OK — %d gated rows within %.0f%% of baseline\n", gated, *tolerance*100)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) vs %s:\n", len(regressions), *baseline)
+	for _, r := range regressions {
+		fmt.Fprintf(os.Stderr, "  %s\n", r)
+	}
+	os.Exit(1)
+}

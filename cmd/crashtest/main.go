@@ -3,9 +3,16 @@
 // eviction policy, recovers, and validates that the store contains
 // exactly the committed prefix of operations and no leaks (§5.2, §5.3).
 //
+// Each round runs in two flavors: the classic interrupted-FASE round
+// (shadows built, commit never reached) and a group-commit round that
+// injects the failure at a pseudorandom PM-write inside a multi-root
+// Batch.Commit — while shadows build, between the batch record's
+// fences, or mid root-swap — and checks the batch recovers atomically:
+// the map and the queue both contain it, or neither does.
+//
 // Usage:
 //
-//	crashtest [-runs N] [-ops N] [-seed S] [-v]
+//	crashtest [-runs N] [-ops N] [-seed S] [-mode all|fase|batch] [-v]
 package main
 
 import (
@@ -22,14 +29,31 @@ func main() {
 	runs := flag.Int("runs", 50, "number of crash-inject-recover rounds")
 	ops := flag.Int("ops", 200, "committed operations before the interrupted one")
 	seed := flag.Uint64("seed", 1, "base random seed")
+	mode := flag.String("mode", "all", "all | fase (interrupted FASE) | batch (mid-batch injection)")
 	verbose := flag.Bool("v", false, "log each round")
 	flag.Parse()
 
+	doFASE := *mode == "all" || *mode == "fase"
+	doBatch := *mode == "all" || *mode == "batch"
+	if !doFASE && !doBatch {
+		fmt.Fprintf(os.Stderr, "crashtest: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
 	failures := 0
 	for round := 0; round < *runs; round++ {
-		if err := oneRound(*seed+uint64(round), *ops, *verbose); err != nil {
-			failures++
-			fmt.Fprintf(os.Stderr, "crashtest: round %d FAILED: %v\n", round, err)
+		s := *seed + uint64(round)
+		if doFASE {
+			if err := faseRound(s, *ops, *verbose); err != nil {
+				failures++
+				fmt.Fprintf(os.Stderr, "crashtest: fase round %d FAILED: %v\n", round, err)
+			}
+		}
+		if doBatch {
+			if err := batchRound(s, *ops, *verbose); err != nil {
+				failures++
+				fmt.Fprintf(os.Stderr, "crashtest: batch round %d FAILED: %v\n", round, err)
+			}
 		}
 	}
 	fmt.Printf("crashtest: %d rounds, %d failures\n", *runs, failures)
@@ -44,7 +68,7 @@ func key(i int) []byte {
 	return b
 }
 
-func oneRound(seed uint64, ops int, verbose bool) error {
+func faseRound(seed uint64, ops int, verbose bool) error {
 	cfg := pmem.DefaultConfig(128 << 20)
 	cfg.TrackDurable = true
 	dev := pmem.New(cfg)
@@ -107,8 +131,115 @@ func oneRound(seed uint64, ops int, verbose bool) error {
 		return fmt.Errorf("store unusable after recovery")
 	}
 	if verbose {
-		fmt.Printf("round seed=%d: committed=%d leaked-blocks=%d leaked-bytes=%d ok\n",
+		fmt.Printf("fase round seed=%d: committed=%d leaked-blocks=%d leaked-bytes=%d ok\n",
 			seed, committed, rs.LeakedBlocks, rs.LeakedBytes)
+	}
+	return nil
+}
+
+// batchRound commits a prefix of group commits, then injects a power
+// failure a pseudorandom number of PM writes into one final multi-root
+// batch and verifies all-or-nothing recovery.
+func batchRound(seed uint64, ops int, verbose bool) error {
+	cfg := pmem.DefaultConfig(128 << 20)
+	cfg.TrackDurable = true
+	dev := pmem.New(cfg)
+	store, err := core.NewStore(dev)
+	if err != nil {
+		return err
+	}
+	m, err := store.Map("fuzz")
+	if err != nil {
+		return err
+	}
+	q, err := store.Queue("fuzz-q")
+	if err != nil {
+		return err
+	}
+
+	const batchLen = 4
+	committed := int(seed % uint64(ops))
+	for i := 0; i < committed; i += batchLen {
+		b := store.NewBatch()
+		for j := i; j < i+batchLen && j < committed; j++ {
+			b.MapSet(m, key(j), key(j*3))
+			b.QueueEnqueue(q, uint64(j))
+		}
+		b.Commit()
+	}
+	store.Sync()
+
+	// The interrupted batch: 8 map updates and 4 enqueues across two
+	// roots, with the crash landing anywhere from the first shadow write
+	// to just past the final root swap.
+	tr := pmem.NewCrashCountdown(dev, 1+int(seed*31%400), pmem.CrashEvictRandom, seed)
+	dev.SetTracer(tr)
+	b := store.NewBatch()
+	for j := 0; j < batchLen; j++ {
+		b.MapSet(m, key(700_000+j), key(j))
+		b.MapSet(m, key(800_000+j), key(j*5))
+		b.QueueEnqueue(q, uint64(900_000+j))
+	}
+	b.Commit()
+	dev.SetTracer(nil)
+	img := tr.Image()
+	if img == nil {
+		img = dev.CrashImage(pmem.CrashEvictRandom, seed)
+	}
+
+	dev2 := pmem.NewFromImage(pmem.DefaultConfig(128<<20), img)
+	store2, rs, err := core.OpenStore(dev2)
+	if err != nil {
+		return fmt.Errorf("recovery: %w", err)
+	}
+	m2, err := store2.Map("fuzz")
+	if err != nil {
+		return err
+	}
+	q2, err := store2.Queue("fuzz-q")
+	if err != nil {
+		return err
+	}
+
+	_, batchInMap := m2.Get(key(700_000))
+	batchInQueue := int(q2.Len()) == committed+batchLen
+	if !batchInQueue && int(q2.Len()) != committed {
+		return fmt.Errorf("queue has %d entries, want %d or %d", q2.Len(), committed, committed+batchLen)
+	}
+	if batchInMap != batchInQueue {
+		return fmt.Errorf("batch torn across roots: in map=%v, in queue=%v", batchInMap, batchInQueue)
+	}
+	wantMap := committed
+	if batchInMap {
+		wantMap += 2 * batchLen
+	}
+	if got := int(m2.Len()); got != wantMap {
+		return fmt.Errorf("map has %d entries, want %d (batch committed=%v)", got, wantMap, batchInMap)
+	}
+	if batchInMap {
+		for j := 0; j < batchLen; j++ {
+			if _, ok := m2.Get(key(800_000 + j)); !ok {
+				return fmt.Errorf("batch committed but key %d missing (torn within root)", 800_000+j)
+			}
+		}
+	}
+	for i := 0; i < committed; i++ {
+		v, ok := m2.Get(key(i))
+		if !ok || binary.LittleEndian.Uint64(v) != uint64(i*3) {
+			return fmt.Errorf("pre-batch key %d lost or corrupt after recovery", i)
+		}
+	}
+	// The recovered store must keep committing batches.
+	nb := store2.NewBatch()
+	nb.MapSet(m2, key(424242), []byte("post-recovery"))
+	nb.QueueEnqueue(q2, 424242)
+	nb.Commit()
+	if _, ok := m2.Get(key(424242)); !ok {
+		return fmt.Errorf("store unusable after batch recovery")
+	}
+	if verbose {
+		fmt.Printf("batch round seed=%d: committed=%d batch-recovered=%v leaked-blocks=%d ok\n",
+			seed, committed, batchInMap, rs.LeakedBlocks)
 	}
 	return nil
 }

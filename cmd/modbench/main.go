@@ -7,24 +7,23 @@
 //
 // Without -experiment it runs everything. Experiment names: table1,
 // table2, fig2, fig4, fig9, fig10, fig11, table3, spaceoverhead,
-// ablation-conc, ablation-naive, concurrent.
+// ablation-conc, ablation-naive, concurrent, groupcommit.
 //
 // With -bench FILE, modbench instead runs the Table 2 workload suite on
-// every engine plus the concurrent reader-scaling sweep and writes a
-// machine-readable JSON report (simulated ns and ops per simulated
-// second, per workload), so the performance trajectory can be tracked
-// across commits.
+// every engine plus the concurrent reader-scaling and group-commit
+// batch-size sweeps and writes a machine-readable JSON report (simulated
+// ns, ops per simulated second, fences and flushes per workload), so the
+// performance trajectory can be tracked across commits; cmd/benchdiff
+// gates CI on it.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 
 	"github.com/mod-ds/mod/internal/harness"
-	"github.com/mod-ds/mod/internal/workloads"
 )
 
 func main() {
@@ -94,84 +93,15 @@ func writeCSV(dir string, tab *harness.Table) error {
 	return nil
 }
 
-// benchWorkload is one workload × engine measurement in BENCH.json.
-type benchWorkload struct {
-	Workload  string  `json:"workload"`
-	Engine    string  `json:"engine"`
-	Ops       int     `json:"ops"`
-	SimNs     float64 `json:"sim_ns"`
-	OpsPerSec float64 `json:"ops_per_sec"` // per simulated second
-	Fences    uint64  `json:"fences"`
-	Flushes   uint64  `json:"flushes"`
-}
-
-// benchConcurrent is one point of the reader-scaling sweep.
-type benchConcurrent struct {
-	Readers      int     `json:"readers"`
-	Writers      int     `json:"writers"`
-	ReadOps      int     `json:"read_ops"`
-	WriteOps     int     `json:"write_ops"`
-	ElapsedNs    float64 `json:"elapsed_ns"`
-	BusyNs       float64 `json:"busy_ns"`
-	ReadsPerSec  float64 `json:"reads_per_sec"`
-	WritesPerSec float64 `json:"writes_per_sec"`
-	OpsPerSec    float64 `json:"ops_per_sec"`
-}
-
-// benchDoc is the BENCH.json schema.
-type benchDoc struct {
-	Schema     int               `json:"schema"`
-	Scale      string            `json:"scale"`
-	Ops        int               `json:"ops"`
-	Workloads  []benchWorkload   `json:"workloads"`
-	Concurrent []benchConcurrent `json:"concurrent"`
-}
-
 func writeBench(path, scaleName string, scale harness.Scale) error {
-	workloads.SetVectorPreload(scale.VectorPreload)
-	doc := benchDoc{Schema: 1, Scale: scaleName, Ops: scale.Ops}
-	for _, name := range workloads.Names {
-		for _, engine := range workloads.Engines {
-			res, err := workloads.Run(name, engine, workloads.Config{Ops: scale.Ops})
-			if err != nil {
-				return fmt.Errorf("bench %s/%s: %w", name, engine, err)
-			}
-			doc.Workloads = append(doc.Workloads, benchWorkload{
-				Workload:  name,
-				Engine:    res.Engine,
-				Ops:       res.Ops,
-				SimNs:     res.SimNs,
-				OpsPerSec: float64(res.Ops) / (res.SimNs / 1e9),
-				Fences:    res.Fences,
-				Flushes:   res.Flushes,
-			})
-		}
-	}
-	for _, readers := range harness.ConcurrentReaderCounts {
-		res, err := workloads.RunConcurrent(harness.ConcurrentBenchConfig(scale, readers))
-		if err != nil {
-			return fmt.Errorf("bench concurrent r=%d: %w", readers, err)
-		}
-		doc.Concurrent = append(doc.Concurrent, benchConcurrent{
-			Readers:      res.Readers,
-			Writers:      res.Writers,
-			ReadOps:      res.ReadOps,
-			WriteOps:     res.WriteOps,
-			ElapsedNs:    res.ElapsedNs,
-			BusyNs:       res.BusyNs,
-			ReadsPerSec:  res.ReadsPerSec,
-			WritesPerSec: res.WritesPerSec,
-			OpsPerSec:    res.OpsPerSec,
-		})
-	}
-	data, err := json.MarshalIndent(doc, "", "  ")
+	doc, err := harness.BuildBenchDoc(scaleName, scale)
 	if err != nil {
 		return err
 	}
-	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := harness.WriteBenchDoc(doc, path); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d workload rows, %d concurrent rows)\n", path, len(doc.Workloads), len(doc.Concurrent))
+	fmt.Printf("wrote %s (%d workload rows, %d concurrent rows, %d groupcommit rows)\n",
+		path, len(doc.Workloads), len(doc.Concurrent), len(doc.GroupCommit))
 	return nil
 }

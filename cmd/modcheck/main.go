@@ -96,6 +96,21 @@ func recordDemo(outPath string) ([]trace.Event, trace.CheckerConfig, error) {
 		v.Swap(uint64(i), uint64(499-i))
 		m.Delete([]byte(fmt.Sprintf("key-%d", i)))
 	}
+	// Group commits: single-root batches (one fence per epoch) and
+	// multi-root batches (publication through the batch record).
+	for i := 0; i < 50; i++ {
+		b := store.NewBatch()
+		for j := 0; j < 8; j++ {
+			b.MapSet(m, []byte(fmt.Sprintf("batch-%d-%d", i, j)), []byte("bv"))
+		}
+		b.Commit()
+		b = store.NewBatch()
+		b.MapDelete(m, []byte(fmt.Sprintf("batch-%d-0", i)))
+		b.QueueEnqueue(q, uint64(i))
+		b.VectorPush(v, uint64(i))
+		b.StackPush(st, uint64(i))
+		b.Commit()
+	}
 	store.Sync()
 	if outPath != "" {
 		f, err := os.Create(outPath)

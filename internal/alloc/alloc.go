@@ -345,6 +345,13 @@ func (h *Heap) Release(payload pmem.Addr) {
 	if payload == pmem.Nil || h.DisableReclaim {
 		return
 	}
+	if h.decRef(payload) {
+		h.retireCascade(payload)
+	}
+}
+
+// decRef drops one reference and reports whether the count hit zero.
+func (h *Heap) decRef(payload pmem.Addr) bool {
 	c := h.refCounter(payload)
 	if c == nil {
 		panic(fmt.Sprintf("alloc: release of untracked block %#x", uint64(payload)))
@@ -353,8 +360,31 @@ func (h *Heap) Release(payload pmem.Addr) {
 	if n < 0 {
 		panic(fmt.Sprintf("alloc: release of dead block %#x", uint64(payload)))
 	}
-	if n == 0 {
-		h.retireCascade(payload)
+	return n == 0
+}
+
+// ReleaseBatch releases every address in one pass, collecting all
+// resulting retire cascades into a single batch tagged with one fence
+// snapshot and published under one epoch-list lock acquisition. A group
+// commit retires a whole fence epoch's worth of superseded versions and
+// intermediate shadows this way: they were all orphaned by the same
+// batch fence, so one fence covers them all (DESIGN.md §7).
+func (h *Heap) ReleaseBatch(addrs []pmem.Addr) {
+	if h.DisableReclaim {
+		return
+	}
+	fence := h.dev.FenceSeq()
+	var dead []pmem.Addr
+	for _, payload := range addrs {
+		if payload == pmem.Nil {
+			continue
+		}
+		if h.decRef(payload) {
+			dead = h.collectCascade(payload, dead)
+		}
+	}
+	if len(dead) > 0 {
+		h.sh.ebr.retireBatch(dead, fence)
 	}
 }
 
@@ -368,10 +398,14 @@ func (h *Heap) Release(payload pmem.Addr) {
 // concurrent fence on another handle could reclaim and recycle a block
 // this cascade is still reading child pointers from.
 func (h *Heap) retireCascade(payload pmem.Addr) {
+	h.sh.ebr.retireBatch(h.collectCascade(payload, nil), h.dev.FenceSeq())
+}
+
+// collectCascade appends payload and every block reachable only through
+// it to dead, dropping child reference counts along the way.
+func (h *Heap) collectCascade(payload pmem.Addr, dead []pmem.Addr) []pmem.Addr {
 	sh := h.sh
-	fence := h.dev.FenceSeq()
 	stack := []pmem.Addr{payload}
-	var dead []pmem.Addr
 	for len(stack) > 0 {
 		a := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -399,7 +433,7 @@ func (h *Heap) retireCascade(payload pmem.Addr) {
 			})
 		}
 	}
-	sh.ebr.retireBatch(dead, fence)
+	return dead
 }
 
 // freeBlock returns a retired block to the free lists. Reference counts

@@ -1,0 +1,557 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"sync"
+
+	"github.com/mod-ds/mod/internal/funcds"
+	"github.com/mod-ds/mod/internal/pmem"
+)
+
+// Group commit (DESIGN.md §7). A Batch coalesces many shadow updates —
+// across datastructures, across roots, and (through the background
+// committer) across goroutines — into a single flush+sfence epoch. Every
+// operation in the batch builds its shadow with unordered overlapped
+// flushes; one shared fence then makes the whole epoch durable and the
+// new versions are published together, so the per-FASE ordering point of
+// the Basic interface is amortized over the batch:
+//
+//	fences/op = 1/B         (batch touches one root)
+//	fences/op = 3/B         (batch touches many roots)
+//
+// against 1 fence per operation unbatched.
+//
+// Batched operations are applied at commit time against the then-current
+// committed versions, under the root commit mutexes, so batches from
+// concurrent goroutines interleave linearizably with each other and with
+// Basic-interface updates. Operations do not return values; use the
+// Basic interface when an update's result is needed immediately.
+//
+// # Crash atomicity
+//
+// A batch is all-or-nothing. When one root changed, publication is the
+// usual 8-byte atomic pointer swap. When several changed, the store
+// writes a persistent batch record — the (cell, new version) pairs plus
+// a checksum — makes it durable with the shadows, sets a committed flag
+// (the batch's atomic commit point, one 8-byte write), and only then
+// overwrites the root cells. OpenStore replays a committed record whose
+// checksum validates, so a crash anywhere inside publication recovers
+// either every root swap or none of them; a crash before the commit
+// point recovers none, and the batch's shadows are swept as leaks.
+//
+// # Async durability
+//
+// Commit applies and publishes the batch synchronously. CommitAsync
+// hands it to the store's background committer (StartGroupCommitter),
+// which coalesces submissions from any number of goroutines into shared
+// fence epochs and returns a Ticket; Ticket.Wait blocks until the
+// batch's publication is fence-covered, i.e. fully durable. Under load
+// the pipeline needs no extra fences — a group's publication becomes
+// durable under the next group's fence — and an idle committer issues
+// one closing fence.
+
+// batchLogRoot names the root slot anchoring the persistent batch
+// record used for multi-root publication.
+const batchLogRoot = "__mod_batchlog"
+
+// Batch record layout (payload offsets):
+//
+//	+0   status   (0 idle; a nonzero batch sequence number = committed —
+//	              the 8-byte status write is the atomic commit point)
+//	+8   count    (number of entries)
+//	+16  checksum (fnv1a over the sequence number, count, and entries)
+//	+24  entries: count × {root cell addr u64, new version addr u64}
+//
+// The checksum binds the body to one specific commit: it covers the
+// sequence number that the commit point will write into the status
+// word, so recovery replays only when the durable status, count, and
+// entries all belong to the same batch — independent of how the
+// record's fields straddle cache lines under partial eviction.
+const (
+	batchStatusIdle   = 0
+	batchRecHdrSize   = 24
+	batchRecEntrySize = 16
+)
+
+// MaxBatchRoots is the most distinct roots one batch commit can change,
+// bounded by the capacity of the persistent batch record.
+const MaxBatchRoots = 62
+
+const batchRecSize = batchRecHdrSize + MaxBatchRoots*batchRecEntrySize
+
+// batchChecksum hashes the record body (count then the entry words) so
+// recovery can reject a torn record: the checksum is durable before the
+// committed flag, so a record that validates is exactly the one the
+// crashed commit wrote.
+func batchChecksum(words []uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for _, w := range words {
+		for i := 0; i < 8; i++ {
+			h ^= (w >> (8 * i)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// recoverBatchRecord replays a committed batch record left by a crash
+// mid-publication, completing the batch's root swaps. Run before the
+// reachability scan so recovery traces the post-batch roots. Returns
+// whether a replay happened.
+func recoverBatchRecord(dev *pmem.Device, rec pmem.Addr) bool {
+	seq := dev.ReadU64(rec)
+	if seq == batchStatusIdle {
+		return false
+	}
+	count := dev.ReadU64(rec + 8)
+	sum := dev.ReadU64(rec + 16)
+	replayed := false
+	if count >= 1 && count <= MaxBatchRoots {
+		words := make([]uint64, 0, 2+2*count)
+		words = append(words, seq, count)
+		for i := uint64(0); i < count; i++ {
+			e := rec + batchRecHdrSize + pmem.Addr(i*batchRecEntrySize)
+			words = append(words, dev.ReadU64(e), dev.ReadU64(e+8))
+		}
+		if batchChecksum(words) == sum {
+			// A validating checksum proves the durable body belongs to
+			// this very status (both were durable before the commit
+			// point could be): redo every root swap — idempotent 8-byte
+			// writes. A mismatch means the status is a stale leftover of
+			// a batch that already completed its swaps, torn against a
+			// later batch's partially durable refill — discard it.
+			for i := uint64(0); i < count; i++ {
+				cell := pmem.Addr(words[2+2*i])
+				val := pmem.Addr(words[3+2*i])
+				dev.WriteAddr(cell, val)
+				dev.Clwb(cell)
+			}
+			replayed = true
+		}
+	}
+	dev.Sfence() // replayed cells durable before the record is retired
+	dev.WriteU64(rec, batchStatusIdle)
+	dev.Clwb(rec)
+	dev.Sfence()
+	return replayed
+}
+
+// batchOp is one deferred update: applied at commit time against the
+// root's then-current version, returning the new version's address.
+type batchOp struct {
+	ds    Datastructure
+	apply func(s *Store, cur pmem.Addr) pmem.Addr
+}
+
+// Batch accumulates updates for one group commit. A Batch is not safe
+// for concurrent use; goroutines build their own batches and the commit
+// layer interleaves them. Commit (or CommitAsync) consumes the batch,
+// leaving it empty for reuse.
+type Batch struct {
+	st  *Store
+	ops []batchOp
+}
+
+// NewBatch returns an empty batch bound to this store handle.
+func (s *Store) NewBatch() *Batch { return &Batch{st: s} }
+
+// Len returns the number of operations accumulated.
+func (b *Batch) Len() int { return len(b.ops) }
+
+func (b *Batch) add(ds Datastructure, apply func(s *Store, cur pmem.Addr) pmem.Addr) {
+	if ds.location().parent != nil {
+		panic(fmt.Sprintf("core: batched update of parent-bound %q (batches require root-bound datastructures; use CommitSiblings)", ds.Name()))
+	}
+	b.ops = append(b.ops, batchOp{ds: ds, apply: apply})
+}
+
+// MapSet queues binding key to val in m. Key and value are copied, so
+// the caller may reuse its buffers immediately.
+func (b *Batch) MapSet(m *Map, key, val []byte) {
+	k, v := slices.Clone(key), slices.Clone(val)
+	b.add(m, func(s *Store, cur pmem.Addr) pmem.Addr {
+		next, _ := funcds.MapAt(s.heap, cur).Set(k, v)
+		return next.Addr()
+	})
+}
+
+// MapDelete queues removing key from m.
+func (b *Batch) MapDelete(m *Map, key []byte) {
+	k := slices.Clone(key)
+	b.add(m, func(s *Store, cur pmem.Addr) pmem.Addr {
+		next, _ := funcds.MapAt(s.heap, cur).Delete(k)
+		return next.Addr()
+	})
+}
+
+// SetInsert queues adding key to st.
+func (b *Batch) SetInsert(st *Set, key []byte) {
+	k := slices.Clone(key)
+	b.add(st, func(s *Store, cur pmem.Addr) pmem.Addr {
+		next, _ := funcds.SetDSAt(s.heap, cur).Insert(k)
+		return next.Addr()
+	})
+}
+
+// SetDelete queues removing key from st.
+func (b *Batch) SetDelete(st *Set, key []byte) {
+	k := slices.Clone(key)
+	b.add(st, func(s *Store, cur pmem.Addr) pmem.Addr {
+		next, _ := funcds.SetDSAt(s.heap, cur).Delete(k)
+		return next.Addr()
+	})
+}
+
+// VectorPush queues appending val to v.
+func (b *Batch) VectorPush(v *Vector, val uint64) {
+	b.add(v, func(s *Store, cur pmem.Addr) pmem.Addr {
+		return funcds.VectorAt(s.heap, cur).Push(val).Addr()
+	})
+}
+
+// VectorUpdate queues replacing element i of v with val.
+func (b *Batch) VectorUpdate(v *Vector, i uint64, val uint64) {
+	b.add(v, func(s *Store, cur pmem.Addr) pmem.Addr {
+		return funcds.VectorAt(s.heap, cur).Update(i, val).Addr()
+	})
+}
+
+// StackPush queues pushing val onto st.
+func (b *Batch) StackPush(st *Stack, val uint64) {
+	b.add(st, func(s *Store, cur pmem.Addr) pmem.Addr {
+		return funcds.StackAt(s.heap, cur).Push(val).Addr()
+	})
+}
+
+// QueueEnqueue queues appending val at the tail of q.
+func (b *Batch) QueueEnqueue(q *Queue, val uint64) {
+	b.add(q, func(s *Store, cur pmem.Addr) pmem.Addr {
+		return funcds.QueueAt(s.heap, cur).Push(val).Addr()
+	})
+}
+
+// Commit applies every queued operation and publishes the results under
+// one shared fence epoch, leaving the batch empty. Like a Basic-interface
+// FASE, the final root-pointer swap's durability rides on the next fence
+// (Sync forces it); the batch is nonetheless crash-atomic — recovery sees
+// all of it or none of it.
+func (b *Batch) Commit() {
+	ops := b.ops
+	b.ops = nil
+	b.st.commitBatch(ops)
+}
+
+// CommitAsync submits the batch to the store's background committer and
+// returns a ticket that resolves when the batch is durable. Without a
+// running committer it degrades to a synchronous Commit plus one fence.
+func (b *Batch) CommitAsync() *Ticket {
+	ops := b.ops
+	b.ops = nil
+	t := &Ticket{done: make(chan struct{})}
+	c := &b.st.sh.com
+	c.mu.Lock()
+	if !c.running || c.quit {
+		// Not running, or a Stop is draining the queue: committing here
+		// keeps the batch from landing on a queue no worker will service.
+		c.mu.Unlock()
+		b.st.commitBatch(ops)
+		b.st.heap.Fence()
+		close(t.done)
+		return t
+	}
+	c.queue = append(c.queue, submission{ops: ops, ticket: t})
+	c.cond.Signal()
+	c.mu.Unlock()
+	return t
+}
+
+// commitBatch is the group-commit step: apply every op against the
+// current committed versions under the root locks, fence once for the
+// whole epoch, publish all changed roots, and retire every superseded
+// version in one batch.
+func (s *Store) commitBatch(ops []batchOp) {
+	if len(ops) == 0 {
+		return
+	}
+	// Group ops by root slot, preserving submission order within a root.
+	perSlot := make(map[int][]batchOp)
+	var slots []int
+	for _, op := range ops {
+		slot := op.ds.location().slot
+		if _, ok := perSlot[slot]; !ok {
+			slots = append(slots, slot)
+		}
+		perSlot[slot] = append(perSlot[slot], op)
+	}
+	if len(slots) > MaxBatchRoots {
+		panic(fmt.Sprintf("core: batch touches %d roots (max %d)", len(slots), MaxBatchRoots))
+	}
+	// Lock in ascending slot order so overlapping batches cannot deadlock.
+	locked := slices.Clone(slots)
+	sort.Ints(locked)
+	for _, slot := range locked {
+		s.sh.rootMu[slot].Lock()
+	}
+	defer func() {
+		for i := len(locked) - 1; i >= 0; i-- {
+			s.sh.rootMu[locked[i]].Unlock()
+		}
+	}()
+
+	s.BeginFASE()
+	// Apply: build each root's shadow chain on its current committed
+	// version. Shadows flush unordered as they are built.
+	type rootChange struct {
+		slot       int
+		old, final pmem.Addr
+	}
+	var changed []rootChange
+	finals := make(map[int]pmem.Addr, len(slots))
+	var releases []pmem.Addr
+	for _, slot := range slots {
+		old := s.heap.Root(slot)
+		cur := old
+		for _, op := range perSlot[slot] {
+			next := op.apply(s, cur)
+			if next == cur {
+				continue // no-op update (e.g. delete of an absent key)
+			}
+			if cur != old {
+				releases = append(releases, cur) // intermediate shadow
+			}
+			cur = next
+		}
+		finals[slot] = cur
+		if cur != old {
+			changed = append(changed, rootChange{slot: slot, old: old, final: cur})
+			releases = append(releases, old)
+		}
+	}
+
+	// Publish: one root changed needs only the atomic pointer swap after
+	// the shared fence; several changed go through the batch record.
+	switch {
+	case len(changed) == 0:
+		// Nothing to publish or order.
+	case len(changed) == 1:
+		c := changed[0]
+		s.commitBegin()
+		s.heap.Fence() // the batch's single ordering point
+		s.heap.SetRoot(c.slot, c.final)
+		s.commitEnd()
+	default:
+		s.sh.txMu.Lock()
+		s.commitBegin()
+		s.sh.batchSeq++ // serialized by txMu; 0 is reserved for idle
+		seq := s.sh.batchSeq
+		words := make([]uint64, 0, 2+2*len(changed))
+		words = append(words, seq, uint64(len(changed)))
+		for i, c := range changed {
+			cell := s.heap.RootCellAddr(c.slot)
+			e := s.batchRec + batchRecHdrSize + pmem.Addr(i*batchRecEntrySize)
+			s.dev.WriteU64(e, uint64(cell))
+			s.dev.WriteU64(e+8, uint64(c.final))
+			words = append(words, uint64(cell), uint64(c.final))
+		}
+		s.dev.WriteU64(s.batchRec+8, uint64(len(changed)))
+		s.dev.WriteU64(s.batchRec+16, batchChecksum(words))
+		s.dev.FlushRange(s.batchRec+8, 16+len(changed)*batchRecEntrySize)
+		// Fence A: shadows, record body, and any previous batch's record
+		// retirement are durable. The status word is still idle, so a
+		// crash here recovers none of the batch.
+		s.heap.Fence()
+		s.dev.WriteU64(s.batchRec, seq)
+		s.dev.Clwb(s.batchRec)
+		s.dev.Sfence() // fence B: the status write is the commit point
+		for _, c := range changed {
+			s.heap.SetRoot(c.slot, c.final)
+		}
+		s.dev.Sfence() // fence C: swaps durable before the record retires
+		s.dev.WriteU64(s.batchRec, batchStatusIdle)
+		s.dev.Clwb(s.batchRec) // durability rides to the next fence
+		s.commitEnd()
+		s.sh.txMu.Unlock()
+	}
+
+	s.heap.ReleaseBatch(releases)
+	for _, op := range ops {
+		op.ds.adopt(finals[op.ds.location().slot])
+	}
+	s.EndFASE()
+	s.dev.NoteBatch(len(ops))
+}
+
+// Ticket tracks an asynchronously submitted batch. Wait returns once the
+// batch is published and its publication fence-covered (durable).
+type Ticket struct{ done chan struct{} }
+
+// Wait blocks until the batch is durable.
+func (t *Ticket) Wait() { <-t.done }
+
+// Done reports without blocking whether the batch is durable.
+func (t *Ticket) Done() bool {
+	select {
+	case <-t.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// submission is one queued batch awaiting the background committer.
+type submission struct {
+	ops    []batchOp
+	ticket *Ticket
+}
+
+// committer is the background group-commit pipeline shared by all
+// handles of a store.
+type committer struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []submission
+	running bool
+	quit    bool
+	maxOps  int
+	wg      sync.WaitGroup
+}
+
+// DefaultCommitterMaxOps caps how many operations the background
+// committer coalesces into one fence epoch.
+const DefaultCommitterMaxOps = 256
+
+// StartGroupCommitter launches the store's background committer, which
+// coalesces CommitAsync submissions from any number of goroutines into
+// shared fence epochs. maxOps caps the operations per epoch (0 uses
+// DefaultCommitterMaxOps). Starting an already-running committer is a
+// no-op.
+func (s *Store) StartGroupCommitter(maxOps int) {
+	if maxOps <= 0 {
+		maxOps = DefaultCommitterMaxOps
+	}
+	c := &s.sh.com
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cond == nil {
+		c.cond = sync.NewCond(&c.mu)
+	}
+	if c.running {
+		return
+	}
+	c.running = true
+	c.quit = false
+	c.maxOps = maxOps
+	c.wg.Add(1)
+	worker := s.Fork() // its own clock: committer time is its own critical path
+	go worker.committerLoop()
+}
+
+// StopGroupCommitter drains the queue, makes every submitted batch
+// durable, and stops the background committer. Safe to call when not
+// running.
+func (s *Store) StopGroupCommitter() {
+	c := &s.sh.com
+	c.mu.Lock()
+	if !c.running {
+		c.mu.Unlock()
+		return
+	}
+	c.quit = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.wg.Wait()
+	c.mu.Lock()
+	c.running = false
+	c.mu.Unlock()
+}
+
+// asyncBarrier submits an empty batch and returns its ticket, or nil if
+// the committer is not running. Waiting on the ticket guarantees every
+// batch submitted before it is durable.
+func (s *Store) asyncBarrier() *Ticket {
+	c := &s.sh.com
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.running || c.quit {
+		return nil
+	}
+	t := &Ticket{done: make(chan struct{})}
+	c.queue = append(c.queue, submission{ticket: t})
+	c.cond.Signal()
+	return t
+}
+
+// committerLoop coalesces queued submissions into group commits. A
+// group's root-pointer swaps become durable under the next group's
+// fence, so tickets close one group late while the pipeline is busy;
+// when the queue drains, one closing fence settles the stragglers.
+func (s *Store) committerLoop() {
+	c := &s.sh.com
+	defer c.wg.Done()
+	var pending []*Ticket // published, awaiting a covering fence
+	settle := func() {
+		if len(pending) == 0 {
+			return
+		}
+		s.heap.Fence()
+		for _, t := range pending {
+			close(t.done)
+		}
+		pending = nil
+	}
+	for {
+		c.mu.Lock()
+		for len(c.queue) == 0 && !c.quit {
+			if len(pending) > 0 {
+				// Settle stragglers before sleeping so an idle pipeline
+				// never strands a ticket.
+				c.mu.Unlock()
+				settle()
+				c.mu.Lock()
+				continue
+			}
+			c.cond.Wait()
+		}
+		if len(c.queue) == 0 && c.quit {
+			c.mu.Unlock()
+			settle()
+			return
+		}
+		take, total := 0, 0
+		for take < len(c.queue) {
+			n := len(c.queue[take].ops)
+			if take > 0 && total+n > c.maxOps {
+				break
+			}
+			take++
+			total += n
+		}
+		subs := slices.Clone(c.queue[:take])
+		c.queue = c.queue[take:]
+		c.mu.Unlock()
+
+		var ops []batchOp
+		for _, sub := range subs {
+			ops = append(ops, sub.ops...)
+		}
+		// The group's fence covers the previous group's root swaps. A
+		// group that never fenced (a bare barrier, or all no-op updates)
+		// leaves the previous tickets pending until a later fence.
+		f0 := s.dev.FenceSeq()
+		s.commitBatch(ops)
+		if s.dev.FenceSeq() > f0 {
+			for _, t := range pending {
+				close(t.done)
+			}
+			pending = pending[:0]
+		}
+		for _, sub := range subs {
+			pending = append(pending, sub.ticket)
+		}
+	}
+}

@@ -1,0 +1,439 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/mod-ds/mod/internal/pmem"
+)
+
+func newBatchTestStore(t *testing.T) (*pmem.Device, *Store) {
+	t.Helper()
+	dev := pmem.New(pmem.DefaultConfig(64 << 20))
+	st, err := NewStore(dev)
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	return dev, st
+}
+
+func bkey(i int) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, uint64(i))
+	return b
+}
+
+func TestBatchSingleRootOneFence(t *testing.T) {
+	dev, st := newBatchTestStore(t)
+	m, err := st.Map("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Sync()
+
+	const n = 64
+	base := dev.Stats()
+	b := st.NewBatch()
+	for i := 0; i < n; i++ {
+		b.MapSet(m, bkey(i), bkey(i*7))
+	}
+	if b.Len() != n {
+		t.Fatalf("batch len = %d, want %d", b.Len(), n)
+	}
+	b.Commit()
+	d := dev.Stats().Sub(base)
+
+	if d.Fences != 1 {
+		t.Errorf("single-root batch of %d ops used %d fences, want 1", n, d.Fences)
+	}
+	if d.Batches != 1 || d.BatchedOps != n {
+		t.Errorf("batch accounting = %d batches / %d ops, want 1 / %d", d.Batches, d.BatchedOps, n)
+	}
+	if got := m.Len(); got != n {
+		t.Fatalf("map has %d entries after batch, want %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := m.Get(bkey(i))
+		if !ok || binary.LittleEndian.Uint64(v) != uint64(i*7) {
+			t.Fatalf("key %d lost or corrupt after batch commit", i)
+		}
+	}
+	if b.Len() != 0 {
+		t.Errorf("batch not emptied by Commit")
+	}
+}
+
+func TestBatchMultiRootThreeFences(t *testing.T) {
+	dev, st := newBatchTestStore(t)
+	m, _ := st.Map("m")
+	q, _ := st.Queue("q")
+	v, _ := st.Vector("v")
+	st.Sync()
+
+	base := dev.Stats()
+	b := st.NewBatch()
+	for i := 0; i < 30; i++ {
+		switch i % 3 {
+		case 0:
+			b.MapSet(m, bkey(i), bkey(i))
+		case 1:
+			b.QueueEnqueue(q, uint64(i))
+		case 2:
+			b.VectorPush(v, uint64(i))
+		}
+	}
+	b.Commit()
+	d := dev.Stats().Sub(base)
+
+	if d.Fences != 3 {
+		t.Errorf("multi-root batch used %d fences, want 3", d.Fences)
+	}
+	if m.Len() != 10 || q.Len() != 10 || v.Len() != 10 {
+		t.Fatalf("batch results: map=%d queue=%d vector=%d, want 10 each", m.Len(), q.Len(), v.Len())
+	}
+}
+
+func TestBatchNoOpAndChaining(t *testing.T) {
+	dev, st := newBatchTestStore(t)
+	m, _ := st.Map("m")
+	m.Set(bkey(1), []byte("one"))
+	st.Sync()
+
+	// A batch of pure no-ops publishes nothing and needs no fence.
+	base := dev.Stats()
+	b := st.NewBatch()
+	b.MapDelete(m, bkey(404))
+	b.Commit()
+	if d := dev.Stats().Sub(base); d.Fences != 0 {
+		t.Errorf("no-op batch used %d fences, want 0", d.Fences)
+	}
+
+	// Chained updates to one key within a batch: last write wins, the
+	// intermediate shadows are retired.
+	b = st.NewBatch()
+	b.MapSet(m, bkey(2), []byte("a"))
+	b.MapSet(m, bkey(2), []byte("b"))
+	b.MapDelete(m, bkey(1))
+	b.Commit()
+	if v, ok := m.Get(bkey(2)); !ok || string(v) != "b" {
+		t.Fatalf("chained batch: key 2 = %q, %v; want \"b\"", v, ok)
+	}
+	if _, ok := m.Get(bkey(1)); ok {
+		t.Fatalf("chained batch: key 1 still present after batched delete")
+	}
+}
+
+func TestBatchParentBoundPanics(t *testing.T) {
+	_, st := newBatchTestStore(t)
+	p, err := st.Parent("p", "left", "right")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := p.Map("left")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("batched update of a parent-bound structure did not panic")
+		}
+	}()
+	st.NewBatch().MapSet(m, bkey(1), bkey(1))
+}
+
+// TestBatchConcurrentWriters drives many goroutines committing batches —
+// some to private roots, some to a shared root — interleaved with
+// Basic-interface writers, and checks nothing is lost (run with -race).
+func TestBatchConcurrentWriters(t *testing.T) {
+	_, st := newBatchTestStore(t)
+	const (
+		writers  = 4
+		batches  = 30
+		batchLen = 8
+	)
+	shared, err := st.Map("shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Sync()
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := st.Fork()
+			own, err := h.Map(fmt.Sprintf("own-%d", w))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sh, err := h.Map("shared")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < batches; i++ {
+				b := h.NewBatch()
+				for j := 0; j < batchLen; j++ {
+					k := i*batchLen + j
+					b.MapSet(own, bkey(k), bkey(k))
+					b.MapSet(sh, bkey(w*1_000_000+k), bkey(k))
+				}
+				b.Commit()
+				// Interleave a Basic-interface FASE on the shared root.
+				sh.Set(bkey(w*1_000_000+500_000+i), bkey(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	st.Sync()
+
+	wantOwn := uint64(batches * batchLen)
+	for w := 0; w < writers; w++ {
+		m, err := st.Map(fmt.Sprintf("own-%d", w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Len(); got != wantOwn {
+			t.Errorf("own-%d has %d entries, want %d", w, got, wantOwn)
+		}
+	}
+	wantShared := uint64(writers * (batches*batchLen + batches))
+	if got := shared.Len(); got != wantShared {
+		t.Errorf("shared map has %d entries, want %d", got, wantShared)
+	}
+}
+
+// TestBatchAsyncCommitter exercises the background pipeline: concurrent
+// producers submit batches, tickets resolve durable, Sync drains.
+func TestBatchAsyncCommitter(t *testing.T) {
+	dev, st := newBatchTestStore(t)
+	cfgMaps := make([]*Map, 3)
+	for i := range cfgMaps {
+		m, err := st.Map(fmt.Sprintf("async-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfgMaps[i] = m
+	}
+	st.Sync()
+	st.StartGroupCommitter(64)
+	defer st.StopGroupCommitter()
+
+	const producers = 3
+	const perProducer = 40
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h := st.Fork()
+			m, err := h.Map(fmt.Sprintf("async-%d", p))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			var last *Ticket
+			for i := 0; i < perProducer; i++ {
+				b := h.NewBatch()
+				b.MapSet(m, bkey(i), bkey(i*3))
+				b.MapSet(m, bkey(100_000+i), bkey(i))
+				last = b.CommitAsync()
+			}
+			last.Wait()
+			if !last.Done() {
+				t.Error("ticket Wait returned but Done is false")
+			}
+		}(p)
+	}
+	wg.Wait()
+	st.Sync()
+
+	for p, m := range cfgMaps {
+		if got := m.Len(); got != 2*perProducer {
+			t.Errorf("async-%d has %d entries, want %d", p, got, 2*perProducer)
+		}
+	}
+	if s := dev.Stats(); s.Batches == 0 || s.BatchedOps < producers*perProducer*2 {
+		t.Errorf("committer accounting: %d batches / %d ops", s.Batches, s.BatchedOps)
+	}
+
+	// A stopped committer degrades CommitAsync to sync-with-fence.
+	st.StopGroupCommitter()
+	b := st.NewBatch()
+	b.MapSet(cfgMaps[0], bkey(999), bkey(999))
+	tk := b.CommitAsync()
+	tk.Wait()
+	if _, ok := cfgMaps[0].Get(bkey(999)); !ok {
+		t.Error("CommitAsync without committer lost the update")
+	}
+}
+
+// TestBatchCrashAllOrNothing injects power failures at every stage of a
+// multi-root batch commit — while shadows build, between the record
+// fences, mid root-swap — across many seeds, and checks recovery sees
+// the batch atomically: the map and queue both have it, or neither does.
+func TestBatchCrashAllOrNothing(t *testing.T) {
+	sawCommitted, sawDropped := false, false
+	for seed := uint64(1); seed <= 60; seed++ {
+		committed, err := runBatchCrashRound(t, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if committed {
+			sawCommitted = true
+		} else {
+			sawDropped = true
+		}
+	}
+	if !sawCommitted || !sawDropped {
+		t.Errorf("crash points not diverse: committed=%v dropped=%v", sawCommitted, sawDropped)
+	}
+}
+
+func runBatchCrashRound(t *testing.T, seed uint64) (batchCommitted bool, err error) {
+	cfg := pmem.DefaultConfig(64 << 20)
+	cfg.TrackDurable = true
+	dev := pmem.New(cfg)
+	st, err := NewStore(dev)
+	if err != nil {
+		return false, err
+	}
+	m, _ := st.Map("m")
+	q, _ := st.Queue("q")
+
+	pre := int(seed % 20)
+	for i := 0; i < pre; i++ {
+		b := st.NewBatch()
+		b.MapSet(m, bkey(i), bkey(i*3))
+		b.QueueEnqueue(q, uint64(i))
+		b.Commit()
+	}
+	st.Sync()
+
+	// Inject the crash a pseudorandom number of PM writes into the final
+	// batch (shadow building + publication together are a few hundred
+	// writes; the modulus spreads crash points across all stages).
+	tr := pmem.NewCrashCountdown(dev, 1+int(seed*37%240), pmem.CrashEvictRandom, seed)
+	dev.SetTracer(tr)
+	b := st.NewBatch()
+	b.MapSet(m, bkey(7777), []byte("batched"))
+	b.QueueEnqueue(q, 7777)
+	b.MapSet(m, bkey(7778), []byte("batched2"))
+	b.Commit()
+	dev.SetTracer(nil)
+	img := tr.Image()
+	if img == nil {
+		// Commit finished before the countdown: crash right after.
+		img = dev.CrashImage(pmem.CrashEvictRandom, seed)
+	}
+
+	dev2 := pmem.NewFromImage(pmem.DefaultConfig(64<<20), img)
+	st2, _, err := OpenStore(dev2)
+	if err != nil {
+		return false, fmt.Errorf("recovery: %w", err)
+	}
+	m2, _ := st2.Map("m")
+	q2, _ := st2.Queue("q")
+
+	_, mapHas := m2.Get(bkey(7777))
+	_, mapHas2 := m2.Get(bkey(7778))
+	if mapHas != mapHas2 {
+		return false, fmt.Errorf("batch torn within map root: key 7777=%v 7778=%v", mapHas, mapHas2)
+	}
+	queueHas := int(q2.Len()) == pre+1
+	if !queueHas && int(q2.Len()) != pre {
+		return false, fmt.Errorf("queue has %d entries, want %d or %d", q2.Len(), pre, pre+1)
+	}
+	if mapHas != queueHas {
+		return false, fmt.Errorf("batch torn across roots: map committed=%v queue committed=%v", mapHas, queueHas)
+	}
+	wantMap := uint64(pre)
+	if mapHas {
+		wantMap += 2
+	}
+	if got := m2.Len(); got != wantMap {
+		return false, fmt.Errorf("map has %d entries, want %d", got, wantMap)
+	}
+	for i := 0; i < pre; i++ {
+		v, ok := m2.Get(bkey(i))
+		if !ok || binary.LittleEndian.Uint64(v) != uint64(i*3) {
+			return false, fmt.Errorf("pre-batch key %d lost or corrupt", i)
+		}
+	}
+	// The recovered store must stay fully usable, including batching.
+	nb := st2.NewBatch()
+	nb.MapSet(m2, bkey(424242), []byte("post"))
+	nb.QueueEnqueue(q2, 424242)
+	nb.Commit()
+	if _, ok := m2.Get(bkey(424242)); !ok {
+		return false, fmt.Errorf("store unusable after recovery")
+	}
+	return mapHas, nil
+}
+
+// TestBatchRecordStaleStatusRejected forges the record-reuse hazard: a
+// stale committed status word durable over a body checksummed for a
+// different sequence number. Recovery must refuse to replay — the body's
+// root swaps belong to a batch that already completed, and replaying
+// them would roll back a later commit onto a released version.
+func TestBatchRecordStaleStatusRejected(t *testing.T) {
+	cfg := pmem.DefaultConfig(64 << 20)
+	cfg.TrackDurable = true
+	dev := pmem.New(cfg)
+	st, err := NewStore(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := st.Map("a")
+	q, _ := st.Queue("b")
+	b := st.NewBatch()
+	b.MapSet(m, bkey(1), []byte("v1"))
+	b.QueueEnqueue(q, 1)
+	b.Commit() // multi-root: fills the record body under sequence 1
+	st.Sync()
+	m.Set(bkey(1), []byte("v2")) // supersedes (and releases) the batch's map version
+	st.Sync()
+
+	// Forge a durable committed status that does not match the retired
+	// body's checksummed sequence number.
+	dev.WriteU64(st.batchRec, 4242)
+	dev.Clwb(st.batchRec)
+	dev.Sfence()
+
+	img := dev.CrashImage(pmem.CrashFencedOnly, 1)
+	dev2 := pmem.NewFromImage(pmem.DefaultConfig(64<<20), img)
+	st2, _, err := OpenStore(dev2)
+	if err != nil {
+		t.Fatalf("recovery after stale status: %v", err)
+	}
+	m2, _ := st2.Map("a")
+	if v, ok := m2.Get(bkey(1)); !ok || string(v) != "v2" {
+		t.Fatalf("stale batch record replayed: key 1 = %q, %v; want \"v2\"", v, ok)
+	}
+	q2, _ := st2.Queue("b")
+	if q2.Len() != 1 {
+		t.Fatalf("queue has %d entries after recovery, want 1", q2.Len())
+	}
+}
+
+// TestBatchSyncBarrier: Sync with an active committer must drain queued
+// batches before returning.
+func TestBatchSyncBarrier(t *testing.T) {
+	_, st := newBatchTestStore(t)
+	m, _ := st.Map("m")
+	st.StartGroupCommitter(0)
+	defer st.StopGroupCommitter()
+	for i := 0; i < 100; i++ {
+		b := st.NewBatch()
+		b.MapSet(m, bkey(i), bkey(i))
+		b.CommitAsync()
+	}
+	st.Sync()
+	if got := m.Len(); got != 100 {
+		t.Fatalf("after Sync map has %d entries, want 100", got)
+	}
+}

@@ -61,10 +61,14 @@ import (
 const commitLogRoot = "__mod_commitlog"
 
 // storeShared is the state common to all handles of one store: one commit
-// mutex per root slot and the CommitUnrelated transaction lock.
+// mutex per root slot, the transaction/batch-record lock shared by
+// CommitUnrelated and multi-root group commits, and the background
+// group committer (batch.go).
 type storeShared struct {
-	rootMu [alloc.RootSlots]sync.Mutex
-	txMu   sync.Mutex
+	rootMu   [alloc.RootSlots]sync.Mutex
+	txMu     sync.Mutex
+	batchSeq uint64 // last batch-record sequence number; guarded by txMu
+	com      committer
 }
 
 // Store is a handle onto a persistent heap hosting MOD datastructures,
@@ -72,10 +76,11 @@ type storeShared struct {
 // goroutine with Fork; handles share all store state but carry their own
 // simulated clock.
 type Store struct {
-	dev  *pmem.Device
-	heap *alloc.Heap
-	tx   *stm.TX // short transactions for CommitUnrelated (Fig. 8d)
-	sh   *storeShared
+	dev      *pmem.Device
+	heap     *alloc.Heap
+	tx       *stm.TX   // short transactions for CommitUnrelated (Fig. 8d)
+	batchRec pmem.Addr // persistent batch record for group commits (batch.go)
+	sh       *storeShared
 }
 
 // NewStore formats dev and returns an empty store.
@@ -88,8 +93,28 @@ func NewStore(dev *pmem.Device) (*Store, error) {
 		return nil, fmt.Errorf("core: anchoring commit log: %w", err)
 	}
 	heap.SetRoot(slot, tx.LogAddr())
+	rec, err := newBatchRecord(dev, heap)
+	if err != nil {
+		return nil, err
+	}
 	dev.Sfence()
-	return &Store{dev: dev, heap: heap, tx: tx, sh: &storeShared{}}, nil
+	return &Store{dev: dev, heap: heap, tx: tx, batchRec: rec, sh: &storeShared{}}, nil
+}
+
+// newBatchRecord allocates the group-commit batch record and anchors it
+// under its named root. The caller fences.
+func newBatchRecord(dev *pmem.Device, heap *alloc.Heap) (pmem.Addr, error) {
+	slot, err := heap.RootSlot(batchLogRoot)
+	if err != nil {
+		return pmem.Nil, fmt.Errorf("core: anchoring batch record: %w", err)
+	}
+	rec := heap.Alloc(batchRecSize, 0)
+	dev.WriteU64(rec, batchStatusIdle)
+	dev.WriteU64(rec+8, 0)
+	dev.WriteU64(rec+16, 0)
+	dev.FlushRange(rec, batchRecHdrSize)
+	heap.SetRoot(slot, rec)
+	return rec, nil
 }
 
 // OpenStore attaches to a previously formatted device, rolling back any
@@ -109,14 +134,31 @@ func OpenStore(dev *pmem.Device) (*Store, alloc.RecoveryStats, error) {
 	if logAddr == pmem.Nil {
 		return nil, alloc.RecoveryStats{}, fmt.Errorf("core: store has no commit log root")
 	}
-	// Roll back an interrupted CommitUnrelated before tracing reachability.
+	// Replay a group commit interrupted mid-publication (all-or-nothing:
+	// a committed batch record completes every root swap; an uncommitted
+	// one is discarded) and roll back an interrupted CommitUnrelated,
+	// both before tracing reachability so recovery sees the final roots.
+	rec := pmem.Nil
+	if recSlot, err := heap.RootSlot(batchLogRoot); err == nil {
+		rec = heap.Root(recSlot)
+	}
+	if rec != pmem.Nil {
+		recoverBatchRecord(dev, rec)
+	}
 	stm.Recover(dev, logAddr)
 	rs, err := heap.Recover()
 	if err != nil {
 		return nil, rs, err
 	}
+	if rec == pmem.Nil {
+		// Image predates group commit: create the record now.
+		if rec, err = newBatchRecord(dev, heap); err != nil {
+			return nil, rs, err
+		}
+		dev.Sfence()
+	}
 	tx := stm.Attach(dev, heap, stm.ModeV15, logAddr, stm.DefaultLogSize)
-	return &Store{dev: dev, heap: heap, tx: tx, sh: &storeShared{}}, rs, nil
+	return &Store{dev: dev, heap: heap, tx: tx, batchRec: rec, sh: &storeShared{}}, rs, nil
 }
 
 func registerWalkers(heap *alloc.Heap) {
@@ -129,7 +171,7 @@ func registerWalkers(heap *alloc.Heap) {
 // forked store account their simulated time to that goroutine.
 func (s *Store) Fork() *Store {
 	h := s.heap.Fork()
-	return &Store{dev: h.Device(), heap: h, tx: s.tx, sh: s.sh}
+	return &Store{dev: h.Device(), heap: h, tx: s.tx, batchRec: s.batchRec, sh: s.sh}
 }
 
 // Device returns this handle's underlying persistent memory device handle.
@@ -147,6 +189,7 @@ func (s *Store) CheckerConfig() trace.CheckerConfig {
 		ExemptRanges: [][2]pmem.Addr{
 			alloc.SuperblockRange(),
 			{logStart, s.tx.LogAddr() + pmem.Addr(stm.DefaultLogSize)},
+			{s.batchRec - 8, s.batchRec + pmem.Addr(batchRecSize)},
 		},
 		AllowUnflushedTail: true,
 	}
@@ -155,9 +198,16 @@ func (s *Store) CheckerConfig() trace.CheckerConfig {
 // Sync orders every outstanding flush — including the most recent
 // commit's root-pointer write, whose durability is otherwise guaranteed
 // only by the next FASE's fence — and reclaims every retired block no
-// pinned reader can reach. Call it before planned shutdown or when an
-// operation must be durable on return.
-func (s *Store) Sync() { s.heap.Fence() }
+// pinned reader can reach. With a background group committer running it
+// first drains every batch submitted before the call, so Sync remains
+// the single "everything so far is durable" point. Call it before
+// planned shutdown or when an operation must be durable on return.
+func (s *Store) Sync() {
+	if t := s.asyncBarrier(); t != nil {
+		t.Wait()
+	}
+	s.heap.Fence()
+}
 
 // lockFor returns the commit mutex guarding a datastructure location:
 // the root's own mutex, or the parent's root mutex for parent-bound

@@ -1,0 +1,217 @@
+// Machine-readable performance reporting (BENCH.json) and the regression
+// comparison behind cmd/benchdiff. The schema lives here, beside the
+// experiments that produce the numbers, so cmd/modbench, cmd/benchdiff,
+// and the report-path unit tests all share one definition.
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/mod-ds/mod/internal/workloads"
+)
+
+// BenchSchema is the current BENCH.json schema version. Version 2 added
+// the group-commit sweep.
+const BenchSchema = 2
+
+// BenchWorkload is one workload × engine measurement: the Table 2 suite
+// run single-threaded, so every field is deterministic for a given
+// binary and scale.
+type BenchWorkload struct {
+	Workload  string  `json:"workload"`
+	Engine    string  `json:"engine"`
+	Ops       int     `json:"ops"`
+	SimNs     float64 `json:"sim_ns"`
+	OpsPerSec float64 `json:"ops_per_sec"` // per simulated second
+	Fences    uint64  `json:"fences"`
+	Flushes   uint64  `json:"flushes"`
+}
+
+// FencesPerOp returns the row's average fences per operation.
+func (w BenchWorkload) FencesPerOp() float64 { return float64(w.Fences) / float64(w.Ops) }
+
+// BenchConcurrent is one point of the reader-scaling sweep. Goroutine
+// interleaving makes these rows nondeterministic, so benchdiff treats
+// them as informational.
+type BenchConcurrent struct {
+	Readers      int     `json:"readers"`
+	Writers      int     `json:"writers"`
+	ReadOps      int     `json:"read_ops"`
+	WriteOps     int     `json:"write_ops"`
+	ElapsedNs    float64 `json:"elapsed_ns"`
+	BusyNs       float64 `json:"busy_ns"`
+	ReadsPerSec  float64 `json:"reads_per_sec"`
+	WritesPerSec float64 `json:"writes_per_sec"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+}
+
+// BenchGroupCommit is one point of the group-commit sweep (synchronous
+// mode: single-goroutine, deterministic, gated by benchdiff).
+type BenchGroupCommit struct {
+	BatchSize    int     `json:"batch_size"`
+	Shards       int     `json:"shards"`
+	Ops          int     `json:"ops"`
+	Batches      uint64  `json:"batches"`
+	Fences       uint64  `json:"fences"`
+	Flushes      uint64  `json:"flushes"`
+	FencesPerOp  float64 `json:"fences_per_op"`
+	FlushesPerOp float64 `json:"flushes_per_op"`
+	ElapsedNs    float64 `json:"elapsed_ns"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+}
+
+// BenchDoc is the BENCH.json document.
+type BenchDoc struct {
+	Schema      int                `json:"schema"`
+	Scale       string             `json:"scale"`
+	Ops         int                `json:"ops"`
+	Workloads   []BenchWorkload    `json:"workloads"`
+	Concurrent  []BenchConcurrent  `json:"concurrent"`
+	GroupCommit []BenchGroupCommit `json:"groupcommit"`
+}
+
+// BuildBenchDoc runs the Table 2 workload suite on every engine, the
+// concurrent reader-scaling sweep, and the group-commit batch-size sweep
+// at the given scale, and returns the report.
+func BuildBenchDoc(scaleName string, scale Scale) (*BenchDoc, error) {
+	workloads.SetVectorPreload(scale.VectorPreload)
+	doc := &BenchDoc{Schema: BenchSchema, Scale: scaleName, Ops: scale.Ops}
+	for _, name := range workloads.Names {
+		for _, engine := range workloads.Engines {
+			res, err := workloads.Run(name, engine, workloads.Config{Ops: scale.Ops})
+			if err != nil {
+				return nil, fmt.Errorf("bench %s/%s: %w", name, engine, err)
+			}
+			doc.Workloads = append(doc.Workloads, BenchWorkload{
+				Workload:  name,
+				Engine:    res.Engine,
+				Ops:       res.Ops,
+				SimNs:     res.SimNs,
+				OpsPerSec: float64(res.Ops) / (res.SimNs / 1e9),
+				Fences:    res.Fences,
+				Flushes:   res.Flushes,
+			})
+		}
+	}
+	for _, readers := range ConcurrentReaderCounts {
+		res, err := workloads.RunConcurrent(ConcurrentBenchConfig(scale, readers))
+		if err != nil {
+			return nil, fmt.Errorf("bench concurrent r=%d: %w", readers, err)
+		}
+		doc.Concurrent = append(doc.Concurrent, BenchConcurrent{
+			Readers:      res.Readers,
+			Writers:      res.Writers,
+			ReadOps:      res.ReadOps,
+			WriteOps:     res.WriteOps,
+			ElapsedNs:    res.ElapsedNs,
+			BusyNs:       res.BusyNs,
+			ReadsPerSec:  res.ReadsPerSec,
+			WritesPerSec: res.WritesPerSec,
+			OpsPerSec:    res.OpsPerSec,
+		})
+	}
+	for _, shards := range GroupCommitShardCounts {
+		for _, bsz := range GroupCommitBatchSizes {
+			res, err := workloads.RunGroupCommit(GroupCommitBenchConfig(scale, bsz, shards))
+			if err != nil {
+				return nil, fmt.Errorf("bench groupcommit b=%d s=%d: %w", bsz, shards, err)
+			}
+			doc.GroupCommit = append(doc.GroupCommit, BenchGroupCommit{
+				BatchSize:    res.BatchSize,
+				Shards:       res.Shards,
+				Ops:          res.Ops,
+				Batches:      res.Batches,
+				Fences:       res.Fences,
+				Flushes:      res.Flushes,
+				FencesPerOp:  res.FencesPerOp,
+				FlushesPerOp: res.FlushesPerOp,
+				ElapsedNs:    res.ElapsedNs,
+				OpsPerSec:    res.OpsPerSec,
+			})
+		}
+	}
+	return doc, nil
+}
+
+// WriteBenchDoc serializes the report to path.
+func WriteBenchDoc(doc *BenchDoc, path string) error {
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBenchDoc loads a report from path.
+func ReadBenchDoc(path string) (*BenchDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc BenchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.Schema == 0 || len(doc.Workloads) == 0 {
+		return nil, fmt.Errorf("%s: not a BENCH.json report (schema=%d, %d workload rows)", path, doc.Schema, len(doc.Workloads))
+	}
+	return &doc, nil
+}
+
+// CompareBenchDocs checks cur against base and returns one message per
+// regression: a deterministic row whose ops/sec dropped, or whose
+// fences/op rose, by more than tol (fractional, e.g. 0.15), or a
+// baseline row missing from cur. The nondeterministic concurrent sweep
+// is not compared. An empty result means the gate passes.
+func CompareBenchDocs(base, cur *BenchDoc, tol float64) []string {
+	var regressions []string
+	worse := func(kind, row string, baseV, curV float64, lowerIsBetter bool) {
+		if baseV <= 0 {
+			return
+		}
+		ratio := curV / baseV
+		if lowerIsBetter && ratio > 1+tol {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %s rose %.1f%% (%.4g -> %.4g, tolerance %.0f%%)",
+					row, kind, (ratio-1)*100, baseV, curV, tol*100))
+		}
+		if !lowerIsBetter && ratio < 1-tol {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %s dropped %.1f%% (%.4g -> %.4g, tolerance %.0f%%)",
+					row, kind, (1-ratio)*100, baseV, curV, tol*100))
+		}
+	}
+
+	curWorkloads := make(map[string]BenchWorkload, len(cur.Workloads))
+	for _, w := range cur.Workloads {
+		curWorkloads[w.Workload+"/"+w.Engine] = w
+	}
+	for _, b := range base.Workloads {
+		key := b.Workload + "/" + b.Engine
+		c, ok := curWorkloads[key]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: row missing from current report", key))
+			continue
+		}
+		worse("ops/sec", key, b.OpsPerSec, c.OpsPerSec, false)
+		worse("fences/op", key, b.FencesPerOp(), c.FencesPerOp(), true)
+	}
+
+	curGC := make(map[string]BenchGroupCommit, len(cur.GroupCommit))
+	for _, g := range cur.GroupCommit {
+		curGC[fmt.Sprintf("groupcommit/b%d/s%d", g.BatchSize, g.Shards)] = g
+	}
+	for _, b := range base.GroupCommit {
+		key := fmt.Sprintf("groupcommit/b%d/s%d", b.BatchSize, b.Shards)
+		c, ok := curGC[key]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: row missing from current report", key))
+			continue
+		}
+		worse("ops/sec", key, b.OpsPerSec, c.OpsPerSec, false)
+		worse("fences/op", key, b.FencesPerOp, c.FencesPerOp, true)
+	}
+	return regressions
+}

@@ -1,0 +1,168 @@
+package harness
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"testing"
+)
+
+// benchTestScale keeps the report-path test fast while still producing
+// non-degenerate metrics in every row.
+func benchTestScale() Scale {
+	return Scale{Ops: 200, VectorPreload: 200, Table3N: 200, PerOpSamples: 50}
+}
+
+func TestBuildBenchDocSchema(t *testing.T) {
+	doc, err := BuildBenchDoc("test", benchTestScale())
+	if err != nil {
+		t.Fatalf("BuildBenchDoc: %v", err)
+	}
+	if doc.Schema != BenchSchema {
+		t.Errorf("schema = %d, want %d", doc.Schema, BenchSchema)
+	}
+	if doc.Scale != "test" || doc.Ops != 200 {
+		t.Errorf("scale/ops = %q/%d, want test/200", doc.Scale, doc.Ops)
+	}
+	if len(doc.Workloads) == 0 || len(doc.Concurrent) == 0 || len(doc.GroupCommit) == 0 {
+		t.Fatalf("empty sections: %d workloads, %d concurrent, %d groupcommit",
+			len(doc.Workloads), len(doc.Concurrent), len(doc.GroupCommit))
+	}
+	for _, w := range doc.Workloads {
+		if w.Workload == "" || w.Engine == "" {
+			t.Errorf("workload row missing identity: %+v", w)
+		}
+		if w.Ops <= 0 || w.SimNs <= 0 || w.OpsPerSec <= 0 || w.Fences == 0 || w.Flushes == 0 {
+			t.Errorf("workload %s/%s has zero metrics: %+v", w.Workload, w.Engine, w)
+		}
+	}
+	for _, g := range doc.GroupCommit {
+		if g.BatchSize <= 0 || g.Shards <= 0 || g.Ops <= 0 || g.Batches == 0 ||
+			g.Fences == 0 || g.Flushes == 0 || g.ElapsedNs <= 0 ||
+			g.OpsPerSec <= 0 || g.FencesPerOp <= 0 || g.FlushesPerOp <= 0 {
+			t.Errorf("groupcommit b=%d s=%d has zero metrics: %+v", g.BatchSize, g.Shards, g)
+		}
+	}
+	for _, c := range doc.Concurrent {
+		if c.Readers <= 0 || c.OpsPerSec <= 0 || c.ElapsedNs <= 0 {
+			t.Errorf("concurrent r=%d has zero metrics: %+v", c.Readers, c)
+		}
+	}
+}
+
+// TestBenchGroupCommitFenceAmortization pins the headline property the
+// regression gate protects: fences/op falls monotonically with batch
+// size and is at least 2x lower at batch 64 than unbatched.
+func TestBenchGroupCommitFenceAmortization(t *testing.T) {
+	doc, err := BuildBenchDoc("test", benchTestScale())
+	if err != nil {
+		t.Fatalf("BuildBenchDoc: %v", err)
+	}
+	perShard := map[int][]BenchGroupCommit{}
+	for _, g := range doc.GroupCommit {
+		perShard[g.Shards] = append(perShard[g.Shards], g)
+	}
+	for shards, rows := range perShard {
+		var at1, at64 float64
+		for i := 1; i < len(rows); i++ {
+			if rows[i].BatchSize <= rows[i-1].BatchSize {
+				t.Fatalf("shards=%d: rows not in ascending batch order", shards)
+			}
+			if rows[i].FencesPerOp >= rows[i-1].FencesPerOp {
+				t.Errorf("shards=%d: fences/op not monotonically decreasing: b=%d has %.4f, b=%d has %.4f",
+					shards, rows[i-1].BatchSize, rows[i-1].FencesPerOp, rows[i].BatchSize, rows[i].FencesPerOp)
+			}
+		}
+		for _, g := range rows {
+			switch g.BatchSize {
+			case 1:
+				at1 = g.FencesPerOp
+			case 64:
+				at64 = g.FencesPerOp
+			}
+		}
+		if at1 == 0 || at64 == 0 {
+			t.Fatalf("shards=%d: sweep missing batch sizes 1 and 64", shards)
+		}
+		if at64 > at1/2 {
+			t.Errorf("shards=%d: fences/op at batch=64 is %.4f, want <= half of batch=1's %.4f", shards, at64, at1)
+		}
+	}
+}
+
+func TestBenchDocRoundTripAndValidation(t *testing.T) {
+	doc, err := BuildBenchDoc("test", benchTestScale())
+	if err != nil {
+		t.Fatalf("BuildBenchDoc: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := WriteBenchDoc(doc, path); err != nil {
+		t.Fatalf("WriteBenchDoc: %v", err)
+	}
+	got, err := ReadBenchDoc(path)
+	if err != nil {
+		t.Fatalf("ReadBenchDoc: %v", err)
+	}
+	if len(got.Workloads) != len(doc.Workloads) || len(got.GroupCommit) != len(doc.GroupCommit) {
+		t.Errorf("round trip lost rows: %d/%d workloads, %d/%d groupcommit",
+			len(got.Workloads), len(doc.Workloads), len(got.GroupCommit), len(doc.GroupCommit))
+	}
+	// The gate must reject documents that would silently diff as empty.
+	bad := filepath.Join(t.TempDir(), "empty.json")
+	if err := WriteBenchDoc(&BenchDoc{Schema: BenchSchema}, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBenchDoc(bad); err == nil {
+		t.Error("ReadBenchDoc accepted a report with no workload rows")
+	}
+}
+
+func TestCompareBenchDocs(t *testing.T) {
+	base := &BenchDoc{
+		Schema: BenchSchema, Scale: "test", Ops: 100,
+		Workloads: []BenchWorkload{
+			{Workload: "map", Engine: "mod", Ops: 100, SimNs: 1e6, OpsPerSec: 1e5, Fences: 100, Flushes: 1000},
+			{Workload: "set", Engine: "mod", Ops: 100, SimNs: 1e6, OpsPerSec: 1e5, Fences: 100, Flushes: 1000},
+		},
+		GroupCommit: []BenchGroupCommit{
+			{BatchSize: 64, Shards: 1, Ops: 100, Batches: 2, Fences: 2, Flushes: 1000,
+				FencesPerOp: 0.02, FlushesPerOp: 10, ElapsedNs: 1e6, OpsPerSec: 1e5},
+		},
+	}
+	clone := func() *BenchDoc {
+		data, _ := json.Marshal(base)
+		var c BenchDoc
+		json.Unmarshal(data, &c)
+		return &c
+	}
+
+	if regs := CompareBenchDocs(base, clone(), 0.15); len(regs) != 0 {
+		t.Errorf("identical docs flagged: %v", regs)
+	}
+
+	cur := clone()
+	cur.Workloads[0].OpsPerSec *= 0.80 // -20% throughput
+	if regs := CompareBenchDocs(base, cur, 0.15); len(regs) != 1 {
+		t.Errorf("ops/sec drop not flagged exactly once: %v", regs)
+	}
+	if regs := CompareBenchDocs(base, cur, 0.30); len(regs) != 0 {
+		t.Errorf("drop within widened tolerance flagged: %v", regs)
+	}
+
+	cur = clone()
+	cur.Workloads[1].Fences = 130 // +30% fences/op
+	if regs := CompareBenchDocs(base, cur, 0.15); len(regs) != 1 {
+		t.Errorf("fences/op rise not flagged exactly once: %v", regs)
+	}
+
+	cur = clone()
+	cur.GroupCommit[0].FencesPerOp = 0.08 // batched fences regressed 4x
+	if regs := CompareBenchDocs(base, cur, 0.15); len(regs) != 1 {
+		t.Errorf("groupcommit fences/op rise not flagged exactly once: %v", regs)
+	}
+
+	cur = clone()
+	cur.Workloads = cur.Workloads[:1]
+	if regs := CompareBenchDocs(base, cur, 0.15); len(regs) != 1 {
+		t.Errorf("missing row not flagged exactly once: %v", regs)
+	}
+}

@@ -94,6 +94,69 @@ func (d *Device) DurableBytes(addr Addr, n int) []byte {
 	return d.s.dur[addr : addr+Addr(n) : addr+Addr(n)]
 }
 
+// CrashCountdown is a Tracer that captures a crash image after a given
+// number of PM write events, landing a simulated power failure at an
+// arbitrary point inside an operation in progress — the middle of a
+// commit's publication, between its fences, wherever the countdown
+// expires. Install with SetTracer around the operation under test, then
+// read Image.
+//
+// The capture runs inside the Write hook, which the device invokes
+// after releasing its internal mutex; CrashCountdown is the sanctioned
+// way to take mid-operation crash images (see the Tracer contract).
+type CrashCountdown struct {
+	dev       *Device
+	countdown int
+	policy    CrashPolicy
+	seed      uint64
+	img       []byte
+}
+
+// NewCrashCountdown returns a tracer that captures the crash image at
+// the afterWrites-th PM write event. The device must track durability.
+func NewCrashCountdown(dev *Device, afterWrites int, policy CrashPolicy, seed uint64) *CrashCountdown {
+	return &CrashCountdown{dev: dev, countdown: afterWrites, policy: policy, seed: seed}
+}
+
+// Image returns the captured crash image, or nil if the countdown has
+// not expired yet (the failure point landed past the traced region).
+func (c *CrashCountdown) Image() []byte { return c.img }
+
+// Write counts down PM write events and captures the image at zero.
+func (c *CrashCountdown) Write(addr Addr, size int) {
+	if c.img != nil {
+		return
+	}
+	c.countdown--
+	if c.countdown <= 0 {
+		c.img = c.dev.CrashImage(c.policy, c.seed)
+	}
+}
+
+// Alloc implements Tracer.
+func (c *CrashCountdown) Alloc(addr Addr, size uint64, tag uint8) {}
+
+// Free implements Tracer.
+func (c *CrashCountdown) Free(addr Addr, size uint64) {}
+
+// Flush implements Tracer.
+func (c *CrashCountdown) Flush(line uint64) {}
+
+// Fence implements Tracer.
+func (c *CrashCountdown) Fence(n int) {}
+
+// FASEBegin implements Tracer.
+func (c *CrashCountdown) FASEBegin() {}
+
+// FASEEnd implements Tracer.
+func (c *CrashCountdown) FASEEnd() {}
+
+// CommitBegin implements Tracer.
+func (c *CrashCountdown) CommitBegin() {}
+
+// CommitEnd implements Tracer.
+func (c *CrashCountdown) CommitEnd() {}
+
 // splitmix64 advances the state and returns the next pseudorandom value.
 func splitmix64(state *uint64) uint64 {
 	*state += 0x9e3779b97f4a7c15

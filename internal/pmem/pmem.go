@@ -161,6 +161,13 @@ type Stats struct {
 	// by each fence, for flush-concurrency reporting.
 	FlushedPerFence uint64
 
+	// Batches counts group commits executed against the device and
+	// BatchedOps the operations they coalesced, so reports can derive
+	// fences per batched operation (DESIGN.md §7). The commit layer
+	// records them via NoteBatch.
+	Batches    uint64
+	BatchedOps uint64
+
 	// Cache holds the L1D counters (the Fig. 11 metric); CacheLevels
 	// breaks accesses down by serving level.
 	Cache       cachesim.Stats
@@ -181,6 +188,8 @@ func (s Stats) Sub(base Stats) Stats {
 	r.BytesRead -= base.BytesRead
 	r.BytesWritten -= base.BytesWritten
 	r.FlushedPerFence -= base.FlushedPerFence
+	r.Batches -= base.Batches
+	r.BatchedOps -= base.BatchedOps
 	r.Cache = s.Cache.Sub(base.Cache)
 	r.CacheLevels = s.CacheLevels.Sub(base.CacheLevels)
 	return r
@@ -330,6 +339,19 @@ func (d *Device) SetCategory(c Category) Category {
 // higher layers to account for work with no PM access (e.g. building a log
 // entry in registers).
 func (d *Device) ChargeCompute(ns float64) { d.clk.Charge(d.cat, ns) }
+
+// NoteBatch records a group commit that coalesced ops operations into
+// one fence epoch, feeding the Batches/BatchedOps counters that reports
+// use to derive fences per batched operation.
+func (d *Device) NoteBatch(ops int) {
+	if ops <= 0 {
+		return
+	}
+	d.s.mu.Lock()
+	d.s.stats.Batches++
+	d.s.stats.BatchedOps += uint64(ops)
+	d.s.mu.Unlock()
+}
 
 func (s *devState) checkRange(addr Addr, n int) {
 	if n < 0 || uint64(addr) >= uint64(len(s.mem)) || uint64(addr)+uint64(n) > uint64(len(s.mem)) {

@@ -5,7 +5,10 @@ package pmem
 // the allocator reports allocations and frees; the MOD core reports FASE
 // and commit boundaries. A nil Tracer disables tracing.
 //
-// Tracer methods must not call back into the Device.
+// Tracer methods must not call back into the Device. One exception is
+// sanctioned: the Write hook is invoked after the device has released
+// its internal mutex, so a Write implementation may take crash images
+// (CrashCountdown in crash.go relies on this).
 type Tracer interface {
 	// Alloc records that a block [addr, addr+size) was allocated with
 	// the given node type tag.
