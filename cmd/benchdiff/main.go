@@ -1,17 +1,18 @@
 // Benchdiff is the CI performance-regression gate. It compares a fresh
 // BENCH.json (written by modbench -bench) against the committed baseline
-// and exits nonzero if any deterministic row's ops/sec dropped, or its
-// fences/op rose, by more than the tolerance.
+// and exits nonzero if any deterministic row's ops/sec dropped — or its
+// fences/op, flushes/op, or (transient rows) copies/op rose — by more
+// than the tolerance, naming the offending rows in the failure output.
 //
 // Usage:
 //
 //	benchdiff [-baseline BENCH_baseline.json] [-current BENCH.json] [-tolerance 0.15]
 //
 // The single-threaded workload suite and the synchronous group-commit
-// sweep are fully deterministic in simulated time, so any drift beyond
-// the tolerance is a real code-path change, not measurement noise. The
-// concurrent reader-scaling rows depend on goroutine interleaving and
-// are reported but never gated.
+// and transient sweeps are fully deterministic in simulated time, so any
+// drift beyond the tolerance is a real code-path change, not measurement
+// noise. The concurrent reader-scaling rows depend on goroutine
+// interleaving and are reported but never gated.
 //
 // After an intentional performance change, regenerate the baseline with
 //
@@ -24,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/mod-ds/mod/internal/harness"
 )
@@ -51,7 +53,7 @@ func main() {
 	}
 
 	regressions := harness.CompareBenchDocs(base, cur, *tolerance)
-	gated := len(base.Workloads) + len(base.GroupCommit)
+	gated := len(base.Workloads) + len(base.GroupCommit) + len(base.Transient)
 	if len(regressions) == 0 {
 		fmt.Printf("benchdiff: OK — %d gated rows within %.0f%% of baseline\n", gated, *tolerance*100)
 		return
@@ -60,5 +62,24 @@ func main() {
 	for _, r := range regressions {
 		fmt.Fprintf(os.Stderr, "  %s\n", r)
 	}
+	fmt.Fprintf(os.Stderr, "offending rows: %s\n", strings.Join(offendingRows(regressions), ", "))
 	os.Exit(1)
+}
+
+// offendingRows extracts the distinct row keys (the "workload/engine" or
+// "sweep/bN" prefix of each regression message), preserving order.
+func offendingRows(regressions []string) []string {
+	var rows []string
+	seen := map[string]bool{}
+	for _, r := range regressions {
+		row := r
+		if i := strings.Index(r, ": "); i > 0 {
+			row = r[:i]
+		}
+		if !seen[row] {
+			seen[row] = true
+			rows = append(rows, row)
+		}
+	}
+	return rows
 }

@@ -7,11 +7,11 @@
 //
 // Without -experiment it runs everything. Experiment names: table1,
 // table2, fig2, fig4, fig9, fig10, fig11, table3, spaceoverhead,
-// ablation-conc, ablation-naive, concurrent, groupcommit.
+// ablation-conc, ablation-naive, concurrent, groupcommit, transient.
 //
 // With -bench FILE, modbench instead runs the Table 2 workload suite on
-// every engine plus the concurrent reader-scaling and group-commit
-// batch-size sweeps and writes a machine-readable JSON report (simulated
+// every engine plus the concurrent reader-scaling, group-commit, and
+// transient sweeps and writes a machine-readable JSON report (simulated
 // ns, ops per simulated second, fences and flushes per workload), so the
 // performance trajectory can be tracked across commits; cmd/benchdiff
 // gates CI on it.
@@ -101,7 +101,7 @@ func writeBench(path, scaleName string, scale harness.Scale) error {
 	if err := harness.WriteBenchDoc(doc, path); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d workload rows, %d concurrent rows, %d groupcommit rows)\n",
-		path, len(doc.Workloads), len(doc.Concurrent), len(doc.GroupCommit))
+	fmt.Printf("wrote %s (%d workload rows, %d concurrent rows, %d transient rows, %d groupcommit rows)\n",
+		path, len(doc.Workloads), len(doc.Concurrent), len(doc.Transient), len(doc.GroupCommit))
 	return nil
 }

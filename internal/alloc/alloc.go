@@ -50,12 +50,24 @@ const (
 	// RootSlots is the number of named recoverable roots per heap.
 	RootSlots = 62
 
-	rootEntrySize  = 16
-	superblockSize = offRoots + RootSlots*rootEntrySize // 1056 -> padded
+	rootEntrySize = 16
+
+	// offRuns is the open-run table: EditRunSlots entries of {start, end}
+	// recording bump runs claimed by in-flight edit contexts whose block
+	// headers are deferred-flushed (edit.go). Recovery consults it when
+	// the header chain tears inside a run (recover.go).
+	offRuns = offRoots + RootSlots*rootEntrySize
+
+	// EditRunSlots bounds how many edits can hold unsealed bump runs at
+	// once; further edits fall back to eagerly flushed allocations.
+	EditRunSlots = 8
+
+	runEntrySize   = 16
+	superblockSize = offRuns + EditRunSlots*runEntrySize // 1184 -> padded
 	heapBase       = (superblockSize + pmem.LineSize - 1) &^ (pmem.LineSize - 1)
 
 	magic   = 0x4d4f442d48454150 // "MOD-HEAP"
-	version = 1
+	version = 2                  // 2: added the open-run table
 
 	headerSize = 8
 	headerMark = 0x4d4f // "MO", stored in the top 16 bits of a header
@@ -102,6 +114,20 @@ type heapShared struct {
 	refs    *sync.Map // payload addr -> *atomic.Int32
 	walkers [256]Walker
 
+	// runSlots mirrors the open-run table. A sealed slot's persistent
+	// entry is NOT cleared at seal time — clearing is a plain clwb'd
+	// write, and under partial-eviction crash policies the clear could
+	// become durable while the run's deferred headers are still torn,
+	// exposing the heap to truncation at the tear. Instead the entry
+	// stays in place and the slot is reused (overwritten) only once a
+	// fence has covered the seal sweep, at which point the old run's
+	// headers are durable and can never tear (edit.go).
+	runSlots [EditRunSlots]runSlotState
+
+	// reserves holds sealed edit-run tails awaiting reuse as later
+	// edits' runs (edit.go).
+	reserves []reserveRegion
+
 	stats Stats // Quarantine filled from ebr on read
 
 	ebr ebrState
@@ -127,7 +153,7 @@ func Format(dev *pmem.Device) *Heap {
 	dev.WriteU64(offMagic, magic)
 	dev.WriteU64(offVersion, version)
 	dev.WriteU64(offBumpTop, uint64(heapBase))
-	dev.Zero(offRoots, RootSlots*rootEntrySize)
+	dev.Zero(offRoots, superblockSize-offRoots) // root table + run table
 	dev.FlushRange(0, heapBase)
 	dev.Sfence()
 	h.sh.top = heapBase
@@ -246,6 +272,14 @@ func (h *Heap) Alloc(size int, tag uint8) pmem.Addr {
 	}
 	h.dev.WriteU64(hdr, packHeader(stride, tag, true))
 	h.dev.Clwb(hdr)
+	return h.registerBlock(hdr, stride)
+}
+
+// registerBlock creates the volatile tracking state for a freshly
+// allocated block — reference count 1 and counter updates — and returns
+// its payload address.
+func (h *Heap) registerBlock(hdr pmem.Addr, stride uint32) pmem.Addr {
+	sh := h.sh
 	payload := hdr + headerSize
 	cnt := &atomic.Int32{}
 	cnt.Store(1)

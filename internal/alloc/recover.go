@@ -34,6 +34,31 @@ func (h *Heap) Recover() (RecoveryStats, error) {
 	sh.stats.LiveBytes = 0
 
 	// Pass 1: validate the block chain, repairing a stale bump pointer.
+	// The open-run table lists bump runs claimed by edits that never
+	// sealed: their headers were deferred-flushed, so the chain may tear
+	// inside a recorded run without implying anything about blocks beyond
+	// it. A torn header inside a recorded run kills only the remainder of
+	// that run (an unsealed edit is unreachable from every durable root by
+	// the fence ordering in edit.go); a torn header anywhere else
+	// truncates the heap as before.
+	type openRun struct{ start, end pmem.Addr }
+	var openRuns []openRun
+	for slot := 0; slot < EditRunSlots; slot++ {
+		start := pmem.Addr(h.dev.ReadU64(runEntryAddr(slot)))
+		end := pmem.Addr(h.dev.ReadU64(runEntryAddr(slot) + 8))
+		if start >= heapBase && start < end && end <= sh.top {
+			openRuns = append(openRuns, openRun{start: start, end: end})
+		}
+	}
+	runOver := func(a pmem.Addr) (openRun, bool) {
+		for _, r := range openRuns {
+			if a >= r.start && a < r.end {
+				return r, true
+			}
+		}
+		return openRun{}, false
+	}
+
 	type blockInfo struct {
 		hdr    pmem.Addr
 		stride uint32
@@ -47,7 +72,35 @@ func (h *Heap) Recover() (RecoveryStats, error) {
 	for addr+headerSize <= sh.top {
 		raw := h.dev.ReadU64(addr)
 		stride, tag, allocated, ok := unpackHeader(raw)
-		if !ok || addr+pmem.Addr(stride) > sh.end || stride < headerSize+1 {
+		if ok && (addr+pmem.Addr(stride) > sh.end || stride < headerSize+1) {
+			ok = false
+		}
+		run, inRun := runOver(addr)
+		if ok && inRun && addr+pmem.Addr(stride) > run.end {
+			// A genuine block never crosses out of its run; this is
+			// payload garbage that happens to parse as a header.
+			ok = false
+		}
+		if !ok {
+			if inRun {
+				// Dead remainder of an interrupted edit's run: make it
+				// permanently walkable (a second crash may find the run
+				// entry reused) and resume at the run boundary.
+				rem := uint32(run.end - addr)
+				if rem > headerSize {
+					h.dev.WriteU64(addr, packHeader(rem, 0, false))
+					h.dev.Clwb(addr)
+					blocks = append(blocks, blockInfo{hdr: addr, stride: rem})
+				} else if n := len(blocks); n > 0 && blocks[n-1].hdr+pmem.Addr(blocks[n-1].stride) == addr {
+					// Too small for a header: absorb into the preceding
+					// block (at most 8 bytes; strides are multiples of 8).
+					blocks[n-1].stride += rem
+					h.dev.WriteU64(blocks[n-1].hdr, packHeader(blocks[n-1].stride, blocks[n-1].tag, blocks[n-1].wasAll))
+					h.dev.Clwb(blocks[n-1].hdr)
+				}
+				addr = run.end
+				continue
+			}
 			// Torn or never-written header: everything at and beyond this
 			// point was allocated after the last durable commit and is
 			// unreachable. Truncate the heap here.
@@ -60,6 +113,18 @@ func (h *Heap) Recover() (RecoveryStats, error) {
 		index[addr+headerSize] = len(blocks)
 		blocks = append(blocks, blockInfo{hdr: addr, stride: stride, tag: tag, wasAll: allocated})
 		addr += pmem.Addr(stride)
+	}
+	// The table is consumed: no edit survives a crash. Synthesized headers
+	// are fenced before the entries clear so a second crash still finds a
+	// walkable chain.
+	if len(openRuns) > 0 {
+		h.dev.Sfence()
+		for slot := 0; slot < EditRunSlots; slot++ {
+			h.dev.WriteU64(runEntryAddr(slot), 0)
+			h.dev.WriteU64(runEntryAddr(slot)+8, 0)
+			h.dev.Clwb(runEntryAddr(slot))
+		}
+		h.dev.Sfence()
 	}
 
 	// Pass 2: mark from roots, rebuilding reference counts as the number

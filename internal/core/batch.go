@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"github.com/mod-ds/mod/internal/alloc"
 	"github.com/mod-ds/mod/internal/funcds"
 	"github.com/mod-ds/mod/internal/pmem"
 )
@@ -142,10 +143,13 @@ func recoverBatchRecord(dev *pmem.Device, rec pmem.Addr) bool {
 }
 
 // batchOp is one deferred update: applied at commit time against the
-// root's then-current version, returning the new version's address.
+// root's then-current version inside the batch's shared edit context,
+// returning the new version's address. Operations after the first on a
+// root mutate the edit-owned shadow in place, so apply commonly returns
+// cur itself.
 type batchOp struct {
 	ds    Datastructure
-	apply func(s *Store, cur pmem.Addr) pmem.Addr
+	apply func(s *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr
 }
 
 // Batch accumulates updates for one group commit. A Batch is not safe
@@ -163,7 +167,7 @@ func (s *Store) NewBatch() *Batch { return &Batch{st: s} }
 // Len returns the number of operations accumulated.
 func (b *Batch) Len() int { return len(b.ops) }
 
-func (b *Batch) add(ds Datastructure, apply func(s *Store, cur pmem.Addr) pmem.Addr) {
+func (b *Batch) add(ds Datastructure, apply func(s *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr) {
 	if ds.location().parent != nil {
 		panic(fmt.Sprintf("core: batched update of parent-bound %q (batches require root-bound datastructures; use CommitSiblings)", ds.Name()))
 	}
@@ -174,8 +178,8 @@ func (b *Batch) add(ds Datastructure, apply func(s *Store, cur pmem.Addr) pmem.A
 // the caller may reuse its buffers immediately.
 func (b *Batch) MapSet(m *Map, key, val []byte) {
 	k, v := slices.Clone(key), slices.Clone(val)
-	b.add(m, func(s *Store, cur pmem.Addr) pmem.Addr {
-		next, _ := funcds.MapAt(s.heap, cur).Set(k, v)
+	b.add(m, func(s *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
+		next, _ := funcds.MapAt(s.heap, cur).WithEdit(ed).Set(k, v)
 		return next.Addr()
 	})
 }
@@ -183,8 +187,8 @@ func (b *Batch) MapSet(m *Map, key, val []byte) {
 // MapDelete queues removing key from m.
 func (b *Batch) MapDelete(m *Map, key []byte) {
 	k := slices.Clone(key)
-	b.add(m, func(s *Store, cur pmem.Addr) pmem.Addr {
-		next, _ := funcds.MapAt(s.heap, cur).Delete(k)
+	b.add(m, func(s *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
+		next, _ := funcds.MapAt(s.heap, cur).WithEdit(ed).Delete(k)
 		return next.Addr()
 	})
 }
@@ -192,8 +196,8 @@ func (b *Batch) MapDelete(m *Map, key []byte) {
 // SetInsert queues adding key to st.
 func (b *Batch) SetInsert(st *Set, key []byte) {
 	k := slices.Clone(key)
-	b.add(st, func(s *Store, cur pmem.Addr) pmem.Addr {
-		next, _ := funcds.SetDSAt(s.heap, cur).Insert(k)
+	b.add(st, func(s *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
+		next, _ := funcds.SetDSAt(s.heap, cur).WithEdit(ed).Insert(k)
 		return next.Addr()
 	})
 }
@@ -201,37 +205,37 @@ func (b *Batch) SetInsert(st *Set, key []byte) {
 // SetDelete queues removing key from st.
 func (b *Batch) SetDelete(st *Set, key []byte) {
 	k := slices.Clone(key)
-	b.add(st, func(s *Store, cur pmem.Addr) pmem.Addr {
-		next, _ := funcds.SetDSAt(s.heap, cur).Delete(k)
+	b.add(st, func(s *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
+		next, _ := funcds.SetDSAt(s.heap, cur).WithEdit(ed).Delete(k)
 		return next.Addr()
 	})
 }
 
 // VectorPush queues appending val to v.
 func (b *Batch) VectorPush(v *Vector, val uint64) {
-	b.add(v, func(s *Store, cur pmem.Addr) pmem.Addr {
-		return funcds.VectorAt(s.heap, cur).Push(val).Addr()
+	b.add(v, func(s *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
+		return funcds.VectorAt(s.heap, cur).WithEdit(ed).Push(val).Addr()
 	})
 }
 
 // VectorUpdate queues replacing element i of v with val.
 func (b *Batch) VectorUpdate(v *Vector, i uint64, val uint64) {
-	b.add(v, func(s *Store, cur pmem.Addr) pmem.Addr {
-		return funcds.VectorAt(s.heap, cur).Update(i, val).Addr()
+	b.add(v, func(s *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
+		return funcds.VectorAt(s.heap, cur).WithEdit(ed).Update(i, val).Addr()
 	})
 }
 
 // StackPush queues pushing val onto st.
 func (b *Batch) StackPush(st *Stack, val uint64) {
-	b.add(st, func(s *Store, cur pmem.Addr) pmem.Addr {
-		return funcds.StackAt(s.heap, cur).Push(val).Addr()
+	b.add(st, func(s *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
+		return funcds.StackAt(s.heap, cur).WithEdit(ed).Push(val).Addr()
 	})
 }
 
 // QueueEnqueue queues appending val at the tail of q.
 func (b *Batch) QueueEnqueue(q *Queue, val uint64) {
-	b.add(q, func(s *Store, cur pmem.Addr) pmem.Addr {
-		return funcds.QueueAt(s.heap, cur).Push(val).Addr()
+	b.add(q, func(s *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
+		return funcds.QueueAt(s.heap, cur).WithEdit(ed).Push(val).Addr()
 	})
 }
 
@@ -305,7 +309,13 @@ func (s *Store) commitBatch(ops []batchOp) {
 
 	s.BeginFASE()
 	// Apply: build each root's shadow chain on its current committed
-	// version. Shadows flush unordered as they are built.
+	// version, inside one edit context shared by the whole batch. The
+	// first operation on a root copies its path; subsequent operations
+	// mutate the edit-owned shadow in place (apply returns cur), so an
+	// N-op batch copies each path node at most once and intermediate
+	// shadows are rare. Flushes are deferred into the edit and swept just
+	// before the batch's ordering point.
+	ed := s.heap.BeginEdit()
 	type rootChange struct {
 		slot       int
 		old, final pmem.Addr
@@ -317,9 +327,9 @@ func (s *Store) commitBatch(ops []batchOp) {
 		old := s.heap.Root(slot)
 		cur := old
 		for _, op := range perSlot[slot] {
-			next := op.apply(s, cur)
+			next := op.apply(s, ed, cur)
 			if next == cur {
-				continue // no-op update (e.g. delete of an absent key)
+				continue // no-op or in-place update on the owned shadow
 			}
 			if cur != old {
 				releases = append(releases, cur) // intermediate shadow
@@ -332,6 +342,7 @@ func (s *Store) commitBatch(ops []batchOp) {
 			releases = append(releases, old)
 		}
 	}
+	ed.Seal() // coalesced flush sweep, ahead of the publish fence
 
 	// Publish: one root changed needs only the atomic pointer swap after
 	// the shared fence; several changed go through the batch record.

@@ -141,7 +141,9 @@ func (m *Map) Set(key, val []byte) bool {
 	mu := m.st.beginUpdate(m)
 	defer mu.Unlock()
 	m.st.BeginFASE()
-	shadow, replaced := m.writable().Set(key, val)
+	ed := m.st.heap.BeginEdit()
+	shadow, replaced := m.writable().WithEdit(ed).Set(key, val)
+	ed.Seal()
 	m.st.commitSingleLocked(m, []Version{shadow})
 	m.st.EndFASE()
 	return replaced
@@ -152,7 +154,9 @@ func (m *Map) Delete(key []byte) bool {
 	mu := m.st.beginUpdate(m)
 	defer mu.Unlock()
 	m.st.BeginFASE()
-	shadow, removed := m.writable().Delete(key)
+	ed := m.st.heap.BeginEdit()
+	shadow, removed := m.writable().WithEdit(ed).Delete(key)
+	ed.Seal()
 	if removed {
 		m.st.commitSingleLocked(m, []Version{shadow})
 	}
@@ -241,7 +245,9 @@ func (s *Set) Insert(key []byte) bool {
 	mu := s.st.beginUpdate(s)
 	defer mu.Unlock()
 	s.st.BeginFASE()
-	shadow, existed := s.writable().Insert(key)
+	ed := s.st.heap.BeginEdit()
+	shadow, existed := s.writable().WithEdit(ed).Insert(key)
+	ed.Seal()
 	s.st.commitSingleLocked(s, []Version{shadow})
 	s.st.EndFASE()
 	return existed
@@ -252,7 +258,9 @@ func (s *Set) Delete(key []byte) bool {
 	mu := s.st.beginUpdate(s)
 	defer mu.Unlock()
 	s.st.BeginFASE()
-	shadow, removed := s.writable().Delete(key)
+	ed := s.st.heap.BeginEdit()
+	shadow, removed := s.writable().WithEdit(ed).Delete(key)
+	ed.Seal()
 	if removed {
 		s.st.commitSingleLocked(s, []Version{shadow})
 	}
@@ -339,7 +347,9 @@ func (v *Vector) Push(val uint64) {
 	mu := v.st.beginUpdate(v)
 	defer mu.Unlock()
 	v.st.BeginFASE()
-	shadow := v.writable().Push(val)
+	ed := v.st.heap.BeginEdit()
+	shadow := v.writable().WithEdit(ed).Push(val)
+	ed.Seal()
 	v.st.commitSingleLocked(v, []Version{shadow})
 	v.st.EndFASE()
 }
@@ -349,7 +359,9 @@ func (v *Vector) Update(i uint64, val uint64) {
 	mu := v.st.beginUpdate(v)
 	defer mu.Unlock()
 	v.st.BeginFASE()
-	shadow := v.writable().Update(i, val)
+	ed := v.st.heap.BeginEdit()
+	shadow := v.writable().WithEdit(ed).Update(i, val)
+	ed.Seal()
 	v.st.commitSingleLocked(v, []Version{shadow})
 	v.st.EndFASE()
 }
@@ -360,10 +372,12 @@ func (v *Vector) Swap(i, j uint64) {
 	mu := v.st.beginUpdate(v)
 	defer mu.Unlock()
 	v.st.BeginFASE()
-	cur := v.writable()
+	ed := v.st.heap.BeginEdit()
+	cur := v.writable().WithEdit(ed)
 	a, b := cur.Get(i), cur.Get(j)
 	s1 := cur.Update(i, b)
-	s2 := s1.Update(j, a)
+	s2 := s1.Update(j, a) // mutates s1's owned nodes in place
+	ed.Seal()
 	v.st.commitSingleLocked(v, []Version{s1, s2})
 	v.st.EndFASE()
 }
@@ -438,7 +452,9 @@ func (s *Stack) Push(val uint64) {
 	mu := s.st.beginUpdate(s)
 	defer mu.Unlock()
 	s.st.BeginFASE()
-	shadow := s.writable().Push(val)
+	ed := s.st.heap.BeginEdit()
+	shadow := s.writable().WithEdit(ed).Push(val)
+	ed.Seal()
 	s.st.commitSingleLocked(s, []Version{shadow})
 	s.st.EndFASE()
 }
@@ -448,7 +464,9 @@ func (s *Stack) Pop() (uint64, bool) {
 	mu := s.st.beginUpdate(s)
 	defer mu.Unlock()
 	s.st.BeginFASE()
-	shadow, val, ok := s.writable().Pop()
+	ed := s.st.heap.BeginEdit()
+	shadow, val, ok := s.writable().WithEdit(ed).Pop()
+	ed.Seal()
 	if ok {
 		s.st.commitSingleLocked(s, []Version{shadow})
 	}
@@ -526,7 +544,9 @@ func (q *Queue) Enqueue(val uint64) {
 	mu := q.st.beginUpdate(q)
 	defer mu.Unlock()
 	q.st.BeginFASE()
-	shadow := q.writable().Push(val)
+	ed := q.st.heap.BeginEdit()
+	shadow := q.writable().WithEdit(ed).Push(val)
+	ed.Seal()
 	q.st.commitSingleLocked(q, []Version{shadow})
 	q.st.EndFASE()
 }
@@ -536,7 +556,9 @@ func (q *Queue) Dequeue() (uint64, bool) {
 	mu := q.st.beginUpdate(q)
 	defer mu.Unlock()
 	q.st.BeginFASE()
-	shadow, val, ok := q.writable().Pop()
+	ed := q.st.heap.BeginEdit()
+	shadow, val, ok := q.writable().WithEdit(ed).Pop()
+	ed.Seal()
 	if ok {
 		q.st.commitSingleLocked(q, []Version{shadow})
 	}

@@ -71,7 +71,9 @@ func newParentBlock(h *alloc.Heap, fields []pmem.Addr) pmem.Addr {
 	for i, f := range fields {
 		dev.WriteU64(a+8+pmem.Addr(i*8), uint64(f))
 	}
-	dev.FlushRange(a-8, size+8)
+	// The block header's line was flushed by Alloc; [a, size) re-covers it
+	// only when payload and header share a line (i.e. when it was re-dirtied).
+	dev.FlushRange(a, size)
 	return a
 }
 

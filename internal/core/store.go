@@ -362,10 +362,30 @@ func (s *Store) commitSingleLocked(ds Datastructure, shadows []Version) {
 	old := ds.currentAddr()
 	final := shadows[len(shadows)-1].Addr()
 	s.commitRoot(loc.slot, old, final)
-	for _, sh := range shadows[:len(shadows)-1] {
-		s.heap.Release(sh.Addr())
-	}
+	s.releaseIntermediates(shadows, final)
 	ds.adopt(final)
+}
+
+// releaseIntermediates retires the non-final shadows of a chain. Under an
+// edit context successive operations mutate one owned version in place,
+// so the chain repeats a single address: dedupe, and never release the
+// published final version.
+func (s *Store) releaseIntermediates(shadows []Version, final pmem.Addr) {
+	var seen []pmem.Addr
+outer:
+	for _, sh := range shadows[:len(shadows)-1] {
+		a := sh.Addr()
+		if a == final {
+			continue
+		}
+		for _, b := range seen {
+			if a == b {
+				continue outer
+			}
+		}
+		seen = append(seen, a)
+		s.heap.Release(a)
+	}
 }
 
 // Update pairs a datastructure with the shadow chain to install, for
@@ -424,9 +444,7 @@ func (s *Store) commitSiblingsLocked(p *Parent, updates []Update) {
 	s.commitEnd()
 	s.heap.Release(oldParent) // cascades into replaced field versions
 	for _, u := range updates {
-		for _, sh := range u.Shadows[:len(u.Shadows)-1] {
-			s.heap.Release(sh.Addr())
-		}
+		s.releaseIntermediates(u.Shadows, u.final())
 	}
 	p.adopt(shadow)
 	for _, u := range updates {
@@ -484,9 +502,7 @@ func (s *Store) CommitUnrelated(updates ...Update) {
 	s.commitEnd()
 	for _, u := range updates {
 		s.heap.Release(u.DS.currentAddr())
-		for _, sh := range u.Shadows[:len(u.Shadows)-1] {
-			s.heap.Release(sh.Addr())
-		}
+		s.releaseIntermediates(u.Shadows, u.final())
 	}
 	for _, u := range updates {
 		u.DS.adopt(u.final())

@@ -27,6 +27,7 @@ import (
 type Map struct {
 	h    *alloc.Heap
 	addr pmem.Addr
+	ed   *alloc.Edit
 }
 
 const (
@@ -43,12 +44,15 @@ func NewMap(h *alloc.Heap) Map {
 	a := h.Alloc(mapHdrSize, TagMapHdr)
 	dev := h.Device()
 	dev.Zero(a, mapHdrSize)
-	dev.FlushRange(a-8, mapHdrSize+8)
+	dev.FlushRange(a, mapHdrSize)
 	return Map{h: h, addr: a}
 }
 
 // MapAt adopts an existing map header, e.g. after recovery.
 func MapAt(h *alloc.Heap, addr pmem.Addr) Map { return Map{h: h, addr: addr} }
+
+// WithEdit binds the version to a per-FASE edit context (DESIGN.md §8).
+func (m Map) WithEdit(ed *alloc.Edit) Map { return Map{h: m.h, addr: m.addr, ed: ed} }
 
 // Addr returns the header address of this version.
 func (m Map) Addr() pmem.Addr { return m.addr }
@@ -61,13 +65,37 @@ func (m Map) Len() uint64 { return m.h.Device().ReadU64(m.addr) }
 
 func (m Map) root() pmem.Addr { return pmem.Addr(m.h.Device().ReadU64(m.addr + 8)) }
 
-func newMapHdr(h *alloc.Heap, count uint64, root pmem.Addr) pmem.Addr {
-	a := h.Alloc(mapHdrSize, TagMapHdr)
+func newMapHdr(h *alloc.Heap, ed *alloc.Edit, count uint64, root pmem.Addr) pmem.Addr {
+	a := nodeAlloc(h, ed, mapHdrSize, TagMapHdr)
 	dev := h.Device()
 	dev.WriteU64(a, count)
 	dev.WriteU64(a+8, uint64(root))
-	dev.FlushRange(a-8, mapHdrSize+8)
+	flushNode(h, ed, a, mapHdrSize)
 	return a
+}
+
+// setHdr produces a map header with the given count and root: an in-place
+// rewrite when the receiver's header is edit-owned (releasing its
+// reference to a displaced old root), a fresh header otherwise. The new
+// root's reference transfers in.
+func (m Map) setHdr(count uint64, newRoot, oldRoot pmem.Addr) Map {
+	if m.ed.Owns(m.addr) {
+		dev := m.h.Device()
+		dev.WriteU64(m.addr, count)
+		dev.WriteU64(m.addr+8, uint64(newRoot))
+		recordEdit(m.ed, m.addr, mapHdrSize)
+		if newRoot != oldRoot {
+			m.h.Release(oldRoot)
+		}
+		return m
+	}
+	if newRoot == oldRoot && newRoot != pmem.Nil {
+		// Deep in-place update left the root pointer unchanged; the new
+		// header is a second parent.
+		m.h.Retain(newRoot)
+	}
+	hdr := newMapHdr(m.h, m.ed, count, newRoot)
+	return Map{h: m.h, addr: hdr, ed: m.ed}
 }
 
 // readMapNode loads a trie node into volatile form with bulk accesses.
@@ -99,9 +127,9 @@ func readMapNode(h *alloc.Heap, a pmem.Addr) (dataMap, nodeMap uint32, entries [
 
 // buildMapNode allocates, writes, and flushes a trie node. Reference
 // transfers are the caller's responsibility.
-func buildMapNode(h *alloc.Heap, dataMap, nodeMap uint32, entries []mapEntry, children []pmem.Addr) pmem.Addr {
+func buildMapNode(h *alloc.Heap, ed *alloc.Edit, dataMap, nodeMap uint32, entries []mapEntry, children []pmem.Addr) pmem.Addr {
 	size := 8 + len(entries)*16 + len(children)*8
-	a := h.Alloc(size, TagMapNode)
+	a := nodeAlloc(h, ed, size, TagMapNode)
 	buf := make([]byte, size)
 	binary.LittleEndian.PutUint32(buf, dataMap)
 	binary.LittleEndian.PutUint32(buf[4:], nodeMap)
@@ -115,14 +143,14 @@ func buildMapNode(h *alloc.Heap, dataMap, nodeMap uint32, entries []mapEntry, ch
 	}
 	dev := h.Device()
 	dev.Write(a, buf)
-	dev.FlushRange(a-8, size+8)
+	flushNode(h, ed, a, size)
 	return a
 }
 
 // buildCollision allocates, writes, and flushes a collision bucket.
-func buildCollision(h *alloc.Heap, entries []mapEntry) pmem.Addr {
+func buildCollision(h *alloc.Heap, ed *alloc.Edit, entries []mapEntry) pmem.Addr {
 	size := 8 + len(entries)*16
-	a := h.Alloc(size, TagMapCollision)
+	a := nodeAlloc(h, ed, size, TagMapCollision)
 	buf := make([]byte, size)
 	binary.LittleEndian.PutUint32(buf, uint32(len(entries)))
 	for i, e := range entries {
@@ -131,7 +159,7 @@ func buildCollision(h *alloc.Heap, entries []mapEntry) pmem.Addr {
 	}
 	dev := h.Device()
 	dev.Write(a, buf)
-	dev.FlushRange(a-8, size+8)
+	flushNode(h, ed, a, size)
 	return a
 }
 
@@ -227,17 +255,17 @@ func (m Map) Contains(key []byte) bool {
 // Set returns a new version with key bound to val, and whether an existing
 // binding was replaced. Pass a nil val for set semantics (no value blob).
 func (m Map) Set(key, val []byte) (Map, bool) {
-	keyBlob := newBlob(m.h, key)
+	keyBlob := newBlob(m.h, m.ed, key)
 	valBlob := pmem.Nil
 	if val != nil {
-		valBlob = newBlob(m.h, val)
+		valBlob = newBlob(m.h, m.ed, val)
 	}
 	root := m.root()
 	var newRoot pmem.Addr
 	var replaced bool
 	if root == pmem.Nil {
 		hash := hash64(key)
-		newRoot = buildMapNode(m.h, uint32(1)<<(hash&31), 0, []mapEntry{{keyBlob, valBlob}}, nil)
+		newRoot = buildMapNode(m.h, m.ed, uint32(1)<<(hash&31), 0, []mapEntry{{keyBlob, valBlob}}, nil)
 	} else {
 		newRoot, replaced = m.insertRec(root, 0, hash64(key), key, keyBlob, valBlob)
 		if replaced {
@@ -248,8 +276,7 @@ func (m Map) Set(key, val []byte) (Map, bool) {
 	if !replaced {
 		count++
 	}
-	hdr := newMapHdr(m.h, count, newRoot)
-	return Map{h: m.h, addr: hdr}, replaced
+	return m.setHdr(count, newRoot, root), replaced
 }
 
 // insertRec returns a new node with the binding applied. keyBlob/valBlob
@@ -262,17 +289,24 @@ func (m Map) insertRec(node pmem.Addr, shift uint, hash uint64, key []byte, keyB
 		entries := readCollision(h, node)
 		for i, e := range entries {
 			if blobEqual(h, e.key, key) {
+				if m.ed.Owns(node) {
+					off := node + 8 + pmem.Addr(i*16) + 8
+					h.Device().WriteU64(off, uint64(valBlob))
+					recordEdit(m.ed, off, 8)
+					h.Release(e.val)
+					return node, true
+				}
 				out := make([]mapEntry, len(entries))
 				copy(out, entries)
 				out[i] = mapEntry{e.key, valBlob}
 				retainEntries(h, entries, i)
 				h.Retain(e.key) // key survives into the new bucket
-				return buildCollision(h, out), true
+				return buildCollision(h, m.ed, out), true
 			}
 		}
 		out := append(append([]mapEntry{}, entries...), mapEntry{keyBlob, valBlob})
 		retainEntries(h, entries, -1)
-		return buildCollision(h, out), false
+		return buildCollision(h, m.ed, out), false
 	}
 
 	dataMap, nodeMap, entries, children := readMapNode(h, node)
@@ -284,16 +318,26 @@ func (m Map) insertRec(node pmem.Addr, shift uint, hash uint64, key []byte, keyB
 	case dataMap&bit != 0:
 		e := entries[di]
 		if blobEqual(h, e.key, key) {
-			// Replace the value in place (new node, same shape).
+			if m.ed.Owns(node) {
+				// Same shape: a single in-place value-slot write.
+				off := node + 8 + pmem.Addr(di*16) + 8
+				h.Device().WriteU64(off, uint64(valBlob))
+				recordEdit(m.ed, off, 8)
+				h.Release(e.val)
+				return node, true
+			}
+			// Replace the value (new node, same shape).
 			out := make([]mapEntry, len(entries))
 			copy(out, entries)
 			out[di] = mapEntry{e.key, valBlob}
 			retainEntries(h, entries, di)
 			h.Retain(e.key)
 			retainChildren(h, children, -1)
-			return buildMapNode(h, dataMap, nodeMap, out, children), true
+			return buildMapNode(h, m.ed, dataMap, nodeMap, out, children), true
 		}
 		// Hash conflict at this level: push both entries one level down.
+		// The node's shape changes, so an owned node is rebuilt too (its
+		// replacement transfers in via the parent's in-place slot write).
 		exHash := hash64(blobBytes(h, e.key))
 		h.Retain(e.key)
 		if e.val != pmem.Nil {
@@ -309,16 +353,26 @@ func (m Map) insertRec(node pmem.Addr, shift uint, hash uint64, key []byte, keyB
 		outC = append(outC, children[ni:]...)
 		retainEntries(h, entries, di)
 		retainChildren(h, children, -1)
-		return buildMapNode(h, dataMap&^bit, nodeMap|bit, outE, outC), false
+		return buildMapNode(h, m.ed, dataMap&^bit, nodeMap|bit, outE, outC), false
 
 	case nodeMap&bit != 0:
 		newChild, replaced := m.insertRec(children[ni], shift+vecBits, hash, key, keyBlob, valBlob)
+		if newChild == children[ni] {
+			return node, replaced
+		}
+		if m.ed.Owns(node) {
+			off := node + 8 + pmem.Addr(len(entries)*16+ni*8)
+			h.Device().WriteU64(off, uint64(newChild))
+			recordEdit(m.ed, off, 8)
+			h.Release(children[ni])
+			return node, replaced
+		}
 		outC := make([]pmem.Addr, len(children))
 		copy(outC, children)
 		outC[ni] = newChild
 		retainEntries(h, entries, -1)
 		retainChildren(h, children, ni)
-		return buildMapNode(h, dataMap, nodeMap, entries, outC), replaced
+		return buildMapNode(h, m.ed, dataMap, nodeMap, entries, outC), replaced
 
 	default:
 		outE := make([]mapEntry, 0, len(entries)+1)
@@ -327,7 +381,7 @@ func (m Map) insertRec(node pmem.Addr, shift uint, hash uint64, key []byte, keyB
 		outE = append(outE, entries[di:]...)
 		retainEntries(h, entries, -1)
 		retainChildren(h, children, -1)
-		return buildMapNode(h, dataMap|bit, nodeMap, outE, children), false
+		return buildMapNode(h, m.ed, dataMap|bit, nodeMap, outE, children), false
 	}
 }
 
@@ -337,18 +391,18 @@ func (m Map) insertRec(node pmem.Addr, shift uint, hash uint64, key []byte, keyB
 func (m Map) mergeTwo(shift uint, e1 mapEntry, h1 uint64, e2 mapEntry, h2 uint64) pmem.Addr {
 	h := m.h
 	if shift >= collisionShift {
-		return buildCollision(h, []mapEntry{e1, e2})
+		return buildCollision(h, m.ed, []mapEntry{e1, e2})
 	}
 	i1 := uint32((h1 >> shift) & 31)
 	i2 := uint32((h2 >> shift) & 31)
 	if i1 == i2 {
 		sub := m.mergeTwo(shift+vecBits, e1, h1, e2, h2)
-		return buildMapNode(h, 0, uint32(1)<<i1, nil, []pmem.Addr{sub})
+		return buildMapNode(h, m.ed, 0, uint32(1)<<i1, nil, []pmem.Addr{sub})
 	}
 	if i1 < i2 {
-		return buildMapNode(h, uint32(1)<<i1|uint32(1)<<i2, 0, []mapEntry{e1, e2}, nil)
+		return buildMapNode(h, m.ed, uint32(1)<<i1|uint32(1)<<i2, 0, []mapEntry{e1, e2}, nil)
 	}
-	return buildMapNode(h, uint32(1)<<i1|uint32(1)<<i2, 0, []mapEntry{e2, e1}, nil)
+	return buildMapNode(h, m.ed, uint32(1)<<i1|uint32(1)<<i2, 0, []mapEntry{e2, e1}, nil)
 }
 
 // Delete returns a new version without key, and whether the key was
@@ -363,8 +417,7 @@ func (m Map) Delete(key []byte) (Map, bool) {
 	if !removed {
 		return m, false
 	}
-	hdr := newMapHdr(m.h, m.Len()-1, newRoot)
-	return Map{h: m.h, addr: hdr}, true
+	return m.setHdr(m.Len()-1, newRoot, root), true
 }
 
 // deleteRec returns the replacement node (Nil if the subtree became empty)
@@ -384,7 +437,7 @@ func (m Map) deleteRec(node pmem.Addr, shift uint, hash uint64, key []byte) (pme
 				out = append(out, entries[:i]...)
 				out = append(out, entries[i+1:]...)
 				retainEntries(h, entries, i)
-				return buildCollision(h, out), true
+				return buildCollision(h, m.ed, out), true
 			}
 		}
 		return pmem.Nil, false
@@ -408,7 +461,7 @@ func (m Map) deleteRec(node pmem.Addr, shift uint, hash uint64, key []byte) (pme
 		outE = append(outE, entries[di+1:]...)
 		retainEntries(h, entries, di)
 		retainChildren(h, children, -1)
-		return buildMapNode(h, dataMap&^bit, nodeMap, outE, children), true
+		return buildMapNode(h, m.ed, dataMap&^bit, nodeMap, outE, children), true
 
 	case nodeMap&bit != 0:
 		newChild, removed := m.deleteRec(children[ni], shift+vecBits, hash, key)
@@ -424,14 +477,24 @@ func (m Map) deleteRec(node pmem.Addr, shift uint, hash uint64, key []byte) (pme
 			outC = append(outC, children[ni+1:]...)
 			retainEntries(h, entries, -1)
 			retainChildren(h, children, ni)
-			return buildMapNode(h, dataMap, nodeMap&^bit, entries, outC), true
+			return buildMapNode(h, m.ed, dataMap, nodeMap&^bit, entries, outC), true
+		}
+		if newChild == children[ni] {
+			return node, true
+		}
+		if m.ed.Owns(node) {
+			off := node + 8 + pmem.Addr(len(entries)*16+ni*8)
+			h.Device().WriteU64(off, uint64(newChild))
+			recordEdit(m.ed, off, 8)
+			h.Release(children[ni])
+			return node, true
 		}
 		outC := make([]pmem.Addr, len(children))
 		copy(outC, children)
 		outC[ni] = newChild
 		retainEntries(h, entries, -1)
 		retainChildren(h, children, ni)
-		return buildMapNode(h, dataMap, nodeMap, entries, outC), true
+		return buildMapNode(h, m.ed, dataMap, nodeMap, entries, outC), true
 
 	default:
 		return pmem.Nil, false
@@ -518,6 +581,9 @@ func NewSet(h *alloc.Heap) Set { return Set{m: NewMap(h)} }
 
 // SetDSAt adopts an existing set header, e.g. after recovery.
 func SetDSAt(h *alloc.Heap, addr pmem.Addr) Set { return Set{m: MapAt(h, addr)} }
+
+// WithEdit binds the version to a per-FASE edit context (DESIGN.md §8).
+func (s Set) WithEdit(ed *alloc.Edit) Set { return Set{m: s.m.WithEdit(ed)} }
 
 // Addr returns the header address of this version.
 func (s Set) Addr() pmem.Addr { return s.m.Addr() }

@@ -223,17 +223,17 @@ func TestMapCollisionBuckets(t *testing.T) {
 	// whose hashes agree on all trie levels (shift >= collisionShift).
 	h := newTestHeap(t)
 	m := NewMap(h)
-	k1 := newBlob(h, []byte("alpha"))
-	k2 := newBlob(h, []byte("beta"))
-	v1 := newBlob(h, []byte("1"))
-	v2 := newBlob(h, []byte("2"))
+	k1 := newBlob(h, nil, []byte("alpha"))
+	k2 := newBlob(h, nil, []byte("beta"))
+	v1 := newBlob(h, nil, []byte("1"))
+	v2 := newBlob(h, nil, []byte("2"))
 	col := m.mergeTwo(collisionShift, mapEntry{k1, v1}, 0x1234, mapEntry{k2, v2}, 0x1234)
 	if h.Tag(col) != TagMapCollision {
 		t.Fatalf("mergeTwo at max depth built tag %d, want collision", h.Tag(col))
 	}
 	// Insert a third colliding key through insertRec.
-	k3 := newBlob(h, []byte("gamma"))
-	v3 := newBlob(h, []byte("3"))
+	k3 := newBlob(h, nil, []byte("gamma"))
+	v3 := newBlob(h, nil, []byte("3"))
 	col2, replaced := m.insertRec(col, collisionShift, 0x1234, []byte("gamma"), k3, v3)
 	if replaced {
 		t.Fatal("new key reported replaced")
@@ -243,8 +243,8 @@ func TestMapCollisionBuckets(t *testing.T) {
 		t.Fatalf("collision bucket has %d entries, want 3", len(entries))
 	}
 	// Replace within the bucket.
-	v4 := newBlob(h, []byte("4"))
-	k2b := newBlob(h, []byte("beta"))
+	v4 := newBlob(h, nil, []byte("4"))
+	k2b := newBlob(h, nil, []byte("beta"))
 	col3, replaced := m.insertRec(col2, collisionShift, 0x1234, []byte("beta"), k2b, v4)
 	if !replaced {
 		t.Fatal("existing key not reported replaced")
@@ -275,8 +275,8 @@ func TestMapCollisionBuckets(t *testing.T) {
 func TestMapMergeTwoDivergingHashes(t *testing.T) {
 	h := newTestHeap(t)
 	m := NewMap(h)
-	k1 := newBlob(h, []byte("a"))
-	k2 := newBlob(h, []byte("b"))
+	k1 := newBlob(h, nil, []byte("a"))
+	k2 := newBlob(h, nil, []byte("b"))
 	// Hashes differ only at the second level (bits 5-9).
 	h1 := uint64(0b00001_00001)
 	h2 := uint64(0b00010_00001)

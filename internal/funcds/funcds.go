@@ -58,20 +58,55 @@ func RegisterWalkers(h *alloc.Heap) {
 
 func walkNone(*alloc.Heap, pmem.Addr, func(pmem.Addr)) {}
 
+// Edit-context plumbing. Every structure value optionally carries an
+// *alloc.Edit (WithEdit); node constructors allocate through it so the
+// node is edit-owned — mutable in place for the rest of the FASE — and
+// its flushes are deferred into the edit's dedup set. With a nil edit the
+// constructors behave exactly as before: allocate eagerly and flush
+// immediately.
+
+// nodeAlloc allocates a node through the edit when one is active.
+func nodeAlloc(h *alloc.Heap, ed *alloc.Edit, size int, tag uint8) pmem.Addr {
+	if ed != nil {
+		return ed.Alloc(size, tag)
+	}
+	return h.Alloc(size, tag)
+}
+
+// flushNode makes a freshly written node's payload flush-pending: deferred
+// into the edit's dedup set, or issued immediately without an edit. The
+// block header's line is not re-flushed here — Alloc already flushed it
+// (eager path), or the edit recorded it (deferred path); flushing
+// [a, a+size) covers it again only when payload and header share a line,
+// which is exactly when it must be re-flushed after the payload write.
+func flushNode(h *alloc.Heap, ed *alloc.Edit, a pmem.Addr, size int) {
+	if ed != nil {
+		ed.Record(a, size)
+		return
+	}
+	h.Device().FlushRange(a, size)
+}
+
+// recordEdit defers a flush of an in-place mutation on an edit-owned node.
+func recordEdit(ed *alloc.Edit, a pmem.Addr, size int) {
+	ed.Record(a, size)
+	ed.NoteCopyElided()
+}
+
 // Blob layout: [len u32][pad u32][bytes...]. Blobs box variable-length
 // keys and values; they are immutable once flushed.
 const blobHdrSize = 8
 
 // newBlob allocates, writes, and flushes a byte-string box.
-func newBlob(h *alloc.Heap, b []byte) pmem.Addr {
-	a := h.Alloc(blobHdrSize+len(b), TagBlob)
+func newBlob(h *alloc.Heap, ed *alloc.Edit, b []byte) pmem.Addr {
+	a := nodeAlloc(h, ed, blobHdrSize+len(b), TagBlob)
 	dev := h.Device()
 	dev.WriteU32(a, uint32(len(b)))
 	dev.WriteU32(a+4, 0)
 	if len(b) > 0 {
 		dev.Write(a+blobHdrSize, b)
 	}
-	dev.FlushRange(a-8, blobHdrSize+len(b)+8) // include the block header line
+	flushNode(h, ed, a, blobHdrSize+len(b))
 	return a
 }
 

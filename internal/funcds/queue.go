@@ -20,6 +20,7 @@ import (
 type Queue struct {
 	h    *alloc.Heap
 	addr pmem.Addr
+	ed   *alloc.Edit
 }
 
 const queueHdrSize = 32
@@ -29,12 +30,15 @@ func NewQueue(h *alloc.Heap) Queue {
 	a := h.Alloc(queueHdrSize, TagQueueHdr)
 	dev := h.Device()
 	dev.Zero(a, queueHdrSize)
-	dev.FlushRange(a-8, queueHdrSize+8)
+	dev.FlushRange(a, queueHdrSize)
 	return Queue{h: h, addr: a}
 }
 
 // QueueAt adopts an existing queue header, e.g. after recovery.
 func QueueAt(h *alloc.Heap, addr pmem.Addr) Queue { return Queue{h: h, addr: addr} }
+
+// WithEdit binds the version to a per-FASE edit context (DESIGN.md §8).
+func (q Queue) WithEdit(ed *alloc.Edit) Queue { return Queue{h: q.h, addr: q.addr, ed: ed} }
 
 // Addr returns the header address of this version.
 func (q Queue) Addr() pmem.Addr { return q.addr }
@@ -54,24 +58,43 @@ func (q Queue) Len() uint64 {
 	return flen + rlen
 }
 
-func newQueueHdr(h *alloc.Heap, front, rear pmem.Addr, flen, rlen uint64) pmem.Addr {
-	a := h.Alloc(queueHdrSize, TagQueueHdr)
+func newQueueHdr(h *alloc.Heap, ed *alloc.Edit, front, rear pmem.Addr, flen, rlen uint64) pmem.Addr {
+	a := nodeAlloc(h, ed, queueHdrSize, TagQueueHdr)
 	dev := h.Device()
 	dev.WriteU64(a, uint64(front))
 	dev.WriteU64(a+8, uint64(rear))
 	dev.WriteU64(a+16, flen)
 	dev.WriteU64(a+24, rlen)
-	dev.FlushRange(a-8, queueHdrSize+8)
+	flushNode(h, ed, a, queueHdrSize)
 	return a
+}
+
+// hdrInPlace rewrites an edit-owned queue header, releasing the header's
+// references to the displaced old front/rear list heads.
+func (q Queue) hdrInPlace(front, rear pmem.Addr, flen, rlen uint64, release ...pmem.Addr) Queue {
+	dev := q.h.Device()
+	dev.WriteU64(q.addr, uint64(front))
+	dev.WriteU64(q.addr+8, uint64(rear))
+	dev.WriteU64(q.addr+16, flen)
+	dev.WriteU64(q.addr+24, rlen)
+	recordEdit(q.ed, q.addr, queueHdrSize)
+	for _, r := range release {
+		q.h.Release(r)
+	}
+	return q
 }
 
 // Push returns a new version with val appended at the tail.
 func (q Queue) Push(val uint64) Queue {
 	front, rear, flen, rlen := q.fields()
-	node := newListNode(q.h, rear, val) // retains old rear
+	node := newListNode(q.h, q.ed, rear, val) // retains old rear
+	if q.ed.Owns(q.addr) {
+		// The header's reference to the old rear moved into the node.
+		return q.hdrInPlace(front, node, flen, rlen+1, rear)
+	}
 	q.h.Retain(front)
-	hdr := newQueueHdr(q.h, front, node, flen, rlen+1)
-	return Queue{h: q.h, addr: hdr}
+	hdr := newQueueHdr(q.h, q.ed, front, node, flen, rlen+1)
+	return Queue{h: q.h, addr: hdr, ed: q.ed}
 }
 
 // Pop returns a new version without the head element, the element, and
@@ -86,9 +109,12 @@ func (q Queue) Pop() (Queue, uint64, bool) {
 		next := pmem.Addr(dev.ReadU64(front))
 		val := dev.ReadU64(front + 8)
 		q.h.Retain(next)
+		if q.ed.Owns(q.addr) {
+			return q.hdrInPlace(next, rear, flen-1, rlen, front), val, true
+		}
 		q.h.Retain(rear)
-		hdr := newQueueHdr(q.h, next, rear, flen-1, rlen)
-		return Queue{h: q.h, addr: hdr}, val, true
+		hdr := newQueueHdr(q.h, q.ed, next, rear, flen-1, rlen)
+		return Queue{h: q.h, addr: hdr, ed: q.ed}, val, true
 	}
 	// Front exhausted: reverse the rear list into a new front list,
 	// excluding the oldest node, whose value is the pop result. The new
@@ -100,7 +126,7 @@ func (q Queue) Pop() (Queue, uint64, bool) {
 		if next == pmem.Nil {
 			break // cur is the oldest element
 		}
-		newFront = newListNode(q.h, newFront, dev.ReadU64(cur+8))
+		newFront = newListNode(q.h, q.ed, newFront, dev.ReadU64(cur+8))
 		// newListNode retained newFront; drop the extra reference so the
 		// chain is singly owned by its successor.
 		if prev := pmem.Addr(dev.ReadU64(newFront)); prev != pmem.Nil {
@@ -109,8 +135,13 @@ func (q Queue) Pop() (Queue, uint64, bool) {
 		cur = next
 	}
 	val := dev.ReadU64(cur + 8)
-	hdr := newQueueHdr(q.h, newFront, pmem.Nil, rlen-1, 0)
-	return Queue{h: q.h, addr: hdr}, val, true
+	if q.ed.Owns(q.addr) {
+		// The new front transfers in; the header's reference to the old
+		// rear chain drops (its values live on in the new front).
+		return q.hdrInPlace(newFront, pmem.Nil, rlen-1, 0, rear), val, true
+	}
+	hdr := newQueueHdr(q.h, q.ed, newFront, pmem.Nil, rlen-1, 0)
+	return Queue{h: q.h, addr: hdr, ed: q.ed}, val, true
 }
 
 // Peek returns the head element without modifying the queue.

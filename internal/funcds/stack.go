@@ -16,6 +16,7 @@ import (
 type Stack struct {
 	h    *alloc.Heap
 	addr pmem.Addr
+	ed   *alloc.Edit
 }
 
 const (
@@ -29,12 +30,15 @@ func NewStack(h *alloc.Heap) Stack {
 	dev := h.Device()
 	dev.WriteU64(a, 0)
 	dev.WriteU64(a+8, 0)
-	dev.FlushRange(a-8, stackHdrSize+8)
+	dev.FlushRange(a, stackHdrSize)
 	return Stack{h: h, addr: a}
 }
 
 // StackAt adopts an existing stack header, e.g. after recovery.
 func StackAt(h *alloc.Heap, addr pmem.Addr) Stack { return Stack{h: h, addr: addr} }
+
+// WithEdit binds the version to a per-FASE edit context (DESIGN.md §8).
+func (s Stack) WithEdit(ed *alloc.Edit) Stack { return Stack{h: s.h, addr: s.addr, ed: ed} }
 
 // Addr returns the header address of this version.
 func (s Stack) Addr() pmem.Addr { return s.addr }
@@ -49,32 +53,51 @@ func (s Stack) head() pmem.Addr { return pmem.Addr(s.h.Device().ReadU64(s.addr))
 
 // newListNode allocates and flushes a cons cell. The next pointer must
 // already be owned by the caller (this function retains it).
-func newListNode(h *alloc.Heap, next pmem.Addr, val uint64) pmem.Addr {
-	a := h.Alloc(listNodeSize, TagListNode)
+func newListNode(h *alloc.Heap, ed *alloc.Edit, next pmem.Addr, val uint64) pmem.Addr {
+	a := nodeAlloc(h, ed, listNodeSize, TagListNode)
 	dev := h.Device()
 	dev.WriteU64(a, uint64(next))
 	dev.WriteU64(a+8, val)
-	dev.FlushRange(a-8, listNodeSize+8)
+	flushNode(h, ed, a, listNodeSize)
 	h.Retain(next)
 	return a
 }
 
-func newStackHdr(h *alloc.Heap, head pmem.Addr, n uint64) pmem.Addr {
-	a := h.Alloc(stackHdrSize, TagStackHdr)
+func newStackHdr(h *alloc.Heap, ed *alloc.Edit, head pmem.Addr, n uint64) pmem.Addr {
+	a := nodeAlloc(h, ed, stackHdrSize, TagStackHdr)
 	dev := h.Device()
 	dev.WriteU64(a, uint64(head))
 	dev.WriteU64(a+8, n)
-	dev.FlushRange(a-8, stackHdrSize+8)
+	flushNode(h, ed, a, stackHdrSize)
 	return a
+}
+
+// setHdr produces a stack header pointing at head (reference transfers
+// in): an in-place mutation when the receiver's header is edit-owned —
+// releasing the header's reference to the displaced old head — or a
+// fresh header otherwise.
+func (s Stack) setHdr(head, oldHead pmem.Addr, n uint64) Stack {
+	if s.ed.Owns(s.addr) {
+		dev := s.h.Device()
+		dev.WriteU64(s.addr, uint64(head))
+		dev.WriteU64(s.addr+8, n)
+		recordEdit(s.ed, s.addr, stackHdrSize)
+		s.h.Release(oldHead)
+		return s
+	}
+	hdr := newStackHdr(s.h, s.ed, head, n)
+	return Stack{h: s.h, addr: hdr, ed: s.ed}
 }
 
 // Push returns a new version with val on top. The node and header writes
 // are flushed with no ordering point.
 func (s Stack) Push(val uint64) Stack {
-	node := newListNode(s.h, s.head(), val)
-	hdr := newStackHdr(s.h, node, s.Len()+1)
-	// The header owns the node: transfer the constructor's reference.
-	return Stack{h: s.h, addr: hdr}
+	head := s.head()
+	node := newListNode(s.h, s.ed, head, val)
+	// The header owns the node: transfer the constructor's reference. In
+	// the in-place case the header's reference to the old head moved into
+	// the node (which retained it), so the header's own reference drops.
+	return s.setHdr(node, head, s.Len()+1)
 }
 
 // Pop returns a new version without the top element, the element, and
@@ -89,8 +112,7 @@ func (s Stack) Pop() (Stack, uint64, bool) {
 	next := pmem.Addr(dev.ReadU64(head))
 	val := dev.ReadU64(head + 8)
 	s.h.Retain(next)
-	hdr := newStackHdr(s.h, next, s.Len()-1)
-	return Stack{h: s.h, addr: hdr}, val, true
+	return s.setHdr(next, head, s.Len()-1), val, true
 }
 
 // Peek returns the top element without modifying the stack.

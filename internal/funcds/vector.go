@@ -9,46 +9,74 @@ import (
 )
 
 // Vector is a purely functional vector of 8-byte elements implemented as a
-// 32-way bit-partitioned trie, the "broad but not deep" tree of §4.2 that
-// avoids the bubbling-up-of-writes problem of conventional shadow paging.
-// (The paper uses RRB trees; none of the evaluated operations — push_back,
-// update, swap — need RRB's relaxed concatenation nodes, so this is the
-// classic radix-balanced structure. See DESIGN.md §1.)
+// 32-way bit-partitioned trie with a Clojure-style tail buffer, the "broad
+// but not deep" tree of §4.2 that avoids the bubbling-up-of-writes problem
+// of conventional shadow paging. (The paper uses RRB trees; none of the
+// evaluated operations — push_back, update, swap — need RRB's relaxed
+// concatenation nodes, so this is the classic radix-balanced structure.
+// See DESIGN.md §1.)
 //
-// An update path-copies the O(log32 n) nodes between root and leaf. This
-// is precisely why the paper's Fig. 9 shows MOD losing to PMDK's flat
-// array on vector workloads: ~4 × 256-byte nodes are written and flushed
-// per 8-byte element update.
+// The tail buffer holds the last 1–32 elements outside the trie, so an
+// append copies one leaf and one header instead of path-copying the whole
+// spine; the tail is pushed into the trie only when it fills (once per 32
+// appends). Under an edit context (DESIGN.md §8) an append into an
+// edit-owned tail mutates it in place: a run of appends inside one FASE
+// costs one flush per tail fill.
+//
+// An update path-copies the O(log32 n) nodes between root and leaf (or
+// just the tail leaf). This is why the paper's Fig. 9 shows MOD losing to
+// PMDK's flat array on vector workloads: several 256-byte nodes are
+// written and flushed per 8-byte element update.
 //
 // Layout:
 //
-//	header (TagVecHdr):  [count u64][shift u32][pad u32][root u64]
+//	header (TagVecHdr):  [count u64][shift u32][pad u32][root u64][tail u64]
 //	node   (TagVecNode): 32 × [child u64]
 //	leaf   (TagVecLeaf): 32 × [value u64]
+//
+// Invariants: elements [0, tailOffset) live in the trie (all leaves
+// full), elements [tailOffset, count) in the tail leaf; count > 0 implies
+// a non-nil tail holding 1–32 elements; root is Nil while tailOffset is
+// 0, and is a single leaf (shift 0) while tailOffset is 32.
 type Vector struct {
 	h    *alloc.Heap
 	addr pmem.Addr
+	ed   *alloc.Edit
 }
 
 const (
 	vecBits     = 5
 	vecWidth    = 1 << vecBits // 32
 	vecMask     = vecWidth - 1
-	vecHdrSize  = 24
+	vecHdrSize  = 32
 	vecNodeSize = vecWidth * 8
 )
+
+// tailOffset returns the index of the first tail element: the largest
+// multiple of 32 strictly below count (0 when count <= 32).
+func tailOffset(count uint64) uint64 {
+	if count <= vecWidth {
+		return 0
+	}
+	return ((count - 1) >> vecBits) << vecBits
+}
 
 // NewVector allocates an empty durable vector (flushed, not fenced).
 func NewVector(h *alloc.Heap) Vector {
 	a := h.Alloc(vecHdrSize, TagVecHdr)
 	dev := h.Device()
 	dev.Zero(a, vecHdrSize)
-	dev.FlushRange(a-8, vecHdrSize+8)
+	dev.FlushRange(a, vecHdrSize)
 	return Vector{h: h, addr: a}
 }
 
 // VectorAt adopts an existing vector header, e.g. after recovery.
 func VectorAt(h *alloc.Heap, addr pmem.Addr) Vector { return Vector{h: h, addr: addr} }
+
+// WithEdit binds the version to a per-FASE edit context: nodes the edit
+// allocates are mutated in place by subsequent operations on the returned
+// value and its successors, and their flushes are deferred to Edit.Seal.
+func (v Vector) WithEdit(ed *alloc.Edit) Vector { return Vector{h: v.h, addr: v.addr, ed: ed} }
 
 // Addr returns the header address of this version.
 func (v Vector) Addr() pmem.Addr { return v.addr }
@@ -56,35 +84,57 @@ func (v Vector) Addr() pmem.Addr { return v.addr }
 // Heap returns the owning heap.
 func (v Vector) Heap() *alloc.Heap { return v.h }
 
-func (v Vector) fields() (count uint64, shift uint32, root pmem.Addr) {
+func (v Vector) fields() (count uint64, shift uint32, root, tail pmem.Addr) {
 	dev := v.h.Device()
-	return dev.ReadU64(v.addr), dev.ReadU32(v.addr + 8), pmem.Addr(dev.ReadU64(v.addr + 16))
+	return dev.ReadU64(v.addr), dev.ReadU32(v.addr + 8),
+		pmem.Addr(dev.ReadU64(v.addr + 16)), pmem.Addr(dev.ReadU64(v.addr + 24))
 }
 
 // Len returns the number of elements.
-func (v Vector) Len() uint64 {
-	count, _, _ := v.fields()
-	return count
-}
+func (v Vector) Len() uint64 { return v.h.Device().ReadU64(v.addr) }
 
-func newVecHdr(h *alloc.Heap, count uint64, shift uint32, root pmem.Addr) pmem.Addr {
-	a := h.Alloc(vecHdrSize, TagVecHdr)
+// newVecHdr allocates a header; root and tail references transfer in.
+func newVecHdr(h *alloc.Heap, ed *alloc.Edit, count uint64, shift uint32, root, tail pmem.Addr) pmem.Addr {
+	a := nodeAlloc(h, ed, vecHdrSize, TagVecHdr)
 	dev := h.Device()
 	dev.WriteU64(a, count)
 	dev.WriteU32(a+8, shift)
 	dev.WriteU32(a+12, 0)
 	dev.WriteU64(a+16, uint64(root))
-	dev.FlushRange(a-8, vecHdrSize+8)
+	dev.WriteU64(a+24, uint64(tail))
+	flushNode(h, ed, a, vecHdrSize)
 	return a
+}
+
+// setHdr produces a header with the given fields: in place when the
+// receiver's header is edit-owned, otherwise as a fresh allocation whose
+// unchanged children the caller has retained. Changed-child references
+// transfer in; in the in-place case the header's references to replaced
+// children are released via the release list.
+func (v Vector) setHdr(count uint64, shift uint32, root, tail pmem.Addr, release ...pmem.Addr) Vector {
+	if v.ed.Owns(v.addr) {
+		dev := v.h.Device()
+		dev.WriteU64(v.addr, count)
+		dev.WriteU32(v.addr+8, shift)
+		dev.WriteU64(v.addr+16, uint64(root))
+		dev.WriteU64(v.addr+24, uint64(tail))
+		recordEdit(v.ed, v.addr, vecHdrSize)
+		for _, r := range release {
+			v.h.Release(r)
+		}
+		return v
+	}
+	hdr := newVecHdr(v.h, v.ed, count, shift, root, tail)
+	return Vector{h: v.h, addr: hdr, ed: v.ed}
 }
 
 // newVecLeaf allocates a leaf containing the values in vals; the remaining
 // slots are zeroed (they are never read, but zeroing keeps durable images
 // deterministic for crash tests).
-func newVecLeaf(h *alloc.Heap, vals []uint64) pmem.Addr {
+func newVecLeaf(h *alloc.Heap, ed *alloc.Edit, vals []uint64) pmem.Addr {
 	var slots [vecWidth]uint64
 	copy(slots[:], vals)
-	return writeNode(h, TagVecLeaf, slots)
+	return writeNode(h, ed, TagVecLeaf, slots)
 }
 
 // readNode reads all 32 slots of a node or leaf with one bulk access.
@@ -99,22 +149,22 @@ func readNode(h *alloc.Heap, a pmem.Addr) [vecWidth]uint64 {
 }
 
 // writeNode allocates a node/leaf with the given slots and flushes it.
-func writeNode(h *alloc.Heap, tag uint8, slots [vecWidth]uint64) pmem.Addr {
-	a := h.Alloc(vecNodeSize, tag)
+func writeNode(h *alloc.Heap, ed *alloc.Edit, tag uint8, slots [vecWidth]uint64) pmem.Addr {
+	a := nodeAlloc(h, ed, vecNodeSize, tag)
 	var buf [vecNodeSize]byte
 	for i := 0; i < vecWidth; i++ {
 		binary.LittleEndian.PutUint64(buf[i*8:], slots[i])
 	}
 	dev := h.Device()
 	dev.Write(a, buf[:])
-	dev.FlushRange(a-8, vecNodeSize+8)
+	flushNode(h, ed, a, vecNodeSize)
 	return a
 }
 
 // copyNodeReplace clones an internal node, replacing slot idx with child.
 // All other non-nil children are retained (they gain a parent). The new
 // child's reference is transferred from the caller.
-func copyNodeReplace(h *alloc.Heap, node pmem.Addr, idx int, child pmem.Addr) pmem.Addr {
+func copyNodeReplace(h *alloc.Heap, ed *alloc.Edit, node pmem.Addr, idx int, child pmem.Addr) pmem.Addr {
 	slots := readNode(h, node)
 	for i, c := range slots {
 		if i != idx && c != 0 {
@@ -122,16 +172,34 @@ func copyNodeReplace(h *alloc.Heap, node pmem.Addr, idx int, child pmem.Addr) pm
 		}
 	}
 	slots[idx] = uint64(child)
-	return writeNode(h, TagVecNode, slots)
+	return writeNode(h, ed, TagVecNode, slots)
+}
+
+// replaceChild installs child at slot idx of node: a single in-place slot
+// write when node is edit-owned (releasing the header-held reference to
+// the displaced old child, if any), a path copy otherwise.
+func (v Vector) replaceChild(node pmem.Addr, idx int, child, old pmem.Addr) pmem.Addr {
+	if v.ed.Owns(node) {
+		v.h.Device().WriteU64(node+pmem.Addr(idx*8), uint64(child))
+		recordEdit(v.ed, node+pmem.Addr(idx*8), 8)
+		if old != pmem.Nil {
+			v.h.Release(old)
+		}
+		return node
+	}
+	return copyNodeReplace(v.h, v.ed, node, idx, child)
 }
 
 // Get returns the element at index i.
 func (v Vector) Get(i uint64) uint64 {
-	count, shift, root := v.fields()
+	count, shift, root, tail := v.fields()
 	if i >= count {
 		panic(fmt.Sprintf("funcds: vector index %d out of range (len %d)", i, count))
 	}
 	dev := v.h.Device()
+	if i >= tailOffset(count) {
+		return dev.ReadU64(tail + pmem.Addr((i&vecMask)*8))
+	}
 	node := root
 	for s := shift; s > 0; s -= vecBits {
 		node = pmem.Addr(dev.ReadU64(node + pmem.Addr(((i>>s)&vecMask)*8)))
@@ -139,81 +207,179 @@ func (v Vector) Get(i uint64) uint64 {
 	return dev.ReadU64(node + pmem.Addr((i&vecMask)*8))
 }
 
-// Update returns a new version with element i replaced by val, path-
-// copying one node per level.
+// Update returns a new version with element i replaced by val, copying
+// the tail leaf or path-copying one trie node per level — or mutating in
+// place where the edit context owns the nodes.
 func (v Vector) Update(i uint64, val uint64) Vector {
-	count, shift, root := v.fields()
+	count, shift, root, tail := v.fields()
 	if i >= count {
 		panic(fmt.Sprintf("funcds: vector update index %d out of range (len %d)", i, count))
 	}
+	if i >= tailOffset(count) {
+		if v.ed.Owns(tail) {
+			v.h.Device().WriteU64(tail+pmem.Addr((i&vecMask)*8), val)
+			recordEdit(v.ed, tail+pmem.Addr((i&vecMask)*8), 8)
+			return v
+		}
+		slots := readNode(v.h, tail)
+		slots[i&vecMask] = val
+		newTail := writeNode(v.h, v.ed, TagVecLeaf, slots)
+		if !v.ed.Owns(v.addr) && root != pmem.Nil {
+			v.h.Retain(root)
+		}
+		return v.setHdr(count, shift, root, newTail, tail)
+	}
 	newRoot := v.assoc(root, shift, i, val)
-	hdr := newVecHdr(v.h, count, shift, newRoot)
-	return Vector{h: v.h, addr: hdr}
+	if newRoot == root {
+		return v
+	}
+	if !v.ed.Owns(v.addr) {
+		v.h.Retain(tail)
+	}
+	return v.setHdr(count, shift, newRoot, tail, root)
 }
 
 func (v Vector) assoc(node pmem.Addr, shift uint32, i uint64, val uint64) pmem.Addr {
 	if shift == 0 {
+		if v.ed.Owns(node) {
+			v.h.Device().WriteU64(node+pmem.Addr((i&vecMask)*8), val)
+			recordEdit(v.ed, node+pmem.Addr((i&vecMask)*8), 8)
+			return node
+		}
 		slots := readNode(v.h, node)
 		slots[i&vecMask] = val
-		return writeNode(v.h, TagVecLeaf, slots)
+		return writeNode(v.h, v.ed, TagVecLeaf, slots)
 	}
 	idx := int((i >> shift) & vecMask)
 	child := pmem.Addr(v.h.Device().ReadU64(node + pmem.Addr(idx*8)))
 	newChild := v.assoc(child, shift-vecBits, i, val)
-	return copyNodeReplace(v.h, node, idx, newChild)
+	if newChild == child {
+		return node
+	}
+	return v.replaceChild(node, idx, newChild, child)
 }
 
-// Push returns a new version with val appended.
+// Push returns a new version with val appended. The tail absorbs the
+// append (one leaf copy, or an in-place slot write when edit-owned); a
+// full tail is first pushed into the trie, which is the only path-copying
+// case — once per 32 appends.
 func (v Vector) Push(val uint64) Vector {
-	count, shift, root := v.fields()
+	count, shift, root, tail := v.fields()
+	if count == 0 {
+		newTail := newVecLeaf(v.h, v.ed, []uint64{val})
+		return v.setHdr(1, 0, pmem.Nil, newTail)
+	}
+	tailLen := count - tailOffset(count)
+	if tailLen < vecWidth {
+		if v.ed.Owns(tail) {
+			dev := v.h.Device()
+			dev.WriteU64(tail+pmem.Addr(tailLen*8), val)
+			recordEdit(v.ed, tail+pmem.Addr(tailLen*8), 8)
+			if v.ed.Owns(v.addr) {
+				dev.WriteU64(v.addr, count+1)
+				recordEdit(v.ed, v.addr, 8)
+				return v
+			}
+			if root != pmem.Nil {
+				v.h.Retain(root)
+			}
+			v.h.Retain(tail)
+			return v.setHdr(count+1, shift, root, tail)
+		}
+		slots := readNode(v.h, tail)
+		slots[tailLen] = val
+		newTail := writeNode(v.h, v.ed, TagVecLeaf, slots)
+		if !v.ed.Owns(v.addr) && root != pmem.Nil {
+			v.h.Retain(root)
+		}
+		return v.setHdr(count+1, shift, root, newTail, tail)
+	}
+
+	// Tail is full: push it into the trie and start a fresh tail. For an
+	// owned header the tail reference transfers from the tail field into
+	// the trie; otherwise the old header keeps its reference and the trie
+	// becomes a second parent.
+	to := tailOffset(count) // index the full tail's elements start at
+	newTail := newVecLeaf(v.h, v.ed, []uint64{val})
+	hdrOwned := v.ed.Owns(v.addr)
+	if !hdrOwned {
+		v.h.Retain(tail)
+	}
 	var newRoot pmem.Addr
 	newShift := shift
 	switch {
-	case count == 0:
-		newRoot = newVecLeaf(v.h, []uint64{val})
-	case count == uint64(vecWidth)<<shift:
-		// Root is full: grow a level. The old root keeps one reference
-		// from the old header and gains one from the new node.
-		v.h.Retain(root)
+	case root == pmem.Nil:
+		// First fill: the tail leaf becomes the trie.
+		newRoot = tail
+	case to == uint64(vecWidth)<<shift:
+		// Trie is full: grow a level. The old root's reference transfers
+		// into the new node for an owned header (whose root field will be
+		// overwritten); otherwise the node gains a reference and the old
+		// header keeps its own.
+		if !hdrOwned {
+			v.h.Retain(root)
+		}
 		var slots [vecWidth]uint64
 		slots[0] = uint64(root)
-		slots[1] = uint64(v.newPath(shift, val))
-		newRoot = writeNode(v.h, TagVecNode, slots)
+		slots[1] = uint64(v.wrapLeaf(shift, tail))
+		newRoot = writeNode(v.h, v.ed, TagVecNode, slots)
 		newShift = shift + vecBits
 	default:
-		newRoot = v.pushRec(root, shift, count, val)
+		newRoot = v.pushLeaf(root, shift, to, tail)
 	}
-	hdr := newVecHdr(v.h, count+1, newShift, newRoot)
-	return Vector{h: v.h, addr: hdr}
+	if hdrOwned {
+		dev := v.h.Device()
+		dev.WriteU64(v.addr, count+1)
+		dev.WriteU32(v.addr+8, newShift)
+		dev.WriteU64(v.addr+16, uint64(newRoot))
+		dev.WriteU64(v.addr+24, uint64(newTail))
+		recordEdit(v.ed, v.addr, vecHdrSize)
+		if root != pmem.Nil && newRoot != root && to != uint64(vecWidth)<<shift {
+			// pushLeaf path-copied the root: the header's reference to the
+			// old root is dropped (the grow case transferred it instead).
+			v.h.Release(root)
+		}
+		return v
+	}
+	if root != pmem.Nil && newRoot == root {
+		// In-place pushLeaf deep in the trie left the root pointer
+		// unchanged; the new header is a second parent.
+		v.h.Retain(root)
+	}
+	return v.setHdr(count+1, newShift, newRoot, newTail)
 }
 
-// newPath builds a chain of singleton nodes of the given depth ending in a
-// one-element leaf.
-func (v Vector) newPath(shift uint32, val uint64) pmem.Addr {
-	node := newVecLeaf(v.h, []uint64{val})
-	for s := uint32(0); s < shift; s += vecBits {
+// wrapLeaf wraps a leaf in singleton interior nodes so it roots a subtree
+// at the given level (0 returns the leaf itself).
+func (v Vector) wrapLeaf(level uint32, leaf pmem.Addr) pmem.Addr {
+	node := leaf
+	for s := uint32(0); s < level; s += vecBits {
 		var slots [vecWidth]uint64
 		slots[0] = uint64(node)
-		node = writeNode(v.h, TagVecNode, slots)
+		node = writeNode(v.h, v.ed, TagVecNode, slots)
 	}
 	return node
 }
 
-func (v Vector) pushRec(node pmem.Addr, shift uint32, count uint64, val uint64) pmem.Addr {
-	if shift == 0 {
-		// node is a leaf with count (< 32) elements.
-		slots := readNode(v.h, node)
-		slots[count&vecMask] = val
-		return writeNode(v.h, TagVecLeaf, slots)
+// pushLeaf inserts the full tail leaf at trie index to (a multiple of 32),
+// path-copying — or mutating in place where owned — one node per level.
+// The caller guarantees the trie is not full and root is not Nil.
+func (v Vector) pushLeaf(node pmem.Addr, shift uint32, to uint64, leaf pmem.Addr) pmem.Addr {
+	idx := int((to >> shift) & vecMask)
+	if shift == vecBits {
+		// Children of this node are leaves; slot idx is empty.
+		return v.replaceChild(node, idx, leaf, pmem.Nil)
 	}
-	idx := int((count >> shift) & vecMask)
-	if count&((1<<shift)-1) == 0 {
-		// Subtree at idx does not exist yet: graft a fresh path.
-		return copyNodeReplace(v.h, node, idx, v.newPath(shift-vecBits, val))
+	if to&((1<<shift)-1) == 0 {
+		// Whole subtree at idx is missing: graft a singleton path.
+		return v.replaceChild(node, idx, v.wrapLeaf(shift-vecBits, leaf), pmem.Nil)
 	}
 	child := pmem.Addr(v.h.Device().ReadU64(node + pmem.Addr(idx*8)))
-	newChild := v.pushRec(child, shift-vecBits, count, val)
-	return copyNodeReplace(v.h, node, idx, newChild)
+	newChild := v.pushLeaf(child, shift-vecBits, to, leaf)
+	if newChild == child {
+		return node
+	}
+	return v.replaceChild(node, idx, newChild, child)
 }
 
 // Elements returns the vector contents (for tests).
@@ -229,6 +395,9 @@ func (v Vector) Elements() []uint64 {
 func walkVecHdr(h *alloc.Heap, a pmem.Addr, visit func(pmem.Addr)) {
 	if root := pmem.Addr(h.Device().ReadU64(a + 16)); root != pmem.Nil {
 		visit(root)
+	}
+	if tail := pmem.Addr(h.Device().ReadU64(a + 24)); tail != pmem.Nil {
+		visit(tail)
 	}
 }
 

@@ -13,8 +13,9 @@ import (
 )
 
 // BenchSchema is the current BENCH.json schema version. Version 2 added
-// the group-commit sweep.
-const BenchSchema = 2
+// the group-commit sweep; version 3 added the transient (edit-context)
+// sweep and the flushes/op and copies/op gate columns.
+const BenchSchema = 3
 
 // BenchWorkload is one workload × engine measurement: the Table 2 suite
 // run single-threaded, so every field is deterministic for a given
@@ -31,6 +32,9 @@ type BenchWorkload struct {
 
 // FencesPerOp returns the row's average fences per operation.
 func (w BenchWorkload) FencesPerOp() float64 { return float64(w.Fences) / float64(w.Ops) }
+
+// FlushesPerOp returns the row's average flushes per operation.
+func (w BenchWorkload) FlushesPerOp() float64 { return float64(w.Flushes) / float64(w.Ops) }
 
 // BenchConcurrent is one point of the reader-scaling sweep. Goroutine
 // interleaving makes these rows nondeterministic, so benchdiff treats
@@ -62,6 +66,24 @@ type BenchGroupCommit struct {
 	OpsPerSec    float64 `json:"ops_per_sec"`
 }
 
+// BenchTransient is one point of the transient (edit-context) sweep:
+// single-goroutine, deterministic, gated by benchdiff on ops/sec,
+// flushes/op, and copies/op.
+type BenchTransient struct {
+	OpsPerFASE   int     `json:"ops_per_fase"`
+	Ops          int     `json:"ops"`
+	Fences       uint64  `json:"fences"`
+	Flushes      uint64  `json:"flushes"`
+	FlushesSaved uint64  `json:"flushes_saved"`
+	Copies       uint64  `json:"copies"`
+	CopiesElided uint64  `json:"copies_elided"`
+	FencesPerOp  float64 `json:"fences_per_op"`
+	FlushesPerOp float64 `json:"flushes_per_op"`
+	CopiesPerOp  float64 `json:"copies_per_op"`
+	ElapsedNs    float64 `json:"elapsed_ns"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+}
+
 // BenchDoc is the BENCH.json document.
 type BenchDoc struct {
 	Schema      int                `json:"schema"`
@@ -70,11 +92,13 @@ type BenchDoc struct {
 	Workloads   []BenchWorkload    `json:"workloads"`
 	Concurrent  []BenchConcurrent  `json:"concurrent"`
 	GroupCommit []BenchGroupCommit `json:"groupcommit"`
+	Transient   []BenchTransient   `json:"transient"`
 }
 
 // BuildBenchDoc runs the Table 2 workload suite on every engine, the
-// concurrent reader-scaling sweep, and the group-commit batch-size sweep
-// at the given scale, and returns the report.
+// concurrent reader-scaling sweep, the transient (edit-context) sweep,
+// and the group-commit batch-size sweep at the given scale, and returns
+// the report.
 func BuildBenchDoc(scaleName string, scale Scale) (*BenchDoc, error) {
 	workloads.SetVectorPreload(scale.VectorPreload)
 	doc := &BenchDoc{Schema: BenchSchema, Scale: scaleName, Ops: scale.Ops}
@@ -109,6 +133,26 @@ func BuildBenchDoc(scaleName string, scale Scale) (*BenchDoc, error) {
 			BusyNs:       res.BusyNs,
 			ReadsPerSec:  res.ReadsPerSec,
 			WritesPerSec: res.WritesPerSec,
+			OpsPerSec:    res.OpsPerSec,
+		})
+	}
+	for _, b := range TransientOpsPerFASE {
+		res, err := workloads.RunTransient(TransientBenchConfig(scale, b))
+		if err != nil {
+			return nil, fmt.Errorf("bench transient b=%d: %w", b, err)
+		}
+		doc.Transient = append(doc.Transient, BenchTransient{
+			OpsPerFASE:   res.OpsPerFASE,
+			Ops:          res.Ops,
+			Fences:       res.Fences,
+			Flushes:      res.Flushes,
+			FlushesSaved: res.FlushesSaved,
+			Copies:       res.Copies,
+			CopiesElided: res.CopiesElided,
+			FencesPerOp:  res.FencesPerOp,
+			FlushesPerOp: res.FlushesPerOp,
+			CopiesPerOp:  res.CopiesPerOp,
+			ElapsedNs:    res.ElapsedNs,
 			OpsPerSec:    res.OpsPerSec,
 		})
 	}
@@ -161,8 +205,9 @@ func ReadBenchDoc(path string) (*BenchDoc, error) {
 }
 
 // CompareBenchDocs checks cur against base and returns one message per
-// regression: a deterministic row whose ops/sec dropped, or whose
-// fences/op rose, by more than tol (fractional, e.g. 0.15), or a
+// regression, each prefixed by its row key: a deterministic row whose
+// ops/sec dropped — or whose fences/op, flushes/op, or (transient rows)
+// copies/op rose — by more than tol (fractional, e.g. 0.15), or a
 // baseline row missing from cur. The nondeterministic concurrent sweep
 // is not compared. An empty result means the gate passes.
 func CompareBenchDocs(base, cur *BenchDoc, tol float64) []string {
@@ -197,6 +242,7 @@ func CompareBenchDocs(base, cur *BenchDoc, tol float64) []string {
 		}
 		worse("ops/sec", key, b.OpsPerSec, c.OpsPerSec, false)
 		worse("fences/op", key, b.FencesPerOp(), c.FencesPerOp(), true)
+		worse("flushes/op", key, b.FlushesPerOp(), c.FlushesPerOp(), true)
 	}
 
 	curGC := make(map[string]BenchGroupCommit, len(cur.GroupCommit))
@@ -212,6 +258,24 @@ func CompareBenchDocs(base, cur *BenchDoc, tol float64) []string {
 		}
 		worse("ops/sec", key, b.OpsPerSec, c.OpsPerSec, false)
 		worse("fences/op", key, b.FencesPerOp, c.FencesPerOp, true)
+		worse("flushes/op", key, b.FlushesPerOp, c.FlushesPerOp, true)
+	}
+
+	curTr := make(map[int]BenchTransient, len(cur.Transient))
+	for _, t := range cur.Transient {
+		curTr[t.OpsPerFASE] = t
+	}
+	for _, b := range base.Transient {
+		key := fmt.Sprintf("transient/b%d", b.OpsPerFASE)
+		c, ok := curTr[b.OpsPerFASE]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: row missing from current report", key))
+			continue
+		}
+		worse("ops/sec", key, b.OpsPerSec, c.OpsPerSec, false)
+		worse("fences/op", key, b.FencesPerOp, c.FencesPerOp, true)
+		worse("flushes/op", key, b.FlushesPerOp, c.FlushesPerOp, true)
+		worse("copies/op", key, b.CopiesPerOp, c.CopiesPerOp, true)
 	}
 	return regressions
 }

@@ -42,6 +42,19 @@ func TestBuildBenchDocSchema(t *testing.T) {
 			t.Errorf("groupcommit b=%d s=%d has zero metrics: %+v", g.BatchSize, g.Shards, g)
 		}
 	}
+	if len(doc.Transient) != len(TransientOpsPerFASE) {
+		t.Fatalf("transient rows = %d, want %d", len(doc.Transient), len(TransientOpsPerFASE))
+	}
+	for _, tr := range doc.Transient {
+		if tr.OpsPerFASE <= 0 || tr.Ops <= 0 || tr.Fences == 0 || tr.Flushes == 0 ||
+			tr.Copies == 0 || tr.ElapsedNs <= 0 || tr.OpsPerSec <= 0 ||
+			tr.FlushesPerOp <= 0 || tr.CopiesPerOp <= 0 {
+			t.Errorf("transient b=%d has zero metrics: %+v", tr.OpsPerFASE, tr)
+		}
+		if tr.OpsPerFASE > 1 && tr.CopiesElided == 0 {
+			t.Errorf("transient b=%d elided no copies", tr.OpsPerFASE)
+		}
+	}
 	for _, c := range doc.Concurrent {
 		if c.Readers <= 0 || c.OpsPerSec <= 0 || c.ElapsedNs <= 0 {
 			t.Errorf("concurrent r=%d has zero metrics: %+v", c.Readers, c)
@@ -89,6 +102,44 @@ func TestBenchGroupCommitFenceAmortization(t *testing.T) {
 	}
 }
 
+// TestBenchTransientElision pins the headline property of the edit
+// context: flushes/op and copies/op at 64 ops-per-FASE are at least 2x
+// lower than unbatched, and both fall monotonically with FASE size.
+func TestBenchTransientElision(t *testing.T) {
+	doc, err := BuildBenchDoc("test", benchTestScale())
+	if err != nil {
+		t.Fatalf("BuildBenchDoc: %v", err)
+	}
+	byB := map[int]BenchTransient{}
+	for i, tr := range doc.Transient {
+		byB[tr.OpsPerFASE] = tr
+		if i > 0 {
+			prev := doc.Transient[i-1]
+			if tr.OpsPerFASE <= prev.OpsPerFASE {
+				t.Fatal("transient rows not in ascending ops-per-FASE order")
+			}
+			if tr.FlushesPerOp >= prev.FlushesPerOp {
+				t.Errorf("flushes/op not falling: b=%d has %.2f, b=%d has %.2f",
+					prev.OpsPerFASE, prev.FlushesPerOp, tr.OpsPerFASE, tr.FlushesPerOp)
+			}
+			if tr.CopiesPerOp >= prev.CopiesPerOp {
+				t.Errorf("copies/op not falling: b=%d has %.2f, b=%d has %.2f",
+					prev.OpsPerFASE, prev.CopiesPerOp, tr.OpsPerFASE, tr.CopiesPerOp)
+			}
+		}
+	}
+	at1, at64 := byB[1], byB[64]
+	if at1.OpsPerFASE == 0 || at64.OpsPerFASE == 0 {
+		t.Fatal("sweep missing ops-per-FASE 1 and 64")
+	}
+	if at64.FlushesPerOp > at1.FlushesPerOp/2 {
+		t.Errorf("flushes/op at b=64 is %.2f, want <= half of b=1's %.2f", at64.FlushesPerOp, at1.FlushesPerOp)
+	}
+	if at64.CopiesPerOp > at1.CopiesPerOp/2 {
+		t.Errorf("copies/op at b=64 is %.2f, want <= half of b=1's %.2f", at64.CopiesPerOp, at1.CopiesPerOp)
+	}
+}
+
 func TestBenchDocRoundTripAndValidation(t *testing.T) {
 	doc, err := BuildBenchDoc("test", benchTestScale())
 	if err != nil {
@@ -127,6 +178,10 @@ func TestCompareBenchDocs(t *testing.T) {
 			{BatchSize: 64, Shards: 1, Ops: 100, Batches: 2, Fences: 2, Flushes: 1000,
 				FencesPerOp: 0.02, FlushesPerOp: 10, ElapsedNs: 1e6, OpsPerSec: 1e5},
 		},
+		Transient: []BenchTransient{
+			{OpsPerFASE: 64, Ops: 100, Fences: 5, Flushes: 300, Copies: 160,
+				FencesPerOp: 0.05, FlushesPerOp: 3, CopiesPerOp: 1.6, ElapsedNs: 1e6, OpsPerSec: 1e5},
+		},
 	}
 	clone := func() *BenchDoc {
 		data, _ := json.Marshal(base)
@@ -158,6 +213,24 @@ func TestCompareBenchDocs(t *testing.T) {
 	cur.GroupCommit[0].FencesPerOp = 0.08 // batched fences regressed 4x
 	if regs := CompareBenchDocs(base, cur, 0.15); len(regs) != 1 {
 		t.Errorf("groupcommit fences/op rise not flagged exactly once: %v", regs)
+	}
+
+	cur = clone()
+	cur.Workloads[0].Flushes = 1300 // +30% flushes/op
+	if regs := CompareBenchDocs(base, cur, 0.15); len(regs) != 1 {
+		t.Errorf("flushes/op rise not flagged exactly once: %v", regs)
+	}
+
+	cur = clone()
+	cur.Transient[0].CopiesPerOp = 2.4 // copy elision regressed 50%
+	if regs := CompareBenchDocs(base, cur, 0.15); len(regs) != 1 {
+		t.Errorf("transient copies/op rise not flagged exactly once: %v", regs)
+	}
+
+	cur = clone()
+	cur.Transient = nil
+	if regs := CompareBenchDocs(base, cur, 0.15); len(regs) != 1 {
+		t.Errorf("missing transient row not flagged exactly once: %v", regs)
 	}
 
 	cur = clone()

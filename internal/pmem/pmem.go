@@ -161,6 +161,15 @@ type Stats struct {
 	// by each fence, for flush-concurrency reporting.
 	FlushedPerFence uint64
 
+	// FlushesSaved counts clwbs avoided by deferred-flush deduplication
+	// (FlushSet): lines recorded more than once per sweep — re-written
+	// edit-owned nodes, shared header/payload lines — are flushed once.
+	FlushesSaved uint64
+	// CopiesElided counts shadow node copies avoided by edit-context
+	// in-place mutation (alloc.Edit): nodes allocated within the current
+	// FASE are mutated instead of re-copied on subsequent operations.
+	CopiesElided uint64
+
 	// Batches counts group commits executed against the device and
 	// BatchedOps the operations they coalesced, so reports can derive
 	// fences per batched operation (DESIGN.md §7). The commit layer
@@ -188,6 +197,8 @@ func (s Stats) Sub(base Stats) Stats {
 	r.BytesRead -= base.BytesRead
 	r.BytesWritten -= base.BytesWritten
 	r.FlushedPerFence -= base.FlushedPerFence
+	r.FlushesSaved -= base.FlushesSaved
+	r.CopiesElided -= base.CopiesElided
 	r.Batches -= base.Batches
 	r.BatchedOps -= base.BatchedOps
 	r.Cache = s.Cache.Sub(base.Cache)

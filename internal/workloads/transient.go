@@ -1,0 +1,144 @@
+package workloads
+
+import (
+	"fmt"
+
+	"github.com/mod-ds/mod/internal/core"
+	"github.com/mod-ds/mod/internal/pmem"
+)
+
+// Transient (edit-context) workload. A fixed budget of updates — map sets
+// on a preloaded trie interleaved with vector pushes — is committed
+// through core.Batch at a swept ops-per-FASE. Every batch runs inside one
+// edit context (DESIGN.md §8), so the first operation on a root copies
+// its path and every subsequent operation mutates the edit-owned shadow
+// in place: copies/op and flushes/op fall with the FASE size, which is
+// the copy-elision claim BENCH.json tracks. ops-per-FASE = 1 is the
+// baseline where every operation pays full shadow cost.
+//
+// Single-goroutine and deterministic, so cmd/benchdiff gates its rows.
+
+// TransientConfig parameterizes one transient measurement.
+type TransientConfig struct {
+	// OpsPerFASE is the number of updates per edit/batch (1 = a full
+	// shadow per operation, the unbatched baseline).
+	OpsPerFASE int
+	// Ops is the total number of committed updates.
+	Ops int
+	// PreloadKeys preloads the map and sizes the update keyspace (2x).
+	PreloadKeys int
+	// VectorPreload is the initial vector length.
+	VectorPreload int
+	// Seed drives the deterministic operation stream.
+	Seed uint64
+	// ArenaBytes sizes the device (0 = automatic).
+	ArenaBytes int64
+}
+
+func (c *TransientConfig) defaults() {
+	if c.OpsPerFASE <= 0 {
+		c.OpsPerFASE = 1
+	}
+	if c.Ops <= 0 {
+		c.Ops = 4000
+	}
+	if c.PreloadKeys <= 0 {
+		c.PreloadKeys = 512
+	}
+	if c.VectorPreload <= 0 {
+		c.VectorPreload = 1024
+	}
+	if c.Seed == 0 {
+		c.Seed = 0xed17
+	}
+	if c.ArenaBytes == 0 {
+		c.ArenaBytes = int64(c.Ops)*2048 + int64(c.PreloadKeys)*512 +
+			int64(c.VectorPreload)*64 + (64 << 20)
+	}
+}
+
+// TransientResult reports one transient measurement. Times are simulated
+// nanoseconds; throughput is per simulated second.
+type TransientResult struct {
+	OpsPerFASE int
+	Ops        int
+
+	Fences       uint64
+	Flushes      uint64
+	FlushesSaved uint64 // clwbs avoided by flush-set deduplication
+	Copies       uint64 // node allocations (path copies + headers + blobs)
+	CopiesElided uint64 // in-place mutations that avoided a node copy
+
+	ElapsedNs float64
+	OpsPerSec float64
+
+	FencesPerOp  float64
+	FlushesPerOp float64
+	CopiesPerOp  float64
+}
+
+// RunTransient executes the transient workload and returns its
+// measurement.
+func RunTransient(cfg TransientConfig) (TransientResult, error) {
+	cfg.defaults()
+	dev := pmem.New(pmem.DefaultConfig(cfg.ArenaBytes))
+	store, err := core.NewStore(dev)
+	if err != nil {
+		return TransientResult{}, err
+	}
+
+	m, err := store.Map("transient-map")
+	if err != nil {
+		return TransientResult{}, err
+	}
+	v, err := store.Vector("transient-vec")
+	if err != nil {
+		return TransientResult{}, err
+	}
+	r := rng{state: cfg.Seed}
+	for k := 0; k < cfg.PreloadKeys; k++ {
+		m.Set([]byte(fmt.Sprintf("key-%06d", k)), []byte(fmt.Sprintf("val-%016x", r.next())))
+	}
+	for i := 0; i < cfg.VectorPreload; i++ {
+		v.Push(r.next())
+	}
+	store.Sync()
+	statsBase := dev.Stats()
+	allocBase := store.Heap().Stats()
+	nsBase := dev.LocalNs()
+
+	b := store.NewBatch()
+	for i := 0; i < cfg.Ops; i++ {
+		if i&1 == 0 {
+			key := fmt.Sprintf("key-%06d", r.intn(uint64(cfg.PreloadKeys*2)))
+			val := fmt.Sprintf("val-%016x", r.next())
+			b.MapSet(m, []byte(key), []byte(val))
+		} else {
+			b.VectorPush(v, r.next())
+		}
+		if b.Len() >= cfg.OpsPerFASE {
+			b.Commit()
+		}
+	}
+	b.Commit()
+
+	elapsed := dev.LocalNs() - nsBase
+	d := dev.Stats().Sub(statsBase)
+	copies := store.Heap().Stats().Allocs - allocBase.Allocs
+	res := TransientResult{
+		OpsPerFASE:   cfg.OpsPerFASE,
+		Ops:          cfg.Ops,
+		Fences:       d.Fences,
+		Flushes:      d.Flushes,
+		FlushesSaved: d.FlushesSaved,
+		Copies:       copies,
+		CopiesElided: d.CopiesElided,
+		ElapsedNs:    elapsed,
+		OpsPerSec:    perSec(cfg.Ops, elapsed),
+		FencesPerOp:  float64(d.Fences) / float64(cfg.Ops),
+		FlushesPerOp: float64(d.Flushes) / float64(cfg.Ops),
+		CopiesPerOp:  float64(copies) / float64(cfg.Ops),
+	}
+	store.Sync()
+	return res, nil
+}
