@@ -8,8 +8,9 @@
 //
 //	benchdiff [-baseline BENCH_baseline.json] [-current BENCH.json] [-tolerance 0.15]
 //
-// The single-threaded workload suite and the synchronous group-commit
-// and transient sweeps are fully deterministic in simulated time, so any
+// The single-threaded workload suite, the synchronous group-commit and
+// transient sweeps, and the sharded sweep (sequential execution with a
+// critical-path elapsed metric) are fully deterministic in simulated time, so any
 // drift beyond the tolerance is a real code-path change, not measurement
 // noise. The concurrent reader-scaling rows depend on goroutine
 // interleaving and are reported but never gated.
@@ -53,7 +54,7 @@ func main() {
 	}
 
 	regressions := harness.CompareBenchDocs(base, cur, *tolerance)
-	gated := len(base.Workloads) + len(base.GroupCommit) + len(base.Transient)
+	gated := len(base.Workloads) + len(base.GroupCommit) + len(base.Transient) + len(base.Sharded)
 	if len(regressions) == 0 {
 		fmt.Printf("benchdiff: OK — %d gated rows within %.0f%% of baseline\n", gated, *tolerance*100)
 		return

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"fmt"
+
+	"github.com/mod-ds/mod/internal/core"
+)
+
+// Full-content verification. Earlier crashtest revisions checked the
+// queue only by length and the map partly by sampled keys, so a
+// recovery that permuted or corrupted surviving values could pass and
+// the process exit 0 despite a real mismatch. Every round now compares
+// the complete recovered contents against the model; any divergence is
+// an error, and main treats every error as fatal.
+
+// verifyMap checks that m's committed contents equal want exactly —
+// same keys, same values, nothing missing, nothing extra.
+func verifyMap(m *core.Map, want map[string]string) error {
+	seen := 0
+	var err error
+	m.Range(func(k, v []byte) bool {
+		seen++
+		wv, ok := want[string(k)]
+		if !ok {
+			err = fmt.Errorf("map has unexpected key %q", k)
+			return false
+		}
+		if string(v) != wv {
+			err = fmt.Errorf("map key %q = %q, want %q", k, v, wv)
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if seen != len(want) {
+		return fmt.Errorf("map has %d entries, want %d", seen, len(want))
+	}
+	return nil
+}
+
+// verifyQueue checks that q's committed contents equal want exactly,
+// in order.
+func verifyQueue(q *core.Queue, want []uint64) error {
+	snap := q.Snapshot()
+	defer snap.Close()
+	got := snap.Version().Elements()
+	if len(got) != len(want) {
+		return fmt.Errorf("queue has %d entries, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Errorf("queue[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/mod-ds/mod/internal/core"
+	"github.com/mod-ds/mod/internal/pmem"
+)
+
+// Regression tests for the verification hole that let crashtest exit 0
+// on real recovery mismatches: queue contents were compared only by
+// length and map contents only by sampled keys, so a store whose
+// surviving values were wrong (or whose queue order was scrambled)
+// passed. The helpers must reject every such divergence.
+
+func testStore(t *testing.T) *core.Store {
+	t.Helper()
+	s, err := core.NewStore(pmem.New(pmem.DefaultConfig(4 << 20)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestVerifyQueueDetectsWrongValues(t *testing.T) {
+	s := testStore(t)
+	q, err := s.Queue("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []uint64{1, 2, 3} {
+		q.Enqueue(v)
+	}
+	if err := verifyQueue(q, []uint64{1, 2, 3}); err != nil {
+		t.Fatalf("matching queue rejected: %v", err)
+	}
+	// Same length, wrong value — the case the old length-only check
+	// waved through.
+	if err := verifyQueue(q, []uint64{1, 2, 999}); err == nil {
+		t.Fatal("queue value mismatch not detected")
+	}
+	// Same multiset, wrong order.
+	if err := verifyQueue(q, []uint64{3, 2, 1}); err == nil {
+		t.Fatal("queue order mismatch not detected")
+	}
+	if err := verifyQueue(q, []uint64{1, 2}); err == nil {
+		t.Fatal("queue length mismatch not detected")
+	}
+}
+
+func TestVerifyMapDetectsDivergence(t *testing.T) {
+	s := testStore(t)
+	m, err := s.Map("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Set([]byte("a"), []byte("1"))
+	m.Set([]byte("b"), []byte("2"))
+	if err := verifyMap(m, map[string]string{"a": "1", "b": "2"}); err != nil {
+		t.Fatalf("matching map rejected: %v", err)
+	}
+	// Same key set, wrong value — the case sampled-key checks missed.
+	if err := verifyMap(m, map[string]string{"a": "1", "b": "wrong"}); err == nil {
+		t.Fatal("map value mismatch not detected")
+	}
+	if err := verifyMap(m, map[string]string{"a": "1"}); err == nil {
+		t.Fatal("extra map key not detected")
+	}
+	if err := verifyMap(m, map[string]string{"a": "1", "b": "2", "c": "3"}); err == nil {
+		t.Fatal("missing map key not detected")
+	}
+}
+
+// TestRoundsPassOnHealthyStore runs each round type end to end at a
+// small size: with a correct implementation every seed must verify.
+func TestRoundsPassOnHealthyStore(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		if err := faseRound(seed, 40, false); err != nil {
+			t.Errorf("fase round seed=%d: %v", seed, err)
+		}
+		if err := batchRound(seed, 40, false); err != nil {
+			t.Errorf("batch round seed=%d: %v", seed, err)
+		}
+		if err := shardRound(seed, 40, 3, false); err != nil {
+			t.Errorf("shard round seed=%d: %v", seed, err)
+		}
+	}
+}

@@ -3,11 +3,15 @@
 //
 // Usage:
 //
-//	modbench [-experiment name] [-scale default|full|small] [-ops N] [-csv dir] [-bench file]
+//	modbench [-experiment name] [-scale default|full|small] [-ops N] [-shards N] [-csv dir] [-bench file]
 //
 // Without -experiment it runs everything. Experiment names: table1,
 // table2, fig2, fig4, fig9, fig10, fig11, table3, spaceoverhead,
-// ablation-conc, ablation-naive, concurrent, groupcommit, transient.
+// ablation-conc, ablation-naive, concurrent, groupcommit, transient,
+// sharded.
+//
+// -shards N restricts the sharded experiment's shard sweep to the
+// single given count (the full sweep is S ∈ {1,2,4,8}).
 //
 // With -bench FILE, modbench instead runs the Table 2 workload suite on
 // every engine plus the concurrent reader-scaling, group-commit, and
@@ -30,6 +34,7 @@ func main() {
 	experiment := flag.String("experiment", "", "experiment to run (default: all)")
 	scaleName := flag.String("scale", "default", "default | full (paper scale, minutes) | small")
 	ops := flag.Int("ops", 0, "override operations per workload")
+	shards := flag.Int("shards", 0, "restrict the sharded experiment's sweep to this shard count")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
 	benchFile := flag.String("bench", "", "write a machine-readable BENCH.json to this path instead of rendering tables")
 	flag.Parse()
@@ -50,6 +55,14 @@ func main() {
 		scale.Ops = *ops
 		scale.VectorPreload = *ops
 		scale.Table3N = *ops
+	}
+	if *shards > 0 {
+		harness.ShardedShardCounts = []int{*shards}
+		if *shards > 1 {
+			harness.ShardedCrossShardCounts = []int{*shards}
+		} else {
+			harness.ShardedCrossShardCounts = nil
+		}
 	}
 
 	if *benchFile != "" {
@@ -101,7 +114,7 @@ func writeBench(path, scaleName string, scale harness.Scale) error {
 	if err := harness.WriteBenchDoc(doc, path); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d workload rows, %d concurrent rows, %d transient rows, %d groupcommit rows)\n",
-		path, len(doc.Workloads), len(doc.Concurrent), len(doc.Transient), len(doc.GroupCommit))
+	fmt.Printf("wrote %s (%d workload rows, %d concurrent rows, %d transient rows, %d groupcommit rows, %d sharded rows)\n",
+		path, len(doc.Workloads), len(doc.Concurrent), len(doc.Transient), len(doc.GroupCommit), len(doc.Sharded))
 	return nil
 }

@@ -39,6 +39,11 @@ func (s Stats) Sub(base Stats) Stats {
 	return Stats{Hits: s.Hits - base.Hits, Misses: s.Misses - base.Misses}
 }
 
+// Add returns s + o, counter-wise, for aggregating region-split devices.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{Hits: s.Hits + o.Hits, Misses: s.Misses + o.Misses}
+}
+
 // L1 is a set-associative cache over 64-byte line indices.
 type L1 struct {
 	tags  [Sets][Ways]uint64 // line index + 1; 0 = invalid

@@ -94,6 +94,16 @@ func (s HierarchyStats) Sub(base HierarchyStats) HierarchyStats {
 	}
 }
 
+// Add returns s + o counter-wise, for aggregating region-split devices.
+func (s HierarchyStats) Add(o HierarchyStats) HierarchyStats {
+	return HierarchyStats{
+		L1Hits:      s.L1Hits + o.L1Hits,
+		L2Hits:      s.L2Hits + o.L2Hits,
+		L3Hits:      s.L3Hits + o.L3Hits,
+		MemAccesses: s.MemAccesses + o.MemAccesses,
+	}
+}
+
 // Hierarchy is the three-level cache model.
 type Hierarchy struct {
 	mu    sync.Mutex

@@ -167,77 +167,116 @@ func (s *Store) NewBatch() *Batch { return &Batch{st: s} }
 // Len returns the number of operations accumulated.
 func (b *Batch) Len() int { return len(b.ops) }
 
-func (b *Batch) add(ds Datastructure, apply func(s *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr) {
-	if ds.location().parent != nil {
-		panic(fmt.Sprintf("core: batched update of parent-bound %q (batches require root-bound datastructures; use CommitSiblings)", ds.Name()))
+func (b *Batch) addOp(op batchOp) {
+	if op.ds.location().parent != nil {
+		panic(fmt.Sprintf("core: batched update of parent-bound %q (batches require root-bound datastructures; use CommitSiblings)", op.ds.Name()))
 	}
-	b.ops = append(b.ops, batchOp{ds: ds, apply: apply})
+	b.ops = append(b.ops, op)
+}
+
+// The op builders below are shared with ShardedBatch (sharded.go),
+// which routes the same deferred updates across shard stores.
+
+func mapSetOp(m *Map, key, val []byte) batchOp {
+	k, v := slices.Clone(key), slices.Clone(val)
+	return batchOp{ds: m, apply: func(s *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
+		next, _ := funcds.MapAt(s.heap, cur).WithEdit(ed).Set(k, v)
+		return next.Addr()
+	}}
+}
+
+func mapDeleteOp(m *Map, key []byte) batchOp {
+	k := slices.Clone(key)
+	return batchOp{ds: m, apply: func(s *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
+		next, _ := funcds.MapAt(s.heap, cur).WithEdit(ed).Delete(k)
+		return next.Addr()
+	}}
+}
+
+func setInsertOp(st *Set, key []byte) batchOp {
+	k := slices.Clone(key)
+	return batchOp{ds: st, apply: func(s *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
+		next, _ := funcds.SetDSAt(s.heap, cur).WithEdit(ed).Insert(k)
+		return next.Addr()
+	}}
+}
+
+func setDeleteOp(st *Set, key []byte) batchOp {
+	k := slices.Clone(key)
+	return batchOp{ds: st, apply: func(s *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
+		next, _ := funcds.SetDSAt(s.heap, cur).WithEdit(ed).Delete(k)
+		return next.Addr()
+	}}
+}
+
+func vectorPushOp(v *Vector, val uint64) batchOp {
+	return batchOp{ds: v, apply: func(s *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
+		return funcds.VectorAt(s.heap, cur).WithEdit(ed).Push(val).Addr()
+	}}
+}
+
+func vectorUpdateOp(v *Vector, i uint64, val uint64) batchOp {
+	return batchOp{ds: v, apply: func(s *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
+		return funcds.VectorAt(s.heap, cur).WithEdit(ed).Update(i, val).Addr()
+	}}
+}
+
+func stackPushOp(st *Stack, val uint64) batchOp {
+	return batchOp{ds: st, apply: func(s *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
+		return funcds.StackAt(s.heap, cur).WithEdit(ed).Push(val).Addr()
+	}}
+}
+
+func stackPopOp(st *Stack) batchOp {
+	return batchOp{ds: st, apply: func(s *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
+		next, _, _ := funcds.StackAt(s.heap, cur).WithEdit(ed).Pop()
+		return next.Addr()
+	}}
+}
+
+func queueEnqueueOp(q *Queue, val uint64) batchOp {
+	return batchOp{ds: q, apply: func(s *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
+		return funcds.QueueAt(s.heap, cur).WithEdit(ed).Push(val).Addr()
+	}}
+}
+
+func queueDequeueOp(q *Queue) batchOp {
+	return batchOp{ds: q, apply: func(s *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
+		next, _, _ := funcds.QueueAt(s.heap, cur).WithEdit(ed).Pop()
+		return next.Addr()
+	}}
 }
 
 // MapSet queues binding key to val in m. Key and value are copied, so
 // the caller may reuse its buffers immediately.
-func (b *Batch) MapSet(m *Map, key, val []byte) {
-	k, v := slices.Clone(key), slices.Clone(val)
-	b.add(m, func(s *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
-		next, _ := funcds.MapAt(s.heap, cur).WithEdit(ed).Set(k, v)
-		return next.Addr()
-	})
-}
+func (b *Batch) MapSet(m *Map, key, val []byte) { b.addOp(mapSetOp(m, key, val)) }
 
 // MapDelete queues removing key from m.
-func (b *Batch) MapDelete(m *Map, key []byte) {
-	k := slices.Clone(key)
-	b.add(m, func(s *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
-		next, _ := funcds.MapAt(s.heap, cur).WithEdit(ed).Delete(k)
-		return next.Addr()
-	})
-}
+func (b *Batch) MapDelete(m *Map, key []byte) { b.addOp(mapDeleteOp(m, key)) }
 
 // SetInsert queues adding key to st.
-func (b *Batch) SetInsert(st *Set, key []byte) {
-	k := slices.Clone(key)
-	b.add(st, func(s *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
-		next, _ := funcds.SetDSAt(s.heap, cur).WithEdit(ed).Insert(k)
-		return next.Addr()
-	})
-}
+func (b *Batch) SetInsert(st *Set, key []byte) { b.addOp(setInsertOp(st, key)) }
 
 // SetDelete queues removing key from st.
-func (b *Batch) SetDelete(st *Set, key []byte) {
-	k := slices.Clone(key)
-	b.add(st, func(s *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
-		next, _ := funcds.SetDSAt(s.heap, cur).WithEdit(ed).Delete(k)
-		return next.Addr()
-	})
-}
+func (b *Batch) SetDelete(st *Set, key []byte) { b.addOp(setDeleteOp(st, key)) }
 
 // VectorPush queues appending val to v.
-func (b *Batch) VectorPush(v *Vector, val uint64) {
-	b.add(v, func(s *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
-		return funcds.VectorAt(s.heap, cur).WithEdit(ed).Push(val).Addr()
-	})
-}
+func (b *Batch) VectorPush(v *Vector, val uint64) { b.addOp(vectorPushOp(v, val)) }
 
 // VectorUpdate queues replacing element i of v with val.
-func (b *Batch) VectorUpdate(v *Vector, i uint64, val uint64) {
-	b.add(v, func(s *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
-		return funcds.VectorAt(s.heap, cur).WithEdit(ed).Update(i, val).Addr()
-	})
-}
+func (b *Batch) VectorUpdate(v *Vector, i uint64, val uint64) { b.addOp(vectorUpdateOp(v, i, val)) }
 
 // StackPush queues pushing val onto st.
-func (b *Batch) StackPush(st *Stack, val uint64) {
-	b.add(st, func(s *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
-		return funcds.StackAt(s.heap, cur).WithEdit(ed).Push(val).Addr()
-	})
-}
+func (b *Batch) StackPush(st *Stack, val uint64) { b.addOp(stackPushOp(st, val)) }
+
+// StackPop queues removing the top element of st (no-op on empty).
+func (b *Batch) StackPop(st *Stack) { b.addOp(stackPopOp(st)) }
 
 // QueueEnqueue queues appending val at the tail of q.
-func (b *Batch) QueueEnqueue(q *Queue, val uint64) {
-	b.add(q, func(s *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
-		return funcds.QueueAt(s.heap, cur).WithEdit(ed).Push(val).Addr()
-	})
-}
+func (b *Batch) QueueEnqueue(q *Queue, val uint64) { b.addOp(queueEnqueueOp(q, val)) }
+
+// QueueDequeue queues removing the head element of q (no-op on empty).
+func (b *Batch) QueueDequeue(q *Queue) { b.addOp(queueDequeueOp(q)) }
 
 // Commit applies every queued operation and publishes the results under
 // one shared fence epoch, leaving the batch empty. Like a Basic-interface
@@ -274,14 +313,37 @@ func (b *Batch) CommitAsync() *Ticket {
 	return t
 }
 
-// commitBatch is the group-commit step: apply every op against the
-// current committed versions under the root locks, fence once for the
-// whole epoch, publish all changed roots, and retire every superseded
-// version in one batch.
-func (s *Store) commitBatch(ops []batchOp) {
-	if len(ops) == 0 {
-		return
-	}
+// rootChange records one root's pending publication: the committed
+// version a batch applied against and the final shadow to install.
+type rootChange struct {
+	slot       int
+	old, final pmem.Addr
+}
+
+// preparedBatch is an applied-but-unpublished batch on one store: root
+// commit mutexes held, shadow chains built and sealed, publication
+// pending. The single-store commit path publishes locally
+// (publishLocal); the cross-shard path (sharded.go) publishes several
+// prepared batches through one shard manifest. Either way the caller
+// must call finish afterwards to retire superseded versions, adopt the
+// new ones, and release the locks.
+type preparedBatch struct {
+	s        *Store
+	ops      []batchOp
+	locked   []int
+	changed  []rootChange
+	finals   map[int]pmem.Addr
+	releases []pmem.Addr
+}
+
+// prepareBatch locks every root the ops touch (ascending slot order, so
+// overlapping batches cannot deadlock), applies each op against the
+// root's then-current committed version inside one shared edit context,
+// and seals the edit so every dirtied line is inflight, ready for the
+// publication fence. The first operation on a root copies its path;
+// subsequent operations mutate the edit-owned shadow in place, so an
+// N-op batch copies each path node at most once.
+func (s *Store) prepareBatch(ops []batchOp) *preparedBatch {
 	// Group ops by root slot, preserving submission order within a root.
 	perSlot := make(map[int][]batchOp)
 	var slots []int
@@ -295,34 +357,15 @@ func (s *Store) commitBatch(ops []batchOp) {
 	if len(slots) > MaxBatchRoots {
 		panic(fmt.Sprintf("core: batch touches %d roots (max %d)", len(slots), MaxBatchRoots))
 	}
-	// Lock in ascending slot order so overlapping batches cannot deadlock.
 	locked := slices.Clone(slots)
 	sort.Ints(locked)
 	for _, slot := range locked {
 		s.sh.rootMu[slot].Lock()
 	}
-	defer func() {
-		for i := len(locked) - 1; i >= 0; i-- {
-			s.sh.rootMu[locked[i]].Unlock()
-		}
-	}()
 
 	s.BeginFASE()
-	// Apply: build each root's shadow chain on its current committed
-	// version, inside one edit context shared by the whole batch. The
-	// first operation on a root copies its path; subsequent operations
-	// mutate the edit-owned shadow in place (apply returns cur), so an
-	// N-op batch copies each path node at most once and intermediate
-	// shadows are rare. Flushes are deferred into the edit and swept just
-	// before the batch's ordering point.
 	ed := s.heap.BeginEdit()
-	type rootChange struct {
-		slot       int
-		old, final pmem.Addr
-	}
-	var changed []rootChange
-	finals := make(map[int]pmem.Addr, len(slots))
-	var releases []pmem.Addr
+	p := &preparedBatch{s: s, ops: ops, locked: locked, finals: make(map[int]pmem.Addr, len(slots))}
 	for _, slot := range slots {
 		old := s.heap.Root(slot)
 		cur := old
@@ -332,25 +375,31 @@ func (s *Store) commitBatch(ops []batchOp) {
 				continue // no-op or in-place update on the owned shadow
 			}
 			if cur != old {
-				releases = append(releases, cur) // intermediate shadow
+				p.releases = append(p.releases, cur) // intermediate shadow
 			}
 			cur = next
 		}
-		finals[slot] = cur
+		p.finals[slot] = cur
 		if cur != old {
-			changed = append(changed, rootChange{slot: slot, old: old, final: cur})
-			releases = append(releases, old)
+			p.changed = append(p.changed, rootChange{slot: slot, old: old, final: cur})
+			p.releases = append(p.releases, old)
 		}
 	}
 	ed.Seal() // coalesced flush sweep, ahead of the publish fence
+	return p
+}
 
-	// Publish: one root changed needs only the atomic pointer swap after
-	// the shared fence; several changed go through the batch record.
+// publishLocal installs the prepared batch's root changes on its own
+// store: one root changed needs only the atomic pointer swap after the
+// shared fence; several changed go through the persistent batch record
+// so recovery replays all swaps or none.
+func (p *preparedBatch) publishLocal() {
+	s := p.s
 	switch {
-	case len(changed) == 0:
+	case len(p.changed) == 0:
 		// Nothing to publish or order.
-	case len(changed) == 1:
-		c := changed[0]
+	case len(p.changed) == 1:
+		c := p.changed[0]
 		s.commitBegin()
 		s.heap.Fence() // the batch's single ordering point
 		s.heap.SetRoot(c.slot, c.final)
@@ -360,18 +409,18 @@ func (s *Store) commitBatch(ops []batchOp) {
 		s.commitBegin()
 		s.sh.batchSeq++ // serialized by txMu; 0 is reserved for idle
 		seq := s.sh.batchSeq
-		words := make([]uint64, 0, 2+2*len(changed))
-		words = append(words, seq, uint64(len(changed)))
-		for i, c := range changed {
+		words := make([]uint64, 0, 2+2*len(p.changed))
+		words = append(words, seq, uint64(len(p.changed)))
+		for i, c := range p.changed {
 			cell := s.heap.RootCellAddr(c.slot)
 			e := s.batchRec + batchRecHdrSize + pmem.Addr(i*batchRecEntrySize)
 			s.dev.WriteU64(e, uint64(cell))
 			s.dev.WriteU64(e+8, uint64(c.final))
 			words = append(words, uint64(cell), uint64(c.final))
 		}
-		s.dev.WriteU64(s.batchRec+8, uint64(len(changed)))
+		s.dev.WriteU64(s.batchRec+8, uint64(len(p.changed)))
 		s.dev.WriteU64(s.batchRec+16, batchChecksum(words))
-		s.dev.FlushRange(s.batchRec+8, 16+len(changed)*batchRecEntrySize)
+		s.dev.FlushRange(s.batchRec+8, 16+len(p.changed)*batchRecEntrySize)
 		// Fence A: shadows, record body, and any previous batch's record
 		// retirement are durable. The status word is still idle, so a
 		// crash here recovers none of the batch.
@@ -379,7 +428,7 @@ func (s *Store) commitBatch(ops []batchOp) {
 		s.dev.WriteU64(s.batchRec, seq)
 		s.dev.Clwb(s.batchRec)
 		s.dev.Sfence() // fence B: the status write is the commit point
-		for _, c := range changed {
+		for _, c := range p.changed {
 			s.heap.SetRoot(c.slot, c.final)
 		}
 		s.dev.Sfence() // fence C: swaps durable before the record retires
@@ -388,13 +437,35 @@ func (s *Store) commitBatch(ops []batchOp) {
 		s.commitEnd()
 		s.sh.txMu.Unlock()
 	}
+}
 
-	s.heap.ReleaseBatch(releases)
-	for _, op := range ops {
-		op.ds.adopt(finals[op.ds.location().slot])
+// finish retires every superseded version in one batch, adopts the new
+// versions into the handles, closes the FASE, and releases the root
+// locks. Must run after publication.
+func (p *preparedBatch) finish() {
+	s := p.s
+	s.heap.ReleaseBatch(p.releases)
+	for _, op := range p.ops {
+		op.ds.adopt(p.finals[op.ds.location().slot])
 	}
 	s.EndFASE()
-	s.dev.NoteBatch(len(ops))
+	s.dev.NoteBatch(len(p.ops))
+	for i := len(p.locked) - 1; i >= 0; i-- {
+		s.sh.rootMu[p.locked[i]].Unlock()
+	}
+}
+
+// commitBatch is the group-commit step: apply every op against the
+// current committed versions under the root locks, fence once for the
+// whole epoch, publish all changed roots, and retire every superseded
+// version in one batch.
+func (s *Store) commitBatch(ops []batchOp) {
+	if len(ops) == 0 {
+		return
+	}
+	p := s.prepareBatch(ops)
+	p.publishLocal()
+	p.finish()
 }
 
 // Ticket tracks an asynchronously submitted batch. Wait returns once the

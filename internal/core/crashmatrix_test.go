@@ -1,0 +1,366 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/mod-ds/mod/internal/pmem"
+)
+
+// Crash-matrix sweep: for every structure (vector, CHAMP map, CHAMP
+// set, stack, queue) × every commit discipline (per-op FASEs, a
+// multi-op edit FASE, a multi-root batch through the batch record, and
+// a cross-shard batch through the shard manifest), inject a power
+// failure at *every* PM-write index of the probed window under the
+// most adversarial eviction policy, recover, and assert the recovered
+// state equals a committed prefix — and, for the atomic modes, that the
+// paired root moved with the structure or not at all. This replaces
+// hand-picked crash windows with exhaustive ones: each injection point
+// is between two PM writes, which subdivides every flush and fence
+// interval of the window.
+
+const (
+	mxPrefix = 3 // committed ops before the probed window
+	mxProbe  = 3 // ops inside the probed window
+)
+
+// matrixOps drives one structure through the sweep.
+type matrixOps struct {
+	basic  func(i int)                  // apply op i as its own Basic FASE
+	batch  func(b *Batch, i int)        // queue op i into a single-store batch
+	sbatch func(b *ShardedBatch, i int) // queue op i into a cross-shard batch
+	dump   func() []string              // canonical full state
+}
+
+type matrixStructure struct {
+	name string
+	bind func(t *testing.T, s *Store, nm string) matrixOps
+}
+
+func mxVal(i int) uint64 { return uint64(i*31 + 7) }
+
+func matrixStructures() []matrixStructure {
+	return []matrixStructure{
+		{name: "vector", bind: func(t *testing.T, s *Store, nm string) matrixOps {
+			v, err := s.Vector(nm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return matrixOps{
+				basic:  func(i int) { v.Push(mxVal(i)) },
+				batch:  func(b *Batch, i int) { b.VectorPush(v, mxVal(i)) },
+				sbatch: func(b *ShardedBatch, i int) { b.VectorPush(v, mxVal(i)) },
+				dump: func() []string {
+					n := v.Len()
+					out := make([]string, n)
+					for i := uint64(0); i < n; i++ {
+						out[i] = fmt.Sprint(v.Get(i))
+					}
+					return out
+				},
+			}
+		}},
+		{name: "map", bind: func(t *testing.T, s *Store, nm string) matrixOps {
+			m, err := s.Map(nm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := func(i int) []byte { return []byte(fmt.Sprintf("k%03d", i)) }
+			val := func(i int) []byte { return []byte(fmt.Sprintf("v%03d", i*3)) }
+			return matrixOps{
+				basic:  func(i int) { m.Set(key(i), val(i)) },
+				batch:  func(b *Batch, i int) { b.MapSet(m, key(i), val(i)) },
+				sbatch: func(b *ShardedBatch, i int) { b.MapSet(m, key(i), val(i)) },
+				dump: func() []string {
+					var out []string
+					m.Range(func(k, v []byte) bool {
+						out = append(out, string(k)+"="+string(v))
+						return true
+					})
+					sort.Strings(out)
+					return out
+				},
+			}
+		}},
+		{name: "set", bind: func(t *testing.T, s *Store, nm string) matrixOps {
+			st, err := s.Set(nm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := func(i int) []byte { return []byte(fmt.Sprintf("m%03d", i)) }
+			return matrixOps{
+				basic:  func(i int) { st.Insert(key(i)) },
+				batch:  func(b *Batch, i int) { b.SetInsert(st, key(i)) },
+				sbatch: func(b *ShardedBatch, i int) { b.SetInsert(st, key(i)) },
+				dump: func() []string {
+					var out []string
+					st.Range(func(k []byte) bool {
+						out = append(out, string(k))
+						return true
+					})
+					sort.Strings(out)
+					return out
+				},
+			}
+		}},
+		{name: "stack", bind: func(t *testing.T, s *Store, nm string) matrixOps {
+			st, err := s.Stack(nm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return matrixOps{
+				basic:  func(i int) { st.Push(mxVal(i)) },
+				batch:  func(b *Batch, i int) { b.StackPush(st, mxVal(i)) },
+				sbatch: func(b *ShardedBatch, i int) { b.StackPush(st, mxVal(i)) },
+				dump: func() []string {
+					snap := st.Snapshot()
+					defer snap.Close()
+					els := snap.Version().Elements()
+					out := make([]string, len(els))
+					for i, e := range els {
+						out[i] = fmt.Sprint(e)
+					}
+					return out
+				},
+			}
+		}},
+		{name: "queue", bind: func(t *testing.T, s *Store, nm string) matrixOps {
+			q, err := s.Queue(nm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return matrixOps{
+				basic:  func(i int) { q.Enqueue(mxVal(i)) },
+				batch:  func(b *Batch, i int) { b.QueueEnqueue(q, mxVal(i)) },
+				sbatch: func(b *ShardedBatch, i int) { b.QueueEnqueue(q, mxVal(i)) },
+				dump: func() []string {
+					snap := q.Snapshot()
+					defer snap.Close()
+					els := snap.Version().Elements()
+					out := make([]string, len(els))
+					for i, e := range els {
+						out[i] = fmt.Sprint(e)
+					}
+					return out
+				},
+			}
+		}},
+	}
+}
+
+func mxJoin(dump []string) string { return strings.Join(dump, "\n") }
+
+var mxMarkerKey = []byte("marker")
+
+// mxInjectionStride returns how densely to sweep injection points:
+// every write normally, every third under -short.
+func mxInjectionStride() int {
+	if testing.Short() {
+		return 3
+	}
+	return 1
+}
+
+// TestCrashMatrixSingleStore sweeps the per-op, edit-FASE, and
+// multi-root-batch disciplines on a single store.
+func TestCrashMatrixSingleStore(t *testing.T) {
+	cfg := pmem.DefaultConfig(4 << 20)
+	cfg.TrackDurable = true
+	for _, st := range matrixStructures() {
+		for _, mode := range []string{"perop", "edit", "batch"} {
+			t.Run(st.name+"/"+mode, func(t *testing.T) {
+				build := func() (*Store, matrixOps, *Map, *pmem.Device) {
+					dev := pmem.New(cfg)
+					s, err := NewStore(dev)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ops := st.bind(t, s, "mx")
+					marker, err := s.Map("mx-marker")
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := 0; i < mxPrefix; i++ {
+						ops.basic(i)
+					}
+					s.Sync()
+					return s, ops, marker, dev
+				}
+				probe := func(s *Store, ops matrixOps, marker *Map) {
+					switch mode {
+					case "perop":
+						for i := mxPrefix; i < mxPrefix+mxProbe; i++ {
+							ops.basic(i)
+						}
+					case "edit":
+						// One multi-op FASE: all ops share an edit context
+						// and publish with a single atomic root swap.
+						b := s.NewBatch()
+						for i := mxPrefix; i < mxPrefix+mxProbe; i++ {
+							ops.batch(b, i)
+						}
+						b.Commit()
+					case "batch":
+						// Structure + marker roots change together through
+						// the persistent batch record.
+						b := s.NewBatch()
+						for i := mxPrefix; i < mxPrefix+mxProbe; i++ {
+							ops.batch(b, i)
+						}
+						b.MapSet(marker, mxMarkerKey, []byte("present"))
+						b.Commit()
+					}
+				}
+
+				// Dry run: collect the allowed committed-prefix states and
+				// count the window's PM writes.
+				s, ops, marker, dev := build()
+				allowed := map[string]bool{}
+				prefixState := mxJoin(ops.dump())
+				allowed[prefixState] = true
+				writesBase := dev.Stats().Writes
+				if mode == "perop" {
+					for i := mxPrefix; i < mxPrefix+mxProbe; i++ {
+						ops.basic(i)
+						allowed[mxJoin(ops.dump())] = true
+					}
+				} else {
+					probe(s, ops, marker)
+				}
+				finalState := mxJoin(ops.dump())
+				allowed[finalState] = true
+				if finalState == prefixState {
+					t.Fatal("degenerate ops: probe did not change state")
+				}
+				totalWrites := int(dev.Stats().Writes - writesBase)
+				if totalWrites < mxProbe {
+					t.Fatalf("implausibly few writes in window: %d", totalWrites)
+				}
+
+				for inj := 1; inj <= totalWrites; inj += mxInjectionStride() {
+					s, ops, marker, dev := build()
+					_ = ops
+					tr := pmem.NewCrashCountdown(dev, inj, pmem.CrashEvictRandom, uint64(inj)*1048573+11)
+					dev.SetTracer(tr)
+					probe(s, ops, marker)
+					dev.SetTracer(nil)
+					img := tr.Image()
+					if img == nil {
+						t.Fatalf("inj %d/%d: countdown never expired", inj, totalWrites)
+					}
+					dev2 := pmem.NewFromImage(pmem.DefaultConfig(4<<20), img)
+					s2, _, err := OpenStore(dev2)
+					if err != nil {
+						t.Fatalf("inj %d: recovery: %v", inj, err)
+					}
+					ops2 := st.bind(t, s2, "mx")
+					got := mxJoin(ops2.dump())
+					if !allowed[got] {
+						t.Fatalf("inj %d/%d: recovered state is not a committed prefix:\n%q", inj, totalWrites, got)
+					}
+					if mode == "batch" {
+						marker2, err := s2.Map("mx-marker")
+						if err != nil {
+							t.Fatal(err)
+						}
+						_, markerIn := marker2.Get(mxMarkerKey)
+						structIn := got == finalState
+						if markerIn != structIn {
+							t.Fatalf("inj %d: batch torn across roots: struct=%v marker=%v", inj, structIn, markerIn)
+						}
+					}
+					// The store must stay writable after recovery.
+					ops2.basic(900 + inj)
+					if after := mxJoin(ops2.dump()); after == got {
+						t.Fatalf("inj %d: store inert after recovery", inj)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCrashMatrixCrossShard sweeps the cross-shard-batch discipline:
+// the structure lives on shard 0, a marker map on shard 1, and the
+// batch commits through the shard manifest. Every injection point —
+// including inside the manifest's intent, commit-point, and redo
+// windows — must recover all of the batch on both shards or none.
+func TestCrashMatrixCrossShard(t *testing.T) {
+	cfg := pmem.DefaultConfig(4 << 20)
+	cfg.TrackDurable = true
+	for _, st := range matrixStructures() {
+		t.Run(st.name+"/cross", func(t *testing.T) {
+			build := func() (*ShardedStore, matrixOps, *Map) {
+				ss, err := NewShardedStore(cfg, 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ops := st.bind(t, ss.Shard(0), "mx")
+				marker, err := ss.Shard(1).Map("mx-marker")
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < mxPrefix; i++ {
+					ops.basic(i)
+				}
+				ss.Sync()
+				return ss, ops, marker
+			}
+			probe := func(ss *ShardedStore, ops matrixOps, marker *Map) {
+				b := ss.NewBatch()
+				for i := mxPrefix; i < mxPrefix+mxProbe; i++ {
+					ops.sbatch(b, i)
+				}
+				b.MapSet(marker, mxMarkerKey, []byte("present"))
+				b.Commit()
+			}
+
+			ss, ops, marker := build()
+			prefixState := mxJoin(ops.dump())
+			writesBase := ss.Stats().Writes
+			probe(ss, ops, marker)
+			finalState := mxJoin(ops.dump())
+			if finalState == prefixState {
+				t.Fatal("degenerate ops: probe did not change state")
+			}
+			totalWrites := int(ss.Stats().Writes - writesBase)
+
+			for inj := 1; inj <= totalWrites; inj += mxInjectionStride() {
+				ss, ops, marker := build()
+				tr := pmem.NewMultiCrashCountdown(ss.Regions().Devices(), inj, pmem.CrashEvictRandom, uint64(inj)*2654435761+13)
+				tr.Install()
+				probe(ss, ops, marker)
+				tr.Uninstall()
+				imgs := tr.Images()
+				if imgs == nil {
+					t.Fatalf("inj %d/%d: countdown never expired", inj, totalWrites)
+				}
+				ss2, _, err := OpenShardedStore(cfg, imgs)
+				if err != nil {
+					t.Fatalf("inj %d: recovery: %v", inj, err)
+				}
+				ops2 := st.bind(t, ss2.Shard(0), "mx")
+				marker2, err := ss2.Shard(1).Map("mx-marker")
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := mxJoin(ops2.dump())
+				switch got {
+				case prefixState, finalState:
+				default:
+					t.Fatalf("inj %d/%d: recovered state is not a committed prefix:\n%q", inj, totalWrites, got)
+				}
+				_, markerIn := marker2.Get(mxMarkerKey)
+				if structIn := got == finalState; markerIn != structIn {
+					t.Fatalf("inj %d: batch torn across shards: struct=%v marker=%v", inj, structIn, markerIn)
+				}
+				ops2.basic(900 + inj)
+				if after := mxJoin(ops2.dump()); after == got {
+					t.Fatalf("inj %d: store inert after recovery", inj)
+				}
+			}
+		})
+	}
+}

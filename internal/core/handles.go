@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"strings"
 	"sync/atomic"
 
 	"github.com/mod-ds/mod/internal/funcds"
@@ -39,10 +41,18 @@ type (
 // required single-writer-per-root discipline means no concurrent commit
 // can retire the version under them.
 
+// reservedRootPrefix guards the store's internal anchor roots (the
+// commit log and the batch record): binding a datastructure over one of
+// them would let user commits clobber the recovery machinery.
+const reservedRootPrefix = "__mod_"
+
 // bindRoot resolves a handle's location and current address, creating the
 // structure via create (which must allocate and flush a new empty header)
 // when absent. The root's commit mutex serializes concurrent first binds.
 func bindRoot(s *Store, name string, create func() pmem.Addr) (location, pmem.Addr, error) {
+	if strings.HasPrefix(name, reservedRootPrefix) {
+		return location{}, pmem.Nil, fmt.Errorf("core: root name %q uses the reserved prefix %q", name, reservedRootPrefix)
+	}
 	slot, err := s.heap.RootSlot(name)
 	if err != nil {
 		return location{}, pmem.Nil, err

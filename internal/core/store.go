@@ -117,27 +117,38 @@ func newBatchRecord(dev *pmem.Device, heap *alloc.Heap) (pmem.Addr, error) {
 	return rec, nil
 }
 
-// OpenStore attaches to a previously formatted device, rolling back any
-// interrupted commit transaction and garbage-collecting unreachable blocks
-// (recovery per §5.3). The reported stats include leak reclamation counts.
-func OpenStore(dev *pmem.Device) (*Store, alloc.RecoveryStats, error) {
+// storeAttachment carries a store between the phases of an open: the
+// cheap replay of the durable commit machinery (attachStore), the
+// expensive reachability recovery (heap.Recover, which a sharded open
+// runs in parallel across shards), and the final handle construction
+// (finishOpen).
+type storeAttachment struct {
+	dev     *pmem.Device
+	heap    *alloc.Heap
+	logAddr pmem.Addr
+	rec     pmem.Addr
+}
+
+// attachStore opens the heap on dev and replays the durable commit
+// machinery: a group commit interrupted mid-publication (all-or-nothing:
+// a committed batch record completes every root swap; an uncommitted one
+// is discarded) and an interrupted CommitUnrelated transaction, both
+// before reachability tracing so recovery sees the final roots. The
+// reachability scan itself is left to the caller.
+func attachStore(dev *pmem.Device) (*storeAttachment, error) {
 	heap, err := alloc.Open(dev)
 	if err != nil {
-		return nil, alloc.RecoveryStats{}, err
+		return nil, err
 	}
 	registerWalkers(heap)
 	slot, err := heap.RootSlot(commitLogRoot)
 	if err != nil {
-		return nil, alloc.RecoveryStats{}, err
+		return nil, err
 	}
 	logAddr := heap.Root(slot)
 	if logAddr == pmem.Nil {
-		return nil, alloc.RecoveryStats{}, fmt.Errorf("core: store has no commit log root")
+		return nil, fmt.Errorf("core: store has no commit log root")
 	}
-	// Replay a group commit interrupted mid-publication (all-or-nothing:
-	// a committed batch record completes every root swap; an uncommitted
-	// one is discarded) and roll back an interrupted CommitUnrelated,
-	// both before tracing reachability so recovery sees the final roots.
 	rec := pmem.Nil
 	if recSlot, err := heap.RootSlot(batchLogRoot); err == nil {
 		rec = heap.Root(recSlot)
@@ -146,19 +157,42 @@ func OpenStore(dev *pmem.Device) (*Store, alloc.RecoveryStats, error) {
 		recoverBatchRecord(dev, rec)
 	}
 	stm.Recover(dev, logAddr)
-	rs, err := heap.Recover()
+	return &storeAttachment{dev: dev, heap: heap, logAddr: logAddr, rec: rec}, nil
+}
+
+// finishOpen builds the Store handle once recovery has rebuilt the
+// heap's volatile state, creating the batch record if the image
+// predates group commit.
+func (a *storeAttachment) finishOpen() (*Store, error) {
+	if a.rec == pmem.Nil {
+		rec, err := newBatchRecord(a.dev, a.heap)
+		if err != nil {
+			return nil, err
+		}
+		a.dev.Sfence()
+		a.rec = rec
+	}
+	tx := stm.Attach(a.dev, a.heap, stm.ModeV15, a.logAddr, stm.DefaultLogSize)
+	return &Store{dev: a.dev, heap: a.heap, tx: tx, batchRec: a.rec, sh: &storeShared{}}, nil
+}
+
+// OpenStore attaches to a previously formatted device, rolling back any
+// interrupted commit transaction and garbage-collecting unreachable blocks
+// (recovery per §5.3). The reported stats include leak reclamation counts.
+func OpenStore(dev *pmem.Device) (*Store, alloc.RecoveryStats, error) {
+	a, err := attachStore(dev)
+	if err != nil {
+		return nil, alloc.RecoveryStats{}, err
+	}
+	rs, err := a.heap.Recover()
 	if err != nil {
 		return nil, rs, err
 	}
-	if rec == pmem.Nil {
-		// Image predates group commit: create the record now.
-		if rec, err = newBatchRecord(dev, heap); err != nil {
-			return nil, rs, err
-		}
-		dev.Sfence()
+	s, err := a.finishOpen()
+	if err != nil {
+		return nil, rs, err
 	}
-	tx := stm.Attach(dev, heap, stm.ModeV15, logAddr, stm.DefaultLogSize)
-	return &Store{dev: dev, heap: heap, tx: tx, batchRec: rec, sh: &storeShared{}}, rs, nil
+	return s, rs, nil
 }
 
 func registerWalkers(heap *alloc.Heap) {

@@ -14,8 +14,9 @@ import (
 
 // BenchSchema is the current BENCH.json schema version. Version 2 added
 // the group-commit sweep; version 3 added the transient (edit-context)
-// sweep and the flushes/op and copies/op gate columns.
-const BenchSchema = 3
+// sweep and the flushes/op and copies/op gate columns; version 4 added
+// the sharded sweep (shards × writers, per-op and cross-shard rows).
+const BenchSchema = 4
 
 // BenchWorkload is one workload × engine measurement: the Table 2 suite
 // run single-threaded, so every field is deterministic for a given
@@ -84,6 +85,25 @@ type BenchTransient struct {
 	OpsPerSec    float64 `json:"ops_per_sec"`
 }
 
+// BenchSharded is one point of the sharded sweep (deterministic: the
+// writers run sequentially and elapsed is the busiest shard region's
+// busy time, the run's critical path — see workloads.RunSharded).
+// Gated by benchdiff on ops/sec, fences/op, and flushes/op.
+type BenchSharded struct {
+	Shards       int     `json:"shards"`
+	Writers      int     `json:"writers"`
+	BatchSize    int     `json:"batch_size"`
+	CrossShard   bool    `json:"cross_shard"`
+	Ops          int     `json:"ops"`
+	Fences       uint64  `json:"fences"`
+	Flushes      uint64  `json:"flushes"`
+	FencesPerOp  float64 `json:"fences_per_op"`
+	FlushesPerOp float64 `json:"flushes_per_op"`
+	ElapsedNs    float64 `json:"elapsed_ns"`
+	BusyNs       float64 `json:"busy_ns"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+}
+
 // BenchDoc is the BENCH.json document.
 type BenchDoc struct {
 	Schema      int                `json:"schema"`
@@ -93,6 +113,7 @@ type BenchDoc struct {
 	Concurrent  []BenchConcurrent  `json:"concurrent"`
 	GroupCommit []BenchGroupCommit `json:"groupcommit"`
 	Transient   []BenchTransient   `json:"transient"`
+	Sharded     []BenchSharded     `json:"sharded,omitempty"`
 }
 
 // BuildBenchDoc runs the Table 2 workload suite on every engine, the
@@ -155,6 +176,39 @@ func BuildBenchDoc(scaleName string, scale Scale) (*BenchDoc, error) {
 			ElapsedNs:    res.ElapsedNs,
 			OpsPerSec:    res.OpsPerSec,
 		})
+	}
+	addSharded := func(cfg workloads.ShardedConfig) error {
+		res, err := workloads.RunSharded(cfg)
+		if err != nil {
+			return fmt.Errorf("bench sharded s=%d w=%d: %w", cfg.Shards, cfg.Writers, err)
+		}
+		doc.Sharded = append(doc.Sharded, BenchSharded{
+			Shards:       res.Shards,
+			Writers:      res.Writers,
+			BatchSize:    res.BatchSize,
+			CrossShard:   res.CrossShard,
+			Ops:          res.Ops,
+			Fences:       res.Fences,
+			Flushes:      res.Flushes,
+			FencesPerOp:  res.FencesPerOp,
+			FlushesPerOp: res.FlushesPerOp,
+			ElapsedNs:    res.ElapsedNs,
+			BusyNs:       res.BusyNs,
+			OpsPerSec:    res.OpsPerSec,
+		})
+		return nil
+	}
+	for _, writers := range ShardedWriterCounts {
+		for _, shards := range ShardedShardCounts {
+			if err := addSharded(ShardedBenchConfig(scale, shards, writers)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, shards := range ShardedCrossShardCounts {
+		if err := addSharded(ShardedCrossBenchConfig(scale, shards, shards)); err != nil {
+			return nil, err
+		}
 	}
 	for _, shards := range GroupCommitShardCounts {
 		for _, bsz := range GroupCommitBatchSizes {
@@ -252,6 +306,31 @@ func CompareBenchDocs(base, cur *BenchDoc, tol float64) []string {
 	for _, b := range base.GroupCommit {
 		key := fmt.Sprintf("groupcommit/b%d/s%d", b.BatchSize, b.Shards)
 		c, ok := curGC[key]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: row missing from current report", key))
+			continue
+		}
+		worse("ops/sec", key, b.OpsPerSec, c.OpsPerSec, false)
+		worse("fences/op", key, b.FencesPerOp, c.FencesPerOp, true)
+		worse("flushes/op", key, b.FlushesPerOp, c.FlushesPerOp, true)
+	}
+
+	shardedKey := func(s BenchSharded) string {
+		mode := "perop"
+		if s.CrossShard {
+			mode = fmt.Sprintf("cross/b%d", s.BatchSize)
+		} else if s.BatchSize > 1 {
+			mode = fmt.Sprintf("batch/b%d", s.BatchSize)
+		}
+		return fmt.Sprintf("sharded/s%d/w%d/%s", s.Shards, s.Writers, mode)
+	}
+	curSh := make(map[string]BenchSharded, len(cur.Sharded))
+	for _, s := range cur.Sharded {
+		curSh[shardedKey(s)] = s
+	}
+	for _, b := range base.Sharded {
+		key := shardedKey(b)
+		c, ok := curSh[key]
 		if !ok {
 			regressions = append(regressions, fmt.Sprintf("%s: row missing from current report", key))
 			continue

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"encoding/json"
+	"fmt"
 	"path/filepath"
 	"testing"
 )
@@ -59,6 +60,42 @@ func TestBuildBenchDocSchema(t *testing.T) {
 		if c.Readers <= 0 || c.OpsPerSec <= 0 || c.ElapsedNs <= 0 {
 			t.Errorf("concurrent r=%d has zero metrics: %+v", c.Readers, c)
 		}
+	}
+	wantSharded := len(ShardedWriterCounts)*len(ShardedShardCounts) + len(ShardedCrossShardCounts)
+	if len(doc.Sharded) != wantSharded {
+		t.Fatalf("sharded rows = %d, want %d", len(doc.Sharded), wantSharded)
+	}
+	for _, s := range doc.Sharded {
+		if s.Shards <= 0 || s.Writers <= 0 || s.Ops <= 0 || s.Fences == 0 ||
+			s.Flushes == 0 || s.ElapsedNs <= 0 || s.OpsPerSec <= 0 {
+			t.Errorf("sharded s=%d w=%d has zero metrics: %+v", s.Shards, s.Writers, s)
+		}
+	}
+}
+
+// TestBenchShardedScaling pins the tentpole's two headline properties
+// in the gated report: per-op fences/op is exactly 1 at every shard
+// count, and aggregate ops/sec at S=4 with 4 writers is at least 2x the
+// single-shard run with the same writers.
+func TestBenchShardedScaling(t *testing.T) {
+	doc, err := BuildBenchDoc("test", benchTestScale())
+	if err != nil {
+		t.Fatalf("BuildBenchDoc: %v", err)
+	}
+	byKey := map[string]BenchSharded{}
+	for _, s := range doc.Sharded {
+		if !s.CrossShard && s.FencesPerOp != 1.0 {
+			t.Errorf("per-op row s=%d w=%d: fences/op = %v, want exactly 1", s.Shards, s.Writers, s.FencesPerOp)
+		}
+		byKey[fmt.Sprintf("s%d/w%d/cross=%v", s.Shards, s.Writers, s.CrossShard)] = s
+	}
+	base, ok1 := byKey["s1/w4/cross=false"]
+	wide, ok4 := byKey["s4/w4/cross=false"]
+	if !ok1 || !ok4 {
+		t.Fatalf("sweep missing S=1/W=4 or S=4/W=4 rows: %v", byKey)
+	}
+	if speedup := wide.OpsPerSec / base.OpsPerSec; speedup < 2 {
+		t.Errorf("S=4/W=4 speedup = %.2fx over S=1/W=4, want >= 2x", speedup)
 	}
 }
 
@@ -182,6 +219,10 @@ func TestCompareBenchDocs(t *testing.T) {
 			{OpsPerFASE: 64, Ops: 100, Fences: 5, Flushes: 300, Copies: 160,
 				FencesPerOp: 0.05, FlushesPerOp: 3, CopiesPerOp: 1.6, ElapsedNs: 1e6, OpsPerSec: 1e5},
 		},
+		Sharded: []BenchSharded{
+			{Shards: 4, Writers: 4, BatchSize: 1, Ops: 100, Fences: 100, Flushes: 1000,
+				FencesPerOp: 1, FlushesPerOp: 10, ElapsedNs: 1e6, OpsPerSec: 4e5},
+		},
 	}
 	clone := func() *BenchDoc {
 		data, _ := json.Marshal(base)
@@ -237,5 +278,23 @@ func TestCompareBenchDocs(t *testing.T) {
 	cur.Workloads = cur.Workloads[:1]
 	if regs := CompareBenchDocs(base, cur, 0.15); len(regs) != 1 {
 		t.Errorf("missing row not flagged exactly once: %v", regs)
+	}
+
+	cur = clone()
+	cur.Sharded[0].OpsPerSec *= 0.7 // sharded aggregate throughput regressed
+	if regs := CompareBenchDocs(base, cur, 0.15); len(regs) != 1 {
+		t.Errorf("sharded ops/sec drop not flagged exactly once: %v", regs)
+	}
+
+	cur = clone()
+	cur.Sharded[0].FencesPerOp = 1.5 // single-shard fence economy broken
+	if regs := CompareBenchDocs(base, cur, 0.15); len(regs) != 1 {
+		t.Errorf("sharded fences/op rise not flagged exactly once: %v", regs)
+	}
+
+	cur = clone()
+	cur.Sharded = nil
+	if regs := CompareBenchDocs(base, cur, 0.15); len(regs) != 1 {
+		t.Errorf("missing sharded row not flagged exactly once: %v", regs)
 	}
 }

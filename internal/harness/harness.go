@@ -126,7 +126,7 @@ func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
 var Experiments = []string{
 	"table1", "table2", "fig2", "fig4", "fig9", "fig10", "fig11", "table3",
 	"spaceoverhead", "ablation-conc", "ablation-naive", "concurrent",
-	"groupcommit", "transient",
+	"groupcommit", "transient", "sharded",
 }
 
 // Run executes one named experiment at the given scale.
@@ -160,6 +160,8 @@ func Run(name string, scale Scale) (*Table, error) {
 		return GroupCommit(scale)
 	case "transient":
 		return Transient(scale)
+	case "sharded":
+		return Sharded(scale)
 	}
 	return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", name, Experiments)
 }

@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/mod-ds/mod/internal/workloads"
+)
+
+// ShardedShardCounts sweeps the shard counts of the sharded experiment.
+// cmd/modbench -shards overrides it to a single count.
+var ShardedShardCounts = []int{1, 2, 4, 8}
+
+// ShardedWriterCounts sweeps the writer counts: 1 shows per-writer cost
+// is unchanged, 4 shows the aggregate scaling the sharding buys.
+var ShardedWriterCounts = []int{1, 4}
+
+// ShardedCrossShardCounts are the shard counts of the cross-shard
+// (manifest path) rows.
+var ShardedCrossShardCounts = []int{2, 4}
+
+// shardedCrossBatch is the batch size of the cross-shard rows.
+const shardedCrossBatch = 16
+
+// ShardedBenchConfig derives a deterministic sharded workload from a
+// Scale.
+func ShardedBenchConfig(scale Scale, shards, writers int) workloads.ShardedConfig {
+	return workloads.ShardedConfig{
+		Shards:      shards,
+		Writers:     writers,
+		Ops:         scale.Ops,
+		PreloadKeys: max(scale.Ops/16, 64),
+		Seed:        0x5aa4ded,
+	}
+}
+
+// ShardedCrossBenchConfig derives the cross-shard (manifest) variant.
+func ShardedCrossBenchConfig(scale Scale, shards, writers int) workloads.ShardedConfig {
+	cfg := ShardedBenchConfig(scale, shards, writers)
+	cfg.BatchSize = shardedCrossBatch
+	cfg.CrossShard = true
+	return cfg
+}
+
+// Sharded measures aggregate throughput and fence economy as the root
+// namespace spreads over independent heap shards. The per-op rows pin
+// the tentpole's two claims at once: fences/op stays exactly 1 at every
+// shard count (single-shard operations keep their single ordering
+// point), while aggregate ops/sec scales with shards because each shard
+// is its own device region — no shared fence, no shared allocator, no
+// shared commit mutex. The cross rows pay the manifest's 2k+2 fences
+// per batch, the explicit price of cross-shard atomicity. A final
+// parallel row reruns the widest point with real goroutines for
+// information.
+func Sharded(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:    "sharded",
+		Title: "sharded store: aggregate scaling vs shard count (MOD engine)",
+		Note:  "elapsed = busiest shard region (critical path); per-op and cross rows are deterministic and gated by cmd/benchdiff; parallel row is informational",
+		Header: []string{"shards", "writers", "mode", "ops", "fences/op", "flushes/op",
+			"ops/s", "speedup"},
+	}
+	bases := map[int]float64{} // writers -> S=1 ops/sec
+	for _, writers := range ShardedWriterCounts {
+		for _, shards := range ShardedShardCounts {
+			res, err := workloads.RunSharded(ShardedBenchConfig(scale, shards, writers))
+			if err != nil {
+				return nil, err
+			}
+			if shards == 1 {
+				bases[writers] = res.OpsPerSec
+			}
+			speedup := "-" // no S=1 base in a restricted sweep (-shards N)
+			if base, ok := bases[writers]; ok {
+				speedup = fmt.Sprintf("%.2fx", res.OpsPerSec/base)
+			}
+			t.AddRow(
+				fmt.Sprintf("%d", res.Shards),
+				fmt.Sprintf("%d", res.Writers),
+				"per-op",
+				fmt.Sprintf("%d", res.Ops),
+				f3(res.FencesPerOp),
+				f2(res.FlushesPerOp),
+				f1(res.OpsPerSec),
+				speedup,
+			)
+		}
+	}
+	for _, shards := range ShardedCrossShardCounts {
+		res, err := workloads.RunSharded(ShardedCrossBenchConfig(scale, shards, shards))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", res.Shards),
+			fmt.Sprintf("%d", res.Writers),
+			fmt.Sprintf("cross/b%d", res.BatchSize),
+			fmt.Sprintf("%d", res.Ops),
+			f3(res.FencesPerOp),
+			f2(res.FlushesPerOp),
+			f1(res.OpsPerSec),
+			"-",
+		)
+	}
+	widest := ShardedShardCounts[len(ShardedShardCounts)-1]
+	cfg := ShardedBenchConfig(scale, widest, max(widest, 4))
+	cfg.Parallel = true
+	res, err := workloads.RunSharded(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow(
+		fmt.Sprintf("%d", res.Shards),
+		fmt.Sprintf("%d", res.Writers),
+		"parallel",
+		fmt.Sprintf("%d", res.Ops),
+		f3(res.FencesPerOp),
+		f2(res.FlushesPerOp),
+		f1(res.OpsPerSec),
+		"-",
+	)
+	return t, nil
+}

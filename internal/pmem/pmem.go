@@ -183,6 +183,33 @@ type Stats struct {
 	CacheLevels cachesim.HierarchyStats
 }
 
+// Add returns s + o, counter-wise, for aggregating the per-region
+// devices of a region-split (sharded) store into one view. Summing every
+// region exactly once is the invariant the shard-stats property test
+// pins: a flush or fence executed on one shard device must appear in the
+// aggregate exactly once.
+func (s Stats) Add(o Stats) Stats {
+	r := s
+	r.TotalNs += o.TotalNs
+	for i := range r.CatNs {
+		r.CatNs[i] += o.CatNs[i]
+	}
+	r.Flushes += o.Flushes
+	r.Fences += o.Fences
+	r.Reads += o.Reads
+	r.Writes += o.Writes
+	r.BytesRead += o.BytesRead
+	r.BytesWritten += o.BytesWritten
+	r.FlushedPerFence += o.FlushedPerFence
+	r.FlushesSaved += o.FlushesSaved
+	r.CopiesElided += o.CopiesElided
+	r.Batches += o.Batches
+	r.BatchedOps += o.BatchedOps
+	r.Cache = s.Cache.Add(o.Cache)
+	r.CacheLevels = s.CacheLevels.Add(o.CacheLevels)
+	return r
+}
+
 // Sub returns s - base, counter-wise, for interval measurements.
 func (s Stats) Sub(base Stats) Stats {
 	r := s
