@@ -1,19 +1,24 @@
 // Benchdiff is the CI performance-regression gate. It compares a fresh
 // BENCH.json (written by modbench -bench) against the committed baseline
 // and exits nonzero if any deterministic row's ops/sec dropped — or its
-// fences/op, flushes/op, or (transient rows) copies/op rose — by more
-// than the tolerance, naming the offending rows in the failure output.
+// fences/op, flushes/op, (transient/selective rows) copies/op, or
+// (recovery rows) recovery_ns rose — by more than the tolerance, naming
+// the offending rows in the failure output. Rows present in the current
+// report but absent from the baseline also fail: a new row carries no
+// gate until the baseline is regenerated. Pass -allow-new to downgrade
+// that failure to a warning (e.g. on the PR that introduces the row).
 //
 // Usage:
 //
-//	benchdiff [-baseline BENCH_baseline.json] [-current BENCH.json] [-tolerance 0.15]
+//	benchdiff [-baseline BENCH_baseline.json] [-current BENCH.json] [-tolerance 0.15] [-allow-new]
 //
-// The single-threaded workload suite, the synchronous group-commit and
-// transient sweeps, and the sharded sweep (sequential execution with a
-// critical-path elapsed metric) are fully deterministic in simulated time, so any
-// drift beyond the tolerance is a real code-path change, not measurement
-// noise. The concurrent reader-scaling rows depend on goroutine
-// interleaving and are reported but never gated.
+// The single-threaded workload suite, the synchronous group-commit,
+// transient, and selective sweeps, and the sharded sweep (sequential
+// execution with a critical-path elapsed metric) are fully deterministic
+// in simulated time, so any drift beyond the tolerance is a real
+// code-path change, not measurement noise. The concurrent reader-scaling
+// rows depend on goroutine interleaving and are reported but never
+// gated.
 //
 // After an intentional performance change, regenerate the baseline with
 //
@@ -35,6 +40,7 @@ func main() {
 	baseline := flag.String("baseline", "BENCH_baseline.json", "committed baseline report")
 	current := flag.String("current", "BENCH.json", "freshly generated report")
 	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional regression before failing")
+	allowNew := flag.Bool("allow-new", false, "warn instead of failing on rows missing from the baseline")
 	flag.Parse()
 
 	base, err := harness.ReadBenchDoc(*baseline)
@@ -54,16 +60,30 @@ func main() {
 	}
 
 	regressions := harness.CompareBenchDocs(base, cur, *tolerance)
-	gated := len(base.Workloads) + len(base.GroupCommit) + len(base.Transient) + len(base.Sharded)
-	if len(regressions) == 0 {
+	fresh := harness.BenchNewRows(base, cur)
+	if len(fresh) > 0 && *allowNew {
+		fmt.Fprintf(os.Stderr, "benchdiff: warning: %d row(s) not in baseline (ungated until it is regenerated): %s\n",
+			len(fresh), strings.Join(fresh, ", "))
+		fresh = nil
+	}
+	gated := len(base.Workloads) + len(base.GroupCommit) + len(base.Transient) +
+		len(base.Sharded) + len(base.Selective) + len(base.Recovery)
+	if len(regressions) == 0 && len(fresh) == 0 {
 		fmt.Printf("benchdiff: OK — %d gated rows within %.0f%% of baseline\n", gated, *tolerance*100)
 		return
 	}
-	fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) vs %s:\n", len(regressions), *baseline)
-	for _, r := range regressions {
-		fmt.Fprintf(os.Stderr, "  %s\n", r)
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) vs %s:\n", len(regressions), *baseline)
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		fmt.Fprintf(os.Stderr, "offending rows: %s\n", strings.Join(offendingRows(regressions), ", "))
 	}
-	fmt.Fprintf(os.Stderr, "offending rows: %s\n", strings.Join(offendingRows(regressions), ", "))
+	if len(fresh) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d row(s) in current report but not in %s: %s\n",
+			len(fresh), *baseline, strings.Join(fresh, ", "))
+		fmt.Fprintln(os.Stderr, "new rows are ungated; regenerate the baseline or rerun with -allow-new")
+	}
 	os.Exit(1)
 }
 

@@ -67,7 +67,12 @@ const (
 	heapBase       = (superblockSize + pmem.LineSize - 1) &^ (pmem.LineSize - 1)
 
 	magic   = 0x4d4f442d48454150 // "MOD-HEAP"
-	version = 2                  // 2: added the open-run table
+	version = 3                  // 2: added the open-run table; 3: volatile-node bit
+
+	// minVersion is the oldest heap layout Open still accepts. Version 2
+	// heaps simply never have the volatile-node bit set, so they read
+	// back unchanged under version-3 code.
+	minVersion = 2
 
 	headerSize = 8
 	headerMark = 0x4d4f // "MO", stored in the top 16 bits of a header
@@ -100,6 +105,11 @@ type RecoveryStats struct {
 	LeakedBlocks int    // unreachable blocks reclaimed
 	LeakedBytes  uint64 // bytes reclaimed from interrupted FASEs
 	Roots        int    // non-nil roots found
+	// VolatileBlocks counts root-referenced navigation blocks whose
+	// volatile-node bit was set: their payloads were zeroed rather than
+	// trusted, and the selective rebuild pass reconstructs their state
+	// from recovery records (DESIGN.md §10).
+	VolatileBlocks int
 }
 
 // heapShared is the allocator state common to all handles. The mutex
@@ -127,6 +137,10 @@ type heapShared struct {
 	// reserves holds sealed edit-run tails awaiting reuse as later
 	// edits' runs (edit.go).
 	reserves []reserveRegion
+
+	// cache is the DRAM node cache fronting funcds interior-node reads
+	// (cache.go); nil until EnableNodeCache.
+	cache atomic.Pointer[nodeCache]
 
 	stats Stats // Quarantine filled from ebr on read
 
@@ -169,7 +183,7 @@ func Open(dev *pmem.Device) (*Heap, error) {
 	if dev.ReadU64(offMagic) != magic {
 		return nil, fmt.Errorf("alloc: bad heap magic %#x", dev.ReadU64(offMagic))
 	}
-	if v := dev.ReadU64(offVersion); v != version {
+	if v := dev.ReadU64(offVersion); v < minVersion || v > version {
 		return nil, fmt.Errorf("alloc: unsupported heap version %d", v)
 	}
 	h := newHeap(dev)
@@ -230,6 +244,12 @@ func strideFor(payload int) uint32 {
 	return (need + pmem.LineSize - 1) &^ (pmem.LineSize - 1)
 }
 
+// hdrVolatileBit marks a block whose payload is intentionally NOT flushed
+// on the hot path (selective persistence, DESIGN.md §10): the header is
+// durable so recovery can still walk the block chain, but the payload is
+// navigation-only state that recovery must zero and rebuild, never trust.
+const hdrVolatileBit = uint64(1) << 41
+
 func packHeader(stride uint32, tag uint8, allocated bool) uint64 {
 	v := uint64(headerMark)<<48 | uint64(tag)<<32 | uint64(stride)
 	if allocated {
@@ -250,6 +270,19 @@ func unpackHeader(v uint64) (stride uint32, tag uint8, allocated, ok bool) {
 // fully initialize their nodes). The header is written and flushed without
 // a fence; recovery discards blocks whose owning FASE never committed.
 func (h *Heap) Alloc(size int, tag uint8) pmem.Addr {
+	return h.alloc(size, tag, false)
+}
+
+// AllocVolatile allocates like Alloc but marks the block's header with the
+// volatile-node bit: the header is still flushed (recovery must be able to
+// walk the block chain), but the caller will not flush the payload — it is
+// DRAM-resident navigation state that recovery zeroes and rebuilds from
+// recovery records instead of trusting (DESIGN.md §10).
+func (h *Heap) AllocVolatile(size int, tag uint8) pmem.Addr {
+	return h.alloc(size, tag, true)
+}
+
+func (h *Heap) alloc(size int, tag uint8, volatile bool) pmem.Addr {
 	if size < 0 {
 		panic("alloc: negative size")
 	}
@@ -270,7 +303,11 @@ func (h *Heap) Alloc(size int, tag uint8) pmem.Addr {
 	if t := h.dev.Tracer(); t != nil {
 		t.Alloc(hdr, uint64(stride), tag)
 	}
-	h.dev.WriteU64(hdr, packHeader(stride, tag, true))
+	v := packHeader(stride, tag, true)
+	if volatile {
+		v |= hdrVolatileBit
+	}
+	h.dev.WriteU64(hdr, v)
 	h.dev.Clwb(hdr)
 	return h.registerBlock(hdr, stride)
 }
@@ -326,6 +363,25 @@ func (h *Heap) header(payload pmem.Addr) (stride uint32, tag uint8) {
 func (h *Heap) PayloadSize(payload pmem.Addr) int {
 	stride, _ := h.header(payload)
 	return int(stride) - headerSize
+}
+
+// IsVolatile reports whether the block at payload addr carries the
+// volatile-node bit (its payload is not flushed on the hot path).
+func (h *Heap) IsVolatile(payload pmem.Addr) bool {
+	return h.dev.ReadU64(payload-headerSize)&hdrVolatileBit != 0
+}
+
+// ClearVolatile rewrites the block's header without the volatile-node bit
+// and issues a clwb, leaving the write inflight for the caller's fence.
+// It is the checkpoint step of selective persistence: the caller must
+// have made the payload durable (flushed and fenced) BEFORE clearing, and
+// must run inside a commit bracket — the 8-byte aligned header rewrite is
+// the only in-place mutation of an already-published block the trace
+// invariants permit there (DESIGN.md §10).
+func (h *Heap) ClearVolatile(payload pmem.Addr) {
+	hdr := payload - headerSize
+	h.dev.WriteU64(hdr, h.dev.ReadU64(hdr)&^hdrVolatileBit)
+	h.dev.Clwb(hdr)
 }
 
 // Tag returns the type tag of the block at payload addr.
@@ -476,6 +532,9 @@ func (h *Heap) collectCascade(payload pmem.Addr, dead []pmem.Addr) []pmem.Addr {
 func (h *Heap) freeBlock(r retiredBlock) {
 	sh := h.sh
 	stride, _ := h.header(r.addr)
+	if c := sh.cache.Load(); c != nil {
+		c.invalidate(r.addr)
+	}
 	sh.refs.Delete(r.addr)
 	sh.mu.Lock()
 	sh.free[stride] = append(sh.free[stride], r.addr-headerSize)

@@ -119,6 +119,18 @@ func (e *Edit) Heap() *Heap { return e.h }
 // the caller's payload writes are deferred into the edit's flush set; the
 // block is not durable until Seal plus the commit fence.
 func (e *Edit) Alloc(size int, tag uint8) pmem.Addr {
+	return e.alloc(size, tag, false)
+}
+
+// AllocVolatile allocates an edit-owned block carrying the volatile-node
+// bit (see Heap.AllocVolatile): the header still enters the flush set,
+// but the payload is DRAM-resident navigation state the caller will not
+// flush.
+func (e *Edit) AllocVolatile(size int, tag uint8) pmem.Addr {
+	return e.alloc(size, tag, true)
+}
+
+func (e *Edit) alloc(size int, tag uint8, volatile bool) pmem.Addr {
 	if e.sealed {
 		panic("alloc: Alloc on a sealed edit")
 	}
@@ -139,7 +151,7 @@ func (e *Edit) Alloc(size int, tag uint8) pmem.Addr {
 		sh.free[stride] = list[:len(list)-1]
 		sh.mu.Unlock()
 		e.extra[hdr+headerSize] = struct{}{}
-		return e.finishAlloc(hdr, stride, tag)
+		return e.finishAlloc(hdr, stride, tag, volatile)
 	}
 	// Bump path: sub-allocate from this edit's current run, claiming a
 	// fresh one (recorded in the open-run table) when needed.
@@ -150,7 +162,7 @@ func (e *Edit) Alloc(size int, tag uint8) pmem.Addr {
 			r.cur += pmem.Addr(stride)
 			r.lastHdr = hdr
 			sh.mu.Unlock()
-			return e.finishAlloc(hdr, stride, tag)
+			return e.finishAlloc(hdr, stride, tag, volatile)
 		}
 	}
 	slot := -1
@@ -165,7 +177,7 @@ func (e *Edit) Alloc(size int, tag uint8) pmem.Addr {
 		// Open-run table full: fall back to an eagerly flushed allocation,
 		// still owned by the edit (tracked in the extra set).
 		sh.mu.Unlock()
-		payload := h.Alloc(size, tag)
+		payload := h.alloc(size, tag, volatile)
 		e.extra[payload] = struct{}{}
 		return payload
 	}
@@ -191,7 +203,7 @@ func (e *Edit) Alloc(size int, tag uint8) pmem.Addr {
 		cur: start + pmem.Addr(stride), lastHdr: start, slot: slot,
 	})
 	sh.mu.Unlock()
-	return e.finishAlloc(start, stride, tag)
+	return e.finishAlloc(start, stride, tag, volatile)
 }
 
 // Reserve tails. When an edit seals while other allocations sit above
@@ -227,12 +239,16 @@ func (sh *heapShared) takeReserveLocked(minStride uint32) (pmem.Addr, uint32) {
 }
 
 // finishAlloc announces, writes (deferred-flush), and registers a block.
-func (e *Edit) finishAlloc(hdr pmem.Addr, stride uint32, tag uint8) pmem.Addr {
+func (e *Edit) finishAlloc(hdr pmem.Addr, stride uint32, tag uint8, volatile bool) pmem.Addr {
 	h := e.h
 	if t := h.dev.Tracer(); t != nil {
 		t.Alloc(hdr, uint64(stride), tag)
 	}
-	h.dev.WriteU64(hdr, packHeader(stride, tag, true))
+	v := packHeader(stride, tag, true)
+	if volatile {
+		v |= hdrVolatileBit
+	}
+	h.dev.WriteU64(hdr, v)
 	e.fs.Add(hdr, headerSize)
 	return h.registerBlock(hdr, stride)
 }
@@ -334,7 +350,7 @@ func (e *Edit) capRun(r *editRun) {
 		if !ok {
 			panic(fmt.Sprintf("alloc: corrupt edit-run header at %#x", uint64(r.lastHdr)))
 		}
-		h.dev.WriteU64(r.lastHdr, packHeader(stride+rem, tag, allocated))
+		h.dev.WriteU64(r.lastHdr, packHeader(stride+rem, tag, allocated)|(raw&hdrVolatileBit))
 		e.fs.Add(r.lastHdr, headerSize)
 		sh.mu.Lock()
 		sh.stats.LiveBytes += uint64(rem)

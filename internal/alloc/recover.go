@@ -26,6 +26,7 @@ func (h *Heap) Recover() (RecoveryStats, error) {
 	var rs RecoveryStats
 
 	sh := h.sh
+	h.resetCache()
 	sh.refs = &sync.Map{}
 	sh.free = make(map[uint32][]pmem.Addr)
 	sh.ebr.mu.Lock()
@@ -65,6 +66,7 @@ func (h *Heap) Recover() (RecoveryStats, error) {
 		tag    uint8
 		marked bool
 		wasAll bool
+		vol    bool
 	}
 	var blocks []blockInfo
 	index := make(map[pmem.Addr]int) // payload -> blocks index
@@ -95,7 +97,11 @@ func (h *Heap) Recover() (RecoveryStats, error) {
 					// Too small for a header: absorb into the preceding
 					// block (at most 8 bytes; strides are multiples of 8).
 					blocks[n-1].stride += rem
-					h.dev.WriteU64(blocks[n-1].hdr, packHeader(blocks[n-1].stride, blocks[n-1].tag, blocks[n-1].wasAll))
+					hv := packHeader(blocks[n-1].stride, blocks[n-1].tag, blocks[n-1].wasAll)
+					if blocks[n-1].vol {
+						hv |= hdrVolatileBit
+					}
+					h.dev.WriteU64(blocks[n-1].hdr, hv)
 					h.dev.Clwb(blocks[n-1].hdr)
 				}
 				addr = run.end
@@ -111,7 +117,7 @@ func (h *Heap) Recover() (RecoveryStats, error) {
 			break
 		}
 		index[addr+headerSize] = len(blocks)
-		blocks = append(blocks, blockInfo{hdr: addr, stride: stride, tag: tag, wasAll: allocated})
+		blocks = append(blocks, blockInfo{hdr: addr, stride: stride, tag: tag, wasAll: allocated, vol: raw&hdrVolatileBit != 0})
 		addr += pmem.Addr(stride)
 	}
 	// The table is consumed: no edit survives a crash. Synthesized headers
@@ -129,6 +135,14 @@ func (h *Heap) Recover() (RecoveryStats, error) {
 
 	// Pass 2: mark from roots, rebuilding reference counts as the number
 	// of reachable parents (plus one per root-table reference).
+	//
+	// Blocks carrying the volatile-node bit are navigation state whose
+	// payload was never flushed: recovery must not trust (or recurse
+	// into) their contents. They are kept live — the committed structure
+	// header still references them until the selective rebuild replaces
+	// it — but their payloads are zeroed so every later walker sees an
+	// empty node, and their children are left unmarked for the sweep
+	// (DESIGN.md §10).
 	var stack []pmem.Addr
 	visit := func(payload pmem.Addr) error {
 		if payload == pmem.Nil {
@@ -142,7 +156,12 @@ func (h *Heap) Recover() (RecoveryStats, error) {
 		cnt.(*atomic.Int32).Add(1)
 		if !blocks[bi].marked {
 			blocks[bi].marked = true
-			stack = append(stack, payload)
+			if blocks[bi].vol {
+				rs.VolatileBlocks++
+				h.dev.Zero(payload, int(blocks[bi].stride)-headerSize)
+			} else {
+				stack = append(stack, payload)
+			}
 		}
 		return nil
 	}

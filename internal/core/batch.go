@@ -400,11 +400,17 @@ func (p *preparedBatch) publishLocal() {
 		// Nothing to publish or order.
 	case len(p.changed) == 1:
 		c := p.changed[0]
+		crown := s.maybeCheckpoint(c.final)
 		s.commitBegin()
 		s.heap.Fence() // the batch's single ordering point
+		s.clearCrown(crown)
 		s.heap.SetRoot(c.slot, c.final)
 		s.commitEnd()
 	default:
+		var crown []pmem.Addr
+		for _, c := range p.changed {
+			crown = append(crown, s.maybeCheckpoint(c.final)...)
+		}
 		s.sh.txMu.Lock()
 		s.commitBegin()
 		s.sh.batchSeq++ // serialized by txMu; 0 is reserved for idle
@@ -425,6 +431,11 @@ func (p *preparedBatch) publishLocal() {
 		// retirement are durable. The status word is still idle, so a
 		// crash here recovers none of the batch.
 		s.heap.Fence()
+		// Checkpoint crowns clear (and fence) between A and B: the crown
+		// payloads are durable after fence A, and the clears are durable
+		// before the commit point, so a replayed swap can never point at
+		// a structure whose navigation recovery would zero.
+		s.clearCrown(crown)
 		s.dev.WriteU64(s.batchRec, seq)
 		s.dev.Clwb(s.batchRec)
 		s.dev.Sfence() // fence B: the status write is the commit point

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/mod-ds/mod/internal/funcds"
 	"github.com/mod-ds/mod/internal/pmem"
 )
 
@@ -147,6 +148,120 @@ func matrixStructures() []matrixStructure {
 				},
 			}
 		}},
+		// Selective-persistence variants: volatile navigation nodes, a
+		// durable record chain, and (with checkpointEvery forced low by the
+		// sweep) checkpoint folds with their volatile-bit clears landing
+		// inside the probed injection windows. The DRAM node cache is on so
+		// cached reads and invalidation are exercised across the crash too.
+		{name: "vector-sel", bind: func(t *testing.T, s *Store, nm string) matrixOps {
+			s.EnableNodeCache()
+			v, err := s.SelectiveVector(nm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return matrixOps{
+				basic:  func(i int) { v.Push(mxVal(i)) },
+				batch:  func(b *Batch, i int) { b.VectorPush(v, mxVal(i)) },
+				sbatch: func(b *ShardedBatch, i int) { b.VectorPush(v, mxVal(i)) },
+				dump: func() []string {
+					n := v.Len()
+					out := make([]string, n)
+					for i := uint64(0); i < n; i++ {
+						out[i] = fmt.Sprint(v.Get(i))
+					}
+					return out
+				},
+			}
+		}},
+		{name: "map-sel", bind: func(t *testing.T, s *Store, nm string) matrixOps {
+			s.EnableNodeCache()
+			m, err := s.SelectiveMap(nm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := func(i int) []byte { return []byte(fmt.Sprintf("k%03d", i)) }
+			val := func(i int) []byte { return []byte(fmt.Sprintf("v%03d", i*3)) }
+			return matrixOps{
+				basic:  func(i int) { m.Set(key(i), val(i)) },
+				batch:  func(b *Batch, i int) { b.MapSet(m, key(i), val(i)) },
+				sbatch: func(b *ShardedBatch, i int) { b.MapSet(m, key(i), val(i)) },
+				dump: func() []string {
+					var out []string
+					m.Range(func(k, v []byte) bool {
+						out = append(out, string(k)+"="+string(v))
+						return true
+					})
+					sort.Strings(out)
+					return out
+				},
+			}
+		}},
+		{name: "set-sel", bind: func(t *testing.T, s *Store, nm string) matrixOps {
+			s.EnableNodeCache()
+			st, err := s.SelectiveSet(nm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := func(i int) []byte { return []byte(fmt.Sprintf("m%03d", i)) }
+			return matrixOps{
+				basic:  func(i int) { st.Insert(key(i)) },
+				batch:  func(b *Batch, i int) { b.SetInsert(st, key(i)) },
+				sbatch: func(b *ShardedBatch, i int) { b.SetInsert(st, key(i)) },
+				dump: func() []string {
+					var out []string
+					st.Range(func(k []byte) bool {
+						out = append(out, string(k))
+						return true
+					})
+					sort.Strings(out)
+					return out
+				},
+			}
+		}},
+		{name: "stack-sel", bind: func(t *testing.T, s *Store, nm string) matrixOps {
+			s.EnableNodeCache()
+			st, err := s.SelectiveStack(nm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return matrixOps{
+				basic:  func(i int) { st.Push(mxVal(i)) },
+				batch:  func(b *Batch, i int) { b.StackPush(st, mxVal(i)) },
+				sbatch: func(b *ShardedBatch, i int) { b.StackPush(st, mxVal(i)) },
+				dump: func() []string {
+					snap := st.Snapshot()
+					defer snap.Close()
+					els := snap.Version().Elements()
+					out := make([]string, len(els))
+					for i, e := range els {
+						out[i] = fmt.Sprint(e)
+					}
+					return out
+				},
+			}
+		}},
+		{name: "queue-sel", bind: func(t *testing.T, s *Store, nm string) matrixOps {
+			s.EnableNodeCache()
+			q, err := s.SelectiveQueue(nm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return matrixOps{
+				basic:  func(i int) { q.Enqueue(mxVal(i)) },
+				batch:  func(b *Batch, i int) { b.QueueEnqueue(q, mxVal(i)) },
+				sbatch: func(b *ShardedBatch, i int) { b.QueueEnqueue(q, mxVal(i)) },
+				dump: func() []string {
+					snap := q.Snapshot()
+					defer snap.Close()
+					els := snap.Version().Elements()
+					out := make([]string, len(els))
+					for i, e := range els {
+						out[i] = fmt.Sprint(e)
+					}
+					return out
+				},
+			}
+		}},
 	}
 }
 
@@ -166,6 +281,10 @@ func mxInjectionStride() int {
 // TestCrashMatrixSingleStore sweeps the per-op, edit-FASE, and
 // multi-root-batch disciplines on a single store.
 func TestCrashMatrixSingleStore(t *testing.T) {
+	// Checkpoint every 2 records so the selective variants fold a
+	// checkpoint — crown flushes, ext rewrite, volatile-bit clears —
+	// inside the probed injection windows.
+	defer funcds.SetCheckpointEvery(funcds.SetCheckpointEvery(2))
 	cfg := pmem.DefaultConfig(4 << 20)
 	cfg.TrackDurable = true
 	for _, st := range matrixStructures() {
@@ -288,6 +407,7 @@ func TestCrashMatrixSingleStore(t *testing.T) {
 // including inside the manifest's intent, commit-point, and redo
 // windows — must recover all of the batch on both shards or none.
 func TestCrashMatrixCrossShard(t *testing.T) {
+	defer funcds.SetCheckpointEvery(funcds.SetCheckpointEvery(2))
 	cfg := pmem.DefaultConfig(4 << 20)
 	cfg.TrackDurable = true
 	for _, st := range matrixStructures() {

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"github.com/mod-ds/mod/internal/funcds"
+	"github.com/mod-ds/mod/internal/pmem"
+)
+
+// Selective persistence binders (DESIGN.md §10, "Don't Persist All").
+//
+// A Selective* binder is the root-bound counterpart of the plain binder:
+// on first use it creates the selectively persisted flavor of the
+// structure — interior navigation nodes stay volatile-clean in the
+// allocator's view, every update appends one durable record cell, and the
+// commit path periodically folds the record chain into a durable
+// checkpoint. The handle type is the same as the plain binder's: every
+// operation, batch op, and snapshot tag-detects the flavor through
+// funcds.MapAt and friends, so a selective root is usable everywhere a
+// normal one is (except under a Parent — selective structures are
+// root-bound only, because checkpoint folding hooks the root commit
+// paths).
+//
+// The flavor is decided at creation: binding an existing root returns it
+// with whatever flavor it was created with, regardless of which binder is
+// used.
+
+// SelectiveMap binds (creating on first use) a selectively persisted
+// recoverable map under a named root.
+func (s *Store) SelectiveMap(name string) (*Map, error) {
+	loc, addr, err := bindRoot(s, name, func() pmem.Addr { return funcds.NewMapSelective(s.heap).Addr() })
+	if err != nil {
+		return nil, err
+	}
+	m := &Map{st: s, name: name, loc: loc}
+	m.adopt(addr)
+	return m, nil
+}
+
+// SelectiveSet binds (creating on first use) a selectively persisted
+// recoverable set under a named root.
+func (s *Store) SelectiveSet(name string) (*Set, error) {
+	loc, addr, err := bindRoot(s, name, func() pmem.Addr { return funcds.NewSetSelective(s.heap).Addr() })
+	if err != nil {
+		return nil, err
+	}
+	st := &Set{st: s, name: name, loc: loc}
+	st.adopt(addr)
+	return st, nil
+}
+
+// SelectiveVector binds (creating on first use) a selectively persisted
+// recoverable vector under a named root.
+func (s *Store) SelectiveVector(name string) (*Vector, error) {
+	loc, addr, err := bindRoot(s, name, func() pmem.Addr { return funcds.NewVectorSelective(s.heap).Addr() })
+	if err != nil {
+		return nil, err
+	}
+	v := &Vector{st: s, name: name, loc: loc}
+	v.adopt(addr)
+	return v, nil
+}
+
+// SelectiveStack binds (creating on first use) a selectively persisted
+// recoverable stack under a named root.
+func (s *Store) SelectiveStack(name string) (*Stack, error) {
+	loc, addr, err := bindRoot(s, name, func() pmem.Addr { return funcds.NewStackSelective(s.heap).Addr() })
+	if err != nil {
+		return nil, err
+	}
+	st := &Stack{st: s, name: name, loc: loc}
+	st.adopt(addr)
+	return st, nil
+}
+
+// SelectiveQueue binds (creating on first use) a selectively persisted
+// recoverable queue under a named root.
+func (s *Store) SelectiveQueue(name string) (*Queue, error) {
+	loc, addr, err := bindRoot(s, name, func() pmem.Addr { return funcds.NewQueueSelective(s.heap).Addr() })
+	if err != nil {
+		return nil, err
+	}
+	q := &Queue{st: s, name: name, loc: loc}
+	q.adopt(addr)
+	return q, nil
+}
+
+// EnableNodeCache turns on the heap's DRAM node cache: committed
+// navigation nodes are served from a volatile map keyed by PM address
+// instead of paying the device's read latency. Safe to enable at any
+// time; it applies to every handle forked from this store.
+func (s *Store) EnableNodeCache() { s.heap.EnableNodeCache() }

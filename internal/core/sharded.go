@@ -267,10 +267,35 @@ func OpenShardedStore(cfg pmem.Config, images [][]byte) (*ShardedStore, ShardedR
 	}
 
 	// Phase 2: parallel reachability recovery, one goroutine per shard.
+	starts := make([]float64, shards)
+	for i, d := range devs {
+		starts[i] = d.LocalNs()
+	}
 	stats, err := alloc.RecoverAll(heaps)
 	rs.PerShard = stats
 	if err != nil {
 		return nil, rs, err
+	}
+
+	// Phase 2.5: rebuild selective navigation, in parallel like the
+	// reachability scan — each shard replays its own roots' record chains
+	// on its own heap, so total rebuild time is the slowest shard's.
+	rebuildErrs := make([]error, shards)
+	var wg sync.WaitGroup
+	for i := range heaps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			replayed, rerr := rebuildSelectiveRoots(heaps[i])
+			rebuildErrs[i] = rerr
+			devs[i].NoteRecovery(replayed, devs[i].LocalNs()-starts[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, rerr := range rebuildErrs {
+		if rerr != nil {
+			return nil, rs, fmt.Errorf("core: shard %d: %w", i, rerr)
+		}
 	}
 
 	// Phase 3: build the handles and retire the manifest.
@@ -543,10 +568,20 @@ func (ss *ShardedStore) commitSharded(per map[int][]batchOp) {
 		preps[single].publishLocal()
 	default:
 		// Shadow durability: one fence per changed shard, before the
-		// commit point can be written.
+		// commit point can be written. Selective structures due for a
+		// checkpoint prepare it first (crown flushes ride the shard's
+		// fence) and clear their crown durable behind it — program order
+		// puts every clear fence before the manifest's commit point, so
+		// a replayed swap can never publish a structure whose navigation
+		// recovery would zero.
 		for i, p := range preps {
 			if changed[i] {
+				var crown []pmem.Addr
+				for _, c := range p.changed {
+					crown = append(crown, p.s.maybeCheckpoint(c.final)...)
+				}
 				p.s.heap.Fence()
+				p.s.clearCrown(crown)
 			}
 		}
 		meta := ss.meta

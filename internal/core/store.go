@@ -184,10 +184,16 @@ func OpenStore(dev *pmem.Device) (*Store, alloc.RecoveryStats, error) {
 	if err != nil {
 		return nil, alloc.RecoveryStats{}, err
 	}
+	start := dev.LocalNs()
 	rs, err := a.heap.Recover()
 	if err != nil {
 		return nil, rs, err
 	}
+	replayed, err := rebuildSelectiveRoots(a.heap)
+	if err != nil {
+		return nil, rs, err
+	}
+	dev.NoteRecovery(replayed, dev.LocalNs()-start)
 	s, err := a.finishOpen()
 	if err != nil {
 		return nil, rs, err
@@ -360,14 +366,80 @@ func (s *Store) checkCurrent(slot int, old pmem.Addr, what string) {
 // commitRoot is the common-case CommitSingle step (Fig. 8b): one fence to
 // make every outstanding shadow flush durable, then an 8-byte atomic
 // pointer write to publish the new version, then retirement of the old.
-// Caller holds the root's commit mutex.
+// A selective structure whose record chain has grown past the checkpoint
+// threshold folds the chain into a fresh checkpoint here, adding a second
+// fence for that rare commit (DESIGN.md §10). Caller holds the root's
+// commit mutex.
 func (s *Store) commitRoot(slot int, old, final pmem.Addr) {
 	s.checkCurrent(slot, old, "commit")
+	crown := s.maybeCheckpoint(final)
 	s.commitBegin()
 	s.heap.Fence() // the FASE's single ordering point; reclaims retired blocks
+	s.clearCrown(crown)
 	s.heap.SetRoot(slot, final)
 	s.commitEnd()
 	s.heap.Release(old)
+}
+
+// maybeCheckpoint folds a selective structure's record chain into a fresh
+// checkpoint when it has grown past funcds.CheckpointEvery, returning the
+// volatile crown of navigation nodes the commit step must then mark
+// durable (clearCrown). It runs before the commit bracket: the crown
+// flushes and the checkpoint clone are ordinary shadow work, made durable
+// by the commit fence. Non-selective finals return nil at the cost of one
+// tag read.
+func (s *Store) maybeCheckpoint(final pmem.Addr) []pmem.Addr {
+	if final == pmem.Nil || !funcds.NeedsCheckpoint(s.heap, final) {
+		return nil
+	}
+	return funcds.PrepareCheckpoint(s.heap, final)
+}
+
+// clearCrown marks a checkpoint's crown of navigation nodes durable: each
+// header rewrite is an 8-byte commit-legal write, fenced as a group before
+// the publication write can become durable. Both orderings matter
+// (DESIGN.md §10): the crown payloads were made durable by the commit
+// fence before any clear is issued — a durable clear over a not-yet-
+// durable payload would let recovery trace garbage — and the clears are
+// fenced before the publication write, so recovery can never zero
+// navigation nodes a durably published root depends on.
+func (s *Store) clearCrown(crown []pmem.Addr) {
+	if len(crown) == 0 {
+		return
+	}
+	for _, a := range crown {
+		s.heap.ClearVolatile(a)
+	}
+	s.dev.Sfence()
+}
+
+// rebuildSelectiveRoots reconstructs the DRAM-resident navigation of every
+// selective structure root after a crash: each root's record chain is
+// replayed on top of its durable checkpoint (funcds.RebuildSelective) and
+// the rebuilt header republished. The swap is fenced on both sides so the
+// old header retires only once the replacement is durably published.
+// Returns the number of record operations replayed.
+func rebuildSelectiveRoots(heap *alloc.Heap) (uint64, error) {
+	var total uint64
+	for slot := 0; slot < alloc.RootSlots; slot++ {
+		root := heap.Root(slot)
+		if !funcds.IsSelective(heap, root) {
+			continue
+		}
+		newHdr, replayed, rebuilt, err := funcds.RebuildSelective(heap, root)
+		if err != nil {
+			return total, fmt.Errorf("core: rebuilding selective root (slot %d): %w", slot, err)
+		}
+		total += uint64(replayed)
+		if !rebuilt {
+			continue
+		}
+		heap.Fence()
+		heap.SetRoot(slot, newHdr)
+		heap.Fence()
+		heap.Release(root)
+	}
+	return total, nil
 }
 
 // CommitSingle atomically replaces ds's current version with the last
@@ -520,9 +592,14 @@ func (s *Store) CommitUnrelated(updates ...Update) {
 	for _, u := range updates {
 		s.checkCurrent(u.DS.location().slot, u.DS.currentAddr(), "CommitUnrelated")
 	}
+	var crown []pmem.Addr
+	for _, u := range updates {
+		crown = append(crown, s.maybeCheckpoint(u.final())...)
+	}
 	s.dev.Sfence() // shadows durable before the pointer tx
 	s.heap.Drain()
 	s.commitBegin()
+	s.clearCrown(crown) // fenced before the tx's commit point
 	s.tx.Begin()
 	for _, u := range updates {
 		cell := s.heap.RootCellAddr(u.DS.location().slot)

@@ -28,6 +28,7 @@ type Map struct {
 	h    *alloc.Heap
 	addr pmem.Addr
 	ed   *alloc.Edit
+	sel  bool // selective persistence: volatile trie, record chain (record.go)
 }
 
 const (
@@ -48,11 +49,29 @@ func NewMap(h *alloc.Heap) Map {
 	return Map{h: h, addr: a}
 }
 
-// MapAt adopts an existing map header, e.g. after recovery.
-func MapAt(h *alloc.Heap, addr pmem.Addr) Map { return Map{h: h, addr: addr} }
+// NewMapSelective allocates an empty selectively persisted map: trie nodes
+// stay volatile-clean, every update appends a durable record cell, and the
+// checkpoint clone starts as an empty normal map (flushed, not fenced).
+func NewMapSelective(h *alloc.Heap) Map {
+	ckpt := NewMap(h).Addr()
+	a := h.Alloc(mapHdrSize+selExtSize, TagMapHdrSel)
+	dev := h.Device()
+	dev.Zero(a, mapHdrSize)
+	writeSelExt(h, a, mapHdrSize, ckpt, pmem.Nil, 0)
+	dev.FlushRange(a, mapHdrSize+selExtSize)
+	return Map{h: h, addr: a, sel: true}
+}
+
+// MapAt adopts an existing map header, e.g. after recovery. The selective
+// variant is recognized by its tag.
+func MapAt(h *alloc.Heap, addr pmem.Addr) Map {
+	return Map{h: h, addr: addr, sel: h.Tag(addr) == TagMapHdrSel}
+}
 
 // WithEdit binds the version to a per-FASE edit context (DESIGN.md §8).
-func (m Map) WithEdit(ed *alloc.Edit) Map { return Map{h: m.h, addr: m.addr, ed: ed} }
+func (m Map) WithEdit(ed *alloc.Edit) Map {
+	return Map{h: m.h, addr: m.addr, ed: ed, sel: m.sel}
+}
 
 // Addr returns the header address of this version.
 func (m Map) Addr() pmem.Addr { return m.addr }
@@ -66,24 +85,36 @@ func (m Map) Len() uint64 { return m.h.Device().ReadU64(m.addr) }
 func (m Map) root() pmem.Addr { return pmem.Addr(m.h.Device().ReadU64(m.addr + 8)) }
 
 func newMapHdr(h *alloc.Heap, ed *alloc.Edit, count uint64, root pmem.Addr) pmem.Addr {
-	a := nodeAlloc(h, ed, mapHdrSize, TagMapHdr)
+	a := nodeAlloc(h, ed, mapHdrSize, TagMapHdr, false)
 	dev := h.Device()
 	dev.WriteU64(a, count)
 	dev.WriteU64(a+8, uint64(root))
-	flushNode(h, ed, a, mapHdrSize)
+	flushNode(h, ed, a, mapHdrSize, false)
 	return a
 }
 
 // setHdr produces a map header with the given count and root: an in-place
 // rewrite when the receiver's header is edit-owned (releasing its
 // reference to a displaced old root), a fresh header otherwise. The new
-// root's reference transfers in.
-func (m Map) setHdr(count uint64, newRoot, oldRoot pmem.Addr) Map {
+// root's reference transfers in. Selective maps additionally install rec
+// at the head of the record chain (rec already holds a reference on the
+// previous head, so the old header's own reference is dropped in the
+// in-place case).
+func (m Map) setHdr(count uint64, newRoot, oldRoot, rec pmem.Addr) Map {
 	if m.ed.Owns(m.addr) {
 		dev := m.h.Device()
 		dev.WriteU64(m.addr, count)
 		dev.WriteU64(m.addr+8, uint64(newRoot))
-		recordEdit(m.ed, m.addr, mapHdrSize)
+		size := mapHdrSize
+		if m.sel {
+			ckpt, oldRec, recCount := readSelExt(m.h, m.addr, mapHdrSize)
+			writeSelExt(m.h, m.addr, mapHdrSize, ckpt, rec, recCount+1)
+			size += selExtSize
+			if oldRec != pmem.Nil {
+				m.h.Release(oldRec)
+			}
+		}
+		recordEdit(m.ed, m.addr, size, false)
 		if newRoot != oldRoot {
 			m.h.Release(oldRoot)
 		}
@@ -94,22 +125,36 @@ func (m Map) setHdr(count uint64, newRoot, oldRoot pmem.Addr) Map {
 		// header is a second parent.
 		m.h.Retain(newRoot)
 	}
+	if m.sel {
+		ckpt, _, recCount := readSelExt(m.h, m.addr, mapHdrSize)
+		hdr := nodeAlloc(m.h, m.ed, mapHdrSize+selExtSize, TagMapHdrSel, false)
+		dev := m.h.Device()
+		dev.WriteU64(hdr, count)
+		dev.WriteU64(hdr+8, uint64(newRoot))
+		writeSelExt(m.h, hdr, mapHdrSize, ckpt, rec, recCount+1)
+		flushNode(m.h, m.ed, hdr, mapHdrSize+selExtSize, false)
+		m.h.Retain(ckpt)
+		return Map{h: m.h, addr: hdr, ed: m.ed, sel: true}
+	}
 	hdr := newMapHdr(m.h, m.ed, count, newRoot)
 	return Map{h: m.h, addr: hdr, ed: m.ed}
 }
 
-// readMapNode loads a trie node into volatile form with bulk accesses.
-func readMapNode(h *alloc.Heap, a pmem.Addr) (dataMap, nodeMap uint32, entries []mapEntry, children []pmem.Addr) {
-	dev := h.Device()
-	var hdr [8]byte
-	dev.Read(a, hdr[:])
-	dataMap = binary.LittleEndian.Uint32(hdr[:])
+// readMapNode loads a trie node into volatile form with bulk accesses,
+// served from the DRAM node cache when it is enabled (edit-owned nodes —
+// still mutable this FASE — bypass it).
+func readMapNode(h *alloc.Heap, ed *alloc.Edit, a pmem.Addr) (dataMap, nodeMap uint32, entries []mapEntry, children []pmem.Addr) {
+	hdr := h.ReadCached(a, 8, ed)
+	dataMap = binary.LittleEndian.Uint32(hdr)
 	nodeMap = binary.LittleEndian.Uint32(hdr[4:])
 	d := bits.OnesCount32(dataMap)
 	c := bits.OnesCount32(nodeMap)
-	body := make([]byte, d*16+c*8)
-	if len(body) > 0 {
-		dev.Read(a+8, body)
+	var body []byte
+	if n := d*16 + c*8; n > 0 {
+		// Re-read the whole node under its block-start key: the cache is
+		// invalidated by payload address on free, so a separate entry keyed
+		// mid-block would survive free-and-reallocate and serve stale bytes.
+		body = h.ReadCached(a, 8+n, ed)[8:]
 	}
 	entries = make([]mapEntry, d)
 	for i := 0; i < d; i++ {
@@ -125,11 +170,12 @@ func readMapNode(h *alloc.Heap, a pmem.Addr) (dataMap, nodeMap uint32, entries [
 	return dataMap, nodeMap, entries, children
 }
 
-// buildMapNode allocates, writes, and flushes a trie node. Reference
-// transfers are the caller's responsibility.
-func buildMapNode(h *alloc.Heap, ed *alloc.Edit, dataMap, nodeMap uint32, entries []mapEntry, children []pmem.Addr) pmem.Addr {
+// buildMapNode allocates, writes, and flushes a trie node (volatile under
+// selective persistence). Reference transfers are the caller's
+// responsibility.
+func buildMapNode(h *alloc.Heap, ed *alloc.Edit, vol bool, dataMap, nodeMap uint32, entries []mapEntry, children []pmem.Addr) pmem.Addr {
 	size := 8 + len(entries)*16 + len(children)*8
-	a := nodeAlloc(h, ed, size, TagMapNode)
+	a := nodeAlloc(h, ed, size, TagMapNode, vol)
 	buf := make([]byte, size)
 	binary.LittleEndian.PutUint32(buf, dataMap)
 	binary.LittleEndian.PutUint32(buf[4:], nodeMap)
@@ -143,14 +189,15 @@ func buildMapNode(h *alloc.Heap, ed *alloc.Edit, dataMap, nodeMap uint32, entrie
 	}
 	dev := h.Device()
 	dev.Write(a, buf)
-	flushNode(h, ed, a, size)
+	flushNode(h, ed, a, size, vol)
 	return a
 }
 
-// buildCollision allocates, writes, and flushes a collision bucket.
-func buildCollision(h *alloc.Heap, ed *alloc.Edit, entries []mapEntry) pmem.Addr {
+// buildCollision allocates, writes, and flushes a collision bucket
+// (volatile under selective persistence).
+func buildCollision(h *alloc.Heap, ed *alloc.Edit, vol bool, entries []mapEntry) pmem.Addr {
 	size := 8 + len(entries)*16
-	a := nodeAlloc(h, ed, size, TagMapCollision)
+	a := nodeAlloc(h, ed, size, TagMapCollision, vol)
 	buf := make([]byte, size)
 	binary.LittleEndian.PutUint32(buf, uint32(len(entries)))
 	for i, e := range entries {
@@ -159,17 +206,24 @@ func buildCollision(h *alloc.Heap, ed *alloc.Edit, entries []mapEntry) pmem.Addr
 	}
 	dev := h.Device()
 	dev.Write(a, buf)
-	flushNode(h, ed, a, size)
+	flushNode(h, ed, a, size, vol)
 	return a
 }
 
-func readCollision(h *alloc.Heap, a pmem.Addr) []mapEntry {
-	dev := h.Device()
-	n := int(dev.ReadU32(a))
+func readCollision(h *alloc.Heap, ed *alloc.Edit, a pmem.Addr) []mapEntry {
+	hdr := h.ReadCached(a, 8, ed)
+	n := int(binary.LittleEndian.Uint32(hdr))
 	entries := make([]mapEntry, n)
+	if n == 0 {
+		return entries
+	}
+	// Whole-node read under the block-start key; see readMapNode.
+	body := h.ReadCached(a, 8+n*16, ed)[8:]
 	for i := 0; i < n; i++ {
-		off := a + 8 + pmem.Addr(i*16)
-		entries[i] = mapEntry{pmem.Addr(dev.ReadU64(off)), pmem.Addr(dev.ReadU64(off + 8))}
+		entries[i] = mapEntry{
+			pmem.Addr(binary.LittleEndian.Uint64(body[i*16:])),
+			pmem.Addr(binary.LittleEndian.Uint64(body[i*16+8:])),
+		}
 	}
 	return entries
 }
@@ -209,7 +263,7 @@ func (m Map) Get(key []byte) ([]byte, bool) {
 	shift := uint(0)
 	for {
 		if m.h.Tag(node) == TagMapCollision {
-			for _, e := range readCollision(m.h, node) {
+			for _, e := range readCollision(m.h, m.ed, node) {
 				if blobEqual(m.h, e.key, key) {
 					if e.val == pmem.Nil {
 						return nil, true
@@ -260,12 +314,20 @@ func (m Map) Set(key, val []byte) (Map, bool) {
 	if val != nil {
 		valBlob = newBlob(m.h, m.ed, val)
 	}
+	// The record cell is created before the insert so it holds references
+	// on the blobs even when the trie reuses an existing key blob and the
+	// fresh one is released.
+	rec := pmem.Nil
+	if m.sel {
+		_, oldRec, _ := readSelExt(m.h, m.addr, mapHdrSize)
+		rec = newRecord(m.h, m.ed, oldRec, RecMapSet, uint64(keyBlob), uint64(valBlob))
+	}
 	root := m.root()
 	var newRoot pmem.Addr
 	var replaced bool
 	if root == pmem.Nil {
 		hash := hash64(key)
-		newRoot = buildMapNode(m.h, m.ed, uint32(1)<<(hash&31), 0, []mapEntry{{keyBlob, valBlob}}, nil)
+		newRoot = buildMapNode(m.h, m.ed, m.sel, uint32(1)<<(hash&31), 0, []mapEntry{{keyBlob, valBlob}}, nil)
 	} else {
 		newRoot, replaced = m.insertRec(root, 0, hash64(key), key, keyBlob, valBlob)
 		if replaced {
@@ -276,7 +338,7 @@ func (m Map) Set(key, val []byte) (Map, bool) {
 	if !replaced {
 		count++
 	}
-	return m.setHdr(count, newRoot, root), replaced
+	return m.setHdr(count, newRoot, root, rec), replaced
 }
 
 // insertRec returns a new node with the binding applied. keyBlob/valBlob
@@ -286,13 +348,13 @@ func (m Map) Set(key, val []byte) (Map, bool) {
 func (m Map) insertRec(node pmem.Addr, shift uint, hash uint64, key []byte, keyBlob, valBlob pmem.Addr) (pmem.Addr, bool) {
 	h := m.h
 	if h.Tag(node) == TagMapCollision {
-		entries := readCollision(h, node)
+		entries := readCollision(h, m.ed, node)
 		for i, e := range entries {
 			if blobEqual(h, e.key, key) {
 				if m.ed.Owns(node) {
 					off := node + 8 + pmem.Addr(i*16) + 8
 					h.Device().WriteU64(off, uint64(valBlob))
-					recordEdit(m.ed, off, 8)
+					recordEdit(m.ed, off, 8, m.sel)
 					h.Release(e.val)
 					return node, true
 				}
@@ -301,15 +363,15 @@ func (m Map) insertRec(node pmem.Addr, shift uint, hash uint64, key []byte, keyB
 				out[i] = mapEntry{e.key, valBlob}
 				retainEntries(h, entries, i)
 				h.Retain(e.key) // key survives into the new bucket
-				return buildCollision(h, m.ed, out), true
+				return buildCollision(h, m.ed, m.sel, out), true
 			}
 		}
 		out := append(append([]mapEntry{}, entries...), mapEntry{keyBlob, valBlob})
 		retainEntries(h, entries, -1)
-		return buildCollision(h, m.ed, out), false
+		return buildCollision(h, m.ed, m.sel, out), false
 	}
 
-	dataMap, nodeMap, entries, children := readMapNode(h, node)
+	dataMap, nodeMap, entries, children := readMapNode(h, m.ed, node)
 	bit := uint32(1) << ((hash >> shift) & 31)
 	di := bits.OnesCount32(dataMap & (bit - 1))
 	ni := bits.OnesCount32(nodeMap & (bit - 1))
@@ -322,7 +384,7 @@ func (m Map) insertRec(node pmem.Addr, shift uint, hash uint64, key []byte, keyB
 				// Same shape: a single in-place value-slot write.
 				off := node + 8 + pmem.Addr(di*16) + 8
 				h.Device().WriteU64(off, uint64(valBlob))
-				recordEdit(m.ed, off, 8)
+				recordEdit(m.ed, off, 8, m.sel)
 				h.Release(e.val)
 				return node, true
 			}
@@ -333,7 +395,7 @@ func (m Map) insertRec(node pmem.Addr, shift uint, hash uint64, key []byte, keyB
 			retainEntries(h, entries, di)
 			h.Retain(e.key)
 			retainChildren(h, children, -1)
-			return buildMapNode(h, m.ed, dataMap, nodeMap, out, children), true
+			return buildMapNode(h, m.ed, m.sel, dataMap, nodeMap, out, children), true
 		}
 		// Hash conflict at this level: push both entries one level down.
 		// The node's shape changes, so an owned node is rebuilt too (its
@@ -353,7 +415,7 @@ func (m Map) insertRec(node pmem.Addr, shift uint, hash uint64, key []byte, keyB
 		outC = append(outC, children[ni:]...)
 		retainEntries(h, entries, di)
 		retainChildren(h, children, -1)
-		return buildMapNode(h, m.ed, dataMap&^bit, nodeMap|bit, outE, outC), false
+		return buildMapNode(h, m.ed, m.sel, dataMap&^bit, nodeMap|bit, outE, outC), false
 
 	case nodeMap&bit != 0:
 		newChild, replaced := m.insertRec(children[ni], shift+vecBits, hash, key, keyBlob, valBlob)
@@ -363,7 +425,7 @@ func (m Map) insertRec(node pmem.Addr, shift uint, hash uint64, key []byte, keyB
 		if m.ed.Owns(node) {
 			off := node + 8 + pmem.Addr(len(entries)*16+ni*8)
 			h.Device().WriteU64(off, uint64(newChild))
-			recordEdit(m.ed, off, 8)
+			recordEdit(m.ed, off, 8, m.sel)
 			h.Release(children[ni])
 			return node, replaced
 		}
@@ -372,7 +434,7 @@ func (m Map) insertRec(node pmem.Addr, shift uint, hash uint64, key []byte, keyB
 		outC[ni] = newChild
 		retainEntries(h, entries, -1)
 		retainChildren(h, children, ni)
-		return buildMapNode(h, m.ed, dataMap, nodeMap, entries, outC), replaced
+		return buildMapNode(h, m.ed, m.sel, dataMap, nodeMap, entries, outC), replaced
 
 	default:
 		outE := make([]mapEntry, 0, len(entries)+1)
@@ -381,7 +443,7 @@ func (m Map) insertRec(node pmem.Addr, shift uint, hash uint64, key []byte, keyB
 		outE = append(outE, entries[di:]...)
 		retainEntries(h, entries, -1)
 		retainChildren(h, children, -1)
-		return buildMapNode(h, m.ed, dataMap|bit, nodeMap, outE, children), false
+		return buildMapNode(h, m.ed, m.sel, dataMap|bit, nodeMap, outE, children), false
 	}
 }
 
@@ -391,18 +453,18 @@ func (m Map) insertRec(node pmem.Addr, shift uint, hash uint64, key []byte, keyB
 func (m Map) mergeTwo(shift uint, e1 mapEntry, h1 uint64, e2 mapEntry, h2 uint64) pmem.Addr {
 	h := m.h
 	if shift >= collisionShift {
-		return buildCollision(h, m.ed, []mapEntry{e1, e2})
+		return buildCollision(h, m.ed, m.sel, []mapEntry{e1, e2})
 	}
 	i1 := uint32((h1 >> shift) & 31)
 	i2 := uint32((h2 >> shift) & 31)
 	if i1 == i2 {
 		sub := m.mergeTwo(shift+vecBits, e1, h1, e2, h2)
-		return buildMapNode(h, m.ed, 0, uint32(1)<<i1, nil, []pmem.Addr{sub})
+		return buildMapNode(h, m.ed, m.sel, 0, uint32(1)<<i1, nil, []pmem.Addr{sub})
 	}
 	if i1 < i2 {
-		return buildMapNode(h, m.ed, uint32(1)<<i1|uint32(1)<<i2, 0, []mapEntry{e1, e2}, nil)
+		return buildMapNode(h, m.ed, m.sel, uint32(1)<<i1|uint32(1)<<i2, 0, []mapEntry{e1, e2}, nil)
 	}
-	return buildMapNode(h, m.ed, uint32(1)<<i1|uint32(1)<<i2, 0, []mapEntry{e2, e1}, nil)
+	return buildMapNode(h, m.ed, m.sel, uint32(1)<<i1|uint32(1)<<i2, 0, []mapEntry{e2, e1}, nil)
 }
 
 // Delete returns a new version without key, and whether the key was
@@ -417,7 +479,16 @@ func (m Map) Delete(key []byte) (Map, bool) {
 	if !removed {
 		return m, false
 	}
-	return m.setHdr(m.Len()-1, newRoot, root), true
+	rec := pmem.Nil
+	if m.sel {
+		// The record operand is a fresh key blob owned by the record alone:
+		// newRecord retains it, so the temporary reference is dropped here.
+		kb := newBlob(m.h, m.ed, key)
+		_, oldRec, _ := readSelExt(m.h, m.addr, mapHdrSize)
+		rec = newRecord(m.h, m.ed, oldRec, RecMapDelete, uint64(kb), 0)
+		m.h.Release(kb)
+	}
+	return m.setHdr(m.Len()-1, newRoot, root, rec), true
 }
 
 // deleteRec returns the replacement node (Nil if the subtree became empty)
@@ -427,7 +498,7 @@ func (m Map) Delete(key []byte) (Map, bool) {
 func (m Map) deleteRec(node pmem.Addr, shift uint, hash uint64, key []byte) (pmem.Addr, bool) {
 	h := m.h
 	if h.Tag(node) == TagMapCollision {
-		entries := readCollision(h, node)
+		entries := readCollision(h, m.ed, node)
 		for i, e := range entries {
 			if blobEqual(h, e.key, key) {
 				if len(entries) == 1 {
@@ -437,13 +508,13 @@ func (m Map) deleteRec(node pmem.Addr, shift uint, hash uint64, key []byte) (pme
 				out = append(out, entries[:i]...)
 				out = append(out, entries[i+1:]...)
 				retainEntries(h, entries, i)
-				return buildCollision(h, m.ed, out), true
+				return buildCollision(h, m.ed, m.sel, out), true
 			}
 		}
 		return pmem.Nil, false
 	}
 
-	dataMap, nodeMap, entries, children := readMapNode(h, node)
+	dataMap, nodeMap, entries, children := readMapNode(h, m.ed, node)
 	bit := uint32(1) << ((hash >> shift) & 31)
 	di := bits.OnesCount32(dataMap & (bit - 1))
 	ni := bits.OnesCount32(nodeMap & (bit - 1))
@@ -461,7 +532,7 @@ func (m Map) deleteRec(node pmem.Addr, shift uint, hash uint64, key []byte) (pme
 		outE = append(outE, entries[di+1:]...)
 		retainEntries(h, entries, di)
 		retainChildren(h, children, -1)
-		return buildMapNode(h, m.ed, dataMap&^bit, nodeMap, outE, children), true
+		return buildMapNode(h, m.ed, m.sel, dataMap&^bit, nodeMap, outE, children), true
 
 	case nodeMap&bit != 0:
 		newChild, removed := m.deleteRec(children[ni], shift+vecBits, hash, key)
@@ -477,7 +548,7 @@ func (m Map) deleteRec(node pmem.Addr, shift uint, hash uint64, key []byte) (pme
 			outC = append(outC, children[ni+1:]...)
 			retainEntries(h, entries, -1)
 			retainChildren(h, children, ni)
-			return buildMapNode(h, m.ed, dataMap, nodeMap&^bit, entries, outC), true
+			return buildMapNode(h, m.ed, m.sel, dataMap, nodeMap&^bit, entries, outC), true
 		}
 		if newChild == children[ni] {
 			return node, true
@@ -485,7 +556,7 @@ func (m Map) deleteRec(node pmem.Addr, shift uint, hash uint64, key []byte) (pme
 		if m.ed.Owns(node) {
 			off := node + 8 + pmem.Addr(len(entries)*16+ni*8)
 			h.Device().WriteU64(off, uint64(newChild))
-			recordEdit(m.ed, off, 8)
+			recordEdit(m.ed, off, 8, m.sel)
 			h.Release(children[ni])
 			return node, true
 		}
@@ -494,7 +565,7 @@ func (m Map) deleteRec(node pmem.Addr, shift uint, hash uint64, key []byte) (pme
 		outC[ni] = newChild
 		retainEntries(h, entries, -1)
 		retainChildren(h, children, ni)
-		return buildMapNode(h, m.ed, dataMap, nodeMap, entries, outC), true
+		return buildMapNode(h, m.ed, m.sel, dataMap, nodeMap, entries, outC), true
 
 	default:
 		return pmem.Nil, false
@@ -514,14 +585,14 @@ func (m Map) Range(f func(key, val []byte) bool) {
 func (m Map) rangeRec(node pmem.Addr, f func(key, val []byte) bool) bool {
 	h := m.h
 	if h.Tag(node) == TagMapCollision {
-		for _, e := range readCollision(h, node) {
+		for _, e := range readCollision(h, m.ed, node) {
 			if !emitEntry(h, e, f) {
 				return false
 			}
 		}
 		return true
 	}
-	_, _, entries, children := readMapNode(h, node)
+	_, _, entries, children := readMapNode(h, m.ed, node)
 	for _, e := range entries {
 		if !emitEntry(h, e, f) {
 			return false
@@ -550,7 +621,7 @@ func walkMapHdr(h *alloc.Heap, a pmem.Addr, visit func(pmem.Addr)) {
 }
 
 func walkMapNode(h *alloc.Heap, a pmem.Addr, visit func(pmem.Addr)) {
-	dataMap, _, entries, children := readMapNode(h, a)
+	dataMap, _, entries, children := readMapNode(h, nil, a)
 	_ = dataMap
 	for _, e := range entries {
 		visit(e.key)
@@ -564,7 +635,7 @@ func walkMapNode(h *alloc.Heap, a pmem.Addr, visit func(pmem.Addr)) {
 }
 
 func walkMapCollision(h *alloc.Heap, a pmem.Addr, visit func(pmem.Addr)) {
-	for _, e := range readCollision(h, a) {
+	for _, e := range readCollision(h, nil, a) {
 		visit(e.key)
 		if e.val != pmem.Nil {
 			visit(e.val)
@@ -578,6 +649,9 @@ type Set struct{ m Map }
 
 // NewSet allocates an empty durable set.
 func NewSet(h *alloc.Heap) Set { return Set{m: NewMap(h)} }
+
+// NewSetSelective allocates an empty selectively persisted set.
+func NewSetSelective(h *alloc.Heap) Set { return Set{m: NewMapSelective(h)} }
 
 // SetDSAt adopts an existing set header, e.g. after recovery.
 func SetDSAt(h *alloc.Heap, addr pmem.Addr) Set { return Set{m: MapAt(h, addr)} }

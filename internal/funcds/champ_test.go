@@ -238,7 +238,7 @@ func TestMapCollisionBuckets(t *testing.T) {
 	if replaced {
 		t.Fatal("new key reported replaced")
 	}
-	entries := readCollision(h, col2)
+	entries := readCollision(h, nil, col2)
 	if len(entries) != 3 {
 		t.Fatalf("collision bucket has %d entries, want 3", len(entries))
 	}
@@ -251,7 +251,7 @@ func TestMapCollisionBuckets(t *testing.T) {
 	}
 	h.Release(k2b)
 	found := false
-	for _, e := range readCollision(h, col3) {
+	for _, e := range readCollision(h, nil, col3) {
 		if blobEqual(h, e.key, []byte("beta")) {
 			found = true
 			if string(blobBytes(h, e.val)) != "4" {
@@ -267,7 +267,7 @@ func TestMapCollisionBuckets(t *testing.T) {
 	if !removed || col4 == pmem.Nil {
 		t.Fatalf("delete from bucket: removed=%v node=%#x", removed, uint64(col4))
 	}
-	if got := len(readCollision(h, col4)); got != 2 {
+	if got := len(readCollision(h, nil, col4)); got != 2 {
 		t.Fatalf("bucket has %d entries after delete, want 2", got)
 	}
 }
@@ -284,7 +284,7 @@ func TestMapMergeTwoDivergingHashes(t *testing.T) {
 	if h.Tag(sub) != TagMapNode {
 		t.Fatalf("mergeTwo built tag %d, want map node", h.Tag(sub))
 	}
-	dataMap, nodeMap, entries, _ := readMapNode(h, sub)
+	dataMap, nodeMap, entries, _ := readMapNode(h, nil, sub)
 	if nodeMap != 0 || dataMap != 0b110 || len(entries) != 2 {
 		t.Fatalf("merged node dataMap=%b nodeMap=%b entries=%d", dataMap, nodeMap, len(entries))
 	}

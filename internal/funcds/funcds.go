@@ -38,6 +38,16 @@ const (
 	// TagParent is reserved for package core's parent objects
 	// (CommitSiblings); its walker is registered there.
 	TagParent
+
+	// Selective persistence (record.go, DESIGN.md §10): one tag for the
+	// durable operation-record cells, and a selective variant of each
+	// structure header whose layout appends [ckptHdr][recHead][recCount]
+	// to the base fields.
+	TagRecord
+	TagMapHdrSel
+	TagVecHdrSel
+	TagStackHdrSel
+	TagQueueHdrSel
 )
 
 // RegisterWalkers installs the child-enumeration functions for every node
@@ -54,6 +64,11 @@ func RegisterWalkers(h *alloc.Heap) {
 	h.RegisterWalker(TagMapHdr, walkMapHdr)
 	h.RegisterWalker(TagMapNode, walkMapNode)
 	h.RegisterWalker(TagMapCollision, walkMapCollision)
+	h.RegisterWalker(TagRecord, walkRecord)
+	h.RegisterWalker(TagMapHdrSel, walkSelHdr(walkMapHdr, mapHdrSize))
+	h.RegisterWalker(TagVecHdrSel, walkSelHdr(walkVecHdr, vecHdrSize))
+	h.RegisterWalker(TagStackHdrSel, walkSelHdr(walkStackHdr, stackHdrSize))
+	h.RegisterWalker(TagQueueHdrSel, walkSelHdr(walkQueueHdr, queueHdrSize))
 }
 
 func walkNone(*alloc.Heap, pmem.Addr, func(pmem.Addr)) {}
@@ -65,10 +80,19 @@ func walkNone(*alloc.Heap, pmem.Addr, func(pmem.Addr)) {}
 // constructors behave exactly as before: allocate eagerly and flush
 // immediately.
 
-// nodeAlloc allocates a node through the edit when one is active.
-func nodeAlloc(h *alloc.Heap, ed *alloc.Edit, size int, tag uint8) pmem.Addr {
+// nodeAlloc allocates a node through the edit when one is active. A
+// volatile node (selective persistence, record.go) carries the heap's
+// volatile-node bit: its header is flush-pending as usual, but its payload
+// stays DRAM-resident until a checkpoint flushes the crown.
+func nodeAlloc(h *alloc.Heap, ed *alloc.Edit, size int, tag uint8, vol bool) pmem.Addr {
 	if ed != nil {
+		if vol {
+			return ed.AllocVolatile(size, tag)
+		}
 		return ed.Alloc(size, tag)
+	}
+	if vol {
+		return h.AllocVolatile(size, tag)
 	}
 	return h.Alloc(size, tag)
 }
@@ -79,7 +103,12 @@ func nodeAlloc(h *alloc.Heap, ed *alloc.Edit, size int, tag uint8) pmem.Addr {
 // (eager path), or the edit recorded it (deferred path); flushing
 // [a, a+size) covers it again only when payload and header share a line,
 // which is exactly when it must be re-flushed after the payload write.
-func flushNode(h *alloc.Heap, ed *alloc.Edit, a pmem.Addr, size int) {
+// Volatile node payloads are never flushed here — that is the point of
+// selective persistence; the checkpoint flushes them in bulk.
+func flushNode(h *alloc.Heap, ed *alloc.Edit, a pmem.Addr, size int, vol bool) {
+	if vol {
+		return
+	}
 	if ed != nil {
 		ed.Record(a, size)
 		return
@@ -88,8 +117,12 @@ func flushNode(h *alloc.Heap, ed *alloc.Edit, a pmem.Addr, size int) {
 }
 
 // recordEdit defers a flush of an in-place mutation on an edit-owned node.
-func recordEdit(ed *alloc.Edit, a pmem.Addr, size int) {
-	ed.Record(a, size)
+// Mutations of volatile nodes skip the flush set (their payloads stay
+// unflushed) but still count as elided copies.
+func recordEdit(ed *alloc.Edit, a pmem.Addr, size int, vol bool) {
+	if !vol {
+		ed.Record(a, size)
+	}
 	ed.NoteCopyElided()
 }
 
@@ -97,16 +130,19 @@ func recordEdit(ed *alloc.Edit, a pmem.Addr, size int) {
 // keys and values; they are immutable once flushed.
 const blobHdrSize = 8
 
-// newBlob allocates, writes, and flushes a byte-string box.
+// newBlob allocates, writes, and flushes a byte-string box. Blobs are the
+// leaf payloads of selective persistence and are always durable: record
+// cells reference them, so recovered state never re-reads a volatile node
+// to find user data.
 func newBlob(h *alloc.Heap, ed *alloc.Edit, b []byte) pmem.Addr {
-	a := nodeAlloc(h, ed, blobHdrSize+len(b), TagBlob)
+	a := nodeAlloc(h, ed, blobHdrSize+len(b), TagBlob, false)
 	dev := h.Device()
 	dev.WriteU32(a, uint32(len(b)))
 	dev.WriteU32(a+4, 0)
 	if len(b) > 0 {
 		dev.Write(a+blobHdrSize, b)
 	}
-	flushNode(h, ed, a, blobHdrSize+len(b))
+	flushNode(h, ed, a, blobHdrSize+len(b), false)
 	return a
 }
 

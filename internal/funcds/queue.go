@@ -21,6 +21,7 @@ type Queue struct {
 	h    *alloc.Heap
 	addr pmem.Addr
 	ed   *alloc.Edit
+	sel  bool // selective persistence: volatile cons cells, record chain (record.go)
 }
 
 const queueHdrSize = 32
@@ -34,11 +35,29 @@ func NewQueue(h *alloc.Heap) Queue {
 	return Queue{h: h, addr: a}
 }
 
-// QueueAt adopts an existing queue header, e.g. after recovery.
-func QueueAt(h *alloc.Heap, addr pmem.Addr) Queue { return Queue{h: h, addr: addr} }
+// NewQueueSelective allocates an empty selectively persisted queue: cons
+// cells stay volatile-clean, every update appends a durable record cell,
+// and the checkpoint clone starts as an empty normal queue.
+func NewQueueSelective(h *alloc.Heap) Queue {
+	ckpt := NewQueue(h).Addr()
+	a := h.Alloc(queueHdrSize+selExtSize, TagQueueHdrSel)
+	dev := h.Device()
+	dev.Zero(a, queueHdrSize)
+	writeSelExt(h, a, queueHdrSize, ckpt, pmem.Nil, 0)
+	dev.FlushRange(a, queueHdrSize+selExtSize)
+	return Queue{h: h, addr: a, sel: true}
+}
+
+// QueueAt adopts an existing queue header, e.g. after recovery. The
+// selective variant is recognized by its tag.
+func QueueAt(h *alloc.Heap, addr pmem.Addr) Queue {
+	return Queue{h: h, addr: addr, sel: h.Tag(addr) == TagQueueHdrSel}
+}
 
 // WithEdit binds the version to a per-FASE edit context (DESIGN.md §8).
-func (q Queue) WithEdit(ed *alloc.Edit) Queue { return Queue{h: q.h, addr: q.addr, ed: ed} }
+func (q Queue) WithEdit(ed *alloc.Edit) Queue {
+	return Queue{h: q.h, addr: q.addr, ed: ed, sel: q.sel}
+}
 
 // Addr returns the header address of this version.
 func (q Queue) Addr() pmem.Addr { return q.addr }
@@ -59,42 +78,77 @@ func (q Queue) Len() uint64 {
 }
 
 func newQueueHdr(h *alloc.Heap, ed *alloc.Edit, front, rear pmem.Addr, flen, rlen uint64) pmem.Addr {
-	a := nodeAlloc(h, ed, queueHdrSize, TagQueueHdr)
+	a := nodeAlloc(h, ed, queueHdrSize, TagQueueHdr, false)
 	dev := h.Device()
 	dev.WriteU64(a, uint64(front))
 	dev.WriteU64(a+8, uint64(rear))
 	dev.WriteU64(a+16, flen)
 	dev.WriteU64(a+24, rlen)
-	flushNode(h, ed, a, queueHdrSize)
+	flushNode(h, ed, a, queueHdrSize, false)
 	return a
 }
 
 // hdrInPlace rewrites an edit-owned queue header, releasing the header's
-// references to the displaced old front/rear list heads.
-func (q Queue) hdrInPlace(front, rear pmem.Addr, flen, rlen uint64, release ...pmem.Addr) Queue {
+// references to the displaced old front/rear list heads. Selective queues
+// additionally install rec at the head of the record chain.
+func (q Queue) hdrInPlace(front, rear pmem.Addr, flen, rlen uint64, rec pmem.Addr, release ...pmem.Addr) Queue {
 	dev := q.h.Device()
 	dev.WriteU64(q.addr, uint64(front))
 	dev.WriteU64(q.addr+8, uint64(rear))
 	dev.WriteU64(q.addr+16, flen)
 	dev.WriteU64(q.addr+24, rlen)
-	recordEdit(q.ed, q.addr, queueHdrSize)
+	size := queueHdrSize
+	if q.sel {
+		ckpt, oldRec, recCount := readSelExt(q.h, q.addr, queueHdrSize)
+		writeSelExt(q.h, q.addr, queueHdrSize, ckpt, rec, recCount+1)
+		size += selExtSize
+		if oldRec != pmem.Nil {
+			q.h.Release(oldRec)
+		}
+	}
+	recordEdit(q.ed, q.addr, size, false)
 	for _, r := range release {
 		q.h.Release(r)
 	}
 	return q
 }
 
+// hdrFresh produces a new queue header (normal or selective per the
+// receiver); changed-child references transfer in, unchanged ones must
+// have been retained by the caller.
+func (q Queue) hdrFresh(front, rear pmem.Addr, flen, rlen uint64, rec pmem.Addr) Queue {
+	if q.sel {
+		ckpt, _, recCount := readSelExt(q.h, q.addr, queueHdrSize)
+		hdr := nodeAlloc(q.h, q.ed, queueHdrSize+selExtSize, TagQueueHdrSel, false)
+		dev := q.h.Device()
+		dev.WriteU64(hdr, uint64(front))
+		dev.WriteU64(hdr+8, uint64(rear))
+		dev.WriteU64(hdr+16, flen)
+		dev.WriteU64(hdr+24, rlen)
+		writeSelExt(q.h, hdr, queueHdrSize, ckpt, rec, recCount+1)
+		flushNode(q.h, q.ed, hdr, queueHdrSize+selExtSize, false)
+		q.h.Retain(ckpt)
+		return Queue{h: q.h, addr: hdr, ed: q.ed, sel: true}
+	}
+	hdr := newQueueHdr(q.h, q.ed, front, rear, flen, rlen)
+	return Queue{h: q.h, addr: hdr, ed: q.ed}
+}
+
 // Push returns a new version with val appended at the tail.
 func (q Queue) Push(val uint64) Queue {
 	front, rear, flen, rlen := q.fields()
-	node := newListNode(q.h, q.ed, rear, val) // retains old rear
+	rec := pmem.Nil
+	if q.sel {
+		_, oldRec, _ := readSelExt(q.h, q.addr, queueHdrSize)
+		rec = newRecord(q.h, q.ed, oldRec, RecQueuePush, val, 0)
+	}
+	node := newListNode(q.h, q.ed, q.sel, rear, val) // retains old rear
 	if q.ed.Owns(q.addr) {
 		// The header's reference to the old rear moved into the node.
-		return q.hdrInPlace(front, node, flen, rlen+1, rear)
+		return q.hdrInPlace(front, node, flen, rlen+1, rec, rear)
 	}
 	q.h.Retain(front)
-	hdr := newQueueHdr(q.h, q.ed, front, node, flen, rlen+1)
-	return Queue{h: q.h, addr: hdr, ed: q.ed}
+	return q.hdrFresh(front, node, flen, rlen+1, rec)
 }
 
 // Pop returns a new version without the head element, the element, and
@@ -105,16 +159,20 @@ func (q Queue) Pop() (Queue, uint64, bool) {
 	if flen == 0 && rlen == 0 {
 		return q, 0, false
 	}
+	rec := pmem.Nil
+	if q.sel {
+		_, oldRec, _ := readSelExt(q.h, q.addr, queueHdrSize)
+		rec = newRecord(q.h, q.ed, oldRec, RecQueuePop, 0, 0)
+	}
 	if flen > 0 {
 		next := pmem.Addr(dev.ReadU64(front))
 		val := dev.ReadU64(front + 8)
 		q.h.Retain(next)
 		if q.ed.Owns(q.addr) {
-			return q.hdrInPlace(next, rear, flen-1, rlen, front), val, true
+			return q.hdrInPlace(next, rear, flen-1, rlen, rec, front), val, true
 		}
 		q.h.Retain(rear)
-		hdr := newQueueHdr(q.h, q.ed, next, rear, flen-1, rlen)
-		return Queue{h: q.h, addr: hdr, ed: q.ed}, val, true
+		return q.hdrFresh(next, rear, flen-1, rlen, rec), val, true
 	}
 	// Front exhausted: reverse the rear list into a new front list,
 	// excluding the oldest node, whose value is the pop result. The new
@@ -126,7 +184,7 @@ func (q Queue) Pop() (Queue, uint64, bool) {
 		if next == pmem.Nil {
 			break // cur is the oldest element
 		}
-		newFront = newListNode(q.h, q.ed, newFront, dev.ReadU64(cur+8))
+		newFront = newListNode(q.h, q.ed, q.sel, newFront, dev.ReadU64(cur+8))
 		// newListNode retained newFront; drop the extra reference so the
 		// chain is singly owned by its successor.
 		if prev := pmem.Addr(dev.ReadU64(newFront)); prev != pmem.Nil {
@@ -138,10 +196,9 @@ func (q Queue) Pop() (Queue, uint64, bool) {
 	if q.ed.Owns(q.addr) {
 		// The new front transfers in; the header's reference to the old
 		// rear chain drops (its values live on in the new front).
-		return q.hdrInPlace(newFront, pmem.Nil, rlen-1, 0, rear), val, true
+		return q.hdrInPlace(newFront, pmem.Nil, rlen-1, 0, rec, rear), val, true
 	}
-	hdr := newQueueHdr(q.h, q.ed, newFront, pmem.Nil, rlen-1, 0)
-	return Queue{h: q.h, addr: hdr, ed: q.ed}, val, true
+	return q.hdrFresh(newFront, pmem.Nil, rlen-1, 0, rec), val, true
 }
 
 // Peek returns the head element without modifying the queue.

@@ -1,0 +1,512 @@
+package funcds
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+
+	"github.com/mod-ds/mod/internal/alloc"
+	"github.com/mod-ds/mod/internal/pmem"
+)
+
+// Selective persistence (DESIGN.md §10, after "Don't Persist All"):
+// a selective structure keeps its navigation nodes volatile-clean — block
+// headers durable, payloads unflushed — and persists only a minimal core:
+//
+//   - the structure header itself (always fully flushed), extended with
+//     [ckptHdr u64][recHead u64][recCount u64] after the base fields;
+//   - leaf payloads (key/value blobs), which record cells reference;
+//   - a cons-list of fixed-size operation records, newest first, that
+//     logically replays every update since the last checkpoint.
+//
+// ckptHdr points at a checkpoint clone: a normal-tagged header snapshot
+// whose entire subtree is durable. Recovered state is rebuilt by replaying
+// the record chain (oldest first) onto the checkpoint — it never depends
+// on the contents of an unflushed navigation node. Every checkpointEvery
+// records, the commit path flushes the live volatile crown, clears the
+// volatile bits inside the commit bracket (PrepareCheckpoint + the store's
+// clear step), and resets the chain.
+
+// selExtSize is the selective header extension appended after a
+// structure's base fields: [ckptHdr u64][recHead u64][recCount u64].
+const selExtSize = 24
+
+// Record cell layout (TagRecord, durable): [prev u64][kind u64][a u64][b u64].
+const (
+	recordSize = 32
+	recOffPrev = 0
+	recOffKind = 8
+	recOffA    = 16
+	recOffB    = 24
+)
+
+// Record kinds. Operands a/b are blob addresses for the map kinds (the
+// record cell holds a reference on each) and raw values otherwise.
+const (
+	RecMapSet    uint64 = 1 + iota // a=key blob, b=value blob or Nil (set member)
+	RecMapDelete                   // a=key blob
+	RecVecPush                     // a=value
+	RecVecUpdate                   // a=index, b=value
+	RecStackPush                   // a=value
+	RecStackPop                    // (no operands)
+	RecQueuePush                   // a=value
+	RecQueuePop                    // (no operands)
+
+	recKindMax = RecQueuePop
+)
+
+// checkpointEvery is the record-chain length that triggers a checkpoint at
+// the next commit. The crown flushed by a checkpoint is bounded by the
+// live navigation-node count, so the amortized cost per update is roughly
+// treeLines/checkpointEvery: the interval must be large relative to the
+// structure's interior for selective persistence to keep its flush
+// advantage, and small enough to bound recovery replay (the chain is
+// replayed oldest-first on open).
+var checkpointEvery atomic.Uint64
+
+func init() { checkpointEvery.Store(32768) }
+
+// CheckpointEvery returns the current checkpoint interval.
+func CheckpointEvery() uint64 { return checkpointEvery.Load() }
+
+// SetCheckpointEvery sets the checkpoint interval (records between crown
+// flushes) and returns the previous value. Tests use small intervals to
+// exercise the checkpoint path; 0 checkpoints on every commit.
+func SetCheckpointEvery(n uint64) uint64 { return checkpointEvery.Swap(n) }
+
+// EncodeRecord renders a record cell's payload bytes.
+func EncodeRecord(prev pmem.Addr, kind, a, b uint64) []byte {
+	buf := make([]byte, recordSize)
+	binary.LittleEndian.PutUint64(buf[recOffPrev:], uint64(prev))
+	binary.LittleEndian.PutUint64(buf[recOffKind:], kind)
+	binary.LittleEndian.PutUint64(buf[recOffA:], a)
+	binary.LittleEndian.PutUint64(buf[recOffB:], b)
+	return buf
+}
+
+// DecodeRecord parses a record cell's payload, validating the kind and the
+// kind-specific operand shape. It is the recovery-replay decoder and a
+// fuzz target (FuzzRecoveryRecord).
+func DecodeRecord(buf []byte) (prev pmem.Addr, kind, a, b uint64, err error) {
+	if len(buf) < recordSize {
+		return 0, 0, 0, 0, fmt.Errorf("funcds: record cell truncated: %d bytes", len(buf))
+	}
+	prev = pmem.Addr(binary.LittleEndian.Uint64(buf[recOffPrev:]))
+	kind = binary.LittleEndian.Uint64(buf[recOffKind:])
+	a = binary.LittleEndian.Uint64(buf[recOffA:])
+	b = binary.LittleEndian.Uint64(buf[recOffB:])
+	if kind == 0 || kind > recKindMax {
+		return 0, 0, 0, 0, fmt.Errorf("funcds: record kind %d out of range", kind)
+	}
+	switch kind {
+	case RecMapSet, RecMapDelete:
+		if a == uint64(pmem.Nil) {
+			return 0, 0, 0, 0, fmt.Errorf("funcds: map record without key blob")
+		}
+	case RecStackPop, RecQueuePop:
+		if a != 0 || b != 0 {
+			return 0, 0, 0, 0, fmt.Errorf("funcds: pop record carries operands")
+		}
+	}
+	return prev, kind, a, b, nil
+}
+
+// newRecord allocates, links, and flushes one durable record cell. The
+// cell takes its own references: prev, and the blob operands of the map
+// kinds. The caller owns the returned cell's initial reference (normally
+// transferred into the header's recHead field).
+func newRecord(h *alloc.Heap, ed *alloc.Edit, prev pmem.Addr, kind, a, b uint64) pmem.Addr {
+	r := nodeAlloc(h, ed, recordSize, TagRecord, false)
+	h.Device().Write(r, EncodeRecord(prev, kind, a, b))
+	flushNode(h, ed, r, recordSize, false)
+	if prev != pmem.Nil {
+		h.Retain(prev)
+	}
+	switch kind {
+	case RecMapSet:
+		h.Retain(pmem.Addr(a))
+		if pmem.Addr(b) != pmem.Nil {
+			h.Retain(pmem.Addr(b))
+		}
+	case RecMapDelete:
+		h.Retain(pmem.Addr(a))
+	}
+	return r
+}
+
+// readRecord loads a record cell, panicking on corruption (durable cells
+// are validated by DecodeRecord during recovery instead).
+func readRecord(h *alloc.Heap, r pmem.Addr) (prev pmem.Addr, kind, a, b uint64) {
+	buf := make([]byte, recordSize)
+	h.Device().Read(r, buf)
+	prev, kind, a, b, err := DecodeRecord(buf)
+	if err != nil {
+		panic(err)
+	}
+	return prev, kind, a, b
+}
+
+func walkRecord(h *alloc.Heap, r pmem.Addr, visit func(pmem.Addr)) {
+	dev := h.Device()
+	if prev := pmem.Addr(dev.ReadU64(r + recOffPrev)); prev != pmem.Nil {
+		visit(prev)
+	}
+	switch dev.ReadU64(r + recOffKind) {
+	case RecMapSet:
+		visit(pmem.Addr(dev.ReadU64(r + recOffA)))
+		if b := pmem.Addr(dev.ReadU64(r + recOffB)); b != pmem.Nil {
+			visit(b)
+		}
+	case RecMapDelete:
+		visit(pmem.Addr(dev.ReadU64(r + recOffA)))
+	}
+}
+
+// selBaseSize returns the base-field size preceding the selective
+// extension for a selective header tag, or 0 for any other tag.
+func selBaseSize(tag uint8) int {
+	switch tag {
+	case TagMapHdrSel:
+		return mapHdrSize
+	case TagVecHdrSel:
+		return vecHdrSize
+	case TagStackHdrSel:
+		return stackHdrSize
+	case TagQueueHdrSel:
+		return queueHdrSize
+	}
+	return 0
+}
+
+// IsSelective reports whether the header at hdr is a selectively
+// persisted structure.
+func IsSelective(h *alloc.Heap, hdr pmem.Addr) bool {
+	return hdr != pmem.Nil && selBaseSize(h.Tag(hdr)) != 0
+}
+
+// readSelExt reads the selective extension of the header at hdr.
+func readSelExt(h *alloc.Heap, hdr pmem.Addr, base int) (ckpt, recHead pmem.Addr, recCount uint64) {
+	dev := h.Device()
+	a := hdr + pmem.Addr(base)
+	return pmem.Addr(dev.ReadU64(a)), pmem.Addr(dev.ReadU64(a + 8)), dev.ReadU64(a + 16)
+}
+
+// writeSelExt writes the selective extension (flushing is the caller's
+// concern: flushNode/recordEdit on the whole header, or an explicit
+// FlushRange on the ext region).
+func writeSelExt(h *alloc.Heap, hdr pmem.Addr, base int, ckpt, recHead pmem.Addr, recCount uint64) {
+	dev := h.Device()
+	a := hdr + pmem.Addr(base)
+	dev.WriteU64(a, uint64(ckpt))
+	dev.WriteU64(a+8, uint64(recHead))
+	dev.WriteU64(a+16, recCount)
+}
+
+// walkSelHdr visits a selective header's children: the live pointers of
+// the base layout plus the checkpoint clone and the record chain head.
+func walkSelHdr(baseWalk func(*alloc.Heap, pmem.Addr, func(pmem.Addr)), base int) alloc.Walker {
+	return func(h *alloc.Heap, a pmem.Addr, visit func(pmem.Addr)) {
+		baseWalk(h, a, visit)
+		ckpt, recHead, _ := readSelExt(h, a, base)
+		if ckpt != pmem.Nil {
+			visit(ckpt)
+		}
+		if recHead != pmem.Nil {
+			visit(recHead)
+		}
+	}
+}
+
+// livePointers returns the base-layout child pointers of a selective
+// header (the roots of the possibly-volatile navigation crown).
+func livePointers(h *alloc.Heap, hdr pmem.Addr) []pmem.Addr {
+	dev := h.Device()
+	switch h.Tag(hdr) {
+	case TagMapHdrSel:
+		return []pmem.Addr{pmem.Addr(dev.ReadU64(hdr + 8))}
+	case TagVecHdrSel:
+		return []pmem.Addr{pmem.Addr(dev.ReadU64(hdr + 16)), pmem.Addr(dev.ReadU64(hdr + 24))}
+	case TagStackHdrSel:
+		return []pmem.Addr{pmem.Addr(dev.ReadU64(hdr))}
+	case TagQueueHdrSel:
+		return []pmem.Addr{pmem.Addr(dev.ReadU64(hdr)), pmem.Addr(dev.ReadU64(hdr + 8))}
+	}
+	return nil
+}
+
+// selAppendRecord installs rec at the head of the record chain of the
+// selective header at hdr when the operation changed no base fields (an
+// in-place deep mutation): an ext rewrite when the header is edit-owned,
+// otherwise a fresh selective header copying the base fields, which
+// becomes a second parent of the live pointers and the checkpoint. The
+// rec reference transfers in; returns the resulting header address.
+func selAppendRecord(h *alloc.Heap, ed *alloc.Edit, hdr, rec pmem.Addr) pmem.Addr {
+	tag := h.Tag(hdr)
+	base := selBaseSize(tag)
+	ckpt, oldRec, recCount := readSelExt(h, hdr, base)
+	if ed.Owns(hdr) {
+		writeSelExt(h, hdr, base, ckpt, rec, recCount+1)
+		recordEdit(ed, hdr+pmem.Addr(base), selExtSize, false)
+		if oldRec != pmem.Nil {
+			h.Release(oldRec)
+		}
+		return hdr
+	}
+	a := nodeAlloc(h, ed, base+selExtSize, tag, false)
+	dev := h.Device()
+	buf := make([]byte, base)
+	dev.Read(hdr, buf)
+	dev.Write(a, buf)
+	writeSelExt(h, a, base, ckpt, rec, recCount+1)
+	flushNode(h, ed, a, base+selExtSize, false)
+	for _, p := range livePointers(h, a) {
+		if p != pmem.Nil {
+			h.Retain(p)
+		}
+	}
+	h.Retain(ckpt)
+	return a
+}
+
+// volatileCrown collects every volatile block reachable from roots
+// through volatile blocks only. Descent prunes at durable children: a
+// durable node never points at a volatile one (newer shadows reference
+// older state, never the reverse), so the crown is exactly the volatile
+// set reachable from the header.
+func volatileCrown(h *alloc.Heap, roots []pmem.Addr) []pmem.Addr {
+	var out []pmem.Addr
+	seen := make(map[pmem.Addr]struct{})
+	var rec func(a pmem.Addr)
+	rec = func(a pmem.Addr) {
+		if a == pmem.Nil {
+			return
+		}
+		if _, ok := seen[a]; ok || !h.IsVolatile(a) {
+			return
+		}
+		seen[a] = struct{}{}
+		out = append(out, a)
+		switch h.Tag(a) {
+		case TagMapNode:
+			_, _, _, children := readMapNode(h, nil, a)
+			for _, c := range children {
+				rec(c)
+			}
+		case TagVecNode:
+			slots := readNode(h, nil, a)
+			for _, c := range slots {
+				rec(pmem.Addr(c))
+			}
+		case TagListNode:
+			rec(pmem.Addr(h.Device().ReadU64(a)))
+			// TagVecLeaf and TagMapCollision carry no volatile children
+			// (their pointers, if any, are always-durable blobs).
+		}
+	}
+	for _, r := range roots {
+		rec(r)
+	}
+	return out
+}
+
+// NeedsCheckpoint reports whether the selective structure at hdr has
+// accumulated enough records to checkpoint at the next commit.
+func NeedsCheckpoint(h *alloc.Heap, hdr pmem.Addr) bool {
+	base := selBaseSize(h.Tag(hdr))
+	if base == 0 {
+		return false
+	}
+	_, _, recCount := readSelExt(h, hdr, base)
+	return recCount >= checkpointEvery.Load()
+}
+
+// PrepareCheckpoint runs the in-FASE half of a checkpoint on the final
+// shadow header of the committing FASE (which therefore was allocated
+// within it): it flushes the payload of every crown node, snapshots the
+// live state into a fresh normal-tagged checkpoint clone, and resets the
+// record chain. It returns the crown, whose volatile bits the commit step
+// must clear — after a fence has made the payload flushes durable and
+// before the publish fence (Store.commitRoot). Until those bits clear
+// durably, recovery still rebuilds from the previous checkpoint + chain.
+func PrepareCheckpoint(h *alloc.Heap, hdr pmem.Addr) []pmem.Addr {
+	tag := h.Tag(hdr)
+	base := selBaseSize(tag)
+	if base == 0 {
+		return nil
+	}
+	dev := h.Device()
+	crown := volatileCrown(h, livePointers(h, hdr))
+	for _, a := range crown {
+		dev.FlushRange(a, h.PayloadSize(a))
+	}
+
+	// Clone the base fields into a normal-tagged durable header; the clone
+	// gains a reference on each live pointer.
+	var clone pmem.Addr
+	switch tag {
+	case TagMapHdrSel:
+		clone = h.Alloc(mapHdrSize, TagMapHdr)
+	case TagVecHdrSel:
+		clone = h.Alloc(vecHdrSize, TagVecHdr)
+	case TagStackHdrSel:
+		clone = h.Alloc(stackHdrSize, TagStackHdr)
+	case TagQueueHdrSel:
+		clone = h.Alloc(queueHdrSize, TagQueueHdr)
+	}
+	buf := make([]byte, base)
+	dev.Read(hdr, buf)
+	dev.Write(clone, buf)
+	dev.FlushRange(clone, base)
+	for _, p := range livePointers(h, hdr) {
+		if p != pmem.Nil {
+			h.Retain(p)
+		}
+	}
+
+	oldCkpt, oldRec, _ := readSelExt(h, hdr, base)
+	writeSelExt(h, hdr, base, clone, pmem.Nil, 0)
+	dev.FlushRange(hdr+pmem.Addr(base), selExtSize)
+	if oldCkpt != pmem.Nil {
+		h.Release(oldCkpt)
+	}
+	if oldRec != pmem.Nil {
+		h.Release(oldRec)
+	}
+	return crown
+}
+
+// RebuildSelective reconstructs the selective structure at hdr after
+// recovery zeroed its volatile crown: it replays the record chain (oldest
+// first) onto the checkpoint clone and returns a fresh selective header
+// whose checkpoint is the replayed state. The caller publishes the new
+// header (root swap + fence) and then releases the old one. replayed is
+// the number of records applied; rebuilt reports whether any work was
+// needed (false when the crown was fully durable and the chain empty —
+// the header may be returned unchanged).
+func RebuildSelective(h *alloc.Heap, hdr pmem.Addr) (newHdr pmem.Addr, replayed int, rebuilt bool, err error) {
+	tag := h.Tag(hdr)
+	base := selBaseSize(tag)
+	if base == 0 {
+		return hdr, 0, false, fmt.Errorf("funcds: rebuild of non-selective header %#x (tag %d)", uint64(hdr), tag)
+	}
+	ckpt, recHead, recCount := readSelExt(h, hdr, base)
+	if ckpt == pmem.Nil {
+		return hdr, 0, false, fmt.Errorf("funcds: selective header %#x has no checkpoint", uint64(hdr))
+	}
+	if recCount == 0 {
+		clean := true
+		for _, p := range livePointers(h, hdr) {
+			if p != pmem.Nil && h.IsVolatile(p) {
+				clean = false
+				break
+			}
+		}
+		if clean {
+			return hdr, 0, false, nil
+		}
+	}
+
+	// Collect the chain newest-first and reverse into replay order. A
+	// mismatched length means a corrupt chain: the store must not open.
+	chain := make([]pmem.Addr, 0, recCount)
+	for r := recHead; r != pmem.Nil; {
+		chain = append(chain, r)
+		prev, _, _, _ := readRecord(h, r)
+		r = prev
+	}
+	if uint64(len(chain)) != recCount {
+		return hdr, 0, false, fmt.Errorf("funcds: record chain of %#x has %d cells, header says %d", uint64(hdr), len(chain), recCount)
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+
+	ed := h.BeginEdit()
+	var final pmem.Addr
+	switch tag {
+	case TagMapHdrSel:
+		m := MapAt(h, ckpt).WithEdit(ed)
+		for _, r := range chain {
+			_, kind, a, b := readRecord(h, r)
+			switch kind {
+			case RecMapSet:
+				var val []byte
+				if pmem.Addr(b) != pmem.Nil {
+					val = blobBytes(h, pmem.Addr(b))
+				}
+				m, _ = m.Set(blobBytes(h, pmem.Addr(a)), val)
+			case RecMapDelete:
+				m, _ = m.Delete(blobBytes(h, pmem.Addr(a)))
+			default:
+				return hdr, 0, false, fmt.Errorf("funcds: record kind %d in map chain", kind)
+			}
+		}
+		final = m.Addr()
+	case TagVecHdrSel:
+		v := VectorAt(h, ckpt).WithEdit(ed)
+		for _, r := range chain {
+			_, kind, a, b := readRecord(h, r)
+			switch kind {
+			case RecVecPush:
+				v = v.Push(a)
+			case RecVecUpdate:
+				v = v.Update(a, b)
+			default:
+				return hdr, 0, false, fmt.Errorf("funcds: record kind %d in vector chain", kind)
+			}
+		}
+		final = v.Addr()
+	case TagStackHdrSel:
+		s := StackAt(h, ckpt).WithEdit(ed)
+		for _, r := range chain {
+			_, kind, a, _ := readRecord(h, r)
+			switch kind {
+			case RecStackPush:
+				s = s.Push(a)
+			case RecStackPop:
+				s, _, _ = s.Pop()
+			default:
+				return hdr, 0, false, fmt.Errorf("funcds: record kind %d in stack chain", kind)
+			}
+		}
+		final = s.Addr()
+	case TagQueueHdrSel:
+		q := QueueAt(h, ckpt).WithEdit(ed)
+		for _, r := range chain {
+			_, kind, a, _ := readRecord(h, r)
+			switch kind {
+			case RecQueuePush:
+				q = q.Push(a)
+			case RecQueuePop:
+				q, _, _ = q.Pop()
+			default:
+				return hdr, 0, false, fmt.Errorf("funcds: record kind %d in queue chain", kind)
+			}
+		}
+		final = q.Addr()
+	}
+	ed.Seal()
+	if final == ckpt {
+		// No records and nothing replayed (volatile crown with an empty
+		// chain cannot reference the checkpoint's own state, so final only
+		// equals ckpt when the chain was empty): the replayed state IS the
+		// checkpoint — it gains a reference as the new header's clone.
+		h.Retain(final)
+	}
+
+	// Fresh selective header over the replayed state, which doubles as its
+	// checkpoint (entirely durable, empty chain).
+	newHdr = h.Alloc(base+selExtSize, tag)
+	dev := h.Device()
+	buf := make([]byte, base)
+	dev.Read(final, buf)
+	dev.Write(newHdr, buf)
+	writeSelExt(h, newHdr, base, final, pmem.Nil, 0)
+	dev.FlushRange(newHdr, base+selExtSize)
+	for _, p := range livePointers(h, newHdr) {
+		if p != pmem.Nil {
+			h.Retain(p)
+		}
+	}
+	return newHdr, len(chain), true, nil
+}

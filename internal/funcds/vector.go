@@ -42,6 +42,7 @@ type Vector struct {
 	h    *alloc.Heap
 	addr pmem.Addr
 	ed   *alloc.Edit
+	sel  bool // selective persistence: volatile trie, record chain (record.go)
 }
 
 const (
@@ -70,13 +71,32 @@ func NewVector(h *alloc.Heap) Vector {
 	return Vector{h: h, addr: a}
 }
 
-// VectorAt adopts an existing vector header, e.g. after recovery.
-func VectorAt(h *alloc.Heap, addr pmem.Addr) Vector { return Vector{h: h, addr: addr} }
+// NewVectorSelective allocates an empty selectively persisted vector:
+// trie nodes and leaves stay volatile-clean, every update appends a
+// durable record cell, and the checkpoint clone starts as an empty normal
+// vector (flushed, not fenced).
+func NewVectorSelective(h *alloc.Heap) Vector {
+	ckpt := NewVector(h).Addr()
+	a := h.Alloc(vecHdrSize+selExtSize, TagVecHdrSel)
+	dev := h.Device()
+	dev.Zero(a, vecHdrSize)
+	writeSelExt(h, a, vecHdrSize, ckpt, pmem.Nil, 0)
+	dev.FlushRange(a, vecHdrSize+selExtSize)
+	return Vector{h: h, addr: a, sel: true}
+}
+
+// VectorAt adopts an existing vector header, e.g. after recovery. The
+// selective variant is recognized by its tag.
+func VectorAt(h *alloc.Heap, addr pmem.Addr) Vector {
+	return Vector{h: h, addr: addr, sel: h.Tag(addr) == TagVecHdrSel}
+}
 
 // WithEdit binds the version to a per-FASE edit context: nodes the edit
 // allocates are mutated in place by subsequent operations on the returned
 // value and its successors, and their flushes are deferred to Edit.Seal.
-func (v Vector) WithEdit(ed *alloc.Edit) Vector { return Vector{h: v.h, addr: v.addr, ed: ed} }
+func (v Vector) WithEdit(ed *alloc.Edit) Vector {
+	return Vector{h: v.h, addr: v.addr, ed: ed, sel: v.sel}
+}
 
 // Addr returns the header address of this version.
 func (v Vector) Addr() pmem.Addr { return v.addr }
@@ -95,14 +115,14 @@ func (v Vector) Len() uint64 { return v.h.Device().ReadU64(v.addr) }
 
 // newVecHdr allocates a header; root and tail references transfer in.
 func newVecHdr(h *alloc.Heap, ed *alloc.Edit, count uint64, shift uint32, root, tail pmem.Addr) pmem.Addr {
-	a := nodeAlloc(h, ed, vecHdrSize, TagVecHdr)
+	a := nodeAlloc(h, ed, vecHdrSize, TagVecHdr, false)
 	dev := h.Device()
 	dev.WriteU64(a, count)
 	dev.WriteU32(a+8, shift)
 	dev.WriteU32(a+12, 0)
 	dev.WriteU64(a+16, uint64(root))
 	dev.WriteU64(a+24, uint64(tail))
-	flushNode(h, ed, a, vecHdrSize)
+	flushNode(h, ed, a, vecHdrSize, false)
 	return a
 }
 
@@ -110,19 +130,43 @@ func newVecHdr(h *alloc.Heap, ed *alloc.Edit, count uint64, shift uint32, root, 
 // receiver's header is edit-owned, otherwise as a fresh allocation whose
 // unchanged children the caller has retained. Changed-child references
 // transfer in; in the in-place case the header's references to replaced
-// children are released via the release list.
-func (v Vector) setHdr(count uint64, shift uint32, root, tail pmem.Addr, release ...pmem.Addr) Vector {
+// children are released via the release list. Selective vectors
+// additionally install rec at the head of the record chain.
+func (v Vector) setHdr(count uint64, shift uint32, root, tail, rec pmem.Addr, release ...pmem.Addr) Vector {
 	if v.ed.Owns(v.addr) {
 		dev := v.h.Device()
 		dev.WriteU64(v.addr, count)
 		dev.WriteU32(v.addr+8, shift)
 		dev.WriteU64(v.addr+16, uint64(root))
 		dev.WriteU64(v.addr+24, uint64(tail))
-		recordEdit(v.ed, v.addr, vecHdrSize)
+		size := vecHdrSize
+		if v.sel {
+			ckpt, oldRec, recCount := readSelExt(v.h, v.addr, vecHdrSize)
+			writeSelExt(v.h, v.addr, vecHdrSize, ckpt, rec, recCount+1)
+			size += selExtSize
+			if oldRec != pmem.Nil {
+				v.h.Release(oldRec)
+			}
+		}
+		recordEdit(v.ed, v.addr, size, false)
 		for _, r := range release {
 			v.h.Release(r)
 		}
 		return v
+	}
+	if v.sel {
+		ckpt, _, recCount := readSelExt(v.h, v.addr, vecHdrSize)
+		hdr := nodeAlloc(v.h, v.ed, vecHdrSize+selExtSize, TagVecHdrSel, false)
+		dev := v.h.Device()
+		dev.WriteU64(hdr, count)
+		dev.WriteU32(hdr+8, shift)
+		dev.WriteU32(hdr+12, 0)
+		dev.WriteU64(hdr+16, uint64(root))
+		dev.WriteU64(hdr+24, uint64(tail))
+		writeSelExt(v.h, hdr, vecHdrSize, ckpt, rec, recCount+1)
+		flushNode(v.h, v.ed, hdr, vecHdrSize+selExtSize, false)
+		v.h.Retain(ckpt)
+		return Vector{h: v.h, addr: hdr, ed: v.ed, sel: true}
 	}
 	hdr := newVecHdr(v.h, v.ed, count, shift, root, tail)
 	return Vector{h: v.h, addr: hdr, ed: v.ed}
@@ -131,16 +175,16 @@ func (v Vector) setHdr(count uint64, shift uint32, root, tail pmem.Addr, release
 // newVecLeaf allocates a leaf containing the values in vals; the remaining
 // slots are zeroed (they are never read, but zeroing keeps durable images
 // deterministic for crash tests).
-func newVecLeaf(h *alloc.Heap, ed *alloc.Edit, vals []uint64) pmem.Addr {
+func newVecLeaf(h *alloc.Heap, ed *alloc.Edit, vol bool, vals []uint64) pmem.Addr {
 	var slots [vecWidth]uint64
 	copy(slots[:], vals)
-	return writeNode(h, ed, TagVecLeaf, slots)
+	return writeNode(h, ed, vol, TagVecLeaf, slots)
 }
 
-// readNode reads all 32 slots of a node or leaf with one bulk access.
-func readNode(h *alloc.Heap, a pmem.Addr) [vecWidth]uint64 {
-	var buf [vecNodeSize]byte
-	h.Device().Read(a, buf[:])
+// readNode reads all 32 slots of a node or leaf with one bulk access,
+// served from the DRAM node cache when enabled (edit-owned nodes bypass).
+func readNode(h *alloc.Heap, ed *alloc.Edit, a pmem.Addr) [vecWidth]uint64 {
+	buf := h.ReadCached(a, vecNodeSize, ed)
 	var out [vecWidth]uint64
 	for i := 0; i < vecWidth; i++ {
 		out[i] = binary.LittleEndian.Uint64(buf[i*8:])
@@ -148,31 +192,32 @@ func readNode(h *alloc.Heap, a pmem.Addr) [vecWidth]uint64 {
 	return out
 }
 
-// writeNode allocates a node/leaf with the given slots and flushes it.
-func writeNode(h *alloc.Heap, ed *alloc.Edit, tag uint8, slots [vecWidth]uint64) pmem.Addr {
-	a := nodeAlloc(h, ed, vecNodeSize, tag)
+// writeNode allocates a node/leaf with the given slots and flushes it
+// (volatile under selective persistence).
+func writeNode(h *alloc.Heap, ed *alloc.Edit, vol bool, tag uint8, slots [vecWidth]uint64) pmem.Addr {
+	a := nodeAlloc(h, ed, vecNodeSize, tag, vol)
 	var buf [vecNodeSize]byte
 	for i := 0; i < vecWidth; i++ {
 		binary.LittleEndian.PutUint64(buf[i*8:], slots[i])
 	}
 	dev := h.Device()
 	dev.Write(a, buf[:])
-	flushNode(h, ed, a, vecNodeSize)
+	flushNode(h, ed, a, vecNodeSize, vol)
 	return a
 }
 
 // copyNodeReplace clones an internal node, replacing slot idx with child.
 // All other non-nil children are retained (they gain a parent). The new
 // child's reference is transferred from the caller.
-func copyNodeReplace(h *alloc.Heap, ed *alloc.Edit, node pmem.Addr, idx int, child pmem.Addr) pmem.Addr {
-	slots := readNode(h, node)
+func copyNodeReplace(h *alloc.Heap, ed *alloc.Edit, vol bool, node pmem.Addr, idx int, child pmem.Addr) pmem.Addr {
+	slots := readNode(h, ed, node)
 	for i, c := range slots {
 		if i != idx && c != 0 {
 			h.Retain(pmem.Addr(c))
 		}
 	}
 	slots[idx] = uint64(child)
-	return writeNode(h, ed, TagVecNode, slots)
+	return writeNode(h, ed, vol, TagVecNode, slots)
 }
 
 // replaceChild installs child at slot idx of node: a single in-place slot
@@ -181,13 +226,13 @@ func copyNodeReplace(h *alloc.Heap, ed *alloc.Edit, node pmem.Addr, idx int, chi
 func (v Vector) replaceChild(node pmem.Addr, idx int, child, old pmem.Addr) pmem.Addr {
 	if v.ed.Owns(node) {
 		v.h.Device().WriteU64(node+pmem.Addr(idx*8), uint64(child))
-		recordEdit(v.ed, node+pmem.Addr(idx*8), 8)
+		recordEdit(v.ed, node+pmem.Addr(idx*8), 8, v.sel)
 		if old != pmem.Nil {
 			v.h.Release(old)
 		}
 		return node
 	}
-	return copyNodeReplace(v.h, v.ed, node, idx, child)
+	return copyNodeReplace(v.h, v.ed, v.sel, node, idx, child)
 }
 
 // Get returns the element at index i.
@@ -215,40 +260,51 @@ func (v Vector) Update(i uint64, val uint64) Vector {
 	if i >= count {
 		panic(fmt.Sprintf("funcds: vector update index %d out of range (len %d)", i, count))
 	}
+	rec := pmem.Nil
+	if v.sel {
+		_, oldRec, _ := readSelExt(v.h, v.addr, vecHdrSize)
+		rec = newRecord(v.h, v.ed, oldRec, RecVecUpdate, i, val)
+	}
 	if i >= tailOffset(count) {
 		if v.ed.Owns(tail) {
 			v.h.Device().WriteU64(tail+pmem.Addr((i&vecMask)*8), val)
-			recordEdit(v.ed, tail+pmem.Addr((i&vecMask)*8), 8)
+			recordEdit(v.ed, tail+pmem.Addr((i&vecMask)*8), 8, v.sel)
+			if v.sel {
+				return Vector{h: v.h, addr: selAppendRecord(v.h, v.ed, v.addr, rec), ed: v.ed, sel: true}
+			}
 			return v
 		}
-		slots := readNode(v.h, tail)
+		slots := readNode(v.h, v.ed, tail)
 		slots[i&vecMask] = val
-		newTail := writeNode(v.h, v.ed, TagVecLeaf, slots)
+		newTail := writeNode(v.h, v.ed, v.sel, TagVecLeaf, slots)
 		if !v.ed.Owns(v.addr) && root != pmem.Nil {
 			v.h.Retain(root)
 		}
-		return v.setHdr(count, shift, root, newTail, tail)
+		return v.setHdr(count, shift, root, newTail, rec, tail)
 	}
 	newRoot := v.assoc(root, shift, i, val)
 	if newRoot == root {
+		if v.sel {
+			return Vector{h: v.h, addr: selAppendRecord(v.h, v.ed, v.addr, rec), ed: v.ed, sel: true}
+		}
 		return v
 	}
 	if !v.ed.Owns(v.addr) {
 		v.h.Retain(tail)
 	}
-	return v.setHdr(count, shift, newRoot, tail, root)
+	return v.setHdr(count, shift, newRoot, tail, rec, root)
 }
 
 func (v Vector) assoc(node pmem.Addr, shift uint32, i uint64, val uint64) pmem.Addr {
 	if shift == 0 {
 		if v.ed.Owns(node) {
 			v.h.Device().WriteU64(node+pmem.Addr((i&vecMask)*8), val)
-			recordEdit(v.ed, node+pmem.Addr((i&vecMask)*8), 8)
+			recordEdit(v.ed, node+pmem.Addr((i&vecMask)*8), 8, v.sel)
 			return node
 		}
-		slots := readNode(v.h, node)
+		slots := readNode(v.h, v.ed, node)
 		slots[i&vecMask] = val
-		return writeNode(v.h, v.ed, TagVecLeaf, slots)
+		return writeNode(v.h, v.ed, v.sel, TagVecLeaf, slots)
 	}
 	idx := int((i >> shift) & vecMask)
 	child := pmem.Addr(v.h.Device().ReadU64(node + pmem.Addr(idx*8)))
@@ -265,34 +321,48 @@ func (v Vector) assoc(node pmem.Addr, shift uint32, i uint64, val uint64) pmem.A
 // case — once per 32 appends.
 func (v Vector) Push(val uint64) Vector {
 	count, shift, root, tail := v.fields()
+	rec := pmem.Nil
+	if v.sel {
+		_, oldRec, _ := readSelExt(v.h, v.addr, vecHdrSize)
+		rec = newRecord(v.h, v.ed, oldRec, RecVecPush, val, 0)
+	}
 	if count == 0 {
-		newTail := newVecLeaf(v.h, v.ed, []uint64{val})
-		return v.setHdr(1, 0, pmem.Nil, newTail)
+		newTail := newVecLeaf(v.h, v.ed, v.sel, []uint64{val})
+		return v.setHdr(1, 0, pmem.Nil, newTail, rec)
 	}
 	tailLen := count - tailOffset(count)
 	if tailLen < vecWidth {
 		if v.ed.Owns(tail) {
 			dev := v.h.Device()
 			dev.WriteU64(tail+pmem.Addr(tailLen*8), val)
-			recordEdit(v.ed, tail+pmem.Addr(tailLen*8), 8)
+			recordEdit(v.ed, tail+pmem.Addr(tailLen*8), 8, v.sel)
 			if v.ed.Owns(v.addr) {
 				dev.WriteU64(v.addr, count+1)
-				recordEdit(v.ed, v.addr, 8)
+				size := 8
+				if v.sel {
+					ckpt, oldRec, recCount := readSelExt(v.h, v.addr, vecHdrSize)
+					writeSelExt(v.h, v.addr, vecHdrSize, ckpt, rec, recCount+1)
+					size = vecHdrSize + selExtSize
+					if oldRec != pmem.Nil {
+						v.h.Release(oldRec)
+					}
+				}
+				recordEdit(v.ed, v.addr, size, false)
 				return v
 			}
 			if root != pmem.Nil {
 				v.h.Retain(root)
 			}
 			v.h.Retain(tail)
-			return v.setHdr(count+1, shift, root, tail)
+			return v.setHdr(count+1, shift, root, tail, rec)
 		}
-		slots := readNode(v.h, tail)
+		slots := readNode(v.h, v.ed, tail)
 		slots[tailLen] = val
-		newTail := writeNode(v.h, v.ed, TagVecLeaf, slots)
+		newTail := writeNode(v.h, v.ed, v.sel, TagVecLeaf, slots)
 		if !v.ed.Owns(v.addr) && root != pmem.Nil {
 			v.h.Retain(root)
 		}
-		return v.setHdr(count+1, shift, root, newTail, tail)
+		return v.setHdr(count+1, shift, root, newTail, rec, tail)
 	}
 
 	// Tail is full: push it into the trie and start a fresh tail. For an
@@ -300,7 +370,7 @@ func (v Vector) Push(val uint64) Vector {
 	// the trie; otherwise the old header keeps its reference and the trie
 	// becomes a second parent.
 	to := tailOffset(count) // index the full tail's elements start at
-	newTail := newVecLeaf(v.h, v.ed, []uint64{val})
+	newTail := newVecLeaf(v.h, v.ed, v.sel, []uint64{val})
 	hdrOwned := v.ed.Owns(v.addr)
 	if !hdrOwned {
 		v.h.Retain(tail)
@@ -322,7 +392,7 @@ func (v Vector) Push(val uint64) Vector {
 		var slots [vecWidth]uint64
 		slots[0] = uint64(root)
 		slots[1] = uint64(v.wrapLeaf(shift, tail))
-		newRoot = writeNode(v.h, v.ed, TagVecNode, slots)
+		newRoot = writeNode(v.h, v.ed, v.sel, TagVecNode, slots)
 		newShift = shift + vecBits
 	default:
 		newRoot = v.pushLeaf(root, shift, to, tail)
@@ -333,7 +403,16 @@ func (v Vector) Push(val uint64) Vector {
 		dev.WriteU32(v.addr+8, newShift)
 		dev.WriteU64(v.addr+16, uint64(newRoot))
 		dev.WriteU64(v.addr+24, uint64(newTail))
-		recordEdit(v.ed, v.addr, vecHdrSize)
+		size := vecHdrSize
+		if v.sel {
+			ckpt, oldRec, recCount := readSelExt(v.h, v.addr, vecHdrSize)
+			writeSelExt(v.h, v.addr, vecHdrSize, ckpt, rec, recCount+1)
+			size += selExtSize
+			if oldRec != pmem.Nil {
+				v.h.Release(oldRec)
+			}
+		}
+		recordEdit(v.ed, v.addr, size, false)
 		if root != pmem.Nil && newRoot != root && to != uint64(vecWidth)<<shift {
 			// pushLeaf path-copied the root: the header's reference to the
 			// old root is dropped (the grow case transferred it instead).
@@ -346,7 +425,7 @@ func (v Vector) Push(val uint64) Vector {
 		// unchanged; the new header is a second parent.
 		v.h.Retain(root)
 	}
-	return v.setHdr(count+1, newShift, newRoot, newTail)
+	return v.setHdr(count+1, newShift, newRoot, newTail, rec)
 }
 
 // wrapLeaf wraps a leaf in singleton interior nodes so it roots a subtree
@@ -356,7 +435,7 @@ func (v Vector) wrapLeaf(level uint32, leaf pmem.Addr) pmem.Addr {
 	for s := uint32(0); s < level; s += vecBits {
 		var slots [vecWidth]uint64
 		slots[0] = uint64(node)
-		node = writeNode(v.h, v.ed, TagVecNode, slots)
+		node = writeNode(v.h, v.ed, v.sel, TagVecNode, slots)
 	}
 	return node
 }

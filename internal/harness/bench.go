@@ -15,8 +15,10 @@ import (
 // BenchSchema is the current BENCH.json schema version. Version 2 added
 // the group-commit sweep; version 3 added the transient (edit-context)
 // sweep and the flushes/op and copies/op gate columns; version 4 added
-// the sharded sweep (shards × writers, per-op and cross-shard rows).
-const BenchSchema = 4
+// the sharded sweep (shards × writers, per-op and cross-shard rows);
+// version 5 added the selective-persistence sweep and the recovery-time
+// rows.
+const BenchSchema = 5
 
 // BenchWorkload is one workload × engine measurement: the Table 2 suite
 // run single-threaded, so every field is deterministic for a given
@@ -104,6 +106,41 @@ type BenchSharded struct {
 	OpsPerSec    float64 `json:"ops_per_sec"`
 }
 
+// BenchSelective is one point of the selective-persistence sweep
+// (DESIGN.md §10): an updates-only hot path against the selectively
+// persisted flavor with the DRAM node cache on (selective=true) or the
+// normal flavor with no cache (selective=false). Single-goroutine,
+// deterministic, gated by benchdiff on ops/sec, flushes/op, and
+// copies/op.
+type BenchSelective struct {
+	Structure    string  `json:"structure"`
+	Selective    bool    `json:"selective"`
+	OpsPerFASE   int     `json:"ops_per_fase"`
+	Ops          int     `json:"ops"`
+	Fences       uint64  `json:"fences"`
+	Flushes      uint64  `json:"flushes"`
+	Copies       uint64  `json:"copies"`
+	DRAMReads    uint64  `json:"dram_reads"`
+	FencesPerOp  float64 `json:"fences_per_op"`
+	FlushesPerOp float64 `json:"flushes_per_op"`
+	CopiesPerOp  float64 `json:"copies_per_op"`
+	ElapsedNs    float64 `json:"elapsed_ns"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+}
+
+// BenchRecovery is the recovery cost of reopening the crash image a
+// selective-sweep run left behind: simulated reopen time (root scan,
+// record replay, navigation rebuild) and the number of navigation nodes
+// rebuilt. Deterministic; gated by benchdiff on recovery_ns.
+type BenchRecovery struct {
+	Structure    string  `json:"structure"`
+	Selective    bool    `json:"selective"`
+	OpsPerFASE   int     `json:"ops_per_fase"`
+	Ops          int     `json:"ops"`
+	RecoveryNs   float64 `json:"recovery_ns"`
+	RebuiltNodes uint64  `json:"rebuilt_nodes"`
+}
+
 // BenchDoc is the BENCH.json document.
 type BenchDoc struct {
 	Schema      int                `json:"schema"`
@@ -114,6 +151,8 @@ type BenchDoc struct {
 	GroupCommit []BenchGroupCommit `json:"groupcommit"`
 	Transient   []BenchTransient   `json:"transient"`
 	Sharded     []BenchSharded     `json:"sharded,omitempty"`
+	Selective   []BenchSelective   `json:"selective,omitempty"`
+	Recovery    []BenchRecovery    `json:"recovery,omitempty"`
 }
 
 // BuildBenchDoc runs the Table 2 workload suite on every engine, the
@@ -176,6 +215,39 @@ func BuildBenchDoc(scaleName string, scale Scale) (*BenchDoc, error) {
 			ElapsedNs:    res.ElapsedNs,
 			OpsPerSec:    res.OpsPerSec,
 		})
+	}
+	for _, structure := range SelectiveStructures {
+		for _, sel := range []bool{false, true} {
+			for _, b := range SelectiveOpsPerFASE {
+				res, err := workloads.RunSelective(SelectiveBenchConfig(scale, structure, sel, b))
+				if err != nil {
+					return nil, fmt.Errorf("bench selective %s sel=%v b=%d: %w", structure, sel, b, err)
+				}
+				doc.Selective = append(doc.Selective, BenchSelective{
+					Structure:    res.Structure,
+					Selective:    res.Selective,
+					OpsPerFASE:   res.OpsPerFASE,
+					Ops:          res.Ops,
+					Fences:       res.Fences,
+					Flushes:      res.Flushes,
+					Copies:       res.Copies,
+					DRAMReads:    res.DRAMReads,
+					FencesPerOp:  res.FencesPerOp,
+					FlushesPerOp: res.FlushesPerOp,
+					CopiesPerOp:  res.CopiesPerOp,
+					ElapsedNs:    res.ElapsedNs,
+					OpsPerSec:    res.OpsPerSec,
+				})
+				doc.Recovery = append(doc.Recovery, BenchRecovery{
+					Structure:    res.Structure,
+					Selective:    res.Selective,
+					OpsPerFASE:   res.OpsPerFASE,
+					Ops:          res.Ops,
+					RecoveryNs:   res.RecoveryNs,
+					RebuiltNodes: res.RebuiltNodes,
+				})
+			}
+		}
 	}
 	addSharded := func(cfg workloads.ShardedConfig) error {
 		res, err := workloads.RunSharded(cfg)
@@ -356,5 +428,126 @@ func CompareBenchDocs(base, cur *BenchDoc, tol float64) []string {
 		worse("flushes/op", key, b.FlushesPerOp, c.FlushesPerOp, true)
 		worse("copies/op", key, b.CopiesPerOp, c.CopiesPerOp, true)
 	}
+
+	curSel := make(map[string]BenchSelective, len(cur.Selective))
+	for _, s := range cur.Selective {
+		curSel[selectiveRowKey(s.Structure, s.Selective, s.OpsPerFASE)] = s
+	}
+	for _, b := range base.Selective {
+		key := selectiveRowKey(b.Structure, b.Selective, b.OpsPerFASE)
+		c, ok := curSel[key]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: row missing from current report", key))
+			continue
+		}
+		worse("ops/sec", key, b.OpsPerSec, c.OpsPerSec, false)
+		worse("fences/op", key, b.FencesPerOp, c.FencesPerOp, true)
+		worse("flushes/op", key, b.FlushesPerOp, c.FlushesPerOp, true)
+		worse("copies/op", key, b.CopiesPerOp, c.CopiesPerOp, true)
+	}
+
+	curRec := make(map[string]BenchRecovery, len(cur.Recovery))
+	for _, r := range cur.Recovery {
+		curRec[recoveryRowKey(r.Structure, r.Selective, r.OpsPerFASE)] = r
+	}
+	for _, b := range base.Recovery {
+		key := recoveryRowKey(b.Structure, b.Selective, b.OpsPerFASE)
+		c, ok := curRec[key]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: row missing from current report", key))
+			continue
+		}
+		worse("recovery_ns", key, b.RecoveryNs, c.RecoveryNs, true)
+	}
 	return regressions
+}
+
+func selectiveRowKey(structure string, selective bool, opsPerFASE int) string {
+	mode := "all"
+	if selective {
+		mode = "sel"
+	}
+	return fmt.Sprintf("selective/%s/%s/b%d", structure, mode, opsPerFASE)
+}
+
+func recoveryRowKey(structure string, selective bool, opsPerFASE int) string {
+	mode := "all"
+	if selective {
+		mode = "sel"
+	}
+	return fmt.Sprintf("recovery/%s/%s/b%d", structure, mode, opsPerFASE)
+}
+
+// benchRowKeys returns the set of deterministic row keys in a report
+// (the nondeterministic concurrent sweep is excluded, matching
+// CompareBenchDocs).
+func benchRowKeys(doc *BenchDoc) map[string]bool {
+	keys := make(map[string]bool)
+	for _, w := range doc.Workloads {
+		keys[w.Workload+"/"+w.Engine] = true
+	}
+	for _, g := range doc.GroupCommit {
+		keys[fmt.Sprintf("groupcommit/b%d/s%d", g.BatchSize, g.Shards)] = true
+	}
+	for _, s := range doc.Sharded {
+		mode := "perop"
+		if s.CrossShard {
+			mode = fmt.Sprintf("cross/b%d", s.BatchSize)
+		} else if s.BatchSize > 1 {
+			mode = fmt.Sprintf("batch/b%d", s.BatchSize)
+		}
+		keys[fmt.Sprintf("sharded/s%d/w%d/%s", s.Shards, s.Writers, mode)] = true
+	}
+	for _, t := range doc.Transient {
+		keys[fmt.Sprintf("transient/b%d", t.OpsPerFASE)] = true
+	}
+	for _, s := range doc.Selective {
+		keys[selectiveRowKey(s.Structure, s.Selective, s.OpsPerFASE)] = true
+	}
+	for _, r := range doc.Recovery {
+		keys[recoveryRowKey(r.Structure, r.Selective, r.OpsPerFASE)] = true
+	}
+	return keys
+}
+
+// BenchNewRows returns the deterministic row keys present in cur but
+// absent from base, sorted by first appearance in cur. A non-empty
+// result means the baseline is stale: new rows carry no gate until the
+// baseline is regenerated, so cmd/benchdiff fails on them by default
+// (-allow-new downgrades the failure to a warning).
+func BenchNewRows(base, cur *BenchDoc) []string {
+	baseKeys := benchRowKeys(base)
+	var fresh []string
+	seen := make(map[string]bool)
+	appendKey := func(key string) {
+		if !baseKeys[key] && !seen[key] {
+			seen[key] = true
+			fresh = append(fresh, key)
+		}
+	}
+	for _, w := range cur.Workloads {
+		appendKey(w.Workload + "/" + w.Engine)
+	}
+	for _, g := range cur.GroupCommit {
+		appendKey(fmt.Sprintf("groupcommit/b%d/s%d", g.BatchSize, g.Shards))
+	}
+	for _, s := range cur.Sharded {
+		mode := "perop"
+		if s.CrossShard {
+			mode = fmt.Sprintf("cross/b%d", s.BatchSize)
+		} else if s.BatchSize > 1 {
+			mode = fmt.Sprintf("batch/b%d", s.BatchSize)
+		}
+		appendKey(fmt.Sprintf("sharded/s%d/w%d/%s", s.Shards, s.Writers, mode))
+	}
+	for _, t := range cur.Transient {
+		appendKey(fmt.Sprintf("transient/b%d", t.OpsPerFASE))
+	}
+	for _, s := range cur.Selective {
+		appendKey(selectiveRowKey(s.Structure, s.Selective, s.OpsPerFASE))
+	}
+	for _, r := range cur.Recovery {
+		appendKey(recoveryRowKey(r.Structure, r.Selective, r.OpsPerFASE))
+	}
+	return fresh
 }

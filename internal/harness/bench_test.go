@@ -71,6 +71,30 @@ func TestBuildBenchDocSchema(t *testing.T) {
 			t.Errorf("sharded s=%d w=%d has zero metrics: %+v", s.Shards, s.Writers, s)
 		}
 	}
+	wantSelective := len(SelectiveStructures) * 2 * len(SelectiveOpsPerFASE)
+	if len(doc.Selective) != wantSelective || len(doc.Recovery) != wantSelective {
+		t.Fatalf("selective/recovery rows = %d/%d, want %d each",
+			len(doc.Selective), len(doc.Recovery), wantSelective)
+	}
+	for i, s := range doc.Selective {
+		if s.Structure == "" || s.OpsPerFASE <= 0 || s.Ops <= 0 || s.Fences == 0 ||
+			s.Flushes == 0 || s.ElapsedNs <= 0 || s.OpsPerSec <= 0 || s.FlushesPerOp <= 0 {
+			t.Errorf("selective %s sel=%v b=%d has zero metrics: %+v", s.Structure, s.Selective, s.OpsPerFASE, s)
+		}
+		r := doc.Recovery[i]
+		if r.Structure != s.Structure || r.Selective != s.Selective || r.OpsPerFASE != s.OpsPerFASE {
+			t.Errorf("recovery row %d does not mirror its selective row: %+v vs %+v", i, r, s)
+		}
+		if r.RecoveryNs <= 0 {
+			t.Errorf("recovery %s sel=%v b=%d reported no simulated time", r.Structure, r.Selective, r.OpsPerFASE)
+		}
+		if s.Selective && r.RebuiltNodes == 0 {
+			t.Errorf("recovery %s sel b=%d rebuilt no nodes", r.Structure, r.OpsPerFASE)
+		}
+		if !s.Selective && r.RebuiltNodes != 0 {
+			t.Errorf("recovery %s persist-all b=%d rebuilt %d nodes (want 0)", r.Structure, r.OpsPerFASE, r.RebuiltNodes)
+		}
+	}
 }
 
 // TestBenchShardedScaling pins the tentpole's two headline properties
@@ -223,6 +247,13 @@ func TestCompareBenchDocs(t *testing.T) {
 			{Shards: 4, Writers: 4, BatchSize: 1, Ops: 100, Fences: 100, Flushes: 1000,
 				FencesPerOp: 1, FlushesPerOp: 10, ElapsedNs: 1e6, OpsPerSec: 4e5},
 		},
+		Selective: []BenchSelective{
+			{Structure: "map", Selective: true, OpsPerFASE: 64, Ops: 100, Fences: 2, Flushes: 400,
+				FencesPerOp: 0.02, FlushesPerOp: 4, CopiesPerOp: 5, ElapsedNs: 1e6, OpsPerSec: 1e5},
+		},
+		Recovery: []BenchRecovery{
+			{Structure: "map", Selective: true, OpsPerFASE: 64, Ops: 100, RecoveryNs: 2e6, RebuiltNodes: 100},
+		},
 	}
 	clone := func() *BenchDoc {
 		data, _ := json.Marshal(base)
@@ -296,5 +327,58 @@ func TestCompareBenchDocs(t *testing.T) {
 	cur.Sharded = nil
 	if regs := CompareBenchDocs(base, cur, 0.15); len(regs) != 1 {
 		t.Errorf("missing sharded row not flagged exactly once: %v", regs)
+	}
+
+	cur = clone()
+	cur.Selective[0].FlushesPerOp = 6 // selective flush advantage regressed 50%
+	if regs := CompareBenchDocs(base, cur, 0.15); len(regs) != 1 {
+		t.Errorf("selective flushes/op rise not flagged exactly once: %v", regs)
+	}
+
+	cur = clone()
+	cur.Recovery[0].RecoveryNs = 4e6 // recovery rebuild doubled
+	if regs := CompareBenchDocs(base, cur, 0.15); len(regs) != 1 {
+		t.Errorf("recovery_ns rise not flagged exactly once: %v", regs)
+	}
+
+	cur = clone()
+	cur.Selective = nil
+	cur.Recovery = nil
+	if regs := CompareBenchDocs(base, cur, 0.15); len(regs) != 2 {
+		t.Errorf("missing selective+recovery rows not flagged exactly twice: %v", regs)
+	}
+}
+
+func TestBenchNewRows(t *testing.T) {
+	base := &BenchDoc{
+		Schema: BenchSchema, Scale: "test", Ops: 100,
+		Workloads: []BenchWorkload{
+			{Workload: "map", Engine: "mod", Ops: 100, SimNs: 1e6, OpsPerSec: 1e5, Fences: 100, Flushes: 1000},
+		},
+	}
+	cur := &BenchDoc{
+		Schema: BenchSchema, Scale: "test", Ops: 100,
+		Workloads: []BenchWorkload{
+			{Workload: "map", Engine: "mod", Ops: 100, SimNs: 1e6, OpsPerSec: 1e5, Fences: 100, Flushes: 1000},
+		},
+		Selective: []BenchSelective{
+			{Structure: "map", Selective: true, OpsPerFASE: 64, Ops: 100, Flushes: 400, FlushesPerOp: 4, OpsPerSec: 1e5},
+		},
+		Recovery: []BenchRecovery{
+			{Structure: "map", Selective: true, OpsPerFASE: 64, Ops: 100, RecoveryNs: 2e6, RebuiltNodes: 100},
+		},
+	}
+	if fresh := BenchNewRows(base, base); len(fresh) != 0 {
+		t.Errorf("identical docs reported new rows: %v", fresh)
+	}
+	fresh := BenchNewRows(base, cur)
+	want := []string{"selective/map/sel/b64", "recovery/map/sel/b64"}
+	if len(fresh) != len(want) || fresh[0] != want[0] || fresh[1] != want[1] {
+		t.Errorf("BenchNewRows = %v, want %v", fresh, want)
+	}
+	// Symmetric direction: rows only in base are CompareBenchDocs'
+	// business, not new rows.
+	if fresh := BenchNewRows(cur, base); len(fresh) != 0 {
+		t.Errorf("rows missing from current flagged as new: %v", fresh)
 	}
 }

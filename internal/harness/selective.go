@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/mod-ds/mod/internal/workloads"
+)
+
+// SelectiveStructures is the structure sweep of the selective-persistence
+// experiment: the two navigation-heavy structures whose interior nodes
+// dominate the flush bill.
+var SelectiveStructures = []string{"map", "vector"}
+
+// SelectiveOpsPerFASE is the ops-per-FASE sweep (1 = one commit per
+// update; 64 is the batched point the acceptance gate reads).
+var SelectiveOpsPerFASE = []int{1, 64}
+
+// SelectiveBenchConfig derives a deterministic selective workload from a
+// Scale. The preloads are deliberately large relative to the op budget:
+// random updates over a deep trie rarely share interior nodes within a
+// FASE, so the persist-all rows pay the full navigation flush bill that
+// selective persistence elides. Recovery is measured on every run so the
+// rebuild cost rides the same images the hot path produced.
+func SelectiveBenchConfig(scale Scale, structure string, selective bool, opsPerFASE int) workloads.SelectiveConfig {
+	preload := selectivePreload(scale.Ops)
+	return workloads.SelectiveConfig{
+		Structure:       structure,
+		Selective:       selective,
+		OpsPerFASE:      opsPerFASE,
+		Ops:             scale.Ops,
+		PreloadKeys:     preload,
+		VectorPreload:   preload,
+		MeasureRecovery: true,
+		Seed:            0x5e1ec,
+	}
+}
+
+// selectivePreload sizes the preloaded structure: about 20x the op budget
+// (deep navigation, few repeated paths) capped at 32768 so bench runs
+// stay fast, but never below 2x the budget so updates cannot touch a
+// majority of the keyspace.
+func selectivePreload(ops int) int {
+	return max(ops*2, min(ops*20, 32768))
+}
+
+// Selective measures the "Don't Persist All" split (DESIGN.md §10): the
+// same updates-only hot path with navigation nodes persisted (cache off)
+// vs volatile-clean (selective flavor, DRAM node cache on). Selective
+// rows flush only leaf blobs plus one record cell per update, so
+// flushes/op drops and throughput climbs; the price is a recovery-time
+// rebuild, reported in the last two columns. These are the headline
+// columns the BENCH.json regression gate holds.
+func Selective(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:    "selective",
+		Title: "selective persistence: DRAM navigation over minimal PM cores (MOD engine)",
+		Note:  "rows are deterministic and gated by cmd/benchdiff",
+		Header: []string{"struct", "mode", "ops/FASE", "ops", "flushes/op", "copies/op",
+			"fences/op", "dram-reads/op", "ops/s", "recovery-ms", "rebuilt"},
+	}
+	for _, structure := range SelectiveStructures {
+		for _, sel := range []bool{false, true} {
+			for _, b := range SelectiveOpsPerFASE {
+				res, err := workloads.RunSelective(SelectiveBenchConfig(scale, structure, sel, b))
+				if err != nil {
+					return nil, err
+				}
+				mode := "persist-all"
+				if sel {
+					mode = "selective"
+				}
+				t.AddRow(
+					structure,
+					mode,
+					fmt.Sprintf("%d", res.OpsPerFASE),
+					fmt.Sprintf("%d", res.Ops),
+					f2(res.FlushesPerOp),
+					f2(res.CopiesPerOp),
+					f3(res.FencesPerOp),
+					f2(float64(res.DRAMReads)/float64(res.Ops)),
+					f1(res.OpsPerSec),
+					ms(res.RecoveryNs),
+					fmt.Sprintf("%d", res.RebuiltNodes),
+				)
+			}
+		}
+	}
+	return t, nil
+}

@@ -124,6 +124,11 @@ type Config struct {
 	// PMReadNs is the cost of a full cache miss served from PM (Table 1:
 	// 302 ns random 8-byte read).
 	PMReadNs float64
+	// DRAMReadNs is the cost of serving a node line from the volatile
+	// DRAM node cache (alloc.Heap's selective-persistence read path)
+	// instead of the PM media — DRAM random-access latency, well under
+	// PMReadNs but above an on-chip cache hit.
+	DRAMReadNs float64
 }
 
 // DefaultConfig returns the Table 1 / §3 machine model with the given arena
@@ -140,6 +145,7 @@ func DefaultConfig(size int64) Config {
 		L2HitNs:             4,
 		L3HitNs:             40,
 		PMReadNs:            302,
+		DRAMReadNs:          80,
 	}
 }
 
@@ -177,6 +183,18 @@ type Stats struct {
 	Batches    uint64
 	BatchedOps uint64
 
+	// DRAMReads counts node lines served from the volatile DRAM node
+	// cache instead of the PM media (selective persistence, DESIGN.md
+	// §10). The allocator records them via ReadDRAM.
+	DRAMReads uint64
+
+	// RebuiltNodes counts navigation nodes reconstructed from recovery
+	// records during open, and RecoveryNs the simulated time the whole
+	// post-crash recovery pass took (reachability scan plus selective
+	// rebuild). The recovery layer records them via NoteRecovery.
+	RebuiltNodes uint64
+	RecoveryNs   float64
+
 	// Cache holds the L1D counters (the Fig. 11 metric); CacheLevels
 	// breaks accesses down by serving level.
 	Cache       cachesim.Stats
@@ -205,6 +223,9 @@ func (s Stats) Add(o Stats) Stats {
 	r.CopiesElided += o.CopiesElided
 	r.Batches += o.Batches
 	r.BatchedOps += o.BatchedOps
+	r.DRAMReads += o.DRAMReads
+	r.RebuiltNodes += o.RebuiltNodes
+	r.RecoveryNs += o.RecoveryNs
 	r.Cache = s.Cache.Add(o.Cache)
 	r.CacheLevels = s.CacheLevels.Add(o.CacheLevels)
 	return r
@@ -228,6 +249,9 @@ func (s Stats) Sub(base Stats) Stats {
 	r.CopiesElided -= base.CopiesElided
 	r.Batches -= base.Batches
 	r.BatchedOps -= base.BatchedOps
+	r.DRAMReads -= base.DRAMReads
+	r.RebuiltNodes -= base.RebuiltNodes
+	r.RecoveryNs -= base.RecoveryNs
 	r.Cache = s.Cache.Sub(base.Cache)
 	r.CacheLevels = s.CacheLevels.Sub(base.CacheLevels)
 	return r
@@ -388,6 +412,54 @@ func (d *Device) NoteBatch(ops int) {
 	d.s.mu.Lock()
 	d.s.stats.Batches++
 	d.s.stats.BatchedOps += uint64(ops)
+	d.s.mu.Unlock()
+}
+
+// ReadDRAM times a node read of [addr, addr+n) served from the volatile
+// DRAM node cache (alloc.Heap's selective-persistence read path) instead
+// of the PM media. The lines walk the same on-chip hierarchy — a hot
+// cached node still hits L1 — but a full miss is a DRAM access
+// (DRAMReadNs) rather than a PM one (PMReadNs). No bytes move: the
+// caller already holds the cached snapshot; this charges its latency and
+// counts the lines.
+func (d *Device) ReadDRAM(addr Addr, n int) {
+	if n <= 0 {
+		return
+	}
+	s := d.s
+	s.mu.Lock()
+	s.checkRange(addr, n)
+	first := uint64(addr) >> LineShift
+	last := (uint64(addr) + uint64(n) - 1) >> LineShift
+	var ns float64
+	for ln := first; ln <= last; ln++ {
+		if s.cache == nil {
+			ns += s.cfg.L1HitNs
+		} else {
+			switch s.cache.Access(ln, false) {
+			case cachesim.InL1:
+				ns += s.cfg.L1HitNs
+			case cachesim.InL2:
+				ns += s.cfg.L2HitNs
+			case cachesim.InL3:
+				ns += s.cfg.L3HitNs
+			default:
+				ns += s.cfg.DRAMReadNs
+			}
+		}
+	}
+	s.stats.DRAMReads += last - first + 1
+	s.mu.Unlock()
+	d.clk.Charge(d.cat, ns)
+}
+
+// NoteRecovery records a completed post-crash recovery pass: rebuilt
+// navigation nodes reconstructed from recovery records, and the simulated
+// nanoseconds the pass took on the recovering handle's clock.
+func (d *Device) NoteRecovery(rebuilt uint64, ns float64) {
+	d.s.mu.Lock()
+	d.s.stats.RebuiltNodes += rebuilt
+	d.s.stats.RecoveryNs += ns
 	d.s.mu.Unlock()
 }
 

@@ -1,0 +1,225 @@
+package workloads
+
+import (
+	"fmt"
+
+	"github.com/mod-ds/mod/internal/core"
+	"github.com/mod-ds/mod/internal/pmem"
+)
+
+// Selective-persistence workload (DESIGN.md §10, "Don't Persist All"). An
+// updates-only hot path — map sets over a preloaded keyspace, or vector
+// updates over preloaded slots — runs against either the selectively
+// persisted flavor of the structure with the DRAM node cache on, or the
+// normal fully persisted flavor with the cache off. Selective updates
+// flush only leaf blobs plus one compact record cell per op; interior
+// navigation nodes stay volatile-clean and are rebuilt from the record
+// chain on recovery, which is the flushes/op reduction BENCH.json tracks.
+//
+// Each run optionally ends in a simulated crash + reopen so the rebuild
+// cost (recovery ns, nodes rebuilt) is measured on the same images the
+// hot path produced.
+//
+// Single-goroutine and deterministic, so cmd/benchdiff gates its rows.
+
+// SelectiveConfig parameterizes one selective-persistence measurement.
+type SelectiveConfig struct {
+	// Structure selects the hot path: "map" (sets over preloaded keys)
+	// or "vector" (updates over preloaded slots).
+	Structure string
+	// Selective picks the flavor under test: true binds the selectively
+	// persisted structure and enables the DRAM node cache ("on"); false
+	// binds the normal structure with no cache ("off").
+	Selective bool
+	// OpsPerFASE is the number of updates per edit/batch.
+	OpsPerFASE int
+	// Ops is the total number of committed updates.
+	Ops int
+	// PreloadKeys sizes the map keyspace (updates hit existing keys).
+	PreloadKeys int
+	// VectorPreload is the vector length (updates hit existing slots).
+	VectorPreload int
+	// MeasureRecovery crashes the device after the run and reopens it,
+	// filling the Recovery* result fields.
+	MeasureRecovery bool
+	// Seed drives the deterministic operation stream.
+	Seed uint64
+	// ArenaBytes sizes the device (0 = automatic).
+	ArenaBytes int64
+}
+
+func (c *SelectiveConfig) defaults() {
+	if c.Structure == "" {
+		c.Structure = "map"
+	}
+	if c.OpsPerFASE <= 0 {
+		c.OpsPerFASE = 1
+	}
+	if c.Ops <= 0 {
+		c.Ops = 4000
+	}
+	if c.PreloadKeys <= 0 {
+		c.PreloadKeys = 1024
+	}
+	if c.VectorPreload <= 0 {
+		c.VectorPreload = 4096
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x5e1ec
+	}
+	if c.ArenaBytes == 0 {
+		c.ArenaBytes = int64(c.Ops)*2048 + int64(c.PreloadKeys)*512 +
+			int64(c.VectorPreload)*64 + (64 << 20)
+	}
+}
+
+// SelectiveResult reports one selective-persistence measurement. Times
+// are simulated nanoseconds; throughput is per simulated second.
+type SelectiveResult struct {
+	Structure  string
+	Selective  bool
+	OpsPerFASE int
+	Ops        int
+
+	Fences    uint64
+	Flushes   uint64
+	Copies    uint64 // node allocations (path copies + headers + blobs + records)
+	DRAMReads uint64 // node lines served from the volatile cache
+
+	ElapsedNs float64
+	OpsPerSec float64
+
+	FencesPerOp  float64
+	FlushesPerOp float64
+	CopiesPerOp  float64
+
+	// Filled when MeasureRecovery is set: cost of reopening the crashed
+	// image, including the selective rebuild (zero nodes for the normal
+	// flavor, which has nothing to rebuild).
+	RecoveryNs   float64
+	RebuiltNodes uint64
+}
+
+// RunSelective executes the selective-persistence workload and returns
+// its measurement.
+func RunSelective(cfg SelectiveConfig) (SelectiveResult, error) {
+	cfg.defaults()
+	if cfg.Structure != "map" && cfg.Structure != "vector" {
+		return SelectiveResult{}, fmt.Errorf("workloads: unknown selective structure %q", cfg.Structure)
+	}
+	dcfg := pmem.DefaultConfig(cfg.ArenaBytes)
+	dcfg.TrackDurable = cfg.MeasureRecovery
+	dev := pmem.New(dcfg)
+	store, err := core.NewStore(dev)
+	if err != nil {
+		return SelectiveResult{}, err
+	}
+
+	var m *core.Map
+	var v *core.Vector
+	if cfg.Selective {
+		store.EnableNodeCache()
+		if m, err = store.SelectiveMap("sel-map"); err == nil {
+			v, err = store.SelectiveVector("sel-vec")
+		}
+	} else {
+		if m, err = store.Map("sel-map"); err == nil {
+			v, err = store.Vector("sel-vec")
+		}
+	}
+	if err != nil {
+		return SelectiveResult{}, err
+	}
+
+	r := rng{state: cfg.Seed}
+	if cfg.Structure == "map" {
+		for k := 0; k < cfg.PreloadKeys; k++ {
+			m.Set([]byte(fmt.Sprintf("key-%06d", k)), u64le(r.next()))
+		}
+	} else {
+		for i := 0; i < cfg.VectorPreload; i++ {
+			v.Push(r.next())
+		}
+	}
+	store.Sync()
+	statsBase := dev.Stats()
+	allocBase := store.Heap().Stats()
+	nsBase := dev.LocalNs()
+
+	b := store.NewBatch()
+	for i := 0; i < cfg.Ops; i++ {
+		if cfg.Structure == "map" {
+			key := fmt.Sprintf("key-%06d", r.intn(uint64(cfg.PreloadKeys)))
+			b.MapSet(m, []byte(key), u64le(r.next()))
+		} else {
+			b.VectorUpdate(v, r.intn(uint64(cfg.VectorPreload)), r.next())
+		}
+		if b.Len() >= cfg.OpsPerFASE {
+			b.Commit()
+		}
+	}
+	b.Commit()
+
+	elapsed := dev.LocalNs() - nsBase
+	d := dev.Stats().Sub(statsBase)
+	copies := store.Heap().Stats().Allocs - allocBase.Allocs
+	res := SelectiveResult{
+		Structure:    cfg.Structure,
+		Selective:    cfg.Selective,
+		OpsPerFASE:   cfg.OpsPerFASE,
+		Ops:          cfg.Ops,
+		Fences:       d.Fences,
+		Flushes:      d.Flushes,
+		Copies:       copies,
+		DRAMReads:    d.DRAMReads,
+		ElapsedNs:    elapsed,
+		OpsPerSec:    perSec(cfg.Ops, elapsed),
+		FencesPerOp:  float64(d.Fences) / float64(cfg.Ops),
+		FlushesPerOp: float64(d.Flushes) / float64(cfg.Ops),
+		CopiesPerOp:  float64(copies) / float64(cfg.Ops),
+	}
+	store.Sync()
+
+	if cfg.MeasureRecovery {
+		img := dev.CrashImage(pmem.CrashEvictRandom, cfg.Seed)
+		rcfg := pmem.DefaultConfig(cfg.ArenaBytes)
+		dev2 := pmem.NewFromImage(rcfg, img)
+		store2, _, err := core.OpenStore(dev2)
+		if err != nil {
+			return SelectiveResult{}, fmt.Errorf("workloads: selective reopen: %w", err)
+		}
+		rs := dev2.Stats()
+		res.RecoveryNs = rs.RecoveryNs
+		res.RebuiltNodes = rs.RebuiltNodes
+		// Sanity: the recovered structure must answer reads.
+		if cfg.Structure == "map" {
+			m2, err := store2.Map("sel-map")
+			if err != nil {
+				return SelectiveResult{}, err
+			}
+			if m2.Len() == 0 {
+				return SelectiveResult{}, fmt.Errorf("workloads: selective recovery lost the map")
+			}
+		} else {
+			v2, err := store2.Vector("sel-vec")
+			if err != nil {
+				return SelectiveResult{}, err
+			}
+			if int(v2.Len()) != cfg.VectorPreload {
+				return SelectiveResult{}, fmt.Errorf("workloads: selective recovery lost vector slots: len %d != %d",
+					v2.Len(), cfg.VectorPreload)
+			}
+		}
+	}
+	return res, nil
+}
+
+// u64le encodes a uint64 as its 8 little-endian bytes — the fixed-width
+// leaf value the selective hot path writes.
+func u64le(x uint64) []byte {
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(x >> (8 * i))
+	}
+	return b
+}

@@ -1,0 +1,51 @@
+package workloads
+
+import "testing"
+
+// TestSelectiveFlushGate pins the headline selective-persistence claim
+// (DESIGN.md §10): at ops-per-FASE 64 the selective flavor with the DRAM
+// node cache on must flush at most half as many lines per update as the
+// fully persisted flavor with no cache, on both navigation-heavy
+// structures — and its reopen must actually rebuild navigation from the
+// record chain, while the fully persisted flavor rebuilds nothing.
+func TestSelectiveFlushGate(t *testing.T) {
+	for _, structure := range []string{"map", "vector"} {
+		base := SelectiveConfig{
+			Structure:       structure,
+			OpsPerFASE:      64,
+			Ops:             1500,
+			PreloadKeys:     30000,
+			VectorPreload:   30000,
+			MeasureRecovery: true,
+		}
+		off := base
+		on := base
+		on.Selective = true
+		offRes, err := RunSelective(off)
+		if err != nil {
+			t.Fatalf("%s persist-all: %v", structure, err)
+		}
+		onRes, err := RunSelective(on)
+		if err != nil {
+			t.Fatalf("%s selective: %v", structure, err)
+		}
+		ratio := offRes.FlushesPerOp / onRes.FlushesPerOp
+		t.Logf("%s: flushes/op %.2f (persist-all) vs %.2f (selective), %.2fx",
+			structure, offRes.FlushesPerOp, onRes.FlushesPerOp, ratio)
+		if ratio < 2 {
+			t.Errorf("%s: selective flushes/op only %.2fx lower than persist-all (want >= 2x)", structure, ratio)
+		}
+		if onRes.RebuiltNodes == 0 {
+			t.Errorf("%s: selective recovery rebuilt no navigation nodes", structure)
+		}
+		if onRes.RecoveryNs <= 0 {
+			t.Errorf("%s: selective recovery reported no simulated time", structure)
+		}
+		if offRes.RebuiltNodes != 0 {
+			t.Errorf("%s: persist-all recovery rebuilt %d nodes (want 0)", structure, offRes.RebuiltNodes)
+		}
+		if structure == "map" && onRes.DRAMReads == 0 {
+			t.Errorf("map: selective run served no node reads from the DRAM cache")
+		}
+	}
+}
