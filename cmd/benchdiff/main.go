@@ -18,7 +18,8 @@
 // in simulated time, so any drift beyond the tolerance is a real
 // code-path change, not measurement noise. The concurrent reader-scaling
 // rows depend on goroutine interleaving and are reported but never
-// gated.
+// gated; the server sweep runs on the wall clock, so its rows are
+// presence-checked but its values are never gated either.
 //
 // After an intentional performance change, regenerate the baseline with
 //

@@ -82,11 +82,11 @@ func key(i int) []byte {
 func faseRound(seed uint64, ops int, verbose bool) error {
 	cfg := pmem.DefaultConfig(128 << 20)
 	cfg.TrackDurable = true
-	dev := pmem.New(cfg)
-	store, err := core.NewStore(dev)
+	db, _, err := core.Open(cfg)
 	if err != nil {
 		return err
 	}
+	dev, store := db.Store().Device(), db.Store()
 	m, err := store.Map("fuzz")
 	if err != nil {
 		return err
@@ -112,11 +112,12 @@ func faseRound(seed uint64, ops int, verbose bool) error {
 	q.PureEnqueue(888_888)
 
 	img := dev.CrashImage(pmem.CrashEvictRandom, seed)
-	dev2 := pmem.NewFromImage(pmem.DefaultConfig(128<<20), img)
-	store2, rs, err := core.OpenStore(dev2)
+	db2, info, err := core.Open(pmem.DefaultConfig(128<<20), core.WithExistingImages([][]byte{img}))
 	if err != nil {
 		return fmt.Errorf("recovery: %w", err)
 	}
+	rs := info.Stats
+	store2 := db2.Store()
 	m2, err := store2.Map("fuzz")
 	if err != nil {
 		return err
@@ -149,11 +150,11 @@ func faseRound(seed uint64, ops int, verbose bool) error {
 func batchRound(seed uint64, ops int, verbose bool) error {
 	cfg := pmem.DefaultConfig(128 << 20)
 	cfg.TrackDurable = true
-	dev := pmem.New(cfg)
-	store, err := core.NewStore(dev)
+	db, _, err := core.Open(cfg)
 	if err != nil {
 		return err
 	}
+	dev, store := db.Store().Device(), db.Store()
 	m, err := store.Map("fuzz")
 	if err != nil {
 		return err
@@ -205,11 +206,12 @@ func batchRound(seed uint64, ops int, verbose bool) error {
 		img = dev.CrashImage(pmem.CrashEvictRandom, seed)
 	}
 
-	dev2 := pmem.NewFromImage(pmem.DefaultConfig(128<<20), img)
-	store2, rs, err := core.OpenStore(dev2)
+	db2, info, err := core.Open(pmem.DefaultConfig(128<<20), core.WithExistingImages([][]byte{img}))
 	if err != nil {
 		return fmt.Errorf("recovery: %w", err)
 	}
+	rs := info.Stats
+	store2 := db2.Store()
 	m2, err := store2.Map("fuzz")
 	if err != nil {
 		return err
@@ -266,10 +268,11 @@ func shardRound(seed uint64, ops, shards int, verbose bool) error {
 	}
 	cfg := pmem.DefaultConfig(32 << 20)
 	cfg.TrackDurable = true
-	ss, err := core.NewShardedStore(cfg, shards)
+	db, _, err := core.Open(cfg, core.WithShards(shards))
 	if err != nil {
 		return err
 	}
+	ss := db.Sharded()
 	maps := make([]*core.Map, shards)
 	wantMaps := make([]map[string]string, shards)
 	for i := range maps {
@@ -319,10 +322,11 @@ func shardRound(seed uint64, ops, shards int, verbose bool) error {
 		imgs = ss.CrashImages(pmem.CrashEvictRandom, seed)
 	}
 
-	ss2, rs, err := core.OpenShardedStore(cfg, imgs)
+	db2, info, err := core.Open(cfg, core.WithExistingImages(imgs))
 	if err != nil {
 		return fmt.Errorf("recovery: %w", err)
 	}
+	ss2 := db2.Sharded()
 	maps2 := make([]*core.Map, shards)
 	inShard := make([]bool, shards)
 	for si := range maps2 {
@@ -360,7 +364,7 @@ func shardRound(seed uint64, ops, shards int, verbose bool) error {
 	}
 	if verbose {
 		fmt.Printf("shard round seed=%d: shards=%d committed=%d batch-recovered=%v manifest-replayed=%v leaked-blocks=%d ok\n",
-			seed, shards, committed, inShard[0], rs.ManifestReplayed, rs.Total().LeakedBlocks)
+			seed, shards, committed, inShard[0], info.ManifestReplayed, info.Stats.LeakedBlocks)
 	}
 	return nil
 }

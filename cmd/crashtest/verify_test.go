@@ -15,11 +15,12 @@ import (
 
 func testStore(t *testing.T) *core.Store {
 	t.Helper()
-	s, err := core.NewStore(pmem.New(pmem.DefaultConfig(4 << 20)))
+	db, _, err := core.Open(pmem.DefaultConfig(4 << 20))
 	if err != nil {
 		t.Fatal(err)
 	}
-	return s
+	t.Cleanup(func() { db.Close() })
+	return db.Store()
 }
 
 func TestVerifyQueueDetectsWrongValues(t *testing.T) {

@@ -74,11 +74,12 @@ func recordDemo(outPath string) ([]trace.Event, trace.CheckerConfig, error) {
 	rec := trace.NewRecorder()
 	devCfg := pmem.DefaultConfig(128 << 20)
 	devCfg.Tracer = rec
-	dev := pmem.New(devCfg)
-	store, err := core.NewStore(dev)
+	db, _, err := core.Open(devCfg)
 	if err != nil {
 		return nil, trace.CheckerConfig{}, err
 	}
+	defer db.Close()
+	store := db.Store()
 	m, _ := store.Map("m")
 	v, _ := store.Vector("v")
 	q, _ := store.Queue("q")

@@ -46,13 +46,13 @@ func main() {
 
 	cfg := mod.DefaultDeviceConfig(512 << 20)
 	cfg.TrackDurable = true
-	dev := mod.NewDevice(cfg)
-	store, err := mod.NewStore(dev)
+	db, _, err := mod.Open(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	frontier, _ := store.Queue("bfs-frontier")
-	visited, _ := store.Set("bfs-visited")
+	defer db.Close()
+	frontier, _ := db.Queue("bfs-frontier")
+	visited, _ := db.Set("bfs-visited")
 
 	visited.Insert(key(uint64(src)))
 	frontier.Enqueue(uint64(src))
@@ -65,22 +65,22 @@ func main() {
 			break
 		}
 	}
-	store.Sync()
+	db.Sync()
 	fmt.Printf("visited %d/%d nodes, frontier holds %d... power failure!\n",
 		count, want, frontier.Len())
-	img := dev.CrashImage(2 /* random evictions */, 99)
+	imgs := db.CrashImages(2 /* random evictions */, 99)
 
 	// Reboot: recover the traversal state and finish.
-	dev2 := mod.NewDeviceFromImage(mod.DefaultDeviceConfig(512<<20), img)
-	store2, rs, err := mod.OpenStore(dev2)
+	db2, info, err := mod.Open(mod.DefaultDeviceConfig(512<<20), mod.WithExistingImages(imgs))
 	if err != nil {
 		log.Fatal(err)
 	}
-	frontier2, _ := store2.Queue("bfs-frontier")
-	visited2, _ := store2.Set("bfs-visited")
+	defer db2.Close()
+	frontier2, _ := db2.Queue("bfs-frontier")
+	visited2, _ := db2.Set("bfs-visited")
 	count2 := int(visited2.Len())
 	fmt.Printf("recovered: %d visited, %d in frontier, %d leaked blocks swept\n",
-		count2, frontier2.Len(), rs.LeakedBlocks)
+		count2, frontier2.Len(), info.Stats.LeakedBlocks)
 
 	for step(g, frontier2, visited2, &count2) {
 	}

@@ -12,11 +12,15 @@ import (
 )
 
 func main() {
-	dev := mod.NewDevice(mod.DefaultDeviceConfig(64 << 20))
-	store, err := mod.NewStore(dev)
+	db, _, err := mod.Open(mod.DefaultDeviceConfig(64 << 20))
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer db.Close()
+	// The Composition interface (BeginFASE/Commit*) lives on the
+	// concrete Store.
+	store := db.Store()
+	dev := store.Device()
 
 	// Fig. 7b — multiple updates of a single datastructure: swap two
 	// vector elements via two pure updates on successive shadows and one

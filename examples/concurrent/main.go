@@ -14,11 +14,12 @@ import (
 func main() {
 	cfg := mod.DefaultDeviceConfig(64 << 20)
 	cfg.TrackDurable = true
-	dev := mod.NewDevice(cfg)
-	store, err := mod.NewStore(dev)
+	db, _, err := mod.Open(cfg)
 	if err != nil {
 		panic(err)
 	}
+	defer db.Close()
+	store := db.Store()
 
 	const shards = 4
 	for s := 0; s < shards; s++ {
@@ -74,16 +75,17 @@ func main() {
 	fmt.Printf("readers observed %d committed values during %d concurrent FASEs\n", total, 1000)
 
 	// Crash and recover: the concurrent history must be durable.
-	img := dev.CrashImage(0 /* fenced state only */, 1)
-	store2, stats, err := mod.OpenStore(mod.NewDeviceFromImage(mod.DefaultDeviceConfig(64<<20), img))
+	imgs := db.CrashImages(0 /* fenced state only */, 1)
+	db2, info, err := mod.Open(mod.DefaultDeviceConfig(64<<20), mod.WithExistingImages(imgs))
 	if err != nil {
 		panic(err)
 	}
+	defer db2.Close()
 	live := uint64(0)
 	for s := 0; s < shards; s++ {
-		m, _ := store2.Map(fmt.Sprintf("shard-%d", s))
+		m, _ := db2.Map(fmt.Sprintf("shard-%d", s))
 		live += m.Len()
 	}
 	fmt.Printf("after crash: %d live entries across %d shards, %d blocks recovered, %d leaked blocks swept\n",
-		live, shards, stats.LiveBlocks, stats.LeakedBlocks)
+		live, shards, info.Stats.LiveBlocks, info.Stats.LeakedBlocks)
 }

@@ -32,12 +32,12 @@ func main() {
 	selftest := flag.Bool("selftest", false, "run a scripted client against an in-process server")
 	flag.Parse()
 
-	dev := mod.NewDevice(mod.DefaultDeviceConfig(256 << 20))
-	store, err := mod.NewStore(dev)
+	db, _, err := mod.Open(mod.DefaultDeviceConfig(256 << 20))
 	if err != nil {
 		log.Fatal(err)
 	}
-	m, err := store.Map("cache")
+	defer db.Close()
+	m, err := db.Map("cache")
 	if err != nil {
 		log.Fatal(err)
 	}

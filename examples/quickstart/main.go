@@ -15,23 +15,22 @@ func main() {
 	// so we can pull crash images from it.
 	cfg := mod.DefaultDeviceConfig(64 << 20)
 	cfg.TrackDurable = true
-	dev := mod.NewDevice(cfg)
 
-	store, err := mod.NewStore(dev)
+	db, _, err := mod.Open(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Every update below is one failure-atomic section with exactly one
 	// ordering point (sfence), the paper's headline property.
-	users, err := store.Map("users")
+	users, err := db.Map("users")
 	if err != nil {
 		log.Fatal(err)
 	}
 	users.Set([]byte("ada"), []byte("lovelace"))
 	users.Set([]byte("grace"), []byte("hopper"))
 
-	tasks, err := store.Queue("tasks")
+	tasks, err := db.Queue("tasks")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,7 +38,7 @@ func main() {
 	tasks.Enqueue(2)
 	tasks.Enqueue(3)
 
-	scores, err := store.Vector("scores")
+	scores, err := db.Vector("scores")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,28 +47,28 @@ func main() {
 	}
 	scores.Swap(0, 9) // two pure updates, one commit (Fig. 7b)
 
-	stats := dev.Stats()
+	stats := db.Stats()
 	fmt.Printf("before crash: %d users, %d tasks, %d scores\n", users.Len(), tasks.Len(), scores.Len())
 	fmt.Printf("device: %d flushes, %d fences, %.1f simulated us\n",
 		stats.Flushes, stats.Fences, stats.TotalNs/1e3)
 
 	// Make the last commit durable, then pull the plug.
-	store.Sync()
-	image := dev.CrashImage(0 /* fenced state only */, 42)
+	db.Sync()
+	images := db.CrashImages(0 /* fenced state only */, 42)
 
 	// A new process attaches to the same "DIMM": recovery sweeps any
 	// interrupted work and rebinds the named roots.
-	dev2 := mod.NewDeviceFromImage(mod.DefaultDeviceConfig(64<<20), image)
-	store2, recovery, err := mod.OpenStore(dev2)
+	db2, info, err := mod.Open(mod.DefaultDeviceConfig(64<<20), mod.WithExistingImages(images))
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer db2.Close()
 	fmt.Printf("after crash: recovered %d live blocks, swept %d leaked blocks\n",
-		recovery.LiveBlocks, recovery.LeakedBlocks)
+		info.Stats.LiveBlocks, info.Stats.LeakedBlocks)
 
-	users2, _ := store2.Map("users")
-	tasks2, _ := store2.Queue("tasks")
-	scores2, _ := store2.Vector("scores")
+	users2, _ := db2.Map("users")
+	tasks2, _ := db2.Queue("tasks")
+	scores2, _ := db2.Vector("scores")
 	who, _ := users2.Get([]byte("ada"))
 	head, _ := tasks2.Peek()
 	fmt.Printf("ada -> %s, next task %d, scores[0] = %d\n", who, head, scores2.Get(0))

@@ -20,12 +20,12 @@ func main() {
 
 	cfg := mod.DefaultDeviceConfig(256 << 20)
 	cfg.TrackDurable = true
-	dev := mod.NewDevice(cfg)
-	store, err := mod.NewStore(dev)
+	db, _, err := mod.Open(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys, err := apps.NewMODReservations(store)
+	defer db.Close()
+	sys, err := apps.NewMODReservations(db.Store())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,19 +44,19 @@ func main() {
 			booked++
 		}
 	}
-	store.Sync()
+	db.Sync()
 	fmt.Printf("booked %d/%d customers\n", booked, *customers)
 
 	// Crash with random evictions mid-life, then audit the books: every
 	// booking must have a matching inventory decrement — no torn
 	// reservations, ever.
-	img := dev.CrashImage(2, 1234)
-	dev2 := mod.NewDeviceFromImage(mod.DefaultDeviceConfig(256<<20), img)
-	store2, _, err := mod.OpenStore(dev2)
+	imgs := db.CrashImages(2, 1234)
+	db2, _, err := mod.Open(mod.DefaultDeviceConfig(256<<20), mod.WithExistingImages(imgs))
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys2, err := apps.NewMODReservations(store2)
+	defer db2.Close()
+	sys2, err := apps.NewMODReservations(db2.Store())
 	if err != nil {
 		log.Fatal(err)
 	}

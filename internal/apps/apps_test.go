@@ -17,11 +17,12 @@ func newMODStore(t testing.TB) *core.Store {
 	t.Helper()
 	cfg := pmem.DefaultConfig(64 << 20)
 	cfg.TrackDurable = true
-	s, err := core.NewStore(pmem.New(cfg))
+	db, _, err := core.Open(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return s
+	t.Cleanup(func() { db.Close() })
+	return db.Store()
 }
 
 func newPMDKTX(t testing.TB) *stm.TX {
@@ -105,9 +106,11 @@ func TestVacationUnknownResource(t *testing.T) {
 func TestMODVacationCrashAtomicity(t *testing.T) {
 	cfg := pmem.DefaultConfig(64 << 20)
 	cfg.TrackDurable = true
-	dev := pmem.New(cfg)
-	s, _ := core.NewStore(dev)
-	r, err := NewMODReservations(s)
+	db, _, err := core.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewMODReservations(db.Store())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,15 +118,15 @@ func TestMODVacationCrashAtomicity(t *testing.T) {
 	if !r.Reserve(Cars, 1, 7) {
 		t.Fatal("reserve failed")
 	}
-	s.Sync()
-	img := dev.CrashImage(pmem.CrashFencedOnly, 1)
+	db.Sync()
+	imgs := db.CrashImages(pmem.CrashFencedOnly, 1)
 
-	dev2 := pmem.NewFromImage(pmem.DefaultConfig(64<<20), img)
-	s2, _, err := core.OpenStore(dev2)
+	db2, _, err := core.Open(pmem.DefaultConfig(64<<20), core.WithExistingImages(imgs))
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := NewMODReservations(s2)
+	defer db2.Close()
+	r2, err := NewMODReservations(db2.Store())
 	if err != nil {
 		t.Fatal(err)
 	}

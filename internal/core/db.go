@@ -1,0 +1,419 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/mod-ds/mod/internal/alloc"
+	"github.com/mod-ds/mod/internal/funcds"
+	"github.com/mod-ds/mod/internal/pmem"
+)
+
+// Unified open API. NewStore/OpenStore/NewShardedStore/OpenShardedStore
+// grew up as four divergent entrypoints with incompatible signatures;
+// anything generic — a server, an app, a test — had to care whether its
+// store was sharded before it could bind a root. Open collapses them
+// into one constructor configured by functional options, and the KV
+// interface is the store-shape-agnostic surface both Store and
+// ShardedStore (and the DB wrapper) satisfy: bind roots, batch, commit
+// asynchronously, sync, close, read stats. cmd/modserver is written
+// against KV and runs unchanged over one heap or sixteen.
+
+// KV is the store-shape-agnostic interface over a MOD store: named-root
+// binding for the five structures, group-commit batching, durability
+// draining, shutdown, and device counters. *Store, *ShardedStore, and
+// *DB all satisfy it.
+type KV interface {
+	// Map binds (creating on first use) a recoverable map under a named
+	// root; Set, Vector, Stack, and Queue bind the other structures.
+	Map(name string) (*Map, error)
+	Set(name string) (*Set, error)
+	Vector(name string) (*Vector, error)
+	Stack(name string) (*Stack, error)
+	Queue(name string) (*Queue, error)
+	// Batch returns an empty group-commit batch; its CommitAsync
+	// submits to the background committer and returns a durability
+	// Ticket.
+	Batch() Batcher
+	// Sync drains every outstanding commit and fences: everything
+	// acknowledged so far is durable on return.
+	Sync()
+	// Close shuts the store down idempotently (see Store.Close).
+	Close() error
+	// Stats returns the aggregate device counters.
+	Stats() pmem.Stats
+	// ForkKV derives a handle with its own simulated clock for a worker
+	// goroutine, sharing all store state.
+	ForkKV() KV
+}
+
+// Batcher is the common surface of *Batch and *ShardedBatch: deferred
+// updates accumulated for one group commit, published synchronously
+// (Commit) or through the background committer (CommitAsync). A Batcher
+// is not safe for concurrent use.
+type Batcher interface {
+	MapSet(m *Map, key, val []byte)
+	MapDelete(m *Map, key []byte)
+	SetInsert(s *Set, key []byte)
+	SetDelete(s *Set, key []byte)
+	VectorPush(v *Vector, val uint64)
+	VectorUpdate(v *Vector, i uint64, val uint64)
+	StackPush(s *Stack, val uint64)
+	StackPop(s *Stack)
+	QueueEnqueue(q *Queue, val uint64)
+	QueueDequeue(q *Queue)
+	// Len returns the number of operations accumulated.
+	Len() int
+	// Commit publishes synchronously; CommitAsync submits to the
+	// background committer and returns a durability ticket.
+	Commit()
+	CommitAsync() *Ticket
+}
+
+// Batch returns an empty group-commit batch as a Batcher.
+func (s *Store) Batch() Batcher { return s.NewBatch() }
+
+// Batch returns an empty cross-shard batch as a Batcher.
+func (ss *ShardedStore) Batch() Batcher { return ss.NewBatch() }
+
+// ForkKV derives a per-goroutine handle (see Fork) as a KV.
+func (s *Store) ForkKV() KV { return s.Fork() }
+
+// ForkKV derives a per-goroutine handle set (see Fork) as a KV.
+func (ss *ShardedStore) ForkKV() KV { return ss.Fork() }
+
+var (
+	_ KV      = (*Store)(nil)
+	_ KV      = (*ShardedStore)(nil)
+	_ KV      = (*DB)(nil)
+	_ Batcher = (*Batch)(nil)
+	_ Batcher = (*ShardedBatch)(nil)
+)
+
+// options collects the Open configuration.
+type options struct {
+	shards          int  // 0 = unset (single-heap store)
+	shardsSet       bool // WithShards was passed (even with a bad count)
+	selective       bool
+	checkpointEvery int
+	nodeCache       bool
+	images          [][]byte
+	committer       bool
+	committerMaxOps int
+	committerLinger time.Duration
+}
+
+// Option configures Open.
+type Option func(*options)
+
+// WithShards partitions the store across n fully independent heap
+// regions (plus a small cross-shard metadata region). Without this
+// option Open builds a single-heap store with no metadata region and
+// exactly the plain Store's fence economy; WithShards(1) is a genuine
+// one-shard ShardedStore (metadata region included), which is what a
+// shard-count sweep's baseline point wants.
+func WithShards(n int) Option {
+	return func(o *options) {
+		o.shards = n
+		o.shardsSet = true
+	}
+}
+
+// WithSelective makes the DB's binders create the selectively persisted
+// flavor of each structure (DESIGN.md §10): DRAM-resident navigation
+// over a minimal persistent core. checkpointEvery sets the record-chain
+// folding interval (0 keeps the current process-wide default). Existing
+// roots keep the flavor they were created with.
+func WithSelective(checkpointEvery int) Option {
+	return func(o *options) {
+		o.selective = true
+		o.checkpointEvery = checkpointEvery
+	}
+}
+
+// WithNodeCache enables the DRAM node cache on every heap: committed
+// navigation nodes are served at DRAM latency instead of PM read
+// latency.
+func WithNodeCache() Option { return func(o *options) { o.nodeCache = true } }
+
+// WithExistingImages reopens a store from post-crash region images
+// instead of formatting a fresh one: a single image reopens a
+// single-heap store, and S+1 images (shards in order, metadata last —
+// the layout DB.CrashImages produces) reopen a sharded store.
+func WithExistingImages(imgs [][]byte) Option { return func(o *options) { o.images = imgs } }
+
+// WithCommitter starts the background group committer(s) immediately,
+// so CommitAsync submissions from concurrent goroutines coalesce into
+// shared fence epochs. maxOps caps the operations per epoch (0 uses
+// DefaultCommitterMaxOps). Close stops them.
+func WithCommitter(maxOps int) Option {
+	return func(o *options) {
+		o.committer = true
+		o.committerMaxOps = maxOps
+	}
+}
+
+// WithCommitterLinger sets the committers' settle-fence collection
+// window (see Store.SetCommitterLinger): under request/response-paced
+// load a few tens of microseconds of linger is what lets concurrent
+// clients share fence epochs. Implies nothing unless a committer runs.
+func WithCommitterLinger(d time.Duration) Option {
+	return func(o *options) { o.committerLinger = d }
+}
+
+// RecoveryInfo reports what Open recovered. Zero-valued (Recovered
+// false) for a freshly formatted store.
+type RecoveryInfo struct {
+	// Recovered is true when the store was reopened from images.
+	Recovered bool
+	// Stats totals the reachability recovery across all shards.
+	Stats alloc.RecoveryStats
+	// PerShard holds each shard's recovery stats in shard order (one
+	// entry for a single-heap store).
+	PerShard []alloc.RecoveryStats
+	// ManifestReplayed reports whether a committed cross-shard manifest
+	// was found and its root swaps re-executed.
+	ManifestReplayed bool
+}
+
+// DB is the handle Open returns: a KV over either a single-heap Store
+// or a ShardedStore, with option-aware binders (WithSelective routes
+// Map/Set/... to the Selective* flavors). Exactly one of Store() and
+// Sharded() is non-nil, for callers that need the concrete API
+// (Composition-interface commits, explicit shard placement, trace
+// checking).
+type DB struct {
+	kv        KV // the wrapped *Store or *ShardedStore
+	store     *Store
+	sharded   *ShardedStore
+	selective bool
+}
+
+// Open formats (or, with WithExistingImages, recovers) a MOD store and
+// returns it wrapped as a DB. The zero option set gives a single-heap
+// store on a fresh device built from cfg; WithShards(n) partitions it;
+// WithExistingImages reopens a crashed one, with the recovery reported
+// in the RecoveryInfo. The returned DB (and any nil DB from a failed
+// open) is safe to Close and Sync in all cases.
+func Open(cfg pmem.Config, opts ...Option) (*DB, RecoveryInfo, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	var info RecoveryInfo
+	if o.shardsSet && o.shards < 1 {
+		return nil, info, fmt.Errorf("core: open with %d shards: %w", o.shards, ErrShardCount)
+	}
+	if o.checkpointEvery > 0 {
+		funcds.SetCheckpointEvery(uint64(o.checkpointEvery))
+	}
+	db := &DB{selective: o.selective}
+	switch {
+	case o.images == nil && o.shards == 0:
+		s, err := NewStore(pmem.New(cfg))
+		if err != nil {
+			return nil, info, err
+		}
+		db.store = s
+	case o.images == nil:
+		ss, err := NewShardedStore(cfg, o.shards)
+		if err != nil {
+			return nil, info, err
+		}
+		db.sharded = ss
+	case len(o.images) == 1:
+		if o.shards > 1 {
+			return nil, info, fmt.Errorf("core: open with %d shards from a single image: %w", o.shards, ErrShardCount)
+		}
+		s, rs, err := OpenStore(pmem.NewFromImage(cfg, o.images[0]))
+		if err != nil {
+			return nil, info, err
+		}
+		db.store = s
+		info = RecoveryInfo{Recovered: true, Stats: rs, PerShard: []alloc.RecoveryStats{rs}}
+	default:
+		if want := len(o.images) - 1; o.shards != 0 && o.shards != want {
+			return nil, info, fmt.Errorf("core: open with %d shards from %d images (want %d shards): %w",
+				o.shards, len(o.images), want, ErrShardCount)
+		}
+		ss, srs, err := OpenShardedStore(cfg, o.images)
+		if err != nil {
+			return nil, info, err
+		}
+		db.sharded = ss
+		info = RecoveryInfo{
+			Recovered:        true,
+			Stats:            srs.Total(),
+			PerShard:         srs.PerShard,
+			ManifestReplayed: srs.ManifestReplayed,
+		}
+	}
+	if db.store != nil {
+		db.kv = db.store
+	} else {
+		db.kv = db.sharded
+	}
+	if o.nodeCache {
+		db.EnableNodeCache()
+	}
+	if o.committer {
+		if db.store != nil {
+			db.store.StartGroupCommitter(o.committerMaxOps)
+		} else {
+			db.sharded.StartGroupCommitters(o.committerMaxOps)
+		}
+	}
+	if o.committerLinger > 0 {
+		db.SetCommitterLinger(o.committerLinger)
+	}
+	return db, info, nil
+}
+
+// SetCommitterLinger sets the settle-fence collection window on every
+// committer (see Store.SetCommitterLinger).
+func (db *DB) SetCommitterLinger(d time.Duration) {
+	if db.store != nil {
+		db.store.SetCommitterLinger(d)
+		return
+	}
+	db.sharded.SetCommitterLinger(d)
+}
+
+// Store returns the wrapped single-heap store, or nil for a sharded DB.
+func (db *DB) Store() *Store { return db.store }
+
+// Sharded returns the wrapped sharded store, or nil for a single-heap
+// DB.
+func (db *DB) Sharded() *ShardedStore { return db.sharded }
+
+// ShardCount returns the number of heap regions (1 for a single-heap
+// store).
+func (db *DB) ShardCount() int {
+	if db.sharded != nil {
+		return db.sharded.ShardCount()
+	}
+	return 1
+}
+
+// Fork derives a DB handle with per-goroutine clocks, sharing all store
+// state.
+func (db *DB) Fork() *DB {
+	out := &DB{selective: db.selective}
+	if db.store != nil {
+		out.store = db.store.Fork()
+		out.kv = out.store
+	} else {
+		out.sharded = db.sharded.Fork()
+		out.kv = out.sharded
+	}
+	return out
+}
+
+// ForkKV derives a per-goroutine handle as a KV.
+func (db *DB) ForkKV() KV { return db.Fork() }
+
+// Map binds (creating on first use) a recoverable map — the selectively
+// persisted flavor when the DB was opened WithSelective.
+func (db *DB) Map(name string) (*Map, error) {
+	if db.selective {
+		if db.store != nil {
+			return db.store.SelectiveMap(name)
+		}
+		return db.sharded.SelectiveMap(name)
+	}
+	return db.kv.Map(name)
+}
+
+// Set binds a recoverable set (selective flavor under WithSelective).
+func (db *DB) Set(name string) (*Set, error) {
+	if db.selective {
+		if db.store != nil {
+			return db.store.SelectiveSet(name)
+		}
+		return db.sharded.SelectiveSet(name)
+	}
+	return db.kv.Set(name)
+}
+
+// Vector binds a recoverable vector (selective flavor under
+// WithSelective).
+func (db *DB) Vector(name string) (*Vector, error) {
+	if db.selective {
+		if db.store != nil {
+			return db.store.SelectiveVector(name)
+		}
+		return db.sharded.SelectiveVector(name)
+	}
+	return db.kv.Vector(name)
+}
+
+// Stack binds a recoverable stack (selective flavor under
+// WithSelective).
+func (db *DB) Stack(name string) (*Stack, error) {
+	if db.selective {
+		if db.store != nil {
+			return db.store.SelectiveStack(name)
+		}
+		return db.sharded.SelectiveStack(name)
+	}
+	return db.kv.Stack(name)
+}
+
+// Queue binds a recoverable queue (selective flavor under
+// WithSelective).
+func (db *DB) Queue(name string) (*Queue, error) {
+	if db.selective {
+		if db.store != nil {
+			return db.store.SelectiveQueue(name)
+		}
+		return db.sharded.SelectiveQueue(name)
+	}
+	return db.kv.Queue(name)
+}
+
+// Batch returns an empty group-commit batch.
+func (db *DB) Batch() Batcher { return db.kv.Batch() }
+
+// Sync drains every outstanding commit and fences. Nil-safe, so a
+// deferred Sync after a failed Open is harmless.
+func (db *DB) Sync() {
+	if db == nil {
+		return
+	}
+	db.kv.Sync()
+}
+
+// Close shuts the store down. Idempotent and nil-safe, so a deferred
+// Close after a failed Open is harmless.
+func (db *DB) Close() error {
+	if db == nil {
+		return nil
+	}
+	return db.kv.Close()
+}
+
+// Stats returns the aggregate device counters (summed across regions
+// for a sharded DB).
+func (db *DB) Stats() pmem.Stats { return db.kv.Stats() }
+
+// EnableNodeCache turns on the DRAM node cache on every heap.
+func (db *DB) EnableNodeCache() {
+	if db.store != nil {
+		db.store.EnableNodeCache()
+		return
+	}
+	for i := 0; i < db.sharded.ShardCount(); i++ {
+		db.sharded.Shard(i).EnableNodeCache()
+	}
+}
+
+// CrashImages returns post-power-failure images of every region, in the
+// layout WithExistingImages expects: one image for a single-heap DB,
+// shard images in order plus the metadata region for a sharded DB.
+// Requires Config.TrackDurable.
+func (db *DB) CrashImages(policy pmem.CrashPolicy, seed uint64) [][]byte {
+	if db.store != nil {
+		return [][]byte{db.store.Device().CrashImage(policy, seed)}
+	}
+	return db.sharded.CrashImages(policy, seed)
+}

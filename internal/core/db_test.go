@@ -1,0 +1,319 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/mod-ds/mod/internal/pmem"
+)
+
+func dbConfig() pmem.Config {
+	cfg := pmem.DefaultConfig(16 << 20)
+	cfg.TrackDurable = true
+	return cfg
+}
+
+// TestOpenSingleRoundtrip covers the single-heap Open path: fresh open,
+// writes, crash, reopen via WithExistingImages.
+func TestOpenSingleRoundtrip(t *testing.T) {
+	db, info, err := Open(dbConfig())
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if info.Recovered {
+		t.Fatal("fresh open reported Recovered")
+	}
+	if db.Store() == nil || db.Sharded() != nil || db.ShardCount() != 1 {
+		t.Fatal("single open did not wrap a plain Store")
+	}
+	m, err := db.Map("users")
+	if err != nil {
+		t.Fatalf("map: %v", err)
+	}
+	m.Set([]byte("ada"), []byte("lovelace"))
+	db.Sync()
+	imgs := db.CrashImages(pmem.CrashFencedOnly, 1)
+	if len(imgs) != 1 {
+		t.Fatalf("single CrashImages returned %d images", len(imgs))
+	}
+
+	db2, info2, err := Open(dbConfig(), WithExistingImages(imgs))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close()
+	if !info2.Recovered || len(info2.PerShard) != 1 {
+		t.Fatalf("reopen info = %+v, want Recovered with 1 shard entry", info2)
+	}
+	m2, err := db2.Map("users")
+	if err != nil {
+		t.Fatalf("map after reopen: %v", err)
+	}
+	if v, ok := m2.Get([]byte("ada")); !ok || string(v) != "lovelace" {
+		t.Fatalf("lost committed write: %q %v", v, ok)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestOpenShardedRoundtrip covers the sharded Open path, including the
+// image-count-driven shard inference on reopen.
+func TestOpenShardedRoundtrip(t *testing.T) {
+	db, _, err := Open(dbConfig(), WithShards(4), WithCommitter(0))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if db.Sharded() == nil || db.ShardCount() != 4 {
+		t.Fatal("sharded open did not wrap a ShardedStore")
+	}
+	maps := make([]*Map, 8)
+	for i := range maps {
+		m, err := db.Map(fmt.Sprintf("kv:%d", i))
+		if err != nil {
+			t.Fatalf("map %d: %v", i, err)
+		}
+		maps[i] = m
+	}
+	b := db.Batch()
+	for i, m := range maps {
+		b.MapSet(m, []byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	tk := b.CommitAsync()
+	tk.Wait()
+	if err := tk.Err(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	imgs := db.CrashImages(pmem.CrashFencedOnly, 1)
+	if len(imgs) != 5 {
+		t.Fatalf("sharded CrashImages returned %d images, want 5", len(imgs))
+	}
+
+	db2, info, err := Open(dbConfig(), WithExistingImages(imgs))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close()
+	if !info.Recovered || len(info.PerShard) != 4 || db2.ShardCount() != 4 {
+		t.Fatalf("reopen info = %+v shards = %d", info, db2.ShardCount())
+	}
+	for i := 0; i < 8; i++ {
+		m, err := db2.Map(fmt.Sprintf("kv:%d", i))
+		if err != nil {
+			t.Fatalf("map %d after reopen: %v", i, err)
+		}
+		if _, ok := m.Get([]byte(fmt.Sprintf("k%d", i))); !ok {
+			t.Fatalf("lost acked batch write k%d", i)
+		}
+	}
+	db.Close()
+}
+
+// TestOpenOptionsSmoke exercises WithSelective and WithNodeCache through
+// a crash roundtrip: selective structures must rebuild their volatile
+// navigation on reopen.
+func TestOpenOptionsSmoke(t *testing.T) {
+	db, _, err := Open(dbConfig(), WithSelective(8), WithNodeCache())
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	v, err := db.Vector("log")
+	if err != nil {
+		t.Fatalf("vector: %v", err)
+	}
+	for i := uint64(0); i < 50; i++ {
+		v.Push(i)
+	}
+	db.Sync()
+	imgs := db.CrashImages(pmem.CrashFencedOnly, 7)
+
+	db2, _, err := Open(dbConfig(), WithExistingImages(imgs), WithSelective(8))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close()
+	v2, err := db2.Vector("log")
+	if err != nil {
+		t.Fatalf("vector after reopen: %v", err)
+	}
+	if v2.Len() != 50 {
+		t.Fatalf("selective vector lost entries: len %d", v2.Len())
+	}
+	db.Close()
+}
+
+// TestOpenShardCountErrors pins the ErrShardCount cases.
+func TestOpenShardCountErrors(t *testing.T) {
+	if _, _, err := Open(dbConfig(), WithShards(0)); !errors.Is(err, ErrShardCount) {
+		t.Fatalf("WithShards(0): %v, want ErrShardCount", err)
+	}
+	db, _, err := Open(dbConfig())
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	imgs := db.CrashImages(pmem.CrashFencedOnly, 1)
+	db.Close()
+	if _, _, err := Open(dbConfig(), WithExistingImages(imgs), WithShards(4)); !errors.Is(err, ErrShardCount) {
+		t.Fatalf("4 shards from one image: %v, want ErrShardCount", err)
+	}
+
+	sdb, _, err := Open(dbConfig(), WithShards(2))
+	if err != nil {
+		t.Fatalf("sharded open: %v", err)
+	}
+	simgs := sdb.CrashImages(pmem.CrashFencedOnly, 1)
+	sdb.Close()
+	if _, _, err := Open(dbConfig(), WithExistingImages(simgs), WithShards(3)); !errors.Is(err, ErrShardCount) {
+		t.Fatalf("3 shards from 2-shard images: %v, want ErrShardCount", err)
+	}
+	if db2, _, err := Open(dbConfig(), WithExistingImages(simgs)); err != nil {
+		t.Fatalf("shard inference from images failed: %v", err)
+	} else {
+		if db2.ShardCount() != 2 {
+			t.Fatalf("inferred %d shards, want 2", db2.ShardCount())
+		}
+		db2.Close()
+	}
+}
+
+// TestSentinelErrors pins errors.Is dispatch for the root-binding
+// failures the server layer maps onto protocol errors.
+func TestSentinelErrors(t *testing.T) {
+	db, _, err := Open(dbConfig())
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer db.Close()
+	if _, err := db.Map("__mod_internal"); !errors.Is(err, ErrReservedRootName) {
+		t.Fatalf("reserved name: %v, want ErrReservedRootName", err)
+	}
+	if _, err := db.Map("things"); err != nil {
+		t.Fatalf("map: %v", err)
+	}
+	if _, err := db.Vector("things"); !errors.Is(err, ErrWrongRootKind) {
+		t.Fatalf("rebinding map root as vector: %v, want ErrWrongRootKind", err)
+	}
+	if _, err := db.Stack("things"); !errors.Is(err, ErrWrongRootKind) {
+		t.Fatalf("rebinding map root as stack: %v, want ErrWrongRootKind", err)
+	}
+	// Map and Set share the CHAMP header, so rebinding across those two
+	// is allowed by construction; a queue root must still reject both.
+	if _, err := db.Queue("q"); err != nil {
+		t.Fatalf("queue: %v", err)
+	}
+	if _, err := db.Set("q"); !errors.Is(err, ErrWrongRootKind) {
+		t.Fatalf("rebinding queue root as set: %v, want ErrWrongRootKind", err)
+	}
+	if _, err := db.Store().Parent("things", "a"); !errors.Is(err, ErrWrongRootKind) {
+		t.Fatalf("rebinding map root as parent: %v, want ErrWrongRootKind", err)
+	}
+}
+
+// TestCloseIdempotent checks Close/Sync safety: twice, after Sync,
+// after a failed open, and binding/committing after Close.
+func TestCloseIdempotent(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			db, _, err := Open(dbConfig(), WithShards(shards), WithCommitter(0))
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			m, err := db.Map("kv:0")
+			if err != nil {
+				t.Fatalf("map: %v", err)
+			}
+			m.Set([]byte("k"), []byte("v"))
+			if err := db.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			if err := db.Close(); err != nil {
+				t.Fatalf("second close: %v", err)
+			}
+			db.Sync() // must not deadlock or panic after close
+
+			if _, err := db.Map("late"); !errors.Is(err, ErrStoreClosed) {
+				t.Fatalf("bind after close: %v, want ErrStoreClosed", err)
+			}
+			b := db.Batch()
+			b.MapSet(m, []byte("k2"), []byte("v2"))
+			tk := b.CommitAsync()
+			tk.Wait() // must resolve, not hang on a stopped committer
+			if !errors.Is(tk.Err(), ErrStoreClosed) {
+				t.Fatalf("CommitAsync after close: %v, want ErrStoreClosed", tk.Err())
+			}
+		})
+	}
+
+	// A failed open returns a nil DB; deferred Close/Sync must not panic.
+	db, _, err := Open(dbConfig(), WithShards(0))
+	if err == nil {
+		t.Fatal("expected open failure")
+	}
+	db.Close()
+	db.Sync()
+}
+
+// TestKVInterface drives the same workload through every KV
+// implementation to pin the interface contract.
+func TestKVInterface(t *testing.T) {
+	open := map[string]func(t *testing.T) KV{
+		"store": func(t *testing.T) KV {
+			db, _, err := Open(dbConfig())
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			return db.Store()
+		},
+		"sharded": func(t *testing.T) KV {
+			db, _, err := Open(dbConfig(), WithShards(2))
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			return db.Sharded()
+		},
+		"db": func(t *testing.T) KV {
+			db, _, err := Open(dbConfig(), WithShards(2))
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			return db
+		},
+	}
+	for name, mk := range open {
+		t.Run(name, func(t *testing.T) {
+			kv := mk(t)
+			defer kv.Close()
+			w := kv.ForkKV()
+			m, err := w.Map("m")
+			if err != nil {
+				t.Fatalf("map: %v", err)
+			}
+			q, err := w.Queue("q")
+			if err != nil {
+				t.Fatalf("queue: %v", err)
+			}
+			b := w.Batch()
+			b.MapSet(m, []byte("k"), []byte("v"))
+			b.QueueEnqueue(q, 42)
+			if b.Len() != 2 {
+				t.Fatalf("batch len %d", b.Len())
+			}
+			tk := b.CommitAsync()
+			tk.Wait()
+			if err := tk.Err(); err != nil {
+				t.Fatalf("commit: %v", err)
+			}
+			w.Sync()
+			if _, ok := m.Get([]byte("k")); !ok {
+				t.Fatal("map write lost")
+			}
+			if v, ok := q.Peek(); !ok || v != 42 {
+				t.Fatal("queue write lost")
+			}
+			if kv.Stats().Fences == 0 {
+				t.Fatal("stats not wired")
+			}
+		})
+	}
+}

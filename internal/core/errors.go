@@ -1,0 +1,30 @@
+package core
+
+import "errors"
+
+// Sentinel errors. Store operations wrap these with context via
+// fmt.Errorf("...: %w", ...), so callers dispatch with errors.Is — the
+// server layer (internal/server) maps them onto protocol error replies
+// without string matching.
+var (
+	// ErrReservedRootName is returned when binding a datastructure under
+	// a root name with the reserved "__mod_" prefix, which anchors the
+	// store's own recovery machinery.
+	ErrReservedRootName = errors.New("reserved root name")
+
+	// ErrWrongRootKind is returned when binding a datastructure over a
+	// root that already holds a different structure kind (e.g. a Vector
+	// binder on a root created as a Map). Map and Set share the CHAMP
+	// header layout and are interchangeable at this level.
+	ErrWrongRootKind = errors.New("root holds a different structure kind")
+
+	// ErrStoreClosed is returned by operations on a closed store: binds
+	// after Close, and CommitAsync tickets submitted after Close resolve
+	// with it instead of hanging.
+	ErrStoreClosed = errors.New("store is closed")
+
+	// ErrShardCount is returned for an invalid shard count (< 1), or
+	// when reopening a sharded store from an image set whose region
+	// count contradicts the requested shard count.
+	ErrShardCount = errors.New("invalid shard count")
+)

@@ -46,12 +46,44 @@ type (
 // them would let user commits clobber the recovery machinery.
 const reservedRootPrefix = "__mod_"
 
+// rootKind names a structure family and the header tags it may bind
+// over, for the ErrWrongRootKind check. Map and Set share the CHAMP
+// header and are one kind; each kind accepts both the plain and the
+// selective flavor of its header.
+type rootKind struct {
+	name string
+	tags []uint8
+}
+
+var (
+	kindChamp  = rootKind{"map/set", []uint8{funcds.TagMapHdr, funcds.TagMapHdrSel}}
+	kindVector = rootKind{"vector", []uint8{funcds.TagVecHdr, funcds.TagVecHdrSel}}
+	kindStack  = rootKind{"stack", []uint8{funcds.TagStackHdr, funcds.TagStackHdrSel}}
+	kindQueue  = rootKind{"queue", []uint8{funcds.TagQueueHdr, funcds.TagQueueHdrSel}}
+	kindParent = rootKind{"parent", []uint8{funcds.TagParent}}
+)
+
+// checkKind verifies an existing header's tag belongs to the kind a
+// binder expects.
+func (s *Store) checkKind(name string, addr pmem.Addr, want rootKind) error {
+	tag := s.heap.Tag(addr)
+	for _, t := range want.tags {
+		if tag == t {
+			return nil
+		}
+	}
+	return fmt.Errorf("core: binding %q as %s: %w (header tag %d)", name, want.name, ErrWrongRootKind, tag)
+}
+
 // bindRoot resolves a handle's location and current address, creating the
 // structure via create (which must allocate and flush a new empty header)
 // when absent. The root's commit mutex serializes concurrent first binds.
-func bindRoot(s *Store, name string, create func() pmem.Addr) (location, pmem.Addr, error) {
+func bindRoot(s *Store, name string, want rootKind, create func() pmem.Addr) (location, pmem.Addr, error) {
 	if strings.HasPrefix(name, reservedRootPrefix) {
-		return location{}, pmem.Nil, fmt.Errorf("core: root name %q uses the reserved prefix %q", name, reservedRootPrefix)
+		return location{}, pmem.Nil, fmt.Errorf("core: root name %q uses the reserved prefix %q: %w", name, reservedRootPrefix, ErrReservedRootName)
+	}
+	if s.sh.closed.Load() {
+		return location{}, pmem.Nil, fmt.Errorf("core: binding %q: %w", name, ErrStoreClosed)
 	}
 	slot, err := s.heap.RootSlot(name)
 	if err != nil {
@@ -61,6 +93,9 @@ func bindRoot(s *Store, name string, create func() pmem.Addr) (location, pmem.Ad
 	mu.Lock()
 	defer mu.Unlock()
 	if root := s.heap.Root(slot); root != pmem.Nil {
+		if err := s.checkKind(name, root, want); err != nil {
+			return location{}, pmem.Nil, err
+		}
 		return location{slot: slot}, root, nil
 	}
 	s.BeginFASE()
@@ -70,16 +105,22 @@ func bindRoot(s *Store, name string, create func() pmem.Addr) (location, pmem.Ad
 	return location{slot: slot}, addr, nil
 }
 
-func bindField(p *Parent, field string, create func() pmem.Addr) (location, pmem.Addr, error) {
+func bindField(p *Parent, field string, want rootKind, create func() pmem.Addr) (location, pmem.Addr, error) {
 	i, err := p.fieldIndex(field)
 	if err != nil {
 		return location{}, pmem.Nil, err
+	}
+	if p.s.sh.closed.Load() {
+		return location{}, pmem.Nil, fmt.Errorf("core: binding field %q: %w", field, ErrStoreClosed)
 	}
 	mu := &p.s.sh.rootMu[p.slot]
 	mu.Lock()
 	defer mu.Unlock()
 	p.refreshLocked()
 	if f := p.fieldAddr(i); f != pmem.Nil {
+		if err := p.s.checkKind(field, f, want); err != nil {
+			return location{}, pmem.Nil, err
+		}
 		return location{parent: p, slot: i}, f, nil
 	}
 	p.s.BeginFASE()
@@ -102,7 +143,7 @@ type Map struct {
 
 // Map binds (creating on first use) a recoverable map under a named root.
 func (s *Store) Map(name string) (*Map, error) {
-	loc, addr, err := bindRoot(s, name, func() pmem.Addr { return funcds.NewMap(s.heap).Addr() })
+	loc, addr, err := bindRoot(s, name, kindChamp, func() pmem.Addr { return funcds.NewMap(s.heap).Addr() })
 	if err != nil {
 		return nil, err
 	}
@@ -113,7 +154,7 @@ func (s *Store) Map(name string) (*Map, error) {
 
 // Map binds (creating on first use) a recoverable map under a parent field.
 func (p *Parent) Map(field string) (*Map, error) {
-	loc, addr, err := bindField(p, field, func() pmem.Addr { return funcds.NewMap(p.s.heap).Addr() })
+	loc, addr, err := bindField(p, field, kindChamp, func() pmem.Addr { return funcds.NewMap(p.s.heap).Addr() })
 	if err != nil {
 		return nil, err
 	}
@@ -206,7 +247,7 @@ type Set struct {
 
 // Set binds (creating on first use) a recoverable set under a named root.
 func (s *Store) Set(name string) (*Set, error) {
-	loc, addr, err := bindRoot(s, name, func() pmem.Addr { return funcds.NewSet(s.heap).Addr() })
+	loc, addr, err := bindRoot(s, name, kindChamp, func() pmem.Addr { return funcds.NewSet(s.heap).Addr() })
 	if err != nil {
 		return nil, err
 	}
@@ -217,7 +258,7 @@ func (s *Store) Set(name string) (*Set, error) {
 
 // Set binds (creating on first use) a recoverable set under a parent field.
 func (p *Parent) Set(field string) (*Set, error) {
-	loc, addr, err := bindField(p, field, func() pmem.Addr { return funcds.NewSet(p.s.heap).Addr() })
+	loc, addr, err := bindField(p, field, kindChamp, func() pmem.Addr { return funcds.NewSet(p.s.heap).Addr() })
 	if err != nil {
 		return nil, err
 	}
@@ -306,7 +347,7 @@ type Vector struct {
 
 // Vector binds (creating on first use) a recoverable vector under a root.
 func (s *Store) Vector(name string) (*Vector, error) {
-	loc, addr, err := bindRoot(s, name, func() pmem.Addr { return funcds.NewVector(s.heap).Addr() })
+	loc, addr, err := bindRoot(s, name, kindVector, func() pmem.Addr { return funcds.NewVector(s.heap).Addr() })
 	if err != nil {
 		return nil, err
 	}
@@ -317,7 +358,7 @@ func (s *Store) Vector(name string) (*Vector, error) {
 
 // Vector binds (creating on first use) a recoverable vector under a field.
 func (p *Parent) Vector(field string) (*Vector, error) {
-	loc, addr, err := bindField(p, field, func() pmem.Addr { return funcds.NewVector(p.s.heap).Addr() })
+	loc, addr, err := bindField(p, field, kindVector, func() pmem.Addr { return funcds.NewVector(p.s.heap).Addr() })
 	if err != nil {
 		return nil, err
 	}
@@ -413,7 +454,7 @@ type Stack struct {
 
 // Stack binds (creating on first use) a recoverable stack under a root.
 func (s *Store) Stack(name string) (*Stack, error) {
-	loc, addr, err := bindRoot(s, name, func() pmem.Addr { return funcds.NewStack(s.heap).Addr() })
+	loc, addr, err := bindRoot(s, name, kindStack, func() pmem.Addr { return funcds.NewStack(s.heap).Addr() })
 	if err != nil {
 		return nil, err
 	}
@@ -424,7 +465,7 @@ func (s *Store) Stack(name string) (*Stack, error) {
 
 // Stack binds (creating on first use) a recoverable stack under a field.
 func (p *Parent) Stack(field string) (*Stack, error) {
-	loc, addr, err := bindField(p, field, func() pmem.Addr { return funcds.NewStack(p.s.heap).Addr() })
+	loc, addr, err := bindField(p, field, kindStack, func() pmem.Addr { return funcds.NewStack(p.s.heap).Addr() })
 	if err != nil {
 		return nil, err
 	}
@@ -505,7 +546,7 @@ type Queue struct {
 
 // Queue binds (creating on first use) a recoverable queue under a root.
 func (s *Store) Queue(name string) (*Queue, error) {
-	loc, addr, err := bindRoot(s, name, func() pmem.Addr { return funcds.NewQueue(s.heap).Addr() })
+	loc, addr, err := bindRoot(s, name, kindQueue, func() pmem.Addr { return funcds.NewQueue(s.heap).Addr() })
 	if err != nil {
 		return nil, err
 	}
@@ -516,7 +557,7 @@ func (s *Store) Queue(name string) (*Queue, error) {
 
 // Queue binds (creating on first use) a recoverable queue under a field.
 func (p *Parent) Queue(field string) (*Queue, error) {
-	loc, addr, err := bindField(p, field, func() pmem.Addr { return funcds.NewQueue(p.s.heap).Addr() })
+	loc, addr, err := bindField(p, field, kindQueue, func() pmem.Addr { return funcds.NewQueue(p.s.heap).Addr() })
 	if err != nil {
 		return nil, err
 	}

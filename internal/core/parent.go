@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"sync/atomic"
 
 	"github.com/mod-ds/mod/internal/alloc"
@@ -37,6 +38,12 @@ func (s *Store) Parent(name string, fields ...string) (*Parent, error) {
 	if len(fields) == 0 {
 		return nil, fmt.Errorf("core: parent %q needs at least one field", name)
 	}
+	if strings.HasPrefix(name, reservedRootPrefix) {
+		return nil, fmt.Errorf("core: root name %q uses the reserved prefix %q: %w", name, reservedRootPrefix, ErrReservedRootName)
+	}
+	if s.sh.closed.Load() {
+		return nil, fmt.Errorf("core: binding %q: %w", name, ErrStoreClosed)
+	}
 	slot, err := s.heap.RootSlot(name)
 	if err != nil {
 		return nil, err
@@ -46,6 +53,9 @@ func (s *Store) Parent(name string, fields ...string) (*Parent, error) {
 	mu.Lock()
 	defer mu.Unlock()
 	if root := s.heap.Root(slot); root != pmem.Nil {
+		if err := s.checkKind(name, root, kindParent); err != nil {
+			return nil, err
+		}
 		n := s.dev.ReadU64(root)
 		if n != uint64(len(fields)) {
 			return nil, fmt.Errorf("core: parent %q has %d fields, expected %d", name, n, len(fields))

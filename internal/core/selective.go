@@ -26,7 +26,7 @@ import (
 // SelectiveMap binds (creating on first use) a selectively persisted
 // recoverable map under a named root.
 func (s *Store) SelectiveMap(name string) (*Map, error) {
-	loc, addr, err := bindRoot(s, name, func() pmem.Addr { return funcds.NewMapSelective(s.heap).Addr() })
+	loc, addr, err := bindRoot(s, name, kindChamp, func() pmem.Addr { return funcds.NewMapSelective(s.heap).Addr() })
 	if err != nil {
 		return nil, err
 	}
@@ -38,7 +38,7 @@ func (s *Store) SelectiveMap(name string) (*Map, error) {
 // SelectiveSet binds (creating on first use) a selectively persisted
 // recoverable set under a named root.
 func (s *Store) SelectiveSet(name string) (*Set, error) {
-	loc, addr, err := bindRoot(s, name, func() pmem.Addr { return funcds.NewSetSelective(s.heap).Addr() })
+	loc, addr, err := bindRoot(s, name, kindChamp, func() pmem.Addr { return funcds.NewSetSelective(s.heap).Addr() })
 	if err != nil {
 		return nil, err
 	}
@@ -50,7 +50,7 @@ func (s *Store) SelectiveSet(name string) (*Set, error) {
 // SelectiveVector binds (creating on first use) a selectively persisted
 // recoverable vector under a named root.
 func (s *Store) SelectiveVector(name string) (*Vector, error) {
-	loc, addr, err := bindRoot(s, name, func() pmem.Addr { return funcds.NewVectorSelective(s.heap).Addr() })
+	loc, addr, err := bindRoot(s, name, kindVector, func() pmem.Addr { return funcds.NewVectorSelective(s.heap).Addr() })
 	if err != nil {
 		return nil, err
 	}
@@ -62,7 +62,7 @@ func (s *Store) SelectiveVector(name string) (*Vector, error) {
 // SelectiveStack binds (creating on first use) a selectively persisted
 // recoverable stack under a named root.
 func (s *Store) SelectiveStack(name string) (*Stack, error) {
-	loc, addr, err := bindRoot(s, name, func() pmem.Addr { return funcds.NewStackSelective(s.heap).Addr() })
+	loc, addr, err := bindRoot(s, name, kindStack, func() pmem.Addr { return funcds.NewStackSelective(s.heap).Addr() })
 	if err != nil {
 		return nil, err
 	}
@@ -74,7 +74,7 @@ func (s *Store) SelectiveStack(name string) (*Stack, error) {
 // SelectiveQueue binds (creating on first use) a selectively persisted
 // recoverable queue under a named root.
 func (s *Store) SelectiveQueue(name string) (*Queue, error) {
-	loc, addr, err := bindRoot(s, name, func() pmem.Addr { return funcds.NewQueueSelective(s.heap).Addr() })
+	loc, addr, err := bindRoot(s, name, kindQueue, func() pmem.Addr { return funcds.NewQueueSelective(s.heap).Addr() })
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/mod-ds/mod/internal/alloc"
 	"github.com/mod-ds/mod/internal/pmem"
@@ -80,11 +82,12 @@ const (
 const MaxManifestEntries = (metaRegionBytes - int(manifestBase) - manifestHdrSize) / manifestEntrySize
 
 // shardedShared is the cross-shard state common to all handles of one
-// sharded store: the manifest lock serializing cross-shard commits and
-// the manifest sequence counter.
+// sharded store: the manifest lock serializing cross-shard commits, the
+// manifest sequence counter, and the closed flag.
 type shardedShared struct {
-	mu  sync.Mutex
-	seq uint64 // last manifest sequence number; guarded by mu
+	mu     sync.Mutex
+	seq    uint64 // last manifest sequence number; guarded by mu
+	closed atomic.Bool
 }
 
 // ShardedStore is a handle onto a persistent store partitioned across
@@ -124,9 +127,13 @@ func newSharded(stores []*Store, meta *pmem.Device) *ShardedStore {
 
 // NewShardedStore formats shards independent device regions of cfg.Size
 // bytes each, plus a small metadata region, and returns the empty store.
+//
+// Deprecated: use Open with WithShards, which returns a *DB usable
+// through the KV interface; the wrapped sharded store stays reachable
+// via DB.Sharded.
 func NewShardedStore(cfg pmem.Config, shards int) (*ShardedStore, error) {
 	if shards < 1 {
-		return nil, fmt.Errorf("core: shard count %d < 1", shards)
+		return nil, fmt.Errorf("core: shard count %d < 1: %w", shards, ErrShardCount)
 	}
 	stores := make([]*Store, shards)
 	for i := range stores {
@@ -216,6 +223,9 @@ func readManifest(meta *pmem.Device) (entries []manifestEntry, dirty bool) {
 // cross-shard manifest all-or-nothing, then recovers every shard's heap
 // in parallel goroutines: total recovery time is the slowest shard's
 // reachability scan, not the sum.
+//
+// Deprecated: use Open with WithExistingImages, which recovers the same
+// way and reports the result in a RecoveryInfo.
 func OpenShardedStore(cfg pmem.Config, images [][]byte) (*ShardedStore, ShardedRecoveryStats, error) {
 	var rs ShardedRecoveryStats
 	if len(images) < 2 {
@@ -381,13 +391,67 @@ func (ss *ShardedStore) Stack(name string) (*Stack, error) { return ss.StoreFor(
 // Queue binds a recoverable queue on the shard the name routes to.
 func (ss *ShardedStore) Queue(name string) (*Queue, error) { return ss.StoreFor(name).Queue(name) }
 
+// SelectiveMap binds a selectively persisted map (DESIGN.md §10) on the
+// shard the name routes to.
+func (ss *ShardedStore) SelectiveMap(name string) (*Map, error) {
+	return ss.StoreFor(name).SelectiveMap(name)
+}
+
+// SelectiveSet binds a selectively persisted set on the shard the name
+// routes to.
+func (ss *ShardedStore) SelectiveSet(name string) (*Set, error) {
+	return ss.StoreFor(name).SelectiveSet(name)
+}
+
+// SelectiveVector binds a selectively persisted vector on the shard the
+// name routes to.
+func (ss *ShardedStore) SelectiveVector(name string) (*Vector, error) {
+	return ss.StoreFor(name).SelectiveVector(name)
+}
+
+// SelectiveStack binds a selectively persisted stack on the shard the
+// name routes to.
+func (ss *ShardedStore) SelectiveStack(name string) (*Stack, error) {
+	return ss.StoreFor(name).SelectiveStack(name)
+}
+
+// SelectiveQueue binds a selectively persisted queue on the shard the
+// name routes to.
+func (ss *ShardedStore) SelectiveQueue(name string) (*Queue, error) {
+	return ss.StoreFor(name).SelectiveQueue(name)
+}
+
 // Sync makes everything committed so far durable on every shard and
-// reclaims retired blocks shard by shard.
+// reclaims retired blocks shard by shard. On a closed store Sync is a
+// no-op: Close already fenced everything.
 func (ss *ShardedStore) Sync() {
+	if ss == nil || ss.sh.closed.Load() {
+		return
+	}
 	for _, s := range ss.shards {
 		s.Sync()
 	}
 	ss.meta.Sfence() // defense in depth; manifest retirement is fenced inline
+}
+
+// Closed reports whether Close has been called on any handle of this
+// sharded store.
+func (ss *ShardedStore) Closed() bool { return ss.sh.closed.Load() }
+
+// Close drains and stops every shard's background committer, fences each
+// shard and the metadata region, and marks the store closed: subsequent
+// binds return ErrStoreClosed, and CommitAsync tickets resolve with
+// ErrStoreClosed instead of hanging. Idempotent, and safe on a store
+// whose open failed partway.
+func (ss *ShardedStore) Close() error {
+	if ss == nil || !ss.sh.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	for _, s := range ss.shards {
+		s.Close()
+	}
+	ss.meta.Sfence()
+	return nil
 }
 
 // StartGroupCommitters launches one background group committer per
@@ -403,6 +467,14 @@ func (ss *ShardedStore) StartGroupCommitters(maxOps int) {
 func (ss *ShardedStore) StopGroupCommitters() {
 	for _, s := range ss.shards {
 		s.StopGroupCommitter()
+	}
+}
+
+// SetCommitterLinger sets every shard committer's settle-fence
+// collection window (see Store.SetCommitterLinger).
+func (ss *ShardedStore) SetCommitterLinger(d time.Duration) {
+	for _, s := range ss.shards {
+		s.SetCommitterLinger(d)
 	}
 }
 
@@ -502,6 +574,38 @@ func (b *ShardedBatch) Commit() {
 	b.per = nil
 	b.n = 0
 	b.ss.commitSharded(per)
+}
+
+// CommitAsync publishes the batch and returns a ticket that resolves
+// when it is durable. A batch confined to one shard rides that shard's
+// background committer, coalescing with other goroutines' submissions
+// into shared fence epochs; a cross-shard batch publishes synchronously
+// through the shard manifest and the ticket resolves on return. On a
+// closed store the batch is dropped and the ticket resolves immediately
+// with ErrStoreClosed.
+func (b *ShardedBatch) CommitAsync() *Ticket {
+	per := b.per
+	b.per = nil
+	b.n = 0
+	if b.ss.sh.closed.Load() {
+		return failedTicket(ErrStoreClosed)
+	}
+	if len(per) == 1 {
+		for si, ops := range per {
+			return b.ss.shards[si].commitAsyncOps(ops)
+		}
+	}
+	b.ss.commitSharded(per)
+	// The manifest path fences each involved shard after its redo swaps,
+	// but a batch that collapsed to one shard's local publication leaves
+	// its final swap riding the next fence — settle each involved shard
+	// so the ticket's durability contract holds in every case.
+	for si := range per {
+		b.ss.shards[si].heap.Fence()
+	}
+	t := &Ticket{done: make(chan struct{})}
+	close(t.done)
+	return t
 }
 
 // commitSharded is the cross-shard group-commit step. Shards are

@@ -48,6 +48,7 @@ import (
 	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/mod-ds/mod/internal/alloc"
 	"github.com/mod-ds/mod/internal/funcds"
@@ -62,13 +63,14 @@ const commitLogRoot = "__mod_commitlog"
 
 // storeShared is the state common to all handles of one store: one commit
 // mutex per root slot, the transaction/batch-record lock shared by
-// CommitUnrelated and multi-root group commits, and the background
-// group committer (batch.go).
+// CommitUnrelated and multi-root group commits, the background
+// group committer (batch.go), and the closed flag every handle observes.
 type storeShared struct {
 	rootMu   [alloc.RootSlots]sync.Mutex
 	txMu     sync.Mutex
 	batchSeq uint64 // last batch-record sequence number; guarded by txMu
 	com      committer
+	closed   atomic.Bool
 }
 
 // Store is a handle onto a persistent heap hosting MOD datastructures,
@@ -84,6 +86,10 @@ type Store struct {
 }
 
 // NewStore formats dev and returns an empty store.
+//
+// Deprecated: use Open, which formats (or reopens) a device from its
+// config and returns a *DB usable through the KV interface; the wrapped
+// single-heap store stays reachable via DB.Store.
 func NewStore(dev *pmem.Device) (*Store, error) {
 	heap := alloc.Format(dev)
 	registerWalkers(heap)
@@ -179,6 +185,9 @@ func (a *storeAttachment) finishOpen() (*Store, error) {
 // OpenStore attaches to a previously formatted device, rolling back any
 // interrupted commit transaction and garbage-collecting unreachable blocks
 // (recovery per §5.3). The reported stats include leak reclamation counts.
+//
+// Deprecated: use Open with WithExistingImages, which recovers the same
+// way and reports the result in a RecoveryInfo.
 func OpenStore(dev *pmem.Device) (*Store, alloc.RecoveryStats, error) {
 	a, err := attachStore(dev)
 	if err != nil {
@@ -220,6 +229,31 @@ func (s *Store) Device() *pmem.Device { return s.dev }
 // Heap returns this handle's persistent allocator handle.
 func (s *Store) Heap() *alloc.Heap { return s.heap }
 
+// Stats returns the device counters accumulated so far.
+func (s *Store) Stats() pmem.Stats { return s.dev.Stats() }
+
+// Closed reports whether Close has been called on any handle of this
+// store.
+func (s *Store) Closed() bool { return s.sh.closed.Load() }
+
+// Close makes everything committed so far durable and shuts the store
+// down: the background committer (if running) drains and stops, a final
+// fence covers the last publication, and every subsequent bind returns
+// ErrStoreClosed while CommitAsync resolves its ticket with
+// ErrStoreClosed instead of hanging. Close is idempotent — second and
+// later calls (from any handle) return nil without re-running shutdown —
+// and safe on a store whose open failed partway.
+func (s *Store) Close() error {
+	if s == nil || !s.sh.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	// Marking closed first fails fast for new CommitAsync submissions;
+	// batches already queued are drained durably by the Stop below.
+	s.StopGroupCommitter()
+	s.heap.Fence()
+	return nil
+}
+
 // CheckerConfig returns the trace-checker configuration for this store:
 // the allocator superblock and the commit transaction log are updated in
 // place by design and are exempt from the out-of-place invariant.
@@ -241,8 +275,12 @@ func (s *Store) CheckerConfig() trace.CheckerConfig {
 // pinned reader can reach. With a background group committer running it
 // first drains every batch submitted before the call, so Sync remains
 // the single "everything so far is durable" point. Call it before
-// planned shutdown or when an operation must be durable on return.
+// planned shutdown or when an operation must be durable on return. On a
+// closed store Sync is a no-op: Close already fenced everything.
 func (s *Store) Sync() {
+	if s == nil || s.sh.closed.Load() {
+		return
+	}
 	if t := s.asyncBarrier(); t != nil {
 		t.Wait()
 	}

@@ -17,8 +17,9 @@ import (
 // sweep and the flushes/op and copies/op gate columns; version 4 added
 // the sharded sweep (shards × writers, per-op and cross-shard rows);
 // version 5 added the selective-persistence sweep and the recovery-time
-// rows.
-const BenchSchema = 5
+// rows; version 6 added the server sweep (durability-acked ops over
+// concurrent connections, presence-tracked but not value-gated).
+const BenchSchema = 6
 
 // BenchWorkload is one workload × engine measurement: the Table 2 suite
 // run single-threaded, so every field is deterministic for a given
@@ -141,6 +142,27 @@ type BenchRecovery struct {
 	RebuiltNodes uint64  `json:"rebuilt_nodes"`
 }
 
+// BenchServer is one point of the server sweep: an in-process modserver
+// under a closed-loop all-write load, every +OK gated on a durability
+// ticket. These rows run on the wall clock (real goroutines, real
+// scheduling), so — like the concurrent sweep — their values are
+// nondeterministic: benchdiff tracks their presence but does not gate
+// latency, throughput, or fences/op. The shape to read off the report
+// is fences/op falling as clients rise (cross-client batch
+// amplification through the group committer).
+type BenchServer struct {
+	Clients     int     `json:"clients"`
+	Ops         int     `json:"ops"`
+	Errors      int     `json:"errors"`
+	ElapsedNs   float64 `json:"elapsed_ns"` // wall-clock, unlike the simulated sweeps
+	P50Ns       float64 `json:"p50_ns"`
+	P99Ns       float64 `json:"p99_ns"`
+	P999Ns      float64 `json:"p999_ns"`
+	OpsPerSec   float64 `json:"ops_per_sec"` // per wall-clock second
+	Fences      uint64  `json:"fences"`
+	FencesPerOp float64 `json:"fences_per_op"`
+}
+
 // BenchDoc is the BENCH.json document.
 type BenchDoc struct {
 	Schema      int                `json:"schema"`
@@ -153,6 +175,7 @@ type BenchDoc struct {
 	Sharded     []BenchSharded     `json:"sharded,omitempty"`
 	Selective   []BenchSelective   `json:"selective,omitempty"`
 	Recovery    []BenchRecovery    `json:"recovery,omitempty"`
+	Server      []BenchServer      `json:"server,omitempty"`
 }
 
 // BuildBenchDoc runs the Table 2 workload suite on every engine, the
@@ -281,6 +304,24 @@ func BuildBenchDoc(scaleName string, scale Scale) (*BenchDoc, error) {
 		if err := addSharded(ShardedCrossBenchConfig(scale, shards, shards)); err != nil {
 			return nil, err
 		}
+	}
+	for _, clients := range ServerClientCounts {
+		res, err := RunServerBench(scale, clients)
+		if err != nil {
+			return nil, fmt.Errorf("bench server c=%d: %w", clients, err)
+		}
+		doc.Server = append(doc.Server, BenchServer{
+			Clients:     res.Clients,
+			Ops:         res.Ops,
+			Errors:      res.Errors,
+			ElapsedNs:   float64(res.Elapsed),
+			P50Ns:       float64(res.P50),
+			P99Ns:       float64(res.P99),
+			P999Ns:      float64(res.P999),
+			OpsPerSec:   res.Throughput,
+			Fences:      res.Fences,
+			FencesPerOp: res.FencesPerOp,
+		})
 	}
 	for _, shards := range GroupCommitShardCounts {
 		for _, bsz := range GroupCommitBatchSizes {
@@ -446,6 +487,19 @@ func CompareBenchDocs(base, cur *BenchDoc, tol float64) []string {
 		worse("copies/op", key, b.CopiesPerOp, c.CopiesPerOp, true)
 	}
 
+	// Server rows are wall-clock and nondeterministic: only their
+	// presence is checked, never their values.
+	curSrv := make(map[int]bool, len(cur.Server))
+	for _, s := range cur.Server {
+		curSrv[s.Clients] = true
+	}
+	for _, b := range base.Server {
+		if !curSrv[b.Clients] {
+			regressions = append(regressions,
+				fmt.Sprintf("server/c%d: row missing from current report", b.Clients))
+		}
+	}
+
 	curRec := make(map[string]BenchRecovery, len(cur.Recovery))
 	for _, r := range cur.Recovery {
 		curRec[recoveryRowKey(r.Structure, r.Selective, r.OpsPerFASE)] = r
@@ -507,6 +561,9 @@ func benchRowKeys(doc *BenchDoc) map[string]bool {
 	for _, r := range doc.Recovery {
 		keys[recoveryRowKey(r.Structure, r.Selective, r.OpsPerFASE)] = true
 	}
+	for _, s := range doc.Server {
+		keys[fmt.Sprintf("server/c%d", s.Clients)] = true
+	}
 	return keys
 }
 
@@ -548,6 +605,9 @@ func BenchNewRows(base, cur *BenchDoc) []string {
 	}
 	for _, r := range cur.Recovery {
 		appendKey(recoveryRowKey(r.Structure, r.Selective, r.OpsPerFASE))
+	}
+	for _, s := range cur.Server {
+		appendKey(fmt.Sprintf("server/c%d", s.Clients))
 	}
 	return fresh
 }

@@ -71,6 +71,18 @@ func TestBuildBenchDocSchema(t *testing.T) {
 			t.Errorf("sharded s=%d w=%d has zero metrics: %+v", s.Shards, s.Writers, s)
 		}
 	}
+	if len(doc.Server) != len(ServerClientCounts) {
+		t.Fatalf("server rows = %d, want %d", len(doc.Server), len(ServerClientCounts))
+	}
+	for _, s := range doc.Server {
+		if s.Clients <= 0 || s.Ops <= 0 || s.OpsPerSec <= 0 || s.ElapsedNs <= 0 ||
+			s.Fences == 0 || s.FencesPerOp <= 0 || s.P50Ns <= 0 || s.P99Ns <= 0 {
+			t.Errorf("server c=%d has zero metrics: %+v", s.Clients, s)
+		}
+		if s.Errors != 0 {
+			t.Errorf("server c=%d reported %d errored ops", s.Clients, s.Errors)
+		}
+	}
 	wantSelective := len(SelectiveStructures) * 2 * len(SelectiveOpsPerFASE)
 	if len(doc.Selective) != wantSelective || len(doc.Recovery) != wantSelective {
 		t.Fatalf("selective/recovery rows = %d/%d, want %d each",
@@ -201,6 +213,31 @@ func TestBenchTransientElision(t *testing.T) {
 	}
 }
 
+// TestServerFenceAmortization pins the server sweep's headline shape
+// with a deterministic margin: concurrent clients' durability tickets
+// coalesce into shared committer fence epochs, so fences per acked
+// write at 16 clients must be at most half the single-client cost
+// (measured curves sit far below that — roughly 2.0 at C=1 and under
+// 0.5 at C=16).
+func TestServerFenceAmortization(t *testing.T) {
+	scale := Scale{Ops: 4_000}
+	one, err := RunServerBench(scale, 1)
+	if err != nil {
+		t.Fatalf("RunServerBench c=1: %v", err)
+	}
+	many, err := RunServerBench(scale, 16)
+	if err != nil {
+		t.Fatalf("RunServerBench c=16: %v", err)
+	}
+	if one.FencesPerOp <= 0 || many.FencesPerOp <= 0 {
+		t.Fatalf("degenerate fence counts: c1=%v c16=%v", one.FencesPerOp, many.FencesPerOp)
+	}
+	if many.FencesPerOp > one.FencesPerOp/2 {
+		t.Errorf("fences/op at 16 clients = %.3f, want <= half of 1 client's %.3f",
+			many.FencesPerOp, one.FencesPerOp)
+	}
+}
+
 func TestBenchDocRoundTripAndValidation(t *testing.T) {
 	doc, err := BuildBenchDoc("test", benchTestScale())
 	if err != nil {
@@ -253,6 +290,10 @@ func TestCompareBenchDocs(t *testing.T) {
 		},
 		Recovery: []BenchRecovery{
 			{Structure: "map", Selective: true, OpsPerFASE: 64, Ops: 100, RecoveryNs: 2e6, RebuiltNodes: 100},
+		},
+		Server: []BenchServer{
+			{Clients: 16, Ops: 1000, ElapsedNs: 1e8, P50Ns: 5e4, P99Ns: 5e5, P999Ns: 1e6,
+				OpsPerSec: 1e4, Fences: 100, FencesPerOp: 0.1},
 		},
 	}
 	clone := func() *BenchDoc {
@@ -347,6 +388,19 @@ func TestCompareBenchDocs(t *testing.T) {
 	if regs := CompareBenchDocs(base, cur, 0.15); len(regs) != 2 {
 		t.Errorf("missing selective+recovery rows not flagged exactly twice: %v", regs)
 	}
+
+	// Server rows: wall-clock values are never gated, only presence.
+	cur = clone()
+	cur.Server[0].OpsPerSec *= 0.1
+	cur.Server[0].FencesPerOp *= 100
+	if regs := CompareBenchDocs(base, cur, 0.15); len(regs) != 0 {
+		t.Errorf("nondeterministic server values gated: %v", regs)
+	}
+	cur = clone()
+	cur.Server = nil
+	if regs := CompareBenchDocs(base, cur, 0.15); len(regs) != 1 {
+		t.Errorf("missing server row not flagged exactly once: %v", regs)
+	}
 }
 
 func TestBenchNewRows(t *testing.T) {
@@ -367,13 +421,16 @@ func TestBenchNewRows(t *testing.T) {
 		Recovery: []BenchRecovery{
 			{Structure: "map", Selective: true, OpsPerFASE: 64, Ops: 100, RecoveryNs: 2e6, RebuiltNodes: 100},
 		},
+		Server: []BenchServer{
+			{Clients: 16, Ops: 1000, OpsPerSec: 1e4, Fences: 100, FencesPerOp: 0.1},
+		},
 	}
 	if fresh := BenchNewRows(base, base); len(fresh) != 0 {
 		t.Errorf("identical docs reported new rows: %v", fresh)
 	}
 	fresh := BenchNewRows(base, cur)
-	want := []string{"selective/map/sel/b64", "recovery/map/sel/b64"}
-	if len(fresh) != len(want) || fresh[0] != want[0] || fresh[1] != want[1] {
+	want := []string{"selective/map/sel/b64", "recovery/map/sel/b64", "server/c16"}
+	if len(fresh) != len(want) || fresh[0] != want[0] || fresh[1] != want[1] || fresh[2] != want[2] {
 		t.Errorf("BenchNewRows = %v, want %v", fresh, want)
 	}
 	// Symmetric direction: rows only in base are CompareBenchDocs'

@@ -126,7 +126,7 @@ func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
 var Experiments = []string{
 	"table1", "table2", "fig2", "fig4", "fig9", "fig10", "fig11", "table3",
 	"spaceoverhead", "ablation-conc", "ablation-naive", "concurrent",
-	"groupcommit", "transient", "sharded", "selective",
+	"groupcommit", "transient", "sharded", "selective", "server",
 }
 
 // Run executes one named experiment at the given scale.
@@ -164,6 +164,8 @@ func Run(name string, scale Scale) (*Table, error) {
 		return Sharded(scale)
 	case "selective":
 		return Selective(scale)
+	case "server":
+		return ServerExperiment(scale)
 	}
 	return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", name, Experiments)
 }

@@ -51,19 +51,22 @@ func val32(i uint64) []byte {
 // and flushes per operation, excluding setup.
 func measureOp(op, engine string, n int) (fencesPerOp, flushesPerOp float64, err error) {
 	arena := int64(n)*2048 + (64 << 20)
-	dev := pmem.New(pmem.DefaultConfig(arena))
 
+	var dev *pmem.Device
 	var run func(i uint64)
 	if engine == "mod" {
-		store, err := core.NewStore(dev)
+		db, _, err := core.Open(pmem.DefaultConfig(arena))
 		if err != nil {
 			return 0, 0, err
 		}
+		store := db.Store()
+		dev = store.Device()
 		run, err = modOp(store, op, n)
 		if err != nil {
 			return 0, 0, err
 		}
 	} else {
+		dev = pmem.New(pmem.DefaultConfig(arena))
 		heap := alloc.Format(dev)
 		tx := stm.New(dev, heap, stm.ModeV15)
 		run, err = pmdkOp(tx, op, n)

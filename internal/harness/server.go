@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/mod-ds/mod/internal/core"
+	"github.com/mod-ds/mod/internal/pmem"
+	"github.com/mod-ds/mod/internal/server"
+	"github.com/mod-ds/mod/internal/server/loadgen"
+)
+
+// ServerClientCounts sweeps the concurrent connection count of the
+// server experiment. The interesting shape is fences/op falling as
+// clients rise: every write is acked only after its durability ticket
+// resolves, and concurrent tickets coalesce into shared committer fence
+// epochs, so the per-ack fence cost amortizes across clients
+// (cross-client batch amplification).
+var ServerClientCounts = []int{1, 4, 16, 64}
+
+// ServerBenchResult is one point of the server sweep: an in-process
+// modserver (PipeListener transport) under a closed-loop all-write
+// load. Unlike the simulated sweeps these run on the wall clock with
+// real goroutine scheduling, so latency and throughput are
+// nondeterministic — benchdiff tracks row presence but does not gate
+// values. Fences are still counted on the simulated device; their
+// per-op ratio is the amplification curve.
+type ServerBenchResult struct {
+	Clients    int
+	Ops        int
+	Errors     int
+	Elapsed    time.Duration
+	P50        time.Duration
+	P99        time.Duration
+	P999       time.Duration
+	Throughput float64 // acked ops per wall-clock second
+
+	Fences      uint64
+	FencesPerOp float64
+}
+
+// ServerBenchConfig derives the load from a Scale: all SETs (so
+// fences/op is fences per durable ack), a few thousand ops per point,
+// closed loop.
+func ServerBenchConfig(scale Scale, clients int) loadgen.Config {
+	ops := scale.Ops / 2
+	if ops < 200 {
+		ops = 200
+	}
+	return loadgen.Config{
+		Clients:   clients,
+		Ops:       ops,
+		KeySpace:  4096,
+		ValueSize: 64,
+		ReadFrac:  0,
+		Seed:      0x5eed,
+	}
+}
+
+// serverLinger is the committer settle-fence collection window used by
+// the sweep (matching cmd/modserver's default): long enough for
+// request/response-paced arrivals to pile into shared epochs, short
+// enough not to dominate single-client latency.
+const serverLinger = 50 * time.Microsecond
+
+// RunServerBench serves one sweep point: open a store with a background
+// committer, serve it over an in-process listener, drive the load, and
+// read the fence delta before shutting down.
+func RunServerBench(scale Scale, clients int) (ServerBenchResult, error) {
+	cfg := ServerBenchConfig(scale, clients)
+	arena := int64(cfg.Ops)*4096 + (256 << 20)
+	db, _, err := core.Open(pmem.DefaultConfig(arena),
+		core.WithCommitter(0), core.WithCommitterLinger(serverLinger))
+	if err != nil {
+		return ServerBenchResult{}, err
+	}
+	srv, err := server.New(server.Config{KV: db})
+	if err != nil {
+		db.Close()
+		return ServerBenchResult{}, err
+	}
+	pl := server.NewPipeListener()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(pl) }()
+
+	statsBase := db.Stats()
+	res, runErr := loadgen.Run(pl.Dial, cfg, nil)
+	fences := db.Stats().Fences - statsBase.Fences
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return ServerBenchResult{}, fmt.Errorf("server shutdown: %w", err)
+	}
+	pl.Close()
+	if err := <-serveErr; err != nil {
+		return ServerBenchResult{}, fmt.Errorf("serve: %w", err)
+	}
+	if runErr != nil {
+		return ServerBenchResult{}, runErr
+	}
+	if res.Errors > 0 {
+		return ServerBenchResult{}, fmt.Errorf("server bench c=%d: %d errored ops", clients, res.Errors)
+	}
+
+	out := ServerBenchResult{
+		Clients:    clients,
+		Ops:        res.Ops,
+		Errors:     res.Errors,
+		Elapsed:    res.Elapsed,
+		P50:        res.P50,
+		P99:        res.P99,
+		P999:       res.P999,
+		Throughput: res.Throughput,
+		Fences:     fences,
+	}
+	if res.Ops > 0 {
+		out.FencesPerOp = float64(fences) / float64(res.Ops)
+	}
+	return out, nil
+}
+
+// ServerExperiment renders the sweep as a table (experiment "server").
+func ServerExperiment(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:    "server",
+		Title: "modserver: durability-acked writes vs concurrent clients",
+		Note: "Closed-loop all-SET load over an in-process listener; every +OK waits for a durability ticket. " +
+			"Wall-clock latency/throughput (nondeterministic); fences/op falls as concurrent tickets share committer epochs.",
+		Header: []string{"clients", "ops", "throughput", "p50-us", "p99-us", "p999-us", "fences/op"},
+	}
+	for _, clients := range ServerClientCounts {
+		res, err := RunServerBench(scale, clients)
+		if err != nil {
+			return nil, fmt.Errorf("server c=%d: %w", clients, err)
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", clients),
+			fmt.Sprintf("%d", res.Ops),
+			f1(res.Throughput),
+			f1(float64(res.P50)/1e3),
+			f1(float64(res.P99)/1e3),
+			f1(float64(res.P999)/1e3),
+			f3(res.FencesPerOp),
+		)
+	}
+	return t, nil
+}

@@ -60,11 +60,11 @@ func Table3(scale Scale) (*Table, error) {
 // bytes at both points.
 func modDoubling(structure string, n int, retainVersions bool) (atN, at2N uint64, err error) {
 	arena := int64(n)*4096 + (64 << 20)
-	dev := pmem.New(pmem.DefaultConfig(arena))
-	store, err := core.NewStore(dev)
+	db, _, err := core.Open(pmem.DefaultConfig(arena))
 	if err != nil {
 		return 0, 0, err
 	}
+	store := db.Store()
 	heap := store.Heap()
 	base := heap.Stats().LiveBytes // store metadata (commit log), not structure
 	insert, err := modInserter(store, structure)
@@ -186,11 +186,11 @@ func SpaceOverhead(scale Scale) (*Table, error) {
 	n := scale.Table3N
 	for _, structure := range []string{"map", "set", "stack", "queue", "vector"} {
 		arena := int64(n)*2048 + (64 << 20)
-		dev := pmem.New(pmem.DefaultConfig(arena))
-		store, err := core.NewStore(dev)
+		db, _, err := core.Open(pmem.DefaultConfig(arena))
 		if err != nil {
 			return nil, err
 		}
+		store := db.Store()
 		heap := store.Heap()
 		base := heap.Stats().LiveBytes
 		insert, err := modInserter(store, structure)
@@ -225,11 +225,12 @@ func AblationFlushConcurrency(scale Scale) (*Table, error) {
 	for _, cap := range []int{32, 16, 8, 4, 2, 1} {
 		cfg := pmem.DefaultConfig(int64(n)*1536 + (64 << 20))
 		cfg.FlushMaxConcurrency = cap
-		dev := pmem.New(cfg)
-		store, err := core.NewStore(dev)
+		db, _, err := core.Open(cfg)
 		if err != nil {
 			return nil, err
 		}
+		store := db.Store()
+		dev := store.Device()
 		m, err := store.Map("abl")
 		if err != nil {
 			return nil, err
@@ -263,11 +264,12 @@ func AblationNaiveShadow(scale Scale) (*Table, error) {
 
 	// MOD trie vector with path copying.
 	{
-		dev := pmem.New(pmem.DefaultConfig(256 << 20))
-		store, err := core.NewStore(dev)
+		db, _, err := core.Open(pmem.DefaultConfig(256 << 20))
 		if err != nil {
 			return nil, err
 		}
+		store := db.Store()
+		dev := store.Device()
 		v, err := store.Vector("abl")
 		if err != nil {
 			return nil, err

@@ -37,6 +37,13 @@ func (d *Device) CrashImage(policy CrashPolicy, seed uint64) []byte {
 	s := d.s
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return d.crashImageLocked(policy, seed)
+}
+
+// crashImageLocked is CrashImage with the device mutex already held, so
+// Regions.CrashImages can freeze several regions at one instant.
+func (d *Device) crashImageLocked(policy CrashPolicy, seed uint64) []byte {
+	s := d.s
 	if s.dur == nil {
 		panic("pmem: CrashImage requires Config.TrackDurable")
 	}

@@ -76,10 +76,27 @@ func (r *Regions) MaxClock() float64 {
 // the given policy, one image per region in region order. Each region's
 // pseudorandom line subset is derived from seed and the region index so
 // a single seed reproduces the whole multi-region failure.
+//
+// The capture is simultaneous: every region's mutex is held (acquired
+// in region order — no other path locks two devices at once, so the
+// ordering cannot deadlock) while the images are taken, as a real power
+// failure hits all DIMMs at one instant. A per-region sequential
+// capture would let commits that ran between two snapshots appear on a
+// later region but not an earlier one, which under load manifests as a
+// cross-shard transaction "partially applied" by a failure mode real
+// hardware cannot produce.
 func (r *Regions) CrashImages(policy CrashPolicy, seed uint64) [][]byte {
+	for _, d := range r.devs {
+		d.s.mu.Lock()
+	}
+	defer func() {
+		for _, d := range r.devs {
+			d.s.mu.Unlock()
+		}
+	}()
 	imgs := make([][]byte, len(r.devs))
 	for i, d := range r.devs {
-		imgs[i] = d.CrashImage(policy, seed+uint64(i)*0x9e3779b97f4a7c15)
+		imgs[i] = d.crashImageLocked(policy, seed+uint64(i)*0x9e3779b97f4a7c15)
 	}
 	return imgs
 }

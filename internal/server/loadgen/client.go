@@ -1,0 +1,171 @@
+// Package loadgen drives a modserver with an open-loop workload over
+// real sockets or in-process pipes, measuring the latency distribution
+// that the durability-before-reply contract produces. It doubles as the
+// acked-write recorder for the server crash tests: in RecordWrites mode
+// every write gets a unique key and value, and the result lists exactly
+// which writes were acknowledged before the crash.
+package loadgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+)
+
+// RespKind tags a parsed server reply.
+type RespKind int
+
+const (
+	// RespSimple is a +status line.
+	RespSimple RespKind = iota
+	// RespError is a -error line.
+	RespError
+	// RespInt is a :n line.
+	RespInt
+	// RespBulk is a $len bulk string (Nil true for $-1).
+	RespBulk
+	// RespArray is a *n array of replies.
+	RespArray
+)
+
+// Resp is one parsed server reply.
+type Resp struct {
+	Kind  RespKind
+	Str   string // simple status or error text
+	Int   int64
+	Bulk  []byte
+	Nil   bool
+	Elems []Resp
+}
+
+// IsOK reports a +OK (or any non-error) acknowledgement.
+func (r Resp) IsOK() bool { return r.Kind != RespError }
+
+// Client is a minimal RESP client over one connection.
+type Client struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// NewClient wraps an established connection.
+func NewClient(c net.Conn) *Client {
+	return &Client{c: c, br: bufio.NewReader(c), bw: bufio.NewWriter(c)}
+}
+
+// Close closes the underlying connection.
+func (cl *Client) Close() error { return cl.c.Close() }
+
+// Do sends one command (verb + args as an array of bulk strings) and
+// reads one reply.
+func (cl *Client) Do(args ...[]byte) (Resp, error) {
+	if err := cl.send(args...); err != nil {
+		return Resp{}, err
+	}
+	if err := cl.bw.Flush(); err != nil {
+		return Resp{}, err
+	}
+	return cl.readResp()
+}
+
+// send serializes one command without flushing (for pipelined MULTI).
+func (cl *Client) send(args ...[]byte) error {
+	cl.bw.WriteByte('*')
+	cl.bw.WriteString(strconv.Itoa(len(args)))
+	cl.bw.WriteString("\r\n")
+	for _, a := range args {
+		cl.bw.WriteByte('$')
+		cl.bw.WriteString(strconv.Itoa(len(a)))
+		cl.bw.WriteString("\r\n")
+		cl.bw.Write(a)
+		cl.bw.WriteString("\r\n")
+	}
+	return nil
+}
+
+// Multi runs MULTI, the given SET commands, and EXEC pipelined as one
+// round trip, returning the EXEC reply.
+func (cl *Client) Multi(sets [][2][]byte) (Resp, error) {
+	cl.send([]byte("MULTI"))
+	for _, kv := range sets {
+		cl.send([]byte("SET"), kv[0], kv[1])
+	}
+	cl.send([]byte("EXEC"))
+	if err := cl.bw.Flush(); err != nil {
+		return Resp{}, err
+	}
+	if _, err := cl.readResp(); err != nil { // +OK for MULTI
+		return Resp{}, err
+	}
+	for range sets { // +QUEUED per SET
+		if _, err := cl.readResp(); err != nil {
+			return Resp{}, err
+		}
+	}
+	return cl.readResp() // EXEC result
+}
+
+func (cl *Client) readLine() ([]byte, error) {
+	line, err := cl.br.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	if len(line) < 2 || line[len(line)-2] != '\r' {
+		return nil, fmt.Errorf("loadgen: malformed reply line %q", line)
+	}
+	return line[:len(line)-2], nil
+}
+
+func (cl *Client) readResp() (Resp, error) {
+	line, err := cl.readLine()
+	if err != nil {
+		return Resp{}, err
+	}
+	if len(line) == 0 {
+		return Resp{}, fmt.Errorf("loadgen: empty reply line")
+	}
+	body := string(line[1:])
+	switch line[0] {
+	case '+':
+		return Resp{Kind: RespSimple, Str: body}, nil
+	case '-':
+		return Resp{Kind: RespError, Str: body}, nil
+	case ':':
+		n, err := strconv.ParseInt(body, 10, 64)
+		if err != nil {
+			return Resp{}, fmt.Errorf("loadgen: bad integer reply %q", body)
+		}
+		return Resp{Kind: RespInt, Int: n}, nil
+	case '$':
+		n, err := strconv.Atoi(body)
+		if err != nil {
+			return Resp{}, fmt.Errorf("loadgen: bad bulk length %q", body)
+		}
+		if n < 0 {
+			return Resp{Kind: RespBulk, Nil: true}, nil
+		}
+		buf := make([]byte, n+2)
+		if _, err := io.ReadFull(cl.br, buf); err != nil {
+			return Resp{}, err
+		}
+		return Resp{Kind: RespBulk, Bulk: buf[:n]}, nil
+	case '*':
+		n, err := strconv.Atoi(body)
+		if err != nil || n < 0 {
+			return Resp{}, fmt.Errorf("loadgen: bad array length %q", body)
+		}
+		r := Resp{Kind: RespArray, Elems: make([]Resp, n)}
+		for i := 0; i < n; i++ {
+			e, err := cl.readResp()
+			if err != nil {
+				return Resp{}, err
+			}
+			r.Elems[i] = e
+		}
+		return r, nil
+	default:
+		return Resp{}, fmt.Errorf("loadgen: unknown reply type %q", line)
+	}
+}

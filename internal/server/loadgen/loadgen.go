@@ -1,0 +1,298 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	// Clients is the number of concurrent connections.
+	Clients int
+	// Rate is the target aggregate arrival rate in ops/sec. Arrivals
+	// are generated open-loop on a fixed schedule independent of
+	// completions, so latency includes queueing delay when the server
+	// falls behind. Zero runs closed-loop at maximum throughput.
+	Rate float64
+	// Duration bounds the run in wall-clock time; Ops bounds it in
+	// operation count. Whichever is set (Ops wins if both).
+	Duration time.Duration
+	Ops      int
+	// KeySpace is the number of distinct keys; ZipfS/ZipfV shape the
+	// Zipfian key popularity (ZipfS must be > 1; zero selects 1.1).
+	KeySpace int
+	ZipfS    float64
+	ZipfV    float64
+	// ValueSize is the SET payload size in bytes.
+	ValueSize int
+	// ReadFrac is the fraction of operations that are GETs.
+	ReadFrac float64
+	// MultiEvery makes every Nth write a MULTI/EXEC of MultiSize SETs
+	// (0 disables).
+	MultiEvery int
+	MultiSize  int
+	// Seed makes the key/op sequence deterministic.
+	Seed int64
+	// RecordWrites switches to unique keys ("c<client>-s<seq>", one
+	// writer per key) and records every write with its ack outcome in
+	// Result.Writes, for crash-recovery auditing.
+	RecordWrites bool
+}
+
+// WriteRecord is one audited write (RecordWrites mode): the keys and
+// values submitted, whether it was a MULTI, and whether the server
+// acknowledged it before the run ended.
+type WriteRecord struct {
+	Keys  [][]byte
+	Vals  [][]byte
+	Multi bool
+	Acked bool
+	// AckTime is when the acknowledgement was observed; crash tests
+	// compare it against the crash-snapshot instant to decide which
+	// acks the image must contain.
+	AckTime time.Time
+}
+
+// Result aggregates a load run.
+type Result struct {
+	// Ops counts completed operations; Errors counts RESP -ERR replies
+	// and transport failures.
+	Ops    int
+	Errors int
+	// Elapsed is the measured wall-clock span.
+	Elapsed time.Duration
+	// P50/P99/P999 are latency percentiles. Open-loop runs measure
+	// from scheduled arrival (including queueing); closed-loop runs
+	// measure from send.
+	P50, P99, P999 time.Duration
+	// Throughput is completed ops per wall-clock second.
+	Throughput float64
+	// Writes carries the audit log in RecordWrites mode.
+	Writes []WriteRecord
+}
+
+// worker is one client connection's state.
+type worker struct {
+	id     int
+	cl     *Client
+	rng    *rand.Rand
+	zipf   *rand.Zipf
+	cfg    Config
+	lats   []time.Duration
+	errs   int
+	ops    int
+	seq    int
+	writes []WriteRecord
+	valBuf []byte
+}
+
+// Run executes the configured load against dial (a TCP dialer or
+// PipeListener.Dial) and aggregates the results. stop, when non-nil, is
+// polled between operations to end the run early (used by crash tests
+// to freeze the audit log at the crash point).
+func Run(dial func() (net.Conn, error), cfg Config, stop <-chan struct{}) (Result, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.KeySpace <= 0 {
+		cfg.KeySpace = 1 << 16
+	}
+	if cfg.ZipfS <= 1 {
+		cfg.ZipfS = 1.1
+	}
+	if cfg.ZipfV < 1 {
+		cfg.ZipfV = 1
+	}
+	if cfg.ValueSize <= 0 {
+		cfg.ValueSize = 64
+	}
+	if cfg.Ops == 0 && cfg.Duration == 0 {
+		cfg.Duration = time.Second
+	}
+
+	workers := make([]*worker, cfg.Clients)
+	for i := range workers {
+		conn, err := dial()
+		if err != nil {
+			return Result{}, fmt.Errorf("loadgen: dial client %d: %w", i, err)
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+		workers[i] = &worker{
+			id:     i,
+			cl:     NewClient(conn),
+			rng:    rng,
+			zipf:   rand.NewZipf(rng, cfg.ZipfS, cfg.ZipfV, uint64(cfg.KeySpace-1)),
+			cfg:    cfg,
+			valBuf: make([]byte, cfg.ValueSize),
+		}
+	}
+
+	start := time.Now()
+	deadline := time.Time{}
+	if cfg.Duration > 0 {
+		deadline = start.Add(cfg.Duration)
+	}
+	perClientOps := 0
+	if cfg.Ops > 0 {
+		perClientOps = (cfg.Ops + cfg.Clients - 1) / cfg.Clients
+	}
+	// Open-loop: each client owns an interleaved slice of the global
+	// arrival schedule (client i fires at t0 + (i + k*C)/Rate), so the
+	// aggregate arrival process hits Rate without a central dispatcher.
+	interval := time.Duration(0)
+	if cfg.Rate > 0 {
+		interval = time.Duration(float64(cfg.Clients) / cfg.Rate * float64(time.Second))
+	}
+
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			defer w.cl.Close()
+			next := start
+			if interval > 0 {
+				next = start.Add(time.Duration(w.id) * interval / time.Duration(cfg.Clients))
+			}
+			for {
+				if stopped(stop) {
+					return
+				}
+				if perClientOps > 0 && w.ops >= perClientOps {
+					return
+				}
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					return
+				}
+				sched := time.Now()
+				if interval > 0 {
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+					sched = next
+					next = next.Add(interval)
+				}
+				w.step(sched)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := Result{Elapsed: elapsed}
+	var lats []time.Duration
+	for _, w := range workers {
+		res.Ops += w.ops
+		res.Errors += w.errs
+		lats = append(lats, w.lats...)
+		res.Writes = append(res.Writes, w.writes...)
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		res.P50 = lats[len(lats)*50/100]
+		res.P99 = lats[min(len(lats)*99/100, len(lats)-1)]
+		res.P999 = lats[min(len(lats)*999/1000, len(lats)-1)]
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(res.Ops) / elapsed.Seconds()
+	}
+	return res, nil
+}
+
+func stopped(stop <-chan struct{}) bool {
+	if stop == nil {
+		return false
+	}
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// step issues one operation and records its latency and outcome.
+func (w *worker) step(sched time.Time) {
+	isRead := !w.cfg.RecordWrites && w.rng.Float64() < w.cfg.ReadFrac
+	var (
+		resp Resp
+		err  error
+		rec  WriteRecord
+	)
+	switch {
+	case isRead:
+		resp, err = w.cl.Do([]byte("GET"), w.key())
+	case w.cfg.MultiEvery > 0 && w.cfg.MultiSize > 0 && w.ops%w.cfg.MultiEvery == w.cfg.MultiEvery-1:
+		size := w.cfg.MultiSize
+		sets := make([][2][]byte, size)
+		val := w.value()
+		for i := range sets {
+			sets[i] = [2][]byte{w.writeKey(i), val}
+			rec.Keys = append(rec.Keys, sets[i][0])
+			rec.Vals = append(rec.Vals, val)
+		}
+		rec.Multi = true
+		w.seq++
+		resp, err = w.cl.Multi(sets)
+	default:
+		k, v := w.writeKey(0), w.value()
+		rec.Keys = [][]byte{k}
+		rec.Vals = [][]byte{v}
+		w.seq++
+		resp, err = w.cl.Do([]byte("SET"), k, v)
+	}
+	lat := time.Since(sched)
+	w.ops++
+	acked := err == nil && resp.IsOK()
+	if !acked {
+		w.errs++
+	}
+	if acked || err == nil {
+		w.lats = append(w.lats, lat)
+	}
+	if w.cfg.RecordWrites && !isRead {
+		rec.Acked = acked
+		if acked {
+			rec.AckTime = time.Now()
+		}
+		w.writes = append(w.writes, rec)
+	}
+}
+
+// key draws a Zipfian read/write key.
+func (w *worker) key() []byte {
+	return []byte(fmt.Sprintf("key-%d", w.zipf.Uint64()))
+}
+
+// writeKey returns the target key for write number seq: unique per
+// write in RecordWrites mode (plus a lane i for MULTI members),
+// Zipfian otherwise.
+func (w *worker) writeKey(i int) []byte {
+	if w.cfg.RecordWrites {
+		return []byte(fmt.Sprintf("c%d-s%d-k%d", w.id, w.seq, i))
+	}
+	return w.key()
+}
+
+// value builds the payload: unique and self-describing in RecordWrites
+// mode, random bytes otherwise.
+func (w *worker) value() []byte {
+	if w.cfg.RecordWrites {
+		return []byte(fmt.Sprintf("v-c%d-s%d", w.id, w.seq))
+	}
+	w.rng.Read(w.valBuf)
+	out := make([]byte, len(w.valBuf))
+	copy(out, w.valBuf)
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// Handler processes one parsed command against a connection's state and
+// returns the reply to write. The innermost handler is the server's
+// dispatch; middleware wrap it.
+type Handler func(c *Conn, cmd Command) Reply
+
+// Middleware composes over Handler functionally: New folds
+// Config.Middleware right-to-left, so the first element observes
+// commands first and replies last.
+type Middleware func(Handler) Handler
+
+// ConnHandler services one accepted connection until it closes.
+type ConnHandler func(nc net.Conn)
+
+// ConnMiddleware composes over connection service, for concerns that
+// live at accept granularity rather than command granularity.
+type ConnMiddleware func(ConnHandler) ConnHandler
+
+// Logging returns middleware that logs each command verb, outcome
+// class, and latency through logf.
+func Logging(logf func(format string, args ...any)) Middleware {
+	return func(next Handler) Handler {
+		return func(c *Conn, cmd Command) Reply {
+			start := time.Now()
+			rp := next(c, cmd)
+			outcome := "ok"
+			if rp.IsError() {
+				outcome = "err"
+			}
+			logf("cmd=%s args=%d outcome=%s dur=%s", cmd.Name, len(cmd.Args), outcome, time.Since(start))
+			return rp
+		}
+	}
+}
+
+// Recover returns middleware that converts a handler panic into an -ERR
+// reply instead of tearing down the connection goroutine (and with it
+// the server).
+func Recover() Middleware {
+	return func(next Handler) Handler {
+		return func(c *Conn, cmd Command) (rp Reply) {
+			defer func() {
+				if r := recover(); r != nil {
+					rp = ErrorReply("ERR", fmt.Sprintf("internal error: %v", r))
+				}
+			}()
+			return next(c, cmd)
+		}
+	}
+}
+
+// Timeout returns middleware that bounds one command's handling at d.
+// On expiry the client gets an -ERR immediately; the handler keeps
+// running to completion in the background (its durability ticket still
+// resolves — the store is never left with an abandoned in-flight
+// commit), but its reply is discarded. Commands after a timeout on the
+// same connection are rejected until the stray handler finishes, since
+// Conn state is single-threaded.
+func Timeout(d time.Duration) Middleware {
+	return func(next Handler) Handler {
+		var stray chan Reply // set while a timed-out handler still runs
+		return func(c *Conn, cmd Command) Reply {
+			if stray != nil {
+				select {
+				case <-stray:
+					stray = nil
+				default:
+					return ErrorReply("ERR", "previous command still running")
+				}
+			}
+			done := make(chan Reply, 1)
+			go func() { done <- next(c, cmd) }()
+			select {
+			case rp := <-done:
+				return rp
+			case <-time.After(d):
+				stray = done
+				return ErrorReply("ERR", fmt.Sprintf("operation timed out after %s", d))
+			}
+		}
+	}
+}
+
+// LimitConns returns connection middleware admitting at most n
+// concurrent connections; excess connections are served a -ERR and
+// closed rather than queued, keeping the accept loop responsive.
+func LimitConns(n int) ConnMiddleware {
+	sem := make(chan struct{}, n)
+	return func(next ConnHandler) ConnHandler {
+		return func(nc net.Conn) {
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+				next(nc)
+			default:
+				nc.Write(ErrorReply("ERR", "max connections reached").buf)
+			}
+		}
+	}
+}

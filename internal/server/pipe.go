@@ -1,0 +1,62 @@
+package server
+
+import (
+	"net"
+	"sync"
+)
+
+// PipeListener is an in-process net.Listener over net.Pipe pairs, so
+// the full server stack — RESP parsing, middleware, durability waits,
+// graceful shutdown — runs in tests and CI without binding a TCP port.
+// Dial returns the client end of a new connection; Accept hands the
+// server end to Serve.
+type PipeListener struct {
+	ch   chan net.Conn
+	done chan struct{}
+	once sync.Once
+}
+
+// NewPipeListener returns a ready-to-use in-process listener.
+func NewPipeListener() *PipeListener {
+	return &PipeListener{ch: make(chan net.Conn), done: make(chan struct{})}
+}
+
+// Dial opens a new in-process connection to the listener, blocking
+// until Accept picks up the server end.
+func (l *PipeListener) Dial() (net.Conn, error) {
+	client, srv := net.Pipe()
+	select {
+	case l.ch <- srv:
+		return client, nil
+	case <-l.done:
+		client.Close()
+		srv.Close()
+		return nil, net.ErrClosed
+	}
+}
+
+// Accept waits for the server end of the next Dial.
+func (l *PipeListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close unblocks Accept and fails subsequent Dials.
+func (l *PipeListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+// Addr implements net.Listener with a synthetic address.
+func (l *PipeListener) Addr() net.Addr { return pipeAddr{} }
+
+type pipeAddr struct{}
+
+func (pipeAddr) Network() string { return "pipe" }
+func (pipeAddr) String() string  { return "pipe" }
+
+var _ net.Listener = (*PipeListener)(nil)

@@ -104,11 +104,13 @@ func shardName(i int) string { return fmt.Sprintf("shard-%02d", i) }
 // threaded by construction (their undo/redo logs are per-heap).
 func RunConcurrent(cfg ConcurrentConfig) (ConcurrentResult, error) {
 	cfg.defaults()
-	dev := pmem.New(pmem.DefaultConfig(cfg.ArenaBytes))
-	store, err := core.NewStore(dev)
+	db, _, err := core.Open(pmem.DefaultConfig(cfg.ArenaBytes))
 	if err != nil {
 		return ConcurrentResult{}, err
 	}
+	defer db.Close()
+	store := db.Store()
+	dev := store.Device()
 
 	// Preload every shard serially on the main handle.
 	preloadRng := rng{state: cfg.Seed}

@@ -94,11 +94,13 @@ func gcShardName(i int) string { return fmt.Sprintf("gc-shard-%02d", i) }
 // measurement.
 func RunGroupCommit(cfg GroupCommitConfig) (GroupCommitResult, error) {
 	cfg.defaults()
-	dev := pmem.New(pmem.DefaultConfig(cfg.ArenaBytes))
-	store, err := core.NewStore(dev)
+	db, _, err := core.Open(pmem.DefaultConfig(cfg.ArenaBytes))
 	if err != nil {
 		return GroupCommitResult{}, err
 	}
+	defer db.Close()
+	store := db.Store()
+	dev := store.Device()
 
 	shards := make([]*core.Map, cfg.Shards)
 	r := rng{state: cfg.Seed}

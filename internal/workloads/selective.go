@@ -109,11 +109,13 @@ func RunSelective(cfg SelectiveConfig) (SelectiveResult, error) {
 	}
 	dcfg := pmem.DefaultConfig(cfg.ArenaBytes)
 	dcfg.TrackDurable = cfg.MeasureRecovery
-	dev := pmem.New(dcfg)
-	store, err := core.NewStore(dev)
+	db, _, err := core.Open(dcfg)
 	if err != nil {
 		return SelectiveResult{}, err
 	}
+	defer db.Close()
+	store := db.Store()
+	dev := store.Device()
 
 	var m *core.Map
 	var v *core.Vector
@@ -183,12 +185,13 @@ func RunSelective(cfg SelectiveConfig) (SelectiveResult, error) {
 	if cfg.MeasureRecovery {
 		img := dev.CrashImage(pmem.CrashEvictRandom, cfg.Seed)
 		rcfg := pmem.DefaultConfig(cfg.ArenaBytes)
-		dev2 := pmem.NewFromImage(rcfg, img)
-		store2, _, err := core.OpenStore(dev2)
+		db2, _, err := core.Open(rcfg, core.WithExistingImages([][]byte{img}))
 		if err != nil {
 			return SelectiveResult{}, fmt.Errorf("workloads: selective reopen: %w", err)
 		}
-		rs := dev2.Stats()
+		defer db2.Close()
+		store2 := db2.Store()
+		rs := store2.Device().Stats()
 		res.RecoveryNs = rs.RecoveryNs
 		res.RebuiltNodes = rs.RebuiltNodes
 		// Sanity: the recovered structure must answer reads.

@@ -122,10 +122,12 @@ func shardedMapName(w int) string { return fmt.Sprintf("sh-w%02d", w) }
 func RunSharded(cfg ShardedConfig) (ShardedResult, error) {
 	cfg.defaults()
 	devCfg := pmem.DefaultConfig(cfg.ArenaBytes)
-	ss, err := core.NewShardedStore(devCfg, cfg.Shards)
+	db, _, err := core.Open(devCfg, core.WithShards(cfg.Shards))
 	if err != nil {
 		return ShardedResult{}, err
 	}
+	defer db.Close()
+	ss := db.Sharded()
 
 	// Writer w's map lives on shard w%S by explicit placement, so the
 	// op budget spreads evenly regardless of name hashes.

@@ -81,11 +81,13 @@ type TransientResult struct {
 // measurement.
 func RunTransient(cfg TransientConfig) (TransientResult, error) {
 	cfg.defaults()
-	dev := pmem.New(pmem.DefaultConfig(cfg.ArenaBytes))
-	store, err := core.NewStore(dev)
+	db, _, err := core.Open(pmem.DefaultConfig(cfg.ArenaBytes))
 	if err != nil {
 		return TransientResult{}, err
 	}
+	defer db.Close()
+	store := db.Store()
+	dev := store.Device()
 
 	m, err := store.Map("transient-map")
 	if err != nil {

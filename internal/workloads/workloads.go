@@ -108,17 +108,16 @@ type env struct {
 // newEnv builds a fresh device and engine state.
 func newEnv(engine Engine, arena int64) (*env, error) {
 	cfg := pmem.DefaultConfig(arena)
-	dev := pmem.New(cfg)
-	e := &env{engine: engine, dev: dev}
 	if engine == EngineMOD {
-		store, err := core.NewStore(dev)
+		db, _, err := core.Open(cfg)
 		if err != nil {
 			return nil, err
 		}
-		e.store = store
-		e.heap = store.Heap()
-		return e, nil
+		store := db.Store()
+		return &env{engine: engine, dev: store.Device(), heap: store.Heap(), store: store}, nil
 	}
+	dev := pmem.New(cfg)
+	e := &env{engine: engine, dev: dev}
 	e.heap = alloc.Format(dev)
 	mode := stm.ModeV15
 	if engine == EnginePMDK14 {

@@ -6,15 +6,22 @@
 //
 // # Quickstart
 //
-//	dev := mod.NewDevice(mod.DefaultDeviceConfig(256 << 20))
-//	store, _ := mod.NewStore(dev)
-//	m, _ := store.Map("users")
+//	db, _, _ := mod.Open(mod.DefaultDeviceConfig(256 << 20))
+//	defer db.Close()
+//	m, _ := db.Map("users")
 //	m.Set([]byte("ada"), []byte("lovelace"))   // one FASE, one fence
 //	v, ok := m.Get([]byte("ada"))
 //
 // Reopening after a crash recovers committed state and sweeps leaks:
 //
-//	store, stats, _ := mod.OpenStore(mod.NewDeviceFromImage(cfg, image))
+//	db, info, _ := mod.Open(cfg, mod.WithExistingImages(images))
+//
+// Open takes functional options — mod.WithShards(n) partitions the
+// store across independent heaps, mod.WithCommitter(0) starts the
+// background group committer, mod.WithSelective(0) selects the
+// selectively persisted structure flavors, mod.WithNodeCache() caches
+// committed nodes in DRAM. The returned DB satisfies the KV interface,
+// as do Store and ShardedStore directly.
 //
 // # Basic vs Composition interfaces
 //
@@ -46,6 +53,8 @@
 package mod
 
 import (
+	"time"
+
 	"github.com/mod-ds/mod/internal/alloc"
 	"github.com/mod-ds/mod/internal/core"
 	"github.com/mod-ds/mod/internal/pmem"
@@ -65,8 +74,44 @@ type Addr = pmem.Addr
 // process lifetimes by named roots.
 type Store = core.Store
 
+// ShardedStore partitions a store across independent heap regions.
+type ShardedStore = core.ShardedStore
+
+// DB is the handle Open returns, wrapping a Store or ShardedStore.
+type DB = core.DB
+
+// KV is the store-shape-agnostic interface satisfied by Store,
+// ShardedStore, and DB.
+type KV = core.KV
+
+// Batcher is the common group-commit batch interface.
+type Batcher = core.Batcher
+
+// Ticket tracks one asynchronous commit's durability.
+type Ticket = core.Ticket
+
+// Option configures Open.
+type Option = core.Option
+
+// RecoveryInfo reports what Open recovered when reopening from images.
+type RecoveryInfo = core.RecoveryInfo
+
 // RecoveryStats reports what post-crash recovery found and reclaimed.
 type RecoveryStats = alloc.RecoveryStats
+
+// Sentinel errors for errors.Is dispatch.
+var (
+	// ErrReservedRootName is returned when binding a root under the
+	// store-internal name prefix.
+	ErrReservedRootName = core.ErrReservedRootName
+	// ErrWrongRootKind is returned when binding a root that holds a
+	// different structure kind.
+	ErrWrongRootKind = core.ErrWrongRootKind
+	// ErrStoreClosed is returned by operations on a closed store.
+	ErrStoreClosed = core.ErrStoreClosed
+	// ErrShardCount is returned for invalid shard counts.
+	ErrShardCount = core.ErrShardCount
+)
 
 // Datastructure handles (Basic interface) and shadow versions
 // (Composition interface).
@@ -126,9 +171,40 @@ func NewDeviceFromImage(cfg DeviceConfig, image []byte) *Device {
 	return pmem.NewFromImage(cfg, image)
 }
 
+// Open formats (or, with WithExistingImages, recovers) a MOD store.
+func Open(cfg DeviceConfig, opts ...Option) (*DB, RecoveryInfo, error) {
+	return core.Open(cfg, opts...)
+}
+
+// WithShards partitions the store across n independent heap regions.
+func WithShards(n int) Option { return core.WithShards(n) }
+
+// WithSelective selects the selectively persisted structure flavors;
+// checkpointEvery sets the record-chain folding interval (0 = default).
+func WithSelective(checkpointEvery int) Option { return core.WithSelective(checkpointEvery) }
+
+// WithNodeCache enables the DRAM cache for committed nodes.
+func WithNodeCache() Option { return core.WithNodeCache() }
+
+// WithExistingImages reopens a store from post-crash region images.
+func WithExistingImages(imgs [][]byte) Option { return core.WithExistingImages(imgs) }
+
+// WithCommitter starts the background group committer(s) (maxOps 0 uses
+// the default epoch cap).
+func WithCommitter(maxOps int) Option { return core.WithCommitter(maxOps) }
+
+// WithCommitterLinger sets the committers' settle-fence collection
+// window, letting request/response-paced concurrent clients share
+// fence epochs (DESIGN.md §11).
+func WithCommitterLinger(d time.Duration) Option { return core.WithCommitterLinger(d) }
+
 // NewStore formats the device and returns an empty store.
+//
+// Deprecated: use Open, which also covers sharded and recovered stores.
 func NewStore(dev *Device) (*Store, error) { return core.NewStore(dev) }
 
 // OpenStore attaches to a previously formatted device, rolling back any
 // interrupted commit and garbage-collecting unreachable blocks (§5.3).
+//
+// Deprecated: use Open with WithExistingImages.
 func OpenStore(dev *Device) (*Store, RecoveryStats, error) { return core.OpenStore(dev) }
