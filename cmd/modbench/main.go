@@ -8,7 +8,7 @@
 // Without -experiment it runs everything. Experiment names: table1,
 // table2, fig2, fig4, fig9, fig10, fig11, table3, spaceoverhead,
 // ablation-conc, ablation-naive, concurrent, groupcommit, transient,
-// sharded, selective, server.
+// sharded, selective, server, contention.
 //
 // -shards N restricts the sharded experiment's shard sweep to the
 // single given count (the full sweep is S ∈ {1,2,4,8}).
@@ -114,8 +114,8 @@ func writeBench(path, scaleName string, scale harness.Scale) error {
 	if err := harness.WriteBenchDoc(doc, path); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d workload rows, %d concurrent rows, %d transient rows, %d groupcommit rows, %d sharded rows, %d selective rows, %d recovery rows, %d server rows)\n",
+	fmt.Printf("wrote %s (%d workload rows, %d concurrent rows, %d transient rows, %d groupcommit rows, %d sharded rows, %d selective rows, %d recovery rows, %d server rows, %d contention rows)\n",
 		path, len(doc.Workloads), len(doc.Concurrent), len(doc.Transient), len(doc.GroupCommit), len(doc.Sharded),
-		len(doc.Selective), len(doc.Recovery), len(doc.Server))
+		len(doc.Selective), len(doc.Recovery), len(doc.Server), len(doc.Contention))
 	return nil
 }

@@ -200,7 +200,6 @@ func newHeap(dev *pmem.Device) *Heap {
 		free: make(map[uint32][]pmem.Addr),
 		refs: &sync.Map{},
 	}
-	sh.ebr.init()
 	return &Heap{dev: dev, sh: sh}
 }
 
@@ -478,6 +477,27 @@ func (h *Heap) ReleaseBatch(addrs []pmem.Addr) {
 	}
 }
 
+// ReleaseDeferred schedules a release of the block at payload addr to
+// run only after the EBR epoch grace period has passed, instead of
+// decrementing eagerly. Commit paths use it for the root version a
+// publication just replaced: an optimistic writer that pinned the epoch
+// and snapshotted that version lock-free may still be Retaining children
+// out of it, and an eager retire-time cascade could drop a shared child
+// to zero an instant before such a Retain resurrects it (a double
+// retire). Because the deferred decrement waits out the same grace
+// period that protects readers, no builder based on the old version can
+// still be pinned when the cascade finally runs. The cascade stamps its
+// blocks with the fence sequence at cascade time (see processDeferred),
+// so with no pinned readers the chain is cascaded by one Fence and freed
+// by the next — Drain fences as needed to finish the job in one call.
+// ReleaseDeferred(Nil) is a no-op.
+func (h *Heap) ReleaseDeferred(payload pmem.Addr) {
+	if payload == pmem.Nil || h.DisableReclaim {
+		return
+	}
+	h.sh.ebr.deferRelease(payload)
+}
+
 // retireCascade retires a zero-reference block and walks its subtree,
 // dropping child counts and retiring those that reach zero. All retired
 // blocks are tagged with the current epoch and fence sequence: they were
@@ -543,18 +563,53 @@ func (h *Heap) freeBlock(r retiredBlock) {
 	sh.mu.Unlock()
 }
 
+// fenceDeferBudget bounds how many deferred releases one Fence cascades.
+// Steady-state production is about one deferred entry per commit (the
+// superseded root version), so the budget drains any backlog left by a
+// stretch of pinned epochs within a few dozen fences instead of lumping
+// the whole backlog's cascade cost onto one caller.
+const fenceDeferBudget = 64
+
+// Reclaim runs one exhaustive reclamation pass — every retired block
+// already fence-covered and past its epoch grace period is freed, and
+// every eligible deferred release is cascaded, with no incremental
+// budget — but issues no fences of its own: blocks whose stamp is not
+// yet covered stay quarantined for a later pass. Use it to tidy
+// opportunistically on a path whose fence count is meaningful; Drain
+// below also completes the job with its own fences.
+func (h *Heap) Reclaim() { h.sh.ebr.reclaim(h, int(^uint(0)>>1)) }
+
 // Drain reclaims every retired block whose orphaning commit is durable
 // (a fence has executed since its retirement) and whose epoch grace
-// period has passed, cascading releases to children. Call it after a
-// fence; Fence does so automatically.
-func (h *Heap) Drain() { h.sh.ebr.reclaim(h) }
+// period has passed, cascading releases to children — including every
+// queued deferred release whose grace period allows it, with no
+// incremental budget. Deferred cascades are stamped with the fence
+// sequence at cascade time, so fully emptying the quarantine can take a
+// further fence; Drain issues its own and loops until it stops making
+// progress (blocks held by a still-pinned reader stay quarantined, as
+// they must). Call it at a quiescent point — Sync and Close use it;
+// per-FASE fences run the budget-bounded reclaim instead.
+func (h *Heap) Drain() {
+	prev := -1
+	for {
+		h.Reclaim()
+		n := h.sh.ebr.pendingCount()
+		if n == 0 || n == prev {
+			return
+		}
+		prev = n
+		h.dev.Sfence()
+	}
+}
 
 // Fence orders all outstanding flushes (the single ordering point a MOD
 // FASE executes, §5.1) and then reclaims retired blocks now covered by
 // it. Freeing after the sfence is safe — frees are volatile — and means a
 // block orphaned by a commit earlier in this interval becomes reusable
-// immediately, preserving the one-fence-per-FASE property.
+// immediately, preserving the one-fence-per-FASE property. Deferred
+// releases are cascaded incrementally (fenceDeferBudget per call) so no
+// single fence absorbs an entire backlog's reclamation cost.
 func (h *Heap) Fence() {
 	h.dev.Sfence()
-	h.Drain()
+	h.sh.ebr.reclaim(h, fenceDeferBudget)
 }

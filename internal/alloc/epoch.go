@@ -39,9 +39,14 @@ type retiredBlock struct {
 	fence uint64 // device FenceSeq at retirement
 }
 
-// pinSlot is a registered reader announcement cell. Slots are pooled and
-// live for the heap's lifetime; an idle slot (pin 0) never blocks epoch
-// advancement.
+// pinSlot is a registered reader announcement cell. Slots live for the
+// heap's lifetime and are recycled through an explicit free list, so the
+// slot set — which tryAdvanceLocked scans on every reclaim — stays
+// bounded by peak Enter concurrency, not by how many guards were ever
+// taken. (A sync.Pool is the obvious alternative, but it sheds entries
+// under memory pressure and deliberately under the race detector, and
+// every shed entry would grow the scan set for the heap's lifetime.)
+// An idle slot (pin 0) never blocks epoch advancement.
 type pinSlot struct {
 	pin atomic.Uint64 // epoch + 1; 0 = inactive
 }
@@ -52,8 +57,8 @@ type pinSlot struct {
 // stay valid.
 //
 // A guard is one-shot: Exit releases the underlying slot back to the
-// pool and further Exits are no-ops, so double-Close of a snapshot (or
-// of copies of one snapshot) is harmless and cannot unpin another
+// free list and further Exits are no-ops, so double-Close of a snapshot
+// (or of copies of one snapshot) is harmless and cannot unpin another
 // reader that has since reused the slot.
 type EpochGuard struct {
 	slot *pinSlot
@@ -68,29 +73,22 @@ func (g *EpochGuard) Exit() {
 		return
 	}
 	g.slot.pin.Store(0)
-	g.eb.pool.Put(g.slot)
+	g.eb.slotsMu.Lock()
+	g.eb.freeSlots = append(g.eb.freeSlots, g.slot)
+	g.eb.slotsMu.Unlock()
 }
 
 // ebrState is the shared epoch machinery of a heap.
 type ebrState struct {
 	epoch atomic.Uint64
 
-	slotsMu sync.Mutex
-	slots   []*pinSlot // all slots ever created; pinned or idle
-	pool    sync.Pool
+	slotsMu   sync.Mutex
+	slots     []*pinSlot // all slots ever created; pinned or idle
+	freeSlots []*pinSlot // idle slots ready for reuse (LIFO)
 
-	mu      sync.Mutex
-	retired []retiredBlock
-}
-
-func (eb *ebrState) init() {
-	eb.pool.New = func() any {
-		s := &pinSlot{}
-		eb.slotsMu.Lock()
-		eb.slots = append(eb.slots, s)
-		eb.slotsMu.Unlock()
-		return s
-	}
+	mu       sync.Mutex
+	retired  []retiredBlock
+	deferred []retiredBlock // releases postponed until their epoch grace passes
 }
 
 // Enter pins the current epoch and returns the guard. The pin is
@@ -98,7 +96,16 @@ func (eb *ebrState) init() {
 // leave the guard announcing a stale epoch unobserved by writers.
 func (h *Heap) Enter() *EpochGuard {
 	eb := &h.sh.ebr
-	slot := eb.pool.Get().(*pinSlot)
+	eb.slotsMu.Lock()
+	var slot *pinSlot
+	if n := len(eb.freeSlots); n > 0 {
+		slot = eb.freeSlots[n-1]
+		eb.freeSlots = eb.freeSlots[:n-1]
+	} else {
+		slot = &pinSlot{}
+		eb.slots = append(eb.slots, slot)
+	}
+	eb.slotsMu.Unlock()
 	for {
 		e := eb.epoch.Load()
 		slot.pin.Store(e + 1)
@@ -120,11 +127,83 @@ func (eb *ebrState) retireBatch(addrs []pmem.Addr, fence uint64) {
 	eb.mu.Unlock()
 }
 
-// pendingCount returns the number of retired-but-not-freed blocks.
+// deferRelease enqueues a publication-side release (a superseded root
+// version replaced by a CAS or lock commit) to be decremented and
+// cascaded only after the epoch grace period. Deferring the *decrement*
+// — not just the free — is what protects lock-free builders: a writer
+// that pinned the epoch and based its shadow on this version may still
+// Retain children out of it, and an eager cascade could retire a child
+// an instant before that Retain resurrects it. No fence stamp is kept:
+// the eventual cascade stamps its blocks with the fence sequence at
+// cascade time, which is at or past the enqueue-time sequence and so
+// already covers the orphaning commit's durability point.
+func (eb *ebrState) deferRelease(addr pmem.Addr) {
+	e := eb.epoch.Load()
+	eb.mu.Lock()
+	eb.deferred = append(eb.deferred, retiredBlock{addr: addr, epoch: e})
+	eb.mu.Unlock()
+}
+
+// processDeferred cascades deferred releases whose epoch grace period
+// has passed — at most budget of them — feeding the resulting dead
+// blocks into the retired list stamped with the fence sequence observed
+// at cascade time. Stamping now rather than at enqueue is deliberate:
+// the enqueue-time stamp is long past by the time the grace period ends,
+// so the same reclaim round that ran the cascade would free the blocks
+// and allow reuse before any further fence — durably safe (the orphaning
+// commit's covering fence has executed), but it would break the
+// free→fence→alloc ordering the trace checker's I4 invariant audits,
+// because cascade-time Free events land after the round's fence event.
+// The cascade-time stamp defers the free to the next fence, keeping
+// reuse auditable at the cost of one extra fence of quarantine. The
+// budget keeps reclamation incremental: cascades cost simulated PM reads
+// charged to the calling handle, and after a stretch of pinned epochs
+// the queue can hold thousands of entries — cascading them all inside
+// one caller's fence would lump the whole backlog's cost onto one
+// goroutine's critical path. Entries beyond the budget stay queued for
+// later fences (or an exhaustive Drain). Returns the number of entries
+// cascaded and whether entries remain that are waiting only on further
+// epoch advancement (budget-kept ready entries do not count: advancing
+// the epoch would not help them).
+func (eb *ebrState) processDeferred(h *Heap, budget int) (used int, epochWaiting bool) {
+	e := eb.epoch.Load()
+	eb.mu.Lock()
+	var ready []retiredBlock
+	kept := eb.deferred[:0]
+	for _, d := range eb.deferred {
+		if d.epoch+2 <= e && len(ready) < budget {
+			ready = append(ready, d)
+		} else {
+			kept = append(kept, d)
+			if d.epoch+2 > e {
+				epochWaiting = true
+			}
+		}
+	}
+	eb.deferred = kept
+	eb.mu.Unlock()
+	fence := h.dev.FenceSeq()
+	for _, d := range ready {
+		if !h.decRef(d.addr) {
+			continue
+		}
+		dead := h.collectCascade(d.addr, nil)
+		ep := eb.epoch.Load()
+		eb.mu.Lock()
+		for _, a := range dead {
+			eb.retired = append(eb.retired, retiredBlock{addr: a, epoch: ep, fence: fence})
+		}
+		eb.mu.Unlock()
+	}
+	return len(ready), epochWaiting
+}
+
+// pendingCount returns the number of retired-but-not-freed blocks,
+// including deferred releases not yet cascaded.
 func (eb *ebrState) pendingCount() int {
 	eb.mu.Lock()
 	defer eb.mu.Unlock()
-	return len(eb.retired)
+	return len(eb.retired) + len(eb.deferred)
 }
 
 // tryAdvanceLocked bumps the global epoch if every pinned reader has
@@ -146,14 +225,20 @@ func (eb *ebrState) tryAdvanceLocked() bool {
 // reclaim frees every retired block that is both fence-covered and past
 // its epoch grace period, advancing the epoch as far as pinned readers
 // allow (with no pinned readers the loop advances freely, degenerating to
-// the original quarantine-at-fence behavior).
-func (eb *ebrState) reclaim(h *Heap) {
+// the original quarantine-at-fence behavior). deferBudget bounds how many
+// deferred releases this call may cascade (see processDeferred); the free
+// pass itself is never bounded — eager cascades were already walked and
+// charged at Release time, so freeing is cheap bookkeeping.
+func (eb *ebrState) reclaim(h *Heap, deferBudget int) {
 	fenceNow := h.dev.FenceSeq()
-	eb.mu.Lock()
-	defer eb.mu.Unlock()
 	for {
+		// Deferred releases first: a cascade run this round lands its
+		// blocks on the retired list in time for this round's free pass
+		// or — with no pinned readers — an epoch advance and the next.
+		used, epochBlocked := eb.processDeferred(h, deferBudget)
+		deferBudget -= used
+		eb.mu.Lock()
 		e := eb.epoch.Load()
-		epochBlocked := false
 		kept := eb.retired[:0]
 		for _, r := range eb.retired {
 			if r.fence < fenceNow && r.epoch+2 <= e {
@@ -166,7 +251,9 @@ func (eb *ebrState) reclaim(h *Heap) {
 			kept = append(kept, r)
 		}
 		eb.retired = kept
-		if !epochBlocked || !eb.tryAdvanceLocked() {
+		advanced := epochBlocked && eb.tryAdvanceLocked()
+		eb.mu.Unlock()
+		if !advanced || deferBudget <= 0 {
 			return
 		}
 	}

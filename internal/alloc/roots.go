@@ -88,3 +88,17 @@ func (h *Heap) SetRoot(slot int, v pmem.Addr) {
 	h.dev.WriteAddr(cell, v)
 	h.dev.Clwb(cell)
 }
+
+// CasRoot atomically points the slot at v only if it still holds old,
+// flushing the cell on success. This is the optimistic commit path's
+// publication step: the compare and the 8-byte pointer store are one
+// indivisible device operation, so a writer that lost the race observes
+// failure without having disturbed the committed root.
+func (h *Heap) CasRoot(slot int, old, v pmem.Addr) bool {
+	cell := h.RootCellAddr(slot)
+	if !h.dev.CasAddr(cell, old, v) {
+		return false
+	}
+	h.dev.Clwb(cell)
+	return true
+}

@@ -352,7 +352,7 @@ type preparedBatch struct {
 	locked   []int
 	changed  []rootChange
 	finals   map[int]pmem.Addr
-	releases []pmem.Addr
+	releases []pmem.Addr // intermediate shadows: never published, retired eagerly
 }
 
 // prepareBatch locks every root the ops touch (ascending slot order, so
@@ -401,7 +401,6 @@ func (s *Store) prepareBatch(ops []batchOp) *preparedBatch {
 		p.finals[slot] = cur
 		if cur != old {
 			p.changed = append(p.changed, rootChange{slot: slot, old: old, final: cur})
-			p.releases = append(p.releases, old)
 		}
 	}
 	ed.Seal() // coalesced flush sweep, ahead of the publish fence
@@ -471,10 +470,15 @@ func (p *preparedBatch) publishLocal() {
 
 // finish retires every superseded version in one batch, adopts the new
 // versions into the handles, closes the FASE, and releases the root
-// locks. Must run after publication.
+// locks. Must run after publication. Replaced root versions release
+// deferred (an optimistic builder may still be retaining out of them);
+// intermediate shadows were never published and retire eagerly.
 func (p *preparedBatch) finish() {
 	s := p.s
 	s.heap.ReleaseBatch(p.releases)
+	for _, c := range p.changed {
+		s.heap.ReleaseDeferred(c.old)
+	}
 	for _, op := range p.ops {
 		op.ds.adopt(p.finals[op.ds.location().slot])
 	}

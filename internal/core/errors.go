@@ -27,4 +27,14 @@ var (
 	// when reopening a sharded store from an image set whose region
 	// count contradicts the requested shard count.
 	ErrShardCount = errors.New("invalid shard count")
+
+	// ErrConcurrentWriter is returned by Commit* when the base version a
+	// shadow chain was built on is no longer the committed version — the
+	// signature of two logical writers racing on one root through the
+	// Composition interface, which requires one writer per root between
+	// Pure* and Commit*. The commit publishes nothing; the caller should
+	// rebuild its shadows from the current version and retry. (The Basic
+	// interface never returns this: its optimistic commit path retries
+	// internally.)
+	ErrConcurrentWriter = errors.New("concurrent writer: base version is stale")
 )

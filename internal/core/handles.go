@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"github.com/mod-ds/mod/internal/alloc"
 	"github.com/mod-ds/mod/internal/funcds"
 	"github.com/mod-ds/mod/internal/pmem"
 )
@@ -30,12 +31,14 @@ type (
 // bookkeeping word (the version its last commit adopted) is atomic, and
 // every operation resolves the live committed version from PM rather
 // than trusting a cached one that another handle's commit may have
-// superseded and reclaimed. Basic-interface updates lock the root's
-// commit mutex and reload the committed version first (beginUpdate), so
-// concurrent writers through different handles serialize per root and
-// never lose updates. Read methods pin the reclamation epoch for the
-// duration of one call; for repeated reads of one consistent version,
-// Snapshot amortizes the pin and fixes the version (snapshot.go).
+// superseded and reclaimed. Basic-interface updates commit through the
+// two-tier optimistic path (optimistic.go): each attempt applies against
+// a fresh snapshot of the committed version and publishes with a CAS, so
+// concurrent writers through different handles stay linearizable per
+// root and never lose updates — without serializing their shadow builds.
+// Read methods pin the reclamation epoch for the duration of one call;
+// for repeated reads of one consistent version, Snapshot amortizes the
+// pin and fixes the version (snapshot.go).
 // Composition-interface methods (Current, Pure*) resolve the committed
 // version without pinning: they are writer-side operations, and the
 // required single-writer-per-root discipline means no concurrent commit
@@ -100,7 +103,10 @@ func bindRoot(s *Store, name string, want rootKind, create func() pmem.Addr) (lo
 	}
 	s.BeginFASE()
 	addr := create()
-	s.commitRoot(slot, pmem.Nil, addr)
+	if err := s.commitRoot(slot, pmem.Nil, addr); err != nil {
+		s.EndFASE()
+		return location{}, pmem.Nil, err
+	}
 	s.EndFASE()
 	return location{slot: slot}, addr, nil
 }
@@ -125,7 +131,10 @@ func bindField(p *Parent, field string, want rootKind, create func() pmem.Addr) 
 	}
 	p.s.BeginFASE()
 	addr := create()
-	p.installField(i, addr)
+	if err := p.installField(i, addr); err != nil {
+		p.s.EndFASE()
+		return location{}, pmem.Nil, err
+	}
 	p.s.EndFASE()
 	return location{parent: p, slot: i}, addr, nil
 }
@@ -187,31 +196,31 @@ func (m *Map) Get(key []byte) ([]byte, bool) {
 }
 
 // Set failure-atomically binds key to val (one FASE, one fence) and
-// reports whether an existing binding was replaced.
+// reports whether an existing binding was replaced. Like every Basic
+// mutator it commits through the two-tier optimistic path
+// (optimistic.go): lock-free CAS publication, flat combining under
+// contention.
 func (m *Map) Set(key, val []byte) bool {
-	mu := m.st.beginUpdate(m)
-	defer mu.Unlock()
-	m.st.BeginFASE()
-	ed := m.st.heap.BeginEdit()
-	shadow, replaced := m.writable().WithEdit(ed).Set(key, val)
-	ed.Seal()
-	m.st.commitSingleLocked(m, []Version{shadow})
-	m.st.EndFASE()
+	var replaced bool
+	m.st.update(m, func(s *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
+		next, r := funcds.MapAt(s.heap, cur).WithEdit(ed).Set(key, val)
+		replaced = r
+		return next.Addr()
+	})
 	return replaced
 }
 
 // Delete failure-atomically removes key, reporting whether it was present.
 func (m *Map) Delete(key []byte) bool {
-	mu := m.st.beginUpdate(m)
-	defer mu.Unlock()
-	m.st.BeginFASE()
-	ed := m.st.heap.BeginEdit()
-	shadow, removed := m.writable().WithEdit(ed).Delete(key)
-	ed.Seal()
-	if removed {
-		m.st.commitSingleLocked(m, []Version{shadow})
-	}
-	m.st.EndFASE()
+	var removed bool
+	m.st.update(m, func(s *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
+		next, r := funcds.MapAt(s.heap, cur).WithEdit(ed).Delete(key)
+		removed = r
+		if !r {
+			return cur // miss: nothing to publish
+		}
+		return next.Addr()
+	})
 	return removed
 }
 
@@ -221,10 +230,6 @@ func (m *Map) Range(f func(key, val []byte) bool) {
 	defer g.Exit()
 	m.latest().Range(f)
 }
-
-// writable returns the version a locked update builds its shadow on: the
-// one beginUpdate adopted under the root mutex.
-func (m *Map) writable() funcds.Map { return funcds.MapAt(m.st.heap, m.currentAddr()) }
 
 // Current returns the current committed version for composition.
 func (m *Map) Current() MapVersion { return m.latest() }
@@ -271,7 +276,6 @@ func (p *Parent) Set(field string) (*Set, error) {
 func (s *Set) Name() string { return s.name }
 
 func (s *Set) latest() funcds.Set     { return funcds.SetDSAt(s.st.heap, s.st.resolveForRead(s.loc)) }
-func (s *Set) writable() funcds.Set   { return funcds.SetDSAt(s.st.heap, s.currentAddr()) }
 func (s *Set) currentAddr() pmem.Addr { return pmem.Addr(s.cur.Load()) }
 func (s *Set) adopt(a pmem.Addr)      { s.cur.Store(uint64(a)) }
 func (s *Set) location() location     { return s.loc }
@@ -293,29 +297,26 @@ func (s *Set) Contains(key []byte) bool {
 
 // Insert failure-atomically adds key, reporting whether it already existed.
 func (s *Set) Insert(key []byte) bool {
-	mu := s.st.beginUpdate(s)
-	defer mu.Unlock()
-	s.st.BeginFASE()
-	ed := s.st.heap.BeginEdit()
-	shadow, existed := s.writable().WithEdit(ed).Insert(key)
-	ed.Seal()
-	s.st.commitSingleLocked(s, []Version{shadow})
-	s.st.EndFASE()
+	var existed bool
+	s.st.update(s, func(st *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
+		next, e := funcds.SetDSAt(st.heap, cur).WithEdit(ed).Insert(key)
+		existed = e
+		return next.Addr()
+	})
 	return existed
 }
 
 // Delete failure-atomically removes key, reporting whether it was present.
 func (s *Set) Delete(key []byte) bool {
-	mu := s.st.beginUpdate(s)
-	defer mu.Unlock()
-	s.st.BeginFASE()
-	ed := s.st.heap.BeginEdit()
-	shadow, removed := s.writable().WithEdit(ed).Delete(key)
-	ed.Seal()
-	if removed {
-		s.st.commitSingleLocked(s, []Version{shadow})
-	}
-	s.st.EndFASE()
+	var removed bool
+	s.st.update(s, func(st *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
+		next, r := funcds.SetDSAt(st.heap, cur).WithEdit(ed).Delete(key)
+		removed = r
+		if !r {
+			return cur
+		}
+		return next.Addr()
+	})
 	return removed
 }
 
@@ -373,11 +374,10 @@ func (v *Vector) Name() string { return v.name }
 func (v *Vector) latest() funcds.Vector {
 	return funcds.VectorAt(v.st.heap, v.st.resolveForRead(v.loc))
 }
-func (v *Vector) writable() funcds.Vector { return funcds.VectorAt(v.st.heap, v.currentAddr()) }
-func (v *Vector) currentAddr() pmem.Addr  { return pmem.Addr(v.cur.Load()) }
-func (v *Vector) adopt(a pmem.Addr)       { v.cur.Store(uint64(a)) }
-func (v *Vector) location() location      { return v.loc }
-func (v *Vector) store() *Store           { return v.st }
+func (v *Vector) currentAddr() pmem.Addr { return pmem.Addr(v.cur.Load()) }
+func (v *Vector) adopt(a pmem.Addr)      { v.cur.Store(uint64(a)) }
+func (v *Vector) location() location     { return v.loc }
+func (v *Vector) store() *Store          { return v.st }
 
 // Len returns the number of elements.
 func (v *Vector) Len() uint64 {
@@ -395,42 +395,31 @@ func (v *Vector) Get(i uint64) uint64 {
 
 // Push failure-atomically appends val (push_back).
 func (v *Vector) Push(val uint64) {
-	mu := v.st.beginUpdate(v)
-	defer mu.Unlock()
-	v.st.BeginFASE()
-	ed := v.st.heap.BeginEdit()
-	shadow := v.writable().WithEdit(ed).Push(val)
-	ed.Seal()
-	v.st.commitSingleLocked(v, []Version{shadow})
-	v.st.EndFASE()
+	v.st.update(v, func(s *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
+		return funcds.VectorAt(s.heap, cur).WithEdit(ed).Push(val).Addr()
+	})
 }
 
 // Update failure-atomically replaces element i with val.
 func (v *Vector) Update(i uint64, val uint64) {
-	mu := v.st.beginUpdate(v)
-	defer mu.Unlock()
-	v.st.BeginFASE()
-	ed := v.st.heap.BeginEdit()
-	shadow := v.writable().WithEdit(ed).Update(i, val)
-	ed.Seal()
-	v.st.commitSingleLocked(v, []Version{shadow})
-	v.st.EndFASE()
+	v.st.update(v, func(s *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
+		return funcds.VectorAt(s.heap, cur).WithEdit(ed).Update(i, val).Addr()
+	})
 }
 
 // Swap failure-atomically exchanges elements i and j: two pure updates on
 // successive shadows and one commit (Fig. 7b).
 func (v *Vector) Swap(i, j uint64) {
-	mu := v.st.beginUpdate(v)
-	defer mu.Unlock()
-	v.st.BeginFASE()
-	ed := v.st.heap.BeginEdit()
-	cur := v.writable().WithEdit(ed)
-	a, b := cur.Get(i), cur.Get(j)
-	s1 := cur.Update(i, b)
-	s2 := s1.Update(j, a) // mutates s1's owned nodes in place
-	ed.Seal()
-	v.st.commitSingleLocked(v, []Version{s1, s2})
-	v.st.EndFASE()
+	v.st.update(v, func(s *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
+		c := funcds.VectorAt(s.heap, cur).WithEdit(ed)
+		a, b := c.Get(i), c.Get(j)
+		s1 := c.Update(i, b)
+		s2 := s1.Update(j, a) // mutates s1's owned nodes in place
+		if s1.Addr() != s2.Addr() && s1.Addr() != cur {
+			s.heap.Release(s1.Addr()) // intermediate shadow off the edit run
+		}
+		return s2.Addr()
+	})
 }
 
 // Current returns the current committed version for composition.
@@ -478,7 +467,6 @@ func (p *Parent) Stack(field string) (*Stack, error) {
 func (s *Stack) Name() string { return s.name }
 
 func (s *Stack) latest() funcds.Stack   { return funcds.StackAt(s.st.heap, s.st.resolveForRead(s.loc)) }
-func (s *Stack) writable() funcds.Stack { return funcds.StackAt(s.st.heap, s.currentAddr()) }
 func (s *Stack) currentAddr() pmem.Addr { return pmem.Addr(s.cur.Load()) }
 func (s *Stack) adopt(a pmem.Addr)      { s.cur.Store(uint64(a)) }
 func (s *Stack) location() location     { return s.loc }
@@ -500,28 +488,25 @@ func (s *Stack) Peek() (uint64, bool) {
 
 // Push failure-atomically pushes val.
 func (s *Stack) Push(val uint64) {
-	mu := s.st.beginUpdate(s)
-	defer mu.Unlock()
-	s.st.BeginFASE()
-	ed := s.st.heap.BeginEdit()
-	shadow := s.writable().WithEdit(ed).Push(val)
-	ed.Seal()
-	s.st.commitSingleLocked(s, []Version{shadow})
-	s.st.EndFASE()
+	s.st.update(s, func(st *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
+		return funcds.StackAt(st.heap, cur).WithEdit(ed).Push(val).Addr()
+	})
 }
 
 // Pop failure-atomically removes and returns the top element.
 func (s *Stack) Pop() (uint64, bool) {
-	mu := s.st.beginUpdate(s)
-	defer mu.Unlock()
-	s.st.BeginFASE()
-	ed := s.st.heap.BeginEdit()
-	shadow, val, ok := s.writable().WithEdit(ed).Pop()
-	ed.Seal()
-	if ok {
-		s.st.commitSingleLocked(s, []Version{shadow})
-	}
-	s.st.EndFASE()
+	var (
+		val uint64
+		ok  bool
+	)
+	s.st.update(s, func(st *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
+		next, v, o := funcds.StackAt(st.heap, cur).WithEdit(ed).Pop()
+		val, ok = v, o
+		if !o {
+			return cur
+		}
+		return next.Addr()
+	})
 	return val, ok
 }
 
@@ -570,7 +555,6 @@ func (p *Parent) Queue(field string) (*Queue, error) {
 func (q *Queue) Name() string { return q.name }
 
 func (q *Queue) latest() funcds.Queue   { return funcds.QueueAt(q.st.heap, q.st.resolveForRead(q.loc)) }
-func (q *Queue) writable() funcds.Queue { return funcds.QueueAt(q.st.heap, q.currentAddr()) }
 func (q *Queue) currentAddr() pmem.Addr { return pmem.Addr(q.cur.Load()) }
 func (q *Queue) adopt(a pmem.Addr)      { q.cur.Store(uint64(a)) }
 func (q *Queue) location() location     { return q.loc }
@@ -592,28 +576,25 @@ func (q *Queue) Peek() (uint64, bool) {
 
 // Enqueue failure-atomically appends val at the tail.
 func (q *Queue) Enqueue(val uint64) {
-	mu := q.st.beginUpdate(q)
-	defer mu.Unlock()
-	q.st.BeginFASE()
-	ed := q.st.heap.BeginEdit()
-	shadow := q.writable().WithEdit(ed).Push(val)
-	ed.Seal()
-	q.st.commitSingleLocked(q, []Version{shadow})
-	q.st.EndFASE()
+	q.st.update(q, func(s *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
+		return funcds.QueueAt(s.heap, cur).WithEdit(ed).Push(val).Addr()
+	})
 }
 
 // Dequeue failure-atomically removes and returns the head element.
 func (q *Queue) Dequeue() (uint64, bool) {
-	mu := q.st.beginUpdate(q)
-	defer mu.Unlock()
-	q.st.BeginFASE()
-	ed := q.st.heap.BeginEdit()
-	shadow, val, ok := q.writable().WithEdit(ed).Pop()
-	ed.Seal()
-	if ok {
-		q.st.commitSingleLocked(q, []Version{shadow})
-	}
-	q.st.EndFASE()
+	var (
+		val uint64
+		ok  bool
+	)
+	q.st.update(q, func(s *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
+		next, v, o := funcds.QueueAt(s.heap, cur).WithEdit(ed).Pop()
+		val, ok = v, o
+		if !o {
+			return cur
+		}
+		return next.Addr()
+	})
 	return val, ok
 }
 

@@ -1,0 +1,367 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/mod-ds/mod/internal/alloc"
+	"github.com/mod-ds/mod/internal/pmem"
+)
+
+// Two-tier commit path for Basic-interface updates (DESIGN.md §12).
+//
+// Tier 1 — optimistic CAS publication. A writer snapshots the committed
+// root pointer without locking, builds its shadow version in its own
+// edit run, fences, and publishes with an 8-byte compare-and-swap on the
+// root cell. Writers on one root build their shadows in parallel; only
+// the CAS itself serializes. A loser retires its shadow chain through
+// the existing EBR and retries.
+//
+// Tier 2 — flat combining. A writer that keeps losing the CAS (or that
+// sees a combiner already active) enrolls its pending operation in the
+// root's combining queue. One writer elects itself combiner, drains the
+// queue, applies every pending op on one shared edit context against one
+// base version, and commits the merged version with a single flush+
+// sfence epoch — contention amortizes fences (fences/op = 1/B for a
+// B-op combine) instead of queueing them.
+//
+// Safety against the lock-based commit paths (Commit*, Batch, binds,
+// sharded manifests): those hold the root's mutex from base-version read
+// to publication, and the CAS here briefly takes the same mutex, so a
+// CAS can never land between a locked path's read and its SetRoot.
+//
+// Reclamation: a winner releases the version it replaced with
+// Heap.ReleaseDeferred — the decrement-and-cascade runs only after the
+// EBR grace period, because a concurrent optimistic builder may have
+// based its shadow on that version and still be retaining children out
+// of it. Losing shadow chains were never published and are released
+// eagerly.
+
+// rootOp applies one deferred Basic-interface update against a root's
+// then-current version inside the given edit context, returning the new
+// version's address (cur itself for a no-op). It must be replayable: a
+// CAS retry or a flat combiner may apply it several times, each time
+// against a fresh base; only the final application's captured results
+// survive. This is the same shape as batchOp.apply.
+type rootOp func(s *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr
+
+// addrVersion adapts a bare version address to the Version interface for
+// the locked commit path.
+type addrVersion pmem.Addr
+
+func (a addrVersion) Addr() pmem.Addr { return pmem.Addr(a) }
+
+// casAttempts is K, the number of optimistic publication attempts before
+// a writer enrolls in the root's flat-combining queue. Failed pre-checks
+// (root moved before the fence was paid) count as attempts.
+const casAttempts = 2
+
+// fcOp is one enrolled operation awaiting a combiner. Its Ticket resolves
+// once a combiner has applied and published the op.
+type fcOp struct {
+	ds     Datastructure
+	apply  rootOp
+	ticket *Ticket
+}
+
+// fcRoot is one root's flat-combining state.
+type fcRoot struct {
+	mu        sync.Mutex
+	pending   []*fcOp
+	combining atomic.Bool
+	busyUntil float64 // combiner sim-time watermark; guarded by combining ownership
+}
+
+// commitCounters tracks which tier commits take, for the fence-accounting
+// tests and the contention sweep's BENCH columns.
+type commitCounters struct {
+	fastWins       atomic.Uint64 // optimistic CAS publications
+	fastAborts     atomic.Uint64 // pre-fence aborts: root moved before the fence was paid
+	fastLosses     atomic.Uint64 // post-fence CAS failures
+	combines       atomic.Uint64 // combining rounds that published (or merged to a no-op)
+	combineRetries atomic.Uint64 // combining rounds that lost their CAS and re-applied
+	combinedOps    atomic.Uint64 // operations drained by combiners
+	lockedCommits  atomic.Uint64 // mutex-path Basic commits (baseline mode, parent-bound)
+}
+
+// CommitStats is a snapshot of the two-tier commit path's counters.
+type CommitStats struct {
+	// FastWins counts updates published by a first- or second-try CAS.
+	FastWins uint64
+	// FastAborts counts optimistic attempts abandoned before paying the
+	// commit fence because the root had already moved.
+	FastAborts uint64
+	// FastLosses counts optimistic attempts that paid the commit fence
+	// and then lost the CAS.
+	FastLosses uint64
+	// Combines counts flat-combining rounds that committed.
+	Combines uint64
+	// CombineRetries counts combining rounds that lost their publication
+	// CAS to a racing lock-path commit and re-applied.
+	CombineRetries uint64
+	// CombinedOps counts operations drained and applied by combiners;
+	// CombinedOps/Combines is the achieved fence amortization.
+	CombinedOps uint64
+	// LockedCommits counts Basic updates committed under the per-root
+	// mutex: every update in mutex-commit (baseline) mode, and all
+	// parent-bound updates.
+	LockedCommits uint64
+}
+
+// CommitStats returns a snapshot of the commit-tier counters, shared by
+// all handles of the store.
+func (s *Store) CommitStats() CommitStats {
+	c := &s.sh.cstats
+	return CommitStats{
+		FastWins:       c.fastWins.Load(),
+		FastAborts:     c.fastAborts.Load(),
+		FastLosses:     c.fastLosses.Load(),
+		Combines:       c.combines.Load(),
+		CombineRetries: c.combineRetries.Load(),
+		CombinedOps:    c.combinedOps.Load(),
+		LockedCommits:  c.lockedCommits.Load(),
+	}
+}
+
+// SetMutexCommit switches every Basic-interface update onto the legacy
+// per-root-mutex commit path (true) or the two-tier optimistic path
+// (false, the default). The mutex path is kept as the measurable
+// baseline for the contention sweep; both paths are linearizable.
+func (s *Store) SetMutexCommit(on bool) { s.sh.mutexCommit.Store(on) }
+
+// chargeSerial models a mutually exclusive critical section in simulated
+// time. Simulated clocks are per-goroutine and a Go mutex wait costs no
+// simulated nanoseconds, so back-to-back critical sections on different
+// handles would otherwise overlap in simulated time — a serialized
+// baseline would appear to scale. The caller (holding whatever real lock
+// protects until) advances its clock to the watermark left by the
+// previous holder, and the returned closure records its own exit time.
+func (s *Store) chargeSerial(until *float64) func() {
+	if now := s.dev.LocalNs(); now < *until {
+		s.dev.ChargeCompute(*until - now)
+	}
+	return func() {
+		if now := s.dev.LocalNs(); now > *until {
+			*until = now
+		}
+	}
+}
+
+// update routes one Basic-interface operation through the two-tier
+// commit path: optimistic CAS publication, then flat-combining fallback.
+// Parent-bound structures and mutex-commit (baseline) mode keep the
+// serialized locked path.
+func (s *Store) update(ds Datastructure, apply rootOp) {
+	loc := ds.location()
+	if loc.parent != nil || s.sh.mutexCommit.Load() {
+		s.updateLocked(ds, apply)
+		return
+	}
+	fc := &s.sh.fc[loc.slot]
+	for i := 0; i < casAttempts; i++ {
+		if fc.combining.Load() {
+			break // a combiner is active: join it instead of fighting the CAS
+		}
+		if s.tryOptimistic(loc.slot, ds, apply) {
+			return
+		}
+	}
+	s.enroll(fc, ds, apply)
+}
+
+// updateLocked is the legacy tier: lock the root, reload the committed
+// version, apply, commit. Kept for parent-bound structures (sibling
+// fields share one committed pointer, so per-field CAS would race the
+// parent shadow build) and as the contention baseline.
+func (s *Store) updateLocked(ds Datastructure, apply rootOp) {
+	loc := ds.location()
+	mu := s.lockFor(loc)
+	mu.Lock()
+	defer mu.Unlock()
+	wslot := loc.slot
+	if loc.parent != nil {
+		wslot = loc.parent.slot
+	}
+	defer s.chargeSerial(&s.sh.serial[wslot])()
+	cur := s.resolveLocked(loc)
+	ds.adopt(cur)
+	s.BeginFASE()
+	ed := s.heap.BeginEdit()
+	final := apply(s, ed, cur)
+	ed.Seal()
+	if final != cur {
+		if err := s.commitSingleLocked(ds, []Version{addrVersion(final)}); err != nil {
+			// The root is locked and the base was just reloaded: a stale
+			// base here is a bookkeeping bug, not a user race.
+			panic(err)
+		}
+		s.sh.cstats.lockedCommits.Add(1)
+	}
+	s.EndFASE()
+}
+
+// tryOptimistic is one tier-1 attempt: build the shadow against an
+// unlocked snapshot of the root, fence, CAS-publish. Returns false if
+// the attempt lost (shadow retired, caller retries or enrolls). The
+// epoch pin brackets the whole attempt, so the base version — even once
+// superseded and release-deferred by a winner — cannot be cascaded or
+// recycled while this builder still retains children out of it.
+func (s *Store) tryOptimistic(slot int, ds Datastructure, apply rootOp) bool {
+	g := s.heap.Enter()
+	defer g.Exit()
+	old := s.heap.Root(slot)
+	s.BeginFASE()
+	ed := s.heap.BeginEdit()
+	final := apply(s, ed, old)
+	ed.Seal()
+	if final == old {
+		s.EndFASE()
+		ds.adopt(old)
+		return true // no-op update: nothing to publish, no fence
+	}
+	if s.heap.Root(slot) != old {
+		// The root already moved: the CAS is doomed, so abort before
+		// paying the fence. Keeping doomed fences off the device is what
+		// holds fences/op at W>1 to the W=1 level.
+		s.EndFASE()
+		s.heap.Release(final)
+		s.sh.cstats.fastAborts.Add(1)
+		return false
+	}
+	crown := s.maybeCheckpoint(final)
+	s.commitBegin()
+	s.heap.Fence() // the FASE's single ordering point
+	s.clearCrown(crown)
+	won := s.casPublish(slot, old, final)
+	s.commitEnd()
+	s.EndFASE()
+	if !won {
+		s.heap.Release(final) // never published: eager retire is safe
+		s.sh.cstats.fastLosses.Add(1)
+		return false
+	}
+	s.sh.cstats.fastWins.Add(1)
+	s.heap.ReleaseDeferred(old)
+	ds.adopt(final)
+	return true
+}
+
+// casPublish performs the publication CAS under the root's commit mutex.
+// The lock is held only for the 8-byte compare-and-swap — shadow builds
+// stay lock-free — but it orders the CAS against lock-based commit paths
+// that hold the mutex from base read to SetRoot, so neither tier can
+// publish inside the other's read-to-publish window.
+func (s *Store) casPublish(slot int, old, final pmem.Addr) bool {
+	mu := &s.sh.rootMu[slot]
+	mu.Lock()
+	won := s.heap.CasRoot(slot, old, final)
+	mu.Unlock()
+	return won
+}
+
+// enroll is tier 2: queue the op on the root's flat-combining list, then
+// either become the combiner or wait for one to apply the op.
+func (s *Store) enroll(fc *fcRoot, ds Datastructure, apply rootOp) {
+	op := &fcOp{ds: ds, apply: apply, ticket: &Ticket{done: make(chan struct{})}}
+	fc.mu.Lock()
+	fc.pending = append(fc.pending, op)
+	fc.mu.Unlock()
+	for {
+		if op.ticket.Done() {
+			return
+		}
+		if fc.combining.CompareAndSwap(false, true) {
+			s.combine(fc)
+			fc.combining.Store(false)
+			if op.ticket.Done() {
+				return
+			}
+			continue // enqueued after the drain cut: combine again
+		}
+		runtime.Gosched()
+	}
+}
+
+// combine drains the pending queue and commits every drained op in one
+// merged publication. Exactly one goroutine runs combine per root at a
+// time (the combining flag); its simulated time is serialized through
+// the root's watermark so combining rounds never overlap in sim time.
+func (s *Store) combine(fc *fcRoot) {
+	fc.mu.Lock()
+	batch := fc.pending
+	fc.pending = nil
+	fc.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	defer s.chargeSerial(&fc.busyUntil)()
+	slot := batch[0].ds.location().slot
+	for !s.combineAttempt(slot, batch) {
+		s.sh.cstats.combineRetries.Add(1)
+	}
+	s.sh.cstats.combines.Add(1)
+	s.sh.cstats.combinedOps.Add(uint64(len(batch)))
+	for _, op := range batch {
+		close(op.ticket.done)
+	}
+}
+
+// combineAttempt applies every drained op against one base version on
+// one shared edit context and publishes the merged final with a single
+// flush+sfence epoch — the same fence amortization as a Batch, earned
+// from contention instead of from the caller batching explicitly. A lost
+// CAS (a racing lock-path commit; other optimistic writers are enrolled
+// here while combining is set) retires the merged chain and reports
+// false for a retry against the new base.
+func (s *Store) combineAttempt(slot int, batch []*fcOp) bool {
+	g := s.heap.Enter()
+	defer g.Exit()
+	old := s.heap.Root(slot)
+	s.BeginFASE()
+	ed := s.heap.BeginEdit()
+	cur := old
+	var intermediates []pmem.Addr
+	for _, op := range batch {
+		next := op.apply(s, ed, cur)
+		if next == cur {
+			continue // no-op, or in-place update on the edit-owned shadow
+		}
+		if cur != old {
+			intermediates = append(intermediates, cur)
+		}
+		cur = next
+	}
+	ed.Seal()
+	if cur == old {
+		// Every op merged to a no-op: nothing to publish, no fence.
+		s.EndFASE()
+		for _, op := range batch {
+			op.ds.adopt(old)
+		}
+		return true
+	}
+	crown := s.maybeCheckpoint(cur)
+	s.commitBegin()
+	s.heap.Fence() // one ordering point for the whole combined epoch
+	s.clearCrown(crown)
+	won := s.casPublish(slot, old, cur)
+	s.commitEnd()
+	s.EndFASE()
+	if !won {
+		for _, a := range intermediates {
+			s.heap.Release(a)
+		}
+		s.heap.Release(cur)
+		return false
+	}
+	for _, a := range intermediates {
+		s.heap.Release(a) // never published: eager retire is safe
+	}
+	s.heap.ReleaseDeferred(old)
+	s.dev.NoteBatch(len(batch))
+	for _, op := range batch {
+		op.ds.adopt(cur)
+	}
+	return true
+}

@@ -65,7 +65,10 @@ func (s *Store) Parent(name string, fields ...string) (*Parent, error) {
 	}
 	s.BeginFASE()
 	addr := newParentBlock(s.heap, make([]pmem.Addr, len(fields)))
-	s.commitRoot(slot, pmem.Nil, addr)
+	if err := s.commitRoot(slot, pmem.Nil, addr); err != nil {
+		s.EndFASE()
+		return nil, err
+	}
 	s.EndFASE()
 	p.adopt(addr)
 	return p, nil
@@ -119,7 +122,11 @@ func (p *Parent) fieldAddr(i int) pmem.Addr {
 
 // installField publishes a freshly created datastructure under field i via
 // a single-field CommitSiblings. Caller holds the parent's root mutex.
-func (p *Parent) installField(i int, addr pmem.Addr) {
+func (p *Parent) installField(i int, addr pmem.Addr) error {
+	old := p.Addr()
+	if err := p.s.checkCurrent(p.slot, old, "installField"); err != nil {
+		return err
+	}
 	newFields := make([]pmem.Addr, len(p.fields))
 	for j := range p.fields {
 		newFields[j] = p.fieldAddr(j)
@@ -131,14 +138,13 @@ func (p *Parent) installField(i int, addr pmem.Addr) {
 			p.s.heap.Retain(f)
 		}
 	}
-	old := p.Addr()
-	p.s.checkCurrent(p.slot, old, "installField")
 	p.s.commitBegin()
 	p.s.heap.Fence()
 	p.s.heap.SetRoot(p.slot, shadow)
 	p.s.commitEnd()
 	p.s.heap.Release(old)
 	p.adopt(shadow)
+	return nil
 }
 
 func walkParent(h *alloc.Heap, a pmem.Addr, visit func(pmem.Addr)) {

@@ -478,6 +478,31 @@ func (ss *ShardedStore) SetCommitterLinger(d time.Duration) {
 	}
 }
 
+// SetMutexCommit switches every shard's Basic-interface updates between
+// the legacy per-root-mutex commit path (true) and the two-tier
+// optimistic path (false, the default). See Store.SetMutexCommit.
+func (ss *ShardedStore) SetMutexCommit(on bool) {
+	for _, s := range ss.shards {
+		s.SetMutexCommit(on)
+	}
+}
+
+// CommitStats returns the commit-tier counters summed across shards.
+func (ss *ShardedStore) CommitStats() CommitStats {
+	var t CommitStats
+	for _, s := range ss.shards {
+		c := s.CommitStats()
+		t.FastWins += c.FastWins
+		t.FastAborts += c.FastAborts
+		t.FastLosses += c.FastLosses
+		t.Combines += c.Combines
+		t.CombineRetries += c.CombineRetries
+		t.CombinedOps += c.CombinedOps
+		t.LockedCommits += c.LockedCommits
+	}
+	return t
+}
+
 // Stats returns the aggregate device counters across every region
 // (shards plus metadata). Per-region breakdowns are available through
 // ShardStats and MetaStats; the aggregate is their exact counter-wise

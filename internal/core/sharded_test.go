@@ -238,9 +238,12 @@ func TestShardedStatsSumProperty(t *testing.T) {
 	// Independent cross-check against the known op mix since the
 	// baseline: 40 basic ops at 1 fence each + 1 single-shard batch
 	// (1 fence) + 1 cross-shard batch over 3 shards (2*3+3) + the final
-	// Sync (one fence per shard + one on the metadata region). A
-	// double-counted region would break this exact count.
-	sync := uint64(ss.ShardCount() + 1)
+	// Sync. Sync is two fences per shard here — Fence, then the Drain
+	// fence that frees the cascade-stamped deferred backlog every
+	// commit's superseded root left behind — plus one on the metadata
+	// region, whose heap has no deferred releases. A double-counted
+	// region would break this exact count.
+	sync := uint64(2*ss.ShardCount() + 1)
 	if d, want := agg.Sub(aggBase), 40+1+uint64(2*ss.ShardCount()+3)+sync; d.Fences != want {
 		t.Errorf("aggregate fence delta = %d, want %d", d.Fences, want)
 	}

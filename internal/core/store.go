@@ -26,13 +26,20 @@
 // handle with its own simulated clock for a worker goroutine. Committed
 // versions are immutable, which makes concurrency natural:
 //
-//   - Writers serialize per root: every commit takes the root's mutex
-//     (parent-bound structures take the parent's root mutex), so writers
-//     to different roots proceed in parallel. Basic-interface updates
-//     reload the current version under the lock, making them linearizable
-//     across handles and goroutines. Composition-interface users must
-//     keep a single logical writer per root between Pure* and Commit*;
-//     the commit step panics if it detects a stale base version.
+//   - Basic-interface writers publish optimistically (optimistic.go): an
+//     update snapshots the committed root pointer without locking, builds
+//     its shadow in its own edit run, fences, and CAS-publishes the root.
+//     A writer that keeps losing the CAS enrolls in a per-root flat-
+//     combining queue; one writer drains all pending ops on one edit and
+//     commits the merged version under a single fence. Updates remain
+//     linearizable across handles and goroutines, and same-root writers
+//     scale instead of queueing on a mutex. Composition-interface users
+//     must keep a single logical writer per root between Pure* and
+//     Commit*; the commit step returns ErrConcurrentWriter if it detects
+//     a stale base version. Lock-based paths (Commit*, Batch, binds)
+//     still serialize on per-root mutexes, which the optimistic paths'
+//     publication CAS also briefly takes, so the two tiers interleave
+//     safely.
 //
 //   - Readers never take root mutexes. Snapshot() pins a reclamation
 //     epoch (alloc/epoch.go), atomically reads the root pointer, and
@@ -64,13 +71,21 @@ const commitLogRoot = "__mod_commitlog"
 // storeShared is the state common to all handles of one store: one commit
 // mutex per root slot, the transaction/batch-record lock shared by
 // CommitUnrelated and multi-root group commits, the background
-// group committer (batch.go), and the closed flag every handle observes.
+// group committer (batch.go), the per-root flat-combining state and
+// commit-path counters (optimistic.go), and the closed flag every handle
+// observes.
 type storeShared struct {
 	rootMu   [alloc.RootSlots]sync.Mutex
 	txMu     sync.Mutex
 	batchSeq uint64 // last batch-record sequence number; guarded by txMu
 	com      committer
 	closed   atomic.Bool
+
+	// Two-tier Basic-interface commit path (optimistic.go).
+	fc          [alloc.RootSlots]fcRoot
+	serial      [alloc.RootSlots]float64 // mutex-path sim-time watermark; guarded by rootMu
+	mutexCommit atomic.Bool              // force the legacy mutex path (baseline mode)
+	cstats      commitCounters
 }
 
 // Store is a handle onto a persistent heap hosting MOD datastructures,
@@ -285,6 +300,9 @@ func (s *Store) Sync() {
 		t.Wait()
 	}
 	s.heap.Fence()
+	// Fence reclaims deferred releases incrementally; Sync is the
+	// "everything reclaimable is reclaimed" point, so drain the rest.
+	s.heap.Drain()
 }
 
 // lockFor returns the commit mutex guarding a datastructure location:
@@ -317,18 +335,6 @@ func (s *Store) resolveForRead(loc location) pmem.Addr {
 		return pmem.Addr(s.dev.ReadU64(paddr + 8 + pmem.Addr(loc.slot*8)))
 	}
 	return s.heap.Root(loc.slot)
-}
-
-// beginUpdate locks a datastructure's commit mutex and reloads its
-// current version from PM, so the update builds on the latest committed
-// state even when other goroutines write through their own handles. The
-// caller must unlock the returned mutex when the FASE completes.
-func (s *Store) beginUpdate(ds Datastructure) *sync.Mutex {
-	loc := ds.location()
-	mu := s.lockFor(loc)
-	mu.Lock()
-	ds.adopt(s.resolveLocked(loc))
-	return mu
 }
 
 // BeginFASE marks the start of a failure-atomic section for trace-based
@@ -391,14 +397,16 @@ type location struct {
 	slot   int // root slot index, or parent field index
 }
 
-// checkCurrent panics if the committed pointer in PM does not match the
-// version a commit is about to replace — the signature of two logical
-// writers racing on one root without coordination (the Composition
-// interface requires one writer per root between Pure* and Commit*).
-func (s *Store) checkCurrent(slot int, old pmem.Addr, what string) {
+// checkCurrent returns ErrConcurrentWriter (wrapped with context) if the
+// committed pointer in PM does not match the version a commit is about
+// to replace — the signature of two logical writers racing on one root
+// without coordination (the Composition interface requires one writer
+// per root between Pure* and Commit*).
+func (s *Store) checkCurrent(slot int, old pmem.Addr, what string) error {
 	if cur := s.heap.Root(slot); cur != old {
-		panic(fmt.Sprintf("core: %s: base version %#x is stale (committed is %#x); one writer per root required between Pure* and Commit*", what, uint64(old), uint64(cur)))
+		return fmt.Errorf("core: %s: base version %#x is stale (committed is %#x); one writer per root required between Pure* and Commit*: %w", what, uint64(old), uint64(cur), ErrConcurrentWriter)
 	}
+	return nil
 }
 
 // commitRoot is the common-case CommitSingle step (Fig. 8b): one fence to
@@ -407,16 +415,21 @@ func (s *Store) checkCurrent(slot int, old pmem.Addr, what string) {
 // A selective structure whose record chain has grown past the checkpoint
 // threshold folds the chain into a fresh checkpoint here, adding a second
 // fence for that rare commit (DESIGN.md §10). Caller holds the root's
-// commit mutex.
-func (s *Store) commitRoot(slot int, old, final pmem.Addr) {
-	s.checkCurrent(slot, old, "commit")
+// commit mutex. The old version's release is deferred past the epoch
+// grace period: an optimistic writer may have based its shadow on it
+// lock-free and still be retaining children out of it (DESIGN.md §12).
+func (s *Store) commitRoot(slot int, old, final pmem.Addr) error {
+	if err := s.checkCurrent(slot, old, "commit"); err != nil {
+		return err
+	}
 	crown := s.maybeCheckpoint(final)
 	s.commitBegin()
 	s.heap.Fence() // the FASE's single ordering point; reclaims retired blocks
 	s.clearCrown(crown)
 	s.heap.SetRoot(slot, final)
 	s.commitEnd()
-	s.heap.Release(old)
+	s.heap.ReleaseDeferred(old)
+	return nil
 }
 
 // maybeCheckpoint folds a selective structure's record chain into a fresh
@@ -483,31 +496,37 @@ func rebuildSelectiveRoots(heap *alloc.Heap) (uint64, error) {
 // CommitSingle atomically replaces ds's current version with the last
 // shadow in the chain, reclaiming the original and all intermediate
 // shadows (Fig. 7a/b, Fig. 8b). The datastructure must be root-bound;
-// parent-bound structures commit through CommitSiblings.
-func (s *Store) CommitSingle(ds Datastructure, shadows ...Version) {
+// parent-bound structures commit through CommitSiblings. Returns
+// ErrConcurrentWriter (and publishes nothing) if ds's base version is no
+// longer the committed one — two uncoordinated writers raced on the
+// root; the caller should rebuild from Current and retry.
+func (s *Store) CommitSingle(ds Datastructure, shadows ...Version) error {
 	if len(shadows) == 0 {
-		return
+		return nil
 	}
 	loc := ds.location()
 	mu := s.lockFor(loc)
 	mu.Lock()
 	defer mu.Unlock()
-	s.commitSingleLocked(ds, shadows)
+	return s.commitSingleLocked(ds, shadows)
 }
 
 // commitSingleLocked is CommitSingle with the location's commit mutex
-// already held (the Basic interface acquires it before building shadows).
-func (s *Store) commitSingleLocked(ds Datastructure, shadows []Version) {
+// already held (the locked Basic path acquires it before building
+// shadows).
+func (s *Store) commitSingleLocked(ds Datastructure, shadows []Version) error {
 	loc := ds.location()
 	if loc.parent != nil {
-		s.commitSiblingsLocked(loc.parent, []Update{{DS: ds, Shadows: shadows}})
-		return
+		return s.commitSiblingsLocked(loc.parent, []Update{{DS: ds, Shadows: shadows}})
 	}
 	old := ds.currentAddr()
 	final := shadows[len(shadows)-1].Addr()
-	s.commitRoot(loc.slot, old, final)
+	if err := s.commitRoot(loc.slot, old, final); err != nil {
+		return err
+	}
 	s.releaseIntermediates(shadows, final)
 	ds.adopt(final)
+	return nil
 }
 
 // releaseIntermediates retires the non-final shadows of a chain. Under an
@@ -545,18 +564,19 @@ func (u Update) final() pmem.Addr { return u.Shadows[len(u.Shadows)-1].Addr() }
 // fields of one parent object (Fig. 8c): a shadow of the parent pointing
 // at the new versions is built and flushed, one fence orders everything,
 // and the parent's root pointer is swapped. Reclaiming the old parent
-// cascades to the replaced versions.
-func (s *Store) CommitSiblings(p *Parent, updates ...Update) {
+// cascades to the replaced versions. Returns ErrConcurrentWriter (and
+// publishes nothing) if the parent moved under the caller.
+func (s *Store) CommitSiblings(p *Parent, updates ...Update) error {
 	if len(updates) == 0 {
-		return
+		return nil
 	}
 	mu := &s.sh.rootMu[p.slot]
 	mu.Lock()
 	defer mu.Unlock()
-	s.commitSiblingsLocked(p, updates)
+	return s.commitSiblingsLocked(p, updates)
 }
 
-func (s *Store) commitSiblingsLocked(p *Parent, updates []Update) {
+func (s *Store) commitSiblingsLocked(p *Parent, updates []Update) error {
 	newFields := make([]pmem.Addr, len(p.fields))
 	changed := make([]bool, len(p.fields))
 	for i := range p.fields {
@@ -573,6 +593,10 @@ func (s *Store) commitSiblingsLocked(p *Parent, updates []Update) {
 		newFields[loc.slot] = u.final()
 		changed[loc.slot] = true
 	}
+	oldParent := p.Addr()
+	if err := s.checkCurrent(p.slot, oldParent, "CommitSiblings"); err != nil {
+		return err
+	}
 	// Build and flush the parent shadow; unchanged fields gain a parent.
 	shadow := newParentBlock(s.heap, newFields)
 	for i, f := range newFields {
@@ -580,12 +604,13 @@ func (s *Store) commitSiblingsLocked(p *Parent, updates []Update) {
 			s.heap.Retain(f)
 		}
 	}
-	oldParent := p.Addr()
-	s.checkCurrent(p.slot, oldParent, "CommitSiblings")
 	s.commitBegin()
 	s.heap.Fence()
 	s.heap.SetRoot(p.slot, shadow)
 	s.commitEnd()
+	// Parent roots never take the optimistic commit path (parent-bound
+	// updates stay mutex-serialized), so no lock-free builder can be
+	// retaining out of the old parent: the eager cascade is safe here.
 	s.heap.Release(oldParent) // cascades into replaced field versions
 	for _, u := range updates {
 		s.releaseIntermediates(u.Shadows, u.final())
@@ -594,6 +619,7 @@ func (s *Store) commitSiblingsLocked(p *Parent, updates []Update) {
 	for _, u := range updates {
 		u.DS.adopt(u.final())
 	}
+	return nil
 }
 
 // CommitUnrelated atomically installs updates to multiple unrelated
@@ -602,10 +628,11 @@ func (s *Store) commitSiblingsLocked(p *Parent, updates []Update) {
 // This is the uncommon case and carries the transaction's extra ordering
 // points. The commit locks every target root (in slot order, so
 // overlapping multi-root commits cannot deadlock) plus the shared
-// transaction log.
-func (s *Store) CommitUnrelated(updates ...Update) {
+// transaction log. Returns ErrConcurrentWriter (and publishes nothing)
+// if any update's base version is stale.
+func (s *Store) CommitUnrelated(updates ...Update) error {
 	if len(updates) == 0 {
-		return
+		return nil
 	}
 	slots := make([]int, 0, len(updates))
 	for _, u := range updates {
@@ -628,7 +655,9 @@ func (s *Store) CommitUnrelated(updates ...Update) {
 		}
 	}()
 	for _, u := range updates {
-		s.checkCurrent(u.DS.location().slot, u.DS.currentAddr(), "CommitUnrelated")
+		if err := s.checkCurrent(u.DS.location().slot, u.DS.currentAddr(), "CommitUnrelated"); err != nil {
+			return err
+		}
 	}
 	var crown []pmem.Addr
 	for _, u := range updates {
@@ -650,10 +679,13 @@ func (s *Store) CommitUnrelated(updates ...Update) {
 	s.tx.Commit()
 	s.commitEnd()
 	for _, u := range updates {
-		s.heap.Release(u.DS.currentAddr())
+		// Root-bound versions may have lock-free builders based on them:
+		// defer the replaced versions' cascades past the epoch grace.
+		s.heap.ReleaseDeferred(u.DS.currentAddr())
 		s.releaseIntermediates(u.Shadows, u.final())
 	}
 	for _, u := range updates {
 		u.DS.adopt(u.final())
 	}
+	return nil
 }

@@ -1,0 +1,371 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/mod-ds/mod/internal/alloc"
+	"github.com/mod-ds/mod/internal/funcds"
+	"github.com/mod-ds/mod/internal/pmem"
+)
+
+// Tests for the two-tier commit path (optimistic.go): the typed
+// concurrent-writer error, race-detector coverage of mixed Basic/Batch
+// traffic on one root with exact fence accounting, and a crash-matrix
+// sweep over both commit tiers' publication windows.
+
+// TestErrConcurrentWriterTyped pins the Composition-interface contract:
+// a commit whose base version went stale returns a wrapped
+// ErrConcurrentWriter (errors.Is-able, not a panic), publishes nothing,
+// and a rebound handle can rebuild and retry successfully.
+func TestErrConcurrentWriterTyped(t *testing.T) {
+	s := newTestStore(t)
+	m, err := s.Map("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Set([]byte("k0"), []byte("v0"))
+
+	s.BeginFASE()
+	shadow, _ := m.PureSet([]byte("stale"), []byte("never-committed"))
+
+	// A second logical writer moves the root between Pure* and Commit*.
+	other := s.Fork()
+	om, err := other.Map("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	om.Set([]byte("intruder"), []byte("vi"))
+
+	err = s.CommitSingle(m, shadow)
+	s.EndFASE()
+	if err == nil {
+		t.Fatal("CommitSingle with a stale base succeeded, want ErrConcurrentWriter")
+	}
+	if !errors.Is(err, ErrConcurrentWriter) {
+		t.Fatalf("errors.Is(err, ErrConcurrentWriter) = false for %v", err)
+	}
+	if _, ok := m.Get([]byte("stale")); ok {
+		t.Fatal("failed commit leaked its shadow into the committed state")
+	}
+	if _, ok := m.Get([]byte("intruder")); !ok {
+		t.Fatal("interfering writer's committed update lost")
+	}
+
+	// Recovery recipe from the error docs: rebind (adopting the current
+	// committed version), rebuild the shadow, retry.
+	m2, err := s.Map("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.BeginFASE()
+	shadow2, _ := m2.PureSet([]byte("stale"), []byte("retried"))
+	if err := s.CommitSingle(m2, shadow2); err != nil {
+		t.Fatalf("retry after rebind failed: %v", err)
+	}
+	s.EndFASE()
+	if got, ok := m2.Get([]byte("stale")); !ok || string(got) != "retried" {
+		t.Fatalf("retried commit not visible: %q, %v", got, ok)
+	}
+}
+
+func subCommitStats(a, b CommitStats) CommitStats {
+	return CommitStats{
+		FastWins:       a.FastWins - b.FastWins,
+		FastAborts:     a.FastAborts - b.FastAborts,
+		FastLosses:     a.FastLosses - b.FastLosses,
+		Combines:       a.Combines - b.Combines,
+		CombineRetries: a.CombineRetries - b.CombineRetries,
+		CombinedOps:    a.CombinedOps - b.CombinedOps,
+		LockedCommits:  a.LockedCommits - b.LockedCommits,
+	}
+}
+
+// TestConcurrentRootHammerFenceAccounting drives G goroutines at ONE
+// shared map root through both write interfaces at once — Basic Sets
+// (two-tier commit path) interleaved with explicit Batches (locked
+// group-commit path) — and checks, exactly:
+//
+//   - no update is lost: every key written by any goroutine is present
+//     with its last-written value (keys are per-goroutine, so last
+//     writer is well defined);
+//   - every Basic op committed through exactly one tier:
+//     FastWins + CombinedOps + LockedCommits == total Basic ops;
+//   - the device fence count equals the sum of paid-for ordering
+//     points: one per CAS win, one per post-fence CAS loss, one per
+//     combining round (a combined commit fences ONCE for all its ops),
+//     one per lost-and-retried combining round, one per locked commit,
+//     and one per batch. Pre-fence aborts are free by construction.
+//
+// Run under -race this is also the data-race certificate for the
+// lock-free publication path.
+func TestConcurrentRootHammerFenceAccounting(t *testing.T) {
+	const (
+		G  = 8  // goroutines
+		M  = 40 // Basic Sets per goroutine
+		B  = 6  // batches per goroutine
+		BO = 4  // ops per batch
+	)
+	s := newTestStore(t)
+	m, err := s.Map("hammer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Sync()
+	dev := s.Device()
+	statsBase := dev.Stats()
+	commitBase := s.CommitStats()
+
+	bkey := func(g, i int) []byte { return []byte(fmt.Sprintf("g%02d-basic-%04d", g, i)) }
+	bval := func(g, i int) []byte { return []byte(fmt.Sprintf("bv-%02d-%04d", g, i)) }
+	tkey := func(g, b, j int) []byte { return []byte(fmt.Sprintf("g%02d-batch-%02d-%02d", g, b, j)) }
+	tval := func(g, b, j int) []byte { return []byte(fmt.Sprintf("tv-%02d-%02d-%02d", g, b, j)) }
+
+	var wg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			st := s.Fork()
+			hm, err := st.Map("hammer")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < M; i++ {
+				hm.Set(bkey(g, i), bval(g, i))
+				// Overwrite the same key once in three to exercise
+				// last-writer-wins on replacement, not just insertion.
+				if i%3 == 0 {
+					hm.Set(bkey(g, i), bval(g, i+1000))
+				}
+			}
+			for b := 0; b < B; b++ {
+				bt := st.NewBatch()
+				for j := 0; j < BO; j++ {
+					bt.MapSet(hm, tkey(g, b, j), tval(g, b, j))
+				}
+				bt.Commit()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	delta := dev.Stats().Sub(statsBase)
+	cs := subCommitStats(s.CommitStats(), commitBase)
+	basicOps := uint64(G * (M + M/3 + 1)) // +1: i=0,3,...,39 is 14 overwrites per goroutine
+	// Recompute exactly rather than trusting the comment arithmetic.
+	basicOps = 0
+	for i := 0; i < M; i++ {
+		basicOps++
+		if i%3 == 0 {
+			basicOps++
+		}
+	}
+	basicOps *= G
+
+	if got := cs.FastWins + cs.CombinedOps + cs.LockedCommits; got != basicOps {
+		t.Fatalf("commit tiers account for %d Basic ops (wins %d + combined %d + locked %d), want %d",
+			got, cs.FastWins, cs.CombinedOps, cs.LockedCommits, basicOps)
+	}
+	wantFences := cs.FastWins + cs.FastLosses + cs.Combines + cs.CombineRetries +
+		cs.LockedCommits + uint64(G*B)
+	if delta.Fences != wantFences {
+		t.Fatalf("device fences = %d, want %d (wins %d + losses %d + combines %d + combine-retries %d + locked %d + batches %d); aborts %d should be fence-free",
+			delta.Fences, wantFences, cs.FastWins, cs.FastLosses, cs.Combines,
+			cs.CombineRetries, cs.LockedCommits, G*B, cs.FastAborts)
+	}
+
+	for g := 0; g < G; g++ {
+		for i := 0; i < M; i++ {
+			want := bval(g, i)
+			if i%3 == 0 {
+				want = bval(g, i+1000)
+			}
+			if got, ok := m.Get(bkey(g, i)); !ok || string(got) != string(want) {
+				t.Fatalf("g%d basic key %d: got %q, %v; want %q", g, i, got, ok, want)
+			}
+		}
+		for b := 0; b < B; b++ {
+			for j := 0; j < BO; j++ {
+				if got, ok := m.Get(tkey(g, b, j)); !ok || string(got) != string(tval(g, b, j)) {
+					t.Fatalf("g%d batch %d op %d: got %q, %v", g, b, j, got, ok)
+				}
+			}
+		}
+	}
+	s.Sync()
+}
+
+// ---------------------------------------------------------------------
+// Crash matrix over the two commit tiers.
+
+func tierKey(i int) []byte { return []byte(fmt.Sprintf("tier-%03d", i)) }
+func tierVal(i int) []byte { return []byte(fmt.Sprintf("val-%03d", i)) }
+
+func tierDump(m *Map) string {
+	var out []string
+	m.Range(func(k, v []byte) bool {
+		out = append(out, string(k)+"="+string(v))
+		return true
+	})
+	sort.Strings(out)
+	return strings.Join(out, ",")
+}
+
+// tierBuild opens a fresh store with mxPrefix committed entries, synced
+// so a tracer installed afterwards indexes only the probed window.
+func tierBuild(t *testing.T) (*pmem.Device, *Store, *Map) {
+	t.Helper()
+	cfg := pmem.DefaultConfig(4 << 20)
+	cfg.TrackDurable = true
+	dev := pmem.New(cfg)
+	s, err := NewStore(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Map("tier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < mxPrefix; i++ {
+		m.Set(tierKey(i), tierVal(i))
+	}
+	s.Sync()
+	return dev, s, m
+}
+
+// probeFast replays the window as mxProbe Basic Sets — uncontended, so
+// every one publishes through the tier-1 optimistic CAS.
+func probeFast(s *Store, m *Map) {
+	for i := 0; i < mxProbe; i++ {
+		m.Set(tierKey(mxPrefix+i), tierVal(mxPrefix+i))
+	}
+}
+
+// probeCombined replays the window as one flat-combining round: mxProbe
+// ops enrolled in the root's queue and drained by a single combiner, so
+// all of them publish atomically under tier 2's single fence.
+func probeCombined(t *testing.T, s *Store, m *Map) {
+	t.Helper()
+	fc := &s.sh.fc[m.loc.slot]
+	var ops []*fcOp
+	for i := 0; i < mxProbe; i++ {
+		k, v := tierKey(mxPrefix+i), tierVal(mxPrefix+i)
+		ops = append(ops, &fcOp{
+			ds: m,
+			apply: func(st *Store, ed *alloc.Edit, cur pmem.Addr) pmem.Addr {
+				next, _ := funcds.MapAt(st.heap, cur).WithEdit(ed).Set(k, v)
+				return next.Addr()
+			},
+			ticket: &Ticket{done: make(chan struct{})},
+		})
+	}
+	fc.mu.Lock()
+	fc.pending = append(fc.pending, ops...)
+	fc.mu.Unlock()
+	if !fc.combining.CompareAndSwap(false, true) {
+		t.Fatal("combining flag already set on a fresh store")
+	}
+	s.combine(fc)
+	fc.combining.Store(false)
+	for _, op := range ops {
+		if !op.ticket.Done() {
+			t.Fatal("combine returned with an unresolved ticket")
+		}
+	}
+}
+
+// TestCrashMatrixCommitTiers injects a crash at every PM-write index
+// inside both commit tiers' publication windows and asserts recovery
+// lands on a committed prefix. The fast-path rows may recover any
+// per-op prefix of the window; the combined rows are all-or-nothing —
+// one CAS publishes the whole merged version, so nothing between the
+// old state and all mxProbe ops may ever be visible.
+func TestCrashMatrixCommitTiers(t *testing.T) {
+	tiers := []struct {
+		name    string
+		probe   func(t *testing.T, s *Store, m *Map)
+		allowed func(prefixDump string, opDumps []string) map[string]bool
+	}{
+		{
+			name:  "fastpath",
+			probe: func(t *testing.T, s *Store, m *Map) { probeFast(s, m) },
+			allowed: func(prefixDump string, opDumps []string) map[string]bool {
+				ok := map[string]bool{prefixDump: true}
+				for _, d := range opDumps {
+					ok[d] = true
+				}
+				return ok
+			},
+		},
+		{
+			name:  "combined",
+			probe: probeCombined,
+			allowed: func(prefixDump string, opDumps []string) map[string]bool {
+				return map[string]bool{
+					prefixDump:              true,
+					opDumps[len(opDumps)-1]: true,
+				}
+			},
+		},
+	}
+	for _, tier := range tiers {
+		t.Run(tier.name, func(t *testing.T) {
+			// Dry run: count the window's PM writes and collect the
+			// committed state after each op for the allowed set.
+			dev, s, m := tierBuild(t)
+			prefixDump := tierDump(m)
+			var opDumps []string
+			{
+				// Per-op dumps come from a fast-path replay; the combined
+				// tier reuses only the final one (all-or-nothing).
+				_, s2, m2 := tierBuild(t)
+				for i := 0; i < mxProbe; i++ {
+					m2.Set(tierKey(mxPrefix+i), tierVal(mxPrefix+i))
+					opDumps = append(opDumps, tierDump(m2))
+				}
+				_ = s2
+			}
+			writesBase := dev.Stats().Writes
+			tier.probe(t, s, m)
+			total := int(dev.Stats().Writes - writesBase)
+			if total == 0 {
+				t.Fatal("probe produced no PM writes")
+			}
+			allowed := tier.allowed(prefixDump, opDumps)
+
+			for inj := 1; inj <= total; inj += mxInjectionStride() {
+				dev, s, m := tierBuild(t)
+				tr := pmem.NewCrashCountdown(dev, inj, pmem.CrashEvictRandom, 0xBEEF^uint64(inj))
+				dev.SetTracer(tr)
+				tier.probe(t, s, m)
+				dev.SetTracer(nil)
+
+				dev2 := pmem.NewFromImage(pmem.DefaultConfig(4<<20), tr.Image())
+				s2, _, err := OpenStore(dev2)
+				if err != nil {
+					t.Fatalf("inj %d: recovery: %v", inj, err)
+				}
+				m2, err := s2.Map("tier")
+				if err != nil {
+					t.Fatalf("inj %d: rebind: %v", inj, err)
+				}
+				got := tierDump(m2)
+				if !allowed[got] {
+					t.Fatalf("inj %d/%d: recovered state is not a committed prefix:\n  got %q", inj, total, got)
+				}
+				// The recovered store must keep accepting both tiers.
+				m2.Set([]byte("post"), []byte("ok"))
+				if v, ok := m2.Get([]byte("post")); !ok || string(v) != "ok" {
+					t.Fatalf("inj %d: recovered store lost a post-crash write", inj)
+				}
+				s2.Sync()
+			}
+		})
+	}
+}

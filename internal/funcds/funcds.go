@@ -15,6 +15,14 @@
 // Reference counts on reused children are maintained through the heap; the
 // returned version owns one reference to its new root, which the caller
 // releases when the version is discarded or superseded.
+//
+// Purity also makes every update replayable: applying the same operation
+// again against a different base version yields an equivalent new version
+// with no side effects beyond its own allocations. Package core's
+// optimistic commit path depends on this — a writer that loses its
+// publication CAS retires the losing shadow chain and re-applies the
+// operation against the new committed base, and a flat combiner may apply
+// an enrolled operation against a base the submitter never saw.
 package funcds
 
 import (

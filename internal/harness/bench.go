@@ -18,8 +18,10 @@ import (
 // the sharded sweep (shards × writers, per-op and cross-shard rows);
 // version 5 added the selective-persistence sweep and the recovery-time
 // rows; version 6 added the server sweep (durability-acked ops over
-// concurrent connections, presence-tracked but not value-gated).
-const BenchSchema = 6
+// concurrent connections, presence-tracked but not value-gated);
+// version 7 added the contention sweep (same-root writers under the
+// per-root-mutex baseline vs the two-tier CAS/flat-combining path).
+const BenchSchema = 7
 
 // BenchWorkload is one workload × engine measurement: the Table 2 suite
 // run single-threaded, so every field is deterministic for a given
@@ -163,6 +165,33 @@ type BenchServer struct {
 	FencesPerOp float64 `json:"fences_per_op"`
 }
 
+// BenchContention is one writer count of the same-root contention sweep,
+// carrying both commit modes (DESIGN.md §12). The mutex columns are
+// deterministic (the baseline serializes, so real scheduling cannot
+// change its simulated critical path) and benchdiff gates them against
+// the baseline report. The cas columns depend on how the Go scheduler
+// actually interleaves the writers — CAS losses and combining rounds
+// only happen when goroutines really overlap — so benchdiff gates them
+// with absolute floors instead of baseline ratios: speedup at W>=8 must
+// stay at or above 2x, and cas fences/op must not exceed the W=1 level
+// beyond tolerance.
+type BenchContention struct {
+	Writers          int     `json:"writers"`
+	Ops              int     `json:"ops"`
+	MutexElapsedNs   float64 `json:"mutex_elapsed_ns"`
+	MutexOpsPerSec   float64 `json:"mutex_ops_per_sec"`
+	MutexFencesPerOp float64 `json:"mutex_fences_per_op"`
+	CasElapsedNs     float64 `json:"cas_elapsed_ns"`
+	CasOpsPerSec     float64 `json:"cas_ops_per_sec"`
+	CasFencesPerOp   float64 `json:"cas_fences_per_op"`
+	Speedup          float64 `json:"speedup"` // cas ops/sec over mutex ops/sec
+	FastWins         uint64  `json:"fast_wins"`
+	FastAborts       uint64  `json:"fast_aborts"`
+	FastLosses       uint64  `json:"fast_losses"`
+	Combines         uint64  `json:"combines"`
+	CombinedOps      uint64  `json:"combined_ops"`
+}
+
 // BenchDoc is the BENCH.json document.
 type BenchDoc struct {
 	Schema      int                `json:"schema"`
@@ -176,6 +205,7 @@ type BenchDoc struct {
 	Selective   []BenchSelective   `json:"selective,omitempty"`
 	Recovery    []BenchRecovery    `json:"recovery,omitempty"`
 	Server      []BenchServer      `json:"server,omitempty"`
+	Contention  []BenchContention  `json:"contention,omitempty"`
 }
 
 // BuildBenchDoc runs the Table 2 workload suite on every engine, the
@@ -321,6 +351,36 @@ func BuildBenchDoc(scaleName string, scale Scale) (*BenchDoc, error) {
 			OpsPerSec:   res.Throughput,
 			Fences:      res.Fences,
 			FencesPerOp: res.FencesPerOp,
+		})
+	}
+	for _, w := range ContentionWriterCounts {
+		mres, err := workloads.RunContention(ContentionBenchConfig(scale, w, true))
+		if err != nil {
+			return nil, fmt.Errorf("bench contention w=%d mutex: %w", w, err)
+		}
+		cres, err := workloads.RunContention(ContentionBenchConfig(scale, w, false))
+		if err != nil {
+			return nil, fmt.Errorf("bench contention w=%d cas: %w", w, err)
+		}
+		speedup := 0.0
+		if mres.OpsPerSec > 0 {
+			speedup = cres.OpsPerSec / mres.OpsPerSec
+		}
+		doc.Contention = append(doc.Contention, BenchContention{
+			Writers:          w,
+			Ops:              cres.Ops,
+			MutexElapsedNs:   mres.ElapsedNs,
+			MutexOpsPerSec:   mres.OpsPerSec,
+			MutexFencesPerOp: mres.FencesPerOp,
+			CasElapsedNs:     cres.ElapsedNs,
+			CasOpsPerSec:     cres.OpsPerSec,
+			CasFencesPerOp:   cres.FencesPerOp,
+			Speedup:          speedup,
+			FastWins:         cres.Commit.FastWins,
+			FastAborts:       cres.Commit.FastAborts,
+			FastLosses:       cres.Commit.FastLosses,
+			Combines:         cres.Commit.Combines,
+			CombinedOps:      cres.Commit.CombinedOps,
 		})
 	}
 	for _, shards := range GroupCommitShardCounts {
@@ -500,6 +560,39 @@ func CompareBenchDocs(base, cur *BenchDoc, tol float64) []string {
 		}
 	}
 
+	// Contention rows: the mutex baseline columns are deterministic and
+	// gate against the baseline report; the cas columns depend on real
+	// goroutine interleaving, so they gate against absolute floors — the
+	// acceptance bar itself — rather than run-to-run ratios.
+	curCt := make(map[int]BenchContention, len(cur.Contention))
+	for _, c := range cur.Contention {
+		curCt[c.Writers] = c
+	}
+	for _, b := range base.Contention {
+		key := fmt.Sprintf("contention/w%d", b.Writers)
+		c, ok := curCt[b.Writers]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: row missing from current report", key))
+			continue
+		}
+		worse("mutex ops/sec", key, b.MutexOpsPerSec, c.MutexOpsPerSec, false)
+		worse("mutex fences/op", key, b.MutexFencesPerOp, c.MutexFencesPerOp, true)
+	}
+	if w1, ok := curCt[1]; ok {
+		for _, c := range cur.Contention {
+			key := fmt.Sprintf("contention/w%d", c.Writers)
+			if c.Writers >= 8 && c.Speedup < 2 {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: speedup %.2fx below the 2x same-root scaling floor", key, c.Speedup))
+			}
+			if w1.CasFencesPerOp > 0 && c.CasFencesPerOp > w1.CasFencesPerOp*(1+tol) {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: cas fences/op %.4g above the W=1 level %.4g (tolerance %.0f%%)",
+						key, c.CasFencesPerOp, w1.CasFencesPerOp, tol*100))
+			}
+		}
+	}
+
 	curRec := make(map[string]BenchRecovery, len(cur.Recovery))
 	for _, r := range cur.Recovery {
 		curRec[recoveryRowKey(r.Structure, r.Selective, r.OpsPerFASE)] = r
@@ -564,6 +657,9 @@ func benchRowKeys(doc *BenchDoc) map[string]bool {
 	for _, s := range doc.Server {
 		keys[fmt.Sprintf("server/c%d", s.Clients)] = true
 	}
+	for _, c := range doc.Contention {
+		keys[fmt.Sprintf("contention/w%d", c.Writers)] = true
+	}
 	return keys
 }
 
@@ -608,6 +704,9 @@ func BenchNewRows(base, cur *BenchDoc) []string {
 	}
 	for _, s := range cur.Server {
 		appendKey(fmt.Sprintf("server/c%d", s.Clients))
+	}
+	for _, c := range cur.Contention {
+		appendKey(fmt.Sprintf("contention/w%d", c.Writers))
 	}
 	return fresh
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"path/filepath"
 	"testing"
+
+	"github.com/mod-ds/mod/internal/workloads"
 )
 
 // benchTestScale keeps the report-path test fast while still producing
@@ -132,6 +134,48 @@ func TestBenchShardedScaling(t *testing.T) {
 	}
 	if speedup := wide.OpsPerSec / base.OpsPerSec; speedup < 2 {
 		t.Errorf("S=4/W=4 speedup = %.2fx over S=1/W=4, want >= 2x", speedup)
+	}
+}
+
+// TestBenchContentionScaling pins the acceptance floor of the two-tier
+// commit path (DESIGN.md §12): with 8 writers hammering ONE shared map
+// root, optimistic CAS publication with the flat-combining fallback
+// must beat the per-root-mutex baseline by at least 2x in ops per
+// simulated second, while paying no more fences per op than the
+// uncontended W=1 run — scaling must come from parallel shadow builds
+// and fence amortization, never from skipping ordering points.
+func TestBenchContentionScaling(t *testing.T) {
+	scale := benchTestScale()
+	w1, err := workloads.RunContention(ContentionBenchConfig(scale, 1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m8, err := workloads.RunContention(ContentionBenchConfig(scale, 8, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c8, err := workloads.RunContention(ContentionBenchConfig(scale, 8, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if speedup := c8.OpsPerSec / m8.OpsPerSec; speedup < 2 {
+		t.Errorf("W=8 two-tier speedup = %.2fx over mutex baseline (%.0f vs %.0f ops/s), want >= 2x",
+			speedup, c8.OpsPerSec, m8.OpsPerSec)
+	}
+	// Small slack: a rare post-fence CAS loss pays a fence without
+	// committing an op, which is legal but must stay marginal.
+	if c8.FencesPerOp > w1.FencesPerOp*1.05 {
+		t.Errorf("W=8 fences/op = %.3f exceeds W=1 level %.3f", c8.FencesPerOp, w1.FencesPerOp)
+	}
+	// Every measured op must be accounted to exactly one commit tier.
+	cs := c8.Commit
+	if got := cs.FastWins + cs.CombinedOps + cs.LockedCommits; got != uint64(c8.Ops) {
+		t.Errorf("commit tiers account for %d ops (wins %d + combined %d + locked %d), want %d",
+			got, cs.FastWins, cs.CombinedOps, cs.LockedCommits, c8.Ops)
+	}
+	if m8.Commit.LockedCommits != uint64(m8.Ops) {
+		t.Errorf("mutex baseline committed %d of %d ops through the locked path",
+			m8.Commit.LockedCommits, m8.Ops)
 	}
 }
 

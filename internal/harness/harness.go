@@ -127,6 +127,7 @@ var Experiments = []string{
 	"table1", "table2", "fig2", "fig4", "fig9", "fig10", "fig11", "table3",
 	"spaceoverhead", "ablation-conc", "ablation-naive", "concurrent",
 	"groupcommit", "transient", "sharded", "selective", "server",
+	"contention",
 }
 
 // Run executes one named experiment at the given scale.
@@ -166,6 +167,8 @@ func Run(name string, scale Scale) (*Table, error) {
 		return Selective(scale)
 	case "server":
 		return ServerExperiment(scale)
+	case "contention":
+		return Contention(scale)
 	}
 	return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", name, Experiments)
 }

@@ -604,6 +604,41 @@ func (d *Device) WriteAddr(addr Addr, v Addr) {
 	d.WriteU64(addr, uint64(v))
 }
 
+// CasAddr atomically compares the pointer at addr against old and, if it
+// matches, stores v. Like WriteAddr the cell must be 8-byte aligned, so
+// the store is failure-atomic; under the device mutex the compare and the
+// store are one indivisible step with respect to concurrent readers and
+// writers — the primitive the optimistic commit path publishes through.
+// A failed CAS costs (and counts) a read; a successful one costs a read
+// plus a write.
+func (d *Device) CasAddr(addr, old, v Addr) bool {
+	if addr&7 != 0 {
+		panic(fmt.Sprintf("pmem: unaligned pointer CAS at %#x", uint64(addr)))
+	}
+	s := d.s
+	s.mu.Lock()
+	s.checkRange(addr, 8)
+	ns := d.accessLocked(addr, 8, false)
+	cur := Addr(binary.LittleEndian.Uint64(s.mem[addr:]))
+	s.stats.Reads++
+	s.stats.BytesRead += 8
+	if cur != old {
+		s.mu.Unlock()
+		d.clk.Charge(d.cat, ns)
+		return false
+	}
+	ns += d.accessLocked(addr, 8, true)
+	binary.LittleEndian.PutUint64(s.mem[addr:], uint64(v))
+	s.stats.Writes++
+	s.stats.BytesWritten += 8
+	s.mu.Unlock()
+	d.clk.Charge(d.cat, ns)
+	if t := d.Tracer(); t != nil {
+		t.Write(addr, 8)
+	}
+	return true
+}
+
 // ReadU32 reads a little-endian uint32 at addr.
 func (d *Device) ReadU32(addr Addr) uint32 {
 	s := d.s

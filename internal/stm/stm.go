@@ -274,7 +274,7 @@ func (tx *TX) Commit() {
 	for _, a := range tx.frees {
 		tx.heap.Release(a)
 	}
-	tx.heap.Drain()
+	tx.heap.Reclaim()
 	tx.active = false
 	tx.stats.Commits++
 }
@@ -294,7 +294,7 @@ func (tx *TX) Abort() {
 	for _, a := range tx.allocs {
 		tx.heap.Release(a)
 	}
-	tx.heap.Drain()
+	tx.heap.Reclaim()
 	tx.active = false
 	tx.stats.Aborts++
 }

@@ -1,0 +1,194 @@
+package workloads
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/mod-ds/mod/internal/core"
+	"github.com/mod-ds/mod/internal/pmem"
+)
+
+// Contention workload: W writer goroutines hammer ONE shared map root.
+// This is the adversarial inverse of the concurrent workload (which gives
+// every writer its own shard): all scaling must come from the commit
+// protocol itself. Two modes run per writer count:
+//
+//   - mutex: the legacy baseline — every update serializes on the root's
+//     commit mutex, so adding writers adds queueing, not throughput.
+//     Simulated lock-wait time is modeled by the store's serialized-
+//     section watermark (core.Store SetMutexCommit docs).
+//   - cas: the two-tier path — optimistic CAS publication while the race
+//     is light, flat combining once it is not. Combining merges the
+//     pending ops of all enrolled writers into one shadow chain published
+//     under a single flush+sfence epoch, so fences/op falls as contention
+//     rises instead of staying fixed at one per op.
+//
+// Elapsed simulated time is the maximum over writer goroutines (each
+// works through a forked handle carrying its own clock); throughput is
+// total committed ops over that maximum.
+
+// ContentionConfig parameterizes one contention measurement.
+type ContentionConfig struct {
+	// Writers is the goroutine count, all updating the same root.
+	Writers int
+	// OpsPerWriter is committed updates per writer.
+	OpsPerWriter int
+	// Keyspace is the number of distinct keys (preloaded before the
+	// measured phase so map shape stays roughly constant).
+	Keyspace int
+	// MutexBaseline selects the legacy per-root-mutex commit path
+	// instead of the two-tier optimistic path.
+	MutexBaseline bool
+	// Seed drives the deterministic per-goroutine operation streams.
+	Seed uint64
+	// ArenaBytes sizes the device (0 = automatic).
+	ArenaBytes int64
+}
+
+func (c *ContentionConfig) defaults() {
+	if c.Writers <= 0 {
+		c.Writers = 1
+	}
+	if c.OpsPerWriter <= 0 {
+		c.OpsPerWriter = 1000
+	}
+	if c.Keyspace <= 0 {
+		c.Keyspace = 512
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x5eed
+	}
+	if c.ArenaBytes == 0 {
+		need := int64(c.Writers)*int64(c.OpsPerWriter)*2048 +
+			int64(c.Keyspace)*512 + (64 << 20)
+		c.ArenaBytes = need
+	}
+}
+
+// ContentionResult reports one contention measurement. Times are
+// simulated nanoseconds; throughput is ops per simulated second.
+type ContentionResult struct {
+	Writers int
+	Mode    string // "mutex" or "cas"
+	Ops     int    // total committed updates across writers
+
+	ElapsedNs float64 // max per-goroutine simulated time
+	OpsPerSec float64 // Ops / ElapsedNs
+
+	Fences      uint64  // device fences in the measured phase
+	FencesPerOp float64 // Fences / Ops
+
+	// Commit-tier counters for the measured phase (all zero except
+	// LockedCommits in mutex mode).
+	Commit core.CommitStats
+}
+
+func subCommitStats(a, b core.CommitStats) core.CommitStats {
+	return core.CommitStats{
+		FastWins:       a.FastWins - b.FastWins,
+		FastAborts:     a.FastAborts - b.FastAborts,
+		FastLosses:     a.FastLosses - b.FastLosses,
+		Combines:       a.Combines - b.Combines,
+		CombineRetries: a.CombineRetries - b.CombineRetries,
+		CombinedOps:    a.CombinedOps - b.CombinedOps,
+		LockedCommits:  a.LockedCommits - b.LockedCommits,
+	}
+}
+
+// RunContention executes the contention workload and returns its
+// measurement. MOD engine only: the baselines under comparison are the
+// two commit tiers of the same engine.
+func RunContention(cfg ContentionConfig) (ContentionResult, error) {
+	cfg.defaults()
+	pcfg := pmem.DefaultConfig(cfg.ArenaBytes)
+	// One cache hierarchy is shared by every handle, so its hit pattern
+	// depends on how the Go scheduler interleaves the writers in real
+	// time — noise that would drown the protocol costs this sweep
+	// isolates (fences, serialization, CAS retries). Flat access costs
+	// keep the measurement deterministic.
+	pcfg.DisableCache = true
+	db, _, err := core.Open(pcfg)
+	if err != nil {
+		return ContentionResult{}, err
+	}
+	defer db.Close()
+	store := db.Store()
+	dev := store.Device()
+
+	// Preload the shared root serially on the main handle, on the default
+	// (optimistic) path: the mutex path's serialized-time watermark would
+	// otherwise carry the preload's clock into the measured phase.
+	m, err := store.Map("contended")
+	if err != nil {
+		return ContentionResult{}, err
+	}
+	preloadRng := rng{state: cfg.Seed}
+	for k := 0; k < cfg.Keyspace; k++ {
+		key := fmt.Sprintf("key-%06d", k)
+		val := fmt.Sprintf("val-%016x", preloadRng.next())
+		m.Set([]byte(key), []byte(val))
+	}
+	store.Sync()
+	store.SetMutexCommit(cfg.MutexBaseline)
+	statsBase := dev.Stats()
+	commitBase := store.CommitStats()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		maxNs    float64
+		firstErr error
+	)
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := store.Fork()
+			wm, err := st.Map("contended")
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			r := rng{state: cfg.Seed ^ (0x9e3779b97f4a7c15 * uint64(w+1))}
+			for i := 0; i < cfg.OpsPerWriter; i++ {
+				key := fmt.Sprintf("key-%06d", r.intn(uint64(cfg.Keyspace)))
+				val := fmt.Sprintf("val-%016x", r.next())
+				wm.Set([]byte(key), []byte(val))
+			}
+			ns := st.Device().LocalNs()
+			mu.Lock()
+			if ns > maxNs {
+				maxNs = ns
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return ContentionResult{}, firstErr
+	}
+	delta := dev.Stats().Sub(statsBase)
+
+	mode := "cas"
+	if cfg.MutexBaseline {
+		mode = "mutex"
+	}
+	res := ContentionResult{
+		Writers:   cfg.Writers,
+		Mode:      mode,
+		Ops:       cfg.Writers * cfg.OpsPerWriter,
+		ElapsedNs: maxNs,
+		Fences:    delta.Fences,
+		Commit:    subCommitStats(store.CommitStats(), commitBase),
+	}
+	res.OpsPerSec = perSec(res.Ops, res.ElapsedNs)
+	if res.Ops > 0 {
+		res.FencesPerOp = float64(res.Fences) / float64(res.Ops)
+	}
+	store.Sync()
+	return res, nil
+}
