@@ -10,7 +10,14 @@
 //
 // Usage:
 //
-//	benchdiff [-baseline BENCH_baseline.json] [-current BENCH.json] [-tolerance 0.15] [-allow-new]
+//	benchdiff [-baseline BENCH_baseline.json] [-current BENCH.json] [-tolerance 0.15] [-allow-new] [-exact-ordering]
+//
+// -exact-ordering additionally enforces the DESIGN.md §13 neutrality
+// contract: raw fence and flush counts of every single-threaded
+// deterministic sweep must be bit-identical to the baseline. Node
+// checksums ride inside each FASE's existing flush+fence envelope, so
+// any count drift — even inside the tolerance — is an ordering-path
+// change that must be intentional (and re-baselined).
 //
 // The single-threaded workload suite, the synchronous group-commit,
 // transient, and selective sweeps, and the sharded sweep (sequential
@@ -42,6 +49,8 @@ func main() {
 	current := flag.String("current", "BENCH.json", "freshly generated report")
 	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional regression before failing")
 	allowNew := flag.Bool("allow-new", false, "warn instead of failing on rows missing from the baseline")
+	exactOrdering := flag.Bool("exact-ordering", false,
+		"require bit-identical fence/flush counts on deterministic sweeps (checksum neutrality gate)")
 	flag.Parse()
 
 	base, err := harness.ReadBenchDoc(*baseline)
@@ -61,6 +70,9 @@ func main() {
 	}
 
 	regressions := harness.CompareBenchDocs(base, cur, *tolerance)
+	if *exactOrdering {
+		regressions = append(regressions, harness.CompareBenchOrdering(base, cur)...)
+	}
 	fresh := harness.BenchNewRows(base, cur)
 	if len(fresh) > 0 && *allowNew {
 		fmt.Fprintf(os.Stderr, "benchdiff: warning: %d row(s) not in baseline (ungated until it is regenerated): %s\n",

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	modcheck [-demo] [-durable] [trace.bin]
+//	modcheck [-demo] [-durable] [-corrupt] [trace.bin]
 //
 // With -demo it records a fresh trace from a mixed MOD workload and
 // checks it (writing it to the optional file argument). With -durable
@@ -13,16 +13,24 @@
 // history is crash-injected at PM-write granularity, and every
 // recovered image must be an exact committed prefix of the history
 // that contains at least every operation whose commit fence preceded
-// the crash cut. Otherwise it reads a binary trace previously written
-// with trace.Recorder.WriteTo.
+// the crash cut. With -corrupt it runs the media-fault smoke: random
+// bit flips, torn stores, and dead lines are injected into a committed
+// image, which is reopened with verify-on-open — every trial must end
+// in typed detection, an exact-prefix salvage, or a byte-exact clean
+// state; a silent wrong read fails the run. Otherwise it reads a
+// binary trace previously written with trace.Recorder.WriteTo.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 
+	"github.com/mod-ds/mod/internal/alloc"
 	"github.com/mod-ds/mod/internal/core"
+	"github.com/mod-ds/mod/internal/funcds"
 	"github.com/mod-ds/mod/internal/pmem"
 	"github.com/mod-ds/mod/internal/trace"
 )
@@ -32,10 +40,19 @@ func main() {
 	durable := flag.Bool("durable", false, "run the durable-linearizability crash-injection smoke")
 	durOps := flag.Int("ops", 32, "operation count for the -durable history")
 	durStride := flag.Int("stride", 7, "inject a crash every Nth PM write in -durable mode")
+	corrupt := flag.Bool("corrupt", false, "run the media-fault corruption smoke")
+	trials := flag.Int("trials", 64, "fault-injection trials in -corrupt mode")
 	flag.Parse()
 
 	if *durable {
 		if err := runDurable(*durOps, *durStride); err != nil {
+			fmt.Fprintf(os.Stderr, "modcheck: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *corrupt {
+		if err := runCorrupt(*durOps, *trials); err != nil {
 			fmt.Fprintf(os.Stderr, "modcheck: %v\n", err)
 			os.Exit(1)
 		}
@@ -268,4 +285,194 @@ func runDurable(ops, stride int) error {
 	fmt.Printf("modcheck: durable-linearizability smoke: %d ops, %d PM writes, %d injections (stride %d), all recovered states exact fence-covered prefixes\n",
 		ops, total, injections, stride)
 	return nil
+}
+
+// runCorrupt is the media-fault smoke (DESIGN.md §13): build a
+// committed selective-map history, snapshot the durable image, and for
+// each trial inject a media fault — 1–3 random bit flips, a torn
+// 8-byte store, or a scrambled (dead) line — into a fresh copy of the
+// image, then reopen it with verify-on-open and salvage enabled. Every
+// trial must end in one of:
+//
+//   - detection: the open fails with ErrCorrupted, the damage report
+//     names an unsalvaged (quarantined) root, or a read trips a typed
+//     corruption panic;
+//   - salvage: the damaged root is rolled back to its checkpoint and the
+//     surviving state is an exact value-correct prefix of the history;
+//   - clean: the fault landed in dead heap space and every operation
+//     reads back byte-exact.
+//
+// A recovered store serving a wrong value without any of the above is a
+// silent wrong read and fails the run.
+func runCorrupt(ops, trials int) error {
+	if ops < 4 {
+		ops = 4
+	}
+	if trials < 1 {
+		trials = 1
+	}
+	openOpts := func(imgs [][]byte) []core.Option {
+		return []core.Option{
+			core.WithSelective(4), core.WithNodeCache(),
+			core.WithExistingImages(imgs), core.WithVerify(), core.WithSalvage(),
+		}
+	}
+
+	// Build the committed history once. base is the pristine formatted
+	// image torn stores revert to; img is the committed image each trial
+	// damages a copy of.
+	cfg := pmem.DefaultConfig(16 << 20)
+	db, _, err := core.Open(cfg, core.WithSelective(4), core.WithNodeCache())
+	if err != nil {
+		return err
+	}
+	snap := func() []byte {
+		d := db.Store().Device()
+		return append([]byte(nil), d.Bytes(0, int(d.Size()))...)
+	}
+	m, err := db.Map("corrupt")
+	if err != nil {
+		return err
+	}
+	db.Sync()
+	base := snap()
+	if ops%4 == 0 {
+		ops++ // leave a pending record past the last checkpoint fold
+	}
+	for i := 0; i < ops; i++ {
+		m.Set(durKey(i), durVal(i))
+	}
+	db.Sync()
+	img := snap()
+	lo, hi := db.Store().Heap().DataBounds()
+	st := db.Store()
+	slot, err := st.Heap().RootSlot("corrupt")
+	if err != nil {
+		return err
+	}
+	_, recHead, recCount := funcds.SelectiveExt(st.Heap(), st.Heap().Root(slot))
+	db.Close()
+
+	// Deterministic salvage trial first: damage a covered, non-pointer
+	// byte of the pending record chain. Verification must flag the root
+	// and salvage must roll it back to the checkpoint — random faults
+	// below almost never land here, so aim one on purpose.
+	if recCount == 0 {
+		return fmt.Errorf("no pending record to aim the salvage trial at")
+	}
+	dmg := append([]byte(nil), img...)
+	dmg[recHead+15] ^= 0x08
+	db2, info, err := core.Open(cfg, openOpts([][]byte{dmg})...)
+	if err != nil {
+		return fmt.Errorf("salvage trial: open failed entirely: %w", err)
+	}
+	outcome, err := corruptProbe(db2, ops, info)
+	db2.Close()
+	if err != nil {
+		return fmt.Errorf("salvage trial: %w", err)
+	}
+	if outcome != "salvaged" {
+		return fmt.Errorf("salvage trial: outcome %q, want salvaged", outcome)
+	}
+
+	detected, salvaged, clean := 0, 1, 0
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)*1_000_003 + 0xC0FFEE))
+		addr := func() pmem.Addr { return lo + pmem.Addr(rng.Int63n(int64(hi-lo))) }
+		var plan pmem.FaultPlan
+		var class string
+		switch trial % 3 {
+		case 0:
+			class = "bit-flip"
+			for n := 1 + rng.Intn(3); n > 0; n-- {
+				plan.FlipBit(addr(), uint8(rng.Intn(8)))
+			}
+		case 1:
+			class = "torn-store"
+			plan.TearStore(addr())
+		default:
+			class = "dead-line"
+			plan.KillLine(addr())
+		}
+		dmg := append([]byte(nil), img...)
+		plan.ApplyToImage(dmg, base)
+
+		db2, info, err := core.Open(cfg, openOpts([][]byte{dmg})...)
+		if err != nil {
+			if !errors.Is(err, core.ErrCorrupted) {
+				return fmt.Errorf("trial %d (%s): open failed untyped: %w", trial, class, err)
+			}
+			detected++
+			continue
+		}
+		outcome, err := corruptProbe(db2, ops, info)
+		db2.Close()
+		if err != nil {
+			return fmt.Errorf("trial %d (%s): %w", trial, class, err)
+		}
+		switch outcome {
+		case "detected":
+			detected++
+		case "salvaged":
+			salvaged++
+		default:
+			clean++
+		}
+	}
+	fmt.Printf("modcheck: media-fault smoke: %d ops, %d trials: %d detected, %d salvaged, %d clean, 0 silent wrong reads\n",
+		ops, trials+1, detected, salvaged, clean)
+	return nil
+}
+
+// corruptProbe classifies one reopened trial: "detected" (quarantine or
+// a typed corruption panic on read), "salvaged" (exact-prefix rollback),
+// or "clean" (byte-exact full state). Any other observable state is an
+// error — a silent wrong read.
+func corruptProbe(db *core.DB, ops int, info core.RecoveryInfo) (outcome string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			switch r.(type) {
+			case *alloc.CorruptionPanic, *pmem.MediaError:
+				outcome, err = "detected", nil
+			default:
+				panic(r)
+			}
+		}
+	}()
+	wantSalvaged := false
+	for _, d := range info.Damaged {
+		if d.Salvaged {
+			wantSalvaged = true
+		}
+	}
+	m, err := db.Map("corrupt")
+	if errors.Is(err, core.ErrCorrupted) {
+		return "detected", nil
+	}
+	if err != nil {
+		return "", fmt.Errorf("rebind failed untyped: %w", err)
+	}
+	// Presence must be an exact value-correct prefix of the history.
+	k := 0
+	for i := 0; i < ops; i++ {
+		got, ok := m.Get(durKey(i))
+		if ok && i == k {
+			if string(got) != string(durVal(i)) {
+				return "", fmt.Errorf("silent wrong read: key %d = %q, want %q", i, got, durVal(i))
+			}
+			k++
+		} else if ok {
+			return "", fmt.Errorf("non-prefix state: key %d present but key %d missing", i, k)
+		}
+	}
+	if k < ops {
+		if !wantSalvaged {
+			return "", fmt.Errorf("clean open lost %d committed ops without a salvage report", ops-k)
+		}
+		return "salvaged", nil
+	}
+	if wantSalvaged {
+		return "salvaged", nil
+	}
+	return "clean", nil
 }

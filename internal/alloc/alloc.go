@@ -7,10 +7,12 @@
 //
 // Layout. The arena begins with a superblock holding a magic number, the
 // persistent bump pointer, and a table of named roots. Blocks follow, each
-// an 8-byte header (magic, type tag, stride) and a payload. Block headers
-// are flushed without fences; recovery walks the header chain and discards
-// anything unreachable from the roots, which is exactly the paper's
-// treatment of allocations from interrupted FASEs.
+// a 16-byte header — one word of (magic, type tag, stride) and one
+// checksum word carrying a CRC32-C over the node's initialized payload
+// (DESIGN.md §13) — and a payload. Block headers are flushed without
+// fences; recovery walks the header chain and discards anything
+// unreachable from the roots, which is exactly the paper's treatment of
+// allocations from interrupted FASEs.
 //
 // Reclamation. Reference counts live in volatile memory and are rebuilt on
 // recovery, as §5.3 prescribes; they are atomic, so concurrent writers can
@@ -33,7 +35,9 @@
 package alloc
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"sync"
 	"sync/atomic"
 
@@ -67,15 +71,20 @@ const (
 	heapBase       = (superblockSize + pmem.LineSize - 1) &^ (pmem.LineSize - 1)
 
 	magic   = 0x4d4f442d48454150 // "MOD-HEAP"
-	version = 3                  // 2: added the open-run table; 3: volatile-node bit
+	version = 4                  // 2: open-run table; 3: volatile-node bit; 4: 16-byte header with checksum word
 
-	// minVersion is the oldest heap layout Open still accepts. Version 2
-	// heaps simply never have the volatile-node bit set, so they read
-	// back unchanged under version-3 code.
-	minVersion = 2
+	// minVersion is the oldest heap layout Open still accepts. Version 4
+	// widened the block header from 8 to 16 bytes, which moves every
+	// payload; older images cannot be read under this layout.
+	minVersion = 4
 
-	headerSize = 8
-	headerMark = 0x4d4f // "MO", stored in the top 16 bits of a header
+	headerSize = 16
+	headerMark = 0x4d4f // "MO", stored in the top 16 bits of a header's first word
+
+	// HeaderSize is the block header width, exported for callers that
+	// compute header addresses from payload addresses (package core's
+	// trace-checker configuration).
+	HeaderSize = headerSize
 )
 
 // strides are the size classes (full block size including header).
@@ -141,6 +150,13 @@ type heapShared struct {
 	// cache is the DRAM node cache fronting funcds interior-node reads
 	// (cache.go); nil until EnableNodeCache.
 	cache atomic.Pointer[nodeCache]
+
+	// taint is the set of recovered-but-unverified checksummed blocks
+	// consumed by lazy on-read verification (verify.go); taintCount gives
+	// readers a one-atomic fast path once it drains.
+	taintMu    sync.Mutex
+	taint      map[pmem.Addr]struct{}
+	taintCount atomic.Int64
 
 	stats Stats // Quarantine filled from ebr on read
 
@@ -264,12 +280,53 @@ func unpackHeader(v uint64) (stride uint32, tag uint8, allocated, ok bool) {
 	return uint32(v), uint8(v >> 32), v>>40&1 == 1, true
 }
 
+// Checksum word (header word 1, DESIGN.md §13). A sealed node stores
+//
+//	bit 63     hasCRC flag
+//	bits 32-62 covered length n (initialized payload bytes)
+//	bits 0-31  CRC32-C over (header word 0 || n || payload[0:n])
+//
+// Covering the first header word and the length means a flipped tag,
+// stride, or length is caught by the same check as flipped payload bytes;
+// only a flip of the hasCRC bit itself can silence a node's check (the
+// residual risk §13 documents). The word is written before the node's
+// combined header+payload flush, so verification costs no extra ordering:
+// the FASE's single fence covers payload, header, and checksum together.
+// A zero word means "no checksum" — legacy allocation paths (Alloc) and
+// volatile navigation nodes durably zero it so recovery never mistakes a
+// recycled block's stale checksum for a live one.
+const hdrHasCRC = uint64(1) << 63
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func packCheck(n int, crc uint32) uint64 {
+	return hdrHasCRC | uint64(n)<<32&^hdrHasCRC | uint64(crc)
+}
+
+func unpackCheck(v uint64) (n int, crc uint32, has bool) {
+	return int(v << 1 >> 33), uint32(v), v&hdrHasCRC != 0
+}
+
+// nodeCRC computes the checksum of the block at hdr covering n payload
+// bytes. It reads through the raw arena view: checksum arithmetic models
+// a CRC pipelined with the stores themselves (no extra simulated-time
+// charge), and raw reads bypass poisoned-line faults so verification can
+// classify damage instead of crashing on it.
+func (h *Heap) nodeCRC(hdr pmem.Addr, n int) uint32 {
+	var pre [12]byte
+	raw := h.dev.Bytes(hdr, headerSize+n)
+	copy(pre[:8], raw[:8])
+	binary.LittleEndian.PutUint32(pre[8:], uint32(n))
+	crc := crc32.Update(0, crcTable, pre[:])
+	return crc32.Update(crc, crcTable, raw[headerSize:])
+}
+
 // Alloc returns the payload address of a new block of at least size bytes,
 // typed by tag, with reference count 1. The payload is not zeroed (callers
 // fully initialize their nodes). The header is written and flushed without
 // a fence; recovery discards blocks whose owning FASE never committed.
 func (h *Heap) Alloc(size int, tag uint8) pmem.Addr {
-	return h.alloc(size, tag, false)
+	return h.alloc(size, tag, false, true)
 }
 
 // AllocVolatile allocates like Alloc but marks the block's header with the
@@ -278,10 +335,19 @@ func (h *Heap) Alloc(size int, tag uint8) pmem.Addr {
 // DRAM-resident navigation state that recovery zeroes and rebuilds from
 // recovery records instead of trusting (DESIGN.md §10).
 func (h *Heap) AllocVolatile(size int, tag uint8) pmem.Addr {
-	return h.alloc(size, tag, true)
+	return h.alloc(size, tag, true, true)
 }
 
-func (h *Heap) alloc(size int, tag uint8, volatile bool) pmem.Addr {
+// AllocNode allocates like Alloc but defers the header flush: the caller
+// must finish initializing the payload and then SealNode, whose combined
+// header+payload flush covers both. Checksummed node constructors use
+// this pairing — it never issues more flushes than Alloc+FlushRange, and
+// saves one when header and payload share a cacheline.
+func (h *Heap) AllocNode(size int, tag uint8) pmem.Addr {
+	return h.alloc(size, tag, false, false)
+}
+
+func (h *Heap) alloc(size int, tag uint8, volatile, flushHdr bool) pmem.Addr {
 	if size < 0 {
 		panic("alloc: negative size")
 	}
@@ -307,7 +373,13 @@ func (h *Heap) alloc(size int, tag uint8, volatile bool) pmem.Addr {
 		v |= hdrVolatileBit
 	}
 	h.dev.WriteU64(hdr, v)
-	h.dev.Clwb(hdr)
+	// Zero the checksum word: a recycled block's stale checksum must never
+	// survive into a reachable header, or verification would flag a
+	// perfectly healthy node. SealNode overwrites it on checksummed paths.
+	h.dev.WriteU64(hdr+8, 0)
+	if flushHdr {
+		h.dev.FlushRange(hdr, headerSize)
+	}
 	return h.registerBlock(hdr, stride)
 }
 
@@ -381,6 +453,66 @@ func (h *Heap) ClearVolatile(payload pmem.Addr) {
 	hdr := payload - headerSize
 	h.dev.WriteU64(hdr, h.dev.ReadU64(hdr)&^hdrVolatileBit)
 	h.dev.Clwb(hdr)
+}
+
+// SealNode computes the checksum of the node at payload over its first n
+// initialized bytes, writes the checksum word, and flushes header and
+// payload as one range. It pairs with AllocNode: the pairing issues at
+// most as many clwbs as the eager Alloc + FlushRange(payload, n) it
+// replaces (one fewer when header and payload share a line), so
+// steady-state flushes/op is unchanged by checksumming. n must cover
+// every byte the caller wrote: in-place mutations after publication are
+// only legal on edit-owned nodes (resealed by Edit.Seal) or via
+// ResealNode.
+func (h *Heap) SealNode(payload pmem.Addr, n int) {
+	hdr := payload - headerSize
+	h.dev.WriteU64(hdr+8, packCheck(n, h.nodeCRC(hdr, n)))
+	h.dev.FlushRange(hdr, headerSize+n)
+}
+
+// ResealNode recomputes the checksum of an already-sealed node after an
+// in-place rewrite of its payload (the checkpoint path's selective-header
+// ext rewrite, DESIGN.md §10) and flushes the checksum word's line. The
+// caller flushes the rewritten payload range itself and orders both under
+// its own fence.
+func (h *Heap) ResealNode(payload pmem.Addr) {
+	hdr := payload - headerSize
+	n, _, has := unpackCheck(h.dev.ReadU64(hdr + 8))
+	if !has {
+		return
+	}
+	h.dev.WriteU64(hdr+8, packCheck(n, h.nodeCRC(hdr, n)))
+	h.dev.Clwb(hdr + 8)
+}
+
+// SetChecksum writes the checksum word for the node at payload covering n
+// bytes, without flushing: the caller owns the flush (Edit.Seal folds the
+// word into the edit's deduplicated flush sweep).
+func (h *Heap) SetChecksum(payload pmem.Addr, n int) {
+	hdr := payload - headerSize
+	h.dev.WriteU64(hdr+8, packCheck(n, h.nodeCRC(hdr, n)))
+}
+
+// Checksum reports the node's checksum word state: whether one is
+// present, the covered length, and whether recomputation matches.
+func (h *Heap) Checksum(payload pmem.Addr) (n int, ok, has bool) {
+	hdr := payload - headerSize
+	n, crc, has := unpackCheck(h.dev.ReadU64(hdr + 8))
+	if !has {
+		return 0, true, false
+	}
+	if n < 0 || n > int(h.strideOf(payload))-headerSize {
+		return n, false, true
+	}
+	return n, h.nodeCRC(hdr, n) == crc, true
+}
+
+// strideOf returns the stride of the block at payload (panics on a
+// corrupt header; verification paths parse headers through raw reads
+// instead).
+func (h *Heap) strideOf(payload pmem.Addr) uint32 {
+	stride, _ := h.header(payload)
+	return stride
 }
 
 // Tag returns the type tag of the block at payload addr.

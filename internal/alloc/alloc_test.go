@@ -73,8 +73,8 @@ func TestStrideForClasses(t *testing.T) {
 		payload int
 		stride  uint32
 	}{
-		{0, 24}, {16, 24}, {17, 32}, {24, 32}, {56, 64}, {100, 128},
-		{4088, 4096}, {5000, 5056},
+		{0, 24}, {8, 24}, {16, 32}, {24, 48}, {56, 96}, {100, 128},
+		{4080, 4096}, {4088, 4160}, {5000, 5056},
 	}
 	for _, c := range cases {
 		if got := strideFor(c.payload); got != c.stride {

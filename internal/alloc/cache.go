@@ -68,6 +68,7 @@ func (h *Heap) NodeCacheEnabled() bool { return h.sh.cache.Load() != nil }
 // everything when the cache is disabled. The returned slice is shared
 // and must not be mutated.
 func (h *Heap) ReadCached(a pmem.Addr, n int, ed *Edit) []byte {
+	h.VerifyOnRead(a)
 	c := h.sh.cache.Load()
 	if c == nil || (ed != nil && ed.Owns(a)) {
 		buf := make([]byte, n)

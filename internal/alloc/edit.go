@@ -98,6 +98,8 @@ type Edit struct {
 	fs     *pmem.FlushSet
 	runs   []editRun
 	extra  map[pmem.Addr]struct{} // owned blocks outside runs (free-list reuse, table-full fallback)
+	nodes  map[pmem.Addr]int      // payload -> initialized bytes, for the Seal checksum pass
+	order  []pmem.Addr            // nodes in registration order (deterministic PM-write order)
 	elided uint64
 	sealed bool
 }
@@ -108,7 +110,11 @@ func runEntryAddr(slot int) pmem.Addr {
 
 // BeginEdit opens an edit context for one FASE on this handle.
 func (h *Heap) BeginEdit() *Edit {
-	return &Edit{h: h, fs: h.dev.NewFlushSet(), extra: make(map[pmem.Addr]struct{})}
+	return &Edit{
+		h: h, fs: h.dev.NewFlushSet(),
+		extra: make(map[pmem.Addr]struct{}),
+		nodes: make(map[pmem.Addr]int),
+	}
 }
 
 // Heap returns the heap this edit allocates from.
@@ -175,9 +181,11 @@ func (e *Edit) alloc(size int, tag uint8, volatile bool) pmem.Addr {
 	}
 	if slot < 0 {
 		// Open-run table full: fall back to an eagerly flushed allocation,
-		// still owned by the edit (tracked in the extra set).
+		// still owned by the edit (tracked in the extra set). The header
+		// must flush eagerly — it is outside every recorded run, so a torn
+		// header there would truncate the recovery chain walk.
 		sh.mu.Unlock()
-		payload := h.alloc(size, tag, volatile)
+		payload := h.alloc(size, tag, volatile, true)
 		e.extra[payload] = struct{}{}
 		return payload
 	}
@@ -249,6 +257,9 @@ func (e *Edit) finishAlloc(hdr pmem.Addr, stride uint32, tag uint8, volatile boo
 		v |= hdrVolatileBit
 	}
 	h.dev.WriteU64(hdr, v)
+	// Zero a recycled block's stale checksum word; the Seal checksum pass
+	// rewrites it for every durable node registered via RecordNode.
+	h.dev.WriteU64(hdr+8, 0)
 	e.fs.Add(hdr, headerSize)
 	return h.registerBlock(hdr, stride)
 }
@@ -277,6 +288,25 @@ func (e *Edit) Record(addr pmem.Addr, n int) {
 		panic("alloc: Record on a sealed edit")
 	}
 	e.fs.Add(addr, n)
+}
+
+// RecordNode is Record for a whole freshly initialized node: addr is the
+// node's payload address and n its initialized length. Besides deferring
+// the flush it registers the node for the Seal checksum pass, which
+// stamps every registered node's checksum word before the sweep. Later
+// in-place mutations within [addr, addr+n) need only Record; they are
+// re-covered because the checksum is computed at Seal time.
+func (e *Edit) RecordNode(addr pmem.Addr, n int) {
+	if e.sealed {
+		panic("alloc: RecordNode on a sealed edit")
+	}
+	e.fs.Add(addr, n)
+	if old, ok := e.nodes[addr]; !ok {
+		e.nodes[addr] = n
+		e.order = append(e.order, addr)
+	} else if n > old {
+		e.nodes[addr] = n
+	}
 }
 
 // NoteCopyElided counts one node copy avoided by in-place mutation; the
@@ -318,6 +348,18 @@ func (e *Edit) Seal() {
 		e.capRun(&e.runs[i])
 	}
 
+	// Checksum pass: stamp every durable node the edit initialized, in
+	// registration order (map iteration would make PM-write order — and
+	// with it crash-injection indices — nondeterministic). This runs after
+	// capRun so an absorbed tail's widened stride is what the checksum
+	// covers, and before the sweep so every checksum word is flushed by
+	// it. Run and free-list nodes' header lines are already in the flush
+	// set; fallback nodes' checksum line is added here.
+	for _, a := range e.order {
+		h.SetChecksum(a, e.nodes[a])
+		e.fs.Add(a-headerSize+8, 8)
+	}
+
 	e.fs.Flush()
 	fence := h.dev.FenceSeq()
 	sh.mu.Lock()
@@ -328,6 +370,8 @@ func (e *Edit) Seal() {
 	h.dev.NoteCopiesElided(e.elided)
 	e.runs = nil
 	e.extra = nil
+	e.nodes = nil
+	e.order = nil
 	e.sealed = true
 }
 
@@ -344,7 +388,7 @@ func (e *Edit) capRun(r *editRun) {
 	rem := uint32(r.end - r.cur)
 	if rem <= headerSize {
 		// Too small to carry a header: absorb into the preceding block
-		// (strides are multiples of 8, so rem is 8).
+		// (strides are multiples of 8, so rem is 8 or 16).
 		raw := h.dev.ReadU64(r.lastHdr)
 		stride, tag, allocated, ok := unpackHeader(raw)
 		if !ok {

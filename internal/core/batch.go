@@ -518,6 +518,11 @@ func failedTicket(err error) *Ticket {
 	return t
 }
 
+// FailedTicket returns an already-resolved ticket carrying err. Serving
+// layers use it from KV fakes to inject commit failures into their
+// retry paths without reaching into the store.
+func FailedTicket(err error) *Ticket { return failedTicket(err) }
+
 // Wait blocks until the batch is durable or rejected.
 func (t *Ticket) Wait() { <-t.done }
 

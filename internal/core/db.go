@@ -101,6 +101,8 @@ type options struct {
 	committer       bool
 	committerMaxOps int
 	committerLinger time.Duration
+	verify          bool
+	salvage         bool
 }
 
 // Option configures Open.
@@ -142,6 +144,28 @@ func WithNodeCache() Option { return func(o *options) { o.nodeCache = true } }
 // the layout DB.CrashImages produces) reopen a sharded store.
 func WithExistingImages(imgs [][]byte) Option { return func(o *options) { o.images = imgs } }
 
+// WithVerify makes a recovered open walk every root eagerly, checking
+// node checksums and line readability before the store serves anything
+// (corrupt.go). Damaged roots are quarantined — binds to them return
+// ErrCorrupted — and reported in RecoveryInfo.Damaged; healthy roots
+// serve normally. Without this option a recovered store arms lazy
+// verification instead: each checksummed node is re-verified on its
+// first post-recovery read.
+func WithVerify() Option { return func(o *options) { o.verify = true } }
+
+// WithSalvage implies WithVerify and additionally repairs damaged
+// selective roots before quarantining: the record chain is replayed
+// when it verifies, or the root rolls back to its last verifying
+// checkpoint (the dropped record count is reported per root in
+// RecoveryInfo.Damaged). Roots that cannot be salvaged are quarantined
+// as under WithVerify.
+func WithSalvage() Option {
+	return func(o *options) {
+		o.verify = true
+		o.salvage = true
+	}
+}
+
 // WithCommitter starts the background group committer(s) immediately,
 // so CommitAsync submissions from concurrent goroutines coalesce into
 // shared fence epochs. maxOps caps the operations per epoch (0 uses
@@ -174,6 +198,10 @@ type RecoveryInfo struct {
 	// ManifestReplayed reports whether a committed cross-shard manifest
 	// was found and its root swaps re-executed.
 	ManifestReplayed bool
+	// Damaged lists the roots that failed verification when the store
+	// was opened WithVerify/WithSalvage: salvaged roots serve normally
+	// (minus any DroppedOps), unsalvaged ones are quarantined.
+	Damaged []DamagedRoot
 }
 
 // DB is the handle Open returns: a KV over either a single-heap Store
@@ -225,18 +253,38 @@ func Open(cfg pmem.Config, opts ...Option) (*DB, RecoveryInfo, error) {
 		if o.shards > 1 {
 			return nil, info, fmt.Errorf("core: open with %d shards from a single image: %w", o.shards, ErrShardCount)
 		}
-		s, rs, err := OpenStore(pmem.NewFromImage(cfg, o.images[0]))
+		vc := verifyConfig{verify: o.verify, salvage: o.salvage}
+		var (
+			s       *Store
+			rs      alloc.RecoveryStats
+			damaged []DamagedRoot
+		)
+		err := guardImageOpen(func() error {
+			var oerr error
+			s, rs, damaged, oerr = openStoreVerify(pmem.NewFromImage(cfg, o.images[0]), vc)
+			return oerr
+		})
 		if err != nil {
 			return nil, info, err
 		}
 		db.store = s
-		info = RecoveryInfo{Recovered: true, Stats: rs, PerShard: []alloc.RecoveryStats{rs}}
+		info = RecoveryInfo{Recovered: true, Stats: rs, PerShard: []alloc.RecoveryStats{rs}, Damaged: damaged}
 	default:
 		if want := len(o.images) - 1; o.shards != 0 && o.shards != want {
 			return nil, info, fmt.Errorf("core: open with %d shards from %d images (want %d shards): %w",
 				o.shards, len(o.images), want, ErrShardCount)
 		}
-		ss, srs, err := OpenShardedStore(cfg, o.images)
+		vc := verifyConfig{verify: o.verify, salvage: o.salvage}
+		var (
+			ss      *ShardedStore
+			srs     ShardedRecoveryStats
+			damaged []DamagedRoot
+		)
+		err := guardImageOpen(func() error {
+			var oerr error
+			ss, srs, damaged, oerr = openShardedVerify(cfg, o.images, vc)
+			return oerr
+		})
 		if err != nil {
 			return nil, info, err
 		}
@@ -246,6 +294,7 @@ func Open(cfg pmem.Config, opts ...Option) (*DB, RecoveryInfo, error) {
 			Stats:            srs.Total(),
 			PerShard:         srs.PerShard,
 			ManifestReplayed: srs.ManifestReplayed,
+			Damaged:          damaged,
 		}
 	}
 	if db.store != nil {

@@ -28,6 +28,13 @@ var (
 	// count contradicts the requested shard count.
 	ErrShardCount = errors.New("invalid shard count")
 
+	// ErrCorrupted is returned (wrapped, usually inside a
+	// *CorruptionError carrying the damaged root's coordinates) when
+	// media damage is detected: a checksum mismatch, an unreadable line,
+	// a malformed block header, or a truncated image. Operations on a
+	// quarantined root keep returning it until the damage is repaired.
+	ErrCorrupted = errors.New("corrupted data detected")
+
 	// ErrConcurrentWriter is returned by Commit* when the base version a
 	// shadow chain was built on is no longer the committed version — the
 	// signature of two logical writers racing on one root through the

@@ -92,10 +92,16 @@ func bindRoot(s *Store, name string, want rootKind, create func() pmem.Addr) (lo
 	if err != nil {
 		return location{}, pmem.Nil, err
 	}
+	if qerr := s.quarantineErr(slot); qerr != nil {
+		return location{}, pmem.Nil, fmt.Errorf("core: binding %q: %w", name, qerr)
+	}
 	mu := &s.sh.rootMu[slot]
 	mu.Lock()
 	defer mu.Unlock()
 	if root := s.heap.Root(slot); root != pmem.Nil {
+		if err := s.verifyBindLazy(name, slot, root); err != nil {
+			return location{}, pmem.Nil, err
+		}
 		if err := s.checkKind(name, root, want); err != nil {
 			return location{}, pmem.Nil, err
 		}

@@ -227,17 +227,28 @@ func readManifest(meta *pmem.Device) (entries []manifestEntry, dirty bool) {
 // Deprecated: use Open with WithExistingImages, which recovers the same
 // way and reports the result in a RecoveryInfo.
 func OpenShardedStore(cfg pmem.Config, images [][]byte) (*ShardedStore, ShardedRecoveryStats, error) {
+	ss, rs, _, err := openShardedVerify(cfg, images, verifyConfig{})
+	return ss, rs, err
+}
+
+// openShardedVerify is OpenShardedStore with the corruption-resilience
+// phases wired in (corrupt.go): each shard verifies (and optionally
+// salvages) its roots between its reachability scan and its selective
+// rebuild, in the same per-shard goroutines, so degraded opens keep the
+// parallel-recovery property. Damage is reported per shard; unsalvaged
+// roots are quarantined on their shard's store.
+func openShardedVerify(cfg pmem.Config, images [][]byte, vc verifyConfig) (*ShardedStore, ShardedRecoveryStats, []DamagedRoot, error) {
 	var rs ShardedRecoveryStats
 	if len(images) < 2 {
-		return nil, rs, fmt.Errorf("core: sharded store needs at least 1 shard image + metadata image, got %d", len(images))
+		return nil, rs, nil, fmt.Errorf("core: sharded store needs at least 1 shard image + metadata image, got %d", len(images))
 	}
 	shards := len(images) - 1
 	meta := pmem.NewFromImage(metaConfig(cfg), images[shards])
 	if got := meta.ReadU64(0); got != shardMagic {
-		return nil, rs, fmt.Errorf("core: bad shard metadata magic %#x", got)
+		return nil, rs, nil, fmt.Errorf("core: bad shard metadata magic %#x", got)
 	}
 	if got := meta.ReadU64(8); got != uint64(shards) {
-		return nil, rs, fmt.Errorf("core: store has %d shards, got %d images", got, shards)
+		return nil, rs, nil, fmt.Errorf("core: store has %d shards, got %d images", got, shards)
 	}
 
 	// Phase 0: attach each shard — replay its own batch record and
@@ -249,7 +260,7 @@ func OpenShardedStore(cfg pmem.Config, images [][]byte) (*ShardedStore, ShardedR
 		devs[i] = pmem.NewFromImage(cfg, images[i])
 		a, err := attachStore(devs[i])
 		if err != nil {
-			return nil, rs, fmt.Errorf("core: shard %d: %w", i, err)
+			return nil, rs, nil, fmt.Errorf("core: shard %d: %w", i, err)
 		}
 		atts[i] = a
 		heaps[i] = a.heap
@@ -264,7 +275,7 @@ func OpenShardedStore(cfg pmem.Config, images [][]byte) (*ShardedStore, ShardedR
 		touched := make(map[int]bool)
 		for _, e := range entries {
 			if e.shard < 0 || e.shard >= shards {
-				return nil, rs, fmt.Errorf("core: manifest entry names shard %d of %d", e.shard, shards)
+				return nil, rs, nil, fmt.Errorf("core: manifest entry names shard %d of %d", e.shard, shards)
 			}
 			devs[e.shard].WriteAddr(e.cell, e.final)
 			devs[e.shard].Clwb(e.cell)
@@ -284,27 +295,41 @@ func OpenShardedStore(cfg pmem.Config, images [][]byte) (*ShardedStore, ShardedR
 	stats, err := alloc.RecoverAll(heaps)
 	rs.PerShard = stats
 	if err != nil {
-		return nil, rs, err
+		return nil, rs, nil, err
 	}
 
-	// Phase 2.5: rebuild selective navigation, in parallel like the
-	// reachability scan — each shard replays its own roots' record chains
-	// on its own heap, so total rebuild time is the slowest shard's.
+	// Phase 2.5: verify/salvage (when asked) and rebuild selective
+	// navigation, in parallel like the reachability scan — each shard
+	// verifies and replays its own roots on its own heap, so degraded
+	// opens keep total recovery time at the slowest shard's. Without
+	// eager verification each shard arms lazy on-read checks instead.
 	rebuildErrs := make([]error, shards)
+	perShardDamage := make([][]DamagedRoot, shards)
 	var wg sync.WaitGroup
 	for i := range heaps {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			replayed, rerr := rebuildSelectiveRoots(heaps[i])
+			var skip map[int]bool
+			if vc.verify {
+				perShardDamage[i], skip = verifyHeap(heaps[i], i, vc.salvage)
+			}
+			replayed, rerr := rebuildSelectiveRoots(heaps[i], skip)
 			rebuildErrs[i] = rerr
+			if !vc.verify {
+				heaps[i].ArmLazyVerify()
+			}
 			devs[i].NoteRecovery(replayed, devs[i].LocalNs()-starts[i])
 		}(i)
 	}
 	wg.Wait()
+	var damaged []DamagedRoot
+	for _, d := range perShardDamage {
+		damaged = append(damaged, d...)
+	}
 	for i, rerr := range rebuildErrs {
 		if rerr != nil {
-			return nil, rs, fmt.Errorf("core: shard %d: %w", i, rerr)
+			return nil, rs, damaged, fmt.Errorf("core: shard %d: %w", i, rerr)
 		}
 	}
 
@@ -313,16 +338,17 @@ func OpenShardedStore(cfg pmem.Config, images [][]byte) (*ShardedStore, ShardedR
 	for i, a := range atts {
 		s, err := a.finishOpen()
 		if err != nil {
-			return nil, rs, fmt.Errorf("core: shard %d: %w", i, err)
+			return nil, rs, damaged, fmt.Errorf("core: shard %d: %w", i, err)
 		}
 		stores[i] = s
 	}
+	quarantineDamage(stores, damaged)
 	if dirty {
 		meta.WriteU64(manifestBase, manifestStatusIdle)
 		meta.Clwb(manifestBase)
 		meta.Sfence()
 	}
-	return newSharded(stores, meta), rs, nil
+	return newSharded(stores, meta), rs, damaged, nil
 }
 
 // Fork returns a new handle set onto the same sharded store whose

@@ -86,6 +86,13 @@ type storeShared struct {
 	serial      [alloc.RootSlots]float64 // mutex-path sim-time watermark; guarded by rootMu
 	mutexCommit atomic.Bool              // force the legacy mutex path (baseline mode)
 	cstats      commitCounters
+
+	// Quarantined root slots (corrupt.go): damage found by open-time
+	// verification or a Scrub. quarCount's atomic load keeps the
+	// healthy-store bind path lock-free.
+	quarMu    sync.Mutex
+	quar      map[int]error
+	quarCount atomic.Int32
 }
 
 // Store is a handle onto a persistent heap hosting MOD datastructures,
@@ -204,25 +211,46 @@ func (a *storeAttachment) finishOpen() (*Store, error) {
 // Deprecated: use Open with WithExistingImages, which recovers the same
 // way and reports the result in a RecoveryInfo.
 func OpenStore(dev *pmem.Device) (*Store, alloc.RecoveryStats, error) {
+	s, rs, _, err := openStoreVerify(dev, verifyConfig{})
+	return s, rs, err
+}
+
+// openStoreVerify is OpenStore with the corruption-resilience phases
+// wired in (corrupt.go): verification runs after the reachability scan
+// and before selective navigation is rebuilt, so replay never runs over
+// a record chain that no longer verifies; without eager verification
+// the heap arms lazy on-read checks instead.
+func openStoreVerify(dev *pmem.Device, vc verifyConfig) (*Store, alloc.RecoveryStats, []DamagedRoot, error) {
 	a, err := attachStore(dev)
 	if err != nil {
-		return nil, alloc.RecoveryStats{}, err
+		return nil, alloc.RecoveryStats{}, nil, err
 	}
 	start := dev.LocalNs()
 	rs, err := a.heap.Recover()
 	if err != nil {
-		return nil, rs, err
+		return nil, rs, nil, err
 	}
-	replayed, err := rebuildSelectiveRoots(a.heap)
+	var (
+		damaged []DamagedRoot
+		skip    map[int]bool
+	)
+	if vc.verify {
+		damaged, skip = verifyHeap(a.heap, 0, vc.salvage)
+	}
+	replayed, err := rebuildSelectiveRoots(a.heap, skip)
 	if err != nil {
-		return nil, rs, err
+		return nil, rs, damaged, err
+	}
+	if !vc.verify {
+		a.heap.ArmLazyVerify()
 	}
 	dev.NoteRecovery(replayed, dev.LocalNs()-start)
 	s, err := a.finishOpen()
 	if err != nil {
-		return nil, rs, err
+		return nil, rs, damaged, err
 	}
-	return s, rs, nil
+	quarantineDamage([]*Store{s}, damaged)
+	return s, rs, damaged, nil
 }
 
 func registerWalkers(heap *alloc.Heap) {
@@ -273,12 +301,12 @@ func (s *Store) Close() error {
 // the allocator superblock and the commit transaction log are updated in
 // place by design and are exempt from the out-of-place invariant.
 func (s *Store) CheckerConfig() trace.CheckerConfig {
-	logStart := s.tx.LogAddr() - 8 // include the block header
+	logStart := s.tx.LogAddr() - alloc.HeaderSize // include the block header
 	return trace.CheckerConfig{
 		ExemptRanges: [][2]pmem.Addr{
 			alloc.SuperblockRange(),
 			{logStart, s.tx.LogAddr() + pmem.Addr(stm.DefaultLogSize)},
-			{s.batchRec - 8, s.batchRec + pmem.Addr(batchRecSize)},
+			{s.batchRec - alloc.HeaderSize, s.batchRec + pmem.Addr(batchRecSize)},
 		},
 		AllowUnflushedTail: true,
 	}
@@ -469,10 +497,14 @@ func (s *Store) clearCrown(crown []pmem.Addr) {
 // replayed on top of its durable checkpoint (funcds.RebuildSelective) and
 // the rebuilt header republished. The swap is fenced on both sides so the
 // old header retires only once the replacement is durably published.
-// Returns the number of record operations replayed.
-func rebuildSelectiveRoots(heap *alloc.Heap) (uint64, error) {
+// Slots in skip — quarantined or already salvaged by verifyHeap — are
+// left untouched. Returns the number of record operations replayed.
+func rebuildSelectiveRoots(heap *alloc.Heap, skip map[int]bool) (uint64, error) {
 	var total uint64
 	for slot := 0; slot < alloc.RootSlots; slot++ {
+		if skip[slot] {
+			continue
+		}
 		root := heap.Root(slot)
 		if !funcds.IsSelective(heap, root) {
 			continue

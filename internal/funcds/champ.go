@@ -42,10 +42,9 @@ type mapEntry struct{ key, val pmem.Addr }
 
 // NewMap allocates an empty durable map (flushed, not fenced).
 func NewMap(h *alloc.Heap) Map {
-	a := h.Alloc(mapHdrSize, TagMapHdr)
-	dev := h.Device()
-	dev.Zero(a, mapHdrSize)
-	dev.FlushRange(a, mapHdrSize)
+	a := h.AllocNode(mapHdrSize, TagMapHdr)
+	h.Device().Zero(a, mapHdrSize)
+	h.SealNode(a, mapHdrSize)
 	return Map{h: h, addr: a}
 }
 
@@ -54,11 +53,10 @@ func NewMap(h *alloc.Heap) Map {
 // checkpoint clone starts as an empty normal map (flushed, not fenced).
 func NewMapSelective(h *alloc.Heap) Map {
 	ckpt := NewMap(h).Addr()
-	a := h.Alloc(mapHdrSize+selExtSize, TagMapHdrSel)
-	dev := h.Device()
-	dev.Zero(a, mapHdrSize)
+	a := h.AllocNode(mapHdrSize+selExtSize, TagMapHdrSel)
+	h.Device().Zero(a, mapHdrSize)
 	writeSelExt(h, a, mapHdrSize, ckpt, pmem.Nil, 0)
-	dev.FlushRange(a, mapHdrSize+selExtSize)
+	h.SealNode(a, mapHdrSize+selExtSize)
 	return Map{h: h, addr: a, sel: true}
 }
 

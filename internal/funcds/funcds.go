@@ -102,26 +102,32 @@ func nodeAlloc(h *alloc.Heap, ed *alloc.Edit, size int, tag uint8, vol bool) pme
 	if vol {
 		return h.AllocVolatile(size, tag)
 	}
-	return h.Alloc(size, tag)
+	// Durable non-edit node: defer the header flush to flushNode's
+	// SealNode, whose combined header+payload flush also stamps the
+	// node's checksum word (DESIGN.md §13).
+	return h.AllocNode(size, tag)
 }
 
-// flushNode makes a freshly written node's payload flush-pending: deferred
-// into the edit's dedup set, or issued immediately without an edit. The
-// block header's line is not re-flushed here — Alloc already flushed it
-// (eager path), or the edit recorded it (deferred path); flushing
-// [a, a+size) covers it again only when payload and header share a line,
-// which is exactly when it must be re-flushed after the payload write.
-// Volatile node payloads are never flushed here — that is the point of
-// selective persistence; the checkpoint flushes them in bulk.
+// flushNode makes a freshly written node's payload flush-pending. With an
+// edit it is deferred into the edit's dedup set and registered for the
+// Seal checksum pass; without one, SealNode stamps the checksum word and
+// flushes header plus payload as one range — never more clwbs than the
+// old eager-header-flush-plus-payload-flush pairing. Volatile node
+// payloads are never flushed here — that is the point of selective
+// persistence; the checkpoint flushes them in bulk.
+//
+// size must cover every payload byte the caller initialized: it is the
+// node's checksum coverage, and any byte outside it is neither flushed
+// nor verified.
 func flushNode(h *alloc.Heap, ed *alloc.Edit, a pmem.Addr, size int, vol bool) {
 	if vol {
 		return
 	}
 	if ed != nil {
-		ed.Record(a, size)
+		ed.RecordNode(a, size)
 		return
 	}
-	h.Device().FlushRange(a, size)
+	h.SealNode(a, size)
 }
 
 // recordEdit defers a flush of an in-place mutation on an edit-owned node.
@@ -156,6 +162,7 @@ func newBlob(h *alloc.Heap, ed *alloc.Edit, b []byte) pmem.Addr {
 
 // blobLen returns the length of the blob at a.
 func blobLen(h *alloc.Heap, a pmem.Addr) int {
+	h.VerifyOnRead(a)
 	return int(h.Device().ReadU32(a))
 }
 

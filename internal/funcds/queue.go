@@ -28,10 +28,9 @@ const queueHdrSize = 32
 
 // NewQueue allocates an empty durable queue (flushed, not fenced).
 func NewQueue(h *alloc.Heap) Queue {
-	a := h.Alloc(queueHdrSize, TagQueueHdr)
-	dev := h.Device()
-	dev.Zero(a, queueHdrSize)
-	dev.FlushRange(a, queueHdrSize)
+	a := h.AllocNode(queueHdrSize, TagQueueHdr)
+	h.Device().Zero(a, queueHdrSize)
+	h.SealNode(a, queueHdrSize)
 	return Queue{h: h, addr: a}
 }
 
@@ -40,11 +39,10 @@ func NewQueue(h *alloc.Heap) Queue {
 // and the checkpoint clone starts as an empty normal queue.
 func NewQueueSelective(h *alloc.Heap) Queue {
 	ckpt := NewQueue(h).Addr()
-	a := h.Alloc(queueHdrSize+selExtSize, TagQueueHdrSel)
-	dev := h.Device()
-	dev.Zero(a, queueHdrSize)
+	a := h.AllocNode(queueHdrSize+selExtSize, TagQueueHdrSel)
+	h.Device().Zero(a, queueHdrSize)
 	writeSelExt(h, a, queueHdrSize, ckpt, pmem.Nil, 0)
-	dev.FlushRange(a, queueHdrSize+selExtSize)
+	h.SealNode(a, queueHdrSize+selExtSize)
 	return Queue{h: h, addr: a, sel: true}
 }
 

@@ -184,6 +184,21 @@ func IsSelective(h *alloc.Heap, hdr pmem.Addr) bool {
 	return hdr != pmem.Nil && selBaseSize(h.Tag(hdr)) != 0
 }
 
+// SelectiveExt returns the checkpoint clone, record chain head, and
+// pending record count of the selective header at hdr (Nil, Nil, 0 when
+// hdr is not a selective structure). Fault-injection harnesses use it to
+// aim damage at the chain a salvage must survive.
+func SelectiveExt(h *alloc.Heap, hdr pmem.Addr) (ckpt, recHead pmem.Addr, recCount uint64) {
+	if hdr == pmem.Nil {
+		return pmem.Nil, pmem.Nil, 0
+	}
+	base := selBaseSize(h.Tag(hdr))
+	if base == 0 {
+		return pmem.Nil, pmem.Nil, 0
+	}
+	return readSelExt(h, hdr, base)
+}
+
 // readSelExt reads the selective extension of the header at hdr.
 func readSelExt(h *alloc.Heap, hdr pmem.Addr, base int) (ckpt, recHead pmem.Addr, recCount uint64) {
 	dev := h.Device()
@@ -345,18 +360,18 @@ func PrepareCheckpoint(h *alloc.Heap, hdr pmem.Addr) []pmem.Addr {
 	var clone pmem.Addr
 	switch tag {
 	case TagMapHdrSel:
-		clone = h.Alloc(mapHdrSize, TagMapHdr)
+		clone = h.AllocNode(mapHdrSize, TagMapHdr)
 	case TagVecHdrSel:
-		clone = h.Alloc(vecHdrSize, TagVecHdr)
+		clone = h.AllocNode(vecHdrSize, TagVecHdr)
 	case TagStackHdrSel:
-		clone = h.Alloc(stackHdrSize, TagStackHdr)
+		clone = h.AllocNode(stackHdrSize, TagStackHdr)
 	case TagQueueHdrSel:
-		clone = h.Alloc(queueHdrSize, TagQueueHdr)
+		clone = h.AllocNode(queueHdrSize, TagQueueHdr)
 	}
 	buf := make([]byte, base)
 	dev.Read(hdr, buf)
 	dev.Write(clone, buf)
-	dev.FlushRange(clone, base)
+	h.SealNode(clone, base)
 	for _, p := range livePointers(h, hdr) {
 		if p != pmem.Nil {
 			h.Retain(p)
@@ -366,6 +381,11 @@ func PrepareCheckpoint(h *alloc.Heap, hdr pmem.Addr) []pmem.Addr {
 	oldCkpt, oldRec, _ := readSelExt(h, hdr, base)
 	writeSelExt(h, hdr, base, clone, pmem.Nil, 0)
 	dev.FlushRange(hdr+pmem.Addr(base), selExtSize)
+	// The ext rewrite changed sealed payload bytes: recompute the header's
+	// checksum. Before the owning edit seals this is a no-op (the word is
+	// still zero, and Seal will stamp the final bytes); after it, the
+	// reseal keeps the published header verifiable.
+	h.ResealNode(hdr)
 	if oldCkpt != pmem.Nil {
 		h.Release(oldCkpt)
 	}
@@ -496,17 +516,100 @@ func RebuildSelective(h *alloc.Heap, hdr pmem.Addr) (newHdr pmem.Addr, replayed 
 
 	// Fresh selective header over the replayed state, which doubles as its
 	// checkpoint (entirely durable, empty chain).
-	newHdr = h.Alloc(base+selExtSize, tag)
+	newHdr = selHdrOver(h, final, tag, base)
+	return newHdr, len(chain), true, nil
+}
+
+// selHdrOver builds a fresh sealed selective header of the given tag
+// whose base fields copy the (fully durable) structure at state and whose
+// checkpoint is state itself, with an empty record chain. The state
+// reference transfers in; live pointers gain a reference each.
+func selHdrOver(h *alloc.Heap, state pmem.Addr, tag uint8, base int) pmem.Addr {
+	hdr := h.AllocNode(base+selExtSize, tag)
 	dev := h.Device()
 	buf := make([]byte, base)
-	dev.Read(final, buf)
-	dev.Write(newHdr, buf)
-	writeSelExt(h, newHdr, base, final, pmem.Nil, 0)
-	dev.FlushRange(newHdr, base+selExtSize)
-	for _, p := range livePointers(h, newHdr) {
+	dev.Read(state, buf)
+	dev.Write(hdr, buf)
+	writeSelExt(h, hdr, base, state, pmem.Nil, 0)
+	h.SealNode(hdr, base+selExtSize)
+	for _, p := range livePointers(h, hdr) {
 		if p != pmem.Nil {
 			h.Retain(p)
 		}
 	}
-	return newHdr, len(chain), true, nil
+	return hdr
+}
+
+// chainDamage walks the record chain from recHead, verifying every cell's
+// block checksum, decoded shape, and (for map kinds) operand blobs. It
+// returns nil when the chain verifies end to end with exactly recCount
+// cells, and the damage description otherwise. All reads go through
+// verification-safe paths, so a poisoned line classifies as damage
+// instead of panicking.
+func chainDamage(h *alloc.Heap, recHead pmem.Addr, recCount uint64) error {
+	var n uint64
+	for r := recHead; r != pmem.Nil; {
+		if n >= recCount {
+			return fmt.Errorf("funcds: record chain longer than header count %d", recCount)
+		}
+		if err := h.VerifyBlock(r); err != nil {
+			return err
+		}
+		buf := make([]byte, recordSize)
+		h.Device().Read(r, buf)
+		prev, kind, a, b, err := DecodeRecord(buf)
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case RecMapSet, RecMapDelete:
+			if err := h.VerifyBlock(pmem.Addr(a)); err != nil {
+				return err
+			}
+			if kind == RecMapSet && pmem.Addr(b) != pmem.Nil {
+				if err := h.VerifyBlock(pmem.Addr(b)); err != nil {
+					return err
+				}
+			}
+		}
+		n++
+		r = prev
+	}
+	if n != recCount {
+		return fmt.Errorf("funcds: record chain has %d cells, header says %d", n, recCount)
+	}
+	return nil
+}
+
+// SalvageSelective rebuilds the selective structure at hdr tolerating a
+// damaged record chain: when every record cell (and its blob operands)
+// verifies, it replays the chain exactly like RebuildSelective; when the
+// chain is damaged, it discards all of it and rolls the structure back to
+// its last checkpoint — the committed-prefix guarantee shrinks to the
+// checkpoint boundary, but nothing corrupt is ever replayed. dropped
+// reports how many records the rollback discarded (per the header's
+// count). The checkpoint subtree itself is not walked here; callers
+// verify the returned header with VerifyRoot-style checks.
+func SalvageSelective(h *alloc.Heap, hdr pmem.Addr) (newHdr pmem.Addr, replayed int, dropped uint64, err error) {
+	tag := h.Tag(hdr)
+	base := selBaseSize(tag)
+	if base == 0 {
+		return hdr, 0, 0, fmt.Errorf("funcds: salvage of non-selective header %#x (tag %d)", uint64(hdr), tag)
+	}
+	ckpt, recHead, recCount := readSelExt(h, hdr, base)
+	if ckpt == pmem.Nil {
+		return hdr, 0, 0, fmt.Errorf("funcds: selective header %#x has no checkpoint", uint64(hdr))
+	}
+	if damage := chainDamage(h, recHead, recCount); damage == nil {
+		newHdr, replayed, _, err = RebuildSelective(h, hdr)
+		return newHdr, replayed, 0, err
+	}
+	// Damaged chain: roll back to the checkpoint. The clone keeps its
+	// reference through the new header's ckpt field plus one for serving
+	// as the live state.
+	if err := h.VerifyBlock(ckpt); err != nil {
+		return hdr, 0, 0, err
+	}
+	h.Retain(ckpt)
+	return selHdrOver(h, ckpt, tag, base), 0, recCount, nil
 }

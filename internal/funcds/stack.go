@@ -27,11 +27,11 @@ const (
 
 // NewStack allocates an empty durable stack (flushed, not fenced).
 func NewStack(h *alloc.Heap) Stack {
-	a := h.Alloc(stackHdrSize, TagStackHdr)
+	a := h.AllocNode(stackHdrSize, TagStackHdr)
 	dev := h.Device()
 	dev.WriteU64(a, 0)
 	dev.WriteU64(a+8, 0)
-	dev.FlushRange(a, stackHdrSize)
+	h.SealNode(a, stackHdrSize)
 	return Stack{h: h, addr: a}
 }
 
@@ -40,11 +40,10 @@ func NewStack(h *alloc.Heap) Stack {
 // and the checkpoint clone starts as an empty normal stack.
 func NewStackSelective(h *alloc.Heap) Stack {
 	ckpt := NewStack(h).Addr()
-	a := h.Alloc(stackHdrSize+selExtSize, TagStackHdrSel)
-	dev := h.Device()
-	dev.Zero(a, stackHdrSize)
+	a := h.AllocNode(stackHdrSize+selExtSize, TagStackHdrSel)
+	h.Device().Zero(a, stackHdrSize)
 	writeSelExt(h, a, stackHdrSize, ckpt, pmem.Nil, 0)
-	dev.FlushRange(a, stackHdrSize+selExtSize)
+	h.SealNode(a, stackHdrSize+selExtSize)
 	return Stack{h: h, addr: a, sel: true}
 }
 

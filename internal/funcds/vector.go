@@ -64,10 +64,9 @@ func tailOffset(count uint64) uint64 {
 
 // NewVector allocates an empty durable vector (flushed, not fenced).
 func NewVector(h *alloc.Heap) Vector {
-	a := h.Alloc(vecHdrSize, TagVecHdr)
-	dev := h.Device()
-	dev.Zero(a, vecHdrSize)
-	dev.FlushRange(a, vecHdrSize)
+	a := h.AllocNode(vecHdrSize, TagVecHdr)
+	h.Device().Zero(a, vecHdrSize)
+	h.SealNode(a, vecHdrSize)
 	return Vector{h: h, addr: a}
 }
 
@@ -77,11 +76,10 @@ func NewVector(h *alloc.Heap) Vector {
 // vector (flushed, not fenced).
 func NewVectorSelective(h *alloc.Heap) Vector {
 	ckpt := NewVector(h).Addr()
-	a := h.Alloc(vecHdrSize+selExtSize, TagVecHdrSel)
-	dev := h.Device()
-	dev.Zero(a, vecHdrSize)
+	a := h.AllocNode(vecHdrSize+selExtSize, TagVecHdrSel)
+	h.Device().Zero(a, vecHdrSize)
 	writeSelExt(h, a, vecHdrSize, ckpt, pmem.Nil, 0)
-	dev.FlushRange(a, vecHdrSize+selExtSize)
+	h.SealNode(a, vecHdrSize+selExtSize)
 	return Vector{h: h, addr: a, sel: true}
 }
 

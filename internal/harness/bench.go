@@ -609,6 +609,71 @@ func CompareBenchDocs(base, cur *BenchDoc, tol float64) []string {
 	return regressions
 }
 
+// CompareBenchOrdering asserts the §13 ordering-neutrality contract
+// exactly: node checksums are written inside each FASE's existing
+// flush+fence envelope, so the raw fence and flush counts of every
+// single-threaded deterministic sweep must be bit-identical to the
+// baseline — not merely within tolerance. Multi-writer and wall-clock
+// sweeps (sharded with writers > 1, server, contention cas columns,
+// the concurrent sweep) depend on goroutine interleaving and are
+// excluded. Rows missing on either side are ignored here;
+// CompareBenchDocs already reports those.
+func CompareBenchOrdering(base, cur *BenchDoc) []string {
+	var drift []string
+	exact := func(key string, baseF, baseFl, curF, curFl uint64) {
+		if baseF != curF {
+			drift = append(drift, fmt.Sprintf("%s: fences %d -> %d (exact ordering gate)", key, baseF, curF))
+		}
+		if baseFl != curFl {
+			drift = append(drift, fmt.Sprintf("%s: flushes %d -> %d (exact ordering gate)", key, baseFl, curFl))
+		}
+	}
+
+	curWorkloads := make(map[string]BenchWorkload, len(cur.Workloads))
+	for _, w := range cur.Workloads {
+		curWorkloads[w.Workload+"/"+w.Engine] = w
+	}
+	for _, b := range base.Workloads {
+		key := b.Workload + "/" + b.Engine
+		if c, ok := curWorkloads[key]; ok {
+			exact(key, b.Fences, b.Flushes, c.Fences, c.Flushes)
+		}
+	}
+
+	curGC := make(map[string]BenchGroupCommit, len(cur.GroupCommit))
+	for _, g := range cur.GroupCommit {
+		curGC[fmt.Sprintf("groupcommit/b%d/s%d", g.BatchSize, g.Shards)] = g
+	}
+	for _, b := range base.GroupCommit {
+		key := fmt.Sprintf("groupcommit/b%d/s%d", b.BatchSize, b.Shards)
+		if c, ok := curGC[key]; ok {
+			exact(key, b.Fences, b.Flushes, c.Fences, c.Flushes)
+		}
+	}
+
+	curTr := make(map[int]BenchTransient, len(cur.Transient))
+	for _, t := range cur.Transient {
+		curTr[t.OpsPerFASE] = t
+	}
+	for _, b := range base.Transient {
+		if c, ok := curTr[b.OpsPerFASE]; ok {
+			exact(fmt.Sprintf("transient/b%d", b.OpsPerFASE), b.Fences, b.Flushes, c.Fences, c.Flushes)
+		}
+	}
+
+	curSel := make(map[string]BenchSelective, len(cur.Selective))
+	for _, s := range cur.Selective {
+		curSel[selectiveRowKey(s.Structure, s.Selective, s.OpsPerFASE)] = s
+	}
+	for _, b := range base.Selective {
+		key := selectiveRowKey(b.Structure, b.Selective, b.OpsPerFASE)
+		if c, ok := curSel[key]; ok {
+			exact(key, b.Fences, b.Flushes, c.Fences, c.Flushes)
+		}
+	}
+	return drift
+}
+
 func selectiveRowKey(structure string, selective bool, opsPerFASE int) string {
 	mode := "all"
 	if selective {

@@ -1,0 +1,244 @@
+package pmem
+
+import "fmt"
+
+// Media faults. The crash machinery in crash.go models power loss: every
+// recovered image is an intact prefix of fenced writes. Real PM devices
+// additionally deliver media faults — a bit flips in a line that was
+// durable, an 8-byte store tears inside a line whose neighbors persisted,
+// or a line's ECC gives up and reads of it fail. A FaultPlan describes a
+// set of such faults; ApplyToImage damages a crash image before reopen,
+// and Apply installs the unreadable-line state on the reopened device.
+// The two compose with CrashImage/CrashCountdown: capture the power-loss
+// image first, then corrupt it.
+
+// MediaError is the panic value raised by a device read that touches a
+// line marked unreadable (an uncorrectable media fault, the simulated
+// equivalent of a machine-check on a poisoned line). Recovery and
+// verification paths catch it and surface the damage as a corruption
+// error instead of serving garbage.
+type MediaError struct {
+	Addr Addr // first unreadable line touched (line-aligned)
+}
+
+func (e *MediaError) Error() string {
+	return fmt.Sprintf("pmem: media error reading line %#x", uint64(e.Addr))
+}
+
+// FaultKind classifies one injected media fault.
+type FaultKind uint8
+
+const (
+	// FaultBitFlip flips one bit of the image: silent corruption that
+	// only an end-to-end checksum can catch.
+	FaultBitFlip FaultKind = 1 + iota
+	// FaultTornStore reverts one 8-byte word to its pre-crash durable
+	// value (or zero without a reference image) while the rest of its
+	// line persists — a store torn below the 8-byte atomicity grain the
+	// commit protocol assumes.
+	FaultTornStore
+	// FaultDeadLine marks a whole line unreadable: reads panic with a
+	// MediaError, and the line's image contents are scrambled so that
+	// paths reading around the poisoning (raw Bytes views) still fail
+	// checksum verification rather than seeing stale plausible data.
+	FaultDeadLine
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultBitFlip:
+		return "bit-flip"
+	case FaultTornStore:
+		return "torn-store"
+	case FaultDeadLine:
+		return "dead-line"
+	}
+	return fmt.Sprintf("FaultKind(%d)", uint8(k))
+}
+
+// Fault is one injected media fault.
+type Fault struct {
+	Kind FaultKind
+	Addr Addr  // bit-flip: byte address; torn store: 8-byte-aligned word; dead line: any address in the line
+	Bit  uint8 // bit index within the byte, bit flips only
+}
+
+// FaultPlan is an ordered set of media faults to inject into a recovered
+// image. The zero value is an empty plan.
+type FaultPlan struct {
+	faults []Fault
+}
+
+// FlipBit schedules a single-bit flip of the byte at addr.
+func (p *FaultPlan) FlipBit(addr Addr, bit uint8) *FaultPlan {
+	p.faults = append(p.faults, Fault{Kind: FaultBitFlip, Addr: addr, Bit: bit & 7})
+	return p
+}
+
+// TearStore schedules an 8-byte torn store at addr (rounded down to
+// 8-byte alignment): the word reverts to the reference image's value
+// while the rest of its line keeps the crashed contents.
+func (p *FaultPlan) TearStore(addr Addr) *FaultPlan {
+	p.faults = append(p.faults, Fault{Kind: FaultTornStore, Addr: addr &^ 7})
+	return p
+}
+
+// KillLine schedules an unreadable line covering addr.
+func (p *FaultPlan) KillLine(addr Addr) *FaultPlan {
+	p.faults = append(p.faults, Fault{Kind: FaultDeadLine, Addr: addr &^ (LineSize - 1)})
+	return p
+}
+
+// Len returns the number of scheduled faults.
+func (p *FaultPlan) Len() int { return len(p.faults) }
+
+// Faults returns the scheduled faults in injection order.
+func (p *FaultPlan) Faults() []Fault { return p.faults }
+
+// DeadLines returns the line-aligned addresses of every scheduled
+// dead-line fault.
+func (p *FaultPlan) DeadLines() []Addr {
+	var out []Addr
+	for _, f := range p.faults {
+		if f.Kind == FaultDeadLine {
+			out = append(out, f.Addr)
+		}
+	}
+	return out
+}
+
+// ApplyToImage mutates img in place per the plan. base, when non-nil, is
+// the reference image a torn store reverts to (typically the durable
+// image from before the measured history, or the pristine formatted
+// image); torn words beyond base, or with base nil, revert to zero.
+// Faults aimed beyond img are ignored — a plan built against a larger
+// arena stays usable on a truncated image.
+func (p *FaultPlan) ApplyToImage(img, base []byte) {
+	for _, f := range p.faults {
+		switch f.Kind {
+		case FaultBitFlip:
+			if int(f.Addr) < len(img) {
+				img[f.Addr] ^= 1 << f.Bit
+			}
+		case FaultTornStore:
+			if int(f.Addr)+8 > len(img) {
+				continue
+			}
+			for i := 0; i < 8; i++ {
+				b := byte(0)
+				if int(f.Addr)+i < len(base) {
+					b = base[int(f.Addr)+i]
+				}
+				img[int(f.Addr)+i] = b
+			}
+		case FaultDeadLine:
+			end := int(f.Addr) + LineSize
+			if end > len(img) {
+				end = len(img)
+			}
+			// Scramble, don't zero: zeroed lines parse as never-written
+			// heap tail and would be silently truncated instead of
+			// detected. The XOR pattern guarantees a checksum mismatch
+			// while keeping the damage deterministic.
+			for i := int(f.Addr); i < end; i++ {
+				img[i] ^= 0xA5
+			}
+		}
+	}
+}
+
+// Apply installs the plan's persistent-media state on a device reopened
+// from a damaged image: every dead line is marked unreadable. Image
+// damage itself must already have been applied (ApplyToImage before
+// NewFromImage).
+func (p *FaultPlan) Apply(d *Device) {
+	for _, f := range p.faults {
+		if f.Kind == FaultDeadLine {
+			d.MarkLineDead(f.Addr)
+		}
+	}
+}
+
+// MarkLineDead marks the line containing addr unreadable: subsequent
+// Read/ReadU64/ReadU32/CasAddr calls touching it panic with a
+// *MediaError. Raw Bytes views are exempt (they model reading around the
+// ECC machinery; checksum verification catches the scrambled contents)
+// and writes still land — overwriting a poisoned line is how real
+// devices clear poison, but the simulation keeps the line dead until
+// ClearDeadLines so tests can exercise persistent faults.
+func (d *Device) MarkLineDead(addr Addr) {
+	s := d.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.checkRange(addr, 1)
+	if s.dead.words == nil {
+		s.dead = newBitset(s.lines)
+	}
+	s.dead.set(uint64(addr) >> LineShift)
+	s.deadLines++
+}
+
+// LineDead reports whether the line containing addr is marked unreadable.
+func (d *Device) LineDead(addr Addr) bool {
+	s := d.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dead.words != nil && s.dead.get(uint64(addr)>>LineShift)
+}
+
+// RangeDead returns the address of the first unreadable line overlapping
+// [addr, addr+n), or (Nil, false) when the range is fully readable.
+func (d *Device) RangeDead(addr Addr, n int) (Addr, bool) {
+	if n <= 0 {
+		return Nil, false
+	}
+	s := d.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead.words == nil {
+		return Nil, false
+	}
+	first := uint64(addr) >> LineShift
+	last := (uint64(addr) + uint64(n) - 1) >> LineShift
+	for ln := first; ln <= last; ln++ {
+		if s.dead.get(ln) {
+			return Addr(ln << LineShift), true
+		}
+	}
+	return Nil, false
+}
+
+// DeadLineCount returns the number of lines marked unreadable.
+func (d *Device) DeadLineCount() int {
+	s := d.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deadLines
+}
+
+// ClearDeadLines clears all unreadable-line state, as after a scrub
+// rewrites the poisoned lines.
+func (d *Device) ClearDeadLines() {
+	s := d.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dead = bitset{}
+	s.deadLines = 0
+}
+
+// checkDeadLocked panics with a *MediaError if any line in [addr,
+// addr+n) is marked unreadable. Caller holds s.mu; the lock is released
+// before panicking so recovering callers do not deadlock the device.
+func (s *devState) checkDeadLocked(addr Addr, n int) {
+	if s.dead.words == nil || n <= 0 {
+		return
+	}
+	first := uint64(addr) >> LineShift
+	last := (uint64(addr) + uint64(n) - 1) >> LineShift
+	for ln := first; ln <= last; ln++ {
+		if s.dead.get(ln) {
+			s.mu.Unlock()
+			panic(&MediaError{Addr: Addr(ln << LineShift)})
+		}
+	}
+}

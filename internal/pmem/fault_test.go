@@ -1,0 +1,167 @@
+package pmem
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFaultPlanApplyToImage(t *testing.T) {
+	img := make([]byte, 4*LineSize)
+	for i := range img {
+		img[i] = byte(i)
+	}
+	base := make([]byte, len(img))
+	for i := range base {
+		base[i] = 0xEE
+	}
+	orig := append([]byte(nil), img...)
+
+	plan := &FaultPlan{}
+	plan.FlipBit(3, 2)
+	plan.TearStore(Addr(LineSize + 5)) // rounds down to LineSize
+	plan.KillLine(Addr(2*LineSize + 7))
+	if plan.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", plan.Len())
+	}
+	plan.ApplyToImage(img, base)
+
+	if img[3] != orig[3]^(1<<2) {
+		t.Errorf("bit flip: %#x, want %#x", img[3], orig[3]^(1<<2))
+	}
+	for i := LineSize; i < LineSize+8; i++ {
+		if img[i] != 0xEE {
+			t.Errorf("torn word byte %d = %#x, want base 0xEE", i, img[i])
+		}
+	}
+	if img[LineSize+8] != orig[LineSize+8] {
+		t.Error("torn store spilled past its 8-byte word")
+	}
+	for i := 2 * LineSize; i < 3*LineSize; i++ {
+		if img[i] != orig[i]^0xA5 {
+			t.Fatalf("dead line byte %d not scrambled", i)
+		}
+	}
+	if !bytes.Equal(img[3*LineSize:], orig[3*LineSize:]) {
+		t.Error("fault plan touched bytes outside its targets")
+	}
+	if got := plan.DeadLines(); len(got) != 1 || got[0] != Addr(2*LineSize) {
+		t.Errorf("DeadLines = %v", got)
+	}
+}
+
+func TestFaultPlanTornStoreZeroWithoutBase(t *testing.T) {
+	img := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	(&FaultPlan{}).TearStore(0).ApplyToImage(img, nil)
+	for i := 0; i < 8; i++ {
+		if img[i] != 0 {
+			t.Fatalf("byte %d = %d, want 0 (no reference image)", i, img[i])
+		}
+	}
+	if img[8] != 9 {
+		t.Error("tear spilled")
+	}
+}
+
+func TestFaultPlanIgnoresOutOfRange(t *testing.T) {
+	img := make([]byte, 16)
+	plan := (&FaultPlan{}).FlipBit(100, 0).TearStore(12).KillLine(Addr(5 * LineSize))
+	plan.ApplyToImage(img, nil) // must not panic; truncated targets skipped
+	for i, b := range img {
+		if b != 0 {
+			t.Fatalf("byte %d damaged by out-of-range fault", i)
+		}
+	}
+}
+
+func TestDeadLineReadsPanic(t *testing.T) {
+	dev := New(DefaultConfig(1 << 16))
+	dev.WriteU64(0, 0xDEAD)
+	dev.WriteU64(LineSize, 0xBEEF)
+	dev.MarkLineDead(LineSize)
+
+	if !dev.LineDead(Addr(LineSize + 7)) {
+		t.Fatal("LineDead false for poisoned line")
+	}
+	if dev.LineDead(0) {
+		t.Fatal("LineDead true for healthy line")
+	}
+	if got := dev.DeadLineCount(); got != 1 {
+		t.Fatalf("DeadLineCount = %d", got)
+	}
+	if a, dead := dev.RangeDead(0, 2*LineSize); !dead || a != Addr(LineSize) {
+		t.Fatalf("RangeDead = %#x, %v", uint64(a), dead)
+	}
+	if _, dead := dev.RangeDead(0, LineSize); dead {
+		t.Fatal("RangeDead flagged a healthy range")
+	}
+
+	// Healthy lines still read.
+	if got := dev.ReadU64(0); got != 0xDEAD {
+		t.Fatalf("healthy read = %#x", got)
+	}
+	// Poisoned reads panic with the typed error.
+	func() {
+		defer func() {
+			me, ok := recover().(*MediaError)
+			if !ok {
+				t.Fatal("read of dead line did not raise *MediaError")
+			}
+			if me.Addr != Addr(LineSize) {
+				t.Fatalf("MediaError.Addr = %#x", uint64(me.Addr))
+			}
+		}()
+		dev.ReadU64(Addr(LineSize))
+	}()
+	// A read spanning into the poisoned line panics too.
+	func() {
+		defer func() {
+			if _, ok := recover().(*MediaError); !ok {
+				t.Fatal("spanning read did not raise *MediaError")
+			}
+		}()
+		buf := make([]byte, 16)
+		dev.Read(Addr(LineSize-8), buf)
+	}()
+
+	// Raw Bytes views are exempt: they model scrub machinery reading
+	// around the ECC, and checksums catch the scrambled contents.
+	_ = dev.Bytes(Addr(LineSize), 8)
+
+	// Writes still land, and the line stays dead until cleared.
+	dev.WriteU64(Addr(LineSize), 1)
+	if !dev.LineDead(Addr(LineSize)) {
+		t.Fatal("write cleared poison implicitly")
+	}
+	dev.ClearDeadLines()
+	if dev.DeadLineCount() != 0 || dev.LineDead(Addr(LineSize)) {
+		t.Fatal("ClearDeadLines left state behind")
+	}
+	if got := dev.ReadU64(Addr(LineSize)); got != 1 {
+		t.Fatalf("post-clear read = %d", got)
+	}
+}
+
+func TestFaultPlanApplyMarksDeadLines(t *testing.T) {
+	dev := New(DefaultConfig(1 << 16))
+	plan := (&FaultPlan{}).FlipBit(0, 0).KillLine(Addr(3 * LineSize))
+	plan.Apply(dev)
+	if dev.DeadLineCount() != 1 {
+		t.Fatalf("DeadLineCount = %d, want 1 (bit flips are image-only)", dev.DeadLineCount())
+	}
+	if !dev.LineDead(Addr(3 * LineSize)) {
+		t.Fatal("scheduled dead line not installed")
+	}
+}
+
+func TestFaultKindString(t *testing.T) {
+	for k, want := range map[FaultKind]string{
+		FaultBitFlip:   "bit-flip",
+		FaultTornStore: "torn-store",
+		FaultDeadLine:  "dead-line",
+		FaultKind(9):   "FaultKind(9)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", uint8(k), got, want)
+		}
+	}
+}

@@ -280,6 +280,9 @@ type devState struct {
 
 	cache *cachesim.Hierarchy
 
+	dead      bitset // unreadable lines (media faults, fault.go); nil when none
+	deadLines int
+
 	tracer atomic.Value // tracerBox
 	stats  Stats        // counter fields only; times live in agg
 	fences atomic.Uint64
@@ -513,6 +516,7 @@ func (d *Device) Read(addr Addr, p []byte) {
 	s := d.s
 	s.mu.Lock()
 	s.checkRange(addr, len(p))
+	s.checkDeadLocked(addr, len(p))
 	ns := d.accessLocked(addr, len(p), false)
 	copy(p, s.mem[addr:])
 	s.stats.Reads++
@@ -564,6 +568,7 @@ func (d *Device) ReadU64(addr Addr) uint64 {
 	s := d.s
 	s.mu.Lock()
 	s.checkRange(addr, 8)
+	s.checkDeadLocked(addr, 8)
 	ns := d.accessLocked(addr, 8, false)
 	v := binary.LittleEndian.Uint64(s.mem[addr:])
 	s.stats.Reads++
@@ -618,6 +623,7 @@ func (d *Device) CasAddr(addr, old, v Addr) bool {
 	s := d.s
 	s.mu.Lock()
 	s.checkRange(addr, 8)
+	s.checkDeadLocked(addr, 8)
 	ns := d.accessLocked(addr, 8, false)
 	cur := Addr(binary.LittleEndian.Uint64(s.mem[addr:]))
 	s.stats.Reads++
@@ -644,6 +650,7 @@ func (d *Device) ReadU32(addr Addr) uint32 {
 	s := d.s
 	s.mu.Lock()
 	s.checkRange(addr, 4)
+	s.checkDeadLocked(addr, 4)
 	ns := d.accessLocked(addr, 4, false)
 	v := binary.LittleEndian.Uint32(s.mem[addr:])
 	s.stats.Reads++

@@ -13,7 +13,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/mod-ds/mod/internal/alloc"
 	"github.com/mod-ds/mod/internal/core"
+	"github.com/mod-ds/mod/internal/pmem"
 )
 
 // DefaultRoots is the number of map roots keys are spread across when
@@ -239,7 +241,7 @@ func (s *Server) serveConn(nc net.Conn) {
 			}
 			return
 		}
-		rp := s.handler(c, cmd)
+		rp := s.handle(c, cmd)
 		if err := rp.writeTo(bw); err != nil {
 			s.logf("write: %v", err)
 			return
@@ -251,20 +253,94 @@ func (s *Server) serveConn(nc net.Conn) {
 	}
 }
 
+// handle runs the middleware-wrapped handler, converting the typed
+// corruption panics the store's lazy on-read verification raises deep
+// inside read paths (which have no error returns) into -CORRUPT
+// replies: one damaged node degrades one command, not the connection —
+// let alone the server. Anything else keeps panicking into the
+// connection goroutine (or the Recover middleware, when installed).
+func (s *Server) handle(c *Conn, cmd Command) (rp Reply) {
+	defer func() {
+		switch r := recover().(type) {
+		case nil:
+		case *alloc.CorruptionPanic:
+			rp = ErrorReply("CORRUPT", r.Error())
+		case *pmem.MediaError:
+			rp = ErrorReply("CORRUPT", r.Error())
+		default:
+			panic(r)
+		}
+	}()
+	return s.handler(c, cmd)
+}
+
 func isTimeout(err error) bool {
 	var ne net.Error
 	return errors.As(err, &ne) && ne.Timeout()
 }
 
-// errReply maps store errors onto RESP error classes.
+// errReply maps store errors onto RESP error classes for read paths:
+// a quarantined or corrupt root answers -CORRUPT so clients can tell
+// media damage from transient failures.
 func errReply(err error) Reply {
 	switch {
 	case errors.Is(err, core.ErrWrongRootKind):
 		return ErrorReply("WRONGTYPE", err.Error())
 	case errors.Is(err, core.ErrStoreClosed):
 		return ErrorReply("SHUTDOWN", err.Error())
+	case errors.Is(err, core.ErrCorrupted):
+		return ErrorReply("CORRUPT", err.Error())
 	default:
 		return ErrorReply("ERR", err.Error())
+	}
+}
+
+// writeErrReply maps store errors onto RESP error classes for write
+// paths: a write against a quarantined root answers -READONLY — the
+// root is degraded to read-only-at-best until repaired, and the Redis
+// convention tells well-behaved clients to stop writing here.
+func writeErrReply(err error) Reply {
+	if errors.Is(err, core.ErrCorrupted) {
+		return ErrorReply("READONLY", err.Error())
+	}
+	return errReply(err)
+}
+
+// transientCommitErr reports whether a CommitAsync ticket failure is
+// worth retrying: permanent conditions (shutdown, quarantined or
+// mistyped roots) are not.
+func transientCommitErr(err error) bool {
+	return !errors.Is(err, core.ErrStoreClosed) &&
+		!errors.Is(err, core.ErrCorrupted) &&
+		!errors.Is(err, core.ErrWrongRootKind) &&
+		!errors.Is(err, core.ErrReservedRootName)
+}
+
+// commitRetries and commitBackoff bound the write paths' retry loop:
+// a failed durability ticket is retried at most commitRetries extra
+// times, sleeping commitBackoff, 2×commitBackoff, ... between attempts.
+const commitRetries = 2
+
+var commitBackoff = time.Millisecond
+
+// commitDurable builds a batch via build, submits it, and waits for
+// durability, retrying transient ticket failures with bounded
+// exponential backoff. Each retry rebuilds the batch (submission
+// consumes it); the queued operations are idempotent map sets/deletes,
+// so a retry after an ambiguous failure is safe.
+func commitDurable(kv core.KV, build func(b core.Batcher)) error {
+	backoff := commitBackoff
+	for attempt := 0; ; attempt++ {
+		b := kv.Batch()
+		build(b)
+		t := b.CommitAsync()
+		t.Wait() // reply only after the write is fenced durable
+		err := t.Err()
+		if err == nil || attempt >= commitRetries || !transientCommitErr(err) {
+			return err
+		}
+		time.Sleep(backoff)
+		backoff *= 2
 	}
 }
 
@@ -334,14 +410,12 @@ func (s *Server) dispatch(c *Conn, cmd Command) Reply {
 		}
 		m, err := c.rootFor(cmd.Args[0])
 		if err != nil {
-			return errReply(err)
+			return writeErrReply(err)
 		}
-		b := c.kv.Batch()
-		b.MapSet(m, cmd.Args[0], cmd.Args[1])
-		t := b.CommitAsync()
-		t.Wait() // reply only after the write is fenced durable
-		if err := t.Err(); err != nil {
-			return errReply(err)
+		if err := commitDurable(c.kv, func(b core.Batcher) {
+			b.MapSet(m, cmd.Args[0], cmd.Args[1])
+		}); err != nil {
+			return writeErrReply(err)
 		}
 		return SimpleReply("OK")
 	case "DEL":
@@ -350,17 +424,15 @@ func (s *Server) dispatch(c *Conn, cmd Command) Reply {
 		}
 		m, err := c.rootFor(cmd.Args[0])
 		if err != nil {
-			return errReply(err)
+			return writeErrReply(err)
 		}
 		if _, ok := m.Get(cmd.Args[0]); !ok {
 			return IntReply(0)
 		}
-		b := c.kv.Batch()
-		b.MapDelete(m, cmd.Args[0])
-		t := b.CommitAsync()
-		t.Wait()
-		if err := t.Err(); err != nil {
-			return errReply(err)
+		if err := commitDurable(c.kv, func(b core.Batcher) {
+			b.MapDelete(m, cmd.Args[0])
+		}); err != nil {
+			return writeErrReply(err)
 		}
 		return IntReply(1)
 	case "LEN":
@@ -406,26 +478,28 @@ func (s *Server) execMulti(c *Conn) Reply {
 	if len(queued) == 0 {
 		return ArrayReply()
 	}
-	b := c.kv.Batch()
-	elems := make([]Reply, len(queued))
+	roots := make([]*core.Map, len(queued))
 	for i, q := range queued {
 		m, err := c.rootFor(q.Args[0])
 		if err != nil {
-			return errReply(err)
+			return writeErrReply(err)
 		}
-		switch q.Name {
-		case "SET":
-			b.MapSet(m, q.Args[0], q.Args[1])
-			elems[i] = SimpleReply("OK")
-		case "DEL":
-			b.MapDelete(m, q.Args[0])
-			elems[i] = IntReply(1)
-		}
+		roots[i] = m
 	}
-	t := b.CommitAsync()
-	t.Wait()
-	if err := t.Err(); err != nil {
-		return errReply(err)
+	elems := make([]Reply, len(queued))
+	if err := commitDurable(c.kv, func(b core.Batcher) {
+		for i, q := range queued {
+			switch q.Name {
+			case "SET":
+				b.MapSet(roots[i], q.Args[0], q.Args[1])
+				elems[i] = SimpleReply("OK")
+			case "DEL":
+				b.MapDelete(roots[i], q.Args[0])
+				elems[i] = IntReply(1)
+			}
+		}
+	}); err != nil {
+		return writeErrReply(err)
 	}
 	return ArrayReply(elems...)
 }

@@ -111,7 +111,19 @@ var (
 	ErrStoreClosed = core.ErrStoreClosed
 	// ErrShardCount is returned for invalid shard counts.
 	ErrShardCount = core.ErrShardCount
+	// ErrCorrupted is returned (wrapped in a *CorruptionError) when an
+	// image fails recovery, a root fails verification, or a bind targets
+	// a quarantined root (DESIGN.md §13).
+	ErrCorrupted = core.ErrCorrupted
 )
+
+// CorruptionError wraps ErrCorrupted with the shard, root slot, and
+// detailed cause of detected media damage.
+type CorruptionError = core.CorruptionError
+
+// DamagedRoot reports one root that failed verification at open or
+// during a Scrub, and whether salvage repaired it.
+type DamagedRoot = core.DamagedRoot
 
 // Datastructure handles (Basic interface) and shadow versions
 // (Composition interface).
@@ -197,6 +209,16 @@ func WithCommitter(maxOps int) Option { return core.WithCommitter(maxOps) }
 // window, letting request/response-paced concurrent clients share
 // fence epochs (DESIGN.md §11).
 func WithCommitterLinger(d time.Duration) Option { return core.WithCommitterLinger(d) }
+
+// WithVerify walks every root at open, verifying node checksums, and
+// quarantines damaged roots: the store opens degraded, with the damage
+// reported in RecoveryInfo.Damaged (DESIGN.md §13).
+func WithVerify() Option { return core.WithVerify() }
+
+// WithSalvage implies WithVerify and additionally rolls a damaged
+// selective root back to its last verified checkpoint instead of
+// quarantining it, reporting the dropped operations.
+func WithSalvage() Option { return core.WithSalvage() }
 
 // NewStore formats the device and returns an empty store.
 //
