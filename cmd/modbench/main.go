@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	modbench [-experiment name] [-scale default|full|small] [-ops N] [-shards N] [-csv dir] [-bench file]
+//	modbench [-experiment name] [-scale default|full|small] [-ops N] [-shards N] [-csv dir] [-bench file] [-backend sim|mmap]
 //
 // Without -experiment it runs everything. Experiment names: table1,
 // table2, fig2, fig4, fig9, fig10, fig11, table3, spaceoverhead,
@@ -19,6 +19,11 @@
 // ns, ops per simulated second, fences and flushes per workload), so the
 // performance trajectory can be tracked across commits; cmd/benchdiff
 // gates CI on it.
+//
+// -backend mmap additionally runs the wall-clock mmapdev sweep (the
+// same structures over a file-backed store) and appends its rows to the
+// report; benchdiff tracks those rows' presence but never gates their
+// values.
 package main
 
 import (
@@ -37,7 +42,16 @@ func main() {
 	shards := flag.Int("shards", 0, "restrict the sharded experiment's sweep to this shard count")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
 	benchFile := flag.String("bench", "", "write a machine-readable BENCH.json to this path instead of rendering tables")
+	backend := flag.String("backend", "sim", "sim | mmap (with -bench: also run the wall-clock mmapdev sweep; rows are presence-tracked, never value-gated)")
 	flag.Parse()
+
+	switch *backend {
+	case "sim", "mmap":
+		harness.BenchBackend = *backend
+	default:
+		fmt.Fprintf(os.Stderr, "modbench: unknown backend %q\n", *backend)
+		os.Exit(2)
+	}
 
 	var scale harness.Scale
 	switch *scaleName {
@@ -114,8 +128,8 @@ func writeBench(path, scaleName string, scale harness.Scale) error {
 	if err := harness.WriteBenchDoc(doc, path); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d workload rows, %d concurrent rows, %d transient rows, %d groupcommit rows, %d sharded rows, %d selective rows, %d recovery rows, %d server rows, %d contention rows)\n",
+	fmt.Printf("wrote %s (%d workload rows, %d concurrent rows, %d transient rows, %d groupcommit rows, %d sharded rows, %d selective rows, %d recovery rows, %d server rows, %d contention rows, %d mmap rows)\n",
 		path, len(doc.Workloads), len(doc.Concurrent), len(doc.Transient), len(doc.GroupCommit), len(doc.Sharded),
-		len(doc.Selective), len(doc.Recovery), len(doc.Server), len(doc.Contention))
+		len(doc.Selective), len(doc.Recovery), len(doc.Server), len(doc.Contention), len(doc.Mmap))
 	return nil
 }

@@ -168,20 +168,20 @@ func durVal(i int) []byte { return []byte(fmt.Sprintf("val-%06d", i)) }
 // durBuild opens a fresh store, creates (and syncs) the target map, and
 // returns both. PM writes observed by a tracer installed after this
 // point index only the measured history.
-func durBuild() (*pmem.Device, *core.Store, *core.Map, error) {
+func durBuild() (*pmem.Device, *core.DB, *core.Map, error) {
 	cfg := pmem.DefaultConfig(64 << 20)
 	cfg.TrackDurable = true
 	dev := pmem.New(cfg)
-	st, err := core.NewStore(dev)
+	db, _, err := core.Open(cfg, core.WithDevices(dev))
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	m, err := st.Map("durable")
+	m, err := db.Map("durable")
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	st.Sync()
-	return dev, st, m, nil
+	db.Sync()
+	return dev, db, m, nil
 }
 
 // runDurable is the durable-linearizability smoke: run a sequential
@@ -233,7 +233,7 @@ func runDurable(ops, stride int) error {
 
 		cfg2 := pmem.DefaultConfig(64 << 20)
 		dev2 := pmem.NewFromImage(cfg2, tr.Image())
-		st2, _, err := core.OpenStore(dev2)
+		st2, _, err := core.Open(cfg2, core.WithDevices(dev2), core.WithAttach())
 		if err != nil {
 			return fmt.Errorf("inj %d: recovery failed: %w", inj, err)
 		}
@@ -326,10 +326,7 @@ func runCorrupt(ops, trials int) error {
 	if err != nil {
 		return err
 	}
-	snap := func() []byte {
-		d := db.Store().Device()
-		return append([]byte(nil), d.Bytes(0, int(d.Size()))...)
-	}
+	snap := func() []byte { return db.Store().Device().Snapshot() }
 	m, err := db.Map("corrupt")
 	if err != nil {
 		return err

@@ -7,6 +7,11 @@
 // With -loadgen it instead runs an in-process smoke: server on a pipe
 // listener, open-loop Zipfian load against it, latency percentiles and
 // fences/op printed at the end — the configuration CI uses.
+//
+// By default the store lives in the PM simulator and vanishes on exit.
+// With -data DIR it instead mmaps files under DIR (the mmapdev
+// backend): the first run formats them, later runs attach and recover,
+// so SET survives a restart. Linux-only.
 package main
 
 import (
@@ -16,11 +21,13 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"github.com/mod-ds/mod/internal/core"
 	"github.com/mod-ds/mod/internal/pmem"
+	"github.com/mod-ds/mod/internal/pmem/mmapdev"
 	"github.com/mod-ds/mod/internal/server"
 	"github.com/mod-ds/mod/internal/server/loadgen"
 )
@@ -28,7 +35,8 @@ import (
 func main() {
 	var (
 		addr      = flag.String("addr", "localhost:6380", "TCP listen address")
-		size      = flag.Int64("size", 256<<20, "simulated PM arena bytes (per shard)")
+		size      = flag.Int64("size", 256<<20, "PM arena bytes (per shard)")
+		data      = flag.String("data", "", "file-backed store directory (mmapdev backend; empty = simulator)")
 		shards    = flag.Int("shards", 1, "heap shards (1 = single heap)")
 		roots     = flag.Int("roots", server.DefaultRoots, "map roots keys spread across")
 		committer = flag.Int("committer", core.DefaultCommitterMaxOps, "group committer epoch cap (0 = default)")
@@ -51,8 +59,6 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := pmem.DefaultConfig(*size)
-	cfg.TrackDurable = true
 	opts := []core.Option{core.WithCommitter(*committer), core.WithCommitterLinger(*linger)}
 	if *shards > 1 {
 		opts = append(opts, core.WithShards(*shards))
@@ -63,9 +69,23 @@ func main() {
 	if *nodecache {
 		opts = append(opts, core.WithNodeCache())
 	}
-	db, _, err := core.Open(cfg, opts...)
+	var (
+		db   *core.DB
+		info core.RecoveryInfo
+		err  error
+	)
+	if *data != "" {
+		db, info, err = openFileBacked(*data, *size, *shards, opts)
+	} else {
+		cfg := pmem.DefaultConfig(*size)
+		cfg.TrackDurable = true
+		db, info, err = core.Open(cfg, opts...)
+	}
 	if err != nil {
 		log.Fatalf("open store: %v", err)
+	}
+	if info.Recovered {
+		log.Printf("attached to existing store in %s (%d live blocks, %d roots)", *data, info.Stats.LiveBlocks, info.Stats.Roots)
 	}
 
 	scfg := server.Config{
@@ -113,6 +133,54 @@ func main() {
 		log.Fatalf("serve: %v", err)
 	}
 	<-srv.Done()
+}
+
+// openFileBacked opens the store over mmapdev files under dir:
+// store.pm for a single heap, or shard0.pm..shardN-1.pm plus meta.pm
+// when sharded. If the first file already exists the store attaches
+// (runs recovery) instead of formatting, so data survives restarts.
+// The layout is fixed per directory — reopen with the same -shards.
+func openFileBacked(dir string, size int64, shards int, opts []core.Option) (*core.DB, core.RecoveryInfo, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, core.RecoveryInfo{}, err
+	}
+	var paths []string
+	if shards <= 1 {
+		paths = []string{filepath.Join(dir, "store.pm")}
+	} else {
+		for i := 0; i < shards; i++ {
+			paths = append(paths, filepath.Join(dir, fmt.Sprintf("shard%d.pm", i)))
+		}
+		paths = append(paths, filepath.Join(dir, "meta.pm"))
+	}
+	_, statErr := os.Stat(paths[0])
+	attach := statErr == nil
+
+	devs := make([]pmem.Backend, len(paths))
+	for i, p := range paths {
+		var (
+			d   *mmapdev.Device
+			err error
+		)
+		if attach {
+			d, err = mmapdev.Open(p)
+		} else {
+			sz := size
+			if shards > 1 && i == len(paths)-1 {
+				sz = 1 << 20 // shard metadata: magic + shard count
+			}
+			d, err = mmapdev.Create(p, sz)
+		}
+		if err != nil {
+			return nil, core.RecoveryInfo{}, fmt.Errorf("%s: %w", p, err)
+		}
+		devs[i] = d
+	}
+	opts = append(opts, core.WithDevices(devs...))
+	if attach {
+		opts = append(opts, core.WithAttach())
+	}
+	return core.Open(pmem.Config{}, opts...)
 }
 
 // runLoadgen serves on an in-process pipe listener, drives the load,

@@ -167,7 +167,7 @@ type heapShared struct {
 // one handle per goroutine with Fork; handles share all allocator state
 // but carry their own device clock.
 type Heap struct {
-	dev *pmem.Device
+	dev pmem.Backend
 	sh  *heapShared
 
 	// DisableReclaim makes Release a no-op so every version is retained;
@@ -178,7 +178,7 @@ type Heap struct {
 
 // Format initializes a fresh heap on dev, overwriting any prior content,
 // and returns it. The superblock is made durable before Format returns.
-func Format(dev *pmem.Device) *Heap {
+func Format(dev pmem.Backend) *Heap {
 	h := newHeap(dev)
 	dev.WriteU64(offMagic, magic)
 	dev.WriteU64(offVersion, version)
@@ -192,7 +192,7 @@ func Format(dev *pmem.Device) *Heap {
 
 // Open attaches to a previously formatted heap without scanning it. Most
 // callers want Recover, which also rebuilds reachability state.
-func Open(dev *pmem.Device) (*Heap, error) {
+func Open(dev pmem.Backend) (*Heap, error) {
 	if dev.Size() < int64(heapBase)+64 {
 		return nil, fmt.Errorf("alloc: device too small (%d bytes)", dev.Size())
 	}
@@ -210,7 +210,7 @@ func Open(dev *pmem.Device) (*Heap, error) {
 	return h, nil
 }
 
-func newHeap(dev *pmem.Device) *Heap {
+func newHeap(dev pmem.Backend) *Heap {
 	sh := &heapShared{
 		end:  pmem.Addr(dev.Size()),
 		free: make(map[uint32][]pmem.Addr),
@@ -226,7 +226,7 @@ func (h *Heap) Fork() *Heap {
 }
 
 // Device returns this handle's underlying device handle.
-func (h *Heap) Device() *pmem.Device { return h.dev }
+func (h *Heap) Device() pmem.Backend { return h.dev }
 
 // Stats returns a snapshot of allocator counters.
 func (h *Heap) Stats() Stats {
@@ -311,8 +311,10 @@ func unpackCheck(v uint64) (n int, crc uint32, has bool) {
 // bytes. It reads through the raw arena view: checksum arithmetic models
 // a CRC pipelined with the stores themselves (no extra simulated-time
 // charge), and raw reads bypass poisoned-line faults so verification can
-// classify damage instead of crashing on it.
+// classify damage instead of crashing on it. It IS the verify machinery,
+// so it opens its own recovery bracket around the raw view.
 func (h *Heap) nodeCRC(hdr pmem.Addr, n int) uint32 {
+	defer h.dev.BeginRecovery()()
 	var pre [12]byte
 	raw := h.dev.Bytes(hdr, headerSize+n)
 	copy(pre[:8], raw[:8])

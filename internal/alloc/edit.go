@@ -111,7 +111,7 @@ func runEntryAddr(slot int) pmem.Addr {
 // BeginEdit opens an edit context for one FASE on this handle.
 func (h *Heap) BeginEdit() *Edit {
 	return &Edit{
-		h: h, fs: h.dev.NewFlushSet(),
+		h: h, fs: pmem.NewFlushSet(h.dev),
 		extra: make(map[pmem.Addr]struct{}),
 		nodes: make(map[pmem.Addr]int),
 	}

@@ -17,7 +17,7 @@ import (
 // instead of the sum of all of them.
 
 // FormatAll initializes one fresh heap per device.
-func FormatAll(devs []*pmem.Device) []*Heap {
+func FormatAll(devs []pmem.Backend) []*Heap {
 	heaps := make([]*Heap, len(devs))
 	for i, dev := range devs {
 		heaps[i] = Format(dev)
@@ -27,7 +27,7 @@ func FormatAll(devs []*pmem.Device) []*Heap {
 
 // OpenAll attaches to one previously formatted heap per device, without
 // scanning. Most callers follow with RecoverAll.
-func OpenAll(devs []*pmem.Device) ([]*Heap, error) {
+func OpenAll(devs []pmem.Backend) ([]*Heap, error) {
 	heaps := make([]*Heap, len(devs))
 	for i, dev := range devs {
 		h, err := Open(dev)

@@ -47,7 +47,7 @@ func TestRecoverAllParallelMatchesSequential(t *testing.T) {
 		imgs = append(imgs, dev.CrashImage(pmem.CrashFencedOnly, uint64(s)+1))
 	}
 
-	devs := make([]*pmem.Device, shards)
+	devs := make([]pmem.Backend, shards)
 	for s := range devs {
 		devs[s] = pmem.NewFromImage(cfg, imgs[s])
 	}
@@ -93,7 +93,7 @@ func TestRecoverAllParallelMatchesSequential(t *testing.T) {
 // TestFormatAllIndependentHeaps checks FormatAll yields heaps whose
 // allocations and roots never alias across devices.
 func TestFormatAllIndependentHeaps(t *testing.T) {
-	devs := []*pmem.Device{
+	devs := []pmem.Backend{
 		pmem.New(pmem.DefaultConfig(1 << 20)),
 		pmem.New(pmem.DefaultConfig(1 << 20)),
 	}

@@ -214,7 +214,7 @@ func (h *Heap) Recover() (RecoveryStats, error) {
 }
 
 // OpenAndRecover attaches to the heap on dev and runs recovery.
-func OpenAndRecover(dev *pmem.Device) (*Heap, RecoveryStats, error) {
+func OpenAndRecover(dev pmem.Backend) (*Heap, RecoveryStats, error) {
 	h, err := Open(dev)
 	if err != nil {
 		return nil, RecoveryStats{}, err

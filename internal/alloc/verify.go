@@ -59,6 +59,7 @@ func (p *CorruptionPanic) Error() string { return p.Block.Error() }
 // payload recovery zeroes and rebuilds: there is nothing to checksum and
 // its children must not be walked.
 func (h *Heap) verifyNode(payload pmem.Addr) (stride uint32, tag uint8, vol bool, err *BlockError) {
+	defer h.dev.BeginRecovery()()
 	hdr := payload - headerSize
 	if payload < heapBase+headerSize || hdr >= h.sh.top {
 		return 0, 0, false, &BlockError{Addr: payload, Reason: "pointer outside heap"}
@@ -123,7 +124,9 @@ func (h *Heap) VerifyRoot(slot int) (err error) {
 	if line, dead := h.dev.RangeDead(rootEntryAddr(slot), rootEntrySize); dead {
 		return &BlockError{Addr: rootEntryAddr(slot), Reason: fmt.Sprintf("unreadable root cell line %#x", uint64(line))}
 	}
+	endScan := h.dev.BeginRecovery()
 	root := pmem.Addr(leU64(h.dev.Bytes(h.RootCellAddr(slot), 8)))
+	endScan()
 	if root == pmem.Nil {
 		return nil
 	}
@@ -181,6 +184,8 @@ func (h *Heap) VerifyRoot(slot int) (err error) {
 // ones as slot -> error (empty map: fully healthy heap).
 func (h *Heap) VerifyRoots() map[int]error {
 	damaged := make(map[int]error)
+	endScan := h.dev.BeginRecovery()
+	defer endScan()
 	for slot := 0; slot < RootSlots; slot++ {
 		if leU64(h.dev.Bytes(rootEntryAddr(slot), 8)) == 0 {
 			continue
@@ -198,6 +203,7 @@ func (h *Heap) VerifyRoots() map[int]error {
 // run on a heap that was recovered without eager verification. Call once
 // after Recover, before the heap serves reads.
 func (h *Heap) ArmLazyVerify() {
+	defer h.dev.BeginRecovery()()
 	sh := h.sh
 	taint := make(map[pmem.Addr]struct{})
 	addr := pmem.Addr(heapBase)

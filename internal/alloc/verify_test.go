@@ -13,6 +13,13 @@ func verifyHeapFor(t *testing.T) (*Heap, *pmem.Device) {
 	return Format(dev), dev
 }
 
+// rawArena opens a recovery bracket and returns a mutable raw view —
+// the test-side stand-in for silent media damage landing on the arena.
+func rawArena(dev *pmem.Device, addr pmem.Addr, n int) []byte {
+	defer dev.BeginRecovery()()
+	return dev.Bytes(addr, n)
+}
+
 func TestSealNodeChecksumRoundtrip(t *testing.T) {
 	h, dev := verifyHeapFor(t)
 	a := h.AllocNode(64, 7)
@@ -32,7 +39,7 @@ func TestSealNodeChecksumRoundtrip(t *testing.T) {
 	}
 
 	// Any covered-byte flip must break the checksum.
-	raw := dev.Bytes(a+17, 1)
+	raw := rawArena(dev, a+17, 1)
 	raw[0] ^= 0x10
 	if _, ok, _ := h.Checksum(a); ok {
 		t.Fatal("flipped covered byte left checksum valid")
@@ -67,7 +74,7 @@ func TestChecksumCoversOnlyInitializedPrefix(t *testing.T) {
 		t.Fatalf("uncovered tail write broke verification: %v", err)
 	}
 	// But the covered prefix is protected.
-	dev.Bytes(a+8, 1)[0] ^= 1
+	rawArena(dev, a+8, 1)[0] ^= 1
 	if err := h.VerifyBlock(a); err == nil {
 		t.Fatal("covered prefix flip went undetected")
 	}
@@ -142,7 +149,7 @@ func TestVerifyRootWalksChildren(t *testing.T) {
 		t.Fatalf("healthy chain: %v", err)
 	}
 	// Damage the child only: the walk must find it.
-	dev.Bytes(child, 1)[0] ^= 4
+	rawArena(dev, child, 1)[0] ^= 4
 	if err := h.VerifyRoot(slot); err == nil {
 		t.Fatal("damaged child went undetected")
 	}
@@ -182,7 +189,7 @@ func TestLazyVerifyOnRead(t *testing.T) {
 	dev.WriteU64(b, 100)
 	h.SealNode(b, 32)
 
-	dev.Bytes(a, 1)[0] ^= 2 // silent damage before "recovery"
+	rawArena(dev, a, 1)[0] ^= 2 // silent damage before "recovery"
 	h.ArmLazyVerify()
 
 	// First read of the healthy block verifies and clears its taint.

@@ -107,7 +107,7 @@ func batchChecksum(words []uint64) uint64 {
 // mid-publication, completing the batch's root swaps. Run before the
 // reachability scan so recovery traces the post-batch roots. Returns
 // whether a replay happened.
-func recoverBatchRecord(dev *pmem.Device, rec pmem.Addr) bool {
+func recoverBatchRecord(dev pmem.Backend, rec pmem.Addr) bool {
 	seq := dev.ReadU64(rec)
 	if seq == batchStatusIdle {
 		return false

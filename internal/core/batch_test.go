@@ -12,7 +12,7 @@ import (
 func newBatchTestStore(t *testing.T) (*pmem.Device, *Store) {
 	t.Helper()
 	dev := pmem.New(pmem.DefaultConfig(64 << 20))
-	st, err := NewStore(dev)
+	st, err := newStore(dev)
 	if err != nil {
 		t.Fatalf("NewStore: %v", err)
 	}
@@ -298,7 +298,7 @@ func runBatchCrashRound(t *testing.T, seed uint64) (batchCommitted bool, err err
 	cfg := pmem.DefaultConfig(64 << 20)
 	cfg.TrackDurable = true
 	dev := pmem.New(cfg)
-	st, err := NewStore(dev)
+	st, err := newStore(dev)
 	if err != nil {
 		return false, err
 	}
@@ -332,7 +332,7 @@ func runBatchCrashRound(t *testing.T, seed uint64) (batchCommitted bool, err err
 	}
 
 	dev2 := pmem.NewFromImage(pmem.DefaultConfig(64<<20), img)
-	st2, _, err := OpenStore(dev2)
+	st2, _, err := openStore(dev2)
 	if err != nil {
 		return false, fmt.Errorf("recovery: %w", err)
 	}
@@ -384,7 +384,7 @@ func TestBatchRecordStaleStatusRejected(t *testing.T) {
 	cfg := pmem.DefaultConfig(64 << 20)
 	cfg.TrackDurable = true
 	dev := pmem.New(cfg)
-	st, err := NewStore(dev)
+	st, err := newStore(dev)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -406,7 +406,7 @@ func TestBatchRecordStaleStatusRejected(t *testing.T) {
 
 	img := dev.CrashImage(pmem.CrashFencedOnly, 1)
 	dev2 := pmem.NewFromImage(pmem.DefaultConfig(64<<20), img)
-	st2, _, err := OpenStore(dev2)
+	st2, _, err := openStore(dev2)
 	if err != nil {
 		t.Fatalf("recovery after stale status: %v", err)
 	}

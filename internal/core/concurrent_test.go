@@ -283,7 +283,7 @@ func TestCommitUnrelatedCrashAtomicAcrossSeeds(t *testing.T) {
 		cfg := pmem.DefaultConfig(16 << 20)
 		cfg.TrackDurable = true
 		dev := pmem.New(cfg)
-		s, err := NewStore(dev)
+		s, err := newStore(dev)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -310,7 +310,7 @@ func TestCommitUnrelatedCrashAtomicAcrossSeeds(t *testing.T) {
 		img := dev.CrashImage(pmem.CrashEvictRandom, seed)
 
 		dev2 := pmem.NewFromImage(pmem.DefaultConfig(16<<20), img)
-		s2nd, _, err := OpenStore(dev2)
+		s2nd, _, err := openStore(dev2)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -332,7 +332,7 @@ func TestCommitUnrelatedCompletedSurvivesCrash(t *testing.T) {
 	cfg := pmem.DefaultConfig(64 << 20)
 	cfg.TrackDurable = true
 	dev := pmem.New(cfg)
-	s, _ := NewStore(dev)
+	s, _ := newStore(dev)
 	v1, _ := s.Vector("v1")
 	v2, _ := s.Vector("v2")
 	v1.Push(1)
@@ -345,7 +345,7 @@ func TestCommitUnrelatedCompletedSurvivesCrash(t *testing.T) {
 
 	img := dev.CrashImage(pmem.CrashFencedOnly, 1)
 	dev2 := pmem.NewFromImage(pmem.DefaultConfig(64<<20), img)
-	s2nd, _, err := OpenStore(dev2)
+	s2nd, _, err := openStore(dev2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,7 +12,7 @@ func newTestStore(t testing.TB) *Store {
 	t.Helper()
 	cfg := pmem.DefaultConfig(64 << 20)
 	cfg.TrackDurable = true
-	s, err := NewStore(pmem.New(cfg))
+	s, err := newStore(pmem.New(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestHandleRebindAfterReopen(t *testing.T) {
 	cfg := pmem.DefaultConfig(64 << 20)
 	cfg.TrackDurable = true
 	dev := pmem.New(cfg)
-	s, err := NewStore(dev)
+	s, err := newStore(dev)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestHandleRebindAfterReopen(t *testing.T) {
 	img := dev.CrashImage(pmem.CrashFencedOnly, 1)
 
 	dev2 := pmem.NewFromImage(pmem.DefaultConfig(64<<20), img)
-	s2, _, err := OpenStore(dev2)
+	s2, _, err := openStore(dev2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestCrashMidFASEKeepsOldVersionAndReclaimsLeaks(t *testing.T) {
 	cfg := pmem.DefaultConfig(64 << 20)
 	cfg.TrackDurable = true
 	dev := pmem.New(cfg)
-	s, _ := NewStore(dev)
+	s, _ := newStore(dev)
 	m, _ := s.Map("m")
 	for i := uint64(0); i < 100; i++ {
 		m.Set(key64(i), []byte("stable"))
@@ -162,7 +162,7 @@ func TestCrashMidFASEKeepsOldVersionAndReclaimsLeaks(t *testing.T) {
 	img := dev.CrashImage(pmem.CrashEvictRandom, 7)
 
 	dev2 := pmem.NewFromImage(pmem.DefaultConfig(64<<20), img)
-	s2, rs, err := OpenStore(dev2)
+	s2, rs, err := openStore(dev2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +186,7 @@ func TestCrashAtEveryPointMapIsAtomic(t *testing.T) {
 		cfg := pmem.DefaultConfig(32 << 20)
 		cfg.TrackDurable = true
 		dev := pmem.New(cfg)
-		s, _ := NewStore(dev)
+		s, _ := newStore(dev)
 		m, _ := s.Map("m")
 		committed := int(seed % 7)
 		for i := 0; i < committed; i++ {
@@ -199,7 +199,7 @@ func TestCrashAtEveryPointMapIsAtomic(t *testing.T) {
 		img := dev.CrashImage(pmem.CrashEvictRandom, seed)
 
 		dev2 := pmem.NewFromImage(pmem.DefaultConfig(32<<20), img)
-		s2, _, err := OpenStore(dev2)
+		s2, _, err := openStore(dev2)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -279,7 +279,7 @@ func TestCommitSiblingsCrashAtomicity(t *testing.T) {
 	cfg := pmem.DefaultConfig(64 << 20)
 	cfg.TrackDurable = true
 	dev := pmem.New(cfg)
-	s, _ := NewStore(dev)
+	s, _ := newStore(dev)
 	p, _ := s.Parent("mgr", "a", "b")
 	ma, _ := p.Map("a")
 	mb, _ := p.Map("b")
@@ -293,7 +293,7 @@ func TestCommitSiblingsCrashAtomicity(t *testing.T) {
 	_, _ = sa, sb
 	img := dev.CrashImage(pmem.CrashEvictRandom, 3)
 	dev2 := pmem.NewFromImage(pmem.DefaultConfig(64<<20), img)
-	s2, _, err := OpenStore(dev2)
+	s2, _, err := openStore(dev2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -341,7 +341,7 @@ func TestCommitUnrelatedCrashRollsBackPointerTx(t *testing.T) {
 	cfg := pmem.DefaultConfig(64 << 20)
 	cfg.TrackDurable = true
 	dev := pmem.New(cfg)
-	s, _ := NewStore(dev)
+	s, _ := newStore(dev)
 	v1, _ := s.Vector("v1")
 	v2, _ := s.Vector("v2")
 	v1.Push(1)
@@ -364,7 +364,7 @@ func TestCommitUnrelatedCrashRollsBackPointerTx(t *testing.T) {
 	img := dev.CrashImage(pmem.CrashAllInflight, 5)
 
 	dev2 := pmem.NewFromImage(pmem.DefaultConfig(64<<20), img)
-	s2nd, _, err := OpenStore(dev2)
+	s2nd, _, err := openStore(dev2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -399,7 +399,7 @@ func TestTraceInvariantsHoldAcrossWorkout(t *testing.T) {
 	cfg := pmem.DefaultConfig(64 << 20)
 	cfg.Tracer = rec
 	dev := pmem.New(cfg)
-	s, err := NewStore(dev)
+	s, err := newStore(dev)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -443,7 +443,7 @@ func TestRecoveryReclaimsAllLeaksToZeroWaste(t *testing.T) {
 	cfg := pmem.DefaultConfig(64 << 20)
 	cfg.TrackDurable = true
 	dev := pmem.New(cfg)
-	s, _ := NewStore(dev)
+	s, _ := newStore(dev)
 	m, _ := s.Map("m")
 	for i := uint64(0); i < 300; i++ {
 		m.Set(key64(i), key64(i))
@@ -456,7 +456,7 @@ func TestRecoveryReclaimsAllLeaksToZeroWaste(t *testing.T) {
 	}
 	img := dev.CrashImage(pmem.CrashEvictRandom, 11)
 	dev2 := pmem.NewFromImage(pmem.DefaultConfig(64<<20), img)
-	s2, rs, err := OpenStore(dev2)
+	s2, rs, err := openStore(dev2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,7 +12,7 @@ import (
 
 // snapshot returns a copy of the store's full durable image.
 func snapshot(s *Store) []byte {
-	return append([]byte(nil), s.dev.Bytes(0, int(s.dev.Size()))...)
+	return s.dev.Snapshot()
 }
 
 // corruptStoredCRC flips a bit of the stored checksum word of the block

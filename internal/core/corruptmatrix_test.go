@@ -141,7 +141,7 @@ func TestCorruptionMatrixSingleStore(t *testing.T) {
 				t.Run(st.name+"/"+mode+"/"+fc, func(t *testing.T) {
 					build := func() (*Store, matrixOps, *Map, *pmem.Device) {
 						dev := pmem.New(cfg)
-						s, err := NewStore(dev)
+						s, err := newStore(dev)
 						if err != nil {
 							t.Fatal(err)
 						}
@@ -200,7 +200,7 @@ func TestCorruptionMatrixSingleStore(t *testing.T) {
 					s.Sync()
 					exp := cmExpect{allowed: allowed, intermediates: intermediates, final: final}
 					lo, hi := s.heap.DataBounds()
-					img := append([]byte(nil), dev.Bytes(0, int(dev.Size()))...)
+					img := dev.Snapshot()
 
 					for trial := 0; trial < cmTrials(); trial++ {
 						seed := int64(trial)*1_000_003 + int64(len(st.name))*7919 + int64(len(mode))*131 + int64(len(fc))
@@ -234,7 +234,7 @@ func TestCorruptionAfterCrashImage(t *testing.T) {
 			t.Run(st.name+"/crash+"+fc, func(t *testing.T) {
 				build := func() (*Store, matrixOps, *pmem.Device) {
 					dev := pmem.New(cfg)
-					s, err := NewStore(dev)
+					s, err := newStore(dev)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -306,7 +306,7 @@ func TestCorruptionShardedDegradedOpen(t *testing.T) {
 		}
 		st := st
 		t.Run(st.name, func(t *testing.T) {
-			ss, err := NewShardedStore(cfg, 2)
+			ss, err := newShardedStore(cfg, 2)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -355,7 +355,7 @@ func TestCorruptionShardedDegradedOpen(t *testing.T) {
 			devs := ss.Regions().Devices()
 			imgs := make([][]byte, len(devs))
 			for i, d := range devs {
-				imgs[i] = append([]byte(nil), d.Bytes(0, int(d.Size()))...)
+				imgs[i] = d.Snapshot()
 			}
 			plan.ApplyToImage(imgs[0], nil)
 

@@ -292,7 +292,7 @@ func TestCrashMatrixSingleStore(t *testing.T) {
 			t.Run(st.name+"/"+mode, func(t *testing.T) {
 				build := func() (*Store, matrixOps, *Map, *pmem.Device) {
 					dev := pmem.New(cfg)
-					s, err := NewStore(dev)
+					s, err := newStore(dev)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -370,7 +370,7 @@ func TestCrashMatrixSingleStore(t *testing.T) {
 						t.Fatalf("inj %d/%d: countdown never expired", inj, totalWrites)
 					}
 					dev2 := pmem.NewFromImage(pmem.DefaultConfig(4<<20), img)
-					s2, _, err := OpenStore(dev2)
+					s2, _, err := openStore(dev2)
 					if err != nil {
 						t.Fatalf("inj %d: recovery: %v", inj, err)
 					}
@@ -413,7 +413,7 @@ func TestCrashMatrixCrossShard(t *testing.T) {
 	for _, st := range matrixStructures() {
 		t.Run(st.name+"/cross", func(t *testing.T) {
 			build := func() (*ShardedStore, matrixOps, *Map) {
-				ss, err := NewShardedStore(cfg, 2)
+				ss, err := newShardedStore(cfg, 2)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -457,7 +457,7 @@ func TestCrashMatrixCrossShard(t *testing.T) {
 				if imgs == nil {
 					t.Fatalf("inj %d/%d: countdown never expired", inj, totalWrites)
 				}
-				ss2, _, err := OpenShardedStore(cfg, imgs)
+				ss2, _, err := openShardedStore(cfg, imgs)
 				if err != nil {
 					t.Fatalf("inj %d: recovery: %v", inj, err)
 				}

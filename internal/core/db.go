@@ -98,6 +98,8 @@ type options struct {
 	checkpointEvery int
 	nodeCache       bool
 	images          [][]byte
+	devices         []pmem.Backend
+	attach          bool
 	committer       bool
 	committerMaxOps int
 	committerLinger time.Duration
@@ -143,6 +145,24 @@ func WithNodeCache() Option { return func(o *options) { o.nodeCache = true } }
 // single-heap store, and S+1 images (shards in order, metadata last —
 // the layout DB.CrashImages produces) reopen a sharded store.
 func WithExistingImages(imgs [][]byte) Option { return func(o *options) { o.images = imgs } }
+
+// WithDevices builds the store over caller-supplied backends instead of
+// fresh simulator devices from cfg: one backend gives a single-heap
+// store, and N+1 backends give N shards plus the cross-shard metadata
+// region (last, matching the WithExistingImages layout). This is how a
+// store lands on a real medium — pass mmapdev devices and the identical
+// stack runs over a file. The devices are formatted; combine with
+// WithAttach to recover what is already on them instead. Mutually
+// exclusive with WithExistingImages.
+func WithDevices(devs ...pmem.Backend) Option {
+	return func(o *options) { o.devices = devs }
+}
+
+// WithAttach makes Open recover the store already present on the
+// WithDevices backends — reachability scan, manifest replay, optional
+// verification — instead of formatting them. It is the device-handle
+// analog of WithExistingImages and requires WithDevices.
+func WithAttach() Option { return func(o *options) { o.attach = true } }
 
 // WithVerify makes a recovered open walk every root eagerly, checking
 // node checksums and line readability before the store serves anything
@@ -235,16 +255,26 @@ func Open(cfg pmem.Config, opts ...Option) (*DB, RecoveryInfo, error) {
 	if o.checkpointEvery > 0 {
 		funcds.SetCheckpointEvery(uint64(o.checkpointEvery))
 	}
+	if len(o.devices) > 0 && o.images != nil {
+		return nil, info, fmt.Errorf("core: WithDevices and WithExistingImages are mutually exclusive")
+	}
+	if o.attach && len(o.devices) == 0 {
+		return nil, info, fmt.Errorf("core: WithAttach requires WithDevices")
+	}
 	db := &DB{selective: o.selective}
 	switch {
+	case len(o.devices) > 0:
+		if err := openDevices(db, &info, &o); err != nil {
+			return nil, info, err
+		}
 	case o.images == nil && o.shards == 0:
-		s, err := NewStore(pmem.New(cfg))
+		s, err := newStore(pmem.New(cfg))
 		if err != nil {
 			return nil, info, err
 		}
 		db.store = s
 	case o.images == nil:
-		ss, err := NewShardedStore(cfg, o.shards)
+		ss, err := newShardedStore(cfg, o.shards)
 		if err != nil {
 			return nil, info, err
 		}
@@ -316,6 +346,70 @@ func Open(cfg pmem.Config, opts ...Option) (*DB, RecoveryInfo, error) {
 		db.SetCommitterLinger(o.committerLinger)
 	}
 	return db, info, nil
+}
+
+// openDevices handles the WithDevices arm of Open: format or attach,
+// single-heap or sharded, over the caller's backends.
+func openDevices(db *DB, info *RecoveryInfo, o *options) error {
+	n := len(o.devices)
+	if want := n - 1; o.shards != 0 && o.shards != want {
+		return fmt.Errorf("core: open with %d shards over %d devices (want %d shards plus metadata): %w",
+			o.shards, n, want, ErrShardCount)
+	}
+	vc := verifyConfig{verify: o.verify, salvage: o.salvage}
+	switch {
+	case !o.attach && n == 1:
+		s, err := newStore(o.devices[0])
+		if err != nil {
+			return err
+		}
+		db.store = s
+	case !o.attach:
+		ss, err := newShardedDevices(o.devices[:n-1], o.devices[n-1])
+		if err != nil {
+			return err
+		}
+		db.sharded = ss
+	case n == 1:
+		var (
+			s       *Store
+			rs      alloc.RecoveryStats
+			damaged []DamagedRoot
+		)
+		err := guardImageOpen(func() error {
+			var oerr error
+			s, rs, damaged, oerr = openStoreVerify(o.devices[0], vc)
+			return oerr
+		})
+		if err != nil {
+			return err
+		}
+		db.store = s
+		*info = RecoveryInfo{Recovered: true, Stats: rs, PerShard: []alloc.RecoveryStats{rs}, Damaged: damaged}
+	default:
+		var (
+			ss      *ShardedStore
+			srs     ShardedRecoveryStats
+			damaged []DamagedRoot
+		)
+		err := guardImageOpen(func() error {
+			var oerr error
+			ss, srs, damaged, oerr = openShardedDevices(o.devices[:n-1], o.devices[n-1], vc)
+			return oerr
+		})
+		if err != nil {
+			return err
+		}
+		db.sharded = ss
+		*info = RecoveryInfo{
+			Recovered:        true,
+			Stats:            srs.Total(),
+			PerShard:         srs.PerShard,
+			ManifestReplayed: srs.ManifestReplayed,
+			Damaged:          damaged,
+		}
+	}
+	return nil
 }
 
 // SetCommitterLinger sets the settle-fence collection window on every

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/mod-ds/mod/internal/pmem"
+	"github.com/mod-ds/mod/internal/pmem/mmapdev"
+)
+
+// The designated backend-portability subset: the identical core/funcds
+// stack, built through core.Open(WithDevices), over the mmap backend —
+// a real file instead of the simulator. These tests skip on platforms
+// without the backend.
+
+// mmapDevFor creates a file-backed device under the test's temp dir.
+func mmapDevFor(t *testing.T, name string, size int64) (*mmapdev.Device, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	d, err := mmapdev.Create(path, size)
+	if errors.Is(err, mmapdev.ErrUnsupported) {
+		t.Skip("mmap backend unsupported on this platform")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, path
+}
+
+// TestMmapBackendStructures drives all five recoverable structures over
+// a file-backed store, closes it cleanly, and recovers from the file
+// with WithAttach.
+func TestMmapBackendStructures(t *testing.T) {
+	dev, path := mmapDevFor(t, "store.pm", 16<<20)
+	db, info, err := Open(pmem.Config{}, WithDevices(dev))
+	if err != nil {
+		t.Fatalf("open over mmap: %v", err)
+	}
+	if info.Recovered {
+		t.Fatal("fresh device open reported Recovered")
+	}
+
+	m, err := db.Map("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := db.Set("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.Vector("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := db.Stack("st")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := db.Queue("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	for i := 0; i < n; i++ {
+		m.Set([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%03d", i)))
+		s.Insert([]byte(fmt.Sprintf("e%03d", i)))
+		v.Push(uint64(i) * 3)
+		st.Push(uint64(i))
+		q.Enqueue(uint64(i))
+	}
+	m.Delete([]byte("k001"))
+	s.Delete([]byte("e001"))
+	st.Pop()
+	q.Dequeue()
+	db.Sync()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reattach to the file: everything committed must be there.
+	dev2, err := mmapdev.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev2.Close()
+	db2, info2, err := Open(pmem.Config{}, WithDevices(dev2), WithAttach())
+	if err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	defer db2.Close()
+	if !info2.Recovered {
+		t.Fatal("attach did not report Recovered")
+	}
+
+	m2, _ := db2.Map("m")
+	s2, _ := db2.Set("s")
+	v2, _ := db2.Vector("v")
+	st2, _ := db2.Stack("st")
+	q2, _ := db2.Queue("q")
+	for i := 0; i < n; i++ {
+		want, wantOK := fmt.Sprintf("v%03d", i), i != 1
+		got, ok := m2.Get([]byte(fmt.Sprintf("k%03d", i)))
+		if ok != wantOK || (ok && string(got) != want) {
+			t.Fatalf("map key %d after attach: %q %v", i, got, ok)
+		}
+		if s2.Contains([]byte(fmt.Sprintf("e%03d", i))) != wantOK {
+			t.Fatalf("set element %d after attach: presence != %v", i, wantOK)
+		}
+		if got := v2.Get(uint64(i)); got != uint64(i)*3 {
+			t.Fatalf("vector[%d] after attach = %d", i, got)
+		}
+	}
+	if got := v2.Len(); got != n {
+		t.Fatalf("vector len after attach = %d", got)
+	}
+	if top, ok := st2.Peek(); !ok || top != n-2 {
+		t.Fatalf("stack top after attach = %d, %v", top, ok)
+	}
+	if front, ok := q2.Peek(); !ok || front != 1 {
+		t.Fatalf("queue front after attach = %d, %v", front, ok)
+	}
+
+	// The recovered store must stay writable on the same file.
+	m2.Set([]byte("post"), []byte("attach"))
+	db2.Sync()
+	if got, ok := m2.Get([]byte("post")); !ok || string(got) != "attach" {
+		t.Fatalf("post-attach write lost: %q %v", got, ok)
+	}
+}
+
+// TestMmapBackendSharded formats a sharded store over one file per
+// shard plus a metadata file, then reattaches the whole set.
+func TestMmapBackendSharded(t *testing.T) {
+	const shards = 2
+	dir := t.TempDir()
+	var devs []pmem.Backend
+	var paths []string
+	for i := 0; i <= shards; i++ {
+		name := fmt.Sprintf("shard%d.pm", i)
+		if i == shards {
+			name = "meta.pm"
+		}
+		path := filepath.Join(dir, name)
+		d, err := mmapdev.Create(path, 8<<20)
+		if errors.Is(err, mmapdev.ErrUnsupported) {
+			t.Skip("mmap backend unsupported on this platform")
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs = append(devs, d)
+		paths = append(paths, path)
+	}
+	db, _, err := Open(pmem.Config{}, WithDevices(devs...))
+	if err != nil {
+		t.Fatalf("sharded open over mmap: %v", err)
+	}
+	if db.ShardCount() != shards {
+		t.Fatalf("ShardCount = %d", db.ShardCount())
+	}
+	m, err := db.Map("users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		m.Set([]byte(fmt.Sprintf("u%03d", i)), []byte(fmt.Sprintf("x%03d", i)))
+	}
+	db.Sync()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range devs {
+		if err := d.(*mmapdev.Device).Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var devs2 []pmem.Backend
+	for _, path := range paths {
+		d, err := mmapdev.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		devs2 = append(devs2, d)
+	}
+	db2, info, err := Open(pmem.Config{}, WithDevices(devs2...), WithAttach())
+	if err != nil {
+		t.Fatalf("sharded attach: %v", err)
+	}
+	defer db2.Close()
+	if !info.Recovered || len(info.PerShard) != shards {
+		t.Fatalf("attach info = %+v", info)
+	}
+	m2, err := db2.Map("users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if got, ok := m2.Get([]byte(fmt.Sprintf("u%03d", i))); !ok || string(got) != fmt.Sprintf("x%03d", i) {
+			t.Fatalf("shard-distributed key %d after attach: %q %v", i, got, ok)
+		}
+	}
+}
+
+// TestMmapBackendCrashSmoke is the crash-matrix smoke over the mmap
+// backend: cut the write stream at several points with a countdown
+// tracer (the image is a full copy — the backend's most permissive
+// crash view), dump each image to a file, attach, and require an exact
+// committed prefix plus writability. Mirrors cmd/crashtest semantics
+// without the policy sweep the backend cannot express.
+func TestMmapBackendCrashSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash smoke is not short")
+	}
+	const ops = 24
+	key := func(i int) []byte { return []byte(fmt.Sprintf("key-%03d", i)) }
+	val := func(i int) []byte { return []byte(fmt.Sprintf("val-%03d", i)) }
+
+	// Dry run to learn the total write count.
+	dev, _ := mmapDevFor(t, "dry.pm", 16<<20)
+	db, _, err := Open(pmem.Config{}, WithDevices(dev))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := db.Map("crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Sync()
+	base := dev.Stats().Writes
+	for i := 0; i < ops; i++ {
+		m.Set(key(i), val(i))
+	}
+	total := int(dev.Stats().Writes - base)
+	db.Close()
+	dev.Close()
+	if total < ops {
+		t.Fatalf("dry run recorded only %d writes", total)
+	}
+
+	stride := total / 16
+	if stride < 1 {
+		stride = 1
+	}
+	for inj := 1; inj <= total; inj += stride {
+		dev, _ := mmapDevFor(t, fmt.Sprintf("run%d.pm", inj), 16<<20)
+		db, _, err := Open(pmem.Config{}, WithDevices(dev))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := db.Map("crash")
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.Sync()
+		tr := pmem.NewCrashCountdown(dev, inj, pmem.CrashEvictRandom, 7)
+		dev.SetTracer(tr)
+		for i := 0; i < ops; i++ {
+			m.Set(key(i), val(i))
+		}
+		dev.SetTracer(nil)
+		img := tr.Image()
+		db.Close()
+		dev.Close()
+		if img == nil {
+			t.Fatalf("inj %d: countdown never expired", inj)
+		}
+
+		// The crash image becomes a file of its own; attach to it.
+		imgPath := filepath.Join(t.TempDir(), "crashed.pm")
+		if err := os.WriteFile(imgPath, img, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		dev2, err := mmapdev.Open(imgPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db2, info, err := Open(pmem.Config{}, WithDevices(dev2), WithAttach())
+		if err != nil {
+			t.Fatalf("inj %d: attach to crash image: %v", inj, err)
+		}
+		if !info.Recovered {
+			t.Fatalf("inj %d: no recovery reported", inj)
+		}
+		m2, err := db2.Map("crash")
+		if err != nil {
+			t.Fatalf("inj %d: rebind: %v", inj, err)
+		}
+		// Exact-prefix check: presence monotone, values final.
+		k := 0
+		for i := 0; i < ops; i++ {
+			got, ok := m2.Get(key(i))
+			switch {
+			case ok && i == k:
+				if string(got) != string(val(i)) {
+					t.Fatalf("inj %d: key %d = %q, want %q", inj, i, got, val(i))
+				}
+				k++
+			case ok:
+				t.Fatalf("inj %d: non-prefix state: key %d present, key %d missing", inj, i, k)
+			}
+		}
+		// Recovered store stays writable.
+		m2.Set([]byte("post"), []byte("ok"))
+		db2.Sync()
+		if got, ok := m2.Get([]byte("post")); !ok || string(got) != "ok" {
+			t.Fatalf("inj %d: post-crash write lost", inj)
+		}
+		db2.Close()
+		dev2.Close()
+	}
+}

@@ -17,7 +17,7 @@ func newSelTestStore(t testing.TB) (*Store, *pmem.Device) {
 	cfg := pmem.DefaultConfig(8 << 20)
 	cfg.TrackDurable = true
 	dev := pmem.New(cfg)
-	s, err := NewStore(dev)
+	s, err := newStore(dev)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +33,7 @@ func selCrashReopen(t *testing.T, dev *pmem.Device, seed uint64) (*Store, *pmem.
 	cfg := pmem.DefaultConfig(8 << 20)
 	cfg.TrackDurable = true
 	dev2 := pmem.NewFromImage(cfg, img)
-	s2, _, err := OpenStore(dev2)
+	s2, _, err := openStore(dev2)
 	if err != nil {
 		t.Fatalf("recovery: %v", err)
 	}
@@ -303,7 +303,7 @@ func TestSelectiveShardedParallelRebuild(t *testing.T) {
 	const shards = 4
 	cfg := pmem.DefaultConfig(4 << 20)
 	cfg.TrackDurable = true
-	ss, err := NewShardedStore(cfg, shards)
+	ss, err := newShardedStore(cfg, shards)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +320,7 @@ func TestSelectiveShardedParallelRebuild(t *testing.T) {
 	ss.Sync()
 
 	imgs := ss.CrashImages(pmem.CrashEvictRandom, 1234)
-	ss2, rs, err := OpenShardedStore(cfg, imgs)
+	ss2, rs, err := openShardedStore(cfg, imgs)
 	if err != nil {
 		t.Fatalf("sharded recovery: %v", err)
 	}

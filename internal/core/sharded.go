@@ -95,7 +95,7 @@ type shardedShared struct {
 // Fork; handles share all store state but carry their own clocks.
 type ShardedStore struct {
 	shards   []*Store
-	meta     *pmem.Device
+	meta     pmem.Backend
 	regions  *pmem.Regions
 	sh       *shardedShared
 	byShared map[*storeShared]int // shard store identity -> shard index
@@ -108,8 +108,8 @@ func metaConfig(cfg pmem.Config) pmem.Config {
 	return cfg
 }
 
-func newSharded(stores []*Store, meta *pmem.Device) *ShardedStore {
-	devs := make([]*pmem.Device, 0, len(stores)+1)
+func newSharded(stores []*Store, meta pmem.Backend) *ShardedStore {
+	devs := make([]pmem.Backend, 0, len(stores)+1)
 	byShared := make(map[*storeShared]int, len(stores))
 	for i, s := range stores {
 		devs = append(devs, s.Device())
@@ -125,30 +125,53 @@ func newSharded(stores []*Store, meta *pmem.Device) *ShardedStore {
 	}
 }
 
-// NewShardedStore formats shards independent device regions of cfg.Size
+// newShardedStore formats shards independent device regions of cfg.Size
 // bytes each, plus a small metadata region, and returns the empty store.
-//
-// Deprecated: use Open with WithShards, which returns a *DB usable
-// through the KV interface; the wrapped sharded store stays reachable
-// via DB.Sharded.
-func NewShardedStore(cfg pmem.Config, shards int) (*ShardedStore, error) {
+// External callers go through Open with WithShards; the wrapped sharded
+// store stays reachable via DB.Sharded.
+func newShardedStore(cfg pmem.Config, shards int) (*ShardedStore, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("core: shard count %d < 1: %w", shards, ErrShardCount)
 	}
 	stores := make([]*Store, shards)
 	for i := range stores {
-		s, err := NewStore(pmem.New(cfg))
+		s, err := newStore(pmem.New(cfg))
 		if err != nil {
 			return nil, fmt.Errorf("core: shard %d: %w", i, err)
 		}
 		stores[i] = s
 	}
 	meta := pmem.New(metaConfig(cfg))
+	formatShardMeta(meta, shards)
+	return newSharded(stores, meta), nil
+}
+
+// newShardedDevices formats a sharded store over caller-supplied
+// backends — one region per shard plus the metadata region — the
+// WithDevices path that puts each shard on its own mmap'd file.
+func newShardedDevices(devs []pmem.Backend, meta pmem.Backend) (*ShardedStore, error) {
+	if len(devs) < 1 {
+		return nil, fmt.Errorf("core: shard count %d < 1: %w", len(devs), ErrShardCount)
+	}
+	stores := make([]*Store, len(devs))
+	for i, d := range devs {
+		s, err := newStore(d)
+		if err != nil {
+			return nil, fmt.Errorf("core: shard %d: %w", i, err)
+		}
+		stores[i] = s
+	}
+	formatShardMeta(meta, len(devs))
+	return newSharded(stores, meta), nil
+}
+
+// formatShardMeta writes and fences the metadata region's magic and
+// shard count.
+func formatShardMeta(meta pmem.Backend, shards int) {
 	meta.WriteU64(0, shardMagic)
 	meta.WriteU64(8, uint64(shards))
 	meta.FlushRange(0, 16)
 	meta.Sfence()
-	return newSharded(stores, meta), nil
 }
 
 // ShardedRecoveryStats reports a sharded store's post-crash recovery.
@@ -184,7 +207,7 @@ type manifestEntry struct {
 // entries to replay (nil unless the status word holds a committed
 // sequence number whose checksum validates the body) and whether the
 // status word needs clearing.
-func readManifest(meta *pmem.Device) (entries []manifestEntry, dirty bool) {
+func readManifest(meta pmem.Backend) (entries []manifestEntry, dirty bool) {
 	seq := meta.ReadU64(manifestBase)
 	if seq == manifestStatusIdle {
 		return nil, false
@@ -217,47 +240,58 @@ func readManifest(meta *pmem.Device) (entries []manifestEntry, dirty bool) {
 	return entries, true
 }
 
-// OpenShardedStore attaches to a previously formatted sharded store from
+// openShardedStore attaches to a previously formatted sharded store from
 // per-region crash images (shard regions in order, metadata region
 // last — the layout CrashImages produces). It replays a committed
 // cross-shard manifest all-or-nothing, then recovers every shard's heap
 // in parallel goroutines: total recovery time is the slowest shard's
-// reachability scan, not the sum.
-//
-// Deprecated: use Open with WithExistingImages, which recovers the same
-// way and reports the result in a RecoveryInfo.
-func OpenShardedStore(cfg pmem.Config, images [][]byte) (*ShardedStore, ShardedRecoveryStats, error) {
+// reachability scan, not the sum. External callers go through Open with
+// WithExistingImages, which recovers the same way and reports the
+// result in a RecoveryInfo.
+func openShardedStore(cfg pmem.Config, images [][]byte) (*ShardedStore, ShardedRecoveryStats, error) {
 	ss, rs, _, err := openShardedVerify(cfg, images, verifyConfig{})
 	return ss, rs, err
 }
 
-// openShardedVerify is OpenShardedStore with the corruption-resilience
-// phases wired in (corrupt.go): each shard verifies (and optionally
-// salvages) its roots between its reachability scan and its selective
-// rebuild, in the same per-shard goroutines, so degraded opens keep the
-// parallel-recovery property. Damage is reported per shard; unsalvaged
-// roots are quarantined on their shard's store.
+// openShardedVerify is openShardedStore with the corruption-resilience
+// phases wired in (corrupt.go): it constructs one simulator device per
+// region image and hands them to the device-based open.
 func openShardedVerify(cfg pmem.Config, images [][]byte, vc verifyConfig) (*ShardedStore, ShardedRecoveryStats, []DamagedRoot, error) {
-	var rs ShardedRecoveryStats
 	if len(images) < 2 {
-		return nil, rs, nil, fmt.Errorf("core: sharded store needs at least 1 shard image + metadata image, got %d", len(images))
+		return nil, ShardedRecoveryStats{}, nil, fmt.Errorf("core: sharded store needs at least 1 shard image + metadata image, got %d", len(images))
 	}
 	shards := len(images) - 1
 	meta := pmem.NewFromImage(metaConfig(cfg), images[shards])
+	devs := make([]pmem.Backend, shards)
+	for i := 0; i < shards; i++ {
+		devs[i] = pmem.NewFromImage(cfg, images[i])
+	}
+	return openShardedDevices(devs, meta, vc)
+}
+
+// openShardedDevices attaches to a previously formatted sharded store
+// whose shard regions (and metadata region) are already open as
+// backends — images on the simulator, mmap'd files on mmapdev. Each
+// shard verifies (and optionally salvages) its roots between its
+// reachability scan and its selective rebuild, in per-shard goroutines,
+// so degraded opens keep the parallel-recovery property. Damage is
+// reported per shard; unsalvaged roots are quarantined on their shard's
+// store.
+func openShardedDevices(devs []pmem.Backend, meta pmem.Backend, vc verifyConfig) (*ShardedStore, ShardedRecoveryStats, []DamagedRoot, error) {
+	var rs ShardedRecoveryStats
+	shards := len(devs)
 	if got := meta.ReadU64(0); got != shardMagic {
 		return nil, rs, nil, fmt.Errorf("core: bad shard metadata magic %#x", got)
 	}
 	if got := meta.ReadU64(8); got != uint64(shards) {
-		return nil, rs, nil, fmt.Errorf("core: store has %d shards, got %d images", got, shards)
+		return nil, rs, nil, fmt.Errorf("core: store has %d shards, got %d shard regions", got, shards)
 	}
 
 	// Phase 0: attach each shard — replay its own batch record and
 	// commit log, cheap work that must precede reachability.
-	devs := make([]*pmem.Device, shards)
 	atts := make([]*storeAttachment, shards)
 	heaps := make([]*alloc.Heap, shards)
 	for i := 0; i < shards; i++ {
-		devs[i] = pmem.NewFromImage(cfg, images[i])
 		a, err := attachStore(devs[i])
 		if err != nil {
 			return nil, rs, nil, fmt.Errorf("core: shard %d: %w", i, err)
@@ -375,7 +409,7 @@ func (ss *ShardedStore) ShardCount() int { return len(ss.shards) }
 func (ss *ShardedStore) Shard(i int) *Store { return ss.shards[i] }
 
 // Meta returns the metadata region's device handle.
-func (ss *ShardedStore) Meta() *pmem.Device { return ss.meta }
+func (ss *ShardedStore) Meta() pmem.Backend { return ss.meta }
 
 // Regions returns the store's device regions: the shard regions in
 // shard order, then the metadata region.

@@ -31,7 +31,7 @@ func FuzzShardRouting(f *testing.F) {
 	f.Fuzz(func(t *testing.T, name string, shards uint8) {
 		s := int(shards)%8 + 1
 		cfg := pmem.DefaultConfig(1 << 20)
-		ss, err := NewShardedStore(cfg, s)
+		ss, err := newShardedStore(cfg, s)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -93,7 +93,7 @@ func FuzzBatchManifest(f *testing.F) {
 		shards := int(shardsRaw)%3 + 2 // 2..4
 		cfg := pmem.DefaultConfig(2 << 20)
 		cfg.TrackDurable = true
-		ss, err := NewShardedStore(cfg, shards)
+		ss, err := newShardedStore(cfg, shards)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -125,7 +125,7 @@ func FuzzBatchManifest(f *testing.F) {
 			imgs = ss.CrashImages(pmem.CrashEvictRandom, uint64(crashAfter))
 		}
 
-		ss2, _, err := OpenShardedStore(cfg, imgs)
+		ss2, _, err := openShardedStore(cfg, imgs)
 		if err != nil {
 			t.Fatalf("recovery: %v", err)
 		}

@@ -13,7 +13,7 @@ func newTestSharded(t testing.TB, shards int) *ShardedStore {
 	t.Helper()
 	cfg := pmem.DefaultConfig(4 << 20)
 	cfg.TrackDurable = true
-	ss, err := NewShardedStore(cfg, shards)
+	ss, err := newShardedStore(cfg, shards)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +255,7 @@ func TestShardedStatsSumProperty(t *testing.T) {
 func TestShardedCleanReopen(t *testing.T) {
 	cfg := pmem.DefaultConfig(4 << 20)
 	cfg.TrackDurable = true
-	ss, err := NewShardedStore(cfg, 4)
+	ss, err := newShardedStore(cfg, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +266,7 @@ func TestShardedCleanReopen(t *testing.T) {
 	ss.Sync()
 
 	imgs := ss.CrashImages(pmem.CrashFencedOnly, 1)
-	ss2, rs, err := OpenShardedStore(cfg, imgs)
+	ss2, rs, err := openShardedStore(cfg, imgs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,7 +310,7 @@ func TestShardedMidManifestCrashSweep(t *testing.T) {
 
 	// Dry run: count the PM writes one cross-shard commit performs.
 	prep := func() (*ShardedStore, []*Map) {
-		ss, err := NewShardedStore(cfg, shards)
+		ss, err := newShardedStore(cfg, shards)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -350,7 +350,7 @@ func TestShardedMidManifestCrashSweep(t *testing.T) {
 		if imgs == nil {
 			t.Fatalf("inj %d: countdown never expired (%d writes)", inj, totalWrites)
 		}
-		ss2, rs, err := OpenShardedStore(cfg, imgs)
+		ss2, rs, err := openShardedStore(cfg, imgs)
 		if err != nil {
 			t.Fatalf("inj %d: recovery: %v", inj, err)
 		}
@@ -399,7 +399,7 @@ func TestShardedMidManifestCrashSweep(t *testing.T) {
 func TestShardedManifestRetirementDurable(t *testing.T) {
 	cfg := pmem.DefaultConfig(4 << 20)
 	cfg.TrackDurable = true
-	ss, err := NewShardedStore(cfg, 2)
+	ss, err := newShardedStore(cfg, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -419,7 +419,7 @@ func TestShardedManifestRetirementDurable(t *testing.T) {
 	ss.Shard(0).Sync()
 
 	imgs := ss.CrashImages(pmem.CrashFencedOnly, 1)
-	ss2, rs, err := OpenShardedStore(cfg, imgs)
+	ss2, rs, err := openShardedStore(cfg, imgs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -488,19 +488,19 @@ func TestShardedConcurrentWriters(t *testing.T) {
 func TestOpenShardedStoreRejectsBadInput(t *testing.T) {
 	cfg := pmem.DefaultConfig(4 << 20)
 	cfg.TrackDurable = true
-	ss, err := NewShardedStore(cfg, 2)
+	ss, err := newShardedStore(cfg, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ss.Sync()
 	imgs := ss.CrashImages(pmem.CrashFencedOnly, 1)
-	if _, _, err := OpenShardedStore(cfg, imgs[:1]); err == nil {
+	if _, _, err := openShardedStore(cfg, imgs[:1]); err == nil {
 		t.Error("open with too few images must fail")
 	}
-	if _, _, err := OpenShardedStore(cfg, [][]byte{imgs[0], imgs[1], imgs[0], imgs[2]}); err == nil {
+	if _, _, err := openShardedStore(cfg, [][]byte{imgs[0], imgs[1], imgs[0], imgs[2]}); err == nil {
 		t.Error("open with wrong shard count must fail")
 	}
-	if _, _, err := OpenShardedStore(cfg, [][]byte{imgs[0], imgs[1]}); err == nil {
+	if _, _, err := openShardedStore(cfg, [][]byte{imgs[0], imgs[1]}); err == nil {
 		t.Error("open with a shard image as metadata must fail")
 	}
 }

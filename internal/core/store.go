@@ -100,19 +100,17 @@ type storeShared struct {
 // goroutine with Fork; handles share all store state but carry their own
 // simulated clock.
 type Store struct {
-	dev      *pmem.Device
+	dev      pmem.Backend
 	heap     *alloc.Heap
 	tx       *stm.TX   // short transactions for CommitUnrelated (Fig. 8d)
 	batchRec pmem.Addr // persistent batch record for group commits (batch.go)
 	sh       *storeShared
 }
 
-// NewStore formats dev and returns an empty store.
-//
-// Deprecated: use Open, which formats (or reopens) a device from its
-// config and returns a *DB usable through the KV interface; the wrapped
-// single-heap store stays reachable via DB.Store.
-func NewStore(dev *pmem.Device) (*Store, error) {
+// newStore formats dev and returns an empty store. External callers go
+// through Open (optionally with WithDevices to supply the backend); the
+// wrapped single-heap store stays reachable via DB.Store.
+func newStore(dev pmem.Backend) (*Store, error) {
 	heap := alloc.Format(dev)
 	registerWalkers(heap)
 	tx := stm.New(dev, heap, stm.ModeV15)
@@ -131,7 +129,7 @@ func NewStore(dev *pmem.Device) (*Store, error) {
 
 // newBatchRecord allocates the group-commit batch record and anchors it
 // under its named root. The caller fences.
-func newBatchRecord(dev *pmem.Device, heap *alloc.Heap) (pmem.Addr, error) {
+func newBatchRecord(dev pmem.Backend, heap *alloc.Heap) (pmem.Addr, error) {
 	slot, err := heap.RootSlot(batchLogRoot)
 	if err != nil {
 		return pmem.Nil, fmt.Errorf("core: anchoring batch record: %w", err)
@@ -151,7 +149,7 @@ func newBatchRecord(dev *pmem.Device, heap *alloc.Heap) (pmem.Addr, error) {
 // runs in parallel across shards), and the final handle construction
 // (finishOpen).
 type storeAttachment struct {
-	dev     *pmem.Device
+	dev     pmem.Backend
 	heap    *alloc.Heap
 	logAddr pmem.Addr
 	rec     pmem.Addr
@@ -163,7 +161,7 @@ type storeAttachment struct {
 // is discarded) and an interrupted CommitUnrelated transaction, both
 // before reachability tracing so recovery sees the final roots. The
 // reachability scan itself is left to the caller.
-func attachStore(dev *pmem.Device) (*storeAttachment, error) {
+func attachStore(dev pmem.Backend) (*storeAttachment, error) {
 	heap, err := alloc.Open(dev)
 	if err != nil {
 		return nil, err
@@ -204,13 +202,13 @@ func (a *storeAttachment) finishOpen() (*Store, error) {
 	return &Store{dev: a.dev, heap: a.heap, tx: tx, batchRec: a.rec, sh: &storeShared{}}, nil
 }
 
-// OpenStore attaches to a previously formatted device, rolling back any
+// openStore attaches to a previously formatted device, rolling back any
 // interrupted commit transaction and garbage-collecting unreachable blocks
 // (recovery per §5.3). The reported stats include leak reclamation counts.
-//
-// Deprecated: use Open with WithExistingImages, which recovers the same
-// way and reports the result in a RecoveryInfo.
-func OpenStore(dev *pmem.Device) (*Store, alloc.RecoveryStats, error) {
+// External callers go through Open with WithExistingImages (or
+// WithDevices plus WithAttach), which recovers the same way and reports
+// the result in a RecoveryInfo.
+func openStore(dev pmem.Backend) (*Store, alloc.RecoveryStats, error) {
 	s, rs, _, err := openStoreVerify(dev, verifyConfig{})
 	return s, rs, err
 }
@@ -220,7 +218,7 @@ func OpenStore(dev *pmem.Device) (*Store, alloc.RecoveryStats, error) {
 // and before selective navigation is rebuilt, so replay never runs over
 // a record chain that no longer verifies; without eager verification
 // the heap arms lazy on-read checks instead.
-func openStoreVerify(dev *pmem.Device, vc verifyConfig) (*Store, alloc.RecoveryStats, []DamagedRoot, error) {
+func openStoreVerify(dev pmem.Backend, vc verifyConfig) (*Store, alloc.RecoveryStats, []DamagedRoot, error) {
 	a, err := attachStore(dev)
 	if err != nil {
 		return nil, alloc.RecoveryStats{}, nil, err
@@ -267,7 +265,7 @@ func (s *Store) Fork() *Store {
 }
 
 // Device returns this handle's underlying persistent memory device handle.
-func (s *Store) Device() *pmem.Device { return s.dev }
+func (s *Store) Device() pmem.Backend { return s.dev }
 
 // Heap returns this handle's persistent allocator handle.
 func (s *Store) Heap() *alloc.Heap { return s.heap }

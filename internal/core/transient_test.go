@@ -139,7 +139,7 @@ func TestTransientCrashMidEditNeverLeaks(t *testing.T) {
 		cfg := pmem.DefaultConfig(64 << 20)
 		cfg.TrackDurable = true
 		dev := pmem.New(cfg)
-		st, err := NewStore(dev)
+		st, err := newStore(dev)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -168,7 +168,7 @@ func TestTransientCrashMidEditNeverLeaks(t *testing.T) {
 		}
 
 		dev2 := pmem.NewFromImage(pmem.DefaultConfig(64<<20), img)
-		st2, rs, err := OpenStore(dev2)
+		st2, rs, err := openStore(dev2)
 		if err != nil {
 			t.Fatalf("countdown %d: recovery: %v", countdown, err)
 		}

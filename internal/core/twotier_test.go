@@ -224,7 +224,7 @@ func tierBuild(t *testing.T) (*pmem.Device, *Store, *Map) {
 	cfg := pmem.DefaultConfig(4 << 20)
 	cfg.TrackDurable = true
 	dev := pmem.New(cfg)
-	s, err := NewStore(dev)
+	s, err := newStore(dev)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,7 +347,7 @@ func TestCrashMatrixCommitTiers(t *testing.T) {
 				dev.SetTracer(nil)
 
 				dev2 := pmem.NewFromImage(pmem.DefaultConfig(4<<20), tr.Image())
-				s2, _, err := OpenStore(dev2)
+				s2, _, err := openStore(dev2)
 				if err != nil {
 					t.Fatalf("inj %d: recovery: %v", inj, err)
 				}

@@ -20,8 +20,11 @@ import (
 // rows; version 6 added the server sweep (durability-acked ops over
 // concurrent connections, presence-tracked but not value-gated);
 // version 7 added the contention sweep (same-root writers under the
-// per-root-mutex baseline vs the two-tier CAS/flat-combining path).
-const BenchSchema = 7
+// per-root-mutex baseline vs the two-tier CAS/flat-combining path);
+// version 8 added the mmap-backend sweep (wall-clock rows over a
+// file-backed mmapdev store, presence-tracked like the server sweep,
+// never value-gated).
+const BenchSchema = 8
 
 // BenchWorkload is one workload × engine measurement: the Table 2 suite
 // run single-threaded, so every field is deterministic for a given
@@ -165,6 +168,23 @@ type BenchServer struct {
 	FencesPerOp float64 `json:"fences_per_op"`
 }
 
+// BenchMmap is one structure of the mmap-backend sweep: the identical
+// core.Open-built stack over a file-backed mmapdev device. Elapsed time
+// is wall-clock (real msync), so — like the server sweep — benchdiff
+// tracks these rows' presence but never gates their values. The fence
+// and flush counts come from the same fence discipline the simulator
+// measures, making fences/op the portable column to eyeball across
+// backends.
+type BenchMmap struct {
+	Workload    string  `json:"workload"`
+	Ops         int     `json:"ops"`
+	ElapsedNs   float64 `json:"elapsed_ns"`  // wall-clock, unlike the simulated sweeps
+	OpsPerSec   float64 `json:"ops_per_sec"` // per wall-clock second
+	Fences      uint64  `json:"fences"`
+	Flushes     uint64  `json:"flushes"`
+	FencesPerOp float64 `json:"fences_per_op"`
+}
+
 // BenchContention is one writer count of the same-root contention sweep,
 // carrying both commit modes (DESIGN.md §12). The mutex columns are
 // deterministic (the baseline serializes, so real scheduling cannot
@@ -206,7 +226,14 @@ type BenchDoc struct {
 	Recovery    []BenchRecovery    `json:"recovery,omitempty"`
 	Server      []BenchServer      `json:"server,omitempty"`
 	Contention  []BenchContention  `json:"contention,omitempty"`
+	Mmap        []BenchMmap        `json:"mmap,omitempty"`
 }
+
+// BenchBackend selects the extra backend sweep BuildBenchDoc appends to
+// the simulator report: "sim" (none, the default) or "mmap" (the
+// wall-clock mmapdev sweep; building the doc then fails on platforms
+// without the backend). cmd/modbench sets it from -backend.
+var BenchBackend = "sim"
 
 // BuildBenchDoc runs the Table 2 workload suite on every engine, the
 // concurrent reader-scaling sweep, the transient (edit-context) sweep,
@@ -382,6 +409,23 @@ func BuildBenchDoc(scaleName string, scale Scale) (*BenchDoc, error) {
 			Combines:         cres.Commit.Combines,
 			CombinedOps:      cres.Commit.CombinedOps,
 		})
+	}
+	if BenchBackend == "mmap" {
+		for _, workload := range MmapWorkloads {
+			res, err := RunMmapBench(workload, scale.Ops, "")
+			if err != nil {
+				return nil, fmt.Errorf("bench mmap %s: %w", workload, err)
+			}
+			doc.Mmap = append(doc.Mmap, BenchMmap{
+				Workload:    res.Workload,
+				Ops:         res.Ops,
+				ElapsedNs:   res.ElapsedNs,
+				OpsPerSec:   float64(res.Ops) / (res.ElapsedNs / 1e9),
+				Fences:      res.Fences,
+				Flushes:     res.Flushes,
+				FencesPerOp: float64(res.Fences) / float64(res.Ops),
+			})
+		}
 	}
 	for _, shards := range GroupCommitShardCounts {
 		for _, bsz := range GroupCommitBatchSizes {
@@ -560,6 +604,19 @@ func CompareBenchDocs(base, cur *BenchDoc, tol float64) []string {
 		}
 	}
 
+	// Mmap rows are wall-clock like the server sweep: presence is
+	// checked, values never are.
+	curMm := make(map[string]bool, len(cur.Mmap))
+	for _, m := range cur.Mmap {
+		curMm[m.Workload] = true
+	}
+	for _, b := range base.Mmap {
+		if !curMm[b.Workload] {
+			regressions = append(regressions,
+				fmt.Sprintf("mmap/%s: row missing from current report", b.Workload))
+		}
+	}
+
 	// Contention rows: the mutex baseline columns are deterministic and
 	// gate against the baseline report; the cas columns depend on real
 	// goroutine interleaving, so they gate against absolute floors — the
@@ -725,6 +782,9 @@ func benchRowKeys(doc *BenchDoc) map[string]bool {
 	for _, c := range doc.Contention {
 		keys[fmt.Sprintf("contention/w%d", c.Writers)] = true
 	}
+	for _, m := range doc.Mmap {
+		keys["mmap/"+m.Workload] = true
+	}
 	return keys
 }
 
@@ -772,6 +832,9 @@ func BenchNewRows(base, cur *BenchDoc) []string {
 	}
 	for _, c := range cur.Contention {
 		appendKey(fmt.Sprintf("contention/w%d", c.Writers))
+	}
+	for _, m := range cur.Mmap {
+		appendKey("mmap/" + m.Workload)
 	}
 	return fresh
 }

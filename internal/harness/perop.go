@@ -52,7 +52,7 @@ func val32(i uint64) []byte {
 func measureOp(op, engine string, n int) (fencesPerOp, flushesPerOp float64, err error) {
 	arena := int64(n)*2048 + (64 << 20)
 
-	var dev *pmem.Device
+	var dev pmem.Backend
 	var run func(i uint64)
 	if engine == "mod" {
 		db, _, err := core.Open(pmem.DefaultConfig(arena))

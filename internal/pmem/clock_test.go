@@ -43,7 +43,7 @@ func TestForkCategoryIndependent(t *testing.T) {
 		t.Fatal("fork's SetCategory leaked into the primary handle")
 	}
 	h.ChargeCompute(10)
-	if got := h.LocalClock().CategoryNs(CatLog); got != 10 {
+	if got := h.(*Device).LocalClock().CategoryNs(CatLog); got != 10 {
 		t.Fatalf("fork CatLog ns = %v, want 10", got)
 	}
 }

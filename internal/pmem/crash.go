@@ -112,7 +112,7 @@ func (d *Device) DurableBytes(addr Addr, n int) []byte {
 // after releasing its internal mutex; CrashCountdown is the sanctioned
 // way to take mid-operation crash images (see the Tracer contract).
 type CrashCountdown struct {
-	dev       *Device
+	dev       Backend
 	countdown int
 	policy    CrashPolicy
 	seed      uint64
@@ -120,8 +120,10 @@ type CrashCountdown struct {
 }
 
 // NewCrashCountdown returns a tracer that captures the crash image at
-// the afterWrites-th PM write event. The device must track durability.
-func NewCrashCountdown(dev *Device, afterWrites int, policy CrashPolicy, seed uint64) *CrashCountdown {
+// the afterWrites-th PM write event. A simulator device must track
+// durability; backends without crash policies capture their best
+// whole-arena approximation (see Backend.CrashImage).
+func NewCrashCountdown(dev Backend, afterWrites int, policy CrashPolicy, seed uint64) *CrashCountdown {
 	return &CrashCountdown{dev: dev, countdown: afterWrites, policy: policy, seed: seed}
 }
 

@@ -123,9 +123,12 @@ func TestDeadLineReadsPanic(t *testing.T) {
 		dev.Read(Addr(LineSize-8), buf)
 	}()
 
-	// Raw Bytes views are exempt: they model scrub machinery reading
-	// around the ECC, and checksums catch the scrambled contents.
+	// Raw Bytes views inside a recovery bracket are exempt: they model
+	// scrub machinery reading around the ECC, and checksums catch the
+	// scrambled contents.
+	endScan := dev.BeginRecovery()
 	_ = dev.Bytes(Addr(LineSize), 8)
+	endScan()
 
 	// Writes still land, and the line stays dead until cleared.
 	dev.WriteU64(Addr(LineSize), 1)

@@ -23,16 +23,22 @@ package pmem
 // A FlushSet is not safe for concurrent use; it belongs to a single FASE
 // on a single handle, like the edit context that owns it.
 type FlushSet struct {
-	d        *Device
+	d        Backend
 	set      map[uint64]struct{}
 	order    []uint64
 	recorded uint64 // line records including duplicates
 }
 
-// NewFlushSet returns an empty deferred flush set bound to this handle.
-func (d *Device) NewFlushSet() *FlushSet {
-	return &FlushSet{d: d, set: make(map[uint64]struct{})}
+// NewFlushSet returns an empty deferred flush set bound to the given
+// backend handle. The dedup works over any backend: on the simulator a
+// saved clwb is saved issue time, on mmapdev a saved note is a smaller
+// msync set.
+func NewFlushSet(b Backend) *FlushSet {
+	return &FlushSet{d: b, set: make(map[uint64]struct{})}
 }
+
+// NewFlushSet returns an empty deferred flush set bound to this handle.
+func (d *Device) NewFlushSet() *FlushSet { return NewFlushSet(d) }
 
 // Add records every line overlapping [addr, addr+n) as needing a flush.
 // Lines already recorded are deduplicated and counted as saved flushes.
@@ -62,15 +68,15 @@ func (f *FlushSet) Flush() {
 		f.d.Clwb(Addr(ln << LineShift))
 	}
 	if saved := f.recorded - uint64(len(f.order)); saved > 0 {
-		f.d.noteFlushesSaved(saved)
+		f.d.NoteFlushesSaved(saved)
 	}
 	f.order = f.order[:0]
 	f.recorded = 0
 	clear(f.set)
 }
 
-// noteFlushesSaved credits n flushes avoided by deduplication.
-func (d *Device) noteFlushesSaved(n uint64) {
+// NoteFlushesSaved credits n flushes avoided by deduplication.
+func (d *Device) NoteFlushesSaved(n uint64) {
 	d.s.mu.Lock()
 	d.s.stats.FlushesSaved += n
 	d.s.mu.Unlock()

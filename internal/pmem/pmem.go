@@ -286,6 +286,7 @@ type devState struct {
 	tracer atomic.Value // tracerBox
 	stats  Stats        // counter fields only; times live in agg
 	fences atomic.Uint64
+	scans  atomic.Int32 // open BeginRecovery brackets gating raw Bytes views
 	agg    aggClock
 }
 
@@ -340,7 +341,7 @@ func NewFromImage(cfg Config, img []byte) *Device {
 // (starting at zero) and the same accounting category. Each concurrent
 // goroutine should work through its own forked handle so its simulated
 // time is tracked independently.
-func (d *Device) Fork() *Device {
+func (d *Device) Fork() Backend {
 	return &Device{s: d.s, clk: newLocalClock(&d.s.agg), cat: d.cat}
 }
 
@@ -676,15 +677,43 @@ func (d *Device) WriteU32(addr Addr, v uint32) {
 	}
 }
 
+// BeginRecovery opens a recovery/verification bracket on the device and
+// returns the function that closes it. Raw Bytes views — which read
+// around the dead-line (media fault) machinery and charge no simulated
+// time — are only legal inside an open bracket; everywhere else they
+// would let steady-state code dodge MediaError and checksum
+// verification. Brackets nest and may be held concurrently; the counter
+// is device-wide.
+func (d *Device) BeginRecovery() func() {
+	d.s.scans.Add(1)
+	return func() { d.s.scans.Add(-1) }
+}
+
 // Bytes returns a read-only view of [addr, addr+n) without charging
-// simulated time. It is intended for checkers, recovery scans, and tests;
-// workload code must use Read. The view aliases live memory and is not
-// synchronized against concurrent writers.
+// simulated time. It is exempt from dead-line poisoning (it models scrub
+// machinery reading around the ECC), so it is only legal inside a
+// BeginRecovery bracket — recovery scans, verification, checkers — and
+// panics outside one. Workload code must use Read. The view aliases live
+// memory and is not synchronized against concurrent writers.
 func (d *Device) Bytes(addr Addr, n int) []byte {
+	if d.s.scans.Load() == 0 {
+		panic(fmt.Sprintf("pmem: Bytes(%#x, %d) outside a BeginRecovery bracket; steady-state reads must use Read/ReadU64 (checked against media faults)", uint64(addr), n))
+	}
 	d.s.mu.Lock()
 	defer d.s.mu.Unlock()
 	d.s.checkRange(addr, n)
 	return d.s.mem[addr : addr+Addr(n) : addr+Addr(n)]
+}
+
+// Snapshot returns a fresh copy of the entire arena's current contents —
+// every write, durable or not — taken under the device mutex. It is the
+// whole-image checkpoint corruption tests and checkers capture before
+// injecting damage; unlike Bytes it copies, so it needs no recovery
+// bracket and cannot alias later writes.
+func (d *Device) Snapshot() []byte {
+	d.s.mu.Lock()
+	defer d.s.mu.Unlock()
+	return append([]byte(nil), d.s.mem...)
 }
 
 // Clwb initiates a writeback of the line containing addr. It commits

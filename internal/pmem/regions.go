@@ -1,14 +1,14 @@
 package pmem
 
 // Region-split devices. A sharded store partitions its persistent arena
-// into independent regions — one Device per shard plus, typically, a
+// into independent regions — one backend per shard plus, typically, a
 // small metadata region — so that allocation, flushing, and above all
-// fencing on one shard never order or stall another: each Device owns
+// fencing on one shard never order or stall another: each backend owns
 // its inflight set and fence sequence, which is exactly what lets
 // unrelated FASEs on different shards commit without sharing an
 // ordering point.
 //
-// Regions bundles those devices for the operations that genuinely span
+// Regions bundles those backends for the operations that genuinely span
 // the split: aggregate statistics (per-region counters sum; see
 // Stats.Add), whole-set crash images for failure injection, and the
 // critical-path clock (the slowest region bounds a perfectly parallel
@@ -16,13 +16,13 @@ package pmem
 
 // Regions is an ordered set of independently fenced device regions.
 type Regions struct {
-	devs []*Device
+	devs []Backend
 }
 
-// NewRegions bundles the given devices into a region set. The set
-// aliases the device handles; it does not copy or own them.
-func NewRegions(devs ...*Device) *Regions {
-	r := &Regions{devs: make([]*Device, len(devs))}
+// NewRegions bundles the given backends into a region set. The set
+// aliases the handles; it does not copy or own them.
+func NewRegions(devs ...Backend) *Regions {
+	r := &Regions{devs: make([]Backend, len(devs))}
 	copy(r.devs, devs)
 	return r
 }
@@ -30,13 +30,13 @@ func NewRegions(devs ...*Device) *Regions {
 // Len returns the number of regions.
 func (r *Regions) Len() int { return len(r.devs) }
 
-// Device returns the i-th region's device handle.
-func (r *Regions) Device(i int) *Device { return r.devs[i] }
+// Device returns the i-th region's backend handle.
+func (r *Regions) Device(i int) Backend { return r.devs[i] }
 
-// Devices returns the region devices in order, in a fresh slice — the
+// Devices returns the region backends in order, in a fresh slice — the
 // shape NewMultiCrashCountdown takes.
-func (r *Regions) Devices() []*Device {
-	devs := make([]*Device, len(r.devs))
+func (r *Regions) Devices() []Backend {
+	devs := make([]Backend, len(r.devs))
 	copy(devs, r.devs)
 	return devs
 }
@@ -77,25 +77,44 @@ func (r *Regions) MaxClock() float64 {
 // pseudorandom line subset is derived from seed and the region index so
 // a single seed reproduces the whole multi-region failure.
 //
-// The capture is simultaneous: every region's mutex is held (acquired
-// in region order — no other path locks two devices at once, so the
-// ordering cannot deadlock) while the images are taken, as a real power
-// failure hits all DIMMs at one instant. A per-region sequential
-// capture would let commits that ran between two snapshots appear on a
-// later region but not an earlier one, which under load manifests as a
-// cross-shard transaction "partially applied" by a failure mode real
-// hardware cannot produce.
+// When every region is a simulator device the capture is simultaneous:
+// every region's mutex is held (acquired in region order — no other
+// path locks two devices at once, so the ordering cannot deadlock)
+// while the images are taken, as a real power failure hits all DIMMs at
+// one instant. A per-region sequential capture would let commits that
+// ran between two snapshots appear on a later region but not an earlier
+// one, which under load manifests as a cross-shard transaction
+// "partially applied" by a failure mode real hardware cannot produce.
+// Mixed or non-simulator region sets fall back to sequential capture —
+// such sets are not driven by the deterministic crash matrix, so the
+// simultaneity guarantee is not load-bearing there.
 func (r *Regions) CrashImages(policy CrashPolicy, seed uint64) [][]byte {
-	for _, d := range r.devs {
+	sims := make([]*Device, len(r.devs))
+	allSim := true
+	for i, b := range r.devs {
+		d, ok := b.(*Device)
+		if !ok {
+			allSim = false
+			break
+		}
+		sims[i] = d
+	}
+	imgs := make([][]byte, len(r.devs))
+	if !allSim {
+		for i, b := range r.devs {
+			imgs[i] = b.CrashImage(policy, seed+uint64(i)*0x9e3779b97f4a7c15)
+		}
+		return imgs
+	}
+	for _, d := range sims {
 		d.s.mu.Lock()
 	}
 	defer func() {
-		for _, d := range r.devs {
+		for _, d := range sims {
 			d.s.mu.Unlock()
 		}
 	}()
-	imgs := make([][]byte, len(r.devs))
-	for i, d := range r.devs {
+	for i, d := range sims {
 		imgs[i] = d.crashImageLocked(policy, seed+uint64(i)*0x9e3779b97f4a7c15)
 	}
 	return imgs
@@ -113,7 +132,7 @@ func (r *Regions) CrashImages(policy CrashPolicy, seed uint64) [][]byte {
 // synchronized, so install it only around single-goroutine operation
 // sequences, which is what crash tests run.
 type MultiCrashCountdown struct {
-	devs      []*Device
+	devs      []Backend
 	countdown int
 	policy    CrashPolicy
 	seed      uint64
@@ -123,8 +142,8 @@ type MultiCrashCountdown struct {
 
 // NewMultiCrashCountdown returns a countdown that captures all-region
 // crash images at the afterWrites-th PM write across the set. Every
-// device must track durability.
-func NewMultiCrashCountdown(devs []*Device, afterWrites int, policy CrashPolicy, seed uint64) *MultiCrashCountdown {
+// simulator device must track durability.
+func NewMultiCrashCountdown(devs []Backend, afterWrites int, policy CrashPolicy, seed uint64) *MultiCrashCountdown {
 	return &MultiCrashCountdown{devs: devs, countdown: afterWrites, policy: policy, seed: seed}
 }
 

@@ -1,0 +1,77 @@
+package pmem
+
+import "testing"
+
+// Regression test for the raw-view guard: Device.Bytes is exempt from
+// dead-line poisoning so recovery scans can classify damage, which
+// means a steady-state caller could use it to dodge MediaError and
+// checksum verification. The guard closes that hole: outside a
+// BeginRecovery bracket, Bytes panics.
+func TestBytesRequiresRecoveryBracket(t *testing.T) {
+	dev := New(DefaultConfig(1 << 16))
+	dev.WriteU64(64, 0xABCD)
+
+	// Outside any bracket: panic.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Bytes outside a BeginRecovery bracket did not panic")
+			}
+		}()
+		_ = dev.Bytes(64, 8)
+	}()
+
+	// Inside a bracket: the raw view works, dead lines and all.
+	end := dev.BeginRecovery()
+	dev.MarkLineDead(64)
+	if got := leRaw(dev.Bytes(64, 8)); got != 0xABCD {
+		t.Fatalf("bracketed raw read = %#x, want 0xABCD", got)
+	}
+	// Brackets nest: an inner bracket closing must not end the outer.
+	inner := dev.BeginRecovery()
+	inner()
+	_ = dev.Bytes(64, 8)
+	end()
+
+	// After the last bracket closes the guard re-arms.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Bytes after bracket close did not panic")
+			}
+		}()
+		_ = dev.Bytes(64, 8)
+	}()
+
+	// Checked reads still see the media fault regardless of brackets.
+	func() {
+		defer func() {
+			if _, ok := recover().(*MediaError); !ok {
+				t.Fatal("checked read of dead line did not raise *MediaError")
+			}
+		}()
+		dev.ReadU64(64)
+	}()
+}
+
+func leRaw(b []byte) uint64 {
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+// Snapshot must copy — not alias — the arena, and needs no bracket.
+func TestSnapshotCopies(t *testing.T) {
+	dev := New(DefaultConfig(1 << 16))
+	dev.WriteU64(128, 7)
+	img := dev.Snapshot()
+	dev.WriteU64(128, 9)
+	if got := leRaw(img[128:136]); got != 7 {
+		t.Fatalf("snapshot aliased a later write: %d", got)
+	}
+	if int64(len(img)) != dev.Size() {
+		t.Fatalf("snapshot length %d, arena %d", len(img), dev.Size())
+	}
+}

@@ -43,7 +43,7 @@ func TestServerDegradedReplies(t *testing.T) {
 	}
 	db.Sync()
 	s := db.Store()
-	img := append([]byte(nil), s.Device().Bytes(0, int(s.Device().Size()))...)
+	img := s.Device().Snapshot()
 
 	// Damage the root the probe key routes to: flip a bit of its header
 	// block's stored checksum.

@@ -144,10 +144,7 @@ func Run(dial func() (net.Conn, error), cfg Config, stop <-chan struct{}) (Resul
 	// Open-loop: each client owns an interleaved slice of the global
 	// arrival schedule (client i fires at t0 + (i + k*C)/Rate), so the
 	// aggregate arrival process hits Rate without a central dispatcher.
-	interval := time.Duration(0)
-	if cfg.Rate > 0 {
-		interval = time.Duration(float64(cfg.Clients) / cfg.Rate * float64(time.Second))
-	}
+	interval := paceInterval(cfg.Clients, cfg.Rate)
 
 	var wg sync.WaitGroup
 	for _, w := range workers {
@@ -171,13 +168,20 @@ func Run(dial func() (net.Conn, error), cfg Config, stop <-chan struct{}) (Resul
 				}
 				sched := time.Now()
 				if interval > 0 {
+					// A send scheduled past the deadline belongs to an
+					// interval the run will never measure: end cleanly
+					// instead of sleeping through the deadline to issue
+					// it.
+					if !deadline.IsZero() && next.After(deadline) {
+						return
+					}
 					if d := time.Until(next); d > 0 {
 						time.Sleep(d)
 					}
 					sched = next
 					next = next.Add(interval)
 				}
-				w.step(sched)
+				w.step(sched, deadline)
 			}
 		}(w)
 	}
@@ -192,16 +196,35 @@ func Run(dial func() (net.Conn, error), cfg Config, stop <-chan struct{}) (Resul
 		lats = append(lats, w.lats...)
 		res.Writes = append(res.Writes, w.writes...)
 	}
-	if len(lats) > 0 {
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		res.P50 = lats[len(lats)*50/100]
-		res.P99 = lats[min(len(lats)*99/100, len(lats)-1)]
-		res.P999 = lats[min(len(lats)*999/1000, len(lats)-1)]
-	}
+	res.P50, res.P99, res.P999 = percentiles(lats)
 	if elapsed > 0 {
 		res.Throughput = float64(res.Ops) / elapsed.Seconds()
 	}
 	return res, nil
+}
+
+// paceInterval returns each client's fixed open-loop send interval for
+// the aggregate target rate: Clients/Rate seconds, so the interleaved
+// per-client schedules sum to Rate arrivals per second. Zero (closed
+// loop) when no rate is set.
+func paceInterval(clients int, rate float64) time.Duration {
+	if rate <= 0 {
+		return 0
+	}
+	return time.Duration(float64(clients) / rate * float64(time.Second))
+}
+
+// percentiles returns the p50/p99/p999 of lats (sorted in place; zeros
+// when empty).
+func percentiles(lats []time.Duration) (p50, p99, p999 time.Duration) {
+	if len(lats) == 0 {
+		return
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	p50 = lats[len(lats)*50/100]
+	p99 = lats[min(len(lats)*99/100, len(lats)-1)]
+	p999 = lats[min(len(lats)*999/1000, len(lats)-1)]
+	return
 }
 
 func stopped(stop <-chan struct{}) bool {
@@ -216,8 +239,13 @@ func stopped(stop <-chan struct{}) bool {
 	}
 }
 
-// step issues one operation and records its latency and outcome.
-func (w *worker) step(sched time.Time) {
+// step issues one operation and records its latency and outcome. An op
+// completing after the deadline still counts (and its write record is
+// kept for crash audits, keyed on AckTime), but its latency sample is
+// dropped: it ran partly outside the measured window, and open-loop
+// runs near the deadline would otherwise pollute the tail percentiles
+// with arbitrarily-late in-flight completions.
+func (w *worker) step(sched, deadline time.Time) {
 	isRead := !w.cfg.RecordWrites && w.rng.Float64() < w.cfg.ReadFrac
 	var (
 		resp Resp
@@ -246,13 +274,14 @@ func (w *worker) step(sched time.Time) {
 		w.seq++
 		resp, err = w.cl.Do([]byte("SET"), k, v)
 	}
-	lat := time.Since(sched)
+	done := time.Now()
+	lat := done.Sub(sched)
 	w.ops++
 	acked := err == nil && resp.IsOK()
 	if !acked {
 		w.errs++
 	}
-	if acked || err == nil {
+	if (acked || err == nil) && (deadline.IsZero() || !done.After(deadline)) {
 		w.lats = append(w.lats, lat)
 	}
 	if w.cfg.RecordWrites && !isRead {

@@ -1,0 +1,266 @@
+package loadgen
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// fakeServer speaks just enough RESP to ack every command with +OK,
+// optionally sleeping before each reply to simulate a slow store.
+type fakeServer struct {
+	delay time.Duration
+}
+
+func (fs *fakeServer) dial() (net.Conn, error) {
+	client, server := net.Pipe()
+	go fs.serve(server)
+	return client, nil
+}
+
+func (fs *fakeServer) serve(c net.Conn) {
+	defer c.Close()
+	br := bufio.NewReader(c)
+	for {
+		if err := discardCommand(br); err != nil {
+			return
+		}
+		if fs.delay > 0 {
+			time.Sleep(fs.delay)
+		}
+		if _, err := c.Write([]byte("+OK\r\n")); err != nil {
+			return
+		}
+	}
+}
+
+// discardCommand consumes one *N array-of-bulk-strings command.
+func discardCommand(br *bufio.Reader) error {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	if len(line) < 4 || line[0] != '*' {
+		return errors.New("bad command header")
+	}
+	n, err := strconv.Atoi(line[1 : len(line)-2])
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		hdr, err := br.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		if len(hdr) < 4 || hdr[0] != '$' {
+			return errors.New("bad bulk header")
+		}
+		sz, err := strconv.Atoi(hdr[1 : len(hdr)-2])
+		if err != nil {
+			return err
+		}
+		if _, err := io.CopyN(io.Discard, br, int64(sz)+2); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestPaceInterval(t *testing.T) {
+	for _, tc := range []struct {
+		clients int
+		rate    float64
+		want    time.Duration
+	}{
+		{1, 0, 0},  // closed loop
+		{8, -1, 0}, // closed loop
+		{1, 1000, time.Millisecond},
+		{4, 1000, 4 * time.Millisecond}, // C clients share the schedule
+		{2, 500, 4 * time.Millisecond},
+	} {
+		if got := paceInterval(tc.clients, tc.rate); got != tc.want {
+			t.Errorf("paceInterval(%d, %g) = %v, want %v", tc.clients, tc.rate, got, tc.want)
+		}
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	if p50, p99, p999 := percentiles(nil); p50 != 0 || p99 != 0 || p999 != 0 {
+		t.Fatalf("empty percentiles = %v %v %v", p50, p99, p999)
+	}
+	one := []time.Duration{7 * time.Millisecond}
+	if p50, p99, p999 := percentiles(one); p50 != one[0] || p99 != one[0] || p999 != one[0] {
+		t.Fatalf("single-sample percentiles = %v %v %v", p50, p99, p999)
+	}
+	// 1..1000 ms, shuffled: p50=501ms (index 500), p99=991ms, p999=1000ms.
+	lats := make([]time.Duration, 1000)
+	for i := range lats {
+		lats[i] = time.Duration(i+1) * time.Millisecond
+	}
+	rand.New(rand.NewSource(1)).Shuffle(len(lats), func(i, j int) { lats[i], lats[j] = lats[j], lats[i] })
+	p50, p99, p999 := percentiles(lats)
+	if p50 != 501*time.Millisecond || p99 != 991*time.Millisecond || p999 != 1000*time.Millisecond {
+		t.Fatalf("percentiles = %v %v %v", p50, p99, p999)
+	}
+}
+
+// TestZipfSkew pins that the configured key popularity really is
+// Zipfian: the hottest key dominates a uniform draw by orders of
+// magnitude.
+func TestZipfSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	zipf := rand.NewZipf(rng, 1.5, 1, 1<<16-1)
+	const draws = 20000
+	counts := make(map[uint64]int)
+	for i := 0; i < draws; i++ {
+		counts[zipf.Uint64()]++
+	}
+	// Uniform would give each key ~0.3 hits; s=1.5 puts ~38% on key 0.
+	if counts[0] < draws/10 {
+		t.Fatalf("key 0 drawn %d/%d times; distribution not skewed", counts[0], draws)
+	}
+	if len(counts) > 1<<12 {
+		t.Fatalf("%d distinct keys in %d draws; tail too heavy for s=1.5", len(counts), draws)
+	}
+}
+
+// TestDeadlineCutsSchedule pins the open-loop deadline fix: a send
+// scheduled past the deadline is never issued, so a 50ms run at 20ms
+// intervals does at most the 3 in-window sends (0, 20, 40ms) and does
+// not sleep into the 60ms slot.
+func TestDeadlineCutsSchedule(t *testing.T) {
+	fs := &fakeServer{}
+	res, err := Run(fs.dial, Config{
+		Clients:  1,
+		Rate:     50, // 20ms interval
+		Duration: 50 * time.Millisecond,
+		Seed:     1,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops < 1 || res.Ops > 3 {
+		t.Fatalf("ops = %d, want 1..3 (sends at 0/20/40ms only)", res.Ops)
+	}
+	if res.Elapsed > 300*time.Millisecond {
+		t.Fatalf("run overslept the deadline: elapsed %v", res.Elapsed)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+}
+
+// TestNoLatencySampleAfterDeadline pins the second half of the fix: an
+// op completing after the deadline still counts as an op (and its write
+// record survives for crash audits) but contributes no latency sample,
+// so a slow in-flight tail cannot skew p999.
+func TestNoLatencySampleAfterDeadline(t *testing.T) {
+	fs := &fakeServer{delay: 80 * time.Millisecond}
+	res, err := Run(fs.dial, Config{
+		Clients:      1,
+		Duration:     20 * time.Millisecond, // expires while op 1 is in flight
+		Seed:         1,
+		RecordWrites: true,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops < 1 {
+		t.Fatalf("ops = %d, want at least the in-flight op", res.Ops)
+	}
+	if res.P50 != 0 || res.P99 != 0 || res.P999 != 0 {
+		t.Fatalf("latency sampled after the deadline: p50=%v p99=%v p999=%v", res.P50, res.P99, res.P999)
+	}
+	if len(res.Writes) != res.Ops {
+		t.Fatalf("audit log has %d records for %d ops", len(res.Writes), res.Ops)
+	}
+	for _, w := range res.Writes {
+		if !w.Acked || w.AckTime.IsZero() {
+			t.Fatal("post-deadline completion lost its ack record")
+		}
+	}
+}
+
+// TestRunAgainstFakeServer is the plain happy path: a paced mixed run
+// completes with samples and no errors.
+func TestRunAgainstFakeServer(t *testing.T) {
+	fs := &fakeServer{delay: time.Millisecond}
+	res, err := Run(fs.dial, Config{
+		Clients:    4,
+		Ops:        40,
+		KeySpace:   128,
+		ReadFrac:   0.5,
+		MultiEvery: 4,
+		MultiSize:  2,
+		Seed:       7,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 40 {
+		t.Fatalf("ops = %d, want 40", res.Ops)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+	if res.P50 <= 0 || res.Throughput <= 0 {
+		t.Fatalf("p50=%v throughput=%v", res.P50, res.Throughput)
+	}
+}
+
+// Audit-log classification against a deterministic recovered-state
+// lookup: acked-durable, detected (quarantined), lost-without-detection,
+// and MULTI atomicity.
+func TestAuditWritesClassification(t *testing.T) {
+	cut := time.Unix(1000, 0)
+	before, after := cut.Add(-time.Second), cut.Add(time.Second)
+	rec := func(acked bool, at time.Time, multi bool, keys ...string) WriteRecord {
+		w := WriteRecord{Multi: multi, Acked: acked, AckTime: at}
+		for _, k := range keys {
+			w.Keys = append(w.Keys, []byte(k))
+			w.Vals = append(w.Vals, []byte("val-"+k))
+		}
+		return w
+	}
+	store := map[string]string{
+		"good": "val-good", "m1": "val-m1", "m2": "val-m2",
+	}
+	lookup := func(k []byte) ([]byte, bool, error) {
+		if string(k) == "poisoned" {
+			return nil, false, errors.New("root quarantined")
+		}
+		v, ok := store[string(k)]
+		return []byte(v), ok, nil
+	}
+
+	rep, err := AuditWrites([]WriteRecord{
+		rec(true, before, false, "good"),          // verified
+		rec(true, before, false, "poisoned"),      // excused by detection
+		rec(true, after, false, "vanished"),       // acked after cut: exempt
+		rec(false, time.Time{}, false, "unacked"), // never acked: exempt
+		rec(true, before, true, "m1", "m2"),       // atomic MULTI, all present
+		rec(false, time.Time{}, true, "g1", "g2"), // atomic MULTI, all absent
+	}, cut, lookup)
+	if err != nil {
+		t.Fatalf("clean audit failed: %v", err)
+	}
+	if rep.Verified != 2 || rep.Quarantined != 1 || rep.Multis != 2 {
+		t.Fatalf("report = %+v, want Verified=2 Quarantined=1 Multis=2", rep)
+	}
+
+	// An acked-before-cut write missing without detection is the §13
+	// violation the audit exists to catch.
+	if _, err := AuditWrites([]WriteRecord{rec(true, before, false, "vanished")}, cut, lookup); err == nil {
+		t.Fatal("silent loss passed the audit")
+	}
+	// A MULTI with some keys present and some absent is a torn
+	// transaction regardless of ack state.
+	if _, err := AuditWrites([]WriteRecord{rec(false, time.Time{}, true, "m1", "gone")}, cut, lookup); err == nil {
+		t.Fatal("torn MULTI passed the audit")
+	}
+}

@@ -64,7 +64,7 @@ const (
 // TX is a persistent-memory transaction context. A TX is reused across
 // transactions (Begin/Commit pairs); it is not safe for concurrent use.
 type TX struct {
-	dev  *pmem.Device
+	dev  pmem.Backend
 	heap *alloc.Heap
 	mode Mode
 
@@ -101,7 +101,7 @@ const DefaultLogSize = 1 << 16
 // context. The log block is reachable via the returned TX only; callers
 // that need post-crash recovery should anchor it under a named root and
 // call Attach after reopening.
-func New(dev *pmem.Device, heap *alloc.Heap, mode Mode) *TX {
+func New(dev pmem.Backend, heap *alloc.Heap, mode Mode) *TX {
 	logAddr := heap.Alloc(DefaultLogSize, 0)
 	dev.WriteU64(logAddr, logStatusIdle)
 	dev.WriteU64(logAddr+8, 0)
@@ -111,7 +111,7 @@ func New(dev *pmem.Device, heap *alloc.Heap, mode Mode) *TX {
 }
 
 // Attach builds a TX around an existing log region.
-func Attach(dev *pmem.Device, heap *alloc.Heap, mode Mode, logAddr pmem.Addr, logSize int) *TX {
+func Attach(dev pmem.Backend, heap *alloc.Heap, mode Mode, logAddr pmem.Addr, logSize int) *TX {
 	return &TX{dev: dev, heap: heap, mode: mode, logAddr: logAddr, logSize: logSize}
 }
 
@@ -128,7 +128,7 @@ func (tx *TX) Stats() Stats { return tx.stats }
 func (tx *TX) Heap() *alloc.Heap { return tx.heap }
 
 // Device returns the underlying device.
-func (tx *TX) Device() *pmem.Device { return tx.dev }
+func (tx *TX) Device() pmem.Backend { return tx.dev }
 
 // Begin starts a transaction.
 func (tx *TX) Begin() {
@@ -301,7 +301,7 @@ func (tx *TX) Abort() {
 
 // applyUndo restores all snapshotted ranges from the log, flushing the
 // restored data.
-func applyUndo(dev *pmem.Device, logAddr pmem.Addr) {
+func applyUndo(dev pmem.Backend, logAddr pmem.Addr) {
 	n := int(dev.ReadU64(logAddr + 8))
 	off := 0
 	for off < n {
@@ -320,7 +320,7 @@ func applyUndo(dev *pmem.Device, logAddr pmem.Addr) {
 // Recover inspects the log region after a restart and, if a transaction
 // was interrupted mid-flight, rolls its effects back. It returns whether a
 // rollback happened.
-func Recover(dev *pmem.Device, logAddr pmem.Addr) bool {
+func Recover(dev pmem.Backend, logAddr pmem.Addr) bool {
 	if dev.ReadU64(logAddr) != logStatusActive {
 		return false
 	}

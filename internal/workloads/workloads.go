@@ -99,7 +99,7 @@ func (r Result) LogFrac() float64 { return r.LogNs / r.SimNs }
 // env bundles the engine-specific machinery for one run.
 type env struct {
 	engine Engine
-	dev    *pmem.Device
+	dev    pmem.Backend
 	heap   *alloc.Heap
 	store  *core.Store // MOD only
 	tx     *stm.TX     // PMDK only

@@ -220,13 +220,11 @@ func WithVerify() Option { return core.WithVerify() }
 // quarantining it, reporting the dropped operations.
 func WithSalvage() Option { return core.WithSalvage() }
 
-// NewStore formats the device and returns an empty store.
-//
-// Deprecated: use Open, which also covers sharded and recovered stores.
-func NewStore(dev *Device) (*Store, error) { return core.NewStore(dev) }
+// WithDevices builds the store over caller-supplied backends (one for a
+// single-heap store, N+1 for N shards plus metadata) instead of fresh
+// simulator devices — e.g. mmapdev devices over a real file.
+func WithDevices(devs ...pmem.Backend) Option { return core.WithDevices(devs...) }
 
-// OpenStore attaches to a previously formatted device, rolling back any
-// interrupted commit and garbage-collecting unreachable blocks (§5.3).
-//
-// Deprecated: use Open with WithExistingImages.
-func OpenStore(dev *Device) (*Store, RecoveryStats, error) { return core.OpenStore(dev) }
+// WithAttach recovers the store already present on the WithDevices
+// backends instead of formatting them.
+func WithAttach() Option { return core.WithAttach() }
